@@ -1,0 +1,101 @@
+//! Plain-text report formatting for the figure harnesses.
+
+use std::fmt::Write as _;
+
+use imo_core::experiment::ExperimentResult;
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Table {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(r.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(r);
+        self
+    }
+
+    /// Renders the table.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<w$}  ", c, w = widths[i]);
+            }
+            out.push('\n');
+        };
+        line(&mut out, &self.headers);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+}
+
+/// Formats one experiment's normalized stacked bars the way Figure 2 draws
+/// them: per variant, the total height relative to N and the busy /
+/// cache-stall / other-stall split.
+pub fn fmt_bars(res: &ExperimentResult) -> String {
+    let mut t = Table::new([
+        "variant",
+        "norm time",
+        "busy",
+        "cache stall",
+        "other stall",
+        "instr ratio",
+    ]);
+    for b in &res.bars {
+        t.row([
+            b.label.to_string(),
+            format!("{:.3}", b.total),
+            format!("{:.3}", b.busy),
+            format!("{:.3}", b.cache_stall),
+            format!("{:.3}", b.other_stall),
+            format!("{:.3}", b.instr_ratio),
+        ]);
+    }
+    format!("{} [{}]\n{}", res.workload, res.machine, t.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["a", "long header"]);
+        t.row(["xxxxx", "1"]);
+        t.row(["y", "2"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long header"));
+        assert!(lines[2].starts_with("xxxxx"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only one"]);
+    }
+}

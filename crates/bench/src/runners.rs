@@ -1,0 +1,85 @@
+//! Shared experiment runners used by the bench targets.
+
+use imo_core::experiment::{run_experiment, ExperimentResult, Variant};
+use imo_core::Machine;
+use imo_cpu::RunLimits;
+use imo_coherence::{simulate, MachineParams, Scheme, SimResult};
+use imo_workloads::parallel::{all_apps, TraceConfig};
+use imo_workloads::{by_name, Scale};
+
+/// Runs the Figure 2/3 variant set for one workload on both machines.
+///
+/// # Panics
+///
+/// Panics if the workload name is unknown or a simulation fails — the bench
+/// harness has no useful recovery.
+pub fn fig2_for(name: &str, scale: Scale, variants: &[Variant]) -> Vec<ExperimentResult> {
+    let spec = by_name(name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
+    let program = (spec.build)(scale);
+    let limits = RunLimits::default();
+    [Machine::default_ooo(), Machine::default_in_order()]
+        .iter()
+        .map(|m| {
+            run_experiment(name, &program, m, variants, limits)
+                .unwrap_or_else(|e| panic!("{name} on {}: {e}", m.name()))
+        })
+        .collect()
+}
+
+/// One row of Figure 4: an application's normalized execution time under the
+/// three access-control schemes.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Application name.
+    pub app: &'static str,
+    /// Raw results in `[RefCheck, Ecc, Informing]` order.
+    pub results: [SimResult; 3],
+    /// Execution times normalized to the informing scheme.
+    pub normalized: [f64; 3],
+}
+
+/// Runs Figure 4: every application under every scheme.
+pub fn fig4_rows(trace_cfg: &TraceConfig, params: &MachineParams) -> Vec<Fig4Row> {
+    all_apps(trace_cfg)
+        .into_iter()
+        .map(|app| {
+            let results = [
+                simulate(&app, Scheme::RefCheck, params),
+                simulate(&app, Scheme::Ecc, params),
+                simulate(&app, Scheme::Informing, params),
+            ];
+            let base = results[2].total_cycles.max(1) as f64;
+            let normalized = [
+                results[0].total_cycles as f64 / base,
+                results[1].total_cycles as f64 / base,
+                results[2].total_cycles as f64 / base,
+            ];
+            Fig4Row { app: results[0].app, results, normalized }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_core::experiment::figure2_variants;
+
+    #[test]
+    fn fig2_runner_produces_both_machines() {
+        let res = fig2_for("ora", Scale::Test, &figure2_variants());
+        assert_eq!(res.len(), 2);
+        assert_eq!(res[0].machine, "ooo");
+        assert_eq!(res[1].machine, "in-order");
+        assert_eq!(res[0].bars.len(), 5);
+    }
+
+    #[test]
+    fn fig4_runner_covers_all_apps_and_schemes() {
+        let cfg = TraceConfig { procs: 4, ops_per_proc: 1500, seed: 3 };
+        let rows = fig4_rows(&cfg, &MachineParams::table2());
+        assert_eq!(rows.len(), 5);
+        for r in &rows {
+            assert!((r.normalized[2] - 1.0).abs() < 1e-12, "informing is the baseline");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Machine and scheme parameters (Table 2 of the paper).
+
+/// The three access-control implementations compared in Figure 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Inline protection check on every potentially-shared reference
+    /// (Blizzard-S-like).
+    RefCheck,
+    /// ECC-poisoning of invalid blocks; faults on bad accesses
+    /// (Blizzard-E-like).
+    Ecc,
+    /// Protection checks in informing-memory miss handlers.
+    Informing,
+}
+
+impl Scheme {
+    /// All three schemes, in the paper's presentation order.
+    pub fn all() -> [Scheme; 3] {
+        [Scheme::RefCheck, Scheme::Ecc, Scheme::Informing]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::RefCheck => "ref-check",
+            Scheme::Ecc => "ecc",
+            Scheme::Informing => "informing",
+        }
+    }
+}
+
+/// Per-scheme cost constants (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SchemeCosts {
+    /// Reference checking: cycles per instrumented (shared) reference.
+    pub refcheck_lookup: u64,
+    /// Reference checking / informing: cycles to change local protection
+    /// state.
+    pub state_change: u64,
+    /// ECC: cycles for a read to an invalid block (the fault).
+    pub ecc_read_invalid: u64,
+    /// ECC: cycles for a write to a block on a page with any READONLY data.
+    pub ecc_write_readonly_page: u64,
+    /// Informing: cycles for the in-handler lookup (6-cycle pipeline delay +
+    /// 9 handler cycles to determine load vs store + table probe).
+    pub informing_lookup: u64,
+}
+
+impl SchemeCosts {
+    /// The Table 2 constants.
+    pub fn table2() -> SchemeCosts {
+        SchemeCosts {
+            refcheck_lookup: 18,
+            state_change: 25,
+            ecc_read_invalid: 250,
+            ecc_write_readonly_page: 230,
+            informing_lookup: 33,
+        }
+    }
+}
+
+/// Machine parameters (Table 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MachineParams {
+    /// Number of processors.
+    pub procs: usize,
+    /// Per-processor L1 capacity in bytes.
+    pub l1_bytes: u64,
+    /// Per-processor L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// Coherence unit / line size in bytes.
+    pub line_bytes: u64,
+    /// L1 miss penalty (cycles).
+    pub l1_miss_penalty: u64,
+    /// L2 miss penalty (cycles).
+    pub l2_miss_penalty: u64,
+    /// One-way network message latency (cycles).
+    pub msg_latency: u64,
+    /// Page size for the ECC scheme's page-grain write protection.
+    pub page_bytes: u64,
+    /// Scheme cost constants.
+    pub costs: SchemeCosts,
+}
+
+impl MachineParams {
+    /// The paper's Table 2 machine: 16 processors, 16 KB L1 (10-cycle miss
+    /// penalty), 128 KB L2 (25-cycle miss penalty), 32-byte coherence unit,
+    /// 900-cycle one-way messages.
+    pub fn table2() -> MachineParams {
+        MachineParams {
+            procs: 16,
+            l1_bytes: 16 * 1024,
+            l2_bytes: 128 * 1024,
+            line_bytes: 32,
+            l1_miss_penalty: 10,
+            l2_miss_penalty: 25,
+            msg_latency: 900,
+            page_bytes: 4096,
+            costs: SchemeCosts::table2(),
+        }
+    }
+
+    /// Line-aligned address.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// Page-aligned address.
+    pub fn page_of(&self, addr: u64) -> u64 {
+        addr & !(self.page_bytes - 1)
+    }
+
+    /// The home node of a line (address-interleaved).
+    pub fn home_of(&self, line: u64) -> usize {
+        ((line / self.line_bytes) % self.procs as u64) as usize
+    }
+}
+
+impl Default for MachineParams {
+    fn default() -> MachineParams {
+        MachineParams::table2()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_constants() {
+        let p = MachineParams::table2();
+        assert_eq!(p.procs, 16);
+        assert_eq!(p.l1_bytes, 16 * 1024);
+        assert_eq!(p.l2_bytes, 128 * 1024);
+        assert_eq!(p.msg_latency, 900);
+        assert_eq!(p.costs.refcheck_lookup, 18);
+        assert_eq!(p.costs.ecc_read_invalid, 250);
+        assert_eq!(p.costs.ecc_write_readonly_page, 230);
+        assert_eq!(p.costs.informing_lookup, 33);
+        assert_eq!(p.costs.state_change, 25);
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let p = MachineParams::table2();
+        assert_eq!(p.line_of(0x1234), 0x1220);
+        assert_eq!(p.page_of(0x1234), 0x1000);
+        assert_eq!(p.home_of(0), 0);
+        assert_eq!(p.home_of(32), 1);
+        assert_eq!(p.home_of(32 * 16), 0);
+    }
+
+    #[test]
+    fn scheme_names() {
+        assert_eq!(Scheme::all().len(), 3);
+        assert_eq!(Scheme::Informing.name(), "informing");
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests of the directory protocol: classic coherence
+//! invariants must hold after any access sequence.
+
+use proptest::prelude::*;
+
+use imo_coherence::{Directory, LineState, MachineParams};
+
+fn params(procs: usize) -> MachineParams {
+    let mut p = MachineParams::table2();
+    p.procs = procs;
+    p
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Op {
+    proc: usize,
+    line: u64,
+    is_write: bool,
+}
+
+fn ops(procs: usize) -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        (0..procs, 0u64..8, any::<bool>()).prop_map(move |(p, l, w)| Op {
+            proc: p,
+            line: 0x8000_0000 + l * 32,
+            is_write: w,
+        }),
+        1..300,
+    )
+}
+
+/// Applies an access the way the simulator does: act only when the current
+/// protection is insufficient.
+fn access(d: &mut Directory, procs: usize, op: Op) {
+    let prot = d.protection(op.proc, op.line);
+    let insufficient = if op.is_write {
+        prot != LineState::ReadWrite
+    } else {
+        prot == LineState::Invalid
+    };
+    if insufficient {
+        let _ = d.act(op.proc, op.line, op.is_write);
+    }
+    let _ = procs;
+}
+
+proptest! {
+    /// Single-writer: whenever some node holds READWRITE, no other node has
+    /// any access to the line.
+    #[test]
+    fn single_writer_invariant(seq in ops(6)) {
+        let procs = 6;
+        let mut d = Directory::new(params(procs));
+        let mut lines = std::collections::BTreeSet::new();
+        for op in seq {
+            lines.insert(op.line);
+            access(&mut d, procs, op);
+            for &line in &lines {
+                let writers: Vec<usize> = (0..procs)
+                    .filter(|&p| d.protection(p, line) == LineState::ReadWrite)
+                    .collect();
+                let readers: Vec<usize> = (0..procs)
+                    .filter(|&p| d.protection(p, line) == LineState::ReadOnly)
+                    .collect();
+                prop_assert!(writers.len() <= 1, "multiple writers of {line:#x}: {writers:?}");
+                if !writers.is_empty() {
+                    prop_assert!(
+                        readers.is_empty(),
+                        "writer {} coexists with readers {:?} on {line:#x}",
+                        writers[0],
+                        readers
+                    );
+                }
+            }
+        }
+    }
+
+    /// Liveness/correctness of the access path: after an access, the
+    /// requester always ends up with sufficient protection.
+    #[test]
+    fn requester_always_gains_access(seq in ops(5)) {
+        let procs = 5;
+        let mut d = Directory::new(params(procs));
+        for op in seq {
+            access(&mut d, procs, op);
+            let prot = d.protection(op.proc, op.line);
+            if op.is_write {
+                prop_assert_eq!(prot, LineState::ReadWrite);
+            } else {
+                prop_assert!(prot != LineState::Invalid);
+            }
+        }
+    }
+
+    /// The page-level READONLY tracking used by the ECC scheme is exactly
+    /// consistent with the per-line protections.
+    #[test]
+    fn page_readonly_tracking_is_consistent(seq in ops(4)) {
+        let procs = 4;
+        let p = params(procs);
+        let mut d = Directory::new(p);
+        let mut lines = std::collections::BTreeSet::new();
+        for op in seq {
+            lines.insert(op.line);
+            access(&mut d, procs, op);
+            for proc in 0..procs {
+                for &line in &lines {
+                    let derived = lines
+                        .iter()
+                        .filter(|&&l| p.page_of(l) == p.page_of(line))
+                        .any(|&l| d.protection(proc, l) == LineState::ReadOnly);
+                    prop_assert_eq!(
+                        d.page_has_readonly(proc, line),
+                        derived,
+                        "proc {} page of {:#x}",
+                        proc,
+                        line
+                    );
+                }
+            }
+        }
+    }
+
+    /// Action hop counts are bounded (request + reply + one third-party hop).
+    #[test]
+    fn action_hops_are_bounded(seq in ops(6)) {
+        let procs = 6;
+        let mut d = Directory::new(params(procs));
+        for op in seq {
+            let prot = d.protection(op.proc, op.line);
+            let insufficient = if op.is_write {
+                prot != LineState::ReadWrite
+            } else {
+                prot == LineState::Invalid
+            };
+            if insufficient {
+                let out = d.act(op.proc, op.line, op.is_write);
+                prop_assert!(out.hops <= 3, "hops {}", out.hops);
+            }
+        }
+    }
+}

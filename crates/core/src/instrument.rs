@@ -1,0 +1,813 @@
+//! Binary rewriting: turn a plain program into an informing one.
+//!
+//! The instrumenter works on assembled [`Program`]s, the way the paper
+//! envisions instrumenting executables ("programs must be compiled or
+//! instrumented", §2.3): it relocates the text, converts or annotates every
+//! data memory reference according to the chosen [`Scheme`], patches all
+//! static control-flow targets, and appends the miss handlers. Because
+//! `jal`/`jr` return addresses are produced at run time *by the rewritten
+//! program*, indirect returns need no fixups.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use imo_isa::program::TEXT_BASE;
+use imo_isa::reg::Reg;
+use imo_isa::{Instr, MemKind, Program};
+
+/// Registers reserved for handler code. Workload kernels must not use them
+/// (the kernels in `imo-workloads` respect this convention).
+pub const HANDLER_REGS: [u8; 4] = [24, 25, 26, 27];
+
+/// The register in which [`HandlerBody::CountInRegister`] accumulates.
+pub const COUNT_REG: Reg = Reg::int(27);
+
+/// Whether one handler is shared by all references or each static reference
+/// gets its own (the paper's "S" and "U" configurations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerKind {
+    /// One handler for every instrumented reference. Under the trap scheme
+    /// this has **zero overhead on cache hits**: the MHAR is loaded once at
+    /// program entry.
+    Single,
+    /// A distinct handler per static reference. Under the trap scheme this
+    /// costs one `setmhar` before every reference; under the condition-code
+    /// scheme the per-reference `bmiss` simply names a distinct target.
+    PerReference,
+}
+
+/// What the miss handler does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HandlerBody {
+    /// `len` mutually-dependent single-cycle instructions — the paper's
+    /// generic handler (§4.2: "we pessimistically assume that all
+    /// instructions within the handlers are data-dependent on each other").
+    /// Per-reference handlers draw their chain register from a rotating pool
+    /// so that *different* handlers are not cross-dependent (the §4.2.2
+    /// su2cor artifact where unique handlers can outrun a single one).
+    Generic {
+        /// Number of chained instructions (1, 10 and 100 in the paper).
+        len: u32,
+    },
+    /// One-instruction handler incrementing [`COUNT_REG`] — the paper's
+    /// "simply counting cache misses" tool.
+    CountInRegister,
+    /// Per-reference miss counters in memory: handler `i` increments the
+    /// 64-bit word at `table_base + 8 i`. Requires
+    /// [`HandlerKind::PerReference`]. This is the exact per-reference miss
+    /// profile of §4.1.1 without any hashing.
+    CountPerReference {
+        /// Base address of the counter table (must not collide with workload
+        /// data; by convention tables live at `0x7000_0000` and above).
+        table_base: u64,
+    },
+    /// The §4.1.1 hash-table profiler: a single ~10-instruction handler that
+    /// hashes the MHRR (branch-and-link return address) into a bucket and
+    /// increments it — per-reference information with **no hit overhead**.
+    PcHash {
+        /// Base address of the bucket table.
+        table_base: u64,
+        /// Number of 8-byte buckets; must be a power of two.
+        buckets: u64,
+    },
+    /// The §4.1.2 in-handler prefetcher: prefetch the next `lines` cache
+    /// lines after the missing address (read from the MAR), so prefetch
+    /// overhead is induced only when the program actually misses.
+    NextLinePrefetch {
+        /// How many subsequent 32-byte lines to prefetch.
+        lines: u32,
+    },
+    /// A sampled generic handler (§4.2.2: for expensive handlers,
+    /// "optimizations such as sampling could be used to reduce the
+    /// overhead"): the `len`-instruction chain runs on every `period`-th
+    /// miss; the other misses pay only a 3-instruction countdown.
+    SampledGeneric {
+        /// Chain length when the sample fires.
+        len: u32,
+        /// Sampling period (every `period`-th miss does the full work).
+        period: u32,
+    },
+}
+
+/// An instrumentation scheme: one of the paper's two mechanisms, or none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Leave the program untouched (the paper's "N" baseline).
+    None,
+    /// Low-overhead cache-miss traps (§2.2): references become informing
+    /// (`ld.inf`/`st.inf`); a miss transfers control to the MHAR.
+    Trap {
+        /// Handler sharing.
+        handlers: HandlerKind,
+        /// Handler body.
+        body: HandlerBody,
+    },
+    /// Cache-outcome condition code (§2.1): an explicit `bmiss` instruction
+    /// is inserted after every reference; references stay ordinary.
+    ConditionCode {
+        /// Handler sharing.
+        handlers: HandlerKind,
+        /// Handler body.
+        body: HandlerBody,
+    },
+}
+
+impl Scheme {
+    /// The handler body, if the scheme installs handlers.
+    pub fn body(&self) -> Option<HandlerBody> {
+        match *self {
+            Scheme::None => None,
+            Scheme::Trap { body, .. } | Scheme::ConditionCode { body, .. } => Some(body),
+        }
+    }
+
+    /// The handler sharing mode, if any.
+    pub fn handlers(&self) -> Option<HandlerKind> {
+        match *self {
+            Scheme::None => None,
+            Scheme::Trap { handlers, .. } | Scheme::ConditionCode { handlers, .. } => {
+                Some(handlers)
+            }
+        }
+    }
+}
+
+/// One instrumented static memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefSite {
+    /// Ordinal among instrumented references (program order of the text).
+    pub index: usize,
+    /// Address of the reference in the original program.
+    pub old_pc: u64,
+    /// Address of the (possibly converted) reference in the new program.
+    pub new_pc: u64,
+    /// The MHRR value a trap/dispatch from this reference produces.
+    pub return_pc: u64,
+    /// Address of this reference's handler (shared handler for
+    /// [`HandlerKind::Single`]).
+    pub handler_pc: u64,
+    /// For counting bodies: the memory word holding this reference's count.
+    pub counter_slot: Option<u64>,
+}
+
+/// The output of [`instrument`].
+#[derive(Debug, Clone)]
+pub struct Instrumented {
+    /// The rewritten program.
+    pub program: Program,
+    /// Every instrumented reference, in text order.
+    pub refs: Vec<RefSite>,
+    /// The scheme that was applied.
+    pub scheme: Scheme,
+    /// Static instructions added in the main text (prologue + per-reference
+    /// `setmhar`/`bmiss` instructions), excluding handler code.
+    pub inline_overhead: usize,
+    /// Static instructions of handler code appended.
+    pub handler_instructions: usize,
+}
+
+/// Errors from [`instrument`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InstrumentError {
+    /// The source already contains informing machinery (`setmhar`, `bmiss`,
+    /// `jmhrr`, informing references); instrumenting twice is almost
+    /// certainly a mistake.
+    AlreadyInstrumented {
+        /// Address of the offending instruction.
+        pc: u64,
+    },
+    /// The program's entry point is not the start of the text segment; the
+    /// rewriter needs to place the prologue at the entry.
+    EntryNotAtTextBase {
+        /// The actual entry address.
+        entry: u64,
+    },
+    /// A control-flow target does not name an instruction (corrupt program).
+    DanglingTarget {
+        /// The unresolvable target address.
+        target: u64,
+    },
+    /// The body/handler combination is invalid (e.g. per-reference counters
+    /// with a single shared handler).
+    InvalidCombination(&'static str),
+}
+
+impl fmt::Display for InstrumentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstrumentError::AlreadyInstrumented { pc } => {
+                write!(f, "informing machinery already present at {pc:#x}")
+            }
+            InstrumentError::EntryNotAtTextBase { entry } => {
+                write!(f, "entry point {entry:#x} is not the start of the text segment")
+            }
+            InstrumentError::DanglingTarget { target } => {
+                write!(f, "control-flow target {target:#x} names no instruction")
+            }
+            InstrumentError::InvalidCombination(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl Error for InstrumentError {}
+
+fn pool_reg(i: usize) -> Reg {
+    Reg::int(HANDLER_REGS[i % HANDLER_REGS.len()])
+}
+
+/// Emits one handler body (without the trailing `jmhrr`), returning the
+/// counter slot if the body counts into memory.
+fn emit_body(out: &mut Vec<Instr>, body: HandlerBody, handler_index: usize) -> Option<u64> {
+    match body {
+        HandlerBody::Generic { len } => {
+            let chain = pool_reg(handler_index);
+            for _ in 0..len {
+                out.push(Instr::Addi { rd: chain, rs: chain, imm: 1 });
+            }
+            None
+        }
+        HandlerBody::CountInRegister => {
+            out.push(Instr::Addi { rd: COUNT_REG, rs: COUNT_REG, imm: 1 });
+            None
+        }
+        HandlerBody::CountPerReference { table_base } => {
+            let slot = table_base + 8 * handler_index as u64;
+            let (a, v) = (Reg::int(24), Reg::int(25));
+            out.push(Instr::Li { rd: a, imm: slot as i64 });
+            out.push(Instr::Load { rd: v, base: a, offset: 0, kind: MemKind::Normal });
+            out.push(Instr::Addi { rd: v, rs: v, imm: 1 });
+            out.push(Instr::Store { rs: v, base: a, offset: 0, kind: MemKind::Normal });
+            Some(slot)
+        }
+        HandlerBody::PcHash { table_base, buckets } => {
+            // r24 = ((MHRR >> 2) & (buckets-1)) * 8 + table_base;
+            // (*r24)++          — the paper's ~10-instruction hash handler.
+            let (a, b, v) = (Reg::int(24), Reg::int(25), Reg::int(26));
+            out.push(Instr::ReadMhrr { rd: a });
+            out.push(Instr::Srl { rd: a, rs: a, sh: 2 });
+            out.push(Instr::Andi { rd: a, rs: a, imm: buckets - 1 });
+            out.push(Instr::Sll { rd: a, rs: a, sh: 3 });
+            out.push(Instr::Li { rd: b, imm: table_base as i64 });
+            out.push(Instr::Add { rd: a, rs: a, rt: b });
+            out.push(Instr::Load { rd: v, base: a, offset: 0, kind: MemKind::Normal });
+            out.push(Instr::Addi { rd: v, rs: v, imm: 1 });
+            out.push(Instr::Store { rs: v, base: a, offset: 0, kind: MemKind::Normal });
+            None
+        }
+        HandlerBody::NextLinePrefetch { lines } => {
+            let a = Reg::int(24);
+            out.push(Instr::ReadMar { rd: a });
+            for l in 1..=lines {
+                out.push(Instr::Prefetch { base: a, offset: (l as i64) * 32 });
+            }
+            None
+        }
+        HandlerBody::SampledGeneric { len, period } => {
+            // r26 counts down; when it hits zero the chain runs and the
+            // counter is reloaded. The `jmhrr` appended by the caller is the
+            // skip target.
+            let (ctr, chain) = (Reg::int(26), Reg::int(24));
+            // Instruction count: 2 (countdown+test) [+ 1 reload + len chain].
+            let body_start = Program::addr_of(out.len());
+            let skip_target = body_start + 4 * (3 + len as u64);
+            out.push(Instr::Addi { rd: ctr, rs: ctr, imm: -1 });
+            out.push(Instr::Branch {
+                cond: crate::instrument::branch_gt(),
+                rs: ctr,
+                rt: Reg::ZERO,
+                target: skip_target,
+            });
+            out.push(Instr::Li { rd: ctr, imm: period as i64 });
+            for _ in 0..len {
+                out.push(Instr::Addi { rd: chain, rs: chain, imm: 1 });
+            }
+            debug_assert_eq!(Program::addr_of(out.len()), skip_target);
+            None
+        }
+    }
+}
+
+/// `Cond::Gt` spelled as a function to keep the emission table tidy.
+fn branch_gt() -> imo_isa::Cond {
+    imo_isa::Cond::Gt
+}
+
+/// Rewrites `src` under `scheme`.
+///
+/// Every load and store in `src` is instrumented. The rewritten program has
+/// handlers appended after the original text and all static branch/jump
+/// targets relocated.
+///
+/// # Errors
+///
+/// See [`InstrumentError`]. In particular the source program must be "plain":
+/// no informing machinery, entry at the start of the text segment.
+pub fn instrument(src: &Program, scheme: &Scheme) -> Result<Instrumented, InstrumentError> {
+    // Validate.
+    if src.entry() != TEXT_BASE {
+        return Err(InstrumentError::EntryNotAtTextBase { entry: src.entry() });
+    }
+    for (pc, ins) in src.iter() {
+        let informing_machinery = matches!(
+            ins,
+            Instr::SetMhar { .. }
+                | Instr::SetMharReg { .. }
+                | Instr::SetMhrrReg { .. }
+                | Instr::BranchOnMiss { .. }
+                | Instr::BranchOnMemMiss { .. }
+                | Instr::JumpMhrr
+                | Instr::ReadMhrr { .. }
+                | Instr::ReadMar { .. }
+        ) || ins.is_informing();
+        if informing_machinery {
+            return Err(InstrumentError::AlreadyInstrumented { pc });
+        }
+    }
+    if let (Some(HandlerBody::CountPerReference { .. }), Some(HandlerKind::Single)) =
+        (scheme.body(), scheme.handlers())
+    {
+        return Err(InstrumentError::InvalidCombination(
+            "per-reference counters require per-reference handlers",
+        ));
+    }
+    if let Some(HandlerBody::PcHash { buckets, .. }) = scheme.body() {
+        if !buckets.is_power_of_two() {
+            return Err(InstrumentError::InvalidCombination(
+                "hash bucket count must be a power of two",
+            ));
+        }
+    }
+
+    if matches!(scheme, Scheme::None) {
+        return Ok(Instrumented {
+            program: src.clone(),
+            refs: Vec::new(),
+            scheme: *scheme,
+            inline_overhead: 0,
+            handler_instructions: 0,
+        });
+    }
+
+    let n_refs = src.instrs().iter().filter(|i| i.is_data_ref()).count();
+    let kind = scheme.handlers().expect("non-None scheme has handlers");
+    let body = scheme.body().expect("non-None scheme has a body");
+    let n_handlers = match kind {
+        HandlerKind::Single => 1,
+        HandlerKind::PerReference => n_refs.max(1),
+    };
+
+    // ---- Pass 1: lay out the new text, recording old->new address map ----
+    let is_trap = matches!(scheme, Scheme::Trap { .. });
+    let prologue = if is_trap && kind == HandlerKind::Single { 1 } else { 0 };
+
+    let mut new_instrs: Vec<Instr> = Vec::with_capacity(src.len() + 2 * n_refs + prologue);
+    let mut map: HashMap<u64, u64> = HashMap::with_capacity(src.len());
+    // Placeholder prologue (patched once handler addresses are known).
+    for _ in 0..prologue {
+        new_instrs.push(Instr::Nop);
+    }
+
+    // Per-instruction rewrite. Handler targets are not yet known, so we
+    // record patch points.
+    struct RefPatch {
+        ref_index: usize,
+        /// Index in `new_instrs` of the setmhar/bmiss needing a handler addr.
+        patch_at: Option<usize>,
+        old_pc: u64,
+        new_ref_index_in_text: usize,
+    }
+    let mut patches: Vec<RefPatch> = Vec::new();
+    let mut ref_index = 0usize;
+
+    for (old_pc, ins) in src.iter() {
+        let group_start = Program::addr_of(new_instrs.len());
+        map.insert(old_pc, group_start);
+        if ins.is_data_ref() {
+            match scheme {
+                Scheme::Trap { .. } => {
+                    let patch_at = if kind == HandlerKind::PerReference {
+                        new_instrs.push(Instr::SetMhar { target: 0 });
+                        Some(new_instrs.len() - 1)
+                    } else {
+                        None
+                    };
+                    let new_ref_at = new_instrs.len();
+                    new_instrs.push(to_informing(ins));
+                    patches.push(RefPatch {
+                        ref_index,
+                        patch_at,
+                        old_pc,
+                        new_ref_index_in_text: new_ref_at,
+                    });
+                }
+                Scheme::ConditionCode { .. } => {
+                    let new_ref_at = new_instrs.len();
+                    new_instrs.push(ins);
+                    new_instrs.push(Instr::BranchOnMiss { target: 0 });
+                    patches.push(RefPatch {
+                        ref_index,
+                        patch_at: Some(new_instrs.len() - 1),
+                        old_pc,
+                        new_ref_index_in_text: new_ref_at,
+                    });
+                }
+                Scheme::None => unreachable!(),
+            }
+            ref_index += 1;
+        } else {
+            new_instrs.push(ins);
+        }
+    }
+    let inline_overhead = new_instrs.len() - src.len();
+
+    // ---- Pass 2: append handlers ----
+    let mut handler_addrs: Vec<u64> = Vec::with_capacity(n_handlers);
+    let mut counter_slots: Vec<Option<u64>> = Vec::with_capacity(n_handlers);
+    let handlers_start = new_instrs.len();
+    for h in 0..n_handlers {
+        handler_addrs.push(Program::addr_of(new_instrs.len()));
+        counter_slots.push(emit_body(&mut new_instrs, body, h));
+        new_instrs.push(Instr::JumpMhrr);
+    }
+    let handler_instructions = new_instrs.len() - handlers_start;
+
+    // ---- Pass 3: patch targets ----
+    // Prologue: load the shared handler's address into the MHAR.
+    if prologue == 1 {
+        new_instrs[0] = Instr::SetMhar { target: handler_addrs[0] };
+    }
+    // Original control flow: relocate through the map. Handler code and the
+    // inserted instructions are patched separately below, so only rewrite
+    // instructions that came from the source (identified by their target
+    // being an old-text address... all source targets are, by construction).
+    let handler_region = Program::addr_of(handlers_start);
+    for (i, ins) in new_instrs.iter_mut().enumerate() {
+        let addr = Program::addr_of(i);
+        if addr >= handler_region {
+            break;
+        }
+        match ins {
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jal { target } => {
+                let t = *target;
+                *target = *map.get(&t).ok_or(InstrumentError::DanglingTarget { target: t })?;
+            }
+            _ => {}
+        }
+    }
+    // Inserted setmhar/bmiss instructions get their handler addresses.
+    let mut refs = Vec::with_capacity(patches.len());
+    for p in &patches {
+        let h = match kind {
+            HandlerKind::Single => 0,
+            HandlerKind::PerReference => p.ref_index,
+        };
+        if let Some(at) = p.patch_at {
+            match &mut new_instrs[at] {
+                Instr::SetMhar { target } | Instr::BranchOnMiss { target } => {
+                    *target = handler_addrs[h];
+                }
+                other => unreachable!("patch point holds {other:?}"),
+            }
+        }
+        let new_pc = Program::addr_of(p.new_ref_index_in_text);
+        let return_pc = match scheme {
+            // Trap: MHRR = address after the memory op.
+            Scheme::Trap { .. } => new_pc + 4,
+            // Condition code: MHRR = address after the bmiss.
+            Scheme::ConditionCode { .. } => new_pc + 8,
+            Scheme::None => unreachable!(),
+        };
+        refs.push(RefSite {
+            index: p.ref_index,
+            old_pc: p.old_pc,
+            new_pc,
+            return_pc,
+            handler_pc: handler_addrs[h],
+            counter_slot: counter_slots[h],
+        });
+    }
+
+    // ---- Assemble the result through the public builder ----
+    let mut asm = imo_isa::Asm::new();
+    for ins in &new_instrs {
+        asm.emit(*ins);
+    }
+    for &(addr, value) in src.data() {
+        asm.word(addr, value);
+    }
+    let program = asm.assemble().expect("non-empty rewritten text");
+
+    Ok(Instrumented {
+        program,
+        refs,
+        scheme: *scheme,
+        inline_overhead,
+        handler_instructions,
+    })
+}
+
+fn to_informing(ins: Instr) -> Instr {
+    match ins {
+        Instr::Load { rd, base, offset, .. } => {
+            Instr::Load { rd, base, offset, kind: MemKind::Informing }
+        }
+        Instr::Store { rs, base, offset, .. } => {
+            Instr::Store { rs, base, offset, kind: MemKind::Informing }
+        }
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::exec::{AlwaysMiss, Executor, NeverMiss};
+    use imo_isa::{Asm, Cond};
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    /// A loop with a forward and a backward branch spanning two loads.
+    fn looped_kernel() -> Program {
+        let mut a = Asm::new();
+        let (i, n, base, v) = (r(1), r(2), r(3), r(4));
+        a.li(i, 0);
+        a.li(n, 16);
+        a.li(base, 0x10_0000);
+        let top = a.here("top");
+        let skip = a.label("skip");
+        a.load(v, base, 0);
+        a.branch(Cond::Eq, v, Reg::ZERO, skip);
+        a.store(v, base, 8);
+        a.bind(skip).unwrap();
+        a.addi(base, base, 64);
+        a.addi(i, i, 1);
+        a.branch(Cond::Lt, i, n, top);
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn none_scheme_is_identity() {
+        let p = looped_kernel();
+        let inst = instrument(&p, &Scheme::None).unwrap();
+        assert_eq!(inst.program.instrs(), p.instrs());
+        assert_eq!(inst.inline_overhead, 0);
+        assert!(inst.refs.is_empty());
+    }
+
+    #[test]
+    fn trap_single_adds_only_prologue_inline() {
+        let p = looped_kernel();
+        let scheme =
+            Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::Generic { len: 10 } };
+        let inst = instrument(&p, &scheme).unwrap();
+        assert_eq!(inst.inline_overhead, 1, "one setmhar prologue; hits cost nothing");
+        assert_eq!(inst.handler_instructions, 11, "10 chained + jmhrr");
+        assert_eq!(inst.refs.len(), 2);
+        // All refs share the single handler.
+        assert_eq!(inst.refs[0].handler_pc, inst.refs[1].handler_pc);
+        // The converted refs are informing.
+        for site in &inst.refs {
+            let ins = inst.program.fetch(site.new_pc).unwrap();
+            assert!(ins.is_informing(), "{ins}");
+        }
+    }
+
+    #[test]
+    fn trap_unique_adds_one_setmhar_per_ref() {
+        let p = looped_kernel();
+        let scheme = Scheme::Trap {
+            handlers: HandlerKind::PerReference,
+            body: HandlerBody::Generic { len: 1 },
+        };
+        let inst = instrument(&p, &scheme).unwrap();
+        assert_eq!(inst.inline_overhead, 2, "one setmhar per static reference");
+        assert_eq!(inst.handler_instructions, 2 * 2, "per-ref handlers: 1 + jmhrr each");
+        assert_ne!(inst.refs[0].handler_pc, inst.refs[1].handler_pc);
+        // Each ref is preceded by its setmhar.
+        for site in &inst.refs {
+            let prev = inst.program.fetch(site.new_pc - 4).unwrap();
+            assert_eq!(prev, Instr::SetMhar { target: site.handler_pc });
+        }
+    }
+
+    #[test]
+    fn condition_code_adds_bmiss_after_each_ref() {
+        let p = looped_kernel();
+        let scheme = Scheme::ConditionCode {
+            handlers: HandlerKind::Single,
+            body: HandlerBody::Generic { len: 1 },
+        };
+        let inst = instrument(&p, &scheme).unwrap();
+        assert_eq!(inst.inline_overhead, 2);
+        for site in &inst.refs {
+            let ins = inst.program.fetch(site.new_pc).unwrap();
+            assert!(!ins.is_informing(), "cc scheme keeps refs ordinary");
+            let next = inst.program.fetch(site.new_pc + 4).unwrap();
+            assert_eq!(next, Instr::BranchOnMiss { target: site.handler_pc });
+        }
+    }
+
+    #[test]
+    fn rewritten_program_computes_the_same_result() {
+        // Functional equivalence: the instrumented program, on a never-miss
+        // oracle, produces exactly the plain program's architectural effects.
+        let p = looped_kernel();
+        let mut plain = Executor::new(&p);
+        plain.run(&mut NeverMiss, 100_000).unwrap();
+
+        for scheme in [
+            Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::Generic { len: 10 } },
+            Scheme::Trap {
+                handlers: HandlerKind::PerReference,
+                body: HandlerBody::Generic { len: 1 },
+            },
+            Scheme::ConditionCode {
+                handlers: HandlerKind::Single,
+                body: HandlerBody::Generic { len: 10 },
+            },
+        ] {
+            let inst = instrument(&p, &scheme).unwrap();
+            let mut e = Executor::new(&inst.program);
+            e.run(&mut NeverMiss, 100_000).unwrap();
+            for reg in 1..8 {
+                assert_eq!(
+                    e.state().int(r(reg)),
+                    plain.state().int(r(reg)),
+                    "r{reg} differs under {scheme:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn handlers_run_on_every_miss_under_always_miss() {
+        let p = looped_kernel();
+        let scheme =
+            Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::CountInRegister };
+        let inst = instrument(&p, &scheme).unwrap();
+        let mut e = Executor::new(&inst.program);
+        e.run(&mut AlwaysMiss, 100_000).unwrap();
+        // 16 iterations x (1 load + 1 store when v != 0). Loads read zeroed
+        // memory -> v == 0 -> stores skipped: 16 misses.
+        assert_eq!(e.state().int(COUNT_REG), 16);
+    }
+
+    #[test]
+    fn per_reference_counters_distinguish_refs() {
+        let p = looped_kernel();
+        let table = 0x7000_0000;
+        let scheme = Scheme::Trap {
+            handlers: HandlerKind::PerReference,
+            body: HandlerBody::CountPerReference { table_base: table },
+        };
+        let inst = instrument(&p, &scheme).unwrap();
+        assert_eq!(inst.refs[0].counter_slot, Some(table));
+        assert_eq!(inst.refs[1].counter_slot, Some(table + 8));
+        let mut e = Executor::new(&inst.program);
+        e.run(&mut AlwaysMiss, 100_000).unwrap();
+        assert_eq!(e.state().memory().read(table), 16, "load site missed 16x");
+        assert_eq!(e.state().memory().read(table + 8), 0, "store site never ran");
+    }
+
+    #[test]
+    fn pc_hash_profiler_counts_by_return_address() {
+        let p = looped_kernel();
+        let table = 0x7000_0000;
+        let scheme = Scheme::Trap {
+            handlers: HandlerKind::Single,
+            body: HandlerBody::PcHash { table_base: table, buckets: 1024 },
+        };
+        let inst = instrument(&p, &scheme).unwrap();
+        let mut e = Executor::new(&inst.program);
+        e.run(&mut AlwaysMiss, 100_000).unwrap();
+        let site = &inst.refs[0];
+        let bucket = ((site.return_pc >> 2) & 1023) * 8 + table;
+        assert_eq!(e.state().memory().read(bucket), 16);
+    }
+
+    #[test]
+    fn rejects_double_instrumentation() {
+        let p = looped_kernel();
+        let scheme =
+            Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::Generic { len: 1 } };
+        let once = instrument(&p, &scheme).unwrap();
+        let again = instrument(&once.program, &scheme);
+        assert!(matches!(again, Err(InstrumentError::AlreadyInstrumented { .. })));
+    }
+
+    #[test]
+    fn rejects_invalid_combination() {
+        let p = looped_kernel();
+        let scheme = Scheme::Trap {
+            handlers: HandlerKind::Single,
+            body: HandlerBody::CountPerReference { table_base: 0x7000_0000 },
+        };
+        assert!(matches!(
+            instrument(&p, &scheme),
+            Err(InstrumentError::InvalidCombination(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_buckets() {
+        let p = looped_kernel();
+        let scheme = Scheme::Trap {
+            handlers: HandlerKind::Single,
+            body: HandlerBody::PcHash { table_base: 0x7000_0000, buckets: 1000 },
+        };
+        assert!(matches!(
+            instrument(&p, &scheme),
+            Err(InstrumentError::InvalidCombination(_))
+        ));
+    }
+
+    #[test]
+    fn call_return_survives_relocation() {
+        // jal/jr return addresses are produced at run time, so relocation
+        // must not break them even though every address moved.
+        let mut a = Asm::new();
+        let f = a.label("f");
+        a.li(r(1), 0x10_0000);
+        a.load(r(2), r(1), 0);
+        a.jal(f);
+        a.jal(f);
+        a.halt();
+        a.bind(f).unwrap();
+        a.load(r(3), r(1), 8);
+        a.addi(r(5), r(5), 1);
+        a.jr(Reg::LINK);
+        let p = a.assemble().unwrap();
+
+        let scheme = Scheme::Trap {
+            handlers: HandlerKind::PerReference,
+            body: HandlerBody::Generic { len: 3 },
+        };
+        let inst = instrument(&p, &scheme).unwrap();
+        let mut e = Executor::new(&inst.program);
+        e.run(&mut AlwaysMiss, 10_000).unwrap();
+        assert_eq!(e.state().int(r(5)), 2, "function called twice and returned");
+        assert!(e.state().halted());
+    }
+
+    #[test]
+    fn prefetch_handler_emits_prefetches() {
+        let p = looped_kernel();
+        let scheme = Scheme::Trap {
+            handlers: HandlerKind::Single,
+            body: HandlerBody::NextLinePrefetch { lines: 2 },
+        };
+        let inst = instrument(&p, &scheme).unwrap();
+        let h = inst.refs[0].handler_pc;
+        assert_eq!(inst.program.fetch(h).unwrap(), Instr::ReadMar { rd: r(24) });
+        assert!(matches!(inst.program.fetch(h + 4).unwrap(), Instr::Prefetch { offset: 32, .. }));
+        assert!(matches!(inst.program.fetch(h + 8).unwrap(), Instr::Prefetch { offset: 64, .. }));
+        assert_eq!(inst.program.fetch(h + 12).unwrap(), Instr::JumpMhrr);
+    }
+
+    #[test]
+    fn sampled_handler_runs_the_chain_every_period() {
+        // Walk 32 distinct lines (32 misses under AlwaysMiss); with period 4
+        // the 5-instruction chain must run exactly 8 times.
+        let mut a = Asm::new();
+        let (p, e, v) = (r(1), r(2), r(3));
+        a.li(p, 0x10_0000);
+        a.li(e, 0x10_0000 + 32 * 32);
+        let top = a.here("top");
+        a.load(v, p, 0);
+        a.addi(p, p, 32);
+        a.branch(Cond::Lt, p, e, top);
+        a.halt();
+        let prog = a.assemble().unwrap();
+        let scheme = Scheme::Trap {
+            handlers: HandlerKind::Single,
+            body: HandlerBody::SampledGeneric { len: 5, period: 4 },
+        };
+        let inst = instrument(&prog, &scheme).unwrap();
+        let mut e = Executor::new(&inst.program);
+        // Preload the countdown register so the first sample fires after 4.
+        e.state_mut().set_int(Reg::int(26), 4);
+        e.run(&mut AlwaysMiss, 100_000).unwrap();
+        // The chain increments r24 by 5 per sample: 8 samples.
+        assert_eq!(e.state().int(Reg::int(24)), 8 * 5);
+    }
+
+    #[test]
+    fn data_image_is_preserved() {
+        let mut a = Asm::new();
+        a.word(0x9000, 77);
+        a.li(r(1), 0x9000);
+        a.load(r(2), r(1), 0);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let scheme =
+            Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::Generic { len: 1 } };
+        let inst = instrument(&p, &scheme).unwrap();
+        let mut e = Executor::new(&inst.program);
+        e.run(&mut NeverMiss, 1000).unwrap();
+        assert_eq!(e.state().int(r(2)), 77);
+    }
+}

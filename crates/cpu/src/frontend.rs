@@ -1,0 +1,547 @@
+//! Shared instruction-fetch front end.
+//!
+//! Both processor models fetch along the **architecturally correct path**:
+//! instructions are executed functionally (through [`imo_isa::exec`]) in
+//! program order at fetch time, with the timing model's cache hierarchy
+//! acting as the [`MissOracle`]. Control-flow surprises — mispredicted
+//! branches, taken `bmiss` instructions, and informing traps — do not fetch
+//! wrong-path instructions; instead fetch *blocks* until the surprising
+//! instruction resolves in the timing model, which reproduces the
+//! misprediction/trap penalty. This "correct-path-with-bubbles" discipline is
+//! what keeps informing-memory outcomes (which are architecturally visible)
+//! deterministic.
+
+use imo_isa::exec::{ControlFlow, ExecError, Executor, MissDepth, MissOracle};
+use imo_isa::{Instr, Program};
+use imo_mem::{HitLevel, MemoryHierarchy, ProbeResult};
+
+use crate::config::TrapModel;
+use crate::predictor::TwoBitPredictor;
+
+/// What (if anything) the front end is waiting on for this instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Resolve {
+    /// Fetch continued past this instruction.
+    #[default]
+    None,
+    /// Fetch blocks until this instruction's outcome is known at execute
+    /// (mispredicted branch; taken `bmiss`; informing load trap under
+    /// [`TrapModel::Branch`]).
+    AtExecute,
+    /// Fetch blocks until this instruction graduates (informing trap under
+    /// [`TrapModel::Exception`]; informing store traps, which probe at
+    /// commit).
+    AtGraduate,
+}
+
+/// A fetched, functionally-executed instruction handed to a timing engine.
+#[derive(Debug, Clone, Copy)]
+pub struct Fetched {
+    /// Dynamic sequence number (program order).
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u64,
+    /// The instruction.
+    pub instr: Instr,
+    /// Cycle the instruction was fetched.
+    pub fetch_cycle: u64,
+    /// Data-cache probe outcome for loads/stores/prefetches.
+    pub probe: Option<ProbeResult>,
+    /// This informing operation missed and trapped to its handler.
+    pub informing_trap: bool,
+    /// What the front end is blocked on.
+    pub resolve: Resolve,
+    /// Sequence number of the most recent earlier data reference — the
+    /// producer of the cache-outcome condition code (set for `bmiss`).
+    pub cc_dep: Option<u64>,
+    /// Whether this is a conditional branch that consumed a predictor slot.
+    pub is_cond_branch: bool,
+}
+
+/// Adapter presenting the timing hierarchy as the executor's miss oracle.
+struct HierOracle<'a> {
+    hier: &'a mut MemoryHierarchy,
+    last: Option<ProbeResult>,
+}
+
+impl MissOracle for HierOracle<'_> {
+    fn probe(&mut self, addr: u64, is_store: bool) -> MissDepth {
+        let r = self.hier.probe_data(addr, is_store);
+        self.last = Some(r);
+        match r.level {
+            HitLevel::L1 => MissDepth::Hit,
+            HitLevel::L2 => MissDepth::L1Miss,
+            HitLevel::Memory => MissDepth::MemMiss,
+        }
+    }
+
+    fn prefetch(&mut self, addr: u64) {
+        let r = self.hier.probe_prefetch(addr);
+        self.last = Some(r);
+    }
+}
+
+/// The shared fetch engine.
+#[derive(Debug)]
+pub struct FrontEnd<'p> {
+    exec: Executor<'p>,
+    pred: TwoBitPredictor,
+    trap_model: TrapModel,
+    /// Earliest cycle fetch may proceed (taken-branch redirects, I-misses).
+    resume_at: u64,
+    /// Sequence number whose resolution fetch is blocked on.
+    blocked_on: Option<u64>,
+    halted: bool,
+    next_seq: u64,
+    /// Line currently in the fetch buffer (avoids re-probing the I-cache).
+    cur_line: Option<u64>,
+    last_mem_seq: Option<u64>,
+    mispredictions: u64,
+    informing_traps: u64,
+    line_bytes: u64,
+}
+
+impl<'p> FrontEnd<'p> {
+    /// Creates a front end positioned at the program's entry.
+    pub fn new(
+        program: &'p Program,
+        predictor_entries: usize,
+        trap_model: TrapModel,
+        line_bytes: u64,
+    ) -> FrontEnd<'p> {
+        FrontEnd {
+            exec: Executor::new(program),
+            pred: TwoBitPredictor::new(predictor_entries),
+            trap_model,
+            resume_at: 0,
+            blocked_on: None,
+            halted: false,
+            next_seq: 0,
+            cur_line: None,
+            last_mem_seq: None,
+            mispredictions: 0,
+            informing_traps: 0,
+            line_bytes,
+        }
+    }
+
+    /// Whether `halt` has been fetched (the pipeline may still be draining).
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Consumes the front end, yielding the final architectural state
+    /// (registers and data memory after the run).
+    pub fn into_state(self) -> imo_isa::exec::ArchState {
+        self.exec.into_state()
+    }
+
+    /// Mispredicted conditional branches so far.
+    pub fn mispredictions(&self) -> u64 {
+        self.mispredictions
+    }
+
+    /// Informing traps (including taken `bmiss`) so far.
+    pub fn informing_traps(&self) -> u64 {
+        self.informing_traps
+    }
+
+    /// Conditional-branch prediction accuracy so far.
+    pub fn branch_accuracy(&self) -> f64 {
+        self.pred.accuracy()
+    }
+
+    /// The sequence number fetch is currently blocked on, if any.
+    pub fn blocked_on(&self) -> Option<u64> {
+        self.blocked_on
+    }
+
+    /// Earliest cycle at which fetch can proceed (meaningful when not
+    /// blocked on a sequence number).
+    pub fn resume_at(&self) -> u64 {
+        self.resume_at
+    }
+
+    /// Unblocks fetch: the instruction `seq` resolved at `cycle`. Fetch
+    /// restarts `1 + redirect_penalty` cycles later.
+    pub fn resolve(&mut self, seq: u64, cycle: u64, redirect_penalty: u64) {
+        if self.blocked_on == Some(seq) {
+            self.blocked_on = None;
+            self.resume_at = self.resume_at.max(cycle + 1 + redirect_penalty);
+        }
+    }
+
+    /// Fetches up to `width` instructions at `cycle`, appending to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] if the architectural path leaves the text
+    /// segment (a malformed program).
+    pub fn fetch(
+        &mut self,
+        cycle: u64,
+        width: u32,
+        hier: &mut MemoryHierarchy,
+        out: &mut Vec<Fetched>,
+    ) -> Result<(), ExecError> {
+        if self.halted || self.blocked_on.is_some() || cycle < self.resume_at {
+            return Ok(());
+        }
+        self.resume_at = cycle; // any older redirect target is now stale
+        for _ in 0..width {
+            let pc = self.exec.state().pc();
+
+            // Instruction-cache line crossing (with next-line stream
+            // prefetch, so straight-line code misses once per redirect, not
+            // once per line).
+            let line = pc & !(self.line_bytes - 1);
+            if self.cur_line != Some(line) {
+                let lvl = hier.probe_inst(pc);
+                hier.prefetch_inst(line + self.line_bytes);
+                self.cur_line = Some(line);
+                if lvl != HitLevel::L1 {
+                    let ready = hier.schedule_inst(lvl, cycle);
+                    if ready > cycle {
+                        self.resume_at = ready;
+                        break;
+                    }
+                }
+            }
+
+            let mut oracle = HierOracle { hier, last: None };
+            let info = self.exec.step(&mut oracle)?;
+            let probe = oracle.last;
+
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut f = Fetched {
+                seq,
+                pc,
+                instr: info.instr,
+                fetch_cycle: cycle,
+                probe,
+                informing_trap: false,
+                resolve: Resolve::None,
+                cc_dep: None,
+                is_cond_branch: matches!(info.instr, Instr::Branch { .. }),
+            };
+            if matches!(info.instr, Instr::BranchOnMiss { .. } | Instr::BranchOnMemMiss { .. }) {
+                f.cc_dep = self.last_mem_seq;
+            }
+            if info.instr.is_data_ref() {
+                self.last_mem_seq = Some(seq);
+            }
+
+            match info.control {
+                ControlFlow::Halt => {
+                    self.halted = true;
+                    out.push(f);
+                    break;
+                }
+                ControlFlow::Sequential => {
+                    out.push(f);
+                }
+                ControlFlow::NotTaken => {
+                    if f.is_cond_branch {
+                        let predicted = self.pred.predict_and_update(pc, false);
+                        if predicted {
+                            // Predicted taken, actually fell through.
+                            self.mispredictions += 1;
+                            f.resolve = Resolve::AtExecute;
+                            self.blocked_on = Some(seq);
+                            out.push(f);
+                            break;
+                        }
+                        out.push(f);
+                    } else {
+                        // bmiss on a hit: statically predicted not-taken, correct.
+                        out.push(f);
+                    }
+                }
+                ControlFlow::Taken(_) => match info.instr {
+                    Instr::Branch { .. } => {
+                        let predicted = self.pred.predict_and_update(pc, true);
+                        if predicted {
+                            // Correctly-predicted taken branch: redirect costs
+                            // the rest of this fetch cycle only (BTB assumed).
+                            out.push(f);
+                            self.resume_at = cycle + 1;
+                            break;
+                        }
+                        self.mispredictions += 1;
+                        f.resolve = Resolve::AtExecute;
+                        self.blocked_on = Some(seq);
+                        out.push(f);
+                        break;
+                    }
+                    Instr::BranchOnMiss { .. } | Instr::BranchOnMemMiss { .. } => {
+                        // Taken bmiss: statically predicted not-taken, so this
+                        // is always a mispredict-style redirect (the paper's
+                        // "normal branch mispredict penalty only applies to
+                        // the cache miss case").
+                        self.informing_traps += 1;
+                        f.resolve = Resolve::AtExecute;
+                        self.blocked_on = Some(seq);
+                        out.push(f);
+                        break;
+                    }
+                    // Direct jumps, returns and handler returns are predicted
+                    // (BTB / return-address stack): one-cycle fetch redirect.
+                    _ => {
+                        out.push(f);
+                        self.resume_at = cycle + 1;
+                        break;
+                    }
+                },
+                ControlFlow::InformingTrap { .. } => {
+                    self.informing_traps += 1;
+                    f.informing_trap = true;
+                    let is_store = matches!(info.instr, Instr::Store { .. });
+                    f.resolve = if self.trap_model == TrapModel::Branch && !is_store {
+                        Resolve::AtExecute
+                    } else {
+                        Resolve::AtGraduate
+                    };
+                    self.blocked_on = Some(seq);
+                    out.push(f);
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::{Asm, Cond, Reg};
+    use imo_mem::HierarchyConfig;
+
+    fn hier() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::out_of_order())
+    }
+
+    fn fe(p: &Program) -> FrontEnd<'_> {
+        FrontEnd::new(p, 256, TrapModel::Branch, 32)
+    }
+
+    fn straight_line() -> Program {
+        let mut a = Asm::new();
+        for _ in 0..6 {
+            a.nop();
+        }
+        a.halt();
+        a.assemble().unwrap()
+    }
+
+    #[test]
+    fn fetches_up_to_width() {
+        let p = straight_line();
+        let mut f = fe(&p);
+        let mut h = hier();
+        let mut out = Vec::new();
+        // Cycle 0: the first line misses in the I-cache -> nothing fetched.
+        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        assert!(out.is_empty(), "cold I-miss blocks fetch");
+        let resume = f.resume_at();
+        assert!(resume > 0);
+        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        assert_eq!(out.len(), 4, "full width once the line arrives");
+        out.clear();
+        f.fetch(resume + 1, 4, &mut h, &mut out).unwrap();
+        assert_eq!(out.len(), 3, "remaining nops + halt");
+        assert!(f.halted());
+    }
+
+    #[test]
+    fn straight_line_code_pays_one_i_miss_not_one_per_line() {
+        // The next-line stream prefetcher must keep sequential fetch from
+        // stalling a full memory latency on every 32-byte line.
+        let mut a = Asm::new();
+        for _ in 0..64 {
+            a.nop(); // 8 lines of text
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut f = fe(&p);
+        let mut h = hier();
+        let mut out = Vec::new();
+        let mut cycle = 0;
+        let mut stall_events = 0;
+        while !f.halted() && cycle < 10_000 {
+            let before = out.len();
+            f.fetch(cycle, 4, &mut h, &mut out).unwrap();
+            if out.len() == before && f.blocked_on().is_none() {
+                stall_events += 1;
+                cycle = f.resume_at().max(cycle + 1);
+            } else {
+                cycle += 1;
+            }
+        }
+        assert!(f.halted());
+        assert_eq!(out.len(), 65);
+        assert!(stall_events <= 2, "only the initial I-miss stalls: {stall_events}");
+    }
+
+    #[test]
+    fn taken_branch_splits_fetch_groups() {
+        let mut a = Asm::new();
+        let t = a.label("t");
+        a.jump(t);
+        a.nop(); // skipped
+        a.bind(t).unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut f = fe(&p);
+        let mut h = hier();
+        let mut out = Vec::new();
+        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        let resume = f.resume_at();
+        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        assert_eq!(out.len(), 1, "jump ends its fetch group");
+        out.clear();
+        f.fetch(resume + 1, 4, &mut h, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].instr, Instr::Halt);
+    }
+
+    #[test]
+    fn mispredicted_branch_blocks_until_resolved() {
+        // A branch that is taken on first encounter (cold predictor says
+        // not-taken) -> mispredict.
+        let mut a = Asm::new();
+        let t = a.label("t");
+        a.li(Reg::int(1), 1);
+        a.branch(Cond::Eq, Reg::int(1), Reg::int(1), t);
+        a.nop();
+        a.bind(t).unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut f = fe(&p);
+        let mut h = hier();
+        let mut out = Vec::new();
+        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        let resume = f.resume_at();
+        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        assert_eq!(out.len(), 2, "li + branch; blocked after mispredict");
+        let bseq = out[1].seq;
+        assert_eq!(out[1].resolve, Resolve::AtExecute);
+        assert_eq!(f.blocked_on(), Some(bseq));
+        assert_eq!(f.mispredictions(), 1);
+
+        // Nothing fetched while blocked.
+        out.clear();
+        f.fetch(resume + 5, 4, &mut h, &mut out).unwrap();
+        assert!(out.is_empty());
+
+        // Resolve at resume+20 with 1-cycle redirect: fetch resumes 2 later.
+        f.resolve(bseq, resume + 20, 1);
+        f.fetch(resume + 21, 4, &mut h, &mut out).unwrap();
+        assert!(out.is_empty());
+        f.fetch(resume + 22, 4, &mut h, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].instr, Instr::Halt);
+    }
+
+    #[test]
+    fn informing_trap_blocks_and_reports() {
+        let mut a = Asm::new();
+        let hdl = a.label("h");
+        a.set_mhar(hdl);
+        a.li(Reg::int(1), 0x4000);
+        a.load_inf(Reg::int(2), Reg::int(1), 0);
+        a.halt();
+        a.bind(hdl).unwrap();
+        a.addi(Reg::int(10), Reg::int(10), 1);
+        a.jump_mhrr();
+        let p = a.assemble().unwrap();
+        let mut f = fe(&p);
+        let mut h = hier();
+        let mut out = Vec::new();
+        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        let resume = f.resume_at();
+        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        let trap = out.iter().find(|x| x.informing_trap).expect("trap fetched");
+        assert_eq!(trap.resolve, Resolve::AtExecute, "branch trap model");
+        assert_eq!(f.informing_traps(), 1);
+        let tseq = trap.seq;
+
+        f.resolve(tseq, resume + 30, 1);
+        out.clear();
+        f.fetch(resume + 32, 4, &mut h, &mut out).unwrap();
+        // Handler instructions are the correct path after the trap.
+        assert!(matches!(out[0].instr, Instr::Addi { .. }), "handler fetched: {:?}", out[0].instr);
+    }
+
+    #[test]
+    fn exception_trap_model_resolves_at_graduate() {
+        let mut a = Asm::new();
+        let hdl = a.label("h");
+        a.set_mhar(hdl);
+        a.li(Reg::int(1), 0x4000);
+        a.load_inf(Reg::int(2), Reg::int(1), 0);
+        a.halt();
+        a.bind(hdl).unwrap();
+        a.jump_mhrr();
+        let p = a.assemble().unwrap();
+        let mut f = FrontEnd::new(&p, 256, TrapModel::Exception, 32);
+        let mut h = hier();
+        let mut out = Vec::new();
+        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        let resume = f.resume_at();
+        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        let trap = out.iter().find(|x| x.informing_trap).expect("trap fetched");
+        assert_eq!(trap.resolve, Resolve::AtGraduate);
+    }
+
+    #[test]
+    fn bmiss_records_cc_dependence() {
+        let mut a = Asm::new();
+        let hdl = a.label("h");
+        a.li(Reg::int(1), 0x4000);
+        a.load(Reg::int(2), Reg::int(1), 0);
+        a.branch_on_miss(hdl);
+        a.halt();
+        a.bind(hdl).unwrap();
+        a.jump_mhrr();
+        let p = a.assemble().unwrap();
+        let mut f = fe(&p);
+        let mut h = hier();
+        let mut out = Vec::new();
+        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        let resume = f.resume_at();
+        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        let bm = out
+            .iter()
+            .find(|x| matches!(x.instr, Instr::BranchOnMiss { .. }))
+            .expect("bmiss fetched");
+        let ld = out
+            .iter()
+            .find(|x| matches!(x.instr, Instr::Load { .. }))
+            .expect("load fetched");
+        assert_eq!(bm.cc_dep, Some(ld.seq));
+        // The load cold-missed, so the bmiss is taken -> trap counted, blocked.
+        assert_eq!(f.informing_traps(), 1);
+        assert_eq!(bm.resolve, Resolve::AtExecute);
+    }
+
+    #[test]
+    fn loads_carry_probe_results() {
+        let mut a = Asm::new();
+        a.li(Reg::int(1), 0x4000);
+        a.load(Reg::int(2), Reg::int(1), 0);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut f = fe(&p);
+        let mut h = hier();
+        let mut out = Vec::new();
+        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        let resume = f.resume_at();
+        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        let ld = out.iter().find(|x| x.instr.is_data_ref()).unwrap();
+        let probe = ld.probe.expect("probe recorded");
+        assert!(probe.level.is_l1_miss());
+        assert!(!ld.informing_trap, "normal load never traps");
+    }
+}

@@ -1,0 +1,555 @@
+//! The in-order-issue processor model (Alpha-21164-like, §3.1).
+//!
+//! A 4-issue machine with the 21164's stall discipline: register dependences
+//! are enforced *before* issue (presence bits), instructions cannot stall
+//! once issued, and consumers of loads are issued speculatively at cache-hit
+//! timing. When the load actually missed, the machine takes a **replay
+//! trap**: the pipeline is flushed and the consumer re-enters issue, timed so
+//! that it restarts roughly when the data arrives from the secondary cache —
+//! modelled here by delaying the consumer's issue to
+//! `max(data_ready, miss_detect + replay_trap_penalty)`.
+//!
+//! Informing traps reuse the same replay mechanism (the paper's §3.1
+//! implementation): the trap redirects fetch as soon as the miss is detected,
+//! paying a pipeline-refill penalty like a mispredicted branch.
+//!
+//! Per Table 1 the machine has 2 INT units (which also execute loads and
+//! stores, as on the real 21164), 2 FP units and 1 branch unit, and issue is
+//! strictly in order: the window stalls at the first instruction that cannot
+//! issue.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use imo_isa::{FuClass, Instr, Program};
+use imo_mem::MemoryHierarchy;
+
+use crate::config::InOrderConfig;
+use crate::config::TrapModel;
+use crate::frontend::{Fetched, FrontEnd, Resolve};
+use crate::result::{MemCounters, RunLimits, RunResult, SimError, SlotBreakdown};
+
+/// Per-logical-register scoreboard state.
+#[derive(Debug, Clone, Copy, Default)]
+struct RegState {
+    /// Cycle at which the value is available to consumers.
+    ready: u64,
+    /// Earliest cycle a consumer may (re-)issue if the producing load missed
+    /// (replay-trap restart floor); 0 when the producer hit or was not a
+    /// load.
+    replay_floor: u64,
+    /// The producer was a load that missed in the primary data cache and the
+    /// data has not yet arrived (used for stall attribution).
+    miss_pending: bool,
+}
+
+/// Simulates `program` to completion on the in-order model.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the program faults, exceeds `limits`, or the
+/// model detects a deadlock.
+///
+/// # Example
+///
+/// ```
+/// use imo_isa::{Asm, Reg};
+/// use imo_cpu::{inorder, InOrderConfig, RunLimits};
+///
+/// let mut a = Asm::new();
+/// a.li(Reg::int(1), 7);
+/// a.halt();
+/// let p = a.assemble().expect("assembles");
+/// let r = inorder::simulate(&p, &InOrderConfig::default(), RunLimits::default())
+///     .expect("simulates");
+/// assert_eq!(r.instructions, 2);
+/// ```
+pub fn simulate(
+    program: &Program,
+    cfg: &InOrderConfig,
+    limits: RunLimits,
+) -> Result<RunResult, SimError> {
+    simulate_full(program, cfg, limits).map(|(r, _)| r)
+}
+
+/// Like [`simulate`], but also returns the final architectural state
+/// (registers and data memory).
+///
+/// # Errors
+///
+/// As for [`simulate`].
+pub fn simulate_full(
+    program: &Program,
+    cfg: &InOrderConfig,
+    limits: RunLimits,
+) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
+    let mut hier = MemoryHierarchy::new(cfg.hier);
+    // The in-order machine's informing traps always redirect at miss
+    // detection (replay-trap style); the trap model distinction is an
+    // out-of-order concern, so fix `Branch` here.
+    let mut fe = FrontEnd::new(
+        program,
+        cfg.predictor_entries,
+        TrapModel::Branch,
+        cfg.hier.l1i.line_bytes,
+    );
+
+    let mut regs = [RegState::default(); 64];
+    let mut queue: VecDeque<Fetched> = VecDeque::new();
+    let mut resolve_q: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+
+    // Outcome (hit/miss known) cycle of the most recent issued data
+    // reference, consumed by `bmiss`.
+    let mut last_mem_outcome: u64 = 0;
+
+    let width = cfg.issue_width as u64;
+    let mut now: u64 = 0;
+    let mut issued_total: u64 = 0;
+    let mut slots = SlotBreakdown::default();
+    let mut done = false;
+
+    while !done {
+        let mut progress = false;
+
+        // ---- Front-end resolutions due ----
+        while let Some(&Reverse((t, seq))) = resolve_q.peek() {
+            if t > now {
+                break;
+            }
+            resolve_q.pop();
+            fe.resolve(seq, t, cfg.redirect_penalty);
+            progress = true;
+        }
+
+        // ---- In-order issue ----
+        let mut int_used = 0u32;
+        let mut fp_used = 0u32;
+        let mut br_used = 0u32;
+        let mut issued: u64 = 0;
+        // Why issue stopped, for slot attribution.
+        let mut blocked_on_miss = false;
+        let mut next_wakeup: u64 = u64::MAX;
+
+        while issued < width {
+            let Some(f) = queue.front() else { break };
+            if f.fetch_cycle + cfg.frontend_depth > now {
+                next_wakeup = next_wakeup.min(f.fetch_cycle + cfg.frontend_depth);
+                break;
+            }
+            // Structural: FU availability (loads/stores share INT pipes).
+            let fu_ok = match f.instr.fu_class() {
+                FuClass::Int | FuClass::Mem => int_used < cfg.int_units,
+                FuClass::Fp => fp_used < cfg.fp_units,
+                FuClass::Branch => br_used < cfg.branch_units,
+            };
+            if !fu_ok {
+                break;
+            }
+            // Presence bits: all sources ready; missed-load producers impose
+            // the replay-trap restart floor.
+            let mut ready_at: u64 = 0;
+            for src in f.instr.sources() {
+                let r = &regs[src.logical()];
+                ready_at = ready_at.max(r.ready).max(r.replay_floor);
+                if r.ready > now && r.miss_pending {
+                    blocked_on_miss = true;
+                }
+            }
+            if matches!(f.instr, Instr::BranchOnMiss { .. }) {
+                ready_at = ready_at.max(last_mem_outcome);
+            }
+            if ready_at > now {
+                next_wakeup = next_wakeup.min(ready_at);
+                break;
+            }
+            blocked_on_miss = false; // it issued after all
+
+            let f = queue.pop_front().expect("front exists");
+            match f.instr.fu_class() {
+                FuClass::Int | FuClass::Mem => int_used += 1,
+                FuClass::Fp => fp_used += 1,
+                FuClass::Branch => br_used += 1,
+            }
+
+            // Execute in the timing model.
+            let mut outcome_cycle = now + 1;
+            match f.instr {
+                Instr::Load { .. } => {
+                    let probe = f.probe.expect("loads probe");
+                    let t = hier.schedule_data(probe, now);
+                    outcome_cycle = t.start + cfg.hier.l1_latency;
+                    last_mem_outcome = outcome_cycle;
+                    if let Some(dst) = f.instr.dest() {
+                        let miss = probe.level.is_l1_miss();
+                        regs[dst.logical()] = RegState {
+                            ready: t.complete,
+                            replay_floor: if miss {
+                                outcome_cycle + cfg.replay_trap_penalty
+                            } else {
+                                0
+                            },
+                            miss_pending: miss,
+                        };
+                    }
+                }
+                Instr::Store { .. } => {
+                    let probe = f.probe.expect("stores probe");
+                    let t = hier.schedule_data(probe, now);
+                    outcome_cycle = t.start + cfg.hier.l1_latency;
+                    last_mem_outcome = outcome_cycle;
+                }
+                Instr::Prefetch { .. } => {
+                    if let Some(probe) = f.probe {
+                        let _ = hier.schedule_data(probe, now);
+                    }
+                }
+                Instr::Halt => {
+                    done = true;
+                }
+                ref other => {
+                    let lat = cfg.latency(other);
+                    if let Some(dst) = f.instr.dest() {
+                        regs[dst.logical()] =
+                            RegState { ready: now + lat, replay_floor: 0, miss_pending: false };
+                    }
+                }
+            }
+
+            // Front-end unblocking: branches resolve at issue; informing
+            // traps resolve when the miss is detected.
+            match f.resolve {
+                Resolve::None => {}
+                Resolve::AtExecute | Resolve::AtGraduate => {
+                    let due = if f.instr.is_data_ref() { outcome_cycle } else { now };
+                    if due <= now {
+                        fe.resolve(f.seq, now, cfg.redirect_penalty);
+                    } else {
+                        resolve_q.push(Reverse((due, f.seq)));
+                    }
+                }
+            }
+
+            issued += 1;
+            issued_total += 1;
+            progress = true;
+            if done {
+                break;
+            }
+        }
+
+        // Clear stale miss_pending flags (data has arrived).
+        for r in regs.iter_mut() {
+            if r.miss_pending && r.ready <= now {
+                r.miss_pending = false;
+            }
+        }
+
+        slots.busy += issued;
+        if issued < width && !done {
+            let lost = width - issued;
+            if blocked_on_miss {
+                slots.cache_stall += lost;
+            } else {
+                slots.other_stall += lost;
+            }
+        }
+        if done {
+            break;
+        }
+
+        // ---- Fetch ----
+        if queue.len() < 2 * cfg.issue_width as usize {
+            let before = queue.len();
+            let mut buf = Vec::new();
+            fe.fetch(now, cfg.issue_width, &mut hier, &mut buf)?;
+            queue.extend(buf);
+            if queue.len() > before {
+                progress = true;
+            }
+        }
+
+        // ---- Limits ----
+        if issued_total >= limits.max_instructions {
+            return Err(SimError::InstructionLimit(limits.max_instructions));
+        }
+        if now >= limits.max_cycles {
+            return Err(SimError::CycleLimit(limits.max_cycles));
+        }
+
+        // ---- Advance time ----
+        if progress {
+            now += 1;
+        } else {
+            let mut next = u64::MAX;
+            let mut consider = |t: u64| {
+                if t > now && t < next {
+                    next = t;
+                }
+            };
+            consider(next_wakeup);
+            if let Some(&Reverse((t, _))) = resolve_q.peek() {
+                consider(t);
+            }
+            if !fe.halted() && fe.blocked_on().is_none() {
+                consider(fe.resume_at());
+            }
+            if next == u64::MAX {
+                return Err(SimError::Deadlock { cycle: now });
+            }
+            let skipped = next - now - 1;
+            if skipped > 0 {
+                let lost = skipped * width;
+                if blocked_on_miss {
+                    slots.cache_stall += lost;
+                } else {
+                    slots.other_stall += lost;
+                }
+            }
+            now = next;
+        }
+    }
+
+    let cycles = now + 1;
+    let total = cycles * width;
+    let accounted = slots.total();
+    if total > accounted {
+        slots.other_stall += total - accounted;
+    }
+
+    let result = RunResult {
+        cycles,
+        instructions: issued_total,
+        slots,
+        informing_traps: fe.informing_traps(),
+        mispredictions: fe.mispredictions(),
+        branch_accuracy: fe.branch_accuracy(),
+        mem: MemCounters {
+            l1d_accesses: hier.stats().data_refs,
+            l1d_misses: hier.stats().l1d_misses_to_l2 + hier.stats().l1d_misses_to_mem,
+            l2_misses: hier.stats().l1d_misses_to_mem,
+            inst_misses: hier.stats().inst_misses,
+        },
+    };
+    Ok((result, fe.into_state()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::{Asm, Cond, Reg};
+
+    fn run(p: &Program) -> RunResult {
+        simulate(p, &InOrderConfig::paper(), RunLimits::default()).expect("simulates")
+    }
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    #[test]
+    fn straight_line_completes() {
+        let mut a = Asm::new();
+        for i in 0..20 {
+            a.li(r(1 + (i % 8) as u8), i);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert_eq!(res.instructions, 21);
+        assert_eq!(res.slots.total(), res.cycles * 4);
+    }
+
+    #[test]
+    fn issue_is_strictly_in_order() {
+        // A long-latency divide followed by an independent add: in-order
+        // issue lets the add go (it is later in program order but the divide
+        // has no unready sources)... but a *consumer* of the divide blocks
+        // everything behind it.
+        let mut a = Asm::new();
+        a.li(r(1), 100);
+        a.li(r(2), 5);
+        a.div(r(3), r(1), r(2));
+        a.addi(r(4), r(3), 1); // consumer: stalls ~76 cycles
+        a.li(r(5), 1); // behind the stall
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert!(res.cycles > 76, "divide latency exposed: {}", res.cycles);
+    }
+
+    #[test]
+    fn load_miss_consumer_pays_replay_and_latency() {
+        let mut a = Asm::new();
+        a.li(r(1), 0x40_0000);
+        a.load(r(2), r(1), 0); // cold miss to memory (50 cycles)
+        a.addi(r(3), r(2), 1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert!(res.cycles >= 50, "miss latency dominates: {}", res.cycles);
+        assert!(res.slots.cache_stall > 0, "stall attributed to cache: {:?}", res.slots);
+    }
+
+    #[test]
+    fn hit_load_use_is_short() {
+        let mut a = Asm::new();
+        a.li(r(1), 0x40_0000);
+        a.load(r(2), r(1), 0); // warm the line
+        a.load(r(2), r(1), 8); // hit
+        a.addi(r(3), r(2), 1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert!(res.cycles < 120, "{}", res.cycles);
+    }
+
+    #[test]
+    fn informing_trap_redirects_to_handler() {
+        let mut a = Asm::new();
+        let hdl = a.label("h");
+        a.set_mhar(hdl);
+        a.li(r(1), 0x40_0000);
+        a.load_inf(r(2), r(1), 0);
+        a.halt();
+        a.bind(hdl).unwrap();
+        for _ in 0..10 {
+            a.addi(r(20), r(20), 1);
+        }
+        a.jump_mhrr();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert_eq!(res.informing_traps, 1);
+        assert_eq!(res.instructions, 4 + 11);
+    }
+
+    #[test]
+    fn ten_instruction_handler_costs_more_than_one() {
+        let build = |len: usize| {
+            let mut a = Asm::new();
+            let hdl = a.label("h");
+            a.set_mhar(hdl);
+            a.li(r(1), 0x40_0000);
+            let top = a.label("top");
+            a.li(r(2), 0);
+            a.li(r(3), 100);
+            a.bind(top).unwrap();
+            a.load_inf(r(4), r(1), 0);
+            a.addi(r(1), r(1), 4096);
+            a.addi(r(2), r(2), 1);
+            a.branch(Cond::Lt, r(2), r(3), top);
+            a.halt();
+            a.bind(hdl).unwrap();
+            for _ in 0..len {
+                a.addi(r(20), r(20), 1); // dependent chain
+            }
+            a.jump_mhrr();
+            a.assemble().unwrap()
+        };
+        let one = run(&build(1));
+        let ten = run(&build(10));
+        assert_eq!(one.informing_traps, 100);
+        assert!(
+            ten.cycles > one.cycles,
+            "10-instruction handler ({}) slower than 1 ({})",
+            ten.cycles,
+            one.cycles
+        );
+    }
+
+    #[test]
+    fn in_order_hides_less_than_out_of_order() {
+        // The same miss-heavy kernel with 10-instruction handlers: the
+        // in-order machine should lose more relative to its no-handler run
+        // than the out-of-order machine (the paper's key Figure 2 contrast).
+        let build = |informing: bool| {
+            let mut a = Asm::new();
+            let hdl = a.label("h");
+            if informing {
+                a.set_mhar(hdl);
+            }
+            a.li(r(1), 0x40_0000);
+            let top = a.label("top");
+            a.li(r(2), 0);
+            a.li(r(3), 200);
+            a.bind(top).unwrap();
+            if informing {
+                a.load_inf(r(4), r(1), 0);
+            } else {
+                a.load(r(4), r(1), 0);
+            }
+            a.fadd(Reg::fp(1), Reg::fp(2), Reg::fp(3));
+            a.fadd(Reg::fp(4), Reg::fp(5), Reg::fp(6));
+            a.addi(r(1), r(1), 4096);
+            a.addi(r(2), r(2), 1);
+            a.branch(Cond::Lt, r(2), r(3), top);
+            a.halt();
+            a.bind(hdl).unwrap();
+            for _ in 0..10 {
+                a.addi(r(20), r(20), 1);
+            }
+            a.jump_mhrr();
+            a.assemble().unwrap()
+        };
+        let ino_n = run(&build(false));
+        let ino_s = run(&build(true));
+        let ooo_n =
+            crate::ooo::simulate(&build(false), &crate::OooConfig::paper(), RunLimits::default())
+                .unwrap();
+        let ooo_s =
+            crate::ooo::simulate(&build(true), &crate::OooConfig::paper(), RunLimits::default())
+                .unwrap();
+        let ino_overhead = ino_s.cycles as f64 / ino_n.cycles as f64;
+        let ooo_overhead = ooo_s.cycles as f64 / ooo_n.cycles as f64;
+        assert!(
+            ino_overhead > ooo_overhead,
+            "in-order overhead {ino_overhead:.3} should exceed out-of-order {ooo_overhead:.3}"
+        );
+    }
+
+    #[test]
+    fn branch_mispredicts_cost_cycles() {
+        // Data-dependent unpredictable branch pattern.
+        let mut a = Asm::new();
+        let (i, n) = (r(1), r(2));
+        a.li(i, 0);
+        a.li(n, 200);
+        let top = a.here("top");
+        let skip = a.label("skip");
+        a.andi(r(3), i, 1);
+        a.branch(Cond::Eq, r(3), Reg::ZERO, skip); // alternates every iteration
+        a.addi(r(4), r(4), 1);
+        a.bind(skip).unwrap();
+        a.addi(i, i, 1);
+        a.branch(Cond::Lt, i, n, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        // The 2-bit counter cannot learn an alternating pattern well.
+        assert!(res.mispredictions > 50, "mispredictions {}", res.mispredictions);
+    }
+
+    #[test]
+    fn slot_accounting_exhaustive() {
+        let mut a = Asm::new();
+        a.li(r(1), 0x40_0000);
+        for i in 0..50 {
+            a.load(r(2), r(1), (i * 4096) as i64);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert_eq!(res.slots.total(), res.cycles * 4);
+    }
+
+    #[test]
+    fn deadlock_reported_for_impossible_config() {
+        let mut a = Asm::new();
+        a.fadd(Reg::fp(1), Reg::fp(2), Reg::fp(3));
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut cfg = InOrderConfig::paper();
+        cfg.fp_units = 0;
+        let err = simulate(&p, &cfg, RunLimits::default()).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }));
+    }
+}

@@ -1,0 +1,798 @@
+//! The out-of-order-issue processor model (MIPS-R10000-like, §3.2).
+//!
+//! A renaming, reorder-buffer machine:
+//!
+//! * **Dispatch** — up to `issue_width` instructions per cycle enter the
+//!   32-entry reorder buffer. Conditional branches (and, under
+//!   [`TrapModel::Branch`], informing memory operations) each hold one of the
+//!   `max_checkpoints` rename shadow checkpoints while unresolved; dispatch
+//!   stalls when checkpoints are exhausted — this is the §3.2 "3× shadow
+//!   state" pressure, measurable by varying
+//!   [`OooConfig::max_checkpoints`].
+//! * **Issue** — oldest-ready-first within per-class functional-unit limits
+//!   (2 INT, 2 FP, 1 branch, 1 memory). True (RAW) dependences only, as
+//!   renaming removes the false ones. Memory operations contend for cache
+//!   banks, MSHRs and main-memory bandwidth in `imo-mem`.
+//! * **Graduate** — up to `issue_width` completed instructions per cycle, in
+//!   order. Stores probe/write at graduation through a finite write buffer.
+//!   Graduation-slot accounting follows the paper's Figure 2 methodology.
+//! * **Informing traps** — under [`TrapModel::Branch`] the handler is
+//!   fetched as soon as the load's miss is detected at execute; under
+//!   [`TrapModel::Exception`] fetch waits until the informing operation
+//!   reaches the head of the reorder buffer.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use imo_isa::{FuClass, Instr, MemKind, Program};
+use imo_mem::{MemoryHierarchy, MshrFile, MshrId};
+
+use crate::config::{OooConfig, TrapModel};
+use crate::frontend::{Fetched, FrontEnd, Resolve};
+use crate::result::{MemCounters, RunLimits, RunResult, SimError, SlotBreakdown};
+use crate::trace::InstrTrace;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EState {
+    Waiting,
+    Issued,
+    Complete,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Dep {
+    /// Satisfied when the producer's result is available.
+    Value(u64),
+    /// Satisfied when the producer's cache outcome is known (condition-code
+    /// consumers).
+    Outcome(u64),
+}
+
+#[derive(Debug)]
+struct Entry {
+    f: Fetched,
+    state: EState,
+    deps: [Option<Dep>; 3],
+    complete_cycle: u64,
+    /// Cycle the hit/miss outcome (memory) or direction (branch) is known.
+    outcome_cycle: u64,
+    uses_checkpoint: bool,
+    mshr: Option<MshrId>,
+    dispatch_cycle: u64,
+    issue_cycle: u64,
+}
+
+fn uses_checkpoint(f: &Fetched, trap_model: TrapModel) -> bool {
+    match f.instr {
+        Instr::Branch { .. } | Instr::BranchOnMiss { .. } | Instr::BranchOnMemMiss { .. } => true,
+        Instr::Load { kind, .. } | Instr::Store { kind, .. } => {
+            trap_model == TrapModel::Branch && kind == MemKind::Informing
+        }
+        _ => false,
+    }
+}
+
+/// Simulates `program` to completion on the out-of-order model.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the program faults, exceeds `limits`, or the
+/// model detects a deadlock (which indicates a configuration with zero units
+/// or a model bug).
+///
+/// # Example
+///
+/// See the crate-level example.
+pub fn simulate(
+    program: &Program,
+    cfg: &OooConfig,
+    limits: RunLimits,
+) -> Result<RunResult, SimError> {
+    simulate_full(program, cfg, limits).map(|(r, _)| r)
+}
+
+/// Like [`simulate`], but also returns the final architectural state
+/// (registers and data memory) so that tools — e.g. miss-count profilers
+/// whose handlers accumulate into memory — can read their results.
+///
+/// # Errors
+///
+/// As for [`simulate`].
+pub fn simulate_full(
+    program: &Program,
+    cfg: &OooConfig,
+    limits: RunLimits,
+) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
+    run(program, cfg, limits, None)
+}
+
+/// Like [`simulate`], but records a per-instruction pipeline trace
+/// ([`InstrTrace`]) for every graduated instruction — see
+/// [`crate::trace`] for rendering and invariant checking.
+///
+/// # Errors
+///
+/// As for [`simulate`].
+pub fn simulate_traced(
+    program: &Program,
+    cfg: &OooConfig,
+    limits: RunLimits,
+) -> Result<(RunResult, Vec<InstrTrace>), SimError> {
+    let mut traces = Vec::new();
+    let (result, _) = run(program, cfg, limits, Some(&mut traces))?;
+    Ok((result, traces))
+}
+
+fn run(
+    program: &Program,
+    cfg: &OooConfig,
+    limits: RunLimits,
+    mut trace: Option<&mut Vec<InstrTrace>>,
+) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
+    let mut hier = MemoryHierarchy::new(cfg.hier);
+    let mut fe = FrontEnd::new(
+        program,
+        cfg.predictor_entries,
+        cfg.trap_model,
+        cfg.hier.l1i.line_bytes,
+    );
+    let mut mshrs = MshrFile::new(cfg.hier.mshrs, cfg.mshr_mode);
+
+    let mut rob: VecDeque<Entry> = VecDeque::with_capacity(cfg.rob_entries as usize);
+    let mut rob_base: u64 = 0; // seq of rob.front()
+    let mut fetch_q: VecDeque<Fetched> = VecDeque::new();
+    let mut last_writer: [Option<u64>; 64] = [None; 64];
+
+    // Future-event queues (min-heaps on cycle).
+    let mut resolve_q: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new(); // (cycle, seq)
+    let mut ckpt_release_q: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
+    let mut fills: Vec<(u64, MshrId)> = Vec::new(); // (fill-complete cycle, entry)
+
+    let mut checkpoints_in_use: u32 = 0;
+    let mut wb_release: Vec<u64> = vec![0; cfg.write_buffer as usize];
+
+    let width = cfg.issue_width as u64;
+    let mut now: u64 = 0;
+    let mut graduated_total: u64 = 0;
+    let mut slots = SlotBreakdown::default();
+    let mut done = false;
+
+    let fu_cap = |c: FuClass| -> u32 {
+        match c {
+            FuClass::Int => cfg.int_units,
+            FuClass::Fp => cfg.fp_units,
+            FuClass::Branch => cfg.branch_units,
+            FuClass::Mem => cfg.mem_units,
+        }
+    };
+
+    let dep_ready = |rob: &VecDeque<Entry>, rob_base: u64, dep: Dep, now: u64| -> bool {
+        let (seq, outcome) = match dep {
+            Dep::Value(s) => (s, false),
+            Dep::Outcome(s) => (s, true),
+        };
+        if seq < rob_base {
+            return true; // producer graduated
+        }
+        let idx = (seq - rob_base) as usize;
+        match rob.get(idx) {
+            None => true,
+            Some(p) => {
+                if outcome {
+                    p.state != EState::Waiting && p.outcome_cycle <= now
+                } else {
+                    p.state == EState::Complete && p.complete_cycle <= now
+                }
+            }
+        }
+    };
+
+    while !done {
+        let mut progress = false;
+
+        // ---- 1. MSHR fills due this cycle ----
+        if fills.iter().any(|&(t, _)| t <= now) {
+            for &(t, id) in fills.iter() {
+                if t <= now {
+                    mshrs.note_fill(id);
+                }
+            }
+            fills.retain(|&(t, _)| t > now);
+            mshrs.reap();
+            progress = true;
+        }
+
+        // ---- 2. Graduate ----
+        let mut g: u64 = 0;
+        while g < width {
+            let Some(head) = rob.front() else { break };
+            if head.state != EState::Complete {
+                break;
+            }
+            // Stores drain through the write buffer at graduation.
+            if matches!(head.f.instr, Instr::Store { .. }) {
+                let Some(slot) = wb_release.iter().position(|&r| r <= now) else {
+                    break; // write buffer full: stall graduation
+                };
+                let probe = head.f.probe.expect("stores probe the cache");
+                let t = hier.schedule_data(probe, now);
+                wb_release[slot] = t.complete;
+            }
+            let e = rob.pop_front().expect("front exists");
+            rob_base = e.f.seq + 1;
+            if let Some(tr) = trace.as_deref_mut() {
+                tr.push(InstrTrace {
+                    seq: e.f.seq,
+                    pc: e.f.pc,
+                    instr: e.f.instr,
+                    fetch: e.f.fetch_cycle,
+                    dispatch: e.dispatch_cycle,
+                    issue: e.issue_cycle,
+                    complete: e.complete_cycle,
+                    graduate: now,
+                });
+            }
+            if let Some(id) = e.mshr {
+                mshrs.graduate(id);
+            }
+            if e.f.resolve == Resolve::AtGraduate {
+                fe.resolve(e.f.seq, now, cfg.redirect_penalty);
+            }
+            if matches!(e.f.instr, Instr::Halt) {
+                done = true;
+            }
+            graduated_total += 1;
+            g += 1;
+            progress = true;
+            if done {
+                break;
+            }
+        }
+        slots.busy += g;
+        if g < width && !done {
+            let lost = width - g;
+            let head_is_miss_stall = rob.front().is_some_and(|h| {
+                h.state != EState::Complete
+                    && h.f.instr.is_data_ref()
+                    && h.f.probe.is_some_and(|p| p.level.is_l1_miss())
+            });
+            if head_is_miss_stall {
+                slots.cache_stall += lost;
+            } else {
+                slots.other_stall += lost;
+            }
+        }
+
+        if done {
+            break;
+        }
+
+        // ---- 3. Complete ----
+        for e in rob.iter_mut() {
+            if e.state == EState::Issued && e.complete_cycle <= now {
+                e.state = EState::Complete;
+                progress = true;
+            }
+        }
+
+        // ---- 4. Checkpoint releases ----
+        while let Some(&Reverse(t)) = ckpt_release_q.peek() {
+            if t > now {
+                break;
+            }
+            ckpt_release_q.pop();
+            checkpoints_in_use = checkpoints_in_use.saturating_sub(1);
+            progress = true;
+        }
+
+        // ---- 5. Front-end resolutions due ----
+        while let Some(&Reverse((t, seq))) = resolve_q.peek() {
+            if t > now {
+                break;
+            }
+            resolve_q.pop();
+            fe.resolve(seq, t, cfg.redirect_penalty);
+            progress = true;
+        }
+
+        // ---- 6. Issue (oldest-ready-first within FU limits) ----
+        let mut fu_used = [0u32; 4];
+        let fu_idx = |c: FuClass| -> usize {
+            match c {
+                FuClass::Int => 0,
+                FuClass::Fp => 1,
+                FuClass::Branch => 2,
+                FuClass::Mem => 3,
+            }
+        };
+        for i in 0..rob.len() {
+            let can = {
+                let e = &rob[i];
+                e.state == EState::Waiting
+                    && e.f.fetch_cycle + cfg.frontend_depth <= now
+                    && fu_used[fu_idx(e.f.instr.fu_class())] < fu_cap(e.f.instr.fu_class())
+                    && e
+                        .deps
+                        .iter()
+                        .flatten()
+                        .all(|&d| dep_ready(&rob, rob_base, d, now))
+            };
+            if !can {
+                continue;
+            }
+            let fu = rob[i].f.instr.fu_class();
+            fu_used[fu_idx(fu)] += 1;
+            progress = true;
+
+            // Compute timing (separate scope to appease the borrow checker).
+            let (complete, outcome, alloc_mshr) = {
+                let e = &rob[i];
+                match e.f.instr {
+                    Instr::Load { .. } => {
+                        let probe = e.f.probe.expect("loads probe");
+                        let t = hier.schedule_data(probe, now);
+                        let outcome = t.start + cfg.hier.l1_latency;
+                        (t.complete, outcome, probe.level.is_l1_miss().then_some((probe.line, t.complete)))
+                    }
+                    Instr::Prefetch { .. } => {
+                        if let Some(probe) = e.f.probe {
+                            let _ = hier.schedule_data(probe, now);
+                        }
+                        (now + 1, now + 1, None)
+                    }
+                    Instr::Store { .. } => {
+                        // Address generation now; the cache is probed at
+                        // graduation. The outcome (for the condition code) is
+                        // known after an early tag probe.
+                        (now + 1, now + cfg.hier.l1_latency, None)
+                    }
+                    ref other => {
+                        let lat = cfg.latency(other);
+                        (now + lat, now + lat, None)
+                    }
+                }
+            };
+            let e = &mut rob[i];
+            e.state = EState::Issued;
+            e.issue_cycle = now;
+            e.complete_cycle = complete;
+            e.outcome_cycle = outcome;
+            if let Some((line, fill)) = alloc_mshr {
+                let fresh = mshrs.find(line).is_none();
+                if let Some(id) = mshrs.allocate(line) {
+                    e.mshr = Some(id);
+                    if fresh {
+                        fills.push((fill, id));
+                    }
+                }
+            }
+            if e.uses_checkpoint {
+                ckpt_release_q.push(Reverse(e.outcome_cycle));
+            }
+            if e.f.resolve == Resolve::AtExecute {
+                resolve_q.push(Reverse((e.outcome_cycle, e.f.seq)));
+            }
+        }
+
+        // ---- 7. Dispatch ----
+        let mut d = 0;
+        while d < cfg.issue_width {
+            if rob.len() >= cfg.rob_entries as usize {
+                break;
+            }
+            let Some(f) = fetch_q.front() else { break };
+            let needs_ckpt = uses_checkpoint(f, cfg.trap_model);
+            if needs_ckpt && checkpoints_in_use >= cfg.max_checkpoints {
+                break;
+            }
+            let f = fetch_q.pop_front().expect("front exists");
+            if needs_ckpt {
+                checkpoints_in_use += 1;
+            }
+            let mut deps: [Option<Dep>; 3] = [None; 3];
+            let mut n = 0;
+            for src in f.instr.sources() {
+                if let Some(seq) = last_writer[src.logical()] {
+                    deps[n] = Some(Dep::Value(seq));
+                    n += 1;
+                }
+            }
+            if let Some(cc) = f.cc_dep {
+                deps[n] = Some(Dep::Outcome(cc));
+            }
+            if let Some(dst) = f.instr.dest() {
+                last_writer[dst.logical()] = Some(f.seq);
+            }
+            debug_assert_eq!(f.seq, rob_base + rob.len() as u64, "seq contiguity");
+            rob.push_back(Entry {
+                f,
+                state: EState::Waiting,
+                deps,
+                complete_cycle: u64::MAX,
+                outcome_cycle: u64::MAX,
+                uses_checkpoint: needs_ckpt,
+                mshr: None,
+                dispatch_cycle: now,
+                issue_cycle: u64::MAX,
+            });
+            d += 1;
+            progress = true;
+        }
+
+        // ---- 8. Fetch ----
+        if fetch_q.len() < 2 * cfg.issue_width as usize {
+            let before = fetch_q.len();
+            let mut buf = Vec::new();
+            fe.fetch(now, cfg.issue_width, &mut hier, &mut buf)?;
+            fetch_q.extend(buf);
+            if fetch_q.len() > before {
+                progress = true;
+            }
+        }
+
+        // ---- 9. Termination / limits ----
+        if fe.halted() && rob.is_empty() && fetch_q.is_empty() {
+            // Halt graduated in a previous iteration (done flag), or the
+            // program ended in an unusual state; either way we are finished.
+            break;
+        }
+        if graduated_total >= limits.max_instructions {
+            return Err(SimError::InstructionLimit(limits.max_instructions));
+        }
+        if now >= limits.max_cycles {
+            return Err(SimError::CycleLimit(limits.max_cycles));
+        }
+
+        // ---- 10. Advance time (with fast-forward over quiet cycles) ----
+        if progress {
+            now += 1;
+        } else {
+            // Find the earliest *future* event; anything at or before `now`
+            // is not a wake-up source (it already had its chance this cycle).
+            let mut next = u64::MAX;
+            let mut consider = |t: u64| {
+                if t > now {
+                    next = next.min(t);
+                }
+            };
+            for e in rob.iter() {
+                match e.state {
+                    EState::Issued => consider(e.complete_cycle),
+                    EState::Waiting => consider(e.f.fetch_cycle + cfg.frontend_depth),
+                    EState::Complete => {}
+                }
+            }
+            if let Some(&Reverse((t, _))) = resolve_q.peek() {
+                consider(t);
+            }
+            if let Some(&Reverse(t)) = ckpt_release_q.peek() {
+                consider(t);
+            }
+            for &(t, _) in fills.iter() {
+                consider(t);
+            }
+            if !fe.halted() && fe.blocked_on().is_none() {
+                consider(fe.resume_at());
+            }
+            if rob.front().is_some_and(|h| {
+                h.state == EState::Complete && matches!(h.f.instr, Instr::Store { .. })
+            }) {
+                // Graduation blocked on the write buffer.
+                if let Some(&r) = wb_release.iter().min() {
+                    consider(r);
+                }
+            }
+            if next == u64::MAX {
+                return Err(SimError::Deadlock { cycle: now });
+            }
+            let skipped = next - now - 1;
+            if skipped > 0 {
+                // Attribute the skipped slots exactly as the per-cycle
+                // accounting would have.
+                let lost = skipped * width;
+                let head_is_miss_stall = rob.front().is_some_and(|h| {
+                    h.state != EState::Complete
+                        && h.f.instr.is_data_ref()
+                        && h.f.probe.is_some_and(|p| p.level.is_l1_miss())
+                });
+                if head_is_miss_stall {
+                    slots.cache_stall += lost;
+                } else {
+                    slots.other_stall += lost;
+                }
+            }
+            now = next;
+        }
+    }
+
+    let cycles = now + 1;
+    let total = cycles * width;
+    let accounted = slots.total();
+    if total > accounted {
+        slots.other_stall += total - accounted;
+    }
+
+    let result = RunResult {
+        cycles,
+        instructions: graduated_total,
+        slots,
+        informing_traps: fe.informing_traps(),
+        mispredictions: fe.mispredictions(),
+        branch_accuracy: fe.branch_accuracy(),
+        mem: MemCounters {
+            l1d_accesses: hier.stats().data_refs,
+            l1d_misses: hier.stats().l1d_misses_to_l2 + hier.stats().l1d_misses_to_mem,
+            l2_misses: hier.stats().l1d_misses_to_mem,
+            inst_misses: hier.stats().inst_misses,
+        },
+    };
+    Ok((result, fe.into_state()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::{Asm, Cond, Reg};
+
+    fn run(p: &Program) -> RunResult {
+        simulate(p, &OooConfig::paper(), RunLimits::default()).expect("simulates")
+    }
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    #[test]
+    fn straight_line_completes() {
+        let mut a = Asm::new();
+        for i in 0..20 {
+            a.li(r(1 + (i % 8) as u8), i);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert_eq!(res.instructions, 21);
+        assert!(res.cycles > 5, "I-miss + frontend depth cost cycles");
+        assert!(res.cycles < 200);
+        assert_eq!(res.slots.total(), res.cycles * 4);
+    }
+
+    #[test]
+    fn independent_instructions_reach_high_ipc() {
+        // Long run of independent int ops: IPC should approach 2 (2 INT units).
+        let mut a = Asm::new();
+        for i in 0..4000 {
+            a.addi(r(1 + (i % 8) as u8), Reg::ZERO, i);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert!(res.ipc() > 1.5, "ipc = {}", res.ipc());
+    }
+
+    #[test]
+    fn dependent_chain_limits_ipc() {
+        let mut a = Asm::new();
+        for _ in 0..2000 {
+            a.addi(r(1), r(1), 1);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert!(res.ipc() < 1.2, "serial chain ipc = {}", res.ipc());
+        assert!(res.ipc() > 0.8, "but still ~1/cycle: {}", res.ipc());
+    }
+
+    #[test]
+    fn load_miss_stalls_are_attributed_to_cache() {
+        // Pointer-chase across many lines: every load misses and the next
+        // load depends on it.
+        let mut a = Asm::new();
+        // Build a chain in memory: mem[i*4096 + 0x10_0000] = (i+1)*4096 + 0x10_0000
+        for i in 0..64u64 {
+            a.word(0x10_0000 + i * 4096, 0x10_0000 + (i + 1) * 4096);
+        }
+        a.li(r(1), 0x10_0000);
+        for _ in 0..64 {
+            a.load(r(1), r(1), 0);
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert!(res.mem.l1d_misses >= 64);
+        assert!(
+            res.slots.cache_stall > res.slots.busy,
+            "memory-bound chain dominated by cache stalls: {:?}",
+            res.slots
+        );
+    }
+
+    #[test]
+    fn branchy_loop_trains_predictor() {
+        let mut a = Asm::new();
+        let (i, n) = (r(1), r(2));
+        a.li(i, 0);
+        a.li(n, 500);
+        let top = a.here("top");
+        a.addi(i, i, 1);
+        a.branch(Cond::Lt, i, n, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert_eq!(res.instructions, 3 + 500 * 2);
+        assert!(res.branch_accuracy > 0.95, "accuracy {}", res.branch_accuracy);
+        assert!(res.mispredictions <= 5);
+    }
+
+    #[test]
+    fn informing_trap_executes_handler_with_overlap() {
+        // One informing load that misses; handler of 10 dependent adds.
+        let mut a = Asm::new();
+        let hdl = a.label("h");
+        a.set_mhar(hdl);
+        a.li(r(1), 0x40_0000);
+        a.load_inf(r(2), r(1), 0);
+        a.addi(r(3), r(2), 1); // consumer of the load
+        a.halt();
+        a.bind(hdl).unwrap();
+        for _ in 0..10 {
+            a.addi(r(20), r(20), 1);
+        }
+        a.jump_mhrr();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert_eq!(res.informing_traps, 1);
+        // 4 main instrs + 1 halt? main: set_mhar, li, load, addi, halt = 5; handler 11.
+        assert_eq!(res.instructions, 5 + 11);
+    }
+
+    #[test]
+    fn trap_as_exception_is_slower_than_branch() {
+        // Many informing misses: the exception model waits for graduation
+        // before fetching the handler; the branch model does not.
+        let mut a = Asm::new();
+        let hdl = a.label("h");
+        a.set_mhar(hdl);
+        a.li(r(1), 0x40_0000);
+        let top = a.label("top");
+        a.li(r(2), 0);
+        a.li(r(3), 200);
+        a.bind(top).unwrap();
+        a.load_inf(r(4), r(1), 0);
+        a.addi(r(1), r(1), 4096); // new line/page every time -> always miss
+        a.addi(r(2), r(2), 1);
+        a.branch(Cond::Lt, r(2), r(3), top);
+        a.halt();
+        a.bind(hdl).unwrap();
+        for _ in 0..10 {
+            a.addi(r(20), r(20), 1);
+        }
+        a.jump_mhrr();
+        let p = a.assemble().unwrap();
+
+        let mut cfg = OooConfig::paper();
+        cfg.trap_model = TrapModel::Branch;
+        let branch = simulate(&p, &cfg, RunLimits::default()).unwrap();
+        cfg.trap_model = TrapModel::Exception;
+        let exception = simulate(&p, &cfg, RunLimits::default()).unwrap();
+
+        assert_eq!(branch.informing_traps, 200);
+        assert_eq!(exception.informing_traps, 200);
+        assert!(
+            exception.cycles > branch.cycles,
+            "exception {} should exceed branch {}",
+            exception.cycles,
+            branch.cycles
+        );
+    }
+
+    #[test]
+    fn checkpoint_pressure_slows_dispatch() {
+        // Dense informing loads (all hitting after warmup) with the branch
+        // trap model consume checkpoints; a machine with 1 checkpoint must be
+        // slower than one with 8.
+        let mut a = Asm::new();
+        let hdl = a.label("h");
+        a.set_mhar(hdl);
+        a.li(r(1), 0x40_0000);
+        for _ in 0..50 {
+            for o in 0..4 {
+                a.load_inf(r(2 + o as u8), r(1), o * 8);
+            }
+        }
+        a.halt();
+        a.bind(hdl).unwrap();
+        a.jump_mhrr();
+        let p = a.assemble().unwrap();
+
+        let mut cfg = OooConfig::paper();
+        cfg.max_checkpoints = 1;
+        let tight = simulate(&p, &cfg, RunLimits::default()).unwrap();
+        cfg.max_checkpoints = 8;
+        let loose = simulate(&p, &cfg, RunLimits::default()).unwrap();
+        assert!(
+            tight.cycles > loose.cycles,
+            "1 checkpoint ({}) should be slower than 8 ({})",
+            tight.cycles,
+            loose.cycles
+        );
+    }
+
+    #[test]
+    fn bmiss_scheme_invokes_handler_only_on_miss() {
+        let mut a = Asm::new();
+        let hdl = a.label("h");
+        a.li(r(1), 0x40_0000);
+        // First load misses (cold), second hits (same line).
+        a.load(r(2), r(1), 0);
+        a.branch_on_miss(hdl);
+        a.load(r(3), r(1), 8);
+        a.branch_on_miss(hdl);
+        a.halt();
+        a.bind(hdl).unwrap();
+        a.addi(r(20), r(20), 1);
+        a.jump_mhrr();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert_eq!(res.informing_traps, 1, "only the cold miss dispatches");
+        assert_eq!(res.instructions, 6 + 2);
+    }
+
+    #[test]
+    fn store_heavy_code_respects_write_buffer() {
+        let mut a = Asm::new();
+        a.li(r(1), 0x40_0000);
+        for i in 0..200 {
+            a.store(r(1), r(1), (i * 4096) as i64); // every store misses
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert_eq!(res.instructions, 202);
+        assert!(res.mem.l1d_misses >= 200);
+    }
+
+    #[test]
+    fn result_slot_accounting_is_exhaustive() {
+        let mut a = Asm::new();
+        let (i, n) = (r(1), r(2));
+        a.li(i, 0);
+        a.li(n, 100);
+        let top = a.here("top");
+        a.load(r(3), i, 0x40_0000);
+        a.addi(i, i, 64);
+        a.branch(Cond::Lt, i, n, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let res = run(&p);
+        assert_eq!(res.slots.total(), res.cycles * 4);
+    }
+
+    #[test]
+    fn deadlock_reported_for_impossible_config() {
+        let mut a = Asm::new();
+        a.fadd(Reg::fp(1), Reg::fp(2), Reg::fp(3));
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut cfg = OooConfig::paper();
+        cfg.fp_units = 0;
+        let err = simulate(&p, &cfg, RunLimits::default()).unwrap_err();
+        assert!(matches!(err, SimError::Deadlock { .. }), "{err}");
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let mut a = Asm::new();
+        let top = a.here("top");
+        a.addi(r(1), r(1), 1);
+        a.jump(top);
+        let p = a.assemble().unwrap();
+        let err = simulate(
+            &p,
+            &OooConfig::paper(),
+            RunLimits { max_instructions: u64::MAX, max_cycles: 1000 },
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::CycleLimit(1000)));
+    }
+}

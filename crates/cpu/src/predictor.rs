@@ -1,0 +1,136 @@
+//! Branch prediction (2-bit saturating counters, per Table 1).
+
+/// A table of 2-bit saturating counters indexed by branch PC.
+///
+/// Counters start weakly-not-taken. `bmiss` (branch-on-miss) instructions and
+/// implicit informing traps are *not* predicted through this table — the
+/// paper specifies they are statically predicted not-taken/no-trap, so the
+/// common hit case costs nothing.
+///
+/// # Example
+///
+/// ```
+/// use imo_cpu::predictor::TwoBitPredictor;
+///
+/// let mut p = TwoBitPredictor::new(1024);
+/// assert!(!p.predict(0x100)); // cold: weakly not-taken
+/// p.update(0x100, true);
+/// p.update(0x100, true);
+/// assert!(p.predict(0x100)); // trained taken
+/// ```
+#[derive(Debug, Clone)]
+pub struct TwoBitPredictor {
+    counters: Vec<u8>,
+    hits: u64,
+    lookups: u64,
+}
+
+impl TwoBitPredictor {
+    /// Creates a predictor with `entries` counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a positive power of two.
+    pub fn new(entries: usize) -> TwoBitPredictor {
+        assert!(entries.is_power_of_two() && entries > 0, "entries must be a power of two");
+        TwoBitPredictor { counters: vec![1; entries], hits: 0, lookups: 0 }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predicted direction for the branch at `pc`.
+    pub fn predict(&self, pc: u64) -> bool {
+        self.counters[self.index(pc)] >= 2
+    }
+
+    /// Predicts and trains in one step, returning the prediction made before
+    /// training. Tracks accuracy statistics.
+    pub fn predict_and_update(&mut self, pc: u64, taken: bool) -> bool {
+        let predicted = self.predict(pc);
+        self.lookups += 1;
+        if predicted == taken {
+            self.hits += 1;
+        }
+        self.update(pc, taken);
+        predicted
+    }
+
+    /// Trains the counter for `pc` with the actual outcome.
+    pub fn update(&mut self, pc: u64, taken: bool) {
+        let idx = self.index(pc);
+        let c = &mut self.counters[idx];
+        if taken {
+            *c = (*c + 1).min(3);
+        } else {
+            *c = c.saturating_sub(1);
+        }
+    }
+
+    /// Fraction of predictions that were correct (1.0 when none were made).
+    pub fn accuracy(&self) -> f64 {
+        if self.lookups == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+
+    /// Number of predictions made through [`TwoBitPredictor::predict_and_update`].
+    pub fn lookups(&self) -> u64 {
+        self.lookups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saturates_both_directions() {
+        let mut p = TwoBitPredictor::new(16);
+        for _ in 0..10 {
+            p.update(0, true);
+        }
+        assert!(p.predict(0));
+        p.update(0, false);
+        assert!(p.predict(0), "strongly taken needs two not-takens");
+        p.update(0, false);
+        assert!(!p.predict(0));
+    }
+
+    #[test]
+    fn accuracy_tracking() {
+        let mut p = TwoBitPredictor::new(16);
+        // Always-taken branch: first two predictions wrong (cold counter at 1).
+        for _ in 0..10 {
+            p.predict_and_update(0x40, true);
+        }
+        assert_eq!(p.lookups(), 10);
+        assert!(p.accuracy() >= 0.8, "accuracy {}", p.accuracy());
+    }
+
+    #[test]
+    fn distinct_pcs_use_distinct_counters() {
+        let mut p = TwoBitPredictor::new(16);
+        p.update(0x0, true);
+        p.update(0x0, true);
+        assert!(p.predict(0x0));
+        assert!(!p.predict(0x4), "neighbouring pc unaffected");
+    }
+
+    #[test]
+    fn aliasing_wraps() {
+        let mut p = TwoBitPredictor::new(4);
+        p.update(0x0, true);
+        p.update(0x0, true);
+        assert!(p.predict(16 * 4), "pc aliases onto the same counter");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = TwoBitPredictor::new(3);
+    }
+}

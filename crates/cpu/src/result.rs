@@ -1,0 +1,204 @@
+//! Simulation results and limits.
+
+use std::error::Error;
+use std::fmt;
+
+use imo_isa::exec::ExecError;
+
+/// Graduation-slot accounting, following the paper's Figure 2 methodology.
+///
+/// The machine offers `issue_width × cycles` graduation slots. Each cycle,
+/// slots that do not graduate an instruction are attributed to **cache
+/// stall** if the oldest in-flight instruction is blocked on a primary
+/// data-cache miss, otherwise to **other stall** (data dependences, fetch
+/// bubbles from mispredictions and informing traps, structural hazards,
+/// …). As the paper notes, the cache-stall section is a first-order
+/// approximation: miss delays also exacerbate subsequent dependence stalls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotBreakdown {
+    /// Slots in which an instruction graduated ("busy").
+    pub busy: u64,
+    /// Lost slots immediately caused by the oldest instruction suffering a
+    /// data-cache miss.
+    pub cache_stall: u64,
+    /// All other lost slots.
+    pub other_stall: u64,
+}
+
+impl SlotBreakdown {
+    /// Total slots.
+    pub fn total(&self) -> u64 {
+        self.busy + self.cache_stall + self.other_stall
+    }
+
+    /// Fractions `(busy, cache, other)` of the total.
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.busy as f64 / t,
+            self.cache_stall as f64 / t,
+            self.other_stall as f64 / t,
+        )
+    }
+}
+
+/// Memory-system counters captured at the end of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemCounters {
+    /// Demand data references.
+    pub l1d_accesses: u64,
+    /// Primary data-cache misses.
+    pub l1d_misses: u64,
+    /// Primary misses served by main memory (missed in L2 too).
+    pub l2_misses: u64,
+    /// Primary instruction-cache line misses.
+    pub inst_misses: u64,
+}
+
+impl MemCounters {
+    /// Primary data-cache miss rate.
+    pub fn l1d_miss_rate(&self) -> f64 {
+        if self.l1d_accesses == 0 {
+            0.0
+        } else {
+            self.l1d_misses as f64 / self.l1d_accesses as f64
+        }
+    }
+}
+
+/// The outcome of simulating a program to completion.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunResult {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Instructions graduated (includes miss-handler and instrumentation
+    /// instructions).
+    pub instructions: u64,
+    /// Graduation-slot breakdown.
+    pub slots: SlotBreakdown,
+    /// Informing traps taken (low-overhead traps plus taken `bmiss`es).
+    pub informing_traps: u64,
+    /// Branch mispredictions suffered.
+    pub mispredictions: u64,
+    /// Branch-prediction accuracy over conditional branches.
+    pub branch_accuracy: f64,
+    /// Memory-system counters.
+    pub mem: MemCounters,
+}
+
+impl RunResult {
+    /// Graduated instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Bounds on a simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLimits {
+    /// Maximum instructions to graduate before giving up.
+    pub max_instructions: u64,
+    /// Maximum cycles to simulate before giving up.
+    pub max_cycles: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> RunLimits {
+        RunLimits { max_instructions: 50_000_000, max_cycles: 500_000_000 }
+    }
+}
+
+/// Errors from the cycle-level simulators.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The functional executor faulted (PC left the text segment).
+    Exec(ExecError),
+    /// The instruction limit was reached before the program halted.
+    InstructionLimit(u64),
+    /// The cycle limit was reached before the program halted.
+    CycleLimit(u64),
+    /// The machine deadlocked (no forward progress; indicates a model bug or
+    /// an impossible configuration such as zero functional units).
+    Deadlock {
+        /// Cycle at which progress stopped.
+        cycle: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Exec(e) => write!(f, "functional execution failed: {e}"),
+            SimError::InstructionLimit(n) => write!(f, "instruction limit {n} reached"),
+            SimError::CycleLimit(n) => write!(f, "cycle limit {n} reached"),
+            SimError::Deadlock { cycle } => write!(f, "no forward progress at cycle {cycle}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> SimError {
+        SimError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_fractions_sum_to_one() {
+        let s = SlotBreakdown { busy: 50, cache_stall: 30, other_stall: 20 };
+        let (b, c, o) = s.fractions();
+        assert!((b + c + o - 1.0).abs() < 1e-12);
+        assert_eq!(s.total(), 100);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let s = SlotBreakdown::default();
+        assert_eq!(s.fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn ipc() {
+        let r = RunResult {
+            cycles: 100,
+            instructions: 250,
+            slots: SlotBreakdown::default(),
+            informing_traps: 0,
+            mispredictions: 0,
+            branch_accuracy: 1.0,
+            mem: MemCounters::default(),
+        };
+        assert_eq!(r.ipc(), 2.5);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let m = MemCounters { l1d_accesses: 200, l1d_misses: 20, l2_misses: 2, inst_misses: 0 };
+        assert_eq!(m.l1d_miss_rate(), 0.1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SimError::Deadlock { cycle: 7 }.to_string().contains("cycle 7"));
+        assert!(SimError::InstructionLimit(5).to_string().contains('5'));
+    }
+}

@@ -1,0 +1,168 @@
+//! Per-instruction pipeline traces (observability for the out-of-order
+//! model).
+//!
+//! Tracing records, for every graduated instruction, the cycle it passed
+//! each pipeline stage. [`render`] draws a compact text pipeline diagram —
+//! the standard way to see *why* a schedule looks the way it does (where a
+//! load's miss latency went, how far the informing trap redirect pushed the
+//! handler, which instructions overlapped it).
+
+use std::fmt::Write as _;
+
+use imo_isa::Instr;
+
+/// One graduated instruction's trip through the pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InstrTrace {
+    /// Dynamic sequence number (program order).
+    pub seq: u64,
+    /// Instruction address.
+    pub pc: u64,
+    /// The instruction.
+    pub instr: Instr,
+    /// Cycle fetched.
+    pub fetch: u64,
+    /// Cycle dispatched into the reorder buffer.
+    pub dispatch: u64,
+    /// Cycle issued to a functional unit.
+    pub issue: u64,
+    /// Cycle the result became available.
+    pub complete: u64,
+    /// Cycle graduated (committed).
+    pub graduate: u64,
+}
+
+impl InstrTrace {
+    /// Total cycles from fetch to graduation.
+    pub fn latency(&self) -> u64 {
+        self.graduate.saturating_sub(self.fetch)
+    }
+}
+
+/// Renders traces as a text pipeline diagram:
+///
+/// ```text
+/// seq pc       F        D        I        C        G        instr
+///   0 0x10000  0        0        3        4        5        li r1, 7
+/// ```
+pub fn render(traces: &[InstrTrace]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>5} {:<10} {:>8} {:>8} {:>8} {:>8} {:>8}  instr",
+        "seq", "pc", "F", "D", "I", "C", "G"
+    );
+    for t in traces {
+        let _ = writeln!(
+            out,
+            "{:>5} {:<#10x} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
+            t.seq, t.pc, t.fetch, t.dispatch, t.issue, t.complete, t.graduate, t.instr
+        );
+    }
+    out
+}
+
+/// Checks the stage-ordering invariants every trace must satisfy; returns
+/// the first violation as a message. Used by the test suite and handy when
+/// developing new pipeline features.
+pub fn validate(traces: &[InstrTrace]) -> Result<(), String> {
+    let mut last_graduate = 0u64;
+    let mut last_seq = None;
+    for t in traces {
+        if !(t.fetch <= t.dispatch && t.dispatch <= t.issue && t.issue < t.complete) {
+            return Err(format!("seq {}: stage order violated: {t:?}", t.seq));
+        }
+        if t.graduate < t.complete {
+            return Err(format!("seq {}: graduated before completing: {t:?}", t.seq));
+        }
+        if let Some(prev) = last_seq {
+            if t.seq != prev + 1 {
+                return Err(format!("seq {} follows {prev}: graduation must be in order", t.seq));
+            }
+        }
+        if t.graduate < last_graduate {
+            return Err(format!("seq {}: graduation time went backwards", t.seq));
+        }
+        last_seq = Some(t.seq);
+        last_graduate = t.graduate;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ooo::simulate_traced;
+    use crate::{OooConfig, RunLimits};
+    use imo_isa::{Asm, Cond, Reg};
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    #[test]
+    fn traces_cover_every_graduated_instruction_and_validate() {
+        let mut a = Asm::new();
+        let (i, n) = (r(1), r(2));
+        a.li(i, 0);
+        a.li(n, 50);
+        let top = a.here("top");
+        a.load(r(3), i, 0x40_0000);
+        a.addi(i, i, 64);
+        a.branch(Cond::Lt, i, n, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (res, traces) =
+            simulate_traced(&p, &OooConfig::paper(), RunLimits::default()).unwrap();
+        assert_eq!(traces.len() as u64, res.instructions);
+        validate(&traces).unwrap();
+    }
+
+    #[test]
+    fn load_use_latency_is_visible_in_the_trace() {
+        let mut a = Asm::new();
+        a.li(r(1), 0x40_0000);
+        a.load(r(2), r(1), 0); // cold miss to memory
+        a.addi(r(3), r(2), 1); // consumer
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (_, traces) = simulate_traced(&p, &OooConfig::paper(), RunLimits::default()).unwrap();
+        let load = &traces[1];
+        let consumer = &traces[2];
+        assert!(matches!(load.instr, Instr::Load { .. }));
+        assert!(
+            load.complete - load.issue >= 75,
+            "memory latency visible: {}",
+            load.complete - load.issue
+        );
+        assert!(consumer.issue >= load.complete, "consumer waits for the load");
+    }
+
+    #[test]
+    fn render_produces_one_line_per_instruction() {
+        let mut a = Asm::new();
+        a.li(r(1), 1);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let (_, traces) = simulate_traced(&p, &OooConfig::paper(), RunLimits::default()).unwrap();
+        let s = render(&traces);
+        assert_eq!(s.lines().count(), traces.len() + 1, "{s}");
+        assert!(s.contains("li r1, 1"));
+    }
+
+    #[test]
+    fn validate_rejects_out_of_order_graduation() {
+        let t = |seq, g| InstrTrace {
+            seq,
+            pc: 0x1_0000,
+            instr: Instr::Nop,
+            fetch: 0,
+            dispatch: 0,
+            issue: 1,
+            complete: 2,
+            graduate: g,
+        };
+        assert!(validate(&[t(0, 5), t(1, 4)]).is_err());
+        assert!(validate(&[t(0, 4), t(1, 5)]).is_ok());
+    }
+}

@@ -1,0 +1,480 @@
+//! A small assembler DSL for building [`Program`]s.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use crate::instr::{Cond, Instr, MemKind};
+use crate::program::{Program, TEXT_BASE};
+use crate::reg::Reg;
+
+/// A handle to a (possibly not-yet-bound) code label.
+///
+/// Created with [`Asm::label`], bound to the current position with
+/// [`Asm::bind`], and referenced by branch/jump/informing instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Errors produced by [`Asm::assemble`] and [`Asm::bind`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never bound.
+    UnboundLabel(String),
+    /// [`Asm::bind`] was called twice for the same label.
+    DuplicateBind(String),
+    /// The program has no instructions.
+    EmptyProgram,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel(n) => write!(f, "label `{n}` referenced but never bound"),
+            AsmError::DuplicateBind(n) => write!(f, "label `{n}` bound more than once"),
+            AsmError::EmptyProgram => write!(f, "program contains no instructions"),
+        }
+    }
+}
+
+impl Error for AsmError {}
+
+#[derive(Debug, Clone)]
+struct LabelInfo {
+    name: String,
+    addr: Option<u64>,
+}
+
+/// Pending label patch: instruction index whose target must be filled in.
+#[derive(Debug, Clone, Copy)]
+struct Fixup {
+    instr: usize,
+    label: Label,
+}
+
+/// Builder for [`Program`]s.
+///
+/// Each emit method appends one instruction; control-flow methods accept
+/// [`Label`]s that may be bound before or after the reference (forward
+/// branches are patched at [`Asm::assemble`] time).
+///
+/// # Example
+///
+/// ```
+/// use imo_isa::{Asm, Reg, Cond};
+///
+/// let mut a = Asm::new();
+/// let (r1, r2) = (Reg::int(1), Reg::int(2));
+/// let top = a.label("top");
+/// a.li(r1, 0);
+/// a.li(r2, 10);
+/// a.bind(top).unwrap();
+/// a.addi(r1, r1, 1);
+/// a.branch(Cond::Lt, r1, r2, top);
+/// a.halt();
+/// let p = a.assemble().unwrap();
+/// assert_eq!(p.len(), 5);
+/// ```
+#[derive(Debug, Default)]
+pub struct Asm {
+    instrs: Vec<Instr>,
+    labels: Vec<LabelInfo>,
+    fixups: Vec<Fixup>,
+    data: Vec<(u64, u64)>,
+    entry: Option<Label>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Asm {
+        Asm::default()
+    }
+
+    /// Declares a new label named `name` (not yet bound to an address).
+    pub fn label(&mut self, name: &str) -> Label {
+        self.labels.push(LabelInfo { name: name.to_string(), addr: None });
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the address of the *next* emitted instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::DuplicateBind`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let info = &mut self.labels[label.0];
+        if info.addr.is_some() {
+            return Err(AsmError::DuplicateBind(info.name.clone()));
+        }
+        info.addr = Some(Program::addr_of(self.instrs.len()));
+        Ok(())
+    }
+
+    /// Declares and immediately binds a label at the current position.
+    pub fn here(&mut self, name: &str) -> Label {
+        let l = self.label(name);
+        self.bind(l).expect("fresh label cannot be already bound");
+        l
+    }
+
+    /// Sets the entry point to `label` (defaults to the first instruction).
+    pub fn entry(&mut self, label: Label) {
+        self.entry = Some(label);
+    }
+
+    /// Adds an initial data word at byte address `addr`.
+    pub fn word(&mut self, addr: u64, value: u64) {
+        self.data.push((addr, value));
+    }
+
+    /// Adds an initial data double at byte address `addr`.
+    pub fn double(&mut self, addr: u64, value: f64) {
+        self.data.push((addr, value.to_bits()));
+    }
+
+    /// The address the next emitted instruction will have.
+    pub fn next_addr(&self) -> u64 {
+        Program::addr_of(self.instrs.len())
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Appends an arbitrary pre-built instruction.
+    pub fn emit(&mut self, instr: Instr) {
+        self.instrs.push(instr);
+    }
+
+    fn emit_fixup(&mut self, instr: Instr, label: Label) {
+        self.fixups.push(Fixup { instr: self.instrs.len(), label });
+        self.instrs.push(instr);
+    }
+
+    // ---- integer ALU ----
+
+    /// `rd = rs + rt`
+    pub fn add(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Add { rd, rs, rt });
+    }
+    /// `rd = rs - rt`
+    pub fn sub(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Sub { rd, rs, rt });
+    }
+    /// `rd = rs & rt`
+    pub fn and(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::And { rd, rs, rt });
+    }
+    /// `rd = rs | rt`
+    pub fn or(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Or { rd, rs, rt });
+    }
+    /// `rd = rs ^ rt`
+    pub fn xor(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Xor { rd, rs, rt });
+    }
+    /// `rd = rs << sh`
+    pub fn sll(&mut self, rd: Reg, rs: Reg, sh: u8) {
+        self.emit(Instr::Sll { rd, rs, sh });
+    }
+    /// `rd = rs >> sh`
+    pub fn srl(&mut self, rd: Reg, rs: Reg, sh: u8) {
+        self.emit(Instr::Srl { rd, rs, sh });
+    }
+    /// `rd = (rs < rt) ? 1 : 0`
+    pub fn slt(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Slt { rd, rs, rt });
+    }
+    /// `rd = rs + imm`
+    pub fn addi(&mut self, rd: Reg, rs: Reg, imm: i64) {
+        self.emit(Instr::Addi { rd, rs, imm });
+    }
+    /// `rd = rs & imm`
+    pub fn andi(&mut self, rd: Reg, rs: Reg, imm: u64) {
+        self.emit(Instr::Andi { rd, rs, imm });
+    }
+    /// `rd = imm`
+    pub fn li(&mut self, rd: Reg, imm: i64) {
+        self.emit(Instr::Li { rd, imm });
+    }
+    /// `rd = rs * rt`
+    pub fn mul(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Mul { rd, rs, rt });
+    }
+    /// `rd = rs / rt`
+    pub fn div(&mut self, rd: Reg, rs: Reg, rt: Reg) {
+        self.emit(Instr::Div { rd, rs, rt });
+    }
+
+    // ---- floating point ----
+
+    /// `fd = fs + ft`
+    pub fn fadd(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instr::Fadd { fd, fs, ft });
+    }
+    /// `fd = fs - ft`
+    pub fn fsub(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instr::Fsub { fd, fs, ft });
+    }
+    /// `fd = fs * ft`
+    pub fn fmul(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instr::Fmul { fd, fs, ft });
+    }
+    /// `fd = fs / ft`
+    pub fn fdiv(&mut self, fd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instr::Fdiv { fd, fs, ft });
+    }
+    /// `fd = sqrt(fs)`
+    pub fn fsqrt(&mut self, fd: Reg, fs: Reg) {
+        self.emit(Instr::Fsqrt { fd, fs });
+    }
+    /// `fd = fs`
+    pub fn fmov(&mut self, fd: Reg, fs: Reg) {
+        self.emit(Instr::Fmov { fd, fs });
+    }
+    /// `fd = imm`
+    pub fn fli(&mut self, fd: Reg, imm: f64) {
+        self.emit(Instr::Fli { fd, imm });
+    }
+    /// `fd = (f64) rs`
+    pub fn cvtif(&mut self, fd: Reg, rs: Reg) {
+        self.emit(Instr::Cvtif { fd, rs });
+    }
+    /// `rd = (i64) fs`
+    pub fn cvtfi(&mut self, rd: Reg, fs: Reg) {
+        self.emit(Instr::Cvtfi { rd, fs });
+    }
+    /// `rd = (fs < ft) ? 1 : 0`
+    pub fn fcmplt(&mut self, rd: Reg, fs: Reg, ft: Reg) {
+        self.emit(Instr::Fcmplt { rd, fs, ft });
+    }
+
+    // ---- memory ----
+
+    /// `rd = mem[base + offset]` (ordinary load)
+    pub fn load(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Instr::Load { rd, base, offset, kind: MemKind::Normal });
+    }
+    /// `rd = mem[base + offset]` (informing load)
+    pub fn load_inf(&mut self, rd: Reg, base: Reg, offset: i64) {
+        self.emit(Instr::Load { rd, base, offset, kind: MemKind::Informing });
+    }
+    /// `mem[base + offset] = rs` (ordinary store)
+    pub fn store(&mut self, rs: Reg, base: Reg, offset: i64) {
+        self.emit(Instr::Store { rs, base, offset, kind: MemKind::Normal });
+    }
+    /// `mem[base + offset] = rs` (informing store)
+    pub fn store_inf(&mut self, rs: Reg, base: Reg, offset: i64) {
+        self.emit(Instr::Store { rs, base, offset, kind: MemKind::Informing });
+    }
+    /// Non-binding prefetch of `base + offset`.
+    pub fn prefetch(&mut self, base: Reg, offset: i64) {
+        self.emit(Instr::Prefetch { base, offset });
+    }
+
+    // ---- control ----
+
+    /// Conditional branch to `target`.
+    pub fn branch(&mut self, cond: Cond, rs: Reg, rt: Reg, target: Label) {
+        self.emit_fixup(Instr::Branch { cond, rs, rt, target: 0 }, target);
+    }
+    /// Unconditional jump to `target`.
+    pub fn jump(&mut self, target: Label) {
+        self.emit_fixup(Instr::Jump { target: 0 }, target);
+    }
+    /// Jump-and-link to `target` (`r31` receives the return address).
+    pub fn jal(&mut self, target: Label) {
+        self.emit_fixup(Instr::Jal { target: 0 }, target);
+    }
+    /// Jump to the address in `rs`.
+    pub fn jr(&mut self, rs: Reg) {
+        self.emit(Instr::Jr { rs });
+    }
+
+    // ---- informing extensions ----
+
+    /// Branch-and-link to `target` if the previous memory operation missed
+    /// in the primary cache (cache-outcome condition-code scheme).
+    pub fn branch_on_miss(&mut self, target: Label) {
+        self.emit_fixup(Instr::BranchOnMiss { target: 0 }, target);
+    }
+    /// Branch-and-link to `target` if the previous memory operation missed
+    /// all the way to main memory (the secondary-level condition code).
+    pub fn branch_on_mem_miss(&mut self, target: Label) {
+        self.emit_fixup(Instr::BranchOnMemMiss { target: 0 }, target);
+    }
+    /// `MHAR = target` — select the miss handler (zero disables).
+    pub fn set_mhar(&mut self, target: Label) {
+        self.emit_fixup(Instr::SetMhar { target: 0 }, target);
+    }
+    /// `MHAR = 0` — disable informing traps.
+    pub fn clear_mhar(&mut self) {
+        self.emit(Instr::SetMhar { target: 0 });
+    }
+    /// `MHAR = rs`
+    pub fn set_mhar_reg(&mut self, rs: Reg) {
+        self.emit(Instr::SetMharReg { rs });
+    }
+    /// `MHRR = rs` — redirect the handler's return (see
+    /// [`Instr::SetMhrrReg`]).
+    pub fn set_mhrr_reg(&mut self, rs: Reg) {
+        self.emit(Instr::SetMhrrReg { rs });
+    }
+    /// `rd = MHRR`
+    pub fn read_mhrr(&mut self, rd: Reg) {
+        self.emit(Instr::ReadMhrr { rd });
+    }
+    /// `rd = MAR`
+    pub fn read_mar(&mut self, rd: Reg) {
+        self.emit(Instr::ReadMar { rd });
+    }
+    /// Return from a miss handler (`pc = MHRR`).
+    pub fn jump_mhrr(&mut self) {
+        self.emit(Instr::JumpMhrr);
+    }
+
+    // ---- misc ----
+
+    /// No operation.
+    pub fn nop(&mut self) {
+        self.emit(Instr::Nop);
+    }
+    /// Stop the machine.
+    pub fn halt(&mut self) {
+        self.emit(Instr::Halt);
+    }
+
+    /// Resolves all labels and produces the final [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AsmError::UnboundLabel`] if any referenced label was never
+    /// bound, or [`AsmError::EmptyProgram`] for an empty text segment.
+    pub fn assemble(mut self) -> Result<Program, AsmError> {
+        if self.instrs.is_empty() {
+            return Err(AsmError::EmptyProgram);
+        }
+        for fix in &self.fixups {
+            let info = &self.labels[fix.label.0];
+            let addr = info
+                .addr
+                .ok_or_else(|| AsmError::UnboundLabel(info.name.clone()))?;
+            match &mut self.instrs[fix.instr] {
+                Instr::Branch { target, .. }
+                | Instr::Jump { target }
+                | Instr::Jal { target }
+                | Instr::BranchOnMiss { target }
+                | Instr::BranchOnMemMiss { target }
+                | Instr::SetMhar { target } => *target = addr,
+                other => unreachable!("fixup on non-control instruction {other:?}"),
+            }
+        }
+        let entry = match self.entry {
+            Some(l) => {
+                let info = &self.labels[l.0];
+                info.addr
+                    .ok_or_else(|| AsmError::UnboundLabel(info.name.clone()))?
+            }
+            None => TEXT_BASE,
+        };
+        let labels = self
+            .labels
+            .into_iter()
+            .filter_map(|l| l.addr.map(|a| (l.name, a)))
+            .collect::<HashMap<_, _>>();
+        Ok(Program::new(self.instrs, labels, self.data, entry))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        let fwd = a.label("fwd");
+        let back = a.here("back");
+        a.jump(fwd);
+        a.jump(back);
+        a.bind(fwd).unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(TEXT_BASE), Some(Instr::Jump { target: TEXT_BASE + 8 }));
+        assert_eq!(p.fetch(TEXT_BASE + 4), Some(Instr::Jump { target: TEXT_BASE }));
+        assert_eq!(p.label("fwd"), Some(TEXT_BASE + 8));
+        assert_eq!(p.label("back"), Some(TEXT_BASE));
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut a = Asm::new();
+        let l = a.label("nowhere");
+        a.jump(l);
+        assert_eq!(a.assemble(), Err(AsmError::UnboundLabel("nowhere".into())));
+    }
+
+    #[test]
+    fn duplicate_bind_is_error() {
+        let mut a = Asm::new();
+        let l = a.label("x");
+        a.bind(l).unwrap();
+        a.nop();
+        assert_eq!(a.bind(l), Err(AsmError::DuplicateBind("x".into())));
+    }
+
+    #[test]
+    fn empty_program_is_error() {
+        assert_eq!(Asm::new().assemble(), Err(AsmError::EmptyProgram));
+    }
+
+    #[test]
+    fn entry_label() {
+        let mut a = Asm::new();
+        a.nop();
+        let main = a.here("main");
+        a.halt();
+        a.entry(main);
+        let p = a.assemble().unwrap();
+        assert_eq!(p.entry(), TEXT_BASE + 4);
+    }
+
+    #[test]
+    fn set_mhar_resolves_label() {
+        let mut a = Asm::new();
+        let h = a.label("handler");
+        a.set_mhar(h);
+        a.halt();
+        a.bind(h).unwrap();
+        a.jump_mhrr();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.fetch(TEXT_BASE), Some(Instr::SetMhar { target: TEXT_BASE + 8 }));
+    }
+
+    #[test]
+    fn data_words() {
+        let mut a = Asm::new();
+        a.word(0x2000, 99);
+        a.double(0x2008, 1.5);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.data().len(), 2);
+        assert_eq!(p.data()[0], (0x2000, 99));
+        assert_eq!(p.data()[1], (0x2008, 1.5f64.to_bits()));
+    }
+
+    #[test]
+    fn next_addr_tracks_emission() {
+        let mut a = Asm::new();
+        assert_eq!(a.next_addr(), TEXT_BASE);
+        a.nop();
+        assert_eq!(a.next_addr(), TEXT_BASE + 4);
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,464 @@
+//! Instruction definitions.
+
+use std::fmt;
+
+use crate::reg::Reg;
+
+/// Whether a memory operation participates in the informing mechanism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum MemKind {
+    /// An ordinary load/store: never triggers the low-overhead miss trap.
+    ///
+    /// Its hit/miss outcome is still recorded in the cache-outcome condition
+    /// code (in the paper's condition-code scheme *all* memory operations are
+    /// informing by default).
+    #[default]
+    Normal,
+    /// An informing load/store: on a primary data-cache miss, control
+    /// transfers to the address in the MHAR (if non-zero) and the return
+    /// address is deposited in the MHRR.
+    Informing,
+}
+
+/// Branch conditions for [`Instr::Branch`]; comparisons are signed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cond {
+    /// `rs == rt`
+    Eq,
+    /// `rs != rt`
+    Ne,
+    /// `rs < rt` (signed)
+    Lt,
+    /// `rs >= rt` (signed)
+    Ge,
+    /// `rs <= rt` (signed)
+    Le,
+    /// `rs > rt` (signed)
+    Gt,
+}
+
+impl Cond {
+    /// Evaluates the condition on two integer register values.
+    pub fn eval(self, rs: u64, rt: u64) -> bool {
+        let (a, b) = (rs as i64, rt as i64);
+        match self {
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+            Cond::Lt => a < b,
+            Cond::Ge => a >= b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+        }
+    }
+}
+
+/// The functional-unit class an instruction executes on.
+///
+/// The processor models in `imo-cpu` provision functional units per class
+/// (Table 1 of the paper: the out-of-order model has 2 INT, 2 FP, 1 branch
+/// and 1 memory unit; the in-order model has 2 INT, 2 FP and 1 branch, with
+/// memory operations sharing the integer pipes as on the Alpha 21164).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Integer ALU operations (including integer multiply/divide).
+    Int,
+    /// Floating-point operations.
+    Fp,
+    /// Branches, jumps and the informing-control instructions.
+    Branch,
+    /// Loads, stores and prefetches.
+    Mem,
+}
+
+/// One IRIS instruction.
+///
+/// Branch and jump targets hold *resolved instruction addresses* (the
+/// assembler resolves labels). Instruction addresses start at
+/// [`crate::program::TEXT_BASE`] and advance by 4 per instruction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[allow(missing_docs)] // operand fields use conventional names (rd/rs/rt, fd/fs/ft, base/offset)
+pub enum Instr {
+    // ---- integer ALU ----
+    /// `rd = rs + rt`
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs - rt`
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs & rt`
+    And { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs | rt`
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs ^ rt`
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs << sh`
+    Sll { rd: Reg, rs: Reg, sh: u8 },
+    /// `rd = rs >> sh` (logical)
+    Srl { rd: Reg, rs: Reg, sh: u8 },
+    /// `rd = (rs < rt) ? 1 : 0` (signed)
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs + imm`
+    Addi { rd: Reg, rs: Reg, imm: i64 },
+    /// `rd = rs & imm` (immediate zero-extended from the low 16 bits)
+    Andi { rd: Reg, rs: Reg, imm: u64 },
+    /// `rd = imm`
+    Li { rd: Reg, imm: i64 },
+    /// `rd = rs * rt` (low 64 bits; 12-cycle latency in both models)
+    Mul { rd: Reg, rs: Reg, rt: Reg },
+    /// `rd = rs / rt` (signed; traps-free: division by zero yields 0;
+    /// 76-cycle latency in both models)
+    Div { rd: Reg, rs: Reg, rt: Reg },
+
+    // ---- floating point ----
+    /// `fd = fs + ft`
+    Fadd { fd: Reg, fs: Reg, ft: Reg },
+    /// `fd = fs - ft`
+    Fsub { fd: Reg, fs: Reg, ft: Reg },
+    /// `fd = fs * ft`
+    Fmul { fd: Reg, fs: Reg, ft: Reg },
+    /// `fd = fs / ft` (15 cycles out-of-order, 17 in-order)
+    Fdiv { fd: Reg, fs: Reg, ft: Reg },
+    /// `fd = sqrt(fs)` (20 cycles)
+    Fsqrt { fd: Reg, fs: Reg },
+    /// `fd = fs`
+    Fmov { fd: Reg, fs: Reg },
+    /// `fd = imm`
+    Fli { fd: Reg, imm: f64 },
+    /// `fd = (f64) rs` — integer to float conversion
+    Cvtif { fd: Reg, rs: Reg },
+    /// `rd = (i64) fs` — float to integer conversion (truncating)
+    Cvtfi { rd: Reg, fs: Reg },
+    /// `rd = (fs < ft) ? 1 : 0` — FP compare into an integer register
+    Fcmplt { rd: Reg, fs: Reg, ft: Reg },
+
+    // ---- memory ----
+    /// Load a 64-bit word: `rd = mem[base + offset]`.
+    ///
+    /// `rd` may be an integer or a floating-point register (FP loads
+    /// reinterpret the word's bits as an IEEE double).
+    Load { rd: Reg, base: Reg, offset: i64, kind: MemKind },
+    /// Store a 64-bit word: `mem[base + offset] = rs`.
+    Store { rs: Reg, base: Reg, offset: i64, kind: MemKind },
+    /// Non-binding prefetch of the line containing `base + offset`.
+    ///
+    /// Never traps and never sets the outcome condition code.
+    Prefetch { base: Reg, offset: i64 },
+
+    // ---- control ----
+    /// Conditional branch on an integer comparison.
+    Branch { cond: Cond, rs: Reg, rt: Reg, target: u64 },
+    /// Unconditional jump.
+    Jump { target: u64 },
+    /// Jump and link: `r31 = pc + 4; pc = target`.
+    Jal { target: u64 },
+    /// Jump register: `pc = rs`.
+    Jr { rs: Reg },
+
+    // ---- informing extensions ----
+    /// Branch-and-link if the *previous* memory operation (in program order)
+    /// missed in the primary data cache (the cache-outcome condition-code
+    /// scheme of §2.1). The return address is deposited in the MHRR so that
+    /// handlers can be shared with the low-overhead-trap scheme and return
+    /// with [`Instr::JumpMhrr`]. Statically predicted not-taken.
+    BranchOnMiss { target: u64 },
+    /// Branch-and-link if the previous memory operation missed in the
+    /// *secondary* cache as well (i.e. went to main memory) — the §2.1
+    /// extension of the outcome condition code to other hierarchy levels,
+    /// which §4.1.3 uses to isolate secondary misses for software
+    /// multithreading. Statically predicted not-taken.
+    BranchOnMemMiss { target: u64 },
+    /// Load the Miss Handler Address Register with an immediate code address.
+    /// A zero MHAR disables informing traps.
+    SetMhar { target: u64 },
+    /// Load the MHAR from an integer register.
+    SetMharReg { rs: Reg },
+    /// Load the MHRR from an integer register. Together with
+    /// [`Instr::JumpMhrr`] this lets a miss handler *redirect* its return —
+    /// the primitive behind software-controlled multithreading (§4.1.3),
+    /// where the handler parks the interrupted thread's resume address and
+    /// resumes a different thread instead.
+    SetMhrrReg { rs: Reg },
+    /// `rd = MHRR` — read the miss-handler return address (used by profiling
+    /// handlers to index per-reference tables, §4.1.1).
+    ReadMhrr { rd: Reg },
+    /// `rd = MAR` — read the data address of the most recent primary-cache
+    /// miss (documented extension; see crate docs).
+    ReadMar { rd: Reg },
+    /// Return from a miss handler: `pc = MHRR`.
+    JumpMhrr,
+
+    // ---- misc ----
+    /// No operation.
+    Nop,
+    /// Stop execution.
+    Halt,
+}
+
+impl Instr {
+    /// The destination register written by this instruction, if any.
+    ///
+    /// Special registers (MHAR/MHRR/MAR, the outcome condition code) are not
+    /// reported here; the processor models handle them separately.
+    pub fn dest(&self) -> Option<Reg> {
+        use Instr::*;
+        let d = match *self {
+            Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. }
+            | Xor { rd, .. } | Sll { rd, .. } | Srl { rd, .. } | Slt { rd, .. }
+            | Addi { rd, .. } | Andi { rd, .. } | Li { rd, .. } | Mul { rd, .. }
+            | Div { rd, .. } | Cvtfi { rd, .. } | Fcmplt { rd, .. }
+            | ReadMhrr { rd } | ReadMar { rd } | Load { rd, .. } => rd,
+            Fadd { fd, .. } | Fsub { fd, .. } | Fmul { fd, .. } | Fdiv { fd, .. }
+            | Fsqrt { fd, .. } | Fmov { fd, .. } | Fli { fd, .. } | Cvtif { fd, .. } => fd,
+            Jal { .. } => Reg::LINK,
+            _ => return None,
+        };
+        if d.is_zero() {
+            None
+        } else {
+            Some(d)
+        }
+    }
+
+    /// The source registers read by this instruction (`r0` excluded, since it
+    /// is always ready).
+    pub fn sources(&self) -> SourceIter {
+        use Instr::*;
+        let (a, b) = match *self {
+            Add { rs, rt, .. } | Sub { rs, rt, .. } | And { rs, rt, .. }
+            | Or { rs, rt, .. } | Xor { rs, rt, .. } | Slt { rs, rt, .. }
+            | Mul { rs, rt, .. } | Div { rs, rt, .. } => (Some(rs), Some(rt)),
+            Sll { rs, .. } | Srl { rs, .. } | Addi { rs, .. } | Andi { rs, .. }
+            | Cvtif { rs, .. } | Jr { rs } | SetMharReg { rs } | SetMhrrReg { rs } => {
+                (Some(rs), None)
+            }
+            Fadd { fs, ft, .. } | Fsub { fs, ft, .. } | Fmul { fs, ft, .. }
+            | Fdiv { fs, ft, .. } | Fcmplt { fs, ft, .. } => (Some(fs), Some(ft)),
+            Fsqrt { fs, .. } | Fmov { fs, .. } | Cvtfi { fs, .. } => (Some(fs), None),
+            Load { base, .. } | Prefetch { base, .. } => (Some(base), None),
+            Store { rs, base, .. } => (Some(base), Some(rs)),
+            Branch { rs, rt, .. } => (Some(rs), Some(rt)),
+            Li { .. } | Fli { .. } | Jump { .. } | Jal { .. } | BranchOnMiss { .. }
+            | BranchOnMemMiss { .. } | SetMhar { .. } | ReadMhrr { .. } | ReadMar { .. }
+            | JumpMhrr | Nop | Halt => (None, None),
+        };
+        SourceIter {
+            regs: [a.filter(|r| !r.is_zero()), b.filter(|r| !r.is_zero())],
+            next: 0,
+        }
+    }
+
+    /// The functional-unit class this instruction occupies.
+    pub fn fu_class(&self) -> FuClass {
+        use Instr::*;
+        match self {
+            Load { .. } | Store { .. } | Prefetch { .. } => FuClass::Mem,
+            Branch { .. } | Jump { .. } | Jal { .. } | Jr { .. } | BranchOnMiss { .. }
+            | BranchOnMemMiss { .. } | JumpMhrr | Halt => FuClass::Branch,
+            Fadd { .. } | Fsub { .. } | Fmul { .. } | Fdiv { .. } | Fsqrt { .. }
+            | Fmov { .. } | Fli { .. } | Cvtif { .. } | Cvtfi { .. } | Fcmplt { .. } => FuClass::Fp,
+            _ => FuClass::Int,
+        }
+    }
+
+    /// Whether this is a load, store or prefetch.
+    pub fn is_mem(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. } | Instr::Prefetch { .. })
+    }
+
+    /// Whether this is a load or store (prefetches excluded) — i.e. an
+    /// operation that sets the cache-outcome condition code.
+    pub fn is_data_ref(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+
+    /// Whether this memory operation is marked informing.
+    pub fn is_informing(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { kind: MemKind::Informing, .. }
+                | Instr::Store { kind: MemKind::Informing, .. }
+        )
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        self.fu_class() == FuClass::Branch && !matches!(self, Instr::Halt)
+    }
+
+    /// For direct control transfers, the static target address.
+    pub fn static_target(&self) -> Option<u64> {
+        match *self {
+            Instr::Branch { target, .. }
+            | Instr::Jump { target }
+            | Instr::Jal { target }
+            | Instr::BranchOnMiss { target }
+            | Instr::BranchOnMemMiss { target } => Some(target),
+            _ => None,
+        }
+    }
+}
+
+/// Iterator over an instruction's source registers (at most two).
+#[derive(Debug, Clone)]
+pub struct SourceIter {
+    regs: [Option<Reg>; 2],
+    next: usize,
+}
+
+impl Iterator for SourceIter {
+    type Item = Reg;
+
+    fn next(&mut self) -> Option<Reg> {
+        while self.next < 2 {
+            let r = self.regs[self.next];
+            self.next += 1;
+            if r.is_some() {
+                return r;
+            }
+        }
+        None
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Add { rd, rs, rt } => write!(f, "add {rd}, {rs}, {rt}"),
+            Sub { rd, rs, rt } => write!(f, "sub {rd}, {rs}, {rt}"),
+            And { rd, rs, rt } => write!(f, "and {rd}, {rs}, {rt}"),
+            Or { rd, rs, rt } => write!(f, "or {rd}, {rs}, {rt}"),
+            Xor { rd, rs, rt } => write!(f, "xor {rd}, {rs}, {rt}"),
+            Sll { rd, rs, sh } => write!(f, "sll {rd}, {rs}, {sh}"),
+            Srl { rd, rs, sh } => write!(f, "srl {rd}, {rs}, {sh}"),
+            Slt { rd, rs, rt } => write!(f, "slt {rd}, {rs}, {rt}"),
+            Addi { rd, rs, imm } => write!(f, "addi {rd}, {rs}, {imm}"),
+            Andi { rd, rs, imm } => write!(f, "andi {rd}, {rs}, {imm:#x}"),
+            Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Mul { rd, rs, rt } => write!(f, "mul {rd}, {rs}, {rt}"),
+            Div { rd, rs, rt } => write!(f, "div {rd}, {rs}, {rt}"),
+            Fadd { fd, fs, ft } => write!(f, "fadd {fd}, {fs}, {ft}"),
+            Fsub { fd, fs, ft } => write!(f, "fsub {fd}, {fs}, {ft}"),
+            Fmul { fd, fs, ft } => write!(f, "fmul {fd}, {fs}, {ft}"),
+            Fdiv { fd, fs, ft } => write!(f, "fdiv {fd}, {fs}, {ft}"),
+            Fsqrt { fd, fs } => write!(f, "fsqrt {fd}, {fs}"),
+            Fmov { fd, fs } => write!(f, "fmov {fd}, {fs}"),
+            Fli { fd, imm } => write!(f, "fli {fd}, {imm}"),
+            Cvtif { fd, rs } => write!(f, "cvt.i.f {fd}, {rs}"),
+            Cvtfi { rd, fs } => write!(f, "cvt.f.i {rd}, {fs}"),
+            Fcmplt { rd, fs, ft } => write!(f, "fcmplt {rd}, {fs}, {ft}"),
+            Load { rd, base, offset, kind } => {
+                let m = if kind == MemKind::Informing { "ld.inf" } else { "ld" };
+                write!(f, "{m} {rd}, {offset}({base})")
+            }
+            Store { rs, base, offset, kind } => {
+                let m = if kind == MemKind::Informing { "st.inf" } else { "st" };
+                write!(f, "{m} {rs}, {offset}({base})")
+            }
+            Prefetch { base, offset } => write!(f, "pref {offset}({base})"),
+            Branch { cond, rs, rt, target } => {
+                let op = match cond {
+                    Cond::Eq => "beq",
+                    Cond::Ne => "bne",
+                    Cond::Lt => "blt",
+                    Cond::Ge => "bge",
+                    Cond::Le => "ble",
+                    Cond::Gt => "bgt",
+                };
+                write!(f, "{op} {rs}, {rt}, {target:#x}")
+            }
+            Jump { target } => write!(f, "j {target:#x}"),
+            Jal { target } => write!(f, "jal {target:#x}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            BranchOnMiss { target } => write!(f, "bmiss {target:#x}"),
+            BranchOnMemMiss { target } => write!(f, "bmissmem {target:#x}"),
+            SetMhar { target } => write!(f, "setmhar {target:#x}"),
+            SetMharReg { rs } => write!(f, "setmhar {rs}"),
+            SetMhrrReg { rs } => write!(f, "setmhrr {rs}"),
+            ReadMhrr { rd } => write!(f, "rdmhrr {rd}"),
+            ReadMar { rd } => write!(f, "rdmar {rd}"),
+            JumpMhrr => write!(f, "jmhrr"),
+            Nop => write!(f, "nop"),
+            Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> Reg {
+        Reg::int(i)
+    }
+
+    #[test]
+    fn dest_of_alu() {
+        let i = Instr::Add { rd: r(3), rs: r(1), rt: r(2) };
+        assert_eq!(i.dest(), Some(r(3)));
+    }
+
+    #[test]
+    fn dest_to_zero_is_none() {
+        let i = Instr::Add { rd: Reg::ZERO, rs: r(1), rt: r(2) };
+        assert_eq!(i.dest(), None);
+    }
+
+    #[test]
+    fn jal_writes_link() {
+        let i = Instr::Jal { target: 0x40 };
+        assert_eq!(i.dest(), Some(Reg::LINK));
+    }
+
+    #[test]
+    fn sources_of_store() {
+        let i = Instr::Store { rs: r(5), base: r(6), offset: 8, kind: MemKind::Normal };
+        let s: Vec<Reg> = i.sources().collect();
+        assert_eq!(s, vec![r(6), r(5)]);
+    }
+
+    #[test]
+    fn sources_skip_zero() {
+        let i = Instr::Add { rd: r(1), rs: Reg::ZERO, rt: r(2) };
+        let s: Vec<Reg> = i.sources().collect();
+        assert_eq!(s, vec![r(2)]);
+    }
+
+    #[test]
+    fn fu_classes() {
+        assert_eq!(Instr::Nop.fu_class(), FuClass::Int);
+        assert_eq!(Instr::JumpMhrr.fu_class(), FuClass::Branch);
+        assert_eq!(
+            Instr::Prefetch { base: r(1), offset: 0 }.fu_class(),
+            FuClass::Mem
+        );
+        assert_eq!(
+            Instr::Fadd { fd: Reg::fp(1), fs: Reg::fp(2), ft: Reg::fp(3) }.fu_class(),
+            FuClass::Fp
+        );
+    }
+
+    #[test]
+    fn informing_flags() {
+        let l = Instr::Load { rd: r(1), base: r(2), offset: 0, kind: MemKind::Informing };
+        assert!(l.is_informing());
+        assert!(l.is_data_ref());
+        let p = Instr::Prefetch { base: r(2), offset: 0 };
+        assert!(!p.is_data_ref());
+        assert!(p.is_mem());
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Lt.eval(-1i64 as u64, 1));
+        assert!(!Cond::Gt.eval(-1i64 as u64, 1));
+        assert!(Cond::Eq.eval(7, 7));
+        assert!(Cond::Ne.eval(7, 8));
+        assert!(Cond::Ge.eval(8, 8));
+        assert!(Cond::Le.eval(7, 8));
+    }
+
+    #[test]
+    fn static_targets() {
+        assert_eq!(Instr::Jump { target: 0x123 }.static_target(), Some(0x123));
+        assert_eq!(Instr::Nop.static_target(), None);
+    }
+}

@@ -1,0 +1,65 @@
+//! # IRIS: an informing-memory RISC instruction set
+//!
+//! This crate defines the instruction set used by the cycle-level processor
+//! models in this workspace, together with an assembler DSL and a functional
+//! (architectural) executor.
+//!
+//! The ISA is a conventional MIPS-like 64-bit RISC (32 integer + 32
+//! floating-point registers) extended with the *informing memory operation*
+//! primitives proposed by Horowitz, Martonosi, Mowry and Smith in
+//! "Informing Memory Operations" (ISCA 1996):
+//!
+//! * **Cache-outcome condition code** — every data memory operation records
+//!   its primary-cache hit/miss outcome in user-visible state; the explicit
+//!   [`Instr::BranchOnMiss`] instruction conditionally branch-and-links on
+//!   that state.
+//! * **Low-overhead cache-miss trap** — memory operations marked
+//!   [`MemKind::Informing`] implicitly trap to the address held in the *Miss
+//!   Handler Address Register* (MHAR) when they miss in the primary data
+//!   cache, depositing the return address in the *Miss Handler Return
+//!   Register* (MHRR). [`Instr::SetMhar`] loads the MHAR (zero disables
+//!   trapping) and [`Instr::JumpMhrr`] returns from a handler.
+//! * As a documented extension beyond the paper, the *Miss Address Register*
+//!   (MAR) captures the data address of the most recent primary-cache miss so
+//!   that handlers can compute prefetch targets ([`Instr::ReadMar`]).
+//!
+//! The functional executor in [`exec`] runs programs architecturally. Cache
+//! hit/miss outcomes are supplied by a [`exec::MissOracle`] so that the same
+//! semantics are shared between standalone functional runs (where an oracle
+//! may model a simple cache) and the cycle-level simulators in `imo-cpu`
+//! (where the timing model's cache hierarchy is the oracle).
+//!
+//! ## Example
+//!
+//! ```
+//! use imo_isa::{Asm, Reg, exec::{Executor, NeverMiss}};
+//!
+//! let mut a = Asm::new();
+//! let r1 = Reg::int(1);
+//! let r2 = Reg::int(2);
+//! a.li(r1, 5);
+//! a.li(r2, 37);
+//! a.add(r1, r1, r2);
+//! a.halt();
+//! let program = a.assemble().expect("assembles");
+//!
+//! let mut exec = Executor::new(&program);
+//! exec.run(&mut NeverMiss, 1_000).expect("runs to halt");
+//! assert_eq!(exec.state().int(r1), 42);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod exec;
+pub mod instr;
+pub mod memimg;
+pub mod program;
+pub mod reg;
+
+pub use asm::{Asm, AsmError, Label};
+pub use instr::{Cond, FuClass, Instr, MemKind};
+pub use memimg::DataMemory;
+pub use program::{Program, TEXT_BASE};
+pub use reg::{Reg, RegClass};

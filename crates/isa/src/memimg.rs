@@ -1,0 +1,133 @@
+//! Sparse 64-bit-word data memory.
+
+use std::collections::HashMap;
+
+/// Size of one allocation page, in bytes.
+const PAGE_BYTES: u64 = 4096;
+/// Words per page.
+const PAGE_WORDS: usize = (PAGE_BYTES / 8) as usize;
+
+/// A sparse, paged data memory of 64-bit words.
+///
+/// Addresses are byte addresses; accesses are performed on the aligned 8-byte
+/// word containing the address (the ISA only defines word accesses, so the
+/// low three address bits are ignored). Unwritten memory reads as zero.
+///
+/// # Example
+///
+/// ```
+/// use imo_isa::DataMemory;
+///
+/// let mut m = DataMemory::new();
+/// m.write(0x1000, 42);
+/// assert_eq!(m.read(0x1000), 42);
+/// assert_eq!(m.read(0x1003), 42); // same aligned word
+/// assert_eq!(m.read(0x2000), 0); // untouched memory is zero
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DataMemory {
+    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+}
+
+impl DataMemory {
+    /// Creates an empty memory (all zeros).
+    pub fn new() -> DataMemory {
+        DataMemory::default()
+    }
+
+    /// Reads the aligned 64-bit word containing byte address `addr`.
+    pub fn read(&self, addr: u64) -> u64 {
+        let (page, word) = Self::split(addr);
+        match self.pages.get(&page) {
+            Some(p) => p[word],
+            None => 0,
+        }
+    }
+
+    /// Writes the aligned 64-bit word containing byte address `addr`.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        let (page, word) = Self::split(addr);
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u64; PAGE_WORDS]));
+        p[word] = value;
+    }
+
+    /// Reads the word at `addr` reinterpreted as an IEEE-754 double.
+    pub fn read_f64(&self, addr: u64) -> f64 {
+        f64::from_bits(self.read(addr))
+    }
+
+    /// Writes an IEEE-754 double's bit pattern to the word at `addr`.
+    pub fn write_f64(&mut self, addr: u64, value: f64) {
+        self.write(addr, value.to_bits());
+    }
+
+    /// Number of distinct pages that have been touched by writes.
+    pub fn touched_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    fn split(addr: u64) -> (u64, usize) {
+        let page = addr / PAGE_BYTES;
+        let word = ((addr % PAGE_BYTES) / 8) as usize;
+        (page, word)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_by_default() {
+        let m = DataMemory::new();
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(u64::MAX - 8), 0);
+    }
+
+    #[test]
+    fn read_back_write() {
+        let mut m = DataMemory::new();
+        m.write(8, 0xdead_beef);
+        assert_eq!(m.read(8), 0xdead_beef);
+        assert_eq!(m.read(0), 0);
+        assert_eq!(m.read(16), 0);
+    }
+
+    #[test]
+    fn unaligned_access_uses_containing_word() {
+        let mut m = DataMemory::new();
+        m.write(0x105, 7);
+        assert_eq!(m.read(0x100), 7);
+        assert_eq!(m.read(0x107), 7);
+        assert_eq!(m.read(0x108), 0);
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let mut m = DataMemory::new();
+        m.write_f64(64, 3.5);
+        assert_eq!(m.read_f64(64), 3.5);
+    }
+
+    #[test]
+    fn page_boundary() {
+        let mut m = DataMemory::new();
+        m.write(4088, 1);
+        m.write(4096, 2);
+        assert_eq!(m.read(4088), 1);
+        assert_eq!(m.read(4096), 2);
+        assert_eq!(m.touched_pages(), 2);
+    }
+
+    #[test]
+    fn distant_addresses() {
+        let mut m = DataMemory::new();
+        m.write(0, 1);
+        m.write(1 << 40, 2);
+        assert_eq!(m.read(0), 1);
+        assert_eq!(m.read(1 << 40), 2);
+    }
+}

@@ -1,0 +1,153 @@
+//! Assembled programs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::Instr;
+
+/// Base address of the text segment. Instruction addresses advance by 4.
+pub const TEXT_BASE: u64 = 0x1_0000;
+
+/// An assembled program: instructions, resolved labels, initial data image
+/// and the entry point.
+///
+/// Produced by [`crate::Asm::assemble`]. A `Program` is immutable; the
+/// functional executor and the processor models read instructions by address
+/// via [`Program::fetch`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Program {
+    instrs: Vec<Instr>,
+    labels: HashMap<String, u64>,
+    data: Vec<(u64, u64)>,
+    entry: u64,
+}
+
+impl Program {
+    pub(crate) fn new(
+        instrs: Vec<Instr>,
+        labels: HashMap<String, u64>,
+        data: Vec<(u64, u64)>,
+        entry: u64,
+    ) -> Program {
+        Program { instrs, labels, data, entry }
+    }
+
+    /// The instruction at address `addr`, or `None` if `addr` is outside the
+    /// text segment or unaligned.
+    pub fn fetch(&self, addr: u64) -> Option<Instr> {
+        if addr < TEXT_BASE || !(addr - TEXT_BASE).is_multiple_of(4) {
+            return None;
+        }
+        let idx = ((addr - TEXT_BASE) / 4) as usize;
+        self.instrs.get(idx).copied()
+    }
+
+    /// The address of instruction index `idx`.
+    pub fn addr_of(idx: usize) -> u64 {
+        TEXT_BASE + (idx as u64) * 4
+    }
+
+    /// Number of instructions in the text segment.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the text segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// All instructions in text order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The entry-point address.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// The resolved address of `label`, if defined.
+    pub fn label(&self, label: &str) -> Option<u64> {
+        self.labels.get(label).copied()
+    }
+
+    /// Initial data image as `(byte address, word value)` pairs.
+    pub fn data(&self) -> &[(u64, u64)] {
+        &self.data
+    }
+
+    /// Iterates over `(address, instruction)` pairs in text order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Instr)> + '_ {
+        self.instrs
+            .iter()
+            .enumerate()
+            .map(|(i, &ins)| (Program::addr_of(i), ins))
+    }
+
+    /// A listing of the program, one instruction per line, with labels.
+    pub fn listing(&self) -> String {
+        let mut by_addr: HashMap<u64, Vec<&str>> = HashMap::new();
+        for (name, &addr) in &self.labels {
+            by_addr.entry(addr).or_default().push(name);
+        }
+        let mut out = String::new();
+        for (addr, ins) in self.iter() {
+            if let Some(names) = by_addr.get(&addr) {
+                for n in names {
+                    out.push_str(&format!("{n}:\n"));
+                }
+            }
+            out.push_str(&format!("  {addr:#08x}  {ins}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.listing())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::Reg;
+
+    #[test]
+    fn fetch_by_address() {
+        let mut a = Asm::new();
+        a.nop();
+        a.li(Reg::int(1), 9);
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.fetch(TEXT_BASE), Some(Instr::Nop));
+        assert_eq!(p.fetch(TEXT_BASE + 8), Some(Instr::Halt));
+        assert_eq!(p.fetch(TEXT_BASE + 12), None);
+        assert_eq!(p.fetch(TEXT_BASE + 2), None, "unaligned");
+        assert_eq!(p.fetch(0), None, "below text base");
+    }
+
+    #[test]
+    fn entry_defaults_to_text_base() {
+        let mut a = Asm::new();
+        a.halt();
+        let p = a.assemble().unwrap();
+        assert_eq!(p.entry(), TEXT_BASE);
+    }
+
+    #[test]
+    fn listing_contains_labels() {
+        let mut a = Asm::new();
+        let l = a.label("loop");
+        a.bind(l).unwrap();
+        a.jump(l);
+        let p = a.assemble().unwrap();
+        let listing = p.listing();
+        assert!(listing.contains("loop:"));
+        assert!(listing.contains('j'));
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for the assembler and functional executor.
+
+use proptest::prelude::*;
+
+use imo_isa::exec::{AlwaysMiss, Executor, NeverMiss};
+use imo_isa::{Asm, Cond, Instr, Reg};
+
+fn alu_op() -> impl Strategy<Value = Instr> {
+    prop_oneof![
+        (1u8..12, 1u8..12, 1u8..12).prop_map(|(d, s, t)| Instr::Add {
+            rd: Reg::int(d),
+            rs: Reg::int(s),
+            rt: Reg::int(t)
+        }),
+        (1u8..12, 1u8..12, -100i64..100).prop_map(|(d, s, imm)| Instr::Addi {
+            rd: Reg::int(d),
+            rs: Reg::int(s),
+            imm
+        }),
+        (1u8..12, 1u8..12, 1u8..12).prop_map(|(d, s, t)| Instr::Xor {
+            rd: Reg::int(d),
+            rs: Reg::int(s),
+            rt: Reg::int(t)
+        }),
+        (1u8..12, 1u8..12, 1u8..12).prop_map(|(d, s, t)| Instr::Div {
+            rd: Reg::int(d),
+            rs: Reg::int(s),
+            rt: Reg::int(t)
+        }),
+    ]
+}
+
+proptest! {
+    /// Straight-line programs always halt, execute exactly their length, and
+    /// never fault — regardless of the miss oracle.
+    #[test]
+    fn straight_line_always_halts(ops in proptest::collection::vec(alu_op(), 0..100)) {
+        let mut a = Asm::new();
+        for i in &ops {
+            a.emit(*i);
+        }
+        a.halt();
+        let p = a.assemble().expect("assembles");
+        let mut e = Executor::new(&p);
+        let n = e.run(&mut NeverMiss, 10_000).expect("runs");
+        prop_assert_eq!(n, ops.len() as u64 + 1);
+        prop_assert!(e.state().halted());
+    }
+
+    /// Execution is oracle-independent for programs without informing
+    /// operations or `bmiss` (the ISA's uniform-memory illusion).
+    #[test]
+    fn miss_oracle_is_invisible_without_informing_ops(
+        ops in proptest::collection::vec(alu_op(), 1..60),
+        addrs in proptest::collection::vec(0u64..64, 1..20),
+    ) {
+        let mut a = Asm::new();
+        a.li(Reg::int(15), 0x2000);
+        for (k, i) in ops.iter().enumerate() {
+            a.emit(*i);
+            if k < addrs.len() {
+                a.store(Reg::int(1), Reg::int(15), (addrs[k] * 8) as i64);
+                a.load(Reg::int(2), Reg::int(15), (addrs[k] * 8) as i64);
+            }
+        }
+        a.halt();
+        let p = a.assemble().expect("assembles");
+        let mut hit = Executor::new(&p);
+        hit.run(&mut NeverMiss, 100_000).expect("runs");
+        let mut miss = Executor::new(&p);
+        miss.run(&mut AlwaysMiss, 100_000).expect("runs");
+        for r in 1..16u8 {
+            prop_assert_eq!(hit.state().int(Reg::int(r)), miss.state().int(Reg::int(r)));
+        }
+        prop_assert!(miss.state().miss_cc(), "cc records the last outcome");
+    }
+
+    /// Every emitted instruction round-trips through Program::fetch and has
+    /// a non-empty disassembly.
+    #[test]
+    fn fetch_round_trip_and_display(ops in proptest::collection::vec(alu_op(), 1..50)) {
+        let mut a = Asm::new();
+        for i in &ops {
+            a.emit(*i);
+        }
+        a.halt();
+        let p = a.assemble().expect("assembles");
+        for (k, i) in ops.iter().enumerate() {
+            let fetched = p.fetch(imo_isa::Program::addr_of(k)).expect("in text");
+            prop_assert_eq!(fetched, *i);
+            prop_assert!(!fetched.to_string().is_empty());
+        }
+    }
+
+    /// Counted loops execute their body exactly `n` times (branch/label
+    /// resolution is correct for arbitrary placements).
+    #[test]
+    fn counted_loops_iterate_exactly(
+        n in 0i64..50,
+        pre in proptest::collection::vec(alu_op(), 0..20),
+    ) {
+        let mut a = Asm::new();
+        for i in &pre {
+            a.emit(*i);
+        }
+        let (ctr, lim, acc) = (Reg::int(13), Reg::int(14), Reg::int(12));
+        a.li(ctr, 0);
+        a.li(lim, n);
+        a.li(acc, 0);
+        let end = a.label("end");
+        let top = a.here("top");
+        // Guard for n == 0: test before increment.
+        a.branch(Cond::Ge, ctr, lim, end);
+        a.addi(acc, acc, 1);
+        a.addi(ctr, ctr, 1);
+        a.jump(top);
+        a.bind(end).unwrap();
+        a.halt();
+        let p = a.assemble().expect("assembles");
+        let mut e = Executor::new(&p);
+        e.run(&mut NeverMiss, 100_000).expect("runs");
+        prop_assert_eq!(e.state().int(acc), n as u64);
+    }
+}

@@ -1,0 +1,323 @@
+//! Set-associative cache state model.
+
+use crate::config::CacheConfig;
+
+/// Outcome of a cache probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Probe {
+    /// The line was present.
+    Hit,
+    /// The line was absent and has been installed; if a valid line was
+    /// displaced, its line address and dirtiness are reported.
+    Miss {
+        /// Displaced victim, if the chosen way held a valid line.
+        evicted: Option<Eviction>,
+    },
+}
+
+/// A line displaced by a fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Eviction {
+    /// Line-aligned address of the victim.
+    pub line: u64,
+    /// Whether the victim was dirty (needs a writeback).
+    pub dirty: bool,
+}
+
+/// Aggregate cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total probes (reads + writes).
+    pub accesses: u64,
+    /// Probes that missed.
+    pub misses: u64,
+    /// Dirty lines displaced (writebacks generated).
+    pub writebacks: u64,
+    /// Lines removed by explicit invalidation.
+    pub invalidations: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio (0 when no accesses were made).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    dirty: bool,
+    /// Monotonic counter value at last touch; smallest = LRU.
+    lru: u64,
+}
+
+/// A set-associative, write-allocate, write-back cache with true-LRU
+/// replacement. Models tags and replacement state only (data lives in the
+/// functional executor's memory).
+///
+/// # Example
+///
+/// ```
+/// use imo_mem::{Cache, CacheConfig, Probe};
+///
+/// let mut c = Cache::new(CacheConfig::new(1024, 2, 32));
+/// assert!(matches!(c.access(0x40, false), Probe::Miss { .. }));
+/// assert_eq!(c.access(0x40, false), Probe::Hit);
+/// assert_eq!(c.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Way>,
+    clock: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    pub fn new(config: CacheConfig) -> Cache {
+        let ways = (config.num_sets() * config.assoc as u64) as usize;
+        Cache { config, sets: vec![Way::default(); ways], clock: 0, stats: CacheStats::default() }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Aggregate statistics since construction (or the last [`Cache::reset_stats`]).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Clears the statistics counters (tag state is preserved).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
+        let set = self.config.set_of(addr) as usize;
+        let a = self.config.assoc as usize;
+        set * a..(set + 1) * a
+    }
+
+    fn tag_of(&self, addr: u64) -> u64 {
+        addr / self.config.line_bytes / self.config.num_sets()
+    }
+
+    /// Probes the cache for `addr`, installing the line on a miss
+    /// (write-allocate) and updating LRU state. `is_write` marks the line
+    /// dirty.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> Probe {
+        self.clock += 1;
+        self.stats.accesses += 1;
+        let tag = self.tag_of(addr);
+        let range = self.set_range(addr);
+        let clock = self.clock;
+
+        // Hit?
+        for w in &mut self.sets[range.clone()] {
+            if w.valid && w.tag == tag {
+                w.lru = clock;
+                if is_write {
+                    w.dirty = true;
+                }
+                return Probe::Hit;
+            }
+        }
+
+        // Miss: choose invalid way, else LRU way.
+        self.stats.misses += 1;
+        let victim_idx = {
+            let set = &self.sets[range.clone()];
+            match set.iter().position(|w| !w.valid) {
+                Some(i) => range.start + i,
+                None => {
+                    let (i, _) = set
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, w)| w.lru)
+                        .expect("associativity is positive");
+                    range.start + i
+                }
+            }
+        };
+        let line_bytes = self.config.line_bytes;
+        let num_sets = self.config.num_sets();
+        let set_idx = self.config.set_of(addr);
+        let w = &mut self.sets[victim_idx];
+        let evicted = if w.valid {
+            let victim_line = (w.tag * num_sets + set_idx) * line_bytes;
+            let e = Eviction { line: victim_line, dirty: w.dirty };
+            if w.dirty {
+                self.stats.writebacks += 1;
+            }
+            Some(e)
+        } else {
+            None
+        };
+        w.valid = true;
+        w.tag = tag;
+        w.dirty = is_write;
+        w.lru = clock;
+        Probe::Miss { evicted }
+    }
+
+    /// Whether the line containing `addr` is currently present (does not
+    /// perturb LRU state or statistics).
+    pub fn contains(&self, addr: u64) -> bool {
+        let tag = self.tag_of(addr);
+        self.sets[self.set_range(addr)]
+            .iter()
+            .any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Invalidates the line containing `addr` if present; returns whether a
+    /// line was removed and whether it was dirty.
+    pub fn invalidate(&mut self, addr: u64) -> Option<bool> {
+        let tag = self.tag_of(addr);
+        let range = self.set_range(addr);
+        for w in &mut self.sets[range] {
+            if w.valid && w.tag == tag {
+                w.valid = false;
+                let dirty = w.dirty;
+                w.dirty = false;
+                self.stats.invalidations += 1;
+                return Some(dirty);
+            }
+        }
+        None
+    }
+
+    /// Invalidates every line (e.g. at a simulated context switch).
+    pub fn flush(&mut self) {
+        for w in &mut self.sets {
+            w.valid = false;
+            w.dirty = false;
+        }
+    }
+
+    /// Number of currently valid lines.
+    pub fn valid_lines(&self) -> usize {
+        self.sets.iter().filter(|w| w.valid).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Cache {
+        // 4 sets, 2 ways, 32B lines = 256B
+        Cache::new(CacheConfig::new(256, 2, 32))
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small();
+        assert!(matches!(c.access(0, false), Probe::Miss { evicted: None }));
+        assert_eq!(c.access(0, false), Probe::Hit);
+        assert_eq!(c.access(31, false), Probe::Hit, "same line");
+        assert!(matches!(c.access(32, false), Probe::Miss { .. }), "next line");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = small();
+        // Set 0 holds lines at stride 4*32 = 128.
+        c.access(0, false); // A
+        c.access(128, false); // B
+        c.access(0, false); // touch A -> B is LRU
+        let p = c.access(256, false); // C evicts B
+        match p {
+            Probe::Miss { evicted: Some(e) } => assert_eq!(e.line, 128),
+            other => panic!("expected eviction of B, got {other:?}"),
+        }
+        assert!(c.contains(0));
+        assert!(!c.contains(128));
+        assert!(c.contains(256));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = small();
+        c.access(0, true);
+        c.access(128, false);
+        let p = c.access(256, false); // evicts dirty line 0 (LRU)
+        match p {
+            Probe::Miss { evicted: Some(e) } => {
+                assert_eq!(e.line, 0);
+                assert!(e.dirty);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn write_hit_marks_dirty() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, true);
+        c.access(128, false);
+        match c.access(256, false) {
+            Probe::Miss { evicted: Some(e) } => assert!(e.dirty),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut c = small();
+        c.access(0, true);
+        assert_eq!(c.invalidate(0), Some(true));
+        assert!(!c.contains(0));
+        assert_eq!(c.invalidate(0), None);
+        assert_eq!(c.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig::new(128, 1, 32)); // 4 sets
+        c.access(0, false);
+        c.access(128, false); // same set, evicts
+        assert!(!c.contains(0));
+        assert!(c.contains(128));
+    }
+
+    #[test]
+    fn flush_empties() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(32, false);
+        assert_eq!(c.valid_lines(), 2);
+        c.flush();
+        assert_eq!(c.valid_lines(), 0);
+    }
+
+    #[test]
+    fn miss_rate() {
+        let mut c = small();
+        c.access(0, false);
+        c.access(0, false);
+        assert_eq!(c.stats().miss_rate(), 0.5);
+    }
+
+    #[test]
+    fn contains_does_not_touch_lru() {
+        let mut c = small();
+        c.access(0, false); // A
+        c.access(128, false); // B (A is LRU)
+        let _ = c.contains(0); // must not refresh A
+        match c.access(256, false) {
+            Probe::Miss { evicted: Some(e) } => assert_eq!(e.line, 0, "A still LRU"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Configuration for caches and the two-level hierarchy.
+
+use std::fmt;
+
+/// Geometry of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (1 = direct mapped).
+    pub assoc: u32,
+    /// Line size in bytes (32 in both paper configurations).
+    pub line_bytes: u64,
+}
+
+impl CacheConfig {
+    /// Creates a config after validating that all parameters are coherent
+    /// powers of two and the geometry divides evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes` or `size_bytes` is not a power of two, if
+    /// `assoc` is zero, or if the capacity is not a multiple of
+    /// `assoc * line_bytes`.
+    pub fn new(size_bytes: u64, assoc: u32, line_bytes: u64) -> CacheConfig {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(size_bytes.is_power_of_two(), "cache size must be a power of two");
+        assert!(assoc > 0, "associativity must be positive");
+        assert_eq!(
+            size_bytes % (assoc as u64 * line_bytes),
+            0,
+            "capacity must divide evenly into sets"
+        );
+        let c = CacheConfig { size_bytes, assoc, line_bytes };
+        assert!(c.num_sets() >= 1);
+        c
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.size_bytes / (self.assoc as u64 * self.line_bytes)
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr & !(self.line_bytes - 1)
+    }
+
+    /// The set index for `addr`.
+    pub fn set_of(&self, addr: u64) -> u64 {
+        (addr / self.line_bytes) % self.num_sets()
+    }
+}
+
+impl fmt::Display for CacheConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kb = self.size_bytes / 1024;
+        if self.assoc == 1 {
+            write!(f, "{kb}KB direct-mapped, {}B lines", self.line_bytes)
+        } else {
+            write!(f, "{kb}KB {}-way, {}B lines", self.assoc, self.line_bytes)
+        }
+    }
+}
+
+/// Which level of the hierarchy served a reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum HitLevel {
+    /// Served by the primary cache.
+    L1,
+    /// Missed in L1, served by the unified secondary cache.
+    L2,
+    /// Missed in both caches, served by main memory.
+    Memory,
+}
+
+impl HitLevel {
+    /// Whether this outcome is a primary-cache miss (the event that triggers
+    /// informing memory operations).
+    pub fn is_l1_miss(self) -> bool {
+        self != HitLevel::L1
+    }
+}
+
+impl fmt::Display for HitLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HitLevel::L1 => f.write_str("L1"),
+            HitLevel::L2 => f.write_str("L2"),
+            HitLevel::Memory => f.write_str("memory"),
+        }
+    }
+}
+
+/// Full two-level hierarchy parameters (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HierarchyConfig {
+    /// Primary data cache geometry.
+    pub l1d: CacheConfig,
+    /// Primary instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// Unified secondary cache geometry.
+    pub l2: CacheConfig,
+    /// Primary-cache hit latency in cycles (load-to-use).
+    pub l1_latency: u64,
+    /// Added latency of a primary miss served by the secondary cache.
+    pub l2_latency: u64,
+    /// Added latency of a primary miss served by main memory.
+    pub mem_latency: u64,
+    /// Number of Miss Status Handling Registers (outstanding primary misses).
+    pub mshrs: u32,
+    /// Number of primary data-cache banks.
+    pub banks: u32,
+    /// Cycles a returning line occupies its bank while filling.
+    pub fill_cycles: u64,
+    /// Minimum spacing between main-memory accesses (1 access per N cycles).
+    pub mem_cycles_per_access: u64,
+}
+
+impl HierarchyConfig {
+    /// The out-of-order model's hierarchy (MIPS-R10000-like; Table 1).
+    ///
+    /// 32 KB 2-way L1 caches, 2 MB 2-way unified L2, 12-cycle L1→L2 miss
+    /// latency, 75-cycle L1→memory latency, 8 MSHRs, 2 banks, 4-cycle fill,
+    /// one memory access per 20 cycles.
+    pub fn out_of_order() -> HierarchyConfig {
+        HierarchyConfig {
+            l1d: CacheConfig::new(32 * 1024, 2, 32),
+            l1i: CacheConfig::new(32 * 1024, 2, 32),
+            l2: CacheConfig::new(2 * 1024 * 1024, 2, 32),
+            l1_latency: 2,
+            l2_latency: 12,
+            mem_latency: 75,
+            mshrs: 8,
+            banks: 2,
+            fill_cycles: 4,
+            mem_cycles_per_access: 20,
+        }
+    }
+
+    /// The in-order model's hierarchy (Alpha-21164-like; Table 1).
+    ///
+    /// 8 KB direct-mapped L1 caches, 2 MB 4-way unified L2, 11-cycle L1→L2
+    /// miss latency, 50-cycle L1→memory latency, 8 MSHRs, 2 banks, 4-cycle
+    /// fill, one memory access per 20 cycles.
+    pub fn in_order() -> HierarchyConfig {
+        HierarchyConfig {
+            l1d: CacheConfig::new(8 * 1024, 1, 32),
+            l1i: CacheConfig::new(8 * 1024, 1, 32),
+            l2: CacheConfig::new(2 * 1024 * 1024, 4, 32),
+            l1_latency: 2,
+            l2_latency: 11,
+            mem_latency: 50,
+            mshrs: 8,
+            banks: 2,
+            fill_cycles: 4,
+            mem_cycles_per_access: 20,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(32 * 1024, 2, 32);
+        assert_eq!(c.num_sets(), 512);
+        assert_eq!(c.line_of(0x1234), 0x1220);
+        assert_eq!(c.set_of(0x20), 1);
+        assert_eq!(c.set_of(0x20 + 512 * 32), 1, "wraps by set count");
+    }
+
+    #[test]
+    fn direct_mapped_sets() {
+        let c = CacheConfig::new(8 * 1024, 1, 32);
+        assert_eq!(c.num_sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = CacheConfig::new(3000, 2, 32);
+    }
+
+    #[test]
+    fn display_shapes() {
+        assert_eq!(CacheConfig::new(8192, 1, 32).to_string(), "8KB direct-mapped, 32B lines");
+        assert_eq!(
+            CacheConfig::new(2 * 1024 * 1024, 4, 32).to_string(),
+            "2048KB 4-way, 32B lines"
+        );
+    }
+
+    #[test]
+    fn paper_configs() {
+        let ooo = HierarchyConfig::out_of_order();
+        assert_eq!(ooo.l1d.size_bytes, 32 * 1024);
+        assert_eq!(ooo.mem_latency, 75);
+        let ino = HierarchyConfig::in_order();
+        assert_eq!(ino.l1d.assoc, 1);
+        assert_eq!(ino.l2_latency, 11);
+        assert_eq!(ino.mem_latency, 50);
+    }
+
+    #[test]
+    fn hit_level_miss_flag() {
+        assert!(!HitLevel::L1.is_l1_miss());
+        assert!(HitLevel::L2.is_l1_miss());
+        assert!(HitLevel::Memory.is_l1_miss());
+    }
+}

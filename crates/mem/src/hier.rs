@@ -1,0 +1,495 @@
+//! The two-level memory hierarchy used by the processor models.
+//!
+//! State and timing are deliberately decoupled:
+//!
+//! * [`MemoryHierarchy::probe_data`] is called once per load/store **in
+//!   program order** (by the functional executor). It updates cache tags and
+//!   reports which level serves the reference. This makes the hit/miss
+//!   outcome — which is architecturally visible through informing memory
+//!   operations — deterministic, and matches the §3.3 requirement that
+//!   speculative references must not silently perturb observable primary
+//!   cache state (wrong-path references never reach the functional stream;
+//!   the §3.3 squash-invalidate machinery itself is modelled and tested in
+//!   [`crate::mshr`]).
+//! * [`MemoryHierarchy::schedule_data`] is called when the timing model
+//!   actually issues the access. It computes the completion cycle under bank
+//!   conflicts, MSHR occupancy, miss merging and finite main-memory
+//!   bandwidth.
+
+use std::collections::HashMap;
+
+use crate::cache::{Cache, Probe};
+use crate::config::{HierarchyConfig, HitLevel};
+
+/// Result of a program-order probe: which level serves the reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProbeResult {
+    /// Level that supplied the data.
+    pub level: HitLevel,
+    /// Line-aligned address of the reference.
+    pub line: u64,
+    /// `true` for stores.
+    pub is_store: bool,
+}
+
+/// Completion information for a scheduled access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessTiming {
+    /// Cycle the access began occupying its cache bank.
+    pub start: u64,
+    /// Cycle the data is available to dependents.
+    pub complete: u64,
+    /// Whether a primary miss merged into an already-outstanding fill.
+    pub merged: bool,
+}
+
+/// Aggregate hierarchy statistics (beyond the per-cache counters).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierStats {
+    /// Data references probed.
+    pub data_refs: u64,
+    /// Primary data-cache misses served by L2.
+    pub l1d_misses_to_l2: u64,
+    /// Primary data-cache misses served by main memory.
+    pub l1d_misses_to_mem: u64,
+    /// Instruction-fetch lines that missed in the primary I-cache.
+    pub inst_misses: u64,
+    /// Dirty L2 victims written back to main memory.
+    pub writebacks_to_mem: u64,
+    /// Prefetches issued.
+    pub prefetches: u64,
+}
+
+/// A two-level cache hierarchy with banked, lockup-free timing.
+///
+/// # Example
+///
+/// ```
+/// use imo_mem::{HierarchyConfig, HitLevel, MemoryHierarchy};
+///
+/// let mut h = MemoryHierarchy::new(HierarchyConfig::out_of_order());
+/// let p = h.probe_data(0x2000, false);
+/// assert_eq!(p.level, HitLevel::Memory); // cold
+/// let t = h.schedule_data(p, 100);
+/// assert!(t.complete >= 100 + 75); // memory latency
+/// let p2 = h.probe_data(0x2000, false);
+/// assert_eq!(p2.level, HitLevel::L1); // now resident
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    cfg: HierarchyConfig,
+    l1d: Cache,
+    l1i: Cache,
+    l2: Cache,
+    /// Next free cycle per L1D bank.
+    bank_free: Vec<u64>,
+    /// Release cycle per MSHR timing slot.
+    mshr_release: Vec<u64>,
+    /// Main-memory bandwidth gate: next cycle a new access may start.
+    mem_next_free: u64,
+    /// Outstanding line fills: line address -> fill-complete cycle.
+    inflight: HashMap<u64, u64>,
+    /// L2 writebacks discovered at probe time, charged at the next schedule.
+    pending_writebacks: u64,
+    stats: HierStats,
+}
+
+impl MemoryHierarchy {
+    /// Creates an empty hierarchy.
+    pub fn new(cfg: HierarchyConfig) -> MemoryHierarchy {
+        MemoryHierarchy {
+            l1d: Cache::new(cfg.l1d),
+            l1i: Cache::new(cfg.l1i),
+            l2: Cache::new(cfg.l2),
+            bank_free: vec![0; cfg.banks as usize],
+            mshr_release: vec![0; cfg.mshrs as usize],
+            mem_next_free: 0,
+            inflight: HashMap::new(),
+            pending_writebacks: 0,
+            stats: HierStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.cfg
+    }
+
+    /// The primary data cache.
+    pub fn l1d(&self) -> &Cache {
+        &self.l1d
+    }
+
+    /// Mutable primary data cache (for invalidations by the §3.3 machinery
+    /// and the coherence case study).
+    pub fn l1d_mut(&mut self) -> &mut Cache {
+        &mut self.l1d
+    }
+
+    /// The primary instruction cache.
+    pub fn l1i(&self) -> &Cache {
+        &self.l1i
+    }
+
+    /// The unified secondary cache.
+    pub fn l2(&self) -> &Cache {
+        &self.l2
+    }
+
+    /// Hierarchy statistics.
+    pub fn stats(&self) -> &HierStats {
+        &self.stats
+    }
+
+    /// Probes the data caches for `addr` in program order, updating tags and
+    /// LRU state (write-allocate, write-back).
+    pub fn probe_data(&mut self, addr: u64, is_store: bool) -> ProbeResult {
+        self.probe_internal(addr, is_store, true)
+    }
+
+    fn probe_internal(&mut self, addr: u64, is_store: bool, demand: bool) -> ProbeResult {
+        if demand {
+            self.stats.data_refs += 1;
+        }
+        let line = self.cfg.l1d.line_of(addr);
+        let level = match self.l1d.access(addr, is_store) {
+            Probe::Hit => HitLevel::L1,
+            Probe::Miss { evicted } => {
+                // A dirty L1 victim writes back into L2.
+                if let Some(e) = evicted {
+                    if e.dirty {
+                        if let Probe::Miss { evicted: Some(e2) } = self.l2.access(e.line, true) {
+                            if e2.dirty {
+                                self.pending_writebacks += 1;
+                                self.stats.writebacks_to_mem += 1;
+                            }
+                        }
+                    }
+                }
+                match self.l2.access(addr, false) {
+                    Probe::Hit => {
+                        if demand {
+                            self.stats.l1d_misses_to_l2 += 1;
+                        }
+                        HitLevel::L2
+                    }
+                    Probe::Miss { evicted } => {
+                        if let Some(e) = evicted {
+                            if e.dirty {
+                                self.pending_writebacks += 1;
+                                self.stats.writebacks_to_mem += 1;
+                            }
+                        }
+                        if demand {
+                            self.stats.l1d_misses_to_mem += 1;
+                        }
+                        HitLevel::Memory
+                    }
+                }
+            }
+        };
+        ProbeResult { level, line, is_store }
+    }
+
+    /// Probes for a non-binding prefetch: fills the caches like a read miss
+    /// but is never architecturally visible and is not counted as a demand
+    /// miss.
+    pub fn probe_prefetch(&mut self, addr: u64) -> ProbeResult {
+        self.stats.prefetches += 1;
+        self.probe_internal(addr, false, false)
+    }
+
+    /// Probes the instruction cache for the line containing `pc`.
+    pub fn probe_inst(&mut self, pc: u64) -> HitLevel {
+        match self.l1i.access(pc, false) {
+            Probe::Hit => HitLevel::L1,
+            Probe::Miss { .. } => {
+                self.stats.inst_misses += 1;
+                match self.l2.access(pc, false) {
+                    Probe::Hit => HitLevel::L2,
+                    Probe::Miss { .. } => HitLevel::Memory,
+                }
+            }
+        }
+    }
+
+    /// Installs the instruction line containing `pc` without stalling or
+    /// counting a demand miss — the front end's sequential next-line stream
+    /// prefetcher (both modelled machines prefetch the instruction stream;
+    /// without this, straight-line code would absurdly pay a full memory
+    /// round trip per 32-byte line).
+    pub fn prefetch_inst(&mut self, pc: u64) {
+        if let Probe::Miss { .. } = self.l1i.access(pc, false) {
+            let _ = self.l2.access(pc, false);
+        }
+    }
+
+    fn bank_of(&self, line: u64) -> usize {
+        ((line / self.cfg.l1d.line_bytes) % self.cfg.banks as u64) as usize
+    }
+
+    fn drain_writebacks(&mut self, now: u64) {
+        while self.pending_writebacks > 0 {
+            let start = self.mem_next_free.max(now);
+            self.mem_next_free = start + self.cfg.mem_cycles_per_access;
+            self.pending_writebacks -= 1;
+        }
+    }
+
+    /// Schedules the access described by a prior [`MemoryHierarchy::probe_data`]
+    /// at `cycle`, returning its timing under contention.
+    ///
+    /// Bank arbitration delays the start; primary misses acquire an MSHR
+    /// timing slot (held through the fill); misses to the same in-flight line
+    /// merge and complete with the existing fill; main-memory accesses are
+    /// spaced by the bandwidth gate.
+    pub fn schedule_data(&mut self, probe: ProbeResult, cycle: u64) -> AccessTiming {
+        self.drain_writebacks(cycle);
+        let bank = self.bank_of(probe.line);
+        let start = cycle.max(self.bank_free[bank]);
+        self.bank_free[bank] = start + 1;
+
+        // Merge with an in-flight fill of the same line.
+        if let Some(&fill) = self.inflight.get(&probe.line) {
+            if fill > start {
+                return AccessTiming { start, complete: fill, merged: true };
+            }
+            self.inflight.remove(&probe.line);
+        }
+
+        let complete = match probe.level {
+            HitLevel::L1 => start + self.cfg.l1_latency,
+            HitLevel::L2 | HitLevel::Memory => {
+                // Acquire the earliest-free MSHR timing slot.
+                let (slot, &release) = self
+                    .mshr_release
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, &r)| r)
+                    .expect("mshrs > 0");
+                let t0 = start.max(release);
+                let data_ready = match probe.level {
+                    HitLevel::L2 => t0 + self.cfg.l2_latency,
+                    HitLevel::Memory => {
+                        let mem_start = t0.max(self.mem_next_free);
+                        self.mem_next_free = mem_start + self.cfg.mem_cycles_per_access;
+                        mem_start + self.cfg.mem_latency
+                    }
+                    HitLevel::L1 => unreachable!(),
+                };
+                // The MSHR is held until the line has filled into the bank.
+                self.mshr_release[slot] = data_ready + self.cfg.fill_cycles;
+                self.inflight.insert(probe.line, data_ready);
+                data_ready
+            }
+        };
+        AccessTiming { start, complete, merged: false }
+    }
+
+    /// Schedules an instruction-line fetch that probed to `level`, returning
+    /// the cycle at which fetch may proceed.
+    pub fn schedule_inst(&mut self, level: HitLevel, cycle: u64) -> u64 {
+        match level {
+            HitLevel::L1 => cycle,
+            HitLevel::L2 => cycle + self.cfg.l2_latency,
+            HitLevel::Memory => {
+                let start = cycle.max(self.mem_next_free);
+                self.mem_next_free = start + self.cfg.mem_cycles_per_access;
+                start + self.cfg.mem_latency
+            }
+        }
+    }
+
+    /// Invalidates a line from the primary data cache (§3.3 squash path and
+    /// the coherence case study).
+    pub fn invalidate_l1d(&mut self, addr: u64) {
+        self.l1d.invalidate(addr);
+    }
+
+    /// Whether the line containing `addr` is resident in L2 (used to verify
+    /// the "squashed informing load acts as an L2 prefetch" property).
+    pub fn l2_contains(&self, addr: u64) -> bool {
+        self.l2.contains(addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h() -> MemoryHierarchy {
+        MemoryHierarchy::new(HierarchyConfig::out_of_order())
+    }
+
+    #[test]
+    fn cold_miss_goes_to_memory_then_hits() {
+        let mut m = h();
+        assert_eq!(m.probe_data(0x1000, false).level, HitLevel::Memory);
+        assert_eq!(m.probe_data(0x1000, false).level, HitLevel::L1);
+        assert_eq!(m.stats().l1d_misses_to_mem, 1);
+    }
+
+    #[test]
+    fn l2_serves_after_l1_eviction() {
+        let mut m = h();
+        m.probe_data(0x1000, false);
+        // Evict from the 2-way L1 set by touching two more conflicting lines.
+        let set_stride = 32 * 1024 / 2; // ways * sets * line = 16KB per way
+        m.probe_data(0x1000 + set_stride as u64, false);
+        m.probe_data(0x1000 + 2 * set_stride as u64, false);
+        let p = m.probe_data(0x1000, false);
+        assert_eq!(p.level, HitLevel::L2, "L1 victim still in L2");
+    }
+
+    #[test]
+    fn hit_timing() {
+        let mut m = h();
+        m.probe_data(0x1000, false);
+        let p = m.probe_data(0x1000, false);
+        let t = m.schedule_data(p, 10);
+        assert_eq!(t.start, 10);
+        assert_eq!(t.complete, 12);
+        assert!(!t.merged);
+    }
+
+    #[test]
+    fn memory_latency_and_bandwidth() {
+        let mut m = h();
+        let p1 = m.probe_data(0x1000, false);
+        let p2 = m.probe_data(0x8000_1000, false);
+        assert_eq!(p1.level, HitLevel::Memory);
+        assert_eq!(p2.level, HitLevel::Memory);
+        let t1 = m.schedule_data(p1, 0);
+        let t2 = m.schedule_data(p2, 0);
+        assert_eq!(t1.complete, 75);
+        // Second access waits for the 20-cycle bandwidth gate.
+        assert!(t2.complete >= 20 + 75, "bandwidth gate spaces memory accesses: {t2:?}");
+    }
+
+    #[test]
+    fn same_line_misses_merge() {
+        let mut m = h();
+        let p1 = m.probe_data(0x1000, false);
+        let p2 = m.probe_data(0x1008, false); // same 32B line: probe hits L1 (installed)
+        assert_eq!(p2.level, HitLevel::L1);
+        let t1 = m.schedule_data(p1, 0);
+        let t2 = m.schedule_data(p2, 1);
+        assert!(t2.merged, "second access waits on the in-flight fill");
+        assert_eq!(t2.complete, t1.complete);
+    }
+
+    #[test]
+    fn bank_conflicts_serialize() {
+        let mut m = h();
+        m.probe_data(0x1000, false);
+        m.probe_data(0x1000 + 64, false); // same bank (2 banks, stride 64 keeps parity)
+        let p1 = m.probe_data(0x1000, false);
+        let p2 = m.probe_data(0x1000 + 64, false);
+        let t1 = m.schedule_data(p1, 5);
+        let t2 = m.schedule_data(p2, 5);
+        assert_eq!(t1.start, 5);
+        assert_eq!(t2.start, 6, "same-bank access delayed one cycle");
+    }
+
+    #[test]
+    fn different_banks_parallel() {
+        let mut m = h();
+        m.probe_data(0x1000, false);
+        m.probe_data(0x1020, false); // adjacent line -> other bank
+        let p1 = m.probe_data(0x1000, false);
+        let p2 = m.probe_data(0x1020, false);
+        let t1 = m.schedule_data(p1, 5);
+        let t2 = m.schedule_data(p2, 5);
+        assert_eq!(t1.start, 5);
+        assert_eq!(t2.start, 5);
+    }
+
+    #[test]
+    fn mshr_slots_limit_outstanding_misses() {
+        let mut cfg = HierarchyConfig::out_of_order();
+        cfg.mshrs = 1;
+        let mut m = MemoryHierarchy::new(cfg);
+        let p1 = m.probe_data(0x1000, false);
+        let p2 = m.probe_data(0x2000, false);
+        let t1 = m.schedule_data(p1, 0);
+        let t2 = m.schedule_data(p2, 0);
+        assert!(
+            t2.complete >= t1.complete + cfg.fill_cycles,
+            "second miss waits for the single MSHR: {t1:?} {t2:?}"
+        );
+    }
+
+    #[test]
+    fn inst_probe_and_schedule() {
+        let mut m = h();
+        let lvl = m.probe_inst(0x10000);
+        assert_eq!(lvl, HitLevel::Memory);
+        assert_eq!(m.probe_inst(0x10000), HitLevel::L1);
+        assert_eq!(m.schedule_inst(HitLevel::L1, 7), 7);
+        assert_eq!(m.schedule_inst(HitLevel::L2, 7), 19);
+        assert_eq!(m.stats().inst_misses, 1);
+    }
+
+    #[test]
+    fn prefetch_fills_without_counting_demand() {
+        let mut m = h();
+        m.probe_prefetch(0x1000);
+        assert_eq!(m.stats().data_refs, 0);
+        assert_eq!(m.stats().prefetches, 1);
+        assert_eq!(m.probe_data(0x1000, false).level, HitLevel::L1);
+    }
+
+    #[test]
+    fn invalidate_forces_next_probe_to_l2() {
+        let mut m = h();
+        m.probe_data(0x1000, false);
+        m.invalidate_l1d(0x1000);
+        let p = m.probe_data(0x1000, false);
+        assert_eq!(p.level, HitLevel::L2);
+        assert!(m.l2_contains(0x1000));
+    }
+
+    #[test]
+    fn dirty_l2_writebacks_consume_memory_bandwidth() {
+        // Build a dirty line in L2, evict it, and check that the next
+        // memory access is delayed behind the writeback's bandwidth slot.
+        let mut cfg = HierarchyConfig::out_of_order();
+        cfg.l2 = crate::config::CacheConfig::new(64, 1, 32); // 2 sets: easy to evict
+        let mut m = MemoryHierarchy::new(cfg);
+        // Dirty line 0 in L1 and L2: write, then evict from L1 (dirty into
+        // L2), then evict from L2 by touching two conflicting lines.
+        m.probe_data(0x0, true);
+        let l1_way_stride = 16 * 1024u64;
+        m.probe_data(l1_way_stride, true); // L1 set conflict partner (2-way)
+        m.probe_data(2 * l1_way_stride, true); // evicts dirty line 0 from L1 -> L2 dirty
+        // L2 has 2 sets of 32B: line 0x40 conflicts with line 0.
+        let p = m.probe_data(0x40, false);
+        assert_eq!(p.level, HitLevel::Memory);
+        let t = m.schedule_data(p, 0);
+        // Without pending writebacks the access would start immediately;
+        // with one, the bandwidth gate pushes the memory start by 20.
+        assert!(
+            t.complete >= 20 + cfg.mem_latency,
+            "writeback delays the following memory access: {t:?}"
+        );
+    }
+
+    #[test]
+    fn inst_prefetch_installs_without_counting() {
+        let mut m = h();
+        m.prefetch_inst(0x2_0000);
+        assert_eq!(m.stats().inst_misses, 0, "prefetches are not demand misses");
+        assert_eq!(m.probe_inst(0x2_0000), HitLevel::L1, "line was installed");
+    }
+
+    #[test]
+    fn in_order_config_smaller_l1_conflicts() {
+        let mut m = MemoryHierarchy::new(HierarchyConfig::in_order());
+        // Direct-mapped 8KB: stride-8K addresses conflict.
+        m.probe_data(0x0, false);
+        m.probe_data(8 * 1024, false);
+        let p = m.probe_data(0x0, false);
+        assert!(p.level.is_l1_miss(), "direct-mapped conflict evicted the line");
+    }
+}

@@ -1,0 +1,364 @@
+//! Miss Status Handling Registers with the paper's §3.3 lifetime extension.
+//!
+//! A lockup-free cache tracks each outstanding miss in an MSHR \[FJ94\]. The
+//! paper extends the MSHR's lifetime so that an entry is freed only when its
+//! memory operation either **graduates** or is **squashed** — not when the
+//! fill returns. On a squash with no surviving references, the (possibly
+//! already-filled) line is invalidated in the primary cache so that a
+//! squashed speculative informing load can never silently install
+//! primary-cache state (which would let a coherence access-check be
+//! bypassed). The data generally still resides in L2, so the squashed load
+//! acted as an L2 prefetch.
+
+use crate::cache::Cache;
+
+/// Identifies an allocated MSHR entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MshrId(usize);
+
+/// MSHR deallocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MshrMode {
+    /// Conventional: the entry is freed as soon as the fill returns
+    /// ([`MshrFile::note_fill`]). Squashes never invalidate — speculative
+    /// fills silently update the primary cache.
+    Standard,
+    /// §3.3: the entry is freed only when every attached memory operation has
+    /// graduated or been squashed; if none graduated, the line is invalidated
+    /// on release.
+    #[default]
+    ExtendedLifetime,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryState {
+    Free,
+    Pending,
+    Filled,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    state: EntryState,
+    line: u64,
+    /// Memory operations attached to this miss (primary + merged).
+    refs: u32,
+    /// Whether any attached operation has graduated.
+    any_graduated: bool,
+}
+
+impl Entry {
+    const FREE: Entry =
+        Entry { state: EntryState::Free, line: 0, refs: 0, any_graduated: false };
+}
+
+/// Statistics for the MSHR file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MshrStats {
+    /// Primary allocations (new outstanding lines).
+    pub allocations: u64,
+    /// Secondary references merged into an existing entry.
+    pub merges: u64,
+    /// Allocation attempts rejected because the file was full.
+    pub full_rejections: u64,
+    /// Lines invalidated because every attached operation was squashed.
+    pub squash_invalidations: u64,
+    /// High-water mark of simultaneously busy entries.
+    pub peak_in_use: u32,
+}
+
+/// A file of Miss Status Handling Registers.
+///
+/// The out-of-order processor model drives this protocol:
+///
+/// 1. [`MshrFile::allocate`] when an informing (or ordinary) reference misses
+///    — merging with an existing entry for the same line;
+/// 2. [`MshrFile::note_fill`] when the line returns from L2/memory;
+/// 3. [`MshrFile::graduate`] or [`MshrFile::squash`] for each attached
+///    operation; `squash` is handed the primary data cache so it can
+///    invalidate a speculatively-installed line.
+///
+/// # Example
+///
+/// ```
+/// use imo_mem::{Cache, CacheConfig, MshrFile, MshrMode};
+///
+/// let mut l1 = Cache::new(CacheConfig::new(1024, 2, 32));
+/// let mut mshrs = MshrFile::new(8, MshrMode::ExtendedLifetime);
+///
+/// // A speculative informing load misses and installs line 0x40.
+/// l1.access(0x40, false);
+/// let id = mshrs.allocate(0x40).unwrap();
+/// mshrs.note_fill(id);
+///
+/// // The load turns out to be on a mispredicted path: squash it.
+/// mshrs.squash(id, &mut l1);
+/// assert!(!l1.contains(0x40), "squashed load leaves no L1 state behind");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    entries: Vec<Entry>,
+    mode: MshrMode,
+    stats: MshrStats,
+}
+
+impl MshrFile {
+    /// Creates a file of `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: u32, mode: MshrMode) -> MshrFile {
+        assert!(capacity > 0, "MSHR capacity must be positive");
+        MshrFile { entries: vec![Entry::FREE; capacity as usize], mode, stats: MshrStats::default() }
+    }
+
+    /// The deallocation policy.
+    pub fn mode(&self) -> MshrMode {
+        self.mode
+    }
+
+    /// Statistics since construction.
+    pub fn stats(&self) -> &MshrStats {
+        &self.stats
+    }
+
+    /// Number of busy entries.
+    pub fn in_use(&self) -> u32 {
+        self.entries.iter().filter(|e| e.state != EntryState::Free).count() as u32
+    }
+
+    /// Whether a new (non-merging) allocation would succeed.
+    pub fn has_free(&self) -> bool {
+        self.entries.iter().any(|e| e.state == EntryState::Free)
+    }
+
+    /// The entry currently tracking `line`, if any.
+    pub fn find(&self, line: u64) -> Option<MshrId> {
+        self.entries
+            .iter()
+            .position(|e| e.state != EntryState::Free && e.line == line)
+            .map(MshrId)
+    }
+
+    /// Attaches a missing reference to `line`: merges with an existing entry
+    /// for the same line, otherwise claims a free register.
+    ///
+    /// Returns `None` (and counts a rejection) if the file is full — the
+    /// processor must stall the reference and retry.
+    pub fn allocate(&mut self, line: u64) -> Option<MshrId> {
+        if let Some(id) = self.find(line) {
+            self.entries[id.0].refs += 1;
+            self.stats.merges += 1;
+            return Some(id);
+        }
+        match self.entries.iter().position(|e| e.state == EntryState::Free) {
+            Some(i) => {
+                self.entries[i] =
+                    Entry { state: EntryState::Pending, line, refs: 1, any_graduated: false };
+                self.stats.allocations += 1;
+                self.stats.peak_in_use = self.stats.peak_in_use.max(self.in_use());
+                Some(MshrId(i))
+            }
+            None => {
+                self.stats.full_rejections += 1;
+                None
+            }
+        }
+    }
+
+    /// Records that the fill for `id` has returned. In [`MshrMode::Standard`]
+    /// this frees the entry immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is free.
+    pub fn note_fill(&mut self, id: MshrId) {
+        let e = &mut self.entries[id.0];
+        assert_ne!(e.state, EntryState::Free, "fill for a free MSHR");
+        e.state = EntryState::Filled;
+        if self.mode == MshrMode::Standard {
+            *e = Entry::FREE;
+        }
+    }
+
+    /// Detaches one graduated operation from `id`. The entry is freed when
+    /// the last operation detaches; a graduated operation legitimises the
+    /// installed line, so no invalidation ever results.
+    ///
+    /// No-op in [`MshrMode::Standard`] if the entry was already freed by the
+    /// fill.
+    pub fn graduate(&mut self, id: MshrId) {
+        let e = &mut self.entries[id.0];
+        if e.state == EntryState::Free {
+            return;
+        }
+        e.any_graduated = true;
+        e.refs = e.refs.saturating_sub(1);
+        if e.refs == 0 && e.state == EntryState::Filled {
+            *e = Entry::FREE;
+        }
+    }
+
+    /// Detaches one squashed operation from `id`. If this was the last
+    /// attached operation and no operation graduated, the line is invalidated
+    /// in `l1d` (the §3.3 guarantee) and its address is returned.
+    ///
+    /// No-op in [`MshrMode::Standard`] if the entry was already freed.
+    pub fn squash(&mut self, id: MshrId, l1d: &mut Cache) -> Option<u64> {
+        let e = &mut self.entries[id.0];
+        if e.state == EntryState::Free {
+            return None;
+        }
+        e.refs = e.refs.saturating_sub(1);
+        if e.refs > 0 {
+            return None;
+        }
+        // Last reference gone.
+        let line = e.line;
+        let any_graduated = e.any_graduated;
+        let filled = e.state == EntryState::Filled;
+        if filled {
+            *e = Entry::FREE;
+        } else {
+            // Fill still outstanding: mark so that note_fill's arrival frees
+            // it; the installed tag must still be removed now.
+            e.refs = 0;
+        }
+        if !any_graduated && self.mode == MshrMode::ExtendedLifetime {
+            self.stats.squash_invalidations += 1;
+            l1d.invalidate(line);
+            return Some(line);
+        }
+        None
+    }
+
+    /// Releases any zero-reference pending entries whose fill has since
+    /// returned (called by the processor when fills complete for entries that
+    /// were fully squashed while pending).
+    pub fn reap(&mut self) {
+        for e in &mut self.entries {
+            if e.state == EntryState::Filled && e.refs == 0 {
+                *e = Entry::FREE;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CacheConfig;
+
+    fn l1() -> Cache {
+        Cache::new(CacheConfig::new(1024, 2, 32))
+    }
+
+    #[test]
+    fn allocate_and_merge() {
+        let mut m = MshrFile::new(2, MshrMode::ExtendedLifetime);
+        let a = m.allocate(0x40).unwrap();
+        let b = m.allocate(0x40).unwrap();
+        assert_eq!(a, b, "same line merges");
+        assert_eq!(m.stats().merges, 1);
+        let c = m.allocate(0x80).unwrap();
+        assert_ne!(a, c);
+        assert!(m.allocate(0xc0).is_none(), "file full");
+        assert_eq!(m.stats().full_rejections, 1);
+    }
+
+    #[test]
+    fn standard_mode_frees_on_fill() {
+        let mut m = MshrFile::new(1, MshrMode::Standard);
+        let id = m.allocate(0x40).unwrap();
+        assert!(!m.has_free());
+        m.note_fill(id);
+        assert!(m.has_free());
+    }
+
+    #[test]
+    fn extended_mode_holds_until_graduate() {
+        let mut m = MshrFile::new(1, MshrMode::ExtendedLifetime);
+        let id = m.allocate(0x40).unwrap();
+        m.note_fill(id);
+        assert!(!m.has_free(), "entry survives the fill");
+        m.graduate(id);
+        assert!(m.has_free());
+    }
+
+    #[test]
+    fn squash_after_fill_invalidates_line() {
+        let mut c = l1();
+        c.access(0x40, false); // speculative install
+        let mut m = MshrFile::new(1, MshrMode::ExtendedLifetime);
+        let id = m.allocate(0x40).unwrap();
+        m.note_fill(id);
+        assert_eq!(m.squash(id, &mut c), Some(0x40));
+        assert!(!c.contains(0x40));
+        assert_eq!(m.stats().squash_invalidations, 1);
+        assert!(m.has_free());
+    }
+
+    #[test]
+    fn squash_before_fill_invalidates_and_reaps() {
+        let mut c = l1();
+        c.access(0x40, false);
+        let mut m = MshrFile::new(1, MshrMode::ExtendedLifetime);
+        let id = m.allocate(0x40).unwrap();
+        assert_eq!(m.squash(id, &mut c), Some(0x40));
+        assert!(!c.contains(0x40));
+        assert!(!m.has_free(), "entry lingers until the fill returns");
+        m.note_fill(id);
+        m.reap();
+        assert!(m.has_free());
+    }
+
+    #[test]
+    fn merged_graduated_reference_protects_line() {
+        // Two loads share a miss; one graduates, the other is squashed.
+        // The line must stay: a committed operation referenced it.
+        let mut c = l1();
+        c.access(0x40, false);
+        let mut m = MshrFile::new(2, MshrMode::ExtendedLifetime);
+        let id = m.allocate(0x40).unwrap();
+        let id2 = m.allocate(0x40).unwrap();
+        assert_eq!(id, id2);
+        m.note_fill(id);
+        m.graduate(id);
+        assert_eq!(m.squash(id, &mut c), None);
+        assert!(c.contains(0x40), "graduated reference legitimises the line");
+        assert!(m.has_free());
+    }
+
+    #[test]
+    fn standard_mode_squash_never_invalidates() {
+        let mut c = l1();
+        c.access(0x40, false);
+        let mut m = MshrFile::new(1, MshrMode::Standard);
+        let id = m.allocate(0x40).unwrap();
+        // Fill has not yet returned; squash in standard mode.
+        assert_eq!(m.squash(id, &mut c), None);
+        assert!(c.contains(0x40), "standard MSHRs silently keep speculative state");
+    }
+
+    #[test]
+    fn peak_in_use_tracked() {
+        let mut m = MshrFile::new(4, MshrMode::ExtendedLifetime);
+        let ids: Vec<_> = (0..3).map(|i| m.allocate(0x40 * (i + 1)).unwrap()).collect();
+        assert_eq!(m.stats().peak_in_use, 3);
+        for id in ids {
+            m.note_fill(id);
+            m.graduate(id);
+        }
+        assert_eq!(m.in_use(), 0);
+        assert_eq!(m.stats().peak_in_use, 3);
+    }
+
+    #[test]
+    fn find_by_line() {
+        let mut m = MshrFile::new(2, MshrMode::ExtendedLifetime);
+        let id = m.allocate(0x100).unwrap();
+        assert_eq!(m.find(0x100), Some(id));
+        assert_eq!(m.find(0x140), None);
+    }
+}

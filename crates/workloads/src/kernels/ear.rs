@@ -1,0 +1,73 @@
+//! `ear`-like kernel: cochlea filter banks.
+//!
+//! SPECfp92 `ear` models the human ear with banks of second-order filters
+//! convolved over an audio signal. This kernel slides strided windows over a
+//! signal array larger than the primary caches: each output sample reads
+//! eight taps 64 bytes apart (a fresh line every other tap), a
+//! medium-miss-rate streaming pattern between `alvinn` and the conflict
+//! pathologies.
+
+use imo_isa::{Asm, Program};
+
+use crate::spec::Scale;
+use crate::util::{counted_loop, f, r};
+
+/// Signal: 16 K samples × 8 B = 128 KB.
+const SIGNAL_BASE: u64 = 0x40_0000;
+const OUT_BASE: u64 = 0x60_0000;
+const SAMPLES: u64 = 16 * 1024;
+const TAPS: u64 = 8;
+const TAP_STRIDE: i64 = 64;
+const OUTPUTS_PER_UNIT: u64 = 700;
+
+/// Builds the kernel at `scale`.
+pub fn program(scale: Scale) -> Program {
+    let outputs = OUTPUTS_PER_UNIT * scale.factor();
+    let mut a = Asm::new();
+    let (sbase, obase, saddr, oaddr, t) = (r(1), r(2), r(3), r(4), r(5));
+    let (x, acc, coef) = (f(1), f(2), f(3));
+
+    a.li(sbase, SIGNAL_BASE as i64);
+    a.li(obase, OUT_BASE as i64);
+    a.li(t, 0);
+
+    counted_loop(&mut a, r(11), r(12), outputs, "out", |a| {
+        a.fli(acc, 0.0);
+        a.fli(coef, 0.5);
+        // window start = base + (t mod SAMPLES/2) * 8
+        a.andi(saddr, t, SAMPLES / 2 - 1);
+        a.sll(saddr, saddr, 3);
+        a.add(saddr, saddr, sbase);
+        counted_loop(a, r(8), r(9), TAPS, "tap", |a| {
+            a.load(x, saddr, 0);
+            a.fmul(x, x, coef);
+            a.fadd(acc, acc, x);
+            a.fmul(coef, coef, coef); // decaying tap weights
+            a.addi(saddr, saddr, TAP_STRIDE);
+        });
+        // Store the output sample (streaming writes).
+        a.andi(oaddr, t, SAMPLES - 1);
+        a.sll(oaddr, oaddr, 3);
+        a.add(oaddr, oaddr, obase);
+        a.store(acc, oaddr, 0);
+        a.addi(t, t, 2); // small hop: consecutive windows overlap heavily
+    });
+    a.halt();
+    a.assemble().expect("ear kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::exec::{Executor, NeverMiss};
+
+    #[test]
+    fn filters_run_over_the_signal() {
+        let p = program(Scale::Test);
+        let mut e = Executor::new(&p);
+        e.run(&mut NeverMiss, 10_000_000).unwrap();
+        assert!(e.state().halted());
+        // The signal is all zeros, so outputs are zero but stores happened.
+        assert!(e.state().memory().touched_pages() > 1);
+    }
+}

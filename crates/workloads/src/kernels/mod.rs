@@ -1,0 +1,22 @@
+//! The fourteen SPEC92-like kernels (five integer, nine floating-point).
+//!
+//! Each module documents the benchmark it stands in for and the memory
+//! behaviour it is engineered to reproduce, and exposes a single
+//! `program(scale) -> Program` entry point. Kernels keep to registers
+//! `r1`–`r15` / `f1`–`f15`, leaving `r24`–`r27` for miss handlers (see
+//! `imo-core::instrument`).
+
+pub mod alvinn;
+pub mod compress;
+pub mod doduc;
+pub mod ear;
+pub mod eqntott;
+pub mod espresso;
+pub mod hydro2d;
+pub mod mdljsp2;
+pub mod nasa7;
+pub mod ora;
+pub mod sc;
+pub mod su2cor;
+pub mod tomcatv;
+pub mod xlisp;

@@ -1,0 +1,97 @@
+//! `nasa7`-like kernel: numerical kernel collection.
+//!
+//! SPECfp92 `nasa7` bundles seven numerical kernels (matrix multiply, FFT,
+//! Cholesky, …). This stand-in combines the two memory-relevant extremes:
+//! a blocked matrix multiply with good locality, and an FFT-style butterfly
+//! pass whose power-of-two strides cause conflict misses in a direct-mapped
+//! cache.
+
+use imo_isa::{Asm, Program};
+
+use crate::spec::Scale;
+use crate::util::{counted_loop, f, r};
+
+const N: u64 = 16; // matmul dimension (16x16 doubles = 2 KB per matrix)
+const A_BASE: u64 = 0x40_0000;
+const B_BASE: u64 = 0x40_1000;
+const C_BASE: u64 = 0x40_2000;
+/// Butterfly array: 8 K doubles = 64 KB.
+const FFT_BASE: u64 = 0x50_0000;
+const FFT_LEN: u64 = 8 * 1024;
+
+/// Builds the kernel at `scale`.
+pub fn program(scale: Scale) -> Program {
+    let repeats = scale.factor();
+    let mut a = Asm::new();
+    let (aaddr, baddr, caddr, stride) = (r(1), r(2), r(3), r(4));
+    let (av, bv, cv, one) = (f(1), f(2), f(3), f(4));
+    let row_bytes = (N * 8) as i64;
+
+    a.fli(one, 1.0);
+    a.li(r(15), row_bytes); // B's column stride, used in the inner product
+
+    counted_loop(&mut a, r(13), r(14), repeats, "rep", |a| {
+        // --- Matrix multiply C += (A+1)(B+1) with A,B updated in place ---
+        counted_loop(a, r(11), r(12), N, "mm_i", |a| {
+            counted_loop(a, r(9), r(10), N, "mm_j", |a| {
+                a.fli(cv, 0.0);
+                // aaddr = A + i*row; baddr = B + j*8
+                a.li(aaddr, row_bytes);
+                a.mul(aaddr, aaddr, r(11));
+                a.addi(aaddr, aaddr, A_BASE as i64);
+                a.sll(baddr, r(9), 3);
+                a.addi(baddr, baddr, B_BASE as i64);
+                counted_loop(a, r(7), r(8), N, "mm_k", |a| {
+                    a.load(av, aaddr, 0);
+                    a.load(bv, baddr, 0);
+                    a.fadd(av, av, one); // keep values alive from zero
+                    a.fadd(bv, bv, one);
+                    a.fmul(av, av, bv);
+                    a.fadd(cv, cv, av);
+                    a.addi(aaddr, aaddr, 8);
+                    a.add(baddr, baddr, r(15)); // r15 = row_bytes (set below)
+                });
+                a.li(caddr, row_bytes);
+                a.mul(caddr, caddr, r(11));
+                a.addi(caddr, caddr, C_BASE as i64);
+                a.sll(r(6), r(9), 3);
+                a.add(caddr, caddr, r(6));
+                a.store(cv, caddr, 0);
+            });
+        });
+        // --- Butterfly pass: stride-2^k exchanges over a 64 KB array ---
+        a.li(stride, 8 * 512); // 4 KB stride: conflicts in an 8 KB DM cache
+        counted_loop(a, r(11), r(12), FFT_LEN / 1024, "bf_grp", |a| {
+            a.sll(aaddr, r(11), 3);
+            a.addi(aaddr, aaddr, FFT_BASE as i64);
+            counted_loop(a, r(9), r(10), 512, "bf", |a| {
+                a.add(baddr, aaddr, stride);
+                a.load(av, aaddr, 0);
+                a.load(bv, baddr, 0);
+                a.fadd(cv, av, bv);
+                a.fsub(av, av, bv);
+                a.store(cv, aaddr, 0);
+                a.store(av, baddr, 0);
+                a.addi(aaddr, aaddr, 8);
+            });
+        });
+    });
+    a.halt();
+    a.assemble().expect("nasa7 kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::exec::{Executor, NeverMiss};
+
+    #[test]
+    fn matmul_of_ones_gives_n() {
+        let p = program(Scale::Test);
+        let mut e = Executor::new(&p);
+        e.run(&mut NeverMiss, 50_000_000).unwrap();
+        assert!(e.state().halted());
+        // A and B read as zero, (0+1)(0+1) summed over k: C[i][j] = N.
+        assert_eq!(e.state().memory().read_f64(C_BASE), N as f64);
+    }
+}

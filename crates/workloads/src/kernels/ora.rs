@@ -1,0 +1,87 @@
+//! `ora`-like kernel: optical ray tracing in registers.
+//!
+//! SPECfp92 `ora` traces rays through an optical system; it is famously
+//! compute-bound, spending its cycles in square roots and divides with a
+//! negligible data footprint. The paper uses it as the other extreme from
+//! `compress`/`su2cor`: even 100-instruction miss handlers cost it only
+//! ~2 %, because the handler almost never runs.
+
+use imo_isa::{Asm, Cond, Program, Reg};
+
+use crate::spec::Scale;
+use crate::util::{counted_loop, f, lcg_step, r};
+
+/// Lens table: 32 entries = 256 B (permanently resident).
+const LENS_BASE: u64 = 0x40_0000;
+const RAYS_PER_UNIT: u64 = 1800;
+
+/// Builds the kernel at `scale`.
+pub fn program(scale: Scale) -> Program {
+    let rays = RAYS_PER_UNIT * scale.factor();
+    let mut a = Asm::new();
+    let (seed, tmp, idx) = (r(1), r(2), r(3));
+    let (x, y, z, norm, radius, acc) = (f(1), f(2), f(3), f(4), f(5), f(6));
+
+    a.li(seed, 0x0aa);
+    a.fli(norm, 65536.0);
+    a.fli(acc, 0.0);
+
+    // Tiny lens table.
+    counted_loop(&mut a, r(8), r(9), 32, "init", |a| {
+        a.addi(tmp, r(8), 2);
+        a.cvtif(radius, tmp);
+        a.sll(idx, r(8), 3);
+        a.addi(idx, idx, LENS_BASE as i64);
+        a.store(radius, idx, 0);
+    });
+
+    counted_loop(&mut a, r(8), r(9), rays, "ray", |a| {
+        // Random direction components in (0,1].
+        lcg_step(a, seed, tmp);
+        a.andi(tmp, seed, 0xffff);
+        a.addi(tmp, tmp, 1);
+        a.cvtif(x, tmp);
+        a.fdiv(x, x, norm);
+        a.srl(tmp, seed, 16);
+        a.andi(tmp, tmp, 0xffff);
+        a.addi(tmp, tmp, 1);
+        a.cvtif(y, tmp);
+        a.fdiv(y, y, norm);
+        // Normalise: z = sqrt(x^2 + y^2); refract through a lens.
+        a.fmul(z, x, x);
+        a.fmul(y, y, y);
+        a.fadd(z, z, y);
+        a.fsqrt(z, z);
+        a.srl(idx, seed, 40);
+        a.andi(idx, idx, 31);
+        a.sll(idx, idx, 3);
+        a.addi(idx, idx, LENS_BASE as i64);
+        a.load(radius, idx, 0);
+        a.fdiv(z, z, radius);
+        a.fsqrt(z, z);
+        // Total internal reflection branch.
+        a.fcmplt(tmp, z, norm);
+        let miss = a.label(&format!("tir_{}", a.len()));
+        a.branch(Cond::Eq, tmp, Reg::ZERO, miss);
+        a.fadd(acc, acc, z);
+        a.bind(miss).unwrap();
+    });
+    a.halt();
+    a.assemble().expect("ora kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::exec::{Executor, NeverMiss};
+
+    #[test]
+    fn rays_accumulate() {
+        let p = program(Scale::Test);
+        let mut e = Executor::new(&p);
+        e.run(&mut NeverMiss, 10_000_000).unwrap();
+        assert!(e.state().halted());
+        let acc = e.state().fp(f(6));
+        assert!(acc.is_finite() && acc > 0.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! `sc`-like kernel: spreadsheet recalculation.
+//!
+//! SPECint92 `sc` is a curses spreadsheet; recalculation sweeps a 2-D cell
+//! table by rows (unit stride) and by columns (large stride), with
+//! conditional per-cell updates. The column sweeps touch a new cache line on
+//! every access, giving a moderate miss rate that is much worse on the 8 KB
+//! direct-mapped in-order cache than on the 32 KB 2-way out-of-order one.
+
+use imo_isa::{Asm, Cond, Program, Reg};
+
+use crate::spec::Scale;
+use crate::util::{counted_loop, r};
+
+/// 64 columns × 48 rows × 8 B = 24 KB (fits the 32 KB 2-way L1, overflows the 8 KB one).
+const GRID_BASE: u64 = 0x40_0000;
+const COLS: u64 = 64;
+const ROWS: u64 = 48;
+
+/// Builds the kernel at `scale`.
+pub fn program(scale: Scale) -> Program {
+    let recalcs = scale.factor();
+    let mut a = Asm::new();
+    let (base, addr, v, rowsum) = (r(1), r(2), r(3), r(4));
+    let (colstride, colsum) = (r(5), r(6));
+    let total = r(10);
+
+    a.li(base, GRID_BASE as i64);
+    a.li(colstride, (COLS * 8) as i64);
+
+    counted_loop(&mut a, r(13), r(14), recalcs, "recalc", |a| {
+        // Row sweep: sum each row, store the sum into column 0.
+        counted_loop(a, r(11), r(12), ROWS, "rows", |a| {
+            a.li(rowsum, 0);
+            // addr = base + row * COLS*8
+            a.mul(addr, r(11), colstride);
+            a.add(addr, addr, base);
+            counted_loop(a, r(8), r(9), COLS, "cells", |a| {
+                a.load(v, addr, 0);
+                a.add(rowsum, rowsum, v);
+                a.addi(addr, addr, 8);
+            });
+            a.mul(addr, r(11), colstride);
+            a.add(addr, addr, base);
+            a.store(rowsum, addr, 0);
+        });
+        // Column sweep: walk each of 8 spot-check columns downwards
+        // (COLS*8-byte stride: a new line per access) and update cells that
+        // exceed the running mean.
+        counted_loop(a, r(11), r(12), 8, "cols", |a| {
+            a.li(colsum, 0);
+            a.sll(addr, r(11), 3); // column index * 8
+            a.add(addr, addr, base);
+            counted_loop(a, r(8), r(9), ROWS, "down", |a| {
+                a.load(v, addr, 0);
+                a.add(colsum, colsum, v);
+                let small = a.label(&format!("small_{}", a.len()));
+                a.branch(Cond::Le, v, colsum, small);
+                a.addi(v, v, -1);
+                a.store(v, addr, 0);
+                a.bind(small).unwrap();
+                a.add(addr, addr, colstride);
+            });
+            a.add(total, total, colsum);
+        });
+    });
+    // Keep `total` live.
+    a.or(r(15), total, Reg::ZERO);
+    a.halt();
+    a.assemble().expect("sc kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::exec::{Executor, NeverMiss};
+
+    #[test]
+    fn recalculation_completes() {
+        let p = program(Scale::Test);
+        let mut e = Executor::new(&p);
+        e.run(&mut NeverMiss, 10_000_000).unwrap();
+        assert!(e.state().halted());
+    }
+}

@@ -1,0 +1,99 @@
+//! `tomcatv`-like kernel: mesh generation with partial conflicts.
+//!
+//! SPECfp92 `tomcatv` generates meshes with long vectorisable sweeps over
+//! half a dozen coordinate arrays. The paper notes that "a similar problem
+//! occurs to a lesser extent in tomcatv" as in `su2cor`: some — not all —
+//! of its arrays conflict in a small direct-mapped cache. Here two of the
+//! four swept arrays are 64 KB apart (≡ 0 mod 8 KB: they collide in the
+//! in-order model's direct-mapped L1 on every element) while the other two
+//! are offset to fall in distinct sets and merely stream.
+
+use imo_isa::{Asm, Program};
+
+use crate::spec::Scale;
+use crate::util::{counted_loop, f, r};
+
+/// x and y conflict in an 8 KB direct-mapped cache (64 KB apart, which is
+/// also 0 mod the 16 KB way size of the 32 KB 2-way cache — where the two
+/// ways absorb the pair without thrashing).
+const X_BASE: u64 = 0x40_0000;
+const Y_BASE: u64 = 0x41_0000;
+/// rx and ry are offset by non-multiples of 8 KB; in the 2-way cache their
+/// set ranges are disjoint from x/y's, in the direct-mapped cache they wrap
+/// around and partially collide — the "lesser extent" conflicts.
+const RX_BASE: u64 = X_BASE + 0x1800;
+const RY_BASE: u64 = X_BASE + 0x2800;
+/// 512 points × 8 B = 4 KB per array, 16 KB total: resident and
+/// conflict-free in the out-of-order model's 32 KB L1, over-capacity and
+/// conflicting in the in-order model's 8 KB one.
+const POINTS: u64 = 512;
+const SWEEPS_PER_UNIT: u64 = 3;
+
+/// Builds the kernel at `scale`.
+pub fn program(scale: Scale) -> Program {
+    let sweeps = SWEEPS_PER_UNIT * scale.factor();
+    let mut a = Asm::new();
+    let (xb, yb, rxb, ryb, off, t) = (r(1), r(2), r(3), r(4), r(5), r(6));
+    let (xv, yv, rxv, ryv, relax) = (f(1), f(2), f(3), f(4), f(5));
+
+    a.li(xb, X_BASE as i64);
+    a.li(yb, Y_BASE as i64);
+    a.li(rxb, RX_BASE as i64);
+    a.li(ryb, RY_BASE as i64);
+    a.fli(relax, 0.9);
+
+    counted_loop(&mut a, r(11), r(12), sweeps, "sweep", |a| {
+        a.li(off, 0);
+        counted_loop(a, r(8), r(9), POINTS, "pt", |a| {
+            a.add(t, xb, off);
+            a.load(xv, t, 0);
+            // The conflicting y read happens on every second point — the
+            // paper: "a similar problem occurs to a lesser extent in
+            // tomcatv" (vs su2cor's every-reference conflicts).
+            a.andi(t, r(8), 1);
+            let skip_y = a.label(&format!("skip_y_{}", a.len()));
+            a.branch(imo_isa::Cond::Ne, t, imo_isa::Reg::ZERO, skip_y);
+            a.add(t, yb, off);
+            a.load(yv, t, 0);
+            a.bind(skip_y).unwrap();
+            a.add(t, rxb, off);
+            a.load(rxv, t, 0);
+            a.add(t, ryb, off);
+            a.load(ryv, t, 0);
+            // Relaxation step; results go to the residual arrays (which do
+            // not conflict), not back into the thrashing pair.
+            a.fadd(rxv, rxv, yv);
+            a.fmul(rxv, rxv, relax);
+            a.fadd(ryv, ryv, xv);
+            a.fmul(ryv, ryv, relax);
+            a.add(t, rxb, off);
+            a.store(rxv, t, 0);
+            a.add(t, ryb, off);
+            a.store(ryv, t, 0);
+            a.addi(off, off, 8);
+        });
+    });
+    a.halt();
+    a.assemble().expect("tomcatv kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::exec::{Executor, NeverMiss};
+
+    #[test]
+    fn relaxation_completes() {
+        let p = program(Scale::Test);
+        let mut e = Executor::new(&p);
+        e.run(&mut NeverMiss, 10_000_000).unwrap();
+        assert!(e.state().halted());
+    }
+
+    #[test]
+    fn conflict_pair_is_8kb_aligned_but_not_the_others() {
+        assert_eq!((Y_BASE - X_BASE) % 8192, 0, "x/y collide in an 8KB DM cache");
+        assert_ne!((RX_BASE - X_BASE) % 8192, 0);
+        assert_ne!((RY_BASE - X_BASE) % 8192, 0);
+    }
+}

@@ -1,0 +1,84 @@
+//! `xlisp`-like kernel: interpreter heap traversal.
+//!
+//! SPECint92 `xlisp` is a Lisp interpreter; its memory time goes to chasing
+//! cons cells scattered across the heap (list traversal and garbage-collector
+//! marking). This kernel builds a permuted singly-linked list whose nodes
+//! are spread one-per-line across a 512 KB arena, then repeatedly traverses
+//! it: every hop is a *dependent* load, the access pattern dynamic
+//! scheduling cannot overlap — which is also why this class of workload
+//! motivates the paper's software-multithreading handler (§4.1.3).
+
+use imo_isa::{Asm, Program};
+
+use crate::spec::Scale;
+use crate::util::{counted_loop, r};
+
+/// 2048 cells, one per 256 B (`1 << CELL_SHIFT`) -> 512 KB arena.
+const ARENA_BASE: u64 = 0x100_0000;
+const CELLS: u64 = 2048;
+const CELL_SHIFT: u8 = 8;
+/// Index stride (odd, so the permutation is a single cycle mod 2048).
+const PERM_STRIDE: u64 = 729;
+const HOPS_PER_ROUND: u64 = 2048;
+const ROUNDS_PER_UNIT: u64 = 3;
+
+/// Builds the kernel at `scale`.
+pub fn program(scale: Scale) -> Program {
+    let rounds = ROUNDS_PER_UNIT * scale.factor();
+    let mut a = Asm::new();
+    let (base, idx, next_idx, addr, nptr) = (r(1), r(2), r(3), r(4), r(5));
+    let (ptr, sum, mask) = (r(6), r(7), r(11));
+
+    a.li(base, ARENA_BASE as i64);
+    a.li(mask, (CELLS - 1) as i64);
+
+    // Build: cell[i].car = arena + perm(i)*stride.
+    a.li(idx, 0);
+    counted_loop(&mut a, r(8), r(9), CELLS, "build", |a| {
+        a.addi(next_idx, idx, PERM_STRIDE as i64);
+        a.and(next_idx, next_idx, mask);
+        // addr = base + idx*256 ; nptr = base + next_idx*256
+        a.sll(addr, idx, CELL_SHIFT);
+        a.add(addr, addr, base);
+        a.sll(nptr, next_idx, CELL_SHIFT);
+        a.add(nptr, nptr, base);
+        a.store(nptr, addr, 0);
+        a.or(idx, next_idx, imo_isa::Reg::ZERO);
+    });
+
+    // Traverse: chase the chain, doing a few ALU operations of "interpreter
+    // work" per cons cell (tag checks, environment arithmetic), as a real
+    // evaluator does between pointer dereferences.
+    counted_loop(&mut a, r(13), r(14), rounds, "round", |a| {
+        a.or(ptr, base, imo_isa::Reg::ZERO);
+        counted_loop(a, r(8), r(9), HOPS_PER_ROUND, "chase", |a| {
+            a.load(ptr, ptr, 0);
+            a.srl(r(10), ptr, 3);
+            a.andi(r(10), r(10), 0xff);
+            a.xor(sum, sum, r(10));
+            a.add(sum, sum, ptr);
+            a.sll(r(10), sum, 1);
+            a.xor(sum, sum, r(10));
+        });
+    });
+    a.halt();
+    a.assemble().expect("xlisp kernel assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::exec::{Executor, NeverMiss};
+
+    #[test]
+    fn list_is_a_single_cycle() {
+        let p = program(Scale::Test);
+        let mut e = Executor::new(&p);
+        e.run(&mut NeverMiss, 10_000_000).unwrap();
+        assert!(e.state().halted());
+        // After a full round of CELLS hops the pointer returns to the head.
+        assert_eq!(e.state().int(r(6)), ARENA_BASE);
+        assert_ne!(e.state().int(r(7)), 0);
+        
+    }
+}

@@ -1,0 +1,45 @@
+//! # SPEC92-like workload kernels
+//!
+//! The paper evaluates informing memory operations on fourteen SPEC92
+//! benchmarks (five integer, nine floating-point) compiled with the MIPS
+//! compilers. Neither those binaries nor a MIPS compiler is available here,
+//! so this crate provides hand-written IRIS kernels that reproduce each
+//! benchmark's *memory-behaviour class* — miss rate, stride/conflict
+//! pattern, branch predictability and instruction mix — which is what drives
+//! the shape of the paper's Figures 2 and 3. See `DESIGN.md` for the
+//! substitution rationale.
+//!
+//! Notable engineered behaviours:
+//!
+//! * [`kernels::su2cor`] thrashes an 8 KB direct-mapped primary cache (its
+//!   arrays are 8 KB apart) while behaving moderately in the out-of-order
+//!   model's 32 KB 2-way cache — the paper's Figure 3 pathology;
+//! * [`kernels::tomcatv`] has a milder version of the same conflict problem;
+//! * [`kernels::ora`] performs almost no memory references (the paper's
+//!   "only 2 % overhead even with 100-instruction handlers" case);
+//! * [`kernels::xlisp`] chases pointers (dependent misses).
+//!
+//! The [`parallel`] module generates the shared-memory reference traces used
+//! by the `imo-coherence` case study (§4.3).
+//!
+//! ## Example
+//!
+//! ```
+//! use imo_workloads::{by_name, Scale};
+//! use imo_isa::exec::{Executor, NeverMiss};
+//!
+//! let spec = by_name("ora").expect("ora exists");
+//! let program = (spec.build)(Scale::Test);
+//! let mut e = Executor::new(&program);
+//! e.run(&mut NeverMiss, 10_000_000).expect("runs to completion");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernels;
+pub mod parallel;
+pub mod spec;
+mod util;
+
+pub use spec::{all, by_name, integer, floating_point, Scale, Spec, WorkloadClass};

@@ -1,0 +1,195 @@
+//! The workload registry.
+
+use imo_isa::Program;
+
+use crate::kernels;
+
+/// Problem scale: all kernels are linear in the scale factor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Scale {
+    /// Tiny runs for unit tests (~10⁴ dynamic instructions).
+    Test,
+    /// The default for experiments (~10⁵–10⁶ dynamic instructions).
+    #[default]
+    Small,
+    /// Longer runs (~10⁶–10⁷ dynamic instructions).
+    Reference,
+}
+
+impl Scale {
+    /// Linear iteration multiplier.
+    pub fn factor(self) -> u64 {
+        match self {
+            Scale::Test => 1,
+            Scale::Small => 8,
+            Scale::Reference => 64,
+        }
+    }
+}
+
+/// Integer vs floating-point benchmark (SPECint92 vs SPECfp92).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadClass {
+    /// SPECint92-like.
+    Integer,
+    /// SPECfp92-like.
+    FloatingPoint,
+}
+
+/// A registered workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Spec {
+    /// The SPEC92 benchmark this kernel stands in for.
+    pub name: &'static str,
+    /// Integer or floating point.
+    pub class: WorkloadClass,
+    /// Builds the program at a given scale.
+    pub build: fn(Scale) -> Program,
+    /// One-line description of the modelled memory behaviour.
+    pub behaviour: &'static str,
+}
+
+/// The five SPECint92-like kernels.
+pub fn integer() -> Vec<Spec> {
+    use WorkloadClass::Integer as I;
+    vec![
+        Spec {
+            name: "compress",
+            class: I,
+            build: kernels::compress::program,
+            behaviour: "LZW-style hash-table probes: scattered references, high miss rate",
+        },
+        Spec {
+            name: "espresso",
+            class: I,
+            build: kernels::espresso::program,
+            behaviour: "bit-set cube operations: small working set, data-dependent branches",
+        },
+        Spec {
+            name: "eqntott",
+            class: I,
+            build: kernels::eqntott::program,
+            behaviour: "sort-dominated: sequential sweeps, unpredictable comparisons",
+        },
+        Spec {
+            name: "sc",
+            class: I,
+            build: kernels::sc::program,
+            behaviour: "spreadsheet grid: row and column sweeps over a 2-D table",
+        },
+        Spec {
+            name: "xlisp",
+            class: I,
+            build: kernels::xlisp::program,
+            behaviour: "interpreter heap: pointer chasing, dependent misses",
+        },
+    ]
+}
+
+/// The nine SPECfp92-like kernels.
+pub fn floating_point() -> Vec<Spec> {
+    use WorkloadClass::FloatingPoint as F;
+    vec![
+        Spec {
+            name: "alvinn",
+            class: F,
+            build: kernels::alvinn::program,
+            behaviour: "neural-net matrix-vector products: long unit-stride FP streams",
+        },
+        Spec {
+            name: "doduc",
+            class: F,
+            build: kernels::doduc::program,
+            behaviour: "Monte-Carlo kernels: divide/sqrt-heavy compute, tiny data",
+        },
+        Spec {
+            name: "ear",
+            class: F,
+            build: kernels::ear::program,
+            behaviour: "filter banks: strided convolution windows",
+        },
+        Spec {
+            name: "hydro2d",
+            class: F,
+            build: kernels::hydro2d::program,
+            behaviour: "2-D stencil sweeps: streaming with row reuse",
+        },
+        Spec {
+            name: "mdljsp2",
+            class: F,
+            build: kernels::mdljsp2::program,
+            behaviour: "molecular dynamics: index-list gathers, scattered FP loads",
+        },
+        Spec {
+            name: "nasa7",
+            class: F,
+            build: kernels::nasa7::program,
+            behaviour: "blocked matrix multiply + power-of-two-stride butterfly",
+        },
+        Spec {
+            name: "ora",
+            class: F,
+            build: kernels::ora::program,
+            behaviour: "ray tracing through registers: almost no memory references",
+        },
+        Spec {
+            name: "su2cor",
+            class: F,
+            build: kernels::su2cor::program,
+            behaviour: "lattice sweep with 8KB-aligned arrays: thrashes a direct-mapped L1",
+        },
+        Spec {
+            name: "tomcatv",
+            class: F,
+            build: kernels::tomcatv::program,
+            behaviour: "mesh generation: multi-array unit-stride sweeps with partial conflicts",
+        },
+    ]
+}
+
+/// All fourteen kernels (integer first), matching the paper's benchmark set.
+pub fn all() -> Vec<Spec> {
+    let mut v = integer();
+    v.extend(floating_point());
+    v
+}
+
+/// Looks a workload up by name.
+pub fn by_name(name: &str) -> Option<Spec> {
+    all().into_iter().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_kernels_five_integer() {
+        let a = all();
+        assert_eq!(a.len(), 14);
+        assert_eq!(a.iter().filter(|s| s.class == WorkloadClass::Integer).count(), 5);
+        assert_eq!(integer().len(), 5);
+        assert_eq!(floating_point().len(), 9);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let a = all();
+        let mut names: Vec<_> = a.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 14);
+    }
+
+    #[test]
+    fn lookup() {
+        assert!(by_name("su2cor").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn scale_factors_increase() {
+        assert!(Scale::Test.factor() < Scale::Small.factor());
+        assert!(Scale::Small.factor() < Scale::Reference.factor());
+    }
+}

@@ -1,0 +1,86 @@
+//! Shared code-generation helpers for the kernels.
+//!
+//! Workload kernels restrict themselves to `r1`–`r15` and `f1`–`f15`:
+//! `r24`–`r27` belong to miss handlers (see `imo-core`) and the remaining
+//! registers are left for instrumentation and future extensions.
+
+use imo_isa::{Asm, Cond, Reg};
+
+/// Integer register `r<i>` (kernels use 1..=15).
+pub fn r(i: u8) -> Reg {
+    debug_assert!((1..=15).contains(&i), "kernel integer registers are r1..r15");
+    Reg::int(i)
+}
+
+/// FP register `f<i>` (kernels use 1..=15).
+pub fn f(i: u8) -> Reg {
+    debug_assert!((1..=15).contains(&i), "kernel fp registers are f1..f15");
+    Reg::fp(i)
+}
+
+/// Emits one step of a multiplicative LCG in `seed`:
+/// `seed = seed * 6364136223846793005 + 1442695040888963407` (the Knuth
+/// MMIX constants), leaving pseudo-random high-entropy bits in `seed`.
+/// Clobbers `tmp`.
+pub fn lcg_step(a: &mut Asm, seed: Reg, tmp: Reg) {
+    a.li(tmp, 0x5851_f42d_4c95_7f2d_u64 as i64);
+    a.mul(seed, seed, tmp);
+    a.li(tmp, 0x1405_7b7e_f767_814f_u64 as i64);
+    a.add(seed, seed, tmp);
+}
+
+/// Emits a counted loop: `body` is emitted between the counter setup and the
+/// backward branch. `ctr` counts 0..n, `limit` holds the bound. Both
+/// registers are clobbered.
+pub fn counted_loop(
+    a: &mut Asm,
+    ctr: Reg,
+    limit: Reg,
+    n: u64,
+    label: &str,
+    body: impl FnOnce(&mut Asm),
+) {
+    a.li(ctr, 0);
+    a.li(limit, n as i64);
+    let top = a.here(label);
+    body(a);
+    a.addi(ctr, ctr, 1);
+    a.branch(Cond::Lt, ctr, limit, top);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_isa::exec::{Executor, NeverMiss};
+
+    #[test]
+    fn lcg_produces_varied_bits() {
+        let mut a = Asm::new();
+        let (seed, tmp) = (r(1), r(2));
+        a.li(seed, 42);
+        lcg_step(&mut a, seed, tmp);
+        lcg_step(&mut a, seed, tmp);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut e = Executor::new(&p);
+        e.run(&mut NeverMiss, 100).unwrap();
+        let v = e.state().int(r(1));
+        assert_ne!(v, 42);
+        assert_ne!(v & 0xffff, 0, "low bits populated");
+        assert_ne!(v >> 48, 0, "high bits populated");
+    }
+
+    #[test]
+    fn counted_loop_runs_n_times() {
+        let mut a = Asm::new();
+        let acc = r(3);
+        counted_loop(&mut a, r(1), r(2), 17, "t", |a| {
+            a.addi(acc, acc, 2);
+        });
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut e = Executor::new(&p);
+        e.run(&mut NeverMiss, 1000).unwrap();
+        assert_eq!(e.state().int(acc), 34);
+    }
+}

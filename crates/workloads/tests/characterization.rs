@@ -1,0 +1,191 @@
+//! Characterisation tests: each kernel must exhibit the memory behaviour it
+//! was engineered to reproduce (see the per-kernel module docs and
+//! DESIGN.md). These properties are what give the paper's Figures 2 and 3
+//! their shape, so they are pinned here against both cache geometries of
+//! Table 1.
+
+use imo_isa::exec::{Executor, MissOracle};
+use imo_isa::Program;
+use imo_mem::{Cache, CacheConfig};
+use imo_workloads::{all, by_name, Scale};
+
+/// Oracle that models one data cache and counts demand misses.
+struct CacheOracle {
+    cache: Cache,
+    accesses: u64,
+    misses: u64,
+}
+
+impl CacheOracle {
+    fn in_order_l1() -> CacheOracle {
+        CacheOracle { cache: Cache::new(CacheConfig::new(8 * 1024, 1, 32)), accesses: 0, misses: 0 }
+    }
+
+    fn out_of_order_l1() -> CacheOracle {
+        CacheOracle {
+            cache: Cache::new(CacheConfig::new(32 * 1024, 2, 32)),
+            accesses: 0,
+            misses: 0,
+        }
+    }
+
+    fn miss_rate(&self) -> f64 {
+        self.misses as f64 / self.accesses.max(1) as f64
+    }
+}
+
+impl MissOracle for CacheOracle {
+    fn probe(&mut self, addr: u64, is_store: bool) -> imo_isa::exec::MissDepth {
+        self.accesses += 1;
+        let miss = matches!(self.cache.access(addr, is_store), imo_mem::Probe::Miss { .. });
+        if miss {
+            self.misses += 1;
+            imo_isa::exec::MissDepth::L1Miss
+        } else {
+            imo_isa::exec::MissDepth::Hit
+        }
+    }
+}
+
+fn run(p: &Program, oracle: &mut CacheOracle) -> u64 {
+    let mut e = Executor::new(p);
+    e.run(oracle, 50_000_000).expect("kernel completes")
+}
+
+fn miss_rates(name: &str) -> (f64, f64, u64) {
+    let spec = by_name(name).unwrap();
+    let p = (spec.build)(Scale::Test);
+    let mut dm = CacheOracle::in_order_l1();
+    let instrs = run(&p, &mut dm);
+    let mut sa = CacheOracle::out_of_order_l1();
+    run(&p, &mut sa);
+    (dm.miss_rate(), sa.miss_rate(), instrs)
+}
+
+#[test]
+fn all_kernels_complete_on_both_geometries() {
+    for spec in all() {
+        let p = (spec.build)(Scale::Test);
+        let mut o = CacheOracle::in_order_l1();
+        let n = run(&p, &mut o);
+        assert!(n > 5_000, "{}: {} dynamic instructions is too tiny", spec.name, n);
+        assert!(n < 2_000_000, "{}: {} dynamic instructions is too big for Test", spec.name, n);
+        assert!(o.accesses > 100, "{}: kernels must reference memory", spec.name);
+    }
+}
+
+#[test]
+fn ora_has_negligible_misses() {
+    let (dm, sa, _) = miss_rates("ora");
+    assert!(dm < 0.02, "ora on 8KB DM: {dm}");
+    assert!(sa < 0.02, "ora on 32KB 2-way: {sa}");
+}
+
+#[test]
+fn compress_misses_heavily_everywhere() {
+    let (dm, sa, _) = miss_rates("compress");
+    assert!(dm > 0.25, "compress on 8KB DM: {dm}");
+    assert!(sa > 0.1, "compress on 32KB 2-way: {sa}");
+}
+
+#[test]
+fn su2cor_thrashes_only_the_direct_mapped_cache() {
+    let (dm, sa, _) = miss_rates("su2cor");
+    assert!(dm > 0.8, "su2cor must thrash an 8KB DM cache: {dm}");
+    assert!(sa < 0.3, "but stream moderately in 32KB 2-way: {sa}");
+    assert!(dm > 3.0 * sa, "the geometry gap is the Figure 3 story");
+}
+
+#[test]
+fn tomcatv_conflicts_to_a_lesser_extent_than_su2cor() {
+    let (tom_dm, tom_sa, _) = miss_rates("tomcatv");
+    let (su_dm, _, _) = miss_rates("su2cor");
+    assert!(tom_dm > 0.25, "tomcatv conflicts in DM: {tom_dm}");
+    assert!(tom_dm < su_dm, "but less than su2cor: {tom_dm} vs {su_dm}");
+    assert!(tom_sa < 0.3, "tomcatv streams in 32KB 2-way: {tom_sa}");
+}
+
+#[test]
+fn alvinn_streams_with_regular_misses() {
+    let (dm, sa, _) = miss_rates("alvinn");
+    // Streaming misses: roughly one per line (every 4th access) or fewer.
+    assert!((0.02..0.5).contains(&dm), "alvinn DM: {dm}");
+    assert!((0.01..0.4).contains(&sa), "alvinn SA: {sa}");
+}
+
+#[test]
+fn doduc_is_compute_bound() {
+    let (dm, sa, _) = miss_rates("doduc");
+    assert!(dm < 0.05, "doduc DM: {dm}");
+    assert!(sa < 0.05, "doduc SA: {sa}");
+}
+
+#[test]
+fn xlisp_chases_pointers_with_moderate_misses() {
+    let (dm, sa, _) = miss_rates("xlisp");
+    assert!(dm > 0.3, "2048 one-per-line cells overflow 8KB: {dm}");
+    assert!(sa > 0.2, "and 32KB (1024 lines): {sa}");
+}
+
+#[test]
+fn working_set_kernels_fit_the_bigger_cache_better() {
+    // espresso/eqntott/sc have working sets between 8KB and 36KB: the 32KB
+    // 2-way cache must beat the 8KB DM cache clearly.
+    for name in ["espresso", "eqntott", "sc"] {
+        let (dm, sa, _) = miss_rates(name);
+        assert!(
+            sa < dm * 0.8 || dm < 0.01,
+            "{name}: 32KB 2-way ({sa}) should beat 8KB DM ({dm})"
+        );
+    }
+}
+
+#[test]
+fn integer_kernels_use_no_fp_and_fp_kernels_do() {
+    use imo_isa::FuClass;
+    for spec in all() {
+        let p = (spec.build)(Scale::Test);
+        let has_fp = p.instrs().iter().any(|i| i.fu_class() == FuClass::Fp);
+        match spec.class {
+            imo_workloads::WorkloadClass::Integer => {
+                assert!(!has_fp, "{} is an integer benchmark", spec.name)
+            }
+            imo_workloads::WorkloadClass::FloatingPoint => {
+                assert!(has_fp, "{} is an FP benchmark", spec.name)
+            }
+        }
+    }
+}
+
+#[test]
+fn kernels_respect_the_handler_register_reservation() {
+    // r24..r27 (and in general r16+ apart from documented exceptions) are
+    // reserved for instrumentation; kernels must not touch r24..r27.
+    for spec in all() {
+        let p = (spec.build)(Scale::Test);
+        for (pc, ins) in p.iter() {
+            for reg in ins.sources().chain(ins.dest()) {
+                if reg.class() == imo_isa::RegClass::Int {
+                    assert!(
+                        !(24..=27).contains(&reg.index()),
+                        "{}: {ins} at {pc:#x} touches reserved {reg}",
+                        spec.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scale_small_is_roughly_8x_test() {
+    for name in ["compress", "ora", "hydro2d"] {
+        let spec = by_name(name).unwrap();
+        let mut o1 = CacheOracle::in_order_l1();
+        let n1 = run(&(spec.build)(Scale::Test), &mut o1);
+        let mut o8 = CacheOracle::in_order_l1();
+        let n8 = run(&(spec.build)(Scale::Small), &mut o8);
+        let ratio = n8 as f64 / n1 as f64;
+        assert!((4.0..10.0).contains(&ratio), "{name}: ratio {ratio}");
+    }
+}
