@@ -5,9 +5,10 @@
 //! shadow state. This bench sweeps the checkpoint budget on a dense
 //! informing workload.
 
-use imo_bench::Table;
+use imo_bench::{emit, Table};
 use imo_core::instrument::{instrument, HandlerBody, HandlerKind, Scheme};
 use imo_cpu::{ooo, OooConfig, RunLimits};
+use imo_util::json::Json;
 use imo_workloads::{by_name, Scale};
 
 fn main() {
@@ -36,5 +37,15 @@ fn main() {
     println!(
         "\nexpected: the R10000's 3 checkpoints throttle dispatch when every reference\n\
          is a potential branch; ~3x the budget recovers the performance (§3.2)."
+    );
+    emit(
+        "ablation_checkpoints",
+        Json::arr(cycles.iter().map(|(c, cy)| {
+            Json::obj([
+                ("checkpoints", Json::from(u64::from(*c))),
+                ("cycles", Json::from(*cy)),
+                ("slowdown_vs_12", Json::from(*cy as f64 / base12)),
+            ])
+        })),
     );
 }

@@ -8,8 +8,9 @@
 //! trace (the cycle-level models fetch along the correct path, so wrong-path
 //! loads are exercised here, at the component level).
 
-use imo_bench::Table;
+use imo_bench::{emit, Table};
 use imo_mem::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy, MshrFile, MshrMode};
+use imo_util::json::Json;
 
 struct Outcome {
     silent_installs: u64,
@@ -61,10 +62,10 @@ fn main() {
         "squash invalidations",
         "lines left in L2 (prefetch effect)",
     ]);
-    for (name, mode) in [
-        ("standard", MshrMode::Standard),
-        ("extended lifetime", MshrMode::ExtendedLifetime),
-    ] {
+    let mut json_rows = Vec::new();
+    for (name, mode) in
+        [("standard", MshrMode::Standard), ("extended lifetime", MshrMode::ExtendedLifetime)]
+    {
         let o = replay(mode, n);
         t.row([
             name.to_string(),
@@ -73,6 +74,13 @@ fn main() {
             o.invalidations.to_string(),
             o.l2_prefetches.to_string(),
         ]);
+        json_rows.push(Json::obj([
+            ("mode", Json::from(name)),
+            ("squashed_loads", Json::from(n / 3)),
+            ("silent_l1_installs", Json::from(o.silent_installs)),
+            ("squash_invalidations", Json::from(o.invalidations)),
+            ("l2_prefetches", Json::from(o.l2_prefetches)),
+        ]));
     }
     print!("{}", t.render());
     println!(
@@ -80,4 +88,5 @@ fn main() {
          access control); the extended mode invalidates all of them while the data stays\n\
          in L2, so the squashed load acted as an L2 prefetch."
     );
+    emit("ablation_mshr", Json::arr(json_rows));
 }

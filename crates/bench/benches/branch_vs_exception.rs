@@ -5,16 +5,21 @@
 //! The paper measured the exception treatment 9 % / 7 % slower on `compress`
 //! with 1- / 10-instruction handlers.
 
+use imo_bench::emit;
 use imo_core::experiment::{run_experiment, Variant};
 use imo_core::instrument::{HandlerBody, HandlerKind, Scheme};
 use imo_core::Machine;
 use imo_cpu::{OooConfig, RunLimits, TrapModel};
+use imo_util::json::Json;
 use imo_workloads::{by_name, Scale};
 
 fn main() {
-    println!("§4.2.2: informing trap handled as mispredicted branch vs exception (compress, ooo).\n");
+    println!(
+        "§4.2.2: informing trap handled as mispredicted branch vs exception (compress, ooo).\n"
+    );
     let spec = by_name("compress").expect("compress exists");
     let program = (spec.build)(Scale::Small);
+    let mut json_rows = Vec::new();
 
     for len in [1u32, 10] {
         let variants = [
@@ -40,11 +45,17 @@ fn main() {
             )
             .expect("experiment runs");
             let s = res.raw.iter().find(|(l, _)| *l == "S").expect("S ran").1;
+            let norm = res.bars.iter().find(|b| b.label == "S").unwrap().total;
             println!(
                 "{len:>3}-instr handler, {trap_model:?}: {} cycles (norm {:.3})",
-                s.cycles,
-                res.bars.iter().find(|b| b.label == "S").unwrap().total,
+                s.cycles, norm
             );
+            json_rows.push(Json::obj([
+                ("handler_len", Json::from(u64::from(len))),
+                ("trap_model", Json::Str(format!("{trap_model:?}"))),
+                ("cycles", Json::from(s.cycles)),
+                ("norm_time", Json::from(norm)),
+            ]));
             cycles.push(s.cycles);
         }
         let slowdown = cycles[1] as f64 / cycles[0] as f64 - 1.0;
@@ -54,4 +65,5 @@ fn main() {
             if len == 1 { 9 } else { 7 }
         );
     }
+    emit("branch_vs_exception", Json::arr(json_rows));
 }

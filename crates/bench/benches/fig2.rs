@@ -7,7 +7,7 @@
 //! per reference). Heights are normalized to N and split into busy /
 //! cache-stall / other-stall graduation slots, as in the paper.
 
-use imo_bench::{fig2_for, fmt_bars};
+use imo_bench::{emit, experiments_to_json, fig2_for, fmt_bars};
 use imo_core::experiment::figure2_variants;
 use imo_workloads::{all, Scale};
 
@@ -15,6 +15,7 @@ fn main() {
     let variants = figure2_variants();
     let mut worst: (f64, String) = (0.0, String::new());
     let mut over_40 = Vec::new();
+    let mut collected = Vec::new();
 
     println!("FIGURE 2. Performance of generic miss handlers (1 and 10 instructions).\n");
     for spec in all() {
@@ -34,6 +35,7 @@ fn main() {
                     ));
                 }
             }
+            collected.push(res);
         }
     }
 
@@ -47,4 +49,5 @@ fn main() {
             println!("  {s}");
         }
     }
+    emit("fig2", experiments_to_json(&collected));
 }

@@ -7,7 +7,7 @@
 //! also observed unique handlers sometimes *beating* the single handler,
 //! because distinct handlers are not data-dependent on each other.
 
-use imo_bench::{fig2_for, fmt_bars};
+use imo_bench::{emit, experiments_to_json, fig2_for, fmt_bars};
 use imo_core::experiment::figure2_variants;
 use imo_workloads::Scale;
 
@@ -39,6 +39,11 @@ fn main() {
         "in-order 10U vs 10S: {:.3} vs {:.3}{}",
         u,
         s,
-        if u + 5e-3 < s { "  <- unique handlers win (the paper's surprising artifact)" } else { "" }
+        if u + 5e-3 < s {
+            "  <- unique handlers win (the paper's surprising artifact)"
+        } else {
+            ""
+        }
     );
+    emit("fig3", experiments_to_json(&results));
 }

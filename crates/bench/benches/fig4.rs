@@ -5,7 +5,7 @@
 //! reference checking), while the relative order of the other two
 //! fluctuates with application parameters.
 
-use imo_bench::{fig4_rows, Table};
+use imo_bench::{emit, fig4_rows, fig4_to_json, Table};
 use imo_coherence::MachineParams;
 use imo_workloads::parallel::TraceConfig;
 
@@ -67,4 +67,5 @@ fn main() {
         }
     }
     print!("{}", d.render());
+    emit("fig4", fig4_to_json(&rows));
 }

@@ -5,7 +5,7 @@
 //! is measured alongside: the 100-instruction body runs on every 16th miss
 //! only.
 
-use imo_bench::{fig2_for, fmt_bars};
+use imo_bench::{emit, experiments_to_json, fig2_for, fmt_bars};
 use imo_core::experiment::{handler100_variants, Variant};
 use imo_core::instrument::{HandlerBody, HandlerKind, Scheme};
 use imo_workloads::Scale;
@@ -21,6 +21,7 @@ fn main() {
         },
     });
     let mut summary = Vec::new();
+    let mut collected = Vec::new();
     for name in ["compress", "su2cor", "ora"] {
         for res in fig2_for(name, Scale::Small, &variants) {
             println!("{}", fmt_bars(&res));
@@ -30,10 +31,12 @@ fn main() {
                 "{name} [{}]: {:.2}x full, {:.2}x sampled 1/16",
                 res.machine, full.total, sampled.total
             ));
+            collected.push(res);
         }
     }
     println!("== summary (paper: compress ~6x, su2cor ~7x, ora ~1.02x; sampling mitigates) ==");
     for s in summary {
         println!("  {s}");
     }
+    emit("handler100", experiments_to_json(&collected));
 }

@@ -1,10 +1,12 @@
-//! Criterion microbenches of the simulator substrate itself: cache probes,
-//! functional execution, instrumentation rewriting, and the two cycle-level
-//! models end-to-end on a small kernel. These track the *simulator's* speed
-//! (host time), not simulated time.
+//! Microbenches of the simulator substrate itself: cache probes, functional
+//! execution, instrumentation rewriting, and the two cycle-level models
+//! end-to-end on a small kernel. These track the *simulator's* speed (host
+//! time), not simulated time; medians land in `BENCH_substrate.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+
+use imo_bench::report::emit;
+use imo_util::Bench;
 
 use imo_core::instrument::{instrument, HandlerBody, HandlerKind, Scheme};
 use imo_cpu::{inorder, ooo, InOrderConfig, OooConfig, RunLimits};
@@ -12,72 +14,68 @@ use imo_isa::exec::{Executor, NeverMiss};
 use imo_mem::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy};
 use imo_workloads::{by_name, Scale};
 
-fn bench_cache(c: &mut Criterion) {
-    c.bench_function("cache/probe_hit", |b| {
-        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 2, 32));
-        cache.access(0x1000, false);
-        b.iter(|| black_box(cache.access(black_box(0x1000), false)));
+fn bench_cache(b: &mut Bench) {
+    let mut cache = Cache::new(CacheConfig::new(32 * 1024, 2, 32));
+    cache.access(0x1000, false);
+    b.bench("cache/probe_hit", || black_box(cache.access(black_box(0x1000), false)));
+
+    let mut cache = Cache::new(CacheConfig::new(32 * 1024, 2, 32));
+    let mut addr = 0u64;
+    b.bench("cache/probe_streaming_miss", || {
+        addr = addr.wrapping_add(32);
+        black_box(cache.access(black_box(addr), false))
     });
-    c.bench_function("cache/probe_streaming_miss", |b| {
-        let mut cache = Cache::new(CacheConfig::new(32 * 1024, 2, 32));
-        let mut addr = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(32);
-            black_box(cache.access(black_box(addr), false))
-        });
-    });
-    c.bench_function("hierarchy/probe_and_schedule", |b| {
-        let mut h = MemoryHierarchy::new(HierarchyConfig::out_of_order());
-        let mut addr = 0u64;
-        let mut cycle = 0u64;
-        b.iter(|| {
-            addr = addr.wrapping_add(8);
-            cycle += 1;
-            let p = h.probe_data(black_box(addr), false);
-            black_box(h.schedule_data(p, cycle))
-        });
+
+    let mut h = MemoryHierarchy::new(HierarchyConfig::out_of_order());
+    let mut addr = 0u64;
+    let mut cycle = 0u64;
+    b.bench("hierarchy/probe_and_schedule", || {
+        addr = addr.wrapping_add(8);
+        cycle += 1;
+        let p = h.probe_data(black_box(addr), false);
+        black_box(h.schedule_data(p, cycle))
     });
 }
 
-fn bench_exec(c: &mut Criterion) {
+fn bench_exec(b: &mut Bench) {
     let spec = by_name("espresso").expect("espresso exists");
     let program = (spec.build)(Scale::Test);
-    c.bench_function("exec/functional_espresso_test", |b| {
-        b.iter(|| {
-            let mut e = Executor::new(&program);
-            e.run(&mut NeverMiss, 50_000_000).expect("runs")
-        });
+    b.bench("exec/functional_espresso_test", || {
+        let mut e = Executor::new(&program);
+        e.run(&mut NeverMiss, 50_000_000).expect("runs")
     });
 }
 
-fn bench_instrument(c: &mut Criterion) {
+fn bench_instrument(b: &mut Bench) {
     let spec = by_name("compress").expect("compress exists");
     let program = (spec.build)(Scale::Test);
-    c.bench_function("instrument/trap_unique_compress", |b| {
-        let scheme = Scheme::Trap {
-            handlers: HandlerKind::PerReference,
-            body: HandlerBody::Generic { len: 10 },
-        };
-        b.iter(|| instrument(black_box(&program), &scheme).expect("instruments"));
+    let scheme = Scheme::Trap {
+        handlers: HandlerKind::PerReference,
+        body: HandlerBody::Generic { len: 10 },
+    };
+    b.bench("instrument/trap_unique_compress", || {
+        instrument(black_box(&program), &scheme).expect("instruments")
     });
 }
 
-fn bench_models(c: &mut Criterion) {
+fn bench_models(b: &mut Bench) {
     let spec = by_name("doduc").expect("doduc exists");
     let program = (spec.build)(Scale::Test);
-    let mut g = c.benchmark_group("models");
-    g.sample_size(10);
-    g.bench_function("ooo_doduc_test", |b| {
-        b.iter(|| ooo::simulate(&program, &OooConfig::paper(), RunLimits::default()).expect("runs"));
+    b.bench_sampled("models/ooo_doduc_test", 5, || {
+        ooo::simulate(&program, &OooConfig::paper(), RunLimits::default()).expect("runs")
     });
-    g.bench_function("inorder_doduc_test", |b| {
-        b.iter(|| {
-            inorder::simulate(&program, &InOrderConfig::paper(), RunLimits::default())
-                .expect("runs")
-        });
+    b.bench_sampled("models/inorder_doduc_test", 5, || {
+        inorder::simulate(&program, &InOrderConfig::paper(), RunLimits::default()).expect("runs")
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_cache, bench_exec, bench_instrument, bench_models);
-criterion_main!(benches);
+fn main() {
+    println!("Substrate microbenches (host ns/iter, median of samples).\n");
+    let mut b = Bench::new("substrate");
+    bench_cache(&mut b);
+    bench_exec(&mut b);
+    bench_instrument(&mut b);
+    bench_models(&mut b);
+    print!("{}", b.render());
+    emit("substrate", b.to_json());
+}

@@ -3,9 +3,10 @@
 //! actually run with — so the printed table cannot drift from the code.
 //! Also prints the Figure 1 pipeline notes for the in-order model.
 
-use imo_bench::Table;
+use imo_bench::{emit, Table};
 use imo_cpu::{InOrderConfig, OooConfig};
 use imo_isa::{Instr, Reg};
+use imo_util::json::Json;
 
 fn main() {
     let o = OooConfig::paper();
@@ -16,7 +17,10 @@ fn main() {
     t.row(["Issue Width", &o.issue_width.to_string(), &i.issue_width.to_string()]);
     t.row([
         "Functional Units",
-        &format!("{} INT, {} FP, {} Branch, {} Memory", o.int_units, o.fp_units, o.branch_units, o.mem_units),
+        &format!(
+            "{} INT, {} FP, {} Branch, {} Memory",
+            o.int_units, o.fp_units, o.branch_units, o.mem_units
+        ),
         &format!("{} INT, {} FP, {} Branch", i.int_units, i.fp_units, i.branch_units),
     ]);
     t.row(["Reorder Buffer Size", &o.rob_entries.to_string(), "N/A"]);
@@ -39,16 +43,8 @@ fn main() {
 
     println!();
     let mut m = Table::new(["Memory Parameters", "Out-Of-Order", "In-Order"]);
-    m.row([
-        "Primary I and D Caches".to_string(),
-        o.hier.l1d.to_string(),
-        i.hier.l1d.to_string(),
-    ]);
-    m.row([
-        "Unified Secondary Cache".to_string(),
-        o.hier.l2.to_string(),
-        i.hier.l2.to_string(),
-    ]);
+    m.row(["Primary I and D Caches".to_string(), o.hier.l1d.to_string(), i.hier.l1d.to_string()]);
+    m.row(["Unified Secondary Cache".to_string(), o.hier.l2.to_string(), i.hier.l2.to_string()]);
     m.row([
         "Primary-to-Secondary Miss Latency".to_string(),
         format!("{} cycles", o.hier.l2_latency),
@@ -79,4 +75,5 @@ fn main() {
          consumers of missing loads (penalty {} cycles), {}-deep front end.\n",
         i.replay_trap_penalty, i.frontend_depth
     );
+    emit("table1", Json::obj([("pipeline", t.to_json()), ("memory", m.to_json())]));
 }

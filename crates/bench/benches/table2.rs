@@ -2,8 +2,9 @@
 //! access-control methods, printed from the structs the coherence simulator
 //! actually uses.
 
-use imo_bench::Table;
+use imo_bench::{emit, Table};
 use imo_coherence::MachineParams;
+use imo_util::json::Json;
 
 fn main() {
     let p = MachineParams::table2();
@@ -47,4 +48,5 @@ fn main() {
         ),
     ]);
     print!("{}", s.render());
+    emit("table2", Json::obj([("machine", t.to_json()), ("approaches", s.to_json())]));
 }

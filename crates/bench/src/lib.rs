@@ -15,10 +15,12 @@
 //! | `fig4_sensitivity` | §4.3.2 — network-latency and L1-size sensitivity |
 //! | `ablation_mshr` | §3.3 — MSHR lifetime extension (squash-invalidate) |
 //! | `ablation_checkpoints` | §3.2 — shadow-checkpoint pressure under informing-as-branch |
-//! | `substrate` | Criterion microbenches of the simulator substrate itself |
+//! | `substrate` | wall-clock microbenches of the simulator substrate itself |
 //!
 //! The expected shapes (who wins, by what factor) are recorded in
-//! `EXPERIMENTS.md` alongside the paper's numbers.
+//! `EXPERIMENTS.md` alongside the paper's numbers. Every target also writes
+//! a machine-readable baseline, `BENCH_<name>.json`, at the repository root
+//! (see [`report::write_bench_json`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,5 +28,5 @@
 pub mod report;
 pub mod runners;
 
-pub use report::{fmt_bars, Table};
+pub use report::{emit, experiments_to_json, fig4_to_json, fmt_bars, write_bench_json, Table};
 pub use runners::{fig2_for, fig4_rows, Fig4Row};

@@ -1,8 +1,16 @@
-//! Plain-text report formatting for the figure harnesses.
+//! Report formatting for the figure harnesses: aligned text tables for the
+//! console, and JSON baselines (`BENCH_<name>.json` at the repo root) so
+//! every future performance PR can be measured offline against a recorded
+//! trajectory.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
 
 use imo_core::experiment::ExperimentResult;
+use imo_util::json::Json;
+use imo_util::stats::Summarize;
+
+use crate::runners::Fig4Row;
 
 /// A simple aligned text table.
 #[derive(Debug, Clone, Default)]
@@ -49,20 +57,28 @@ impl Table {
         }
         out
     }
+
+    /// The table as JSON: an array of row objects keyed by header.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::arr(self.rows.iter().map(|r| {
+            Json::Obj(
+                self.headers
+                    .iter()
+                    .zip(r)
+                    .map(|(h, c)| (h.clone(), Json::from(c.as_str())))
+                    .collect(),
+            )
+        }))
+    }
 }
 
 /// Formats one experiment's normalized stacked bars the way Figure 2 draws
 /// them: per variant, the total height relative to N and the busy /
 /// cache-stall / other-stall split.
 pub fn fmt_bars(res: &ExperimentResult) -> String {
-    let mut t = Table::new([
-        "variant",
-        "norm time",
-        "busy",
-        "cache stall",
-        "other stall",
-        "instr ratio",
-    ]);
+    let mut t =
+        Table::new(["variant", "norm time", "busy", "cache stall", "other stall", "instr ratio"]);
     for b in &res.bars {
         t.row([
             b.label.to_string(),
@@ -74,6 +90,92 @@ pub fn fmt_bars(res: &ExperimentResult) -> String {
         ]);
     }
     format!("{} [{}]\n{}", res.workload, res.machine, t.render())
+}
+
+/// One experiment as JSON: the raw per-variant run reports (including the
+/// graduation-slot breakdown) plus the normalized Figure 2 bars.
+pub fn experiment_to_json(res: &ExperimentResult) -> Json {
+    let variants = res.raw.iter().zip(&res.bars).map(|((label, run), bar)| {
+        let mut pairs = vec![
+            ("variant".to_string(), Json::from(*label)),
+            ("slots".to_string(), run.slots.to_json()),
+        ];
+        if let Json::Obj(metrics) = run.report().to_json() {
+            pairs.extend(metrics);
+        }
+        pairs.extend([
+            ("norm_time".to_string(), Json::from(bar.total)),
+            ("norm_busy".to_string(), Json::from(bar.busy)),
+            ("norm_cache_stall".to_string(), Json::from(bar.cache_stall)),
+            ("norm_other_stall".to_string(), Json::from(bar.other_stall)),
+            ("instr_ratio".to_string(), Json::from(bar.instr_ratio)),
+        ]);
+        Json::Obj(pairs)
+    });
+    Json::obj([
+        ("workload", Json::from(res.workload.as_str())),
+        ("machine", Json::from(res.machine)),
+        ("variants", Json::arr(variants)),
+    ])
+}
+
+/// A whole Figure 2/3-style run as JSON.
+pub fn experiments_to_json(results: &[ExperimentResult]) -> Json {
+    Json::arr(results.iter().map(experiment_to_json))
+}
+
+/// Figure 4 as JSON: per application, the three schemes' full counter
+/// reports plus their normalized execution times.
+pub fn fig4_to_json(rows: &[Fig4Row]) -> Json {
+    Json::arr(rows.iter().map(|r| {
+        let schemes = r.results.iter().zip(r.normalized).map(|(res, norm)| {
+            let mut pairs = Vec::new();
+            if let Json::Obj(metrics) = res.report().to_json() {
+                pairs.extend(metrics);
+            }
+            pairs.push(("norm_time".to_string(), Json::from(norm)));
+            Json::Obj(pairs)
+        });
+        Json::obj([("app", Json::from(r.app)), ("schemes", Json::arr(schemes))])
+    }))
+}
+
+/// The repository root (two levels above this crate's manifest).
+#[must_use]
+pub fn repo_root() -> PathBuf {
+    let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    p.pop();
+    p.pop();
+    p
+}
+
+/// Wraps `payload` with the bench name and writes it to
+/// `BENCH_<name>.json` at the repository root, returning the path.
+///
+/// # Errors
+///
+/// Returns any filesystem error from writing the file.
+pub fn write_bench_json(name: &str, payload: Json) -> std::io::Result<PathBuf> {
+    let doc = match payload {
+        // Bench-runner output already carries its own envelope.
+        obj @ Json::Obj(_) if obj.get("bench").is_some() => obj,
+        other => Json::obj([("bench", Json::from(name)), ("data", other)]),
+    };
+    let path = repo_root().join(format!("BENCH_{name}.json"));
+    std::fs::write(&path, doc.pretty())?;
+    Ok(path)
+}
+
+/// [`write_bench_json`] plus a console confirmation line — what every bench
+/// target calls last.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written; baselines silently missing would
+/// defeat the point of recording them.
+pub fn emit(name: &str, payload: Json) {
+    let path = write_bench_json(name, payload).expect("baseline JSON must be writable");
+    println!("\nwrote {}", path.display());
 }
 
 #[cfg(test)]
@@ -97,5 +199,31 @@ mod tests {
     fn row_width_checked() {
         let mut t = Table::new(["a", "b"]);
         t.row(["only one"]);
+    }
+
+    #[test]
+    fn table_json_keys_rows_by_header() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["cycles", "100"]);
+        let j = t.to_json();
+        let rows = j.as_arr().unwrap();
+        assert_eq!(rows[0].get("name").unwrap().as_str(), Some("cycles"));
+        assert_eq!(rows[0].get("value").unwrap().as_str(), Some("100"));
+    }
+
+    #[test]
+    fn repo_root_holds_workspace_manifest() {
+        assert!(repo_root().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn write_bench_json_round_trips() {
+        let name = "report_selftest";
+        let path = write_bench_json(name, Json::obj([("k", Json::from(1u64))])).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let parsed = imo_util::json::parse(&text).unwrap();
+        assert_eq!(parsed.get("bench").unwrap().as_str(), Some(name));
+        assert_eq!(parsed.get("data").unwrap().get("k").unwrap().as_f64(), Some(1.0));
+        std::fs::remove_file(path).unwrap();
     }
 }

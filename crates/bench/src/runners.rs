@@ -1,9 +1,9 @@
 //! Shared experiment runners used by the bench targets.
 
+use imo_coherence::{simulate, MachineParams, Scheme, SimResult};
 use imo_core::experiment::{run_experiment, ExperimentResult, Variant};
 use imo_core::Machine;
 use imo_cpu::RunLimits;
-use imo_coherence::{simulate, MachineParams, Scheme, SimResult};
 use imo_workloads::parallel::{all_apps, TraceConfig};
 use imo_workloads::{by_name, Scale};
 
@@ -28,7 +28,7 @@ pub fn fig2_for(name: &str, scale: Scale, variants: &[Variant]) -> Vec<Experimen
 
 /// One row of Figure 4: an application's normalized execution time under the
 /// three access-control schemes.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4Row {
     /// Application name.
     pub app: &'static str,

@@ -206,11 +206,8 @@ impl Directory {
         // Apply protection changes: writers and sole owners get READWRITE,
         // everyone else READONLY.
         let exclusive_owner = matches!(entry.state, DirState::Exclusive(q) if q == p);
-        let my_new = if is_write || exclusive_owner {
-            LineState::ReadWrite
-        } else {
-            LineState::ReadOnly
-        };
+        let my_new =
+            if is_write || exclusive_owner { LineState::ReadWrite } else { LineState::ReadOnly };
         self.set_protection(p, line, my_new);
         for q in invalidated.iter().collect::<Vec<_>>() {
             self.set_protection(q, line, LineState::Invalid);

@@ -4,13 +4,14 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use imo_mem::{Cache, CacheConfig, Probe};
+use imo_util::stats::{Report, Summarize};
 use imo_workloads::parallel::ParallelTrace;
 
 use crate::config::{MachineParams, Scheme};
 use crate::protocol::{Directory, LineState};
 
 /// Per-scheme, per-application simulation result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimResult {
     /// Application name.
     pub app: &'static str,
@@ -40,6 +41,24 @@ impl SimResult {
     /// Mean cycles per reference.
     pub fn cycles_per_op(&self) -> f64 {
         self.total_cycles as f64 / self.ops.max(1) as f64
+    }
+}
+
+impl Summarize for SimResult {
+    fn report(&self) -> Report {
+        let mut r = Report::new();
+        r.push("app", self.app)
+            .push("scheme", self.scheme.name())
+            .push("total_cycles", self.total_cycles)
+            .push("cycles_per_op", self.cycles_per_op())
+            .push("ops", self.ops)
+            .push("lookups", self.lookups)
+            .push("faults", self.faults)
+            .push("actions", self.actions)
+            .push("l1_misses", self.l1_misses)
+            .push("l2_misses", self.l2_misses)
+            .push("invalidations", self.invalidations);
+        r
     }
 }
 
@@ -196,9 +215,7 @@ pub fn simulate(trace: &ParallelTrace, scheme: Scheme, params: &MachineParams) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use imo_workloads::parallel::{
-        all_apps, migratory, readmostly, reduction, TraceConfig,
-    };
+    use imo_workloads::parallel::{all_apps, migratory, readmostly, reduction, TraceConfig};
 
     fn cfg() -> TraceConfig {
         // Long enough that first-touch cold misses no longer dominate.

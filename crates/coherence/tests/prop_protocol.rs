@@ -1,7 +1,10 @@
 //! Property-based tests of the directory protocol: classic coherence
-//! invariants must hold after any access sequence.
+//! invariants must hold after any access sequence. Runs on the in-tree
+//! `imo_util::check` harness (256 seeded cases per property; a failure
+//! prints its reproducing `IMO_CHECK_SEED`).
 
-use proptest::prelude::*;
+use imo_util::check::{Checker, Gen};
+use imo_util::{ensure, ensure_eq};
 
 use imo_coherence::{Directory, LineState, MachineParams};
 
@@ -18,53 +21,45 @@ struct Op {
     is_write: bool,
 }
 
-fn ops(procs: usize) -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        (0..procs, 0u64..8, any::<bool>()).prop_map(move |(p, l, w)| Op {
-            proc: p,
-            line: 0x8000_0000 + l * 32,
-            is_write: w,
-        }),
-        1..300,
-    )
+fn ops(g: &mut Gen, procs: usize) -> Vec<Op> {
+    g.vec(1..300, |g| Op {
+        proc: g.int(0..procs),
+        line: 0x8000_0000 + g.int(0u64..8) * 32,
+        is_write: g.bool(),
+    })
 }
 
 /// Applies an access the way the simulator does: act only when the current
 /// protection is insufficient.
-fn access(d: &mut Directory, procs: usize, op: Op) {
+fn access(d: &mut Directory, op: Op) {
     let prot = d.protection(op.proc, op.line);
-    let insufficient = if op.is_write {
-        prot != LineState::ReadWrite
-    } else {
-        prot == LineState::Invalid
-    };
+    let insufficient =
+        if op.is_write { prot != LineState::ReadWrite } else { prot == LineState::Invalid };
     if insufficient {
         let _ = d.act(op.proc, op.line, op.is_write);
     }
-    let _ = procs;
 }
 
-proptest! {
-    /// Single-writer: whenever some node holds READWRITE, no other node has
-    /// any access to the line.
-    #[test]
-    fn single_writer_invariant(seq in ops(6)) {
+/// Single-writer: whenever some node holds READWRITE, no other node has
+/// any access to the line.
+#[test]
+fn single_writer_invariant() {
+    Checker::new("single_writer_invariant").run(|g| {
         let procs = 6;
+        let seq = ops(g, procs);
         let mut d = Directory::new(params(procs));
         let mut lines = std::collections::BTreeSet::new();
         for op in seq {
             lines.insert(op.line);
-            access(&mut d, procs, op);
+            access(&mut d, op);
             for &line in &lines {
-                let writers: Vec<usize> = (0..procs)
-                    .filter(|&p| d.protection(p, line) == LineState::ReadWrite)
-                    .collect();
-                let readers: Vec<usize> = (0..procs)
-                    .filter(|&p| d.protection(p, line) == LineState::ReadOnly)
-                    .collect();
-                prop_assert!(writers.len() <= 1, "multiple writers of {line:#x}: {writers:?}");
+                let writers: Vec<usize> =
+                    (0..procs).filter(|&p| d.protection(p, line) == LineState::ReadWrite).collect();
+                let readers: Vec<usize> =
+                    (0..procs).filter(|&p| d.protection(p, line) == LineState::ReadOnly).collect();
+                ensure!(writers.len() <= 1, "multiple writers of {line:#x}: {writers:?}");
                 if !writers.is_empty() {
-                    prop_assert!(
+                    ensure!(
                         readers.is_empty(),
                         "writer {} coexists with readers {:?} on {line:#x}",
                         writers[0],
@@ -73,43 +68,51 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Liveness/correctness of the access path: after an access, the
-    /// requester always ends up with sufficient protection.
-    #[test]
-    fn requester_always_gains_access(seq in ops(5)) {
+/// Liveness/correctness of the access path: after an access, the
+/// requester always ends up with sufficient protection.
+#[test]
+fn requester_always_gains_access() {
+    Checker::new("requester_always_gains_access").run(|g| {
         let procs = 5;
+        let seq = ops(g, procs);
         let mut d = Directory::new(params(procs));
         for op in seq {
-            access(&mut d, procs, op);
+            access(&mut d, op);
             let prot = d.protection(op.proc, op.line);
             if op.is_write {
-                prop_assert_eq!(prot, LineState::ReadWrite);
+                ensure_eq!(prot, LineState::ReadWrite);
             } else {
-                prop_assert!(prot != LineState::Invalid);
+                ensure!(prot != LineState::Invalid);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The page-level READONLY tracking used by the ECC scheme is exactly
-    /// consistent with the per-line protections.
-    #[test]
-    fn page_readonly_tracking_is_consistent(seq in ops(4)) {
+/// The page-level READONLY tracking used by the ECC scheme is exactly
+/// consistent with the per-line protections.
+#[test]
+fn page_readonly_tracking_is_consistent() {
+    Checker::new("page_readonly_tracking_is_consistent").run(|g| {
         let procs = 4;
+        let seq = ops(g, procs);
         let p = params(procs);
         let mut d = Directory::new(p);
         let mut lines = std::collections::BTreeSet::new();
         for op in seq {
             lines.insert(op.line);
-            access(&mut d, procs, op);
+            access(&mut d, op);
             for proc in 0..procs {
                 for &line in &lines {
                     let derived = lines
                         .iter()
                         .filter(|&&l| p.page_of(l) == p.page_of(line))
                         .any(|&l| d.protection(proc, l) == LineState::ReadOnly);
-                    prop_assert_eq!(
+                    ensure_eq!(
                         d.page_has_readonly(proc, line),
                         derived,
                         "proc {} page of {:#x}",
@@ -119,24 +122,26 @@ proptest! {
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Action hop counts are bounded (request + reply + one third-party hop).
-    #[test]
-    fn action_hops_are_bounded(seq in ops(6)) {
+/// Action hop counts are bounded (request + reply + one third-party hop).
+#[test]
+fn action_hops_are_bounded() {
+    Checker::new("action_hops_are_bounded").run(|g| {
         let procs = 6;
+        let seq = ops(g, procs);
         let mut d = Directory::new(params(procs));
         for op in seq {
             let prot = d.protection(op.proc, op.line);
-            let insufficient = if op.is_write {
-                prot != LineState::ReadWrite
-            } else {
-                prot == LineState::Invalid
-            };
+            let insufficient =
+                if op.is_write { prot != LineState::ReadWrite } else { prot == LineState::Invalid };
             if insufficient {
                 let out = d.act(op.proc, op.line, op.is_write);
-                prop_assert!(out.hops <= 3, "hops {}", out.hops);
+                ensure!(out.hops <= 3, "hops {}", out.hops);
             }
         }
-    }
+        Ok(())
+    });
 }

@@ -265,7 +265,8 @@ mod tests {
     #[test]
     fn prefetch_version_wins_streaming_loses_hot() {
         let machine = Machine::default_ooo();
-        let stream_only = AdaptiveDemo { stream_chunks: 64, hot_chunks: 0, ..AdaptiveDemo::default() };
+        let stream_only =
+            AdaptiveDemo { stream_chunks: 64, hot_chunks: 0, ..AdaptiveDemo::default() };
         let s = evaluate_adaptive(&stream_only, &machine).unwrap();
         assert!(
             s.prefetch.cycles < s.plain.cycles,

@@ -91,7 +91,7 @@ pub struct NormalizedBar {
 }
 
 /// All variants of one workload on one machine.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentResult {
     /// Workload name.
     pub workload: String,

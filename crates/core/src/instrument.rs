@@ -498,13 +498,7 @@ pub fn instrument(src: &Program, scheme: &Scheme) -> Result<Instrumented, Instru
     }
     let program = asm.assemble().expect("non-empty rewritten text");
 
-    Ok(Instrumented {
-        program,
-        refs,
-        scheme: *scheme,
-        inline_overhead,
-        handler_instructions,
-    })
+    Ok(Instrumented { program, refs, scheme: *scheme, inline_overhead, handler_instructions })
 }
 
 fn to_informing(ins: Instr) -> Instr {
@@ -706,10 +700,7 @@ mod tests {
             handlers: HandlerKind::Single,
             body: HandlerBody::CountPerReference { table_base: 0x7000_0000 },
         };
-        assert!(matches!(
-            instrument(&p, &scheme),
-            Err(InstrumentError::InvalidCombination(_))
-        ));
+        assert!(matches!(instrument(&p, &scheme), Err(InstrumentError::InvalidCombination(_))));
     }
 
     #[test]
@@ -719,10 +710,7 @@ mod tests {
             handlers: HandlerKind::Single,
             body: HandlerBody::PcHash { table_base: 0x7000_0000, buckets: 1000 },
         };
-        assert!(matches!(
-            instrument(&p, &scheme),
-            Err(InstrumentError::InvalidCombination(_))
-        ));
+        assert!(matches!(instrument(&p, &scheme), Err(InstrumentError::InvalidCombination(_))));
     }
 
     #[test]

@@ -202,7 +202,7 @@ impl MultithreadDemo {
         // Thread 1 "registers itself": jump to a stub that records thread
         // 1's body address into the swap register, then return into thread 0.
         a.jal(t1_entry); // r31 = address of thread 0's first instruction
-        // --- thread 0 body ---
+                         // --- thread 0 body ---
         self.emit_thread(&mut a, T0_REGS, T0_BASE, mode, handler, end);
         // --- thread 1 registration stub ---
         a.bind(t1_entry).unwrap();
@@ -316,7 +316,8 @@ mod tests {
         let demo =
             MultithreadDemo { iters_per_thread: 100, stride: 4096, rounds: 1, save_restore: 0 };
         let machine = Machine::default_ooo();
-        let (res, state) = machine.run_full(&demo.switching_program(SwitchPolicy::EveryMiss)).unwrap();
+        let (res, state) =
+            machine.run_full(&demo.switching_program(SwitchPolicy::EveryMiss)).unwrap();
         assert!(res.informing_traps > 50, "threads actually switched: {}", res.informing_traps);
         assert_eq!(state.int(Reg::int(DONE_REG)), 2, "both threads finished");
     }
@@ -344,12 +345,7 @@ mod tests {
             MultithreadDemo { iters_per_thread: 300, stride: 4096, rounds: 1, save_restore: 0 };
         for machine in [Machine::default_ooo(), Machine::default_in_order()] {
             let cmp = evaluate_multithreading(&demo, &machine).unwrap();
-            assert!(
-                cmp.speedup() > 1.2,
-                "{}: speedup {}",
-                machine.name(),
-                cmp.speedup()
-            );
+            assert!(cmp.speedup() > 1.2, "{}: speedup {}", machine.name(), cmp.speedup());
         }
     }
 
@@ -362,12 +358,8 @@ mod tests {
         // policy (via the secondary condition code) wins.
         let machine = Machine::default_ooo();
         let run = |save_restore: u32, policy: SwitchPolicy| {
-            let demo = MultithreadDemo {
-                iters_per_thread: 200,
-                stride: 4096,
-                rounds: 4,
-                save_restore,
-            };
+            let demo =
+                MultithreadDemo { iters_per_thread: 200, stride: 4096, rounds: 4, save_restore };
             evaluate_multithreading_with(&demo, &machine, policy).unwrap().switching
         };
 

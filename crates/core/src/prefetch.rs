@@ -105,12 +105,7 @@ mod tests {
                 machine.name(),
                 cmp.miss_reduction()
             );
-            assert!(
-                cmp.speedup() > 1.05,
-                "{}: speedup {}",
-                machine.name(),
-                cmp.speedup()
-            );
+            assert!(cmp.speedup() > 1.05, "{}: speedup {}", machine.name(), cmp.speedup());
         }
     }
 

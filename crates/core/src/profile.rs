@@ -57,7 +57,10 @@ impl MissProfile {
 /// # Errors
 ///
 /// Returns [`ExperimentError`] if instrumentation or simulation fails.
-pub fn profile_misses(program: &Program, machine: &Machine) -> Result<MissProfile, ExperimentError> {
+pub fn profile_misses(
+    program: &Program,
+    machine: &Machine,
+) -> Result<MissProfile, ExperimentError> {
     let scheme = Scheme::Trap {
         handlers: HandlerKind::PerReference,
         body: HandlerBody::CountPerReference { table_base: PROFILE_TABLE_BASE },
@@ -104,7 +107,11 @@ pub fn profile_misses_hashed(
         if let Some(_prev) = seen.insert(b, r.old_pc) {
             collisions += 1;
         }
-        sites.push(SiteCount { old_pc: r.old_pc, new_pc: r.new_pc, misses: state.memory().read(b) });
+        sites.push(SiteCount {
+            old_pc: r.old_pc,
+            new_pc: r.new_pc,
+            misses: state.memory().read(b),
+        });
     }
     Ok(HashedProfile { profile: MissProfile { sites, run }, collisions })
 }

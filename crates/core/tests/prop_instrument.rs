@@ -1,87 +1,85 @@
 //! Property-based tests for the binary-rewriting instrumenter: for *any*
 //! generated program, instrumentation must preserve the architectural
 //! results (handler transparency) while relocating all control flow
-//! correctly.
+//! correctly. Runs on the in-tree `imo_util::check` harness (48 seeded
+//! cases per property, as under proptest).
 
-use proptest::prelude::*;
+use imo_util::check::{Checker, Gen};
+use imo_util::{ensure, ensure_eq};
 
 use imo_core::instrument::{instrument, HandlerBody, HandlerKind, Scheme};
 use imo_isa::exec::{AlwaysMiss, Executor, NeverMiss};
 use imo_isa::{Asm, Cond, Instr, Program, Reg};
 
+fn arb_op(g: &mut Gen) -> Instr {
+    match g.int(0u32..4) {
+        0 => Instr::Add {
+            rd: Reg::int(g.int(1u8..8)),
+            rs: Reg::int(g.int(1u8..8)),
+            rt: Reg::int(g.int(1u8..8)),
+        },
+        1 => Instr::Addi {
+            rd: Reg::int(g.int(1u8..8)),
+            rs: Reg::int(g.int(1u8..8)),
+            imm: g.int(-32i64..32),
+        },
+        2 => Instr::Load {
+            rd: Reg::int(g.int(1u8..8)),
+            base: Reg::int(15),
+            offset: (g.int(0u64..16) * 8) as i64,
+            kind: imo_isa::MemKind::Normal,
+        },
+        _ => Instr::Store {
+            rs: Reg::int(g.int(1u8..8)),
+            base: Reg::int(15),
+            offset: (g.int(0u64..16) * 8) as i64,
+            kind: imo_isa::MemKind::Normal,
+        },
+    }
+}
+
 /// Random programs with loads/stores, a loop, a conditional skip and a
 /// call/return — the control-flow shapes relocation must survive.
-fn arb_program() -> impl Strategy<Value = Program> {
-    let op = prop_oneof![
-        (1u8..8, 1u8..8, 1u8..8).prop_map(|(d, s, t)| Instr::Add {
-            rd: Reg::int(d),
-            rs: Reg::int(s),
-            rt: Reg::int(t)
-        }),
-        (1u8..8, 1u8..8, -32i64..32).prop_map(|(d, s, imm)| Instr::Addi {
-            rd: Reg::int(d),
-            rs: Reg::int(s),
-            imm
-        }),
-        (1u8..8, 0u64..16).prop_map(|(d, o)| Instr::Load {
-            rd: Reg::int(d),
-            base: Reg::int(15),
-            offset: (o * 8) as i64,
-            kind: imo_isa::MemKind::Normal
-        }),
-        (1u8..8, 0u64..16).prop_map(|(s, o)| Instr::Store {
-            rs: Reg::int(s),
-            base: Reg::int(15),
-            offset: (o * 8) as i64,
-            kind: imo_isa::MemKind::Normal
-        }),
-    ];
-    (
-        proptest::collection::vec(op.clone(), 1..8),
-        proptest::collection::vec(op, 1..8),
-        1u64..6,
-        any::<bool>(),
-    )
-        .prop_map(|(body, func, trips, use_call)| {
-            let mut a = Asm::new();
-            a.li(Reg::int(15), 0x10_0000);
-            let f = a.label("f");
-            let skip = a.label("skip");
-            let (ctr, lim) = (Reg::int(14), Reg::int(13));
-            a.li(ctr, 0);
-            a.li(lim, trips as i64);
-            let top = a.here("top");
-            for i in &body {
-                a.emit(*i);
-            }
-            // Conditional forward skip exercised on alternating iterations.
-            a.andi(Reg::int(12), ctr, 1);
-            a.branch(Cond::Ne, Reg::int(12), Reg::ZERO, skip);
-            if use_call {
-                a.jal(f);
-            } else {
-                a.addi(Reg::int(11), Reg::int(11), 1);
-            }
-            a.bind(skip).unwrap();
-            a.addi(ctr, ctr, 1);
-            a.branch(Cond::Lt, ctr, lim, top);
-            a.halt();
-            a.bind(f).unwrap();
-            for i in &func {
-                a.emit(*i);
-            }
-            a.jr(Reg::LINK);
-            a.assemble().expect("generated program assembles")
-        })
+fn arb_program(g: &mut Gen) -> Program {
+    let body = g.vec(1..8, arb_op);
+    let func = g.vec(1..8, arb_op);
+    let trips = g.int(1u64..6);
+    let use_call = g.bool();
+    let mut a = Asm::new();
+    a.li(Reg::int(15), 0x10_0000);
+    let f = a.label("f");
+    let skip = a.label("skip");
+    let (ctr, lim) = (Reg::int(14), Reg::int(13));
+    a.li(ctr, 0);
+    a.li(lim, trips as i64);
+    let top = a.here("top");
+    for i in &body {
+        a.emit(*i);
+    }
+    // Conditional forward skip exercised on alternating iterations.
+    a.andi(Reg::int(12), ctr, 1);
+    a.branch(Cond::Ne, Reg::int(12), Reg::ZERO, skip);
+    if use_call {
+        a.jal(f);
+    } else {
+        a.addi(Reg::int(11), Reg::int(11), 1);
+    }
+    a.bind(skip).unwrap();
+    a.addi(ctr, ctr, 1);
+    a.branch(Cond::Lt, ctr, lim, top);
+    a.halt();
+    a.bind(f).unwrap();
+    for i in &func {
+        a.emit(*i);
+    }
+    a.jr(Reg::LINK);
+    a.assemble().expect("generated program assembles")
 }
 
 fn schemes() -> Vec<Scheme> {
     vec![
         Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::Generic { len: 3 } },
-        Scheme::Trap {
-            handlers: HandlerKind::PerReference,
-            body: HandlerBody::Generic { len: 1 },
-        },
+        Scheme::Trap { handlers: HandlerKind::PerReference, body: HandlerBody::Generic { len: 1 } },
         Scheme::ConditionCode {
             handlers: HandlerKind::Single,
             body: HandlerBody::Generic { len: 2 },
@@ -90,13 +88,12 @@ fn schemes() -> Vec<Scheme> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Instrumented programs compute identical architectural results under
-    /// both extreme oracles (handlers fully transparent), for every scheme.
-    #[test]
-    fn instrumentation_preserves_semantics(p in arb_program()) {
+/// Instrumented programs compute identical architectural results under
+/// both extreme oracles (handlers fully transparent), for every scheme.
+#[test]
+fn instrumentation_preserves_semantics() {
+    Checker::new("instrumentation_preserves_semantics").cases(48).run(|g| {
+        let p = arb_program(g);
         let mut plain = Executor::new(&p);
         plain.run(&mut NeverMiss, 1_000_000).expect("plain runs");
         for scheme in schemes() {
@@ -108,35 +105,42 @@ proptest! {
                 } else {
                     e.run(&mut NeverMiss, 2_000_000).expect("instrumented runs (hit)");
                 }
-                prop_assert!(e.state().halted());
+                ensure!(e.state().halted());
                 for r in 1..16u8 {
-                    prop_assert_eq!(
+                    ensure_eq!(
                         e.state().int(Reg::int(r)),
                         plain.state().int(Reg::int(r)),
-                        "r{} under {:?} (all_miss={})", r, scheme, all_miss
+                        "r{} under {:?} (all_miss={})",
+                        r,
+                        scheme,
+                        all_miss
                     );
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Every relocated control target names a real instruction, and every
-    /// recorded reference site points at a memory operation whose handler
-    /// ends in `jmhrr`.
-    #[test]
-    fn relocation_is_sound(p in arb_program()) {
+/// Every relocated control target names a real instruction, and every
+/// recorded reference site points at a memory operation whose handler
+/// ends in `jmhrr`.
+#[test]
+fn relocation_is_sound() {
+    Checker::new("relocation_is_sound").cases(48).run(|g| {
+        let p = arb_program(g);
         for scheme in schemes() {
             let inst = instrument(&p, &scheme).expect("instruments");
             for (_, ins) in inst.program.iter() {
                 if let Some(t) = ins.static_target() {
                     if t != 0 {
-                        prop_assert!(inst.program.fetch(t).is_some(), "dangling {t:#x} in {ins}");
+                        ensure!(inst.program.fetch(t).is_some(), "dangling {t:#x} in {ins}");
                     }
                 }
             }
             for site in &inst.refs {
                 let at = inst.program.fetch(site.new_pc).expect("ref site exists");
-                prop_assert!(at.is_data_ref(), "{at} at {:#x}", site.new_pc);
+                ensure!(at.is_data_ref(), "{at} at {:#x}", site.new_pc);
                 let mut pc = site.handler_pc;
                 let mut steps = 0;
                 loop {
@@ -146,21 +150,26 @@ proptest! {
                     }
                     pc += 4;
                     steps += 1;
-                    prop_assert!(steps < 200, "handler unterminated");
+                    ensure!(steps < 200, "handler unterminated");
                 }
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Static overhead accounting matches the actual size growth.
-    #[test]
-    fn overhead_accounting_is_exact(p in arb_program()) {
+/// Static overhead accounting matches the actual size growth.
+#[test]
+fn overhead_accounting_is_exact() {
+    Checker::new("overhead_accounting_is_exact").cases(48).run(|g| {
+        let p = arb_program(g);
         for scheme in schemes() {
             let inst = instrument(&p, &scheme).expect("instruments");
-            prop_assert_eq!(
+            ensure_eq!(
                 inst.program.len(),
                 p.len() + inst.inline_overhead + inst.handler_instructions
             );
         }
-    }
+        Ok(())
+    });
 }

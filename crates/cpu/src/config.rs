@@ -174,8 +174,14 @@ fn latency(instr: &Instr, model: Model) -> u64 {
             }
         }
         Fsqrt { .. } => 20,
-        Fadd { .. } | Fsub { .. } | Fmul { .. } | Fmov { .. } | Fli { .. } | Cvtif { .. }
-        | Cvtfi { .. } | Fcmplt { .. } => {
+        Fadd { .. }
+        | Fsub { .. }
+        | Fmul { .. }
+        | Fmov { .. }
+        | Fli { .. }
+        | Cvtif { .. }
+        | Cvtfi { .. }
+        | Fcmplt { .. } => {
             if model == Model::OutOfOrder {
                 2
             } else {

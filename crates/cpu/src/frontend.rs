@@ -516,10 +516,7 @@ mod tests {
             .iter()
             .find(|x| matches!(x.instr, Instr::BranchOnMiss { .. }))
             .expect("bmiss fetched");
-        let ld = out
-            .iter()
-            .find(|x| matches!(x.instr, Instr::Load { .. }))
-            .expect("load fetched");
+        let ld = out.iter().find(|x| matches!(x.instr, Instr::Load { .. })).expect("load fetched");
         assert_eq!(bm.cc_dep, Some(ld.seq));
         // The load cold-missed, so the bmiss is taken -> trap counted, blocked.
         assert_eq!(f.informing_traps(), 1);

@@ -87,12 +87,8 @@ pub fn simulate_full(
     // The in-order machine's informing traps always redirect at miss
     // detection (replay-trap style); the trap model distinction is an
     // out-of-order concern, so fix `Branch` here.
-    let mut fe = FrontEnd::new(
-        program,
-        cfg.predictor_entries,
-        TrapModel::Branch,
-        cfg.hier.l1i.line_bytes,
-    );
+    let mut fe =
+        FrontEnd::new(program, cfg.predictor_entries, TrapModel::Branch, cfg.hier.l1i.line_bytes);
 
     let mut regs = [RegState::default(); 64];
     let mut queue: VecDeque<Fetched> = VecDeque::new();

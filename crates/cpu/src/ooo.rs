@@ -130,12 +130,8 @@ fn run(
     mut trace: Option<&mut Vec<InstrTrace>>,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
     let mut hier = MemoryHierarchy::new(cfg.hier);
-    let mut fe = FrontEnd::new(
-        program,
-        cfg.predictor_entries,
-        cfg.trap_model,
-        cfg.hier.l1i.line_bytes,
-    );
+    let mut fe =
+        FrontEnd::new(program, cfg.predictor_entries, cfg.trap_model, cfg.hier.l1i.line_bytes);
     let mut mshrs = MshrFile::new(cfg.hier.mshrs, cfg.mshr_mode);
 
     let mut rob: VecDeque<Entry> = VecDeque::with_capacity(cfg.rob_entries as usize);
@@ -311,11 +307,7 @@ fn run(
                 e.state == EState::Waiting
                     && e.f.fetch_cycle + cfg.frontend_depth <= now
                     && fu_used[fu_idx(e.f.instr.fu_class())] < fu_cap(e.f.instr.fu_class())
-                    && e
-                        .deps
-                        .iter()
-                        .flatten()
-                        .all(|&d| dep_ready(&rob, rob_base, d, now))
+                    && e.deps.iter().flatten().all(|&d| dep_ready(&rob, rob_base, d, now))
             };
             if !can {
                 continue;
@@ -332,7 +324,11 @@ fn run(
                         let probe = e.f.probe.expect("loads probe");
                         let t = hier.schedule_data(probe, now);
                         let outcome = t.start + cfg.hier.l1_latency;
-                        (t.complete, outcome, probe.level.is_l1_miss().then_some((probe.line, t.complete)))
+                        (
+                            t.complete,
+                            outcome,
+                            probe.level.is_l1_miss().then_some((probe.line, t.complete)),
+                        )
                     }
                     Instr::Prefetch { .. } => {
                         if let Some(probe) = e.f.probe {

@@ -4,46 +4,11 @@ use std::error::Error;
 use std::fmt;
 
 use imo_isa::exec::ExecError;
+use imo_util::stats::{Report, Summarize};
 
-/// Graduation-slot accounting, following the paper's Figure 2 methodology.
-///
-/// The machine offers `issue_width × cycles` graduation slots. Each cycle,
-/// slots that do not graduate an instruction are attributed to **cache
-/// stall** if the oldest in-flight instruction is blocked on a primary
-/// data-cache miss, otherwise to **other stall** (data dependences, fetch
-/// bubbles from mispredictions and informing traps, structural hazards,
-/// …). As the paper notes, the cache-stall section is a first-order
-/// approximation: miss delays also exacerbate subsequent dependence stalls.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct SlotBreakdown {
-    /// Slots in which an instruction graduated ("busy").
-    pub busy: u64,
-    /// Lost slots immediately caused by the oldest instruction suffering a
-    /// data-cache miss.
-    pub cache_stall: u64,
-    /// All other lost slots.
-    pub other_stall: u64,
-}
-
-impl SlotBreakdown {
-    /// Total slots.
-    pub fn total(&self) -> u64 {
-        self.busy + self.cache_stall + self.other_stall
-    }
-
-    /// Fractions `(busy, cache, other)` of the total.
-    pub fn fractions(&self) -> (f64, f64, f64) {
-        let t = self.total() as f64;
-        if t == 0.0 {
-            return (0.0, 0.0, 0.0);
-        }
-        (
-            self.busy as f64 / t,
-            self.cache_stall as f64 / t,
-            self.other_stall as f64 / t,
-        )
-    }
-}
+// The slot-accounting struct lives in the shared stats layer so the bench
+// reporting code can consume it without depending on the CPU models.
+pub use imo_util::stats::SlotBreakdown;
 
 /// Memory-system counters captured at the end of a run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -97,6 +62,27 @@ impl RunResult {
         } else {
             self.instructions as f64 / self.cycles as f64
         }
+    }
+}
+
+impl Summarize for RunResult {
+    fn report(&self) -> Report {
+        let mut r = Report::new();
+        r.push("cycles", self.cycles)
+            .push("instructions", self.instructions)
+            .push("ipc", self.ipc())
+            .push("slots_busy", self.slots.busy)
+            .push("slots_cache_stall", self.slots.cache_stall)
+            .push("slots_other_stall", self.slots.other_stall)
+            .push("informing_traps", self.informing_traps)
+            .push("mispredictions", self.mispredictions)
+            .push("branch_accuracy", self.branch_accuracy)
+            .push("l1d_accesses", self.mem.l1d_accesses)
+            .push("l1d_misses", self.mem.l1d_misses)
+            .push("l1d_miss_rate", self.mem.l1d_miss_rate())
+            .push("l2_misses", self.mem.l2_misses)
+            .push("inst_misses", self.mem.inst_misses);
+        r
     }
 }
 
@@ -163,20 +149,6 @@ mod tests {
     use super::*;
 
     #[test]
-    fn slot_fractions_sum_to_one() {
-        let s = SlotBreakdown { busy: 50, cache_stall: 30, other_stall: 20 };
-        let (b, c, o) = s.fractions();
-        assert!((b + c + o - 1.0).abs() < 1e-12);
-        assert_eq!(s.total(), 100);
-    }
-
-    #[test]
-    fn empty_breakdown() {
-        let s = SlotBreakdown::default();
-        assert_eq!(s.fractions(), (0.0, 0.0, 0.0));
-    }
-
-    #[test]
     fn ipc() {
         let r = RunResult {
             cycles: 100,
@@ -194,6 +166,23 @@ mod tests {
     fn miss_rate() {
         let m = MemCounters { l1d_accesses: 200, l1d_misses: 20, l2_misses: 2, inst_misses: 0 };
         assert_eq!(m.l1d_miss_rate(), 0.1);
+    }
+
+    #[test]
+    fn report_carries_slot_breakdown_and_rates() {
+        let r = RunResult {
+            cycles: 100,
+            instructions: 250,
+            slots: SlotBreakdown { busy: 250, cache_stall: 100, other_stall: 50 },
+            informing_traps: 3,
+            mispredictions: 1,
+            branch_accuracy: 0.9,
+            mem: MemCounters { l1d_accesses: 200, l1d_misses: 20, l2_misses: 2, inst_misses: 0 },
+        };
+        let rep = r.report();
+        assert_eq!(rep.get("slots_cache_stall"), Some(&imo_util::stats::Metric::U64(100)));
+        assert_eq!(rep.get("ipc"), Some(&imo_util::stats::Metric::F64(2.5)));
+        assert_eq!(rep.get("l1d_miss_rate"), Some(&imo_util::stats::Metric::F64(0.1)));
     }
 
     #[test]

@@ -112,8 +112,7 @@ mod tests {
         a.branch(Cond::Lt, i, n, top);
         a.halt();
         let p = a.assemble().unwrap();
-        let (res, traces) =
-            simulate_traced(&p, &OooConfig::paper(), RunLimits::default()).unwrap();
+        let (res, traces) = simulate_traced(&p, &OooConfig::paper(), RunLimits::default()).unwrap();
         assert_eq!(traces.len() as u64, res.instructions);
         validate(&traces).unwrap();
     }

@@ -1,79 +1,80 @@
 //! Property-based tests: both cycle-level models must be *functionally
 //! transparent* — for any program, the architectural results equal the
 //! functional executor's (run against identical cache state), and basic
-//! timing invariants hold.
+//! timing invariants hold. Runs on the in-tree `imo_util::check` harness
+//! (64 seeded cases per property, as under proptest).
 
-use proptest::prelude::*;
+use imo_util::check::{Checker, Gen};
+use imo_util::{ensure, ensure_eq};
 
 use imo_cpu::{inorder, ooo, InOrderConfig, OooConfig, RunLimits};
 use imo_isa::exec::{Executor, MissOracle, NeverMiss};
 use imo_isa::{Asm, Cond, Instr, Program, Reg};
 
+fn arb_op(g: &mut Gen) -> Instr {
+    match g.int(0u32..7) {
+        0 => Instr::Add {
+            rd: Reg::int(g.int(1u8..8)),
+            rs: Reg::int(g.int(1u8..8)),
+            rt: Reg::int(g.int(1u8..8)),
+        },
+        1 => Instr::Addi {
+            rd: Reg::int(g.int(1u8..8)),
+            rs: Reg::int(g.int(1u8..8)),
+            imm: g.int(-64i64..64),
+        },
+        2 => Instr::Srl {
+            rd: Reg::int(g.int(1u8..8)),
+            rs: Reg::int(g.int(1u8..8)),
+            sh: g.int(0u8..5),
+        },
+        3 => Instr::Mul {
+            rd: Reg::int(g.int(1u8..8)),
+            rs: Reg::int(g.int(1u8..8)),
+            rt: Reg::int(g.int(1u8..8)),
+        },
+        4 => Instr::Load {
+            rd: Reg::int(g.int(1u8..8)),
+            base: Reg::int(15),
+            offset: (g.int(0u64..32) * 8) as i64,
+            kind: imo_isa::MemKind::Normal,
+        },
+        5 => Instr::Store {
+            rs: Reg::int(g.int(1u8..8)),
+            base: Reg::int(15),
+            offset: (g.int(0u64..32) * 8) as i64,
+            kind: imo_isa::MemKind::Normal,
+        },
+        _ => Instr::Fadd {
+            fd: Reg::fp(g.int(1u8..4)),
+            fs: Reg::fp(g.int(1u8..4)),
+            ft: Reg::fp(g.int(1u8..4)),
+        },
+    }
+}
+
 /// A structured random program: straight-line ALU/memory blocks with a
 /// bounded counted loop, always terminating in `halt`.
-fn arb_program() -> impl Strategy<Value = Program> {
-    let op = prop_oneof![
-        (1u8..8, 1u8..8, 1u8..8).prop_map(|(d, s, t)| Instr::Add {
-            rd: Reg::int(d),
-            rs: Reg::int(s),
-            rt: Reg::int(t)
-        }),
-        (1u8..8, 1u8..8, -64i64..64).prop_map(|(d, s, imm)| Instr::Addi {
-            rd: Reg::int(d),
-            rs: Reg::int(s),
-            imm
-        }),
-        (1u8..8, 1u8..8, 0u8..5).prop_map(|(d, s, sh)| Instr::Srl {
-            rd: Reg::int(d),
-            rs: Reg::int(s),
-            sh
-        }),
-        (1u8..8, 1u8..8, 1u8..8).prop_map(|(d, s, t)| Instr::Mul {
-            rd: Reg::int(d),
-            rs: Reg::int(s),
-            rt: Reg::int(t)
-        }),
-        (1u8..8, 0u64..32).prop_map(|(d, o)| Instr::Load {
-            rd: Reg::int(d),
-            base: Reg::int(15),
-            offset: (o * 8) as i64,
-            kind: imo_isa::MemKind::Normal
-        }),
-        (1u8..8, 0u64..32).prop_map(|(s, o)| Instr::Store {
-            rs: Reg::int(s),
-            base: Reg::int(15),
-            offset: (o * 8) as i64,
-            kind: imo_isa::MemKind::Normal
-        }),
-        (1u8..4, 1u8..4, 1u8..4).prop_map(|(d, s, t)| Instr::Fadd {
-            fd: Reg::fp(d),
-            fs: Reg::fp(s),
-            ft: Reg::fp(t)
-        }),
-    ];
-    (
-        proptest::collection::vec(op.clone(), 0..12), // prologue
-        proptest::collection::vec(op, 1..10),         // loop body
-        1u64..8,                                      // trip count
-    )
-        .prop_map(|(pro, body, trips)| {
-            let mut a = Asm::new();
-            a.li(Reg::int(15), 0x10_0000); // memory base
-            for i in &pro {
-                a.emit(*i);
-            }
-            let (ctr, lim) = (Reg::int(14), Reg::int(13));
-            a.li(ctr, 0);
-            a.li(lim, trips as i64);
-            let top = a.here("top");
-            for i in &body {
-                a.emit(*i);
-            }
-            a.addi(ctr, ctr, 1);
-            a.branch(Cond::Lt, ctr, lim, top);
-            a.halt();
-            a.assemble().expect("generated program assembles")
-        })
+fn arb_program(g: &mut Gen) -> Program {
+    let pro = g.vec(0..12, arb_op);
+    let body = g.vec(1..10, arb_op);
+    let trips = g.int(1u64..8);
+    let mut a = Asm::new();
+    a.li(Reg::int(15), 0x10_0000); // memory base
+    for i in &pro {
+        a.emit(*i);
+    }
+    let (ctr, lim) = (Reg::int(14), Reg::int(13));
+    a.li(ctr, 0);
+    a.li(lim, trips as i64);
+    let top = a.here("top");
+    for i in &body {
+        a.emit(*i);
+    }
+    a.addi(ctr, ctr, 1);
+    a.branch(Cond::Lt, ctr, lim, top);
+    a.halt();
+    a.assemble().expect("generated program assembles")
 }
 
 /// Oracle reproducing the hierarchy's probe outcomes deterministically.
@@ -89,66 +90,74 @@ impl MissOracle for HierOracle {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The out-of-order model, the in-order model and the plain functional
-    /// executor agree on every architectural register.
-    #[test]
-    fn models_are_functionally_transparent(p in arb_program()) {
+/// The out-of-order model, the in-order model and the plain functional
+/// executor agree on every architectural register.
+#[test]
+fn models_are_functionally_transparent() {
+    Checker::new("models_are_functionally_transparent").cases(64).run(|g| {
+        let p = arb_program(g);
         let limits = RunLimits { max_instructions: 1_000_000, max_cycles: 10_000_000 };
         let (ro, so) = ooo::simulate_full(&p, &OooConfig::paper(), limits).expect("ooo runs");
-        let (ri, si) = inorder::simulate_full(&p, &InOrderConfig::paper(), limits)
-            .expect("inorder runs");
+        let (ri, si) =
+            inorder::simulate_full(&p, &InOrderConfig::paper(), limits).expect("inorder runs");
         let mut fe = Executor::new(&p);
         fe.run(&mut NeverMiss, 1_000_000).expect("functional runs");
         for r in 1..16u8 {
             let reg = Reg::int(r);
-            prop_assert_eq!(so.int(reg), fe.state().int(reg), "ooo r{}", r);
-            prop_assert_eq!(si.int(reg), fe.state().int(reg), "inorder r{}", r);
+            ensure_eq!(so.int(reg), fe.state().int(reg), "ooo r{}", r);
+            ensure_eq!(si.int(reg), fe.state().int(reg), "inorder r{}", r);
         }
         for r in 1..4u8 {
             let reg = Reg::fp(r);
-            prop_assert_eq!(so.fp(reg).to_bits(), fe.state().fp(reg).to_bits());
-            prop_assert_eq!(si.fp(reg).to_bits(), fe.state().fp(reg).to_bits());
+            ensure_eq!(so.fp(reg).to_bits(), fe.state().fp(reg).to_bits());
+            ensure_eq!(si.fp(reg).to_bits(), fe.state().fp(reg).to_bits());
         }
-        prop_assert_eq!(ro.instructions, fe.instret());
-        prop_assert_eq!(ri.instructions, fe.instret());
-    }
+        ensure_eq!(ro.instructions, fe.instret());
+        ensure_eq!(ri.instructions, fe.instret());
+        Ok(())
+    });
+}
 
-    /// Timing sanity: slot accounting is exhaustive, cycles bound the
-    /// instruction count from below (width 4), and simulation is
-    /// deterministic.
-    #[test]
-    fn timing_invariants(p in arb_program()) {
+/// Timing sanity: slot accounting is exhaustive, cycles bound the
+/// instruction count from below (width 4), and simulation is
+/// deterministic.
+#[test]
+fn timing_invariants() {
+    Checker::new("timing_invariants").cases(64).run(|g| {
+        let p = arb_program(g);
         let limits = RunLimits::default();
         let a = ooo::simulate(&p, &OooConfig::paper(), limits).expect("runs");
         let b = ooo::simulate(&p, &OooConfig::paper(), limits).expect("runs");
-        prop_assert_eq!(a, b, "determinism");
-        prop_assert_eq!(a.slots.total(), a.cycles * 4);
-        prop_assert!(a.cycles * 4 >= a.instructions, "cannot graduate more than 4/cycle");
-        prop_assert!(a.cycles >= 1);
+        ensure_eq!(a, b, "determinism");
+        ensure_eq!(a.slots.total(), a.cycles * 4);
+        ensure!(a.cycles * 4 >= a.instructions, "cannot graduate more than 4/cycle");
+        ensure!(a.cycles >= 1);
 
         let i = inorder::simulate(&p, &InOrderConfig::paper(), limits).expect("runs");
-        prop_assert_eq!(i.slots.total(), i.cycles * 4);
-        prop_assert!(i.cycles * 4 >= i.instructions);
-    }
+        ensure_eq!(i.slots.total(), i.cycles * 4);
+        ensure!(i.cycles * 4 >= i.instructions);
+        Ok(())
+    });
+}
 
-    /// The functional executor driven by a fresh hierarchy oracle reproduces
-    /// exactly the informing behaviour the timing model saw: probe outcomes
-    /// depend only on program order, not on timing.
-    #[test]
-    fn probe_outcomes_are_timing_independent(p in arb_program()) {
+/// The functional executor driven by a fresh hierarchy oracle reproduces
+/// exactly the informing behaviour the timing model saw: probe outcomes
+/// depend only on program order, not on timing.
+#[test]
+fn probe_outcomes_are_timing_independent() {
+    Checker::new("probe_outcomes_are_timing_independent").cases(64).run(|g| {
+        let p = arb_program(g);
         let limits = RunLimits::default();
         let r = ooo::simulate(&p, &OooConfig::paper(), limits).expect("runs");
         let mut oracle =
             HierOracle(imo_mem::MemoryHierarchy::new(imo_mem::HierarchyConfig::out_of_order()));
         let mut fe = Executor::new(&p);
         fe.run(&mut oracle, 1_000_000).expect("functional runs");
-        prop_assert_eq!(
+        ensure_eq!(
             r.mem.l1d_misses,
             oracle.0.stats().l1d_misses_to_l2 + oracle.0.stats().l1d_misses_to_mem
         );
-        prop_assert_eq!(r.mem.l1d_accesses, oracle.0.stats().data_refs);
-    }
+        ensure_eq!(r.mem.l1d_accesses, oracle.0.stats().data_refs);
+        Ok(())
+    });
 }

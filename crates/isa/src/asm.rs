@@ -361,9 +361,7 @@ impl Asm {
         }
         for fix in &self.fixups {
             let info = &self.labels[fix.label.0];
-            let addr = info
-                .addr
-                .ok_or_else(|| AsmError::UnboundLabel(info.name.clone()))?;
+            let addr = info.addr.ok_or_else(|| AsmError::UnboundLabel(info.name.clone()))?;
             match &mut self.instrs[fix.instr] {
                 Instr::Branch { target, .. }
                 | Instr::Jump { target }
@@ -377,8 +375,7 @@ impl Asm {
         let entry = match self.entry {
             Some(l) => {
                 let info = &self.labels[l.0];
-                info.addr
-                    .ok_or_else(|| AsmError::UnboundLabel(info.name.clone()))?
+                info.addr.ok_or_else(|| AsmError::UnboundLabel(info.name.clone()))?
             }
             None => TEXT_BASE,
         };

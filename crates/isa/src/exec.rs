@@ -337,9 +337,7 @@ impl<'p> Executor<'p> {
             Xor { rd, rs, rt } => s.set_int(rd, s.int(rs) ^ s.int(rt)),
             Sll { rd, rs, sh } => s.set_int(rd, s.int(rs) << (sh & 63)),
             Srl { rd, rs, sh } => s.set_int(rd, s.int(rs) >> (sh & 63)),
-            Slt { rd, rs, rt } => {
-                s.set_int(rd, ((s.int(rs) as i64) < (s.int(rt) as i64)) as u64)
-            }
+            Slt { rd, rs, rt } => s.set_int(rd, ((s.int(rs) as i64) < (s.int(rt) as i64)) as u64),
             Addi { rd, rs, imm } => s.set_int(rd, s.int(rs).wrapping_add(imm as u64)),
             Andi { rd, rs, imm } => s.set_int(rd, s.int(rs) & imm),
             Li { rd, imm } => s.set_int(rd, imm as u64),
@@ -379,7 +377,13 @@ impl<'p> Executor<'p> {
                     RegClass::Int => s.set_int(rd, word),
                     RegClass::Fp => s.set_fp(rd, f64::from_bits(word)),
                 }
-                mem = Some(MemAccess { addr, is_store: false, is_prefetch: false, l1_miss: miss, kind });
+                mem = Some(MemAccess {
+                    addr,
+                    is_store: false,
+                    is_prefetch: false,
+                    l1_miss: miss,
+                    kind,
+                });
                 if miss && kind == MemKind::Informing && s.mhar != 0 && !s.in_handler {
                     s.mhrr = pc.wrapping_add(4);
                     s.in_handler = true;
@@ -397,7 +401,13 @@ impl<'p> Executor<'p> {
                 }
                 let word = s.raw(rs);
                 s.mem.write(addr, word);
-                mem = Some(MemAccess { addr, is_store: true, is_prefetch: false, l1_miss: miss, kind });
+                mem = Some(MemAccess {
+                    addr,
+                    is_store: true,
+                    is_prefetch: false,
+                    l1_miss: miss,
+                    kind,
+                });
                 if miss && kind == MemKind::Informing && s.mhar != 0 && !s.in_handler {
                     s.mhrr = pc.wrapping_add(4);
                     s.in_handler = true;

@@ -200,13 +200,32 @@ impl Instr {
     pub fn dest(&self) -> Option<Reg> {
         use Instr::*;
         let d = match *self {
-            Add { rd, .. } | Sub { rd, .. } | And { rd, .. } | Or { rd, .. }
-            | Xor { rd, .. } | Sll { rd, .. } | Srl { rd, .. } | Slt { rd, .. }
-            | Addi { rd, .. } | Andi { rd, .. } | Li { rd, .. } | Mul { rd, .. }
-            | Div { rd, .. } | Cvtfi { rd, .. } | Fcmplt { rd, .. }
-            | ReadMhrr { rd } | ReadMar { rd } | Load { rd, .. } => rd,
-            Fadd { fd, .. } | Fsub { fd, .. } | Fmul { fd, .. } | Fdiv { fd, .. }
-            | Fsqrt { fd, .. } | Fmov { fd, .. } | Fli { fd, .. } | Cvtif { fd, .. } => fd,
+            Add { rd, .. }
+            | Sub { rd, .. }
+            | And { rd, .. }
+            | Or { rd, .. }
+            | Xor { rd, .. }
+            | Sll { rd, .. }
+            | Srl { rd, .. }
+            | Slt { rd, .. }
+            | Addi { rd, .. }
+            | Andi { rd, .. }
+            | Li { rd, .. }
+            | Mul { rd, .. }
+            | Div { rd, .. }
+            | Cvtfi { rd, .. }
+            | Fcmplt { rd, .. }
+            | ReadMhrr { rd }
+            | ReadMar { rd }
+            | Load { rd, .. } => rd,
+            Fadd { fd, .. }
+            | Fsub { fd, .. }
+            | Fmul { fd, .. }
+            | Fdiv { fd, .. }
+            | Fsqrt { fd, .. }
+            | Fmov { fd, .. }
+            | Fli { fd, .. }
+            | Cvtif { fd, .. } => fd,
             Jal { .. } => Reg::LINK,
             _ => return None,
         };
@@ -222,27 +241,45 @@ impl Instr {
     pub fn sources(&self) -> SourceIter {
         use Instr::*;
         let (a, b) = match *self {
-            Add { rs, rt, .. } | Sub { rs, rt, .. } | And { rs, rt, .. }
-            | Or { rs, rt, .. } | Xor { rs, rt, .. } | Slt { rs, rt, .. }
-            | Mul { rs, rt, .. } | Div { rs, rt, .. } => (Some(rs), Some(rt)),
-            Sll { rs, .. } | Srl { rs, .. } | Addi { rs, .. } | Andi { rs, .. }
-            | Cvtif { rs, .. } | Jr { rs } | SetMharReg { rs } | SetMhrrReg { rs } => {
-                (Some(rs), None)
-            }
-            Fadd { fs, ft, .. } | Fsub { fs, ft, .. } | Fmul { fs, ft, .. }
-            | Fdiv { fs, ft, .. } | Fcmplt { fs, ft, .. } => (Some(fs), Some(ft)),
+            Add { rs, rt, .. }
+            | Sub { rs, rt, .. }
+            | And { rs, rt, .. }
+            | Or { rs, rt, .. }
+            | Xor { rs, rt, .. }
+            | Slt { rs, rt, .. }
+            | Mul { rs, rt, .. }
+            | Div { rs, rt, .. } => (Some(rs), Some(rt)),
+            Sll { rs, .. }
+            | Srl { rs, .. }
+            | Addi { rs, .. }
+            | Andi { rs, .. }
+            | Cvtif { rs, .. }
+            | Jr { rs }
+            | SetMharReg { rs }
+            | SetMhrrReg { rs } => (Some(rs), None),
+            Fadd { fs, ft, .. }
+            | Fsub { fs, ft, .. }
+            | Fmul { fs, ft, .. }
+            | Fdiv { fs, ft, .. }
+            | Fcmplt { fs, ft, .. } => (Some(fs), Some(ft)),
             Fsqrt { fs, .. } | Fmov { fs, .. } | Cvtfi { fs, .. } => (Some(fs), None),
             Load { base, .. } | Prefetch { base, .. } => (Some(base), None),
             Store { rs, base, .. } => (Some(base), Some(rs)),
             Branch { rs, rt, .. } => (Some(rs), Some(rt)),
-            Li { .. } | Fli { .. } | Jump { .. } | Jal { .. } | BranchOnMiss { .. }
-            | BranchOnMemMiss { .. } | SetMhar { .. } | ReadMhrr { .. } | ReadMar { .. }
-            | JumpMhrr | Nop | Halt => (None, None),
+            Li { .. }
+            | Fli { .. }
+            | Jump { .. }
+            | Jal { .. }
+            | BranchOnMiss { .. }
+            | BranchOnMemMiss { .. }
+            | SetMhar { .. }
+            | ReadMhrr { .. }
+            | ReadMar { .. }
+            | JumpMhrr
+            | Nop
+            | Halt => (None, None),
         };
-        SourceIter {
-            regs: [a.filter(|r| !r.is_zero()), b.filter(|r| !r.is_zero())],
-            next: 0,
-        }
+        SourceIter { regs: [a.filter(|r| !r.is_zero()), b.filter(|r| !r.is_zero())], next: 0 }
     }
 
     /// The functional-unit class this instruction occupies.
@@ -250,10 +287,24 @@ impl Instr {
         use Instr::*;
         match self {
             Load { .. } | Store { .. } | Prefetch { .. } => FuClass::Mem,
-            Branch { .. } | Jump { .. } | Jal { .. } | Jr { .. } | BranchOnMiss { .. }
-            | BranchOnMemMiss { .. } | JumpMhrr | Halt => FuClass::Branch,
-            Fadd { .. } | Fsub { .. } | Fmul { .. } | Fdiv { .. } | Fsqrt { .. }
-            | Fmov { .. } | Fli { .. } | Cvtif { .. } | Cvtfi { .. } | Fcmplt { .. } => FuClass::Fp,
+            Branch { .. }
+            | Jump { .. }
+            | Jal { .. }
+            | Jr { .. }
+            | BranchOnMiss { .. }
+            | BranchOnMemMiss { .. }
+            | JumpMhrr
+            | Halt => FuClass::Branch,
+            Fadd { .. }
+            | Fsub { .. }
+            | Fmul { .. }
+            | Fdiv { .. }
+            | Fsqrt { .. }
+            | Fmov { .. }
+            | Fli { .. }
+            | Cvtif { .. }
+            | Cvtfi { .. }
+            | Fcmplt { .. } => FuClass::Fp,
             _ => FuClass::Int,
         }
     }
@@ -426,10 +477,7 @@ mod tests {
     fn fu_classes() {
         assert_eq!(Instr::Nop.fu_class(), FuClass::Int);
         assert_eq!(Instr::JumpMhrr.fu_class(), FuClass::Branch);
-        assert_eq!(
-            Instr::Prefetch { base: r(1), offset: 0 }.fu_class(),
-            FuClass::Mem
-        );
+        assert_eq!(Instr::Prefetch { base: r(1), offset: 0 }.fu_class(), FuClass::Mem);
         assert_eq!(
             Instr::Fadd { fd: Reg::fp(1), fs: Reg::fp(2), ft: Reg::fp(3) }.fu_class(),
             FuClass::Fp

@@ -47,10 +47,7 @@ impl DataMemory {
     /// Writes the aligned 64-bit word containing byte address `addr`.
     pub fn write(&mut self, addr: u64, value: u64) {
         let (page, word) = Self::split(addr);
-        let p = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u64; PAGE_WORDS]));
+        let p = self.pages.entry(page).or_insert_with(|| Box::new([0u64; PAGE_WORDS]));
         p[word] = value;
     }
 

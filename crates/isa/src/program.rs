@@ -79,10 +79,7 @@ impl Program {
 
     /// Iterates over `(address, instruction)` pairs in text order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, Instr)> + '_ {
-        self.instrs
-            .iter()
-            .enumerate()
-            .map(|(i, &ins)| (Program::addr_of(i), ins))
+        self.instrs.iter().enumerate().map(|(i, &ins)| (Program::addr_of(i), ins))
     }
 
     /// A listing of the program, one instruction per line, with labels.

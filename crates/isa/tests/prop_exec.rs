@@ -1,40 +1,44 @@
-//! Property-based tests for the assembler and functional executor.
+//! Property-based tests for the assembler and functional executor, on the
+//! in-tree `imo_util::check` harness (256 seeded cases per property; a
+//! failure prints its reproducing `IMO_CHECK_SEED`).
 
-use proptest::prelude::*;
+use imo_util::check::{Checker, Gen};
+use imo_util::{ensure, ensure_eq};
 
 use imo_isa::exec::{AlwaysMiss, Executor, NeverMiss};
 use imo_isa::{Asm, Cond, Instr, Reg};
 
-fn alu_op() -> impl Strategy<Value = Instr> {
-    prop_oneof![
-        (1u8..12, 1u8..12, 1u8..12).prop_map(|(d, s, t)| Instr::Add {
-            rd: Reg::int(d),
-            rs: Reg::int(s),
-            rt: Reg::int(t)
-        }),
-        (1u8..12, 1u8..12, -100i64..100).prop_map(|(d, s, imm)| Instr::Addi {
-            rd: Reg::int(d),
-            rs: Reg::int(s),
-            imm
-        }),
-        (1u8..12, 1u8..12, 1u8..12).prop_map(|(d, s, t)| Instr::Xor {
-            rd: Reg::int(d),
-            rs: Reg::int(s),
-            rt: Reg::int(t)
-        }),
-        (1u8..12, 1u8..12, 1u8..12).prop_map(|(d, s, t)| Instr::Div {
-            rd: Reg::int(d),
-            rs: Reg::int(s),
-            rt: Reg::int(t)
-        }),
-    ]
+fn alu_op(g: &mut Gen) -> Instr {
+    match g.int(0u32..4) {
+        0 => Instr::Add {
+            rd: Reg::int(g.int(1u8..12)),
+            rs: Reg::int(g.int(1u8..12)),
+            rt: Reg::int(g.int(1u8..12)),
+        },
+        1 => Instr::Addi {
+            rd: Reg::int(g.int(1u8..12)),
+            rs: Reg::int(g.int(1u8..12)),
+            imm: g.int(-100i64..100),
+        },
+        2 => Instr::Xor {
+            rd: Reg::int(g.int(1u8..12)),
+            rs: Reg::int(g.int(1u8..12)),
+            rt: Reg::int(g.int(1u8..12)),
+        },
+        _ => Instr::Div {
+            rd: Reg::int(g.int(1u8..12)),
+            rs: Reg::int(g.int(1u8..12)),
+            rt: Reg::int(g.int(1u8..12)),
+        },
+    }
 }
 
-proptest! {
-    /// Straight-line programs always halt, execute exactly their length, and
-    /// never fault — regardless of the miss oracle.
-    #[test]
-    fn straight_line_always_halts(ops in proptest::collection::vec(alu_op(), 0..100)) {
+/// Straight-line programs always halt, execute exactly their length, and
+/// never fault — regardless of the miss oracle.
+#[test]
+fn straight_line_always_halts() {
+    Checker::new("straight_line_always_halts").run(|g| {
+        let ops = g.vec(0..100, alu_op);
         let mut a = Asm::new();
         for i in &ops {
             a.emit(*i);
@@ -43,17 +47,19 @@ proptest! {
         let p = a.assemble().expect("assembles");
         let mut e = Executor::new(&p);
         let n = e.run(&mut NeverMiss, 10_000).expect("runs");
-        prop_assert_eq!(n, ops.len() as u64 + 1);
-        prop_assert!(e.state().halted());
-    }
+        ensure_eq!(n, ops.len() as u64 + 1);
+        ensure!(e.state().halted());
+        Ok(())
+    });
+}
 
-    /// Execution is oracle-independent for programs without informing
-    /// operations or `bmiss` (the ISA's uniform-memory illusion).
-    #[test]
-    fn miss_oracle_is_invisible_without_informing_ops(
-        ops in proptest::collection::vec(alu_op(), 1..60),
-        addrs in proptest::collection::vec(0u64..64, 1..20),
-    ) {
+/// Execution is oracle-independent for programs without informing
+/// operations or `bmiss` (the ISA's uniform-memory illusion).
+#[test]
+fn miss_oracle_is_invisible_without_informing_ops() {
+    Checker::new("miss_oracle_is_invisible_without_informing_ops").run(|g| {
+        let ops = g.vec(1..60, alu_op);
+        let addrs = g.vec(1..20, |g| g.int(0u64..64));
         let mut a = Asm::new();
         a.li(Reg::int(15), 0x2000);
         for (k, i) in ops.iter().enumerate() {
@@ -70,15 +76,19 @@ proptest! {
         let mut miss = Executor::new(&p);
         miss.run(&mut AlwaysMiss, 100_000).expect("runs");
         for r in 1..16u8 {
-            prop_assert_eq!(hit.state().int(Reg::int(r)), miss.state().int(Reg::int(r)));
+            ensure_eq!(hit.state().int(Reg::int(r)), miss.state().int(Reg::int(r)));
         }
-        prop_assert!(miss.state().miss_cc(), "cc records the last outcome");
-    }
+        ensure!(miss.state().miss_cc(), "cc records the last outcome");
+        Ok(())
+    });
+}
 
-    /// Every emitted instruction round-trips through Program::fetch and has
-    /// a non-empty disassembly.
-    #[test]
-    fn fetch_round_trip_and_display(ops in proptest::collection::vec(alu_op(), 1..50)) {
+/// Every emitted instruction round-trips through Program::fetch and has
+/// a non-empty disassembly.
+#[test]
+fn fetch_round_trip_and_display() {
+    Checker::new("fetch_round_trip_and_display").run(|g| {
+        let ops = g.vec(1..50, alu_op);
         let mut a = Asm::new();
         for i in &ops {
             a.emit(*i);
@@ -87,18 +97,20 @@ proptest! {
         let p = a.assemble().expect("assembles");
         for (k, i) in ops.iter().enumerate() {
             let fetched = p.fetch(imo_isa::Program::addr_of(k)).expect("in text");
-            prop_assert_eq!(fetched, *i);
-            prop_assert!(!fetched.to_string().is_empty());
+            ensure_eq!(fetched, *i);
+            ensure!(!fetched.to_string().is_empty());
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Counted loops execute their body exactly `n` times (branch/label
-    /// resolution is correct for arbitrary placements).
-    #[test]
-    fn counted_loops_iterate_exactly(
-        n in 0i64..50,
-        pre in proptest::collection::vec(alu_op(), 0..20),
-    ) {
+/// Counted loops execute their body exactly `n` times (branch/label
+/// resolution is correct for arbitrary placements).
+#[test]
+fn counted_loops_iterate_exactly() {
+    Checker::new("counted_loops_iterate_exactly").run(|g| {
+        let n = g.int(0i64..50);
+        let pre = g.vec(0..20, alu_op);
         let mut a = Asm::new();
         for i in &pre {
             a.emit(*i);
@@ -119,6 +131,7 @@ proptest! {
         let p = a.assemble().expect("assembles");
         let mut e = Executor::new(&p);
         e.run(&mut NeverMiss, 100_000).expect("runs");
-        prop_assert_eq!(e.state().int(acc), n as u64);
-    }
+        ensure_eq!(e.state().int(acc), n as u64);
+        Ok(())
+    });
 }

@@ -173,9 +173,7 @@ impl Cache {
     /// perturb LRU state or statistics).
     pub fn contains(&self, addr: u64) -> bool {
         let tag = self.tag_of(addr);
-        self.sets[self.set_range(addr)]
-            .iter()
-            .any(|w| w.valid && w.tag == tag)
+        self.sets[self.set_range(addr)].iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Invalidates the line containing `addr` if present; returns whether a

@@ -187,10 +187,7 @@ mod tests {
     #[test]
     fn display_shapes() {
         assert_eq!(CacheConfig::new(8192, 1, 32).to_string(), "8KB direct-mapped, 32B lines");
-        assert_eq!(
-            CacheConfig::new(2 * 1024 * 1024, 4, 32).to_string(),
-            "2048KB 4-way, 32B lines"
-        );
+        assert_eq!(CacheConfig::new(2 * 1024 * 1024, 4, 32).to_string(), "2048KB 4-way, 32B lines");
     }
 
     #[test]

@@ -463,7 +463,7 @@ mod tests {
         let l1_way_stride = 16 * 1024u64;
         m.probe_data(l1_way_stride, true); // L1 set conflict partner (2-way)
         m.probe_data(2 * l1_way_stride, true); // evicts dirty line 0 from L1 -> L2 dirty
-        // L2 has 2 sets of 32B: line 0x40 conflicts with line 0.
+                                               // L2 has 2 sets of 32B: line 0x40 conflicts with line 0.
         let p = m.probe_data(0x40, false);
         assert_eq!(p.level, HitLevel::Memory);
         let t = m.schedule_data(p, 0);

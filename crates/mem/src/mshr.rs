@@ -48,8 +48,7 @@ struct Entry {
 }
 
 impl Entry {
-    const FREE: Entry =
-        Entry { state: EntryState::Free, line: 0, refs: 0, any_graduated: false };
+    const FREE: Entry = Entry { state: EntryState::Free, line: 0, refs: 0, any_graduated: false };
 }
 
 /// Statistics for the MSHR file.
@@ -110,7 +109,11 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: u32, mode: MshrMode) -> MshrFile {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        MshrFile { entries: vec![Entry::FREE; capacity as usize], mode, stats: MshrStats::default() }
+        MshrFile {
+            entries: vec![Entry::FREE; capacity as usize],
+            mode,
+            stats: MshrStats::default(),
+        }
     }
 
     /// The deallocation policy.
@@ -135,10 +138,7 @@ impl MshrFile {
 
     /// The entry currently tracking `line`, if any.
     pub fn find(&self, line: u64) -> Option<MshrId> {
-        self.entries
-            .iter()
-            .position(|e| e.state != EntryState::Free && e.line == line)
-            .map(MshrId)
+        self.entries.iter().position(|e| e.state != EntryState::Free && e.line == line).map(MshrId)
     }
 
     /// Attaches a missing reference to `line`: merges with an existing entry

@@ -1,72 +1,76 @@
-//! Property-based tests for the cache and MSHR models.
+//! Property-based tests for the cache and MSHR models, on the in-tree
+//! `imo_util::check` harness (256 seeded cases per property; a failure
+//! prints its reproducing `IMO_CHECK_SEED`).
 
-use proptest::prelude::*;
+use imo_util::check::{Checker, Gen};
+use imo_util::{ensure, ensure_eq};
 
 use imo_mem::{Cache, CacheConfig, MshrFile, MshrMode, Probe};
 
-fn small_config() -> impl Strategy<Value = CacheConfig> {
+fn small_config(g: &mut Gen) -> CacheConfig {
     // Sizes/assocs kept tiny so evictions happen constantly.
-    (0u32..3, 0u32..3).prop_map(|(size_exp, assoc_exp)| {
-        let assoc = 1 << assoc_exp;
-        let size = 256u64 << size_exp;
-        CacheConfig::new(size, assoc, 32)
-    })
+    let size = 256u64 << g.int(0u32..3);
+    let assoc = 1u32 << g.int(0u32..3);
+    CacheConfig::new(size, assoc, 32)
 }
 
-fn addr() -> impl Strategy<Value = u64> {
+fn addr(g: &mut Gen) -> u64 {
     // A handful of lines spanning several sets, with heavy collisions.
-    (0u64..64).prop_map(|l| l * 32 + 4)
+    g.int(0u64..64) * 32 + 4
 }
 
-proptest! {
-    /// After any access, the line is present; capacity is never exceeded.
-    #[test]
-    fn accessed_line_is_present_and_capacity_respected(
-        cfg in small_config(),
-        ops in proptest::collection::vec((addr(), any::<bool>()), 1..200),
-    ) {
+/// After any access, the line is present; capacity is never exceeded.
+#[test]
+fn accessed_line_is_present_and_capacity_respected() {
+    Checker::new("accessed_line_is_present_and_capacity_respected").run(|g| {
+        let cfg = small_config(g);
+        let ops = g.vec(1..200, |g| (addr(g), g.bool()));
         let capacity = (cfg.num_sets() * cfg.assoc as u64) as usize;
         let mut c = Cache::new(cfg);
         for (a, w) in ops {
             c.access(a, w);
-            prop_assert!(c.contains(a));
-            prop_assert!(c.valid_lines() <= capacity);
+            ensure!(c.contains(a));
+            ensure!(c.valid_lines() <= capacity);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Misses + hits == accesses, and evictions only report lines that were
-    /// resident.
-    #[test]
-    fn bookkeeping_is_consistent(
-        cfg in small_config(),
-        ops in proptest::collection::vec((addr(), any::<bool>()), 1..200),
-    ) {
+/// Misses + hits == accesses, and evictions only report lines that were
+/// resident.
+#[test]
+fn bookkeeping_is_consistent() {
+    Checker::new("bookkeeping_is_consistent").run(|g| {
+        let cfg = small_config(g);
+        let ops = g.vec(1..200, |g| (addr(g), g.bool()));
         let mut c = Cache::new(cfg);
         let mut resident = std::collections::HashSet::new();
         for (a, w) in ops {
             let line = cfg.line_of(a);
             let was_resident = resident.contains(&line);
             match c.access(a, w) {
-                Probe::Hit => prop_assert!(was_resident, "hit on non-resident {line:#x}"),
+                Probe::Hit => ensure!(was_resident, "hit on non-resident {line:#x}"),
                 Probe::Miss { evicted } => {
-                    prop_assert!(!was_resident, "miss on resident {line:#x}");
+                    ensure!(!was_resident, "miss on resident {line:#x}");
                     if let Some(e) = evicted {
-                        prop_assert!(resident.remove(&e.line), "evicted ghost {e:?}");
+                        ensure!(resident.remove(&e.line), "evicted ghost {e:?}");
                     }
                     resident.insert(line);
                 }
             }
         }
-        prop_assert_eq!(c.valid_lines(), resident.len());
-        prop_assert!(c.stats().misses <= c.stats().accesses);
-    }
+        ensure_eq!(c.valid_lines(), resident.len());
+        ensure!(c.stats().misses <= c.stats().accesses);
+        Ok(())
+    });
+}
 
-    /// A fully-associative cache of N lines behaves like true LRU over a
-    /// reference model.
-    #[test]
-    fn fully_associative_matches_reference_lru(
-        ops in proptest::collection::vec(0u64..16, 1..300),
-    ) {
+/// A fully-associative cache of N lines behaves like true LRU over a
+/// reference model.
+#[test]
+fn fully_associative_matches_reference_lru() {
+    Checker::new("fully_associative_matches_reference_lru").run(|g| {
+        let ops = g.vec(1..300, |g| g.int(0u64..16));
         let lines = 4usize;
         let mut c = Cache::new(CacheConfig::new(32 * lines as u64, lines as u32, 32));
         let mut lru: Vec<u64> = Vec::new(); // front = most recent
@@ -74,20 +78,22 @@ proptest! {
             let addr = a * 32;
             let hit = matches!(c.access(addr, false), Probe::Hit);
             let model_hit = lru.contains(&addr);
-            prop_assert_eq!(hit, model_hit, "divergence at {:#x}", addr);
+            ensure_eq!(hit, model_hit, "divergence at {:#x}", addr);
             lru.retain(|&x| x != addr);
             lru.insert(0, addr);
             lru.truncate(lines);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// Invalidation removes exactly the target line and nothing else.
-    #[test]
-    fn invalidate_is_precise(
-        cfg in small_config(),
-        warm in proptest::collection::vec(addr(), 1..50),
-        victim in addr(),
-    ) {
+/// Invalidation removes exactly the target line and nothing else.
+#[test]
+fn invalidate_is_precise() {
+    Checker::new("invalidate_is_precise").run(|g| {
+        let cfg = small_config(g);
+        let warm = g.vec(1..50, addr);
+        let victim = addr(g);
         let mut c = Cache::new(cfg);
         for a in &warm {
             c.access(*a, false);
@@ -95,19 +101,21 @@ proptest! {
         let before = c.valid_lines();
         let had = c.contains(victim);
         let removed = c.invalidate(victim).is_some();
-        prop_assert_eq!(had, removed);
-        prop_assert_eq!(c.valid_lines(), before - usize::from(removed));
-        prop_assert!(!c.contains(victim));
-    }
+        ensure_eq!(had, removed);
+        ensure_eq!(c.valid_lines(), before - usize::from(removed));
+        ensure!(!c.contains(victim));
+        Ok(())
+    });
+}
 
-    /// MSHR conservation: allocations never exceed capacity; every squash of
-    /// a never-graduated miss invalidates in extended mode and never does in
-    /// standard mode.
-    #[test]
-    fn mshr_capacity_and_squash_policy(
-        lines in proptest::collection::vec(0u64..8, 1..64),
-        standard in any::<bool>(),
-    ) {
+/// MSHR conservation: allocations never exceed capacity; every squash of
+/// a never-graduated miss invalidates in extended mode and never does in
+/// standard mode.
+#[test]
+fn mshr_capacity_and_squash_policy() {
+    Checker::new("mshr_capacity_and_squash_policy").run(|g| {
+        let lines = g.vec(1..64, |g| g.int(0u64..8));
+        let standard = g.bool();
         let mode = if standard { MshrMode::Standard } else { MshrMode::ExtendedLifetime };
         let mut l1 = Cache::new(CacheConfig::new(1024, 2, 32));
         let mut m = MshrFile::new(4, mode);
@@ -118,15 +126,18 @@ proptest! {
                 m.note_fill(id);
                 let inv = m.squash(id, &mut l1);
                 if standard {
-                    prop_assert_eq!(inv, None);
+                    ensure_eq!(inv, None);
                 } else {
                     // Sole reference, never graduated: must invalidate.
-                    prop_assert!(inv.is_some() || m.find(line).is_some(),
-                        "squash must invalidate or the entry was merged");
+                    ensure!(
+                        inv.is_some() || m.find(line).is_some(),
+                        "squash must invalidate or the entry was merged"
+                    );
                 }
             }
-            prop_assert!(m.in_use() <= 4);
+            ensure!(m.in_use() <= 4);
             m.reap();
         }
-    }
+        Ok(())
+    });
 }

@@ -1,0 +1,220 @@
+//! A wall-clock micro-benchmark runner.
+//!
+//! Replaces `criterion` for this workspace's substrate benches: each
+//! benchmark function is calibrated to a per-sample batch size, warmed up,
+//! then timed for a fixed number of batches; the reported figure is the
+//! median ns/iteration (robust to scheduler noise, no statistics machinery
+//! needed). Results render as an aligned text table and serialize to JSON
+//! for the `BENCH_*.json` baselines.
+//!
+//! Environment overrides for CI speed: `IMO_BENCH_SAMPLES` (batches per
+//! benchmark) and `IMO_BENCH_SAMPLE_MS` (target batch duration).
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// Timing of one benchmark function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Benchmark id, e.g. `cache/probe_hit`.
+    pub id: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Iterations per timed batch (the calibration outcome).
+    pub iters_per_sample: u64,
+    /// Per-sample ns/iter, in measurement order.
+    pub samples: Vec<f64>,
+}
+
+impl BenchResult {
+    /// The result as an ordered JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("id", Json::from(self.id.as_str())),
+            ("median_ns", Json::from(round3(self.median_ns))),
+            ("min_ns", Json::from(round3(self.min_ns))),
+            ("max_ns", Json::from(round3(self.max_ns))),
+            ("iters_per_sample", Json::from(self.iters_per_sample)),
+            ("samples", Json::arr(self.samples.iter().map(|&s| Json::from(round3(s))))),
+        ])
+    }
+}
+
+fn round3(v: f64) -> f64 {
+    (v * 1000.0).round() / 1000.0
+}
+
+/// A named collection of benchmark functions, run as they are registered.
+#[derive(Debug)]
+pub struct Bench {
+    name: String,
+    warmup: Duration,
+    target_sample: Duration,
+    samples: u32,
+    results: Vec<BenchResult>,
+}
+
+impl Bench {
+    /// A runner for the bench target `name` (defaults: 20 ms warmup,
+    /// 11 samples of ~10 ms each).
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Bench {
+        let sample_ms = env_u64("IMO_BENCH_SAMPLE_MS").unwrap_or(10).max(1);
+        let samples = env_u64("IMO_BENCH_SAMPLES").unwrap_or(11).clamp(3, 1000) as u32;
+        Bench {
+            name: name.into(),
+            warmup: Duration::from_millis(20),
+            target_sample: Duration::from_millis(sample_ms),
+            samples,
+            results: Vec::new(),
+        }
+    }
+
+    /// Times `f` with the default sample count and records the result.
+    /// The closure's return value is passed through [`black_box`] so its
+    /// computation cannot be optimized away.
+    pub fn bench<T>(&mut self, id: &str, f: impl FnMut() -> T) {
+        let samples = self.samples;
+        self.bench_sampled(id, samples, f);
+    }
+
+    /// Times `f` with an explicit sample count (for expensive end-to-end
+    /// benchmarks where the default would take too long).
+    pub fn bench_sampled<T>(&mut self, id: &str, samples: u32, mut f: impl FnMut() -> T) {
+        // Calibrate: find how long one iteration takes, then batch so each
+        // timed sample lasts ~target_sample.
+        let once = Instant::now();
+        black_box(f());
+        let single = once.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.target_sample.as_nanos() / single.as_nanos()).clamp(1, 10_000_000) as u64;
+
+        let warmup_start = Instant::now();
+        while warmup_start.elapsed() < self.warmup {
+            for _ in 0..iters.min(1000) {
+                black_box(f());
+            }
+        }
+
+        let mut per_iter = Vec::with_capacity(samples as usize);
+        for _ in 0..samples.max(1) {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            per_iter.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+
+        let mut sorted = per_iter.clone();
+        sorted.sort_by(f64::total_cmp);
+        self.results.push(BenchResult {
+            id: id.to_string(),
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+            iters_per_sample: iters,
+            samples: per_iter,
+        });
+    }
+
+    /// The results recorded so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// The whole run as JSON (`{bench, unit, results: [...]}`).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bench", Json::from(self.name.as_str())),
+            ("unit", Json::from("ns_per_iter")),
+            ("results", Json::arr(self.results.iter().map(BenchResult::to_json))),
+        ])
+    }
+
+    /// An aligned text table of median/min/max per benchmark.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<40}  {:>12}  {:>12}  {:>12}\n",
+            "benchmark", "median ns", "min ns", "max ns"
+        );
+        out.push_str(&"-".repeat(82));
+        out.push('\n');
+        for r in &self.results {
+            out.push_str(&format!(
+                "{:<40}  {:>12.1}  {:>12.1}  {:>12.1}\n",
+                r.id, r.median_ns, r.min_ns, r.max_ns
+            ));
+        }
+        out
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_runner() -> Bench {
+        let mut b = Bench::new("test");
+        b.warmup = Duration::from_millis(1);
+        b.target_sample = Duration::from_millis(1);
+        b.samples = 5;
+        b
+    }
+
+    #[test]
+    fn measures_and_orders_results() {
+        let mut b = fast_runner();
+        b.bench("first", || std::hint::black_box(1u64 + 1));
+        b.bench("second", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(b.results().len(), 2);
+        assert_eq!(b.results()[0].id, "first");
+        for r in b.results() {
+            assert!(r.median_ns > 0.0);
+            assert!(r.min_ns <= r.median_ns && r.median_ns <= r.max_ns);
+            assert_eq!(r.samples.len(), 5);
+            assert!(r.iters_per_sample >= 1);
+        }
+    }
+
+    #[test]
+    fn json_round_trips_and_names_the_target() {
+        let mut b = fast_runner();
+        b.bench_sampled("only", 3, || 42u64);
+        let j = b.to_json();
+        assert_eq!(j.get("bench").unwrap().as_str(), Some("test"));
+        let results = j.get("results").unwrap().as_arr().unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].get("id").unwrap().as_str(), Some("only"));
+        assert_eq!(crate::json::parse(&j.pretty()).unwrap(), j);
+    }
+
+    #[test]
+    fn render_contains_every_id() {
+        let mut b = fast_runner();
+        b.bench_sampled("alpha/one", 3, || 1u32);
+        b.bench_sampled("beta/two", 3, || 2u32);
+        let table = b.render();
+        assert!(table.contains("alpha/one"));
+        assert!(table.contains("beta/two"));
+        assert!(table.contains("median ns"));
+    }
+}

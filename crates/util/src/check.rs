@@ -1,0 +1,324 @@
+//! A deterministic mini property-test harness.
+//!
+//! Replaces `proptest` for this workspace: each property runs a fixed
+//! number of generated cases, every case is derived from a stable per-case
+//! seed, and a failing case panics with the seed and a one-line reproduce
+//! command. There is no shrinking — cases are kept small by construction
+//! instead, which the ported suites already were.
+//!
+//! ```
+//! use imo_util::check::Checker;
+//! use imo_util::{ensure, ensure_eq};
+//!
+//! Checker::new("addition_commutes").cases(64).run(|g| {
+//!     let (a, b) = (g.int(0u64..1000), g.int(0u64..1000));
+//!     ensure_eq!(a + b, b + a, "a={} b={}", a, b);
+//!     ensure!(a + b >= a);
+//!     Ok(())
+//! });
+//! ```
+//!
+//! Environment overrides:
+//!
+//! * `IMO_CHECK_SEED=<u64>` — run exactly one case with that seed
+//!   (the reproduce command printed on failure).
+//! * `IMO_CHECK_CASES=<n>` — override the case count for every property.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use crate::rng::{mix64, SmallRng, UniformInt};
+
+/// The outcome of one property case: `Err` carries the failure description.
+pub type CheckResult = Result<(), String>;
+
+/// The per-case value source handed to a property.
+#[derive(Debug, Clone)]
+pub struct Gen {
+    rng: SmallRng,
+    seed: u64,
+}
+
+impl Gen {
+    /// A generator for one case, fully determined by `seed`.
+    #[must_use]
+    pub fn from_seed(seed: u64) -> Gen {
+        Gen { rng: SmallRng::seed_from_u64(seed), seed }
+    }
+
+    /// The seed this case was derived from (what the failure report prints).
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A uniform integer from a half-open range.
+    pub fn int<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        self.rng.gen_range(range)
+    }
+
+    /// A fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.next_u64() & 1 == 1
+    }
+
+    /// `true` with probability `p`.
+    pub fn ratio(&mut self, p: f64) -> bool {
+        self.rng.gen_bool(p)
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<T>(&mut self, len: Range<usize>, mut element: impl FnMut(&mut Gen) -> T) -> Vec<T> {
+        let n = if len.start + 1 == len.end { len.start } else { self.int(len) };
+        (0..n).map(|_| element(self)).collect()
+    }
+
+    /// A uniformly chosen element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        assert!(!items.is_empty(), "pick from empty slice");
+        &items[self.int(0..items.len())]
+    }
+
+    /// Direct access to the underlying PRNG for custom distributions.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// A configured property runner. Defaults match `proptest`: 256 cases.
+#[derive(Debug, Clone)]
+pub struct Checker {
+    name: &'static str,
+    cases: u32,
+}
+
+/// Workspace-wide base seed; per-property streams are split off it by name.
+const BASE_SEED: u64 = 0x1996_0522_15CA_0001;
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1_0000_01b3);
+    }
+    h
+}
+
+impl Checker {
+    /// A runner for the property `name` with the default 256 cases.
+    #[must_use]
+    pub fn new(name: &'static str) -> Checker {
+        Checker { name, cases: 256 }
+    }
+
+    /// Overrides the number of generated cases.
+    #[must_use]
+    pub fn cases(mut self, cases: u32) -> Checker {
+        self.cases = cases;
+        self
+    }
+
+    /// Runs the property over every case, panicking on the first failure
+    /// with the case seed and a reproduce command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any case returns `Err` or panics itself.
+    pub fn run(self, prop: impl Fn(&mut Gen) -> CheckResult) {
+        if let Some(seed) = env_u64("IMO_CHECK_SEED") {
+            let mut g = Gen::from_seed(seed);
+            if let Err(msg) = prop(&mut g) {
+                panic!("property `{}` failed under IMO_CHECK_SEED={seed}: {msg}", self.name);
+            }
+            return;
+        }
+        let cases = env_u64("IMO_CHECK_CASES").map_or(self.cases, |n| n as u32);
+        let stream = fnv1a(self.name);
+        for case in 0..cases {
+            let seed = mix64(BASE_SEED ^ stream, u64::from(case));
+            let mut g = Gen::from_seed(seed);
+            let outcome = catch_unwind(AssertUnwindSafe(|| prop(&mut g)));
+            let failure = match outcome {
+                Ok(Ok(())) => continue,
+                Ok(Err(msg)) => msg,
+                Err(payload) => format!("panicked: {}", panic_message(payload.as_ref())),
+            };
+            panic!(
+                "property `{name}` failed at case {case}/{cases}\n  \
+                 seed: {seed}\n  \
+                 reproduce with: IMO_CHECK_SEED={seed} cargo test {name}\n  \
+                 error: {failure}",
+                name = self.name,
+            );
+        }
+    }
+}
+
+fn env_u64(key: &str) -> Option<u64> {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok())
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Returns `Err` from the enclosing property when the condition is false.
+#[macro_export]
+macro_rules! ensure {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err(format!(
+                "ensure failed: {} ({}:{})",
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!(
+                "{}: ensure failed: {} ({}:{})",
+                format!($($fmt)+),
+                stringify!($cond),
+                file!(),
+                line!()
+            ));
+        }
+    };
+}
+
+/// Returns `Err` from the enclosing property when the two values differ.
+#[macro_export]
+macro_rules! ensure_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return Err(format!(
+                "ensure_eq failed: {} == {}\n    left: {:?}\n   right: {:?} ({}:{})",
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a != __b {
+            return Err(format!(
+                "{}: ensure_eq failed: {} == {}\n    left: {:?}\n   right: {:?} ({}:{})",
+                format!($($fmt)+),
+                stringify!($a),
+                stringify!($b),
+                __a,
+                __b,
+                file!(),
+                line!()
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let count = std::cell::Cell::new(0u32);
+        Checker::new("trivially_true").cases(40).run(|g| {
+            count.set(count.get() + 1);
+            let v = g.int(0u64..10);
+            ensure!(v < 10);
+            Ok(())
+        });
+        assert_eq!(count.get(), 40);
+    }
+
+    #[test]
+    fn cases_are_deterministic_across_runs() {
+        let collect = || {
+            let vals = std::cell::RefCell::new(Vec::new());
+            Checker::new("det").cases(16).run(|g| {
+                vals.borrow_mut().push((g.seed(), g.int(0u64..1_000_000)));
+                Ok(())
+            });
+            vals.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn distinct_properties_get_distinct_streams() {
+        let first = |name: &'static str| {
+            let v = std::cell::Cell::new(0u64);
+            Checker::new(name).cases(1).run(|g| {
+                v.set(g.int(0u64..u64::MAX));
+                Ok(())
+            });
+            v.get()
+        };
+        assert_ne!(first("stream_a"), first("stream_b"));
+    }
+
+    #[test]
+    fn failure_reports_reproducing_seed() {
+        let err = catch_unwind(|| {
+            Checker::new("always_fails").cases(8).run(|g| {
+                let v = g.int(0u64..100);
+                ensure!(v > 1000, "v={}", v);
+                Ok(())
+            });
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("IMO_CHECK_SEED="), "{msg}");
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("ensure failed"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_property_also_reports_seed() {
+        let err = catch_unwind(|| {
+            Checker::new("panics").cases(4).run(|_| panic!("boom"));
+        })
+        .expect_err("property must fail");
+        let msg = panic_message(err.as_ref());
+        assert!(msg.contains("seed:"), "{msg}");
+        assert!(msg.contains("boom"), "{msg}");
+    }
+
+    #[test]
+    fn vec_and_pick_respect_bounds() {
+        Checker::new("vec_pick").cases(64).run(|g| {
+            let v = g.vec(1..20, |g| g.int(5u32..8));
+            ensure!(!v.is_empty() && v.len() < 20, "len {}", v.len());
+            ensure!(v.iter().all(|&x| (5..8).contains(&x)));
+            let items = [1, 2, 3];
+            ensure!(items.contains(g.pick(&items)));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn ensure_eq_formats_both_sides() {
+        let r: CheckResult = (|| {
+            ensure_eq!(1 + 1, 3, "context {}", 42);
+            Ok(())
+        })();
+        let msg = r.unwrap_err();
+        assert!(msg.contains("context 42"), "{msg}");
+        assert!(msg.contains("left: 2"), "{msg}");
+        assert!(msg.contains("right: 3"), "{msg}");
+    }
+}

@@ -1,0 +1,36 @@
+//! # imo-util
+//!
+//! The hermetic, zero-dependency substrate under every other crate in this
+//! workspace. The build environment has no crates.io access, so the
+//! facilities other projects pull from `rand`, `proptest` and `criterion`
+//! live here, in-tree, with fixed deterministic behaviour:
+//!
+//! * [`rng`] — seeded splitmix64/xoshiro256** PRNG with the small
+//!   `SmallRng`-shaped API the workload/trace generators use.
+//! * [`check`] — a deterministic mini property-test harness (seeded case
+//!   generation, fixed case counts, reproducing-seed failure reports).
+//! * [`bench`] — a wall-clock micro-benchmark runner (warmup, median-of-N,
+//!   JSON emission) behind the `cargo bench` targets.
+//! * [`stats`] — shared run accounting: the graduation-slot breakdown used
+//!   by both CPU models and the ordered counter [`stats::Report`] every
+//!   simulator result renders to.
+//! * [`json`] — a minimal ordered JSON value/serializer/parser for the
+//!   `BENCH_*.json` baselines.
+//!
+//! Policy: this crate depends on `std` only, and every other crate's
+//! external-registry dependency list stays empty. See `DESIGN.md` §6.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod check;
+pub mod json;
+pub mod rng;
+pub mod stats;
+
+pub use bench::Bench;
+pub use check::{CheckResult, Checker, Gen};
+pub use json::Json;
+pub use rng::SmallRng;
+pub use stats::{Report, SlotBreakdown, Summarize};

@@ -1,0 +1,243 @@
+//! Seeded pseudo-random number generation with no external dependencies.
+//!
+//! [`SmallRng`] is an xoshiro256** generator seeded through splitmix64 —
+//! the same construction the `rand` crate's `SmallRng` used on 64-bit
+//! targets — exposing the small API surface the workload generators and the
+//! property-test harness actually need (`seed_from_u64`, `gen_range`,
+//! `gen_bool`). The streams are fixed for all time: workload traces and
+//! property-test cases derived from a seed must never change between
+//! releases, or recorded `BENCH_*.json` baselines and reproducing seeds
+//! stop being comparable.
+
+use std::ops::Range;
+
+/// One step of the splitmix64 sequence; also usable standalone to derive
+/// independent seeds from a counter.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes `seed` and `stream` into a decorrelated 64-bit value (two
+/// splitmix64 steps). Used to give every property-test case and every
+/// per-processor trace its own independent stream.
+#[inline]
+#[must_use]
+pub fn mix64(seed: u64, stream: u64) -> u64 {
+    let mut s = seed ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let a = splitmix64(&mut s);
+    splitmix64(&mut s) ^ a.rotate_left(32)
+}
+
+/// A small, fast, seedable PRNG (xoshiro256**).
+///
+/// Not cryptographically secure; statistically solid for simulation
+/// workloads. Deterministic across platforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl SmallRng {
+    /// Creates a generator whose state is expanded from `seed` via
+    /// splitmix64 (never all-zero).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> SmallRng {
+        let mut sm = seed;
+        SmallRng {
+            s: [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)],
+        }
+    }
+
+    /// Next raw 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// Next raw 32-bit output (upper half of [`Self::next_u64`]).
+    #[inline]
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Uniform value in `[0, bound)` by unbiased rejection sampling
+    /// (Lemire's multiply-shift with a single widening multiply).
+    #[inline]
+    pub fn bounded_u64(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "bounded_u64 requires a non-zero bound");
+        let reject_below = bound.wrapping_neg() % bound;
+        loop {
+            let m = u128::from(self.next_u64()) * u128::from(bound);
+            // Accept unless the low word falls in the biased zone.
+            if m as u64 >= reject_below {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform value from a half-open range, like `rand`'s `gen_range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p >= 1.0 {
+            return true;
+        }
+        if p <= 0.0 {
+            return false;
+        }
+        // 53 bits of mantissa: exact enough for any simulation use.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64) < p
+    }
+}
+
+/// Integer types [`SmallRng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy {
+    /// Draws a uniform sample from the half-open `range`.
+    fn sample(rng: &mut SmallRng, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample(rng: &mut SmallRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + rng.bounded_u64(span) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample(rng: &mut SmallRng, range: Range<$t>) -> $t {
+                assert!(range.start < range.end, "gen_range on empty range");
+                let span = (range.end as $u).wrapping_sub(range.start as $u) as u64;
+                range.start.wrapping_add(rng.bounded_u64(span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_uniform_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn seeds_decorrelate() {
+        let mut a = SmallRng::seed_from_u64(0);
+        let mut b = SmallRng::seed_from_u64(1);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn fixed_stream_never_changes() {
+        // Golden values: changing them invalidates every recorded trace and
+        // reproducing seed. Do not update without bumping workload seeds.
+        let mut r = SmallRng::seed_from_u64(0x1996);
+        let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+        let expect = [
+            17_727_078_727_179_929_608,
+            16_712_386_671_181_463_150,
+            4_118_015_354_935_653_464,
+            3_386_756_349_920_856_373,
+        ];
+        assert_eq!(got, expect, "xoshiro/splitmix stream drifted");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_covers() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = r.gen_range(3u64..13);
+            assert!((3..13).contains(&v));
+            seen[(v - 3) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all values of a small range appear");
+    }
+
+    #[test]
+    fn signed_ranges_cover_negatives() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut neg = 0;
+        for _ in 0..1000 {
+            let v = r.gen_range(-100i64..100);
+            assert!((-100..100).contains(&v));
+            if v < 0 {
+                neg += 1;
+            }
+        }
+        assert!(neg > 300, "roughly half the draws are negative: {neg}");
+    }
+
+    #[test]
+    fn bounded_is_roughly_uniform() {
+        let mut r = SmallRng::seed_from_u64(11);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.bounded_u64(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((800..1200).contains(&c), "bucket count {c} out of range");
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_middle() {
+        let mut r = SmallRng::seed_from_u64(13);
+        assert!(r.gen_bool(1.0));
+        assert!(!r.gen_bool(0.0));
+        let heads = (0..4000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((800..1200).contains(&heads), "{heads}");
+    }
+
+    #[test]
+    fn mix64_streams_are_independent() {
+        let a = mix64(5, 0);
+        let b = mix64(5, 1);
+        let c = mix64(6, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, mix64(5, 0));
+    }
+}

@@ -1,0 +1,219 @@
+//! Shared result accounting: the graduation-slot breakdown used by both
+//! cycle-level CPU models, and an ordered counter [`Report`] every simulator
+//! result can render to — as an aligned text table or as JSON for the
+//! `BENCH_*.json` baselines.
+
+use crate::json::Json;
+
+/// Graduation-slot accounting, following the paper's Figure 2 methodology.
+///
+/// The machine offers `issue_width × cycles` graduation slots. Each cycle,
+/// slots that do not graduate an instruction are attributed to **cache
+/// stall** if the oldest in-flight instruction is blocked on a primary
+/// data-cache miss, otherwise to **other stall** (data dependences, fetch
+/// bubbles from mispredictions and informing traps, structural hazards,
+/// …). As the paper notes, the cache-stall section is a first-order
+/// approximation: miss delays also exacerbate subsequent dependence stalls.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotBreakdown {
+    /// Slots in which an instruction graduated ("busy").
+    pub busy: u64,
+    /// Lost slots immediately caused by the oldest instruction suffering a
+    /// data-cache miss.
+    pub cache_stall: u64,
+    /// All other lost slots.
+    pub other_stall: u64,
+}
+
+impl SlotBreakdown {
+    /// Total slots.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.busy + self.cache_stall + self.other_stall
+    }
+
+    /// Fractions `(busy, cache, other)` of the total.
+    #[must_use]
+    pub fn fractions(&self) -> (f64, f64, f64) {
+        let t = self.total() as f64;
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (self.busy as f64 / t, self.cache_stall as f64 / t, self.other_stall as f64 / t)
+    }
+
+    /// The breakdown as an ordered JSON object (raw slot counts).
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("busy", Json::from(self.busy)),
+            ("cache_stall", Json::from(self.cache_stall)),
+            ("other_stall", Json::from(self.other_stall)),
+        ])
+    }
+}
+
+/// One metric value in a [`Report`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Metric {
+    /// An exact counter.
+    U64(u64),
+    /// A derived rate or normalized value.
+    F64(f64),
+    /// A label (scheme name, workload, machine, …).
+    Str(String),
+}
+
+impl Metric {
+    fn to_json(&self) -> Json {
+        match self {
+            Metric::U64(v) => Json::from(*v),
+            Metric::F64(v) => Json::from(*v),
+            Metric::Str(v) => Json::Str(v.clone()),
+        }
+    }
+
+    fn render(&self) -> String {
+        match self {
+            Metric::U64(v) => v.to_string(),
+            Metric::F64(v) => format!("{v:.3}"),
+            Metric::Str(v) => v.clone(),
+        }
+    }
+}
+
+impl From<u64> for Metric {
+    fn from(v: u64) -> Metric {
+        Metric::U64(v)
+    }
+}
+
+impl From<f64> for Metric {
+    fn from(v: f64) -> Metric {
+        Metric::F64(v)
+    }
+}
+
+impl From<&str> for Metric {
+    fn from(v: &str) -> Metric {
+        Metric::Str(v.to_string())
+    }
+}
+
+impl From<String> for Metric {
+    fn from(v: String) -> Metric {
+        Metric::Str(v)
+    }
+}
+
+/// An ordered set of named metrics describing one simulation run — the
+/// common currency between `cpu::RunResult`, `coherence::SimResult` and the
+/// bench reporting layer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    metrics: Vec<(String, Metric)>,
+}
+
+impl Report {
+    /// An empty report.
+    #[must_use]
+    pub fn new() -> Report {
+        Report::default()
+    }
+
+    /// Appends a metric, replacing any existing one with the same key.
+    pub fn push(&mut self, key: impl Into<String>, value: impl Into<Metric>) -> &mut Report {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.metrics.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.metrics.push((key, value));
+        }
+        self
+    }
+
+    /// Looks up a metric by key.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Metric> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// The metrics in insertion order.
+    #[must_use]
+    pub fn metrics(&self) -> &[(String, Metric)] {
+        &self.metrics
+    }
+
+    /// The report as an ordered JSON object.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::Obj(self.metrics.iter().map(|(k, v)| (k.clone(), v.to_json())).collect())
+    }
+
+    /// One `key=value` line per metric (debug/console rendering).
+    #[must_use]
+    pub fn render(&self) -> String {
+        self.metrics
+            .iter()
+            .map(|(k, v)| format!("{k}={}", v.render()))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+}
+
+/// Anything that can summarize itself as a [`Report`]. Implemented by the
+/// CPU models' `RunResult` and the coherence simulator's `SimResult`; the
+/// bench layer serializes these into `BENCH_*.json`.
+pub trait Summarize {
+    /// The run's metrics, in a stable order.
+    fn report(&self) -> Report;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_fractions_sum_to_one() {
+        let s = SlotBreakdown { busy: 50, cache_stall: 30, other_stall: 20 };
+        let (b, c, o) = s.fractions();
+        assert!((b + c + o - 1.0).abs() < 1e-12);
+        assert_eq!(s.total(), 100);
+    }
+
+    #[test]
+    fn empty_breakdown() {
+        let s = SlotBreakdown::default();
+        assert_eq!(s.fractions(), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn slot_json_has_all_three_categories() {
+        let s = SlotBreakdown { busy: 1, cache_stall: 2, other_stall: 3 };
+        let j = s.to_json();
+        assert_eq!(j.get("busy").unwrap().as_f64(), Some(1.0));
+        assert_eq!(j.get("cache_stall").unwrap().as_f64(), Some(2.0));
+        assert_eq!(j.get("other_stall").unwrap().as_f64(), Some(3.0));
+    }
+
+    #[test]
+    fn report_preserves_order_and_replaces() {
+        let mut r = Report::new();
+        r.push("cycles", 100u64).push("ipc", 2.5).push("cycles", 200u64);
+        assert_eq!(r.metrics().len(), 2);
+        assert_eq!(r.metrics()[0].0, "cycles");
+        assert_eq!(r.get("cycles"), Some(&Metric::U64(200)));
+        assert!(r.render().starts_with("cycles=200"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let mut r = Report::new();
+        r.push("app", "stencil").push("ops", 64_000u64).push("cpo", 31.5);
+        let j = r.to_json();
+        let reparsed = crate::json::parse(&j.pretty()).unwrap();
+        assert_eq!(reparsed, j);
+        assert_eq!(reparsed.get("app").unwrap().as_str(), Some("stencil"));
+    }
+}

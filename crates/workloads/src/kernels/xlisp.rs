@@ -79,6 +79,5 @@ mod tests {
         // After a full round of CELLS hops the pointer returns to the head.
         assert_eq!(e.state().int(r(6)), ARENA_BASE);
         assert_ne!(e.state().int(r(7)), 0);
-        
     }
 }

@@ -42,4 +42,4 @@ pub mod parallel;
 pub mod spec;
 mod util;
 
-pub use spec::{all, by_name, integer, floating_point, Scale, Spec, WorkloadClass};
+pub use spec::{all, by_name, floating_point, integer, Scale, Spec, WorkloadClass};

@@ -18,8 +18,7 @@
 //! detection scheme equally; if nothing were shared, there would be nothing
 //! to compare.)
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use imo_util::rng::SmallRng;
 
 /// One memory reference in a processor's trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -106,13 +105,7 @@ fn scratch_op(p: usize, cursor: u64, is_write: bool, rng: &mut SmallRng) -> Trac
 
 /// Builds all five applications.
 pub fn all_apps(cfg: &TraceConfig) -> Vec<ParallelTrace> {
-    vec![
-        stencil(cfg),
-        migratory(cfg),
-        producer_consumer(cfg),
-        reduction(cfg),
-        readmostly(cfg),
-    ]
+    vec![stencil(cfg), migratory(cfg), producer_consumer(cfg), reduction(cfg), readmostly(cfg)]
 }
 
 /// Row-partitioned grid relaxation: each processor sweeps its own rows of a
@@ -129,8 +122,7 @@ pub fn stencil(cfg: &TraceConfig) -> ParallelTrace {
             let mut rng = rng_for(cfg, 1, p);
             let my_base = SHARED_BASE + (p as u64) * rows_per_proc * row_bytes;
             let my_exch = exchange_base + (p as u64) * 4096;
-            let left_exch =
-                exchange_base + (((p + cfg.procs - 1) % cfg.procs) as u64) * 4096;
+            let left_exch = exchange_base + (((p + cfg.procs - 1) % cfg.procs) as u64) * 4096;
             let mut ops = Vec::with_capacity(cfg.ops_per_proc);
             let mut cursor = 0u64;
             while ops.len() < cfg.ops_per_proc {
@@ -290,7 +282,12 @@ pub fn reduction(cfg: &TraceConfig) -> ParallelTrace {
                     }
                     cursor += 1;
                 }
-                ops.push(TraceOp { addr: acc, is_write: true, shared: true, think: think(&mut rng) });
+                ops.push(TraceOp {
+                    addr: acc,
+                    is_write: true,
+                    shared: true,
+                    think: think(&mut rng),
+                });
             }
             ops.truncate(cfg.ops_per_proc);
             ops

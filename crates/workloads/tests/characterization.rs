@@ -133,10 +133,7 @@ fn working_set_kernels_fit_the_bigger_cache_better() {
     // 2-way cache must beat the 8KB DM cache clearly.
     for name in ["espresso", "eqntott", "sc"] {
         let (dm, sa, _) = miss_rates(name);
-        assert!(
-            sa < dm * 0.8 || dm < 0.01,
-            "{name}: 32KB 2-way ({sa}) should beat 8KB DM ({dm})"
-        );
+        assert!(sa < dm * 0.8 || dm < 0.01, "{name}: 32KB 2-way ({sa}) should beat 8KB DM ({dm})");
     }
 }
 

@@ -14,10 +14,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let procs: usize = std::env::args().nth(2).map(|s| s.parse()).transpose()?.unwrap_or(16);
 
     let cfg = TraceConfig { procs, ops_per_proc: 12_000, seed: 0x1996 };
-    let app = all_apps(&cfg)
-        .into_iter()
-        .find(|a| a.name == name)
-        .ok_or_else(|| format!("unknown app `{name}` (stencil, migratory, producer_consumer, reduction, readmostly)"))?;
+    let app = all_apps(&cfg).into_iter().find(|a| a.name == name).ok_or_else(|| {
+        format!(
+            "unknown app `{name}` (stencil, migratory, producer_consumer, reduction, readmostly)"
+        )
+    })?;
     let params = MachineParams::table2();
 
     println!(
@@ -32,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for scheme in Scheme::all() {
         let r = simulate(&app, scheme, &params);
         println!("[{}]", scheme.name());
-        println!("  completion    : {:>10} cycles ({:.1} per reference)", r.total_cycles, r.cycles_per_op());
+        println!(
+            "  completion    : {:>10} cycles ({:.1} per reference)",
+            r.total_cycles,
+            r.cycles_per_op()
+        );
         println!("  lookups       : {:>10}", r.lookups);
         println!("  faults        : {:>10}", r.faults);
         println!("  protocol acts : {:>10}", r.actions);

@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 2. Make every load informing, with a single one-instruction handler
     //    that counts misses in r27 (zero overhead on hits: the MHAR is
     //    loaded once at program entry).
-    let scheme =
-        Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::CountInRegister };
+    let scheme = Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::CountInRegister };
     let inst = instrument(&plain, &scheme)?;
     println!(
         "instrumented: +{} inline instruction(s), {} handler instruction(s)\n",

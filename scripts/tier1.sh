@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, tests, formatting, lints and example smoke
+# tests — fully offline. The workspace has zero external dependencies, so
+# every step below must succeed without registry access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo build --release =="
+cargo build --release --offline
+
+echo "== cargo test -q =="
+cargo test -q --offline
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== example smoke tests =="
+for ex in quickstart profiler prefetcher multithreading adaptive coherence; do
+    echo "-- example: $ex"
+    cargo run -q --release --offline --example "$ex" > /dev/null
+done
+
+echo "tier1: all checks passed"

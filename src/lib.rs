@@ -6,6 +6,9 @@
 //!
 //! This façade crate re-exports the workspace's member crates:
 //!
+//! * [`util`] — the zero-dependency substrate: seeded PRNG, deterministic
+//!   property-test harness, wall-clock micro-bench runner, JSON, and the
+//!   shared stats/report layer (no external crates anywhere in the tree).
 //! * [`isa`] — the IRIS instruction set with informing-memory extensions,
 //!   an assembler DSL and a functional executor.
 //! * [`mem`] — the cache/memory-hierarchy substrate (set-associative caches,
@@ -25,9 +28,10 @@
 
 #![forbid(unsafe_code)]
 
-pub use imo_core as core;
 pub use imo_coherence as coherence;
+pub use imo_core as core;
 pub use imo_cpu as cpu;
 pub use imo_isa as isa;
 pub use imo_mem as mem;
+pub use imo_util as util;
 pub use imo_workloads as workloads;

@@ -20,9 +20,9 @@ fn every_workload_runs_instrumented_on_both_machines() {
         let p = (spec.build)(Scale::Test);
         let inst = instrument(&p, &scheme).expect("instruments");
         for machine in [Machine::default_ooo(), Machine::default_in_order()] {
-            let r = machine.run(&inst.program).unwrap_or_else(|e| {
-                panic!("{} on {}: {e}", spec.name, machine.name())
-            });
+            let r = machine
+                .run(&inst.program)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", spec.name, machine.name()));
             assert!(r.instructions > 1000, "{}: too little work", spec.name);
             assert_eq!(r.slots.total(), r.cycles * 4, "{}: slot accounting", spec.name);
         }
@@ -54,16 +54,12 @@ fn figure2_shape_single_handler_beats_unique_on_instructions() {
 fn figure3_shape_su2cor_punishes_the_in_order_machine() {
     let p = program_of("su2cor");
     let variants = figure2_variants();
-    let ooo_res = run_experiment("su2cor", &p, &Machine::default_ooo(), &variants, RunLimits::default())
-        .expect("ooo runs");
-    let ino_res = run_experiment(
-        "su2cor",
-        &p,
-        &Machine::default_in_order(),
-        &variants,
-        RunLimits::default(),
-    )
-    .expect("in-order runs");
+    let ooo_res =
+        run_experiment("su2cor", &p, &Machine::default_ooo(), &variants, RunLimits::default())
+            .expect("ooo runs");
+    let ino_res =
+        run_experiment("su2cor", &p, &Machine::default_in_order(), &variants, RunLimits::default())
+            .expect("in-order runs");
     let bar = |r: &informing_memops::core::ExperimentResult, l: &str| {
         r.bars.iter().find(|b| b.label == l).unwrap().total
     };
@@ -73,10 +69,7 @@ fn figure3_shape_su2cor_punishes_the_in_order_machine() {
         ino_10s > 2.0,
         "su2cor 10-instr handlers should blow up the in-order machine: {ino_10s}"
     );
-    assert!(
-        ooo_10s < 1.5,
-        "but stay moderate out-of-order: {ooo_10s}"
-    );
+    assert!(ooo_10s < 1.5, "but stay moderate out-of-order: {ooo_10s}");
 }
 
 #[test]
@@ -144,10 +137,8 @@ fn condition_code_and_trap_schemes_count_the_same_misses() {
         let (r, state) = machine.run_full(&inst.program).expect("runs");
         (state.int(informing_memops::core::instrument::COUNT_REG), r.informing_traps)
     };
-    let (trap_count, trap_traps) = count(&Scheme::Trap {
-        handlers: HandlerKind::Single,
-        body: HandlerBody::CountInRegister,
-    });
+    let (trap_count, trap_traps) =
+        count(&Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::CountInRegister });
     let (cc_count, cc_traps) = count(&Scheme::ConditionCode {
         handlers: HandlerKind::Single,
         body: HandlerBody::CountInRegister,

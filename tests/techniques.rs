@@ -62,8 +62,7 @@ fn adaptive_prefetching_helps_streams_and_hurts_chases() {
 
 #[test]
 fn multithreading_overlaps_dependent_misses() {
-    let demo =
-        MultithreadDemo { iters_per_thread: 150, stride: 4096, rounds: 1, save_restore: 0 };
+    let demo = MultithreadDemo { iters_per_thread: 150, stride: 4096, rounds: 1, save_restore: 0 };
     let cmp = evaluate_multithreading(&demo, &Machine::default_ooo()).expect("evaluates");
     assert!(cmp.speedup() > 1.4, "speedup {}", cmp.speedup());
     assert!(cmp.switching.informing_traps >= 250, "both chains trap throughout");
