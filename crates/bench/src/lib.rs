@@ -15,6 +15,7 @@
 //! | `fig4_sensitivity` | §4.3.2 — network-latency and L1-size sensitivity |
 //! | `ablation_mshr` | §3.3 — MSHR lifetime extension (squash-invalidate) |
 //! | `ablation_checkpoints` | §3.2 — shadow-checkpoint pressure under informing-as-branch |
+//! | `fault_resilience` | fault-rate × backoff sweep of the resilient coherence protocol |
 //! | `substrate` | wall-clock microbenches of the simulator substrate itself |
 //!
 //! The expected shapes (who wins, by what factor) are recorded in

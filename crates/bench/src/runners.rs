@@ -1,6 +1,6 @@
 //! Shared experiment runners used by the bench targets.
 
-use imo_coherence::{simulate, MachineParams, Scheme, SimResult};
+use imo_coherence::{simulate_baseline, MachineParams, Scheme, SimResult};
 use imo_core::experiment::{run_experiment, ExperimentResult, Variant};
 use imo_core::Machine;
 use imo_cpu::RunLimits;
@@ -44,9 +44,9 @@ pub fn fig4_rows(trace_cfg: &TraceConfig, params: &MachineParams) -> Vec<Fig4Row
         .into_iter()
         .map(|app| {
             let results = [
-                simulate(&app, Scheme::RefCheck, params),
-                simulate(&app, Scheme::Ecc, params),
-                simulate(&app, Scheme::Informing, params),
+                simulate_baseline(&app, Scheme::RefCheck, params),
+                simulate_baseline(&app, Scheme::Ecc, params),
+                simulate_baseline(&app, Scheme::Informing, params),
             ];
             let base = results[2].total_cycles.max(1) as f64;
             let normalized = [

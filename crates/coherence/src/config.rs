@@ -59,6 +59,67 @@ impl SchemeCosts {
     }
 }
 
+/// Budgets bounding a coherence simulation so that pathological fault
+/// schedules (or model bugs) terminate with a typed error instead of hanging
+/// (the coherence analogue of `imo_cpu::RunLimits`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimLimits {
+    /// Maximum protocol events (references + message deliveries +
+    /// invalidations) before the run fails with `SimError::EventBudget`.
+    pub event_budget: u64,
+    /// Cycles a requester waits for a directory reply before concluding the
+    /// request was lost and retrying.
+    pub request_timeout: u64,
+    /// Consecutive failed deliveries (machine-wide, reset on any success)
+    /// before the forward-progress watchdog declares `SimError::Deadlock`.
+    pub watchdog_failures: u32,
+}
+
+impl Default for SimLimits {
+    fn default() -> SimLimits {
+        SimLimits {
+            // ~4 G events: far above any realistic trace (the Figure 4 runs
+            // are ~10^5 references each) but finite.
+            event_budget: 1 << 32,
+            // Four one-way message latencies: request + reply with slack.
+            request_timeout: 3600,
+            watchdog_failures: 64,
+        }
+    }
+}
+
+/// Capped exponential backoff applied between request retries.
+///
+/// Retry `n` (0-based) waits `min(base * multiplier^n, cap)` cycles before
+/// re-sending; after `max_retries` failed attempts the request gives up with
+/// `SimError::RetryExhausted`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry (cycles).
+    pub base: u64,
+    /// Multiplier applied per successive retry.
+    pub multiplier: u64,
+    /// Upper bound on a single backoff delay (cycles).
+    pub cap: u64,
+    /// Failed attempts tolerated per request before giving up.
+    pub max_retries: u32,
+}
+
+impl BackoffPolicy {
+    /// The backoff delay before retry `attempt` (0-based), saturating at
+    /// [`BackoffPolicy::cap`].
+    pub fn delay(&self, attempt: u32) -> u64 {
+        self.base.saturating_mul(self.multiplier.saturating_pow(attempt)).min(self.cap)
+    }
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> BackoffPolicy {
+        // Base ≈ half a message latency; cap ≈ a round trip under congestion.
+        BackoffPolicy { base: 500, multiplier: 2, cap: 8000, max_retries: 16 }
+    }
+}
+
 /// Machine parameters (Table 2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MachineParams {
@@ -80,6 +141,10 @@ pub struct MachineParams {
     pub page_bytes: u64,
     /// Scheme cost constants.
     pub costs: SchemeCosts,
+    /// Termination budgets (event budget, request timeout, watchdog).
+    pub limits: SimLimits,
+    /// Retry backoff policy for lost directory requests.
+    pub backoff: BackoffPolicy,
 }
 
 impl MachineParams {
@@ -97,6 +162,8 @@ impl MachineParams {
             msg_latency: 900,
             page_bytes: 4096,
             costs: SchemeCosts::table2(),
+            limits: SimLimits::default(),
+            backoff: BackoffPolicy::default(),
         }
     }
 
@@ -148,6 +215,24 @@ mod tests {
         assert_eq!(p.home_of(0), 0);
         assert_eq!(p.home_of(32), 1);
         assert_eq!(p.home_of(32 * 16), 0);
+    }
+
+    #[test]
+    fn backoff_is_capped_exponential() {
+        let b = BackoffPolicy { base: 100, multiplier: 2, cap: 1000, max_retries: 8 };
+        assert_eq!(b.delay(0), 100);
+        assert_eq!(b.delay(1), 200);
+        assert_eq!(b.delay(3), 800);
+        assert_eq!(b.delay(4), 1000, "capped");
+        assert_eq!(b.delay(63), 1000, "no overflow at large attempts");
+    }
+
+    #[test]
+    fn default_limits_are_finite_and_generous() {
+        let l = SimLimits::default();
+        assert!(l.event_budget > 1 << 30);
+        assert!(l.request_timeout >= MachineParams::table2().msg_latency * 2);
+        assert!(l.watchdog_failures > BackoffPolicy::default().max_retries);
     }
 
     #[test]

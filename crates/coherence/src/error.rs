@@ -1,0 +1,127 @@
+//! Typed simulation errors (mirroring `imo_cpu::SimError`).
+
+use std::error::Error;
+use std::fmt;
+
+/// A short snapshot of protocol state at the moment progress stopped, for
+/// diagnosing deadlocks and exhausted retries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProgressSnapshot {
+    /// Requesting processor.
+    pub proc: usize,
+    /// Line the stuck request was for.
+    pub line: u64,
+    /// Delivery attempts made for that request.
+    pub attempts: u32,
+    /// Processors that still had references left to issue.
+    pub pending_procs: usize,
+    /// The directory's description of the line (owner, sharers, protections).
+    pub ownership: String,
+}
+
+impl fmt::Display for ProgressSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "proc {} stuck on {:#x} after {} attempts ({} procs pending); {}",
+            self.proc, self.line, self.attempts, self.pending_procs, self.ownership
+        )
+    }
+}
+
+/// Errors from the coherence simulator.
+///
+/// The fault-free configuration with default [`crate::SimLimits`] cannot
+/// produce any of these on a valid trace; they exist so that pathological
+/// fault schedules and malformed configurations terminate with a diagnosis
+/// instead of hanging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The trace names more processors than the directory's 64-bit sharer
+    /// set can track.
+    TooManyProcs {
+        /// Processors in the offending trace.
+        procs: usize,
+    },
+    /// The forward-progress watchdog fired: too many consecutive delivery
+    /// failures machine-wide without a single success.
+    Deadlock {
+        /// Local cycle count of the stuck requester when progress stopped.
+        cycle: u64,
+        /// Protocol state at the moment the watchdog fired.
+        snapshot: ProgressSnapshot,
+    },
+    /// The protocol event budget was exhausted before the trace completed.
+    EventBudget {
+        /// The budget that was exceeded.
+        budget: u64,
+    },
+    /// A single request was retried past the backoff policy's limit.
+    RetryExhausted {
+        /// Requesting processor.
+        proc: usize,
+        /// Line the request was for.
+        line: u64,
+        /// Delivery attempts made (1 + retries).
+        attempts: u32,
+        /// Protocol state when the request gave up.
+        snapshot: ProgressSnapshot,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::TooManyProcs { procs } => {
+                write!(f, "trace has {procs} processors; the directory sharer set supports 64")
+            }
+            SimError::Deadlock { cycle, snapshot } => {
+                write!(f, "no forward progress at cycle {cycle}: {snapshot}")
+            }
+            SimError::EventBudget { budget } => {
+                write!(f, "protocol event budget {budget} exhausted")
+            }
+            SimError::RetryExhausted { proc, line, attempts, snapshot } => {
+                write!(
+                    f,
+                    "proc {proc} exhausted {attempts} delivery attempts for {line:#x}: {snapshot}"
+                )
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap() -> ProgressSnapshot {
+        ProgressSnapshot {
+            proc: 3,
+            line: 0x8000_0020,
+            attempts: 17,
+            pending_procs: 5,
+            ownership: "line 0x80000020: uncached".to_string(),
+        }
+    }
+
+    #[test]
+    fn display_carries_diagnosis() {
+        let e = SimError::Deadlock { cycle: 1234, snapshot: snap() };
+        let s = e.to_string();
+        assert!(s.contains("cycle 1234"));
+        assert!(s.contains("proc 3"));
+        assert!(s.contains("0x8000020") || s.contains("0x80000020"));
+        assert!(s.contains("5 procs pending"));
+    }
+
+    #[test]
+    fn retry_exhausted_names_the_line() {
+        let e = SimError::RetryExhausted { proc: 1, line: 0x40, attempts: 17, snapshot: snap() };
+        assert!(e.to_string().contains("0x40"));
+        assert!(SimError::EventBudget { budget: 10 }.to_string().contains("10"));
+        assert!(SimError::TooManyProcs { procs: 65 }.to_string().contains("65"));
+    }
+}

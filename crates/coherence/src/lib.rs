@@ -24,6 +24,19 @@
 //! charged to the requesting processor — remote protocol operations use
 //! user-level DMA and never interrupt the remote processor, as in the paper.
 //!
+//! ## Resilience
+//!
+//! The protocol runs over an *unreliable* interconnect when driven by an
+//! [`imo_faults::FaultPlan`] ([`simulate_faulty`]): directory requests can be
+//! dropped, duplicated or delayed per the plan's deterministic schedule. Lost
+//! requests time out and are re-sent under a capped exponential
+//! [`BackoffPolicy`]; duplicates are NACKed at the home; recalled lines can
+//! suffer ECC faults (single-bit corrected, double-bit refetched from
+//! memory). [`SimLimits`] bounds every run — an event budget, a per-request
+//! retry cap and a forward-progress watchdog turn pathological schedules into
+//! typed [`SimError`]s instead of hangs, and deadlock reports carry a
+//! [`ProgressSnapshot`] of the stuck line's ownership.
+//!
 //! ## Example
 //!
 //! ```
@@ -32,18 +45,36 @@
 //!
 //! let trace = migratory(&TraceConfig { procs: 4, ops_per_proc: 500, seed: 1 });
 //! let params = MachineParams::table2();
-//! let inf = simulate(&trace, Scheme::Informing, &params);
-//! let ecc = simulate(&trace, Scheme::Ecc, &params);
+//! let inf = simulate(&trace, Scheme::Informing, &params).expect("within limits");
+//! let ecc = simulate(&trace, Scheme::Ecc, &params).expect("within limits");
 //! assert!(inf.total_cycles < ecc.total_cycles); // write-heavy: ECC pays page faults
+//! ```
+//!
+//! Injecting faults (deterministic per seed):
+//!
+//! ```
+//! use imo_coherence::{simulate_faulty, MachineParams, Scheme};
+//! use imo_faults::{FaultConfig, FaultPlan};
+//! use imo_workloads::parallel::{migratory, TraceConfig};
+//!
+//! let trace = migratory(&TraceConfig { procs: 4, ops_per_proc: 500, seed: 1 });
+//! let mut cfg = FaultConfig::none(7);
+//! cfg.drop_rate = 0.05;
+//! let r = simulate_faulty(&trace, Scheme::Informing, &MachineParams::table2(),
+//!                         &FaultPlan::new(cfg)).expect("recovers via retry");
+//! assert_eq!(r.retries, r.dropped_msgs); // every loss was retried
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod config;
+pub mod error;
 pub mod protocol;
 pub mod sim;
 
-pub use config::{MachineParams, Scheme, SchemeCosts};
+pub use config::{BackoffPolicy, MachineParams, Scheme, SchemeCosts, SimLimits};
+pub use error::{ProgressSnapshot, SimError};
 pub use protocol::{Directory, LineState};
-pub use sim::{simulate, SimResult};
+pub use sim::{simulate, simulate_baseline, simulate_faulty, simulate_faulty_full, SimResult};

@@ -221,6 +221,108 @@ impl Directory {
         let hops = if p == home { 0 } else { 2 } + if third_party { 1 } else { 0 };
         ActionOutcome { hops, invalidated, downgraded }
     }
+
+    /// A one-line human-readable description of `line`'s directory state and
+    /// every node's protection — used in deadlock / retry-exhaustion
+    /// diagnostics.
+    pub fn describe(&self, line: u64) -> String {
+        use std::fmt::Write as _;
+        match self.entries.get(&line) {
+            None => format!("line {line:#x}: uncached (no directory entry)"),
+            Some(e) => {
+                let mut s = format!("line {line:#x}: {:?}, sharers {{", e.state);
+                let mut first = true;
+                for q in e.sharers.iter() {
+                    if !first {
+                        s.push(',');
+                    }
+                    let _ = write!(s, "{q}");
+                    first = false;
+                }
+                s.push_str("}, protection [");
+                first = true;
+                for q in 0..self.params.procs {
+                    let st = self.protection(q, line);
+                    if st != LineState::Invalid {
+                        if !first {
+                            s.push(' ');
+                        }
+                        let _ = write!(s, "p{q}={st:?}");
+                        first = false;
+                    }
+                }
+                s.push(']');
+                s
+            }
+        }
+    }
+
+    /// Checks the protocol's safety invariants over every line the directory
+    /// has ever seen:
+    ///
+    /// * **single writer** — at most one node holds READWRITE protection, and
+    ///   only while the directory is in the exclusive state for that node;
+    /// * **no lost exclusive lines** — an exclusive owner always still holds
+    ///   READWRITE protection (the grant was not silently dropped);
+    /// * **sharer consistency** — every node with any protection is a member
+    ///   of the sharer set, and shared-state copies are READONLY.
+    ///
+    /// Returns a description of the first violation, if any. Used by the
+    /// fault-injection suites to prove that drop/duplicate/delay schedules
+    /// never corrupt protocol state.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        for (&line, e) in &self.entries {
+            let held: Vec<(usize, LineState)> = (0..self.params.procs)
+                .map(|q| (q, self.protection(q, line)))
+                .filter(|&(_, s)| s != LineState::Invalid)
+                .collect();
+            let writers: Vec<usize> =
+                held.iter().filter(|&&(_, s)| s == LineState::ReadWrite).map(|&(q, _)| q).collect();
+            if writers.len() > 1 {
+                return Err(format!("multiple writers {writers:?}; {}", self.describe(line)));
+            }
+            for &(q, _) in &held {
+                if !e.sharers.contains(q) {
+                    return Err(format!(
+                        "p{q} holds protection but is no sharer; {}",
+                        self.describe(line)
+                    ));
+                }
+            }
+            match e.state {
+                DirState::Uncached => {
+                    if !held.is_empty() {
+                        return Err(format!("uncached line is held; {}", self.describe(line)));
+                    }
+                }
+                DirState::Exclusive(owner) => {
+                    if self.protection(owner, line) != LineState::ReadWrite {
+                        return Err(format!(
+                            "exclusive line lost by its owner p{owner}; {}",
+                            self.describe(line)
+                        ));
+                    }
+                    if held.len() != 1 {
+                        return Err(format!(
+                            "exclusive line held by {} nodes; {}",
+                            held.len(),
+                            self.describe(line)
+                        ));
+                    }
+                }
+                DirState::Shared => {
+                    if !writers.is_empty() {
+                        return Err(format!(
+                            "writer p{} on a shared line; {}",
+                            writers[0],
+                            self.describe(line)
+                        ));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -303,6 +405,27 @@ mod tests {
         d.act(2, line_a, true);
         assert!(!d.page_has_readonly(2, line_b));
         assert!(!d.page_has_readonly(1, line_b));
+    }
+
+    #[test]
+    fn invariants_hold_through_a_protocol_exercise() {
+        let mut d = dir();
+        let line = 0x8000_0000;
+        for (p, w) in [(1, false), (2, false), (0, true), (3, false), (3, true), (1, false)] {
+            d.act(p, line, w);
+            d.check_invariants().expect("invariants after every action");
+        }
+    }
+
+    #[test]
+    fn describe_names_owner_and_sharers() {
+        let mut d = dir();
+        let line = 0x8000_0000;
+        d.act(1, line, true);
+        let s = d.describe(line);
+        assert!(s.contains("Exclusive(1)"), "{s}");
+        assert!(s.contains("p1=ReadWrite"), "{s}");
+        assert!(d.describe(0xdead_0000).contains("uncached"));
     }
 
     #[test]

@@ -3,11 +3,13 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use imo_mem::{Cache, CacheConfig, Probe};
+use imo_faults::{EccFault, FaultPlan, InterconnectFault};
+use imo_mem::{Cache, CacheConfig, EccEvent, Probe};
 use imo_util::stats::{Report, Summarize};
 use imo_workloads::parallel::ParallelTrace;
 
 use crate::config::{MachineParams, Scheme};
+use crate::error::{ProgressSnapshot, SimError};
 use crate::protocol::{Directory, LineState};
 
 /// Per-scheme, per-application simulation result.
@@ -35,6 +37,19 @@ pub struct SimResult {
     pub l2_misses: u64,
     /// Line invalidations delivered to remote caches.
     pub invalidations: u64,
+    /// Directory requests re-sent after a delivery failure.
+    pub retries: u64,
+    /// Request timeouts suffered (a dropped message waited out its timer).
+    pub timeouts: u64,
+    /// NACKs received (duplicate requests rejected at the home node).
+    pub nacks: u64,
+    /// Protocol messages dropped by the (injected-faulty) interconnect.
+    pub dropped_msgs: u64,
+    /// Single-bit ECC faults corrected during line recalls.
+    pub ecc_corrected: u64,
+    /// Uncorrectable double-bit ECC faults during line recalls (the recalled
+    /// copy was discarded and the data refetched from memory).
+    pub ecc_uncorrectable: u64,
 }
 
 impl SimResult {
@@ -57,7 +72,13 @@ impl Summarize for SimResult {
             .push("actions", self.actions)
             .push("l1_misses", self.l1_misses)
             .push("l2_misses", self.l2_misses)
-            .push("invalidations", self.invalidations);
+            .push("invalidations", self.invalidations)
+            .push("retries", self.retries)
+            .push("timeouts", self.timeouts)
+            .push("nacks", self.nacks)
+            .push("dropped_msgs", self.dropped_msgs)
+            .push("ecc_corrected", self.ecc_corrected)
+            .push("ecc_uncorrectable", self.ecc_uncorrectable);
         r
     }
 }
@@ -77,16 +98,100 @@ fn insufficient(prot: LineState, is_write: bool) -> bool {
     }
 }
 
-/// Simulates `trace` under `scheme` on the Table 2 machine.
+fn ecc_event(f: EccFault) -> EccEvent {
+    match f {
+        EccFault::SingleBit => EccEvent::SingleBit,
+        EccFault::DoubleBit => EccEvent::DoubleBit,
+    }
+}
+
+/// Simulates `trace` under `scheme` on the Table 2 machine with a perfect
+/// interconnect.
 ///
 /// Each processor walks its reference stream; the processor with the
 /// smallest local clock always advances next, so protocol state transitions
 /// interleave in global time order. Remote protocol work is performed by
 /// user-level DMA without consuming remote processor time (§4.3.1); its
 /// network latency is charged to the requester.
-pub fn simulate(trace: &ParallelTrace, scheme: Scheme, params: &MachineParams) -> SimResult {
+///
+/// # Errors
+///
+/// Returns a [`SimError`] if the trace names more than 64 processors or the
+/// run exceeds `params.limits` (with the default limits and a fault-free
+/// substrate this cannot happen on a valid trace — [`simulate_baseline`]
+/// packages that guarantee as an infallible call).
+pub fn simulate(
+    trace: &ParallelTrace,
+    scheme: Scheme,
+    params: &MachineParams,
+) -> Result<SimResult, SimError> {
+    simulate_faulty(trace, scheme, params, &FaultPlan::none())
+}
+
+/// The infallible zero-fault path: exactly [`simulate`] with the guarantee
+/// made explicit. Intended for baselines, benches and examples that use
+/// default limits on valid traces.
+///
+/// # Panics
+///
+/// Panics if the simulation fails anyway — i.e. the caller handed it a trace
+/// with more than 64 processors or limits small enough to trip on a
+/// fault-free run, both of which are caller bugs on this path.
+pub fn simulate_baseline(
+    trace: &ParallelTrace,
+    scheme: Scheme,
+    params: &MachineParams,
+) -> SimResult {
+    match simulate(trace, scheme, params) {
+        Ok(r) => r,
+        Err(e) => panic!("fault-free simulation cannot fail within default limits: {e}"),
+    }
+}
+
+/// Simulates `trace` under `scheme` while injecting faults from `plan`:
+/// directory requests may be dropped (timeout + NACK-style retry with capped
+/// exponential backoff), duplicated (the home NACKs the extra copy) or
+/// delayed, and recalled lines may suffer ECC faults (single-bit corrected,
+/// double-bit discarded and refetched from memory).
+///
+/// The fault schedule is a pure function of `plan`'s seed, so identical
+/// arguments yield identical results — including the retry counters. A plan
+/// with all-zero rates is bit-identical to [`simulate`].
+///
+/// # Errors
+///
+/// * [`SimError::TooManyProcs`] — more than 64 processors in the trace.
+/// * [`SimError::RetryExhausted`] — one request failed `max_retries + 1`
+///   deliveries.
+/// * [`SimError::Deadlock`] — the forward-progress watchdog saw too many
+///   consecutive failures machine-wide.
+/// * [`SimError::EventBudget`] — the protocol event budget ran out.
+pub fn simulate_faulty(
+    trace: &ParallelTrace,
+    scheme: Scheme,
+    params: &MachineParams,
+    plan: &FaultPlan,
+) -> Result<SimResult, SimError> {
+    simulate_faulty_full(trace, scheme, params, plan).map(|(r, _)| r)
+}
+
+/// Like [`simulate_faulty`], but also returns the final [`Directory`] so
+/// callers (e.g. the fault-injection test suites) can check protocol
+/// invariants after the run.
+///
+/// # Errors
+///
+/// As for [`simulate_faulty`].
+pub fn simulate_faulty_full(
+    trace: &ParallelTrace,
+    scheme: Scheme,
+    params: &MachineParams,
+    plan: &FaultPlan,
+) -> Result<(SimResult, Directory), SimError> {
     let procs = trace.per_proc.len();
-    assert!(procs <= 64, "directory sharer set supports up to 64 nodes");
+    if procs > 64 {
+        return Err(SimError::TooManyProcs { procs });
+    }
     let mut dir = {
         let mut p = *params;
         p.procs = procs;
@@ -113,6 +218,12 @@ pub fn simulate(trace: &ParallelTrace, scheme: Scheme, params: &MachineParams) -
         l1_misses: 0,
         l2_misses: 0,
         invalidations: 0,
+        retries: 0,
+        timeouts: 0,
+        nacks: 0,
+        dropped_msgs: 0,
+        ecc_corrected: 0,
+        ecc_uncorrectable: 0,
     };
 
     let mut queue: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
@@ -122,8 +233,21 @@ pub fn simulate(trace: &ParallelTrace, scheme: Scheme, params: &MachineParams) -
         }
     }
 
+    // Independent per-site fault streams; all-zero rates never draw, which
+    // keeps the zero-fault configuration bit-identical to the baseline.
+    let mut net = plan.interconnect();
+    let mut ecc = plan.cache_lines();
+    let mut events: u64 = 0;
+    // Machine-wide consecutive delivery failures (reset on any success):
+    // the forward-progress watchdog.
+    let mut consecutive_failures: u32 = 0;
+
     let c = params.costs;
     while let Some(Reverse((_, p))) = queue.pop() {
+        events += 1;
+        if events > params.limits.event_budget {
+            return Err(SimError::EventBudget { budget: params.limits.event_budget });
+        }
         let op = trace.per_proc[p][nodes[p].cursor];
         nodes[p].cursor += 1;
         result.ops += 1;
@@ -190,12 +314,99 @@ pub fn simulate(trace: &ParallelTrace, scheme: Scheme, params: &MachineParams) -
                 }
             }
             if acted {
+                // Deliver the directory request over the (possibly faulty)
+                // interconnect: NACK + retry with capped exponential backoff
+                // on loss, under the per-request retry cap and the
+                // machine-wide forward-progress watchdog.
+                let mut attempts: u32 = 0;
+                loop {
+                    events += 1;
+                    if events > params.limits.event_budget {
+                        return Err(SimError::EventBudget { budget: params.limits.event_budget });
+                    }
+                    attempts += 1;
+                    match net.draw() {
+                        Some(InterconnectFault::Drop) => {
+                            // Lost in the network: the requester waits out
+                            // its timeout, backs off, and re-sends.
+                            result.dropped_msgs += 1;
+                            result.timeouts += 1;
+                            cost += params.limits.request_timeout;
+                            consecutive_failures += 1;
+                            if consecutive_failures >= params.limits.watchdog_failures {
+                                let snapshot = ProgressSnapshot {
+                                    proc: p,
+                                    line,
+                                    attempts,
+                                    pending_procs: queue.len() + 1,
+                                    ownership: dir.describe(line),
+                                };
+                                return Err(SimError::Deadlock {
+                                    cycle: nodes[p].time + cost,
+                                    snapshot,
+                                });
+                            }
+                            if attempts > params.backoff.max_retries {
+                                let snapshot = ProgressSnapshot {
+                                    proc: p,
+                                    line,
+                                    attempts,
+                                    pending_procs: queue.len() + 1,
+                                    ownership: dir.describe(line),
+                                };
+                                return Err(SimError::RetryExhausted {
+                                    proc: p,
+                                    line,
+                                    attempts,
+                                    snapshot,
+                                });
+                            }
+                            result.retries += 1;
+                            cost += params.backoff.delay(attempts - 1);
+                        }
+                        Some(InterconnectFault::Duplicate) => {
+                            // Both copies arrive; the home services the first
+                            // and NACKs the duplicate. No extra latency on
+                            // the critical path.
+                            result.nacks += 1;
+                            consecutive_failures = 0;
+                            break;
+                        }
+                        Some(InterconnectFault::Delay(d)) => {
+                            // Late but delivered.
+                            cost += d;
+                            consecutive_failures = 0;
+                            break;
+                        }
+                        None => {
+                            consecutive_failures = 0;
+                            break;
+                        }
+                    }
+                }
+
                 let out = dir.act(p, line, op.is_write);
                 result.actions += 1;
                 cost += out.hops * params.msg_latency;
                 for q in out.invalidated.iter().collect::<Vec<_>>() {
+                    events += 1;
                     nodes[q].l1.invalidate(line);
-                    nodes[q].l2.invalidate(line);
+                    // The recalled L2 copy passes through the ECC machinery:
+                    // the fault plan may flip bits on it.
+                    let fault = ecc.draw().map(ecc_event);
+                    match nodes[q].l2.invalidate_ecc(line, fault) {
+                        Ok(removed) => {
+                            if fault == Some(EccEvent::SingleBit) && removed.is_some() {
+                                result.ecc_corrected += 1;
+                            }
+                        }
+                        Err(_lost) => {
+                            // Uncorrectable: the recalled copy is useless, so
+                            // the requester's fill is served from memory.
+                            result.ecc_uncorrectable += 1;
+                            cost += params.l2_miss_penalty;
+                        }
+                    }
                     result.invalidations += 1;
                 }
             }
@@ -209,7 +420,7 @@ pub fn simulate(trace: &ParallelTrace, scheme: Scheme, params: &MachineParams) -
     }
 
     result.total_cycles = result.proc_cycles.iter().copied().max().unwrap_or(0);
-    result
+    Ok((result, dir))
 }
 
 #[cfg(test)]
@@ -229,8 +440,8 @@ mod tests {
     #[test]
     fn simulation_is_deterministic() {
         let t = migratory(&cfg());
-        let a = simulate(&t, Scheme::Informing, &params());
-        let b = simulate(&t, Scheme::Informing, &params());
+        let a = simulate_baseline(&t, Scheme::Informing, &params());
+        let b = simulate_baseline(&t, Scheme::Informing, &params());
         assert_eq!(a.total_cycles, b.total_cycles);
         assert_eq!(a.actions, b.actions);
     }
@@ -238,7 +449,7 @@ mod tests {
     #[test]
     fn all_processors_finish_all_ops() {
         let t = migratory(&cfg());
-        let r = simulate(&t, Scheme::RefCheck, &params());
+        let r = simulate_baseline(&t, Scheme::RefCheck, &params());
         assert_eq!(r.ops, 8 * 16_000);
         assert!(r.proc_cycles.iter().all(|&c| c > 0));
     }
@@ -246,14 +457,14 @@ mod tests {
     #[test]
     fn refcheck_pays_one_lookup_per_shared_ref() {
         let t = migratory(&cfg());
-        let r = simulate(&t, Scheme::RefCheck, &params());
+        let r = simulate_baseline(&t, Scheme::RefCheck, &params());
         assert_eq!(r.lookups, r.ops, "migratory refs are all shared");
     }
 
     #[test]
     fn reduction_refcheck_lookups_only_on_shared() {
         let t = reduction(&cfg());
-        let r = simulate(&t, Scheme::RefCheck, &params());
+        let r = simulate_baseline(&t, Scheme::RefCheck, &params());
         // ~25% of references are shared-classified (coefficient reads +
         // accumulator updates); the rest is private and unchecked.
         assert!(r.lookups * 3 < r.ops, "lookups {} vs ops {}", r.lookups, r.ops);
@@ -262,7 +473,7 @@ mod tests {
     #[test]
     fn informing_lookups_bounded_by_misses_plus_write_upgrades() {
         let t = readmostly(&cfg());
-        let r = simulate(&t, Scheme::Informing, &params());
+        let r = simulate_baseline(&t, Scheme::Informing, &params());
         assert!(r.lookups <= r.l1_misses + r.actions);
         assert!(r.lookups < r.ops / 2, "informing must not pay per reference");
     }
@@ -270,7 +481,7 @@ mod tests {
     #[test]
     fn ecc_faults_only_on_bad_accesses() {
         let t = readmostly(&cfg());
-        let r = simulate(&t, Scheme::Ecc, &params());
+        let r = simulate_baseline(&t, Scheme::Ecc, &params());
         assert!(r.faults < r.ops / 4, "read-mostly: most reads are valid");
         assert!(r.faults >= r.actions, "every action came through a fault");
     }
@@ -281,9 +492,9 @@ mod tests {
         // differs. (Identical traces, identical interleaving-insensitive
         // totals.)
         let t = migratory(&cfg());
-        let a = simulate(&t, Scheme::RefCheck, &params());
-        let b = simulate(&t, Scheme::Informing, &params());
-        let c = simulate(&t, Scheme::Ecc, &params());
+        let a = simulate_baseline(&t, Scheme::RefCheck, &params());
+        let b = simulate_baseline(&t, Scheme::Informing, &params());
+        let c = simulate_baseline(&t, Scheme::Ecc, &params());
         // Interleavings differ slightly (costs shift timing), so allow a
         // small tolerance.
         let base = a.actions as f64;
@@ -299,9 +510,9 @@ mod tests {
         // both alternatives.
         let apps = all_apps(&cfg());
         for app in &apps {
-            let inf = simulate(app, Scheme::Informing, &params());
-            let rc = simulate(app, Scheme::RefCheck, &params());
-            let ecc = simulate(app, Scheme::Ecc, &params());
+            let inf = simulate_baseline(app, Scheme::Informing, &params());
+            let rc = simulate_baseline(app, Scheme::RefCheck, &params());
+            let ecc = simulate_baseline(app, Scheme::Ecc, &params());
             assert!(
                 inf.total_cycles <= rc.total_cycles,
                 "{}: informing {} vs refcheck {}",
@@ -328,13 +539,13 @@ mod tests {
         // checking.
         let ecc_loses = {
             let t = reduction(&cfg());
-            simulate(&t, Scheme::Ecc, &params()).total_cycles
-                > simulate(&t, Scheme::RefCheck, &params()).total_cycles
+            simulate_baseline(&t, Scheme::Ecc, &params()).total_cycles
+                > simulate_baseline(&t, Scheme::RefCheck, &params()).total_cycles
         };
         let rc_loses = {
             let t = readmostly(&cfg());
-            simulate(&t, Scheme::RefCheck, &params()).total_cycles
-                > simulate(&t, Scheme::Ecc, &params()).total_cycles
+            simulate_baseline(&t, Scheme::RefCheck, &params()).total_cycles
+                > simulate_baseline(&t, Scheme::Ecc, &params()).total_cycles
         };
         assert!(ecc_loses, "reduction should punish ECC fault costs");
         assert!(rc_loses, "readmostly should punish per-reference checking");
@@ -348,8 +559,8 @@ mod tests {
         let mut fast = params();
         fast.msg_latency = 300;
         let ratio = |p: &MachineParams| {
-            simulate(&t, Scheme::RefCheck, p).total_cycles as f64
-                / simulate(&t, Scheme::Informing, p).total_cycles as f64
+            simulate_baseline(&t, Scheme::RefCheck, p).total_cycles as f64
+                / simulate_baseline(&t, Scheme::Informing, p).total_cycles as f64
         };
         let slow_adv = ratio(&params());
         let fast_adv = ratio(&fast);

@@ -111,7 +111,7 @@ impl AdaptiveDemo {
         let no_switch = a.label("no_switch");
         a.branch(Cond::Ne, chunk, phase2_at, no_switch);
         a.li(ptr, HOT_BASE as i64);
-        a.bind(no_switch).unwrap();
+        a.bind(no_switch).expect("label is bound exactly once");
 
         a.li(i, 0);
         if policy == VersionPolicy::Adaptive {
@@ -121,7 +121,7 @@ impl AdaptiveDemo {
             let decided = a.label(&format!("decided_{}", a.len()));
             a.branch(Cond::Eq, probe, Reg::ZERO, decided);
             a.or(runpref, usepref, Reg::ZERO);
-            a.bind(decided).unwrap();
+            a.bind(decided).expect("label is bound exactly once");
             a.branch(Cond::Ne, runpref, Reg::ZERO, loop_pref);
         } else {
             a.branch(Cond::Ne, usepref, Reg::ZERO, loop_pref);
@@ -130,7 +130,7 @@ impl AdaptiveDemo {
         let v2 = Reg::int(15);
         // --- version A: plain (two loads per iteration: the loop keeps the
         // memory unit busy, so an extra prefetch is a real structural cost)
-        a.bind(loop_plain).unwrap();
+        a.bind(loop_plain).expect("label is bound exactly once");
         a.emit(imo_isa::Instr::Load { rd: v, base: ptr, offset: 0, kind: MemKind::Informing });
         a.emit(imo_isa::Instr::Load { rd: v2, base: ptr, offset: 8, kind: MemKind::Informing });
         a.add(sum, sum, v);
@@ -142,7 +142,7 @@ impl AdaptiveDemo {
 
         // --- version B: inline prefetch eight lines ahead (enough lead to
         // cover the 75-cycle memory latency at this loop's pace) ---
-        a.bind(loop_pref).unwrap();
+        a.bind(loop_pref).expect("label is bound exactly once");
         a.prefetch(ptr, 256);
         a.emit(imo_isa::Instr::Load { rd: v, base: ptr, offset: 0, kind: MemKind::Informing });
         a.emit(imo_isa::Instr::Load { rd: v2, base: ptr, offset: 8, kind: MemKind::Informing });
@@ -152,7 +152,7 @@ impl AdaptiveDemo {
         a.addi(i, i, 1);
         a.branch(Cond::Lt, i, n, loop_pref);
 
-        a.bind(chunk_done).unwrap();
+        a.bind(chunk_done).expect("label is bound exactly once");
         if policy == VersionPolicy::Adaptive {
             // delta = misses - last; last = misses. The selection is updated
             // only from probe (plain) chunks, whose miss counts are not
@@ -164,26 +164,26 @@ impl AdaptiveDemo {
             a.slt(usepref, delta, thresh_on);
             a.li(v, 1);
             a.sub(usepref, v, usepref); // usepref = (delta >= threshold)
-            a.bind(skip_update).unwrap();
+            a.bind(skip_update).expect("label is bound exactly once");
         }
-        a.bind(next_chunk).unwrap();
+        a.bind(next_chunk).expect("label is bound exactly once");
         // Keep the hot phase inside its small region.
         let in_stream = a.label("in_stream");
         a.branch(Cond::Lt, chunk, phase2_at, in_stream);
         a.andi(v, ptr, HOT_MASK);
         a.li(ptr, HOT_BASE as i64);
         a.add(ptr, ptr, v);
-        a.bind(in_stream).unwrap();
+        a.bind(in_stream).expect("label is bound exactly once");
         a.addi(chunk, chunk, 1);
         a.branch(Cond::Lt, chunk, nchunks, chunk_top);
         a.jump(end);
 
         // --- counting miss handler (one instruction) ---
-        a.bind(handler).unwrap();
+        a.bind(handler).expect("label is bound exactly once");
         a.addi(misses, misses, 1);
         a.jump_mhrr();
 
-        a.bind(end).unwrap();
+        a.bind(end).expect("label is bound exactly once");
         a.halt();
         a.assemble().expect("adaptive program assembles")
     }

@@ -177,9 +177,9 @@ impl MultithreadDemo {
         self.emit_common_prologue(&mut a);
         self.emit_thread(&mut a, T0_REGS, T0_BASE, ThreadMode::Serial, dummy, end);
         self.emit_thread(&mut a, T1_REGS, T1_BASE, ThreadMode::Serial, dummy, end);
-        a.bind(end).unwrap();
+        a.bind(end).expect("label is bound exactly once");
         a.halt();
-        a.bind(dummy).unwrap();
+        a.bind(dummy).expect("label is bound exactly once");
         a.jump_mhrr(); // never reached
         self.emit_chain_data(&mut a, T0_BASE);
         self.emit_chain_data(&mut a, T1_BASE);
@@ -205,7 +205,7 @@ impl MultithreadDemo {
                          // --- thread 0 body ---
         self.emit_thread(&mut a, T0_REGS, T0_BASE, mode, handler, end);
         // --- thread 1 registration stub ---
-        a.bind(t1_entry).unwrap();
+        a.bind(t1_entry).expect("label is bound exactly once");
         let here_plus = a.next_addr() + 8; // address of t1 body (after 2 instrs)
         a.li(t1_addr_reg, here_plus as i64);
         a.jr(Reg::LINK);
@@ -213,7 +213,7 @@ impl MultithreadDemo {
         // --- thread 1 body ---
         self.emit_thread(&mut a, T1_REGS, T1_BASE, mode, handler, end);
         // --- switch handler ---
-        a.bind(handler).unwrap();
+        a.bind(handler).expect("label is bound exactly once");
         let scratch = Reg::int(24);
         if policy == SwitchPolicy::SecondaryMiss {
             // A finished thread cannot be resumed: once STOP is set, return
@@ -224,7 +224,7 @@ impl MultithreadDemo {
             a.read_mhrr(scratch);
             a.set_mhrr_reg(t1_addr_reg);
             a.or(t1_addr_reg, scratch, Reg::ZERO);
-            a.bind(ret).unwrap();
+            a.bind(ret).expect("label is bound exactly once");
             a.jump_mhrr();
         } else {
             self.emit_save_restore(&mut a);
@@ -234,7 +234,7 @@ impl MultithreadDemo {
             a.jump_mhrr();
         }
         // --- end ---
-        a.bind(end).unwrap();
+        a.bind(end).expect("label is bound exactly once");
         a.halt();
         self.emit_chain_data(&mut a, T0_BASE);
         self.emit_chain_data(&mut a, T1_BASE);

@@ -11,6 +11,7 @@
 //! what keeps informing-memory outcomes (which are architecturally visible)
 //! deterministic.
 
+use imo_faults::HandlerFaults;
 use imo_isa::exec::{ControlFlow, ExecError, Executor, MissDepth, MissOracle};
 use imo_isa::{Instr, Program};
 use imo_mem::{HitLevel, MemoryHierarchy, ProbeResult};
@@ -99,6 +100,17 @@ pub struct FrontEnd<'p> {
     mispredictions: u64,
     informing_traps: u64,
     line_bytes: u64,
+    /// Fault schedule for informing-trap dispatches (None = perfect machine).
+    handler_faults: Option<HandlerFaults>,
+    /// Consecutive faulty dispatches before informing traps are disabled
+    /// (0 = never degrade).
+    degrade_after: u32,
+    consecutive_faults: u32,
+    handler_fault_count: u64,
+    degraded: bool,
+    /// Extra redirect penalty charged when the given sequence number
+    /// resolves (the timing cost of the most recent handler fault).
+    pending_penalty: Option<(u64, u64)>,
 }
 
 impl<'p> FrontEnd<'p> {
@@ -122,7 +134,32 @@ impl<'p> FrontEnd<'p> {
             mispredictions: 0,
             informing_traps: 0,
             line_bytes,
+            handler_faults: None,
+            degrade_after: 0,
+            consecutive_faults: 0,
+            handler_fault_count: 0,
+            degraded: false,
+            pending_penalty: None,
         }
+    }
+
+    /// Arms miss-handler fault injection: each informing-trap dispatch draws
+    /// from `faults`, and after `degrade_after` consecutive faulty dispatches
+    /// the machine suppresses further informing traps (graceful degradation).
+    /// Pass `degrade_after == 0` to never degrade.
+    pub fn set_handler_faults(&mut self, faults: HandlerFaults, degrade_after: u32) {
+        self.handler_faults = Some(faults);
+        self.degrade_after = degrade_after;
+    }
+
+    /// Injected handler faults suffered so far.
+    pub fn handler_faults(&self) -> u64 {
+        self.handler_fault_count
+    }
+
+    /// Whether the machine has degraded (informing traps suppressed).
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Whether `halt` has been fetched (the pipeline may still be draining).
@@ -167,7 +204,16 @@ impl<'p> FrontEnd<'p> {
     pub fn resolve(&mut self, seq: u64, cycle: u64, redirect_penalty: u64) {
         if self.blocked_on == Some(seq) {
             self.blocked_on = None;
-            self.resume_at = self.resume_at.max(cycle + 1 + redirect_penalty);
+            // An injected handler fault on this dispatch stretches the
+            // redirect by its penalty (overrun bubbles / MHAR reload stall).
+            let extra = match self.pending_penalty.take() {
+                Some((s, extra)) if s == seq => extra,
+                other => {
+                    self.pending_penalty = other;
+                    0
+                }
+            };
+            self.resume_at = self.resume_at.max(cycle + 1 + redirect_penalty + extra);
         }
     }
 
@@ -296,6 +342,28 @@ impl<'p> FrontEnd<'p> {
                 ControlFlow::InformingTrap { .. } => {
                     self.informing_traps += 1;
                     f.informing_trap = true;
+                    if let Some(stream) = self.handler_faults.as_mut() {
+                        match stream.draw() {
+                            Some(fault) => {
+                                self.handler_fault_count += 1;
+                                self.consecutive_faults += 1;
+                                self.pending_penalty = Some((seq, fault.penalty_cycles()));
+                                if self.degrade_after != 0
+                                    && self.consecutive_faults >= self.degrade_after
+                                    && !self.degraded
+                                {
+                                    // Enough consecutive faulty dispatches:
+                                    // give up on informing traps for the rest
+                                    // of the run. This trap still pays its
+                                    // penalty; later informing ops behave
+                                    // like normal ones.
+                                    self.degraded = true;
+                                    self.exec.state_mut().set_informing_suppressed(true);
+                                }
+                            }
+                            None => self.consecutive_faults = 0,
+                        }
+                    }
                     let is_store = matches!(info.instr, Instr::Store { .. });
                     f.resolve = if self.trap_model == TrapModel::Branch && !is_store {
                         Resolve::AtExecute

@@ -83,12 +83,46 @@ pub fn simulate_full(
     cfg: &InOrderConfig,
     limits: RunLimits,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
+    run(program, cfg, limits, None)
+}
+
+/// Like [`simulate`], but drives the run under a [`imo_faults::FaultPlan`]:
+/// informing-trap dispatches draw handler faults (overrun / stale MHAR) from
+/// the plan's handler stream, paying their penalty on the trap redirect, and
+/// after `degrade_after` consecutive faulty dispatches the machine suppresses
+/// informing traps for the rest of the run (`RunResult::degraded`).
+///
+/// A plan with all-zero handler rates is cycle-identical to [`simulate`].
+///
+/// # Errors
+///
+/// As for [`simulate`].
+pub fn simulate_faulty(
+    program: &Program,
+    cfg: &InOrderConfig,
+    limits: RunLimits,
+    plan: &imo_faults::FaultPlan,
+) -> Result<RunResult, SimError> {
+    run(program, cfg, limits, Some(plan)).map(|(r, _)| r)
+}
+
+fn run(
+    program: &Program,
+    cfg: &InOrderConfig,
+    limits: RunLimits,
+    faults: Option<&imo_faults::FaultPlan>,
+) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
     let mut hier = MemoryHierarchy::new(cfg.hier);
     // The in-order machine's informing traps always redirect at miss
     // detection (replay-trap style); the trap model distinction is an
     // out-of-order concern, so fix `Branch` here.
     let mut fe =
         FrontEnd::new(program, cfg.predictor_entries, TrapModel::Branch, cfg.hier.l1i.line_bytes);
+    if let Some(plan) = faults {
+        if plan.config().has_handler() {
+            fe.set_handler_faults(plan.handlers(), plan.config().degrade_after);
+        }
+    }
 
     let mut regs = [RegState::default(); 64];
     let mut queue: VecDeque<Fetched> = VecDeque::new();
@@ -319,6 +353,8 @@ pub fn simulate_full(
         informing_traps: fe.informing_traps(),
         mispredictions: fe.mispredictions(),
         branch_accuracy: fe.branch_accuracy(),
+        handler_faults: fe.handler_faults(),
+        degraded: fe.degraded(),
         mem: MemCounters {
             l1d_accesses: hier.stats().data_refs,
             l1d_misses: hier.stats().l1d_misses_to_l2 + hier.stats().l1d_misses_to_mem,

@@ -103,7 +103,27 @@ pub fn simulate_full(
     cfg: &OooConfig,
     limits: RunLimits,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
-    run(program, cfg, limits, None)
+    run(program, cfg, limits, None, None)
+}
+
+/// Like [`simulate`], but drives the run under a [`imo_faults::FaultPlan`]:
+/// informing-trap dispatches draw handler faults (overrun / stale MHAR) from
+/// the plan's handler stream, paying their penalty on the trap redirect, and
+/// after `degrade_after` consecutive faulty dispatches the machine suppresses
+/// informing traps for the rest of the run (`RunResult::degraded`).
+///
+/// A plan with all-zero handler rates is cycle-identical to [`simulate`].
+///
+/// # Errors
+///
+/// As for [`simulate`].
+pub fn simulate_faulty(
+    program: &Program,
+    cfg: &OooConfig,
+    limits: RunLimits,
+    plan: &imo_faults::FaultPlan,
+) -> Result<RunResult, SimError> {
+    run(program, cfg, limits, None, Some(plan)).map(|(r, _)| r)
 }
 
 /// Like [`simulate`], but records a per-instruction pipeline trace
@@ -119,7 +139,7 @@ pub fn simulate_traced(
     limits: RunLimits,
 ) -> Result<(RunResult, Vec<InstrTrace>), SimError> {
     let mut traces = Vec::new();
-    let (result, _) = run(program, cfg, limits, Some(&mut traces))?;
+    let (result, _) = run(program, cfg, limits, Some(&mut traces), None)?;
     Ok((result, traces))
 }
 
@@ -128,10 +148,16 @@ fn run(
     cfg: &OooConfig,
     limits: RunLimits,
     mut trace: Option<&mut Vec<InstrTrace>>,
+    faults: Option<&imo_faults::FaultPlan>,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
     let mut hier = MemoryHierarchy::new(cfg.hier);
     let mut fe =
         FrontEnd::new(program, cfg.predictor_entries, cfg.trap_model, cfg.hier.l1i.line_bytes);
+    if let Some(plan) = faults {
+        if plan.config().has_handler() {
+            fe.set_handler_faults(plan.handlers(), plan.config().degrade_after);
+        }
+    }
     let mut mshrs = MshrFile::new(cfg.hier.mshrs, cfg.mshr_mode);
 
     let mut rob: VecDeque<Entry> = VecDeque::with_capacity(cfg.rob_entries as usize);
@@ -515,6 +541,8 @@ fn run(
         informing_traps: fe.informing_traps(),
         mispredictions: fe.mispredictions(),
         branch_accuracy: fe.branch_accuracy(),
+        handler_faults: fe.handler_faults(),
+        degraded: fe.degraded(),
         mem: MemCounters {
             l1d_accesses: hier.stats().data_refs,
             l1d_misses: hier.stats().l1d_misses_to_l2 + hier.stats().l1d_misses_to_mem,

@@ -160,6 +160,7 @@ pub struct ArchState {
     mar: u64,
     last_depth: MissDepth,
     in_handler: bool,
+    informing_suppressed: bool,
     halted: bool,
 }
 
@@ -175,6 +176,7 @@ impl ArchState {
             mar: 0,
             last_depth: MissDepth::Hit,
             in_handler: false,
+            informing_suppressed: false,
             halted: false,
         }
     }
@@ -250,6 +252,21 @@ impl ArchState {
     /// suppressed while set.
     pub fn in_handler(&self) -> bool {
         self.in_handler
+    }
+
+    /// Whether informing traps are administratively suppressed (graceful
+    /// degradation after repeated miss-handler faults). While set, informing
+    /// loads/stores behave like their normal counterparts: the miss condition
+    /// codes and MAR still update, but no handler is dispatched. The `bmiss`
+    /// branch is *not* suppressed — it is an architectural branch, not a trap.
+    pub fn informing_suppressed(&self) -> bool {
+        self.informing_suppressed
+    }
+
+    /// Enables or disables informing-trap suppression (see
+    /// [`ArchState::informing_suppressed`]).
+    pub fn set_informing_suppressed(&mut self, suppressed: bool) {
+        self.informing_suppressed = suppressed;
     }
 
     /// Whether the machine has executed `halt`.
@@ -384,7 +401,12 @@ impl<'p> Executor<'p> {
                     l1_miss: miss,
                     kind,
                 });
-                if miss && kind == MemKind::Informing && s.mhar != 0 && !s.in_handler {
+                if miss
+                    && kind == MemKind::Informing
+                    && s.mhar != 0
+                    && !s.in_handler
+                    && !s.informing_suppressed
+                {
                     s.mhrr = pc.wrapping_add(4);
                     s.in_handler = true;
                     next_pc = s.mhar;
@@ -408,7 +430,12 @@ impl<'p> Executor<'p> {
                     l1_miss: miss,
                     kind,
                 });
-                if miss && kind == MemKind::Informing && s.mhar != 0 && !s.in_handler {
+                if miss
+                    && kind == MemKind::Informing
+                    && s.mhar != 0
+                    && !s.in_handler
+                    && !s.informing_suppressed
+                {
                     s.mhrr = pc.wrapping_add(4);
                     s.in_handler = true;
                     next_pc = s.mhar;

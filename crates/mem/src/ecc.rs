@@ -1,0 +1,50 @@
+//! ECC fault model for cache lines.
+//!
+//! The §4.3 access-control case study (after Blizzard-E) deliberately writes
+//! bad ECC on memory lines to force a trap on access. That trick only works
+//! because real ECC distinguishes *correctable* single-bit flips from
+//! *detectable-but-uncorrectable* double-bit flips. This module gives the
+//! cache model the same vocabulary: an [`EccEvent`] classifies a fault found
+//! on a line at invalidation time, and an [`EccFailure`] is the typed error a
+//! caller receives when the line's data is unrecoverable (double-bit error on
+//! a dirty line means the only up-to-date copy is gone).
+//!
+//! `imo-mem` is deliberately dependency-free, so these types are defined here
+//! rather than borrowed from `imo-faults`; the coherence simulator converts
+//! `imo_faults::EccFault` draws into [`EccEvent`]s at the call site.
+
+use std::fmt;
+
+/// An ECC fault observed on a cache line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EccEvent {
+    /// A single flipped bit: the code corrects it in place and the access
+    /// proceeds normally (counted in `CacheStats::ecc_corrected`).
+    SingleBit,
+    /// Two flipped bits: detectable but uncorrectable. The line must be
+    /// discarded; if it was dirty the data is lost.
+    DoubleBit,
+}
+
+/// Typed error for an uncorrectable ECC fault.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EccFailure {
+    /// Address (as passed to the access) whose line failed.
+    pub addr: u64,
+    /// Whether the failing line was dirty — `true` means the only up-to-date
+    /// copy of the data was lost, not just a clean cached copy.
+    pub dirty: bool,
+}
+
+impl fmt::Display for EccFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "uncorrectable double-bit ECC fault on line of {:#x} ({})",
+            self.addr,
+            if self.dirty { "dirty: data lost" } else { "clean: safe to refetch" }
+        )
+    }
+}
+
+impl std::error::Error for EccFailure {}

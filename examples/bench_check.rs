@@ -1,0 +1,50 @@
+//! Baseline-schema check: every `BENCH_*.json` at the repository root must
+//! parse with the in-tree JSON parser and carry the bench envelope (a
+//! `bench` name plus a payload). Corrupt or truncated baselines fail loudly
+//! here rather than silently during a later comparison.
+//!
+//! ```sh
+//! cargo run --release --example bench_check
+//! ```
+
+use std::error::Error;
+use std::fs;
+
+use informing_memops::util::json;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let root = env!("CARGO_MANIFEST_DIR");
+    let mut names: Vec<_> = fs::read_dir(root)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.file_name().to_string_lossy().into_owned())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err("no BENCH_*.json baselines found; run `cargo bench` first".into());
+    }
+
+    let mut bad = 0;
+    for name in &names {
+        let path = format!("{root}/{name}");
+        let text = fs::read_to_string(&path)?;
+        match json::parse(&text) {
+            Ok(doc) if doc.get("bench").is_some() => {
+                println!("ok   {name}");
+            }
+            Ok(_) => {
+                eprintln!("BAD  {name}: parses but lacks the `bench` envelope");
+                bad += 1;
+            }
+            Err(e) => {
+                eprintln!("BAD  {name}: {e}");
+                bad += 1;
+            }
+        }
+    }
+    if bad > 0 {
+        return Err(format!("{bad} of {} baselines are corrupt", names.len()).into());
+    }
+    println!("{} baselines parse and carry the bench envelope", names.len());
+    Ok(())
+}

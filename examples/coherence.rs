@@ -31,7 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut results = Vec::new();
     for scheme in Scheme::all() {
-        let r = simulate(&app, scheme, &params);
+        let r = simulate(&app, scheme, &params)?;
         println!("[{}]", scheme.name());
         println!(
             "  completion    : {:>10} cycles ({:.1} per reference)",

@@ -11,6 +11,9 @@ cargo build --release --offline
 echo "== cargo test -q =="
 cargo test -q --offline
 
+echo "== fault-injection suite =="
+cargo test -q --offline --test fault_injection
+
 echo "== cargo fmt --check =="
 cargo fmt --check
 
@@ -22,5 +25,8 @@ for ex in quickstart profiler prefetcher multithreading adaptive coherence; do
     echo "-- example: $ex"
     cargo run -q --release --offline --example "$ex" > /dev/null
 done
+
+echo "== BENCH_*.json baseline schema check =="
+cargo run -q --release --offline --example bench_check
 
 echo "tier1: all checks passed"

@@ -21,7 +21,10 @@
 //!   experiment framework behind the paper's figures.
 //! * [`workloads`] — SPEC92-like benchmark kernels written in IRIS.
 //! * [`coherence`] — the §4.3 case study: fine-grained access control for
-//!   cache coherence on a simulated 16-processor machine.
+//!   cache coherence on a simulated 16-processor machine, with a resilient
+//!   directory protocol (retry/backoff, timeouts, forward-progress watchdog).
+//! * [`faults`] — deterministic, seed-driven fault injection: reproducible
+//!   fault schedules for the interconnect, cache lines and miss handlers.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the system inventory and the per-figure reproduction notes.
@@ -31,6 +34,7 @@
 pub use imo_coherence as coherence;
 pub use imo_core as core;
 pub use imo_cpu as cpu;
+pub use imo_faults as faults;
 pub use imo_isa as isa;
 pub use imo_mem as mem;
 pub use imo_util as util;

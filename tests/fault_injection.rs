@@ -1,0 +1,272 @@
+//! Fault-injection suites: determinism of fault schedules, protocol safety
+//! under an unreliable interconnect, graceful degradation of the informing
+//! machinery, and reachability of every typed failure mode.
+//!
+//! The contract under test: a `FaultPlan` is a *pure function of its seed* —
+//! rerunning any simulation with the same plan reproduces every counter — and
+//! the zero-fault plan is bit-identical to the fault-free path.
+
+use imo_faults::{FaultConfig, FaultPlan};
+use imo_util::check::Checker;
+use imo_util::ensure_eq;
+use informing_memops::coherence::{
+    simulate, simulate_baseline, simulate_faulty, simulate_faulty_full, MachineParams, Scheme,
+    SimError,
+};
+use informing_memops::cpu::{inorder, ooo, InOrderConfig, OooConfig, RunLimits};
+use informing_memops::isa::{Asm, Cond, Program, Reg};
+use informing_memops::workloads::parallel::{all_apps, migratory, TraceConfig};
+
+fn trace_cfg(procs: usize, seed: u64) -> TraceConfig {
+    TraceConfig { procs, ops_per_proc: 2_500, seed }
+}
+
+fn drop_dup_delay(seed: u64, drop: f64, dup: f64, delay: f64) -> FaultPlan {
+    let mut c = FaultConfig::none(seed);
+    c.drop_rate = drop;
+    c.dup_rate = dup;
+    c.delay_rate = delay;
+    FaultPlan::new(c)
+}
+
+// ---------------------------------------------------------------- coherence
+
+#[test]
+fn same_seed_reproduces_every_counter() {
+    Checker::new("same_seed_reproduces_every_counter").cases(12).run(|g| {
+        let t = migratory(&trace_cfg(4, g.int(0u64..1 << 20)));
+        let plan = drop_dup_delay(g.int(0u64..1 << 20), 0.05, 0.05, 0.10);
+        let params = MachineParams::table2();
+        let scheme = *g.pick(&[Scheme::RefCheck, Scheme::Ecc, Scheme::Informing]);
+        let a = simulate_faulty(&t, scheme, &params, &plan);
+        let b = simulate_faulty(&t, scheme, &params, &plan);
+        ensure_eq!(a, b, "fault schedules must be pure functions of the seed");
+        Ok(())
+    });
+}
+
+#[test]
+fn zero_fault_plan_is_bit_identical_to_baseline() {
+    let params = MachineParams::table2();
+    for app in all_apps(&trace_cfg(8, 42)) {
+        for scheme in Scheme::all() {
+            let base = simulate_baseline(&app, scheme, &params);
+            let faulty = simulate_faulty(&app, scheme, &params, &FaultPlan::none())
+                .expect("zero-fault run completes");
+            assert_eq!(base, faulty, "{}/{}", app.name, scheme.name());
+            assert_eq!(faulty.retries, 0);
+            assert_eq!(faulty.dropped_msgs, 0);
+            assert_eq!(faulty.nacks, 0);
+            assert_eq!(faulty.ecc_corrected + faulty.ecc_uncorrectable, 0);
+        }
+    }
+}
+
+#[test]
+fn protocol_invariants_hold_under_drop_dup_delay() {
+    Checker::new("protocol_invariants_hold_under_drop_dup_delay").cases(12).run(|g| {
+        let t = migratory(&trace_cfg(g.int(2usize..8), g.int(0u64..1 << 20)));
+        let plan = drop_dup_delay(
+            g.int(0u64..1 << 20),
+            0.12 * g.int(0u64..100) as f64 / 100.0,
+            0.12 * g.int(0u64..100) as f64 / 100.0,
+            0.12 * g.int(0u64..100) as f64 / 100.0,
+        );
+        let params = MachineParams::table2();
+        let (r, dir) = simulate_faulty_full(&t, Scheme::Informing, &params, &plan)
+            .map_err(|e| format!("moderate fault rates must recover: {e}"))?;
+        dir.check_invariants()?;
+        ensure_eq!(r.ops, t.per_proc.iter().map(|v| v.len() as u64).sum::<u64>());
+        // Every loss shows up as exactly one timeout and one retry.
+        ensure_eq!(r.retries, r.dropped_msgs);
+        ensure_eq!(r.timeouts, r.dropped_msgs);
+        Ok(())
+    });
+}
+
+#[test]
+fn losses_recover_via_retry_and_cost_cycles() {
+    let t = migratory(&trace_cfg(8, 9));
+    let params = MachineParams::table2();
+    let base = simulate_baseline(&t, Scheme::Informing, &params);
+    let r = simulate_faulty(&t, Scheme::Informing, &params, &drop_dup_delay(3, 0.2, 0.0, 0.0))
+        .expect("20% loss recovers via retry");
+    assert!(r.retries > 0, "a 20% drop rate must force retries");
+    assert!(
+        r.total_cycles > base.total_cycles,
+        "timeouts and backoff must cost cycles: {} vs {}",
+        r.total_cycles,
+        base.total_cycles
+    );
+    // Timing shifts reorder the cross-processor interleaving (so action
+    // counts may differ), but every reference must still complete.
+    assert_eq!(r.ops, base.ops, "recovery must not lose references");
+}
+
+#[test]
+fn ecc_faults_on_recalled_lines_are_counted_and_survivable() {
+    let t = migratory(&trace_cfg(8, 11));
+    let params = MachineParams::table2();
+    let mut c = FaultConfig::none(5);
+    c.ecc_single_rate = 0.3;
+    c.ecc_double_rate = 0.3;
+    let (r, dir) = simulate_faulty_full(&t, Scheme::Informing, &params, &FaultPlan::new(c))
+        .expect("ECC faults are always survivable");
+    assert!(r.invalidations > 0, "migratory sharing must recall lines");
+    assert!(
+        r.ecc_corrected + r.ecc_uncorrectable > 0,
+        "30%+30% ECC rates over {} recalls must fire",
+        r.invalidations
+    );
+    dir.check_invariants().expect("ECC faults must not corrupt the protocol");
+}
+
+#[test]
+fn retry_exhaustion_is_a_typed_error_with_snapshot() {
+    let t = migratory(&trace_cfg(4, 1));
+    let mut params = MachineParams::table2();
+    params.backoff.max_retries = 3;
+    params.limits.watchdog_failures = 100; // watchdog must not fire first
+    let err = simulate_faulty(&t, Scheme::Informing, &params, &drop_dup_delay(2, 1.0, 0.0, 0.0))
+        .expect_err("total loss with a tight retry cap must fail");
+    match err {
+        SimError::RetryExhausted { attempts, snapshot, .. } => {
+            assert_eq!(attempts, 4, "max_retries + 1 delivery attempts");
+            assert!(snapshot.ownership.contains("line"), "{}", snapshot.ownership);
+        }
+        other => panic!("expected RetryExhausted, got {other}"),
+    }
+}
+
+#[test]
+fn watchdog_turns_total_loss_into_deadlock_with_diagnosis() {
+    let t = migratory(&trace_cfg(4, 1));
+    let mut params = MachineParams::table2();
+    params.backoff.max_retries = 1_000; // retries alone would grind forever
+    params.limits.watchdog_failures = 8;
+    let err = simulate_faulty(&t, Scheme::Informing, &params, &drop_dup_delay(2, 1.0, 0.0, 0.0))
+        .expect_err("the watchdog must declare deadlock");
+    match err {
+        SimError::Deadlock { cycle, snapshot } => {
+            assert!(cycle > 0);
+            assert!(snapshot.pending_procs > 0);
+            assert!(snapshot.attempts >= 8);
+            let msg = SimError::Deadlock { cycle, snapshot }.to_string();
+            assert!(msg.contains("stuck on"), "diagnosis must name the line: {msg}");
+        }
+        other => panic!("expected Deadlock, got {other}"),
+    }
+}
+
+#[test]
+fn event_budget_bounds_every_run() {
+    let t = migratory(&trace_cfg(4, 1));
+    let mut params = MachineParams::table2();
+    params.limits.event_budget = 100;
+    let err = simulate(&t, Scheme::Informing, &params).expect_err("100 events is too few");
+    assert_eq!(err, SimError::EventBudget { budget: 100 });
+}
+
+#[test]
+fn more_than_64_procs_is_rejected() {
+    let t = migratory(&TraceConfig { procs: 65, ops_per_proc: 10, seed: 0 });
+    let err = simulate(&t, Scheme::Informing, &MachineParams::table2())
+        .expect_err("the sharer bitset holds 64 nodes");
+    assert_eq!(err, SimError::TooManyProcs { procs: 65 });
+}
+
+// --------------------------------------------------------------------- cpu
+
+/// A loop of always-missing informing loads with a counting miss handler.
+fn informing_loop(iters: i64) -> Program {
+    let mut a = Asm::new();
+    let hdl = a.label("handler");
+    let (ptr, v, i, n) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+    a.set_mhar(hdl);
+    a.li(ptr, 0x10_0000);
+    a.li(i, 0);
+    a.li(n, iters);
+    let top = a.here("top");
+    a.load_inf(v, ptr, 0);
+    a.addi(ptr, ptr, 4096); // new line (and set) every iteration: always miss
+    a.addi(i, i, 1);
+    a.branch(Cond::Lt, i, n, top);
+    a.halt();
+    a.bind(hdl).expect("label is bound exactly once");
+    a.addi(Reg::int(10), Reg::int(10), 1);
+    a.jump_mhrr();
+    a.assemble().expect("assembles")
+}
+
+fn overrun_plan(seed: u64, rate: f64, degrade_after: u32) -> FaultPlan {
+    let mut c = FaultConfig::none(seed);
+    c.handler_overrun_rate = rate;
+    c.degrade_after = degrade_after;
+    FaultPlan::new(c)
+}
+
+#[test]
+fn handler_faults_are_deterministic_and_slow_the_machine() {
+    let p = informing_loop(64);
+    let cfg = OooConfig::paper();
+    let limits = RunLimits::default();
+    let base = ooo::simulate(&p, &cfg, limits).expect("runs");
+    let plan = overrun_plan(3, 0.5, 0); // never degrade
+    let a = ooo::simulate_faulty(&p, &cfg, limits, &plan).expect("runs");
+    let b = ooo::simulate_faulty(&p, &cfg, limits, &plan).expect("runs");
+    assert_eq!(a, b, "handler fault schedules must be reproducible");
+    assert!(a.handler_faults > 0, "50% overrun rate over 64 traps must fire");
+    assert!(!a.degraded, "degrade_after == 0 means never degrade");
+    assert!(a.cycles > base.cycles, "overruns must cost cycles: {} vs {}", a.cycles, base.cycles);
+    assert_eq!(a.instructions, base.instructions, "faults are timing-only");
+}
+
+#[test]
+fn consecutive_handler_faults_degrade_gracefully() {
+    let p = informing_loop(64);
+    let cfg = OooConfig::paper();
+    let limits = RunLimits::default();
+    let base = ooo::simulate(&p, &cfg, limits).expect("runs");
+    let r = ooo::simulate_faulty(&p, &cfg, limits, &overrun_plan(3, 1.0, 4)).expect("runs");
+    assert!(r.degraded, "4 consecutive faults at rate 1.0 must degrade");
+    assert_eq!(r.handler_faults, 4, "faults stop once traps are suppressed");
+    assert_eq!(r.informing_traps, 4, "no informing traps after degradation");
+    assert!(
+        r.instructions < base.instructions,
+        "suppressed traps skip handler instructions: {} vs {}",
+        r.instructions,
+        base.instructions
+    );
+}
+
+#[test]
+fn zero_fault_plan_is_cycle_identical_on_both_cpu_models() {
+    let p = informing_loop(48);
+    let limits = RunLimits::default();
+    let none = FaultPlan::none();
+
+    let ooo_base = ooo::simulate(&p, &OooConfig::paper(), limits).expect("runs");
+    let ooo_faulty = ooo::simulate_faulty(&p, &OooConfig::paper(), limits, &none).expect("runs");
+    assert_eq!(ooo_base, ooo_faulty);
+    assert!(!ooo_faulty.degraded);
+
+    let io_base = inorder::simulate(&p, &InOrderConfig::paper(), limits).expect("runs");
+    let io_faulty =
+        inorder::simulate_faulty(&p, &InOrderConfig::paper(), limits, &none).expect("runs");
+    assert_eq!(io_base, io_faulty);
+    assert_eq!(io_faulty.handler_faults, 0);
+}
+
+#[test]
+fn stale_mhar_faults_stall_the_inorder_front_end() {
+    let p = informing_loop(48);
+    let cfg = InOrderConfig::paper();
+    let limits = RunLimits::default();
+    let base = inorder::simulate(&p, &cfg, limits).expect("runs");
+    let mut c = FaultConfig::none(7);
+    c.stale_mhar_rate = 1.0;
+    c.degrade_after = 0;
+    let r = inorder::simulate_faulty(&p, &cfg, limits, &FaultPlan::new(c)).expect("runs");
+    assert!(r.handler_faults > 0);
+    assert!(r.cycles > base.cycles, "MHAR reloads must stall fetch");
+}

@@ -2,7 +2,7 @@
 //! scale: profiling, adaptive prefetching, software multithreading, and the
 //! §4.3 access-control comparison.
 
-use informing_memops::coherence::{simulate, MachineParams, Scheme as AcScheme};
+use informing_memops::coherence::{simulate_baseline, MachineParams, Scheme as AcScheme};
 use informing_memops::core::multithread::{evaluate_multithreading, MultithreadDemo};
 use informing_memops::core::prefetch::evaluate_prefetching;
 use informing_memops::core::profile::profile_misses;
@@ -76,9 +76,9 @@ fn access_control_summary_matches_the_papers_ordering() {
     let mut ecc_total = 0.0;
     let mut n = 0.0;
     for app in all_apps(&cfg) {
-        let inf = simulate(&app, AcScheme::Informing, &params).total_cycles as f64;
-        let rc = simulate(&app, AcScheme::RefCheck, &params).total_cycles as f64;
-        let ecc = simulate(&app, AcScheme::Ecc, &params).total_cycles as f64;
+        let inf = simulate_baseline(&app, AcScheme::Informing, &params).total_cycles as f64;
+        let rc = simulate_baseline(&app, AcScheme::RefCheck, &params).total_cycles as f64;
+        let ecc = simulate_baseline(&app, AcScheme::Ecc, &params).total_cycles as f64;
         assert!(inf <= rc && inf <= ecc, "{}: informing must win", app.name);
         rc_total += rc / inf;
         ecc_total += ecc / inf;
