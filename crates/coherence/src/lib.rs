@@ -77,4 +77,7 @@ pub mod sim;
 pub use config::{BackoffPolicy, MachineParams, Scheme, SchemeCosts, SimLimits};
 pub use error::{ProgressSnapshot, SimError};
 pub use protocol::{Directory, LineState};
-pub use sim::{simulate, simulate_baseline, simulate_faulty, simulate_faulty_full, SimResult};
+pub use sim::{
+    simulate, simulate_baseline, simulate_faulty, simulate_faulty_full, simulate_observed,
+    SimResult,
+};

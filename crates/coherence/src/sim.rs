@@ -5,6 +5,7 @@ use std::collections::BinaryHeap;
 
 use imo_faults::{EccFault, FaultPlan, InterconnectFault};
 use imo_mem::{Cache, CacheConfig, EccEvent, Probe};
+use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder};
 use imo_util::stats::{Report, Summarize};
 use imo_workloads::parallel::ParallelTrace;
 
@@ -188,6 +189,39 @@ pub fn simulate_faulty_full(
     params: &MachineParams,
     plan: &FaultPlan,
 ) -> Result<(SimResult, Directory), SimError> {
+    run(trace, scheme, params, plan, None)
+}
+
+/// Like [`simulate_faulty_full`], but streams protocol events (requests,
+/// drops, retries, NACKs, invalidations, ECC outcomes) into `rec`, exports
+/// the run's counters and the `coh.retry_backoff` histogram into
+/// `rec.metrics`, and attributes the critical-path (slowest) processor's
+/// cycles into `rec.cpi` — whose total equals `SimResult::total_cycles`
+/// exactly.
+///
+/// The recorder is strictly passive: the returned [`SimResult`] is
+/// bit-identical to [`simulate_faulty_full`]'s.
+///
+/// # Errors
+///
+/// As for [`simulate_faulty`].
+pub fn simulate_observed(
+    trace: &ParallelTrace,
+    scheme: Scheme,
+    params: &MachineParams,
+    plan: &FaultPlan,
+    rec: &mut Recorder,
+) -> Result<(SimResult, Directory), SimError> {
+    run(trace, scheme, params, plan, Some(rec))
+}
+
+fn run(
+    trace: &ParallelTrace,
+    scheme: Scheme,
+    params: &MachineParams,
+    plan: &FaultPlan,
+    mut obs: Option<&mut Recorder>,
+) -> Result<(SimResult, Directory), SimError> {
     let procs = trace.per_proc.len();
     if procs > 64 {
         return Err(SimError::TooManyProcs { procs });
@@ -242,6 +276,12 @@ pub fn simulate_faulty_full(
     // the forward-progress watchdog.
     let mut consecutive_failures: u32 = 0;
 
+    // Per-processor CPI stacks: every cycle a processor spends is the total
+    // of its per-op cost stacks, so per-category attribution reconciles with
+    // `proc_cycles` exactly (and the slowest processor's stack with
+    // `total_cycles`).
+    let mut proc_cpi: Vec<CpiStack> = vec![CpiStack::default(); procs];
+
     let c = params.costs;
     while let Some(Reverse((_, p))) = queue.pop() {
         events += 1;
@@ -251,7 +291,11 @@ pub fn simulate_faulty_full(
         let op = trace.per_proc[p][nodes[p].cursor];
         nodes[p].cursor += 1;
         result.ops += 1;
-        let mut cost = op.think as u64;
+        // The op's scalar cost is the stack total, so the decomposition can
+        // never drift from the timing it describes.
+        let mut cost = CpiStack::default();
+        cost.add(CpiCategory::Base, op.think as u64);
+        let t0 = nodes[p].time;
         let line = params.line_of(op.addr);
         let prot = dir.protection(p, line);
 
@@ -259,10 +303,10 @@ pub fn simulate_faulty_full(
         let l1_miss = matches!(nodes[p].l1.access(op.addr, op.is_write), Probe::Miss { .. });
         if l1_miss {
             result.l1_misses += 1;
-            cost += params.l1_miss_penalty;
+            cost.add(CpiCategory::L1Miss, params.l1_miss_penalty);
             if matches!(nodes[p].l2.access(op.addr, op.is_write), Probe::Miss { .. }) {
                 result.l2_misses += 1;
-                cost += params.l2_miss_penalty;
+                cost.add(CpiCategory::L2Miss, params.l2_miss_penalty);
             }
         }
 
@@ -272,16 +316,16 @@ pub fn simulate_faulty_full(
             match scheme {
                 Scheme::RefCheck => {
                     // Inline lookup on every shared reference.
-                    cost += c.refcheck_lookup;
+                    cost.add(CpiCategory::Handler, c.refcheck_lookup);
                     result.lookups += 1;
                     if needs_action {
-                        cost += c.state_change;
+                        cost.add(CpiCategory::CoherenceWait, c.state_change);
                         acted = true;
                     }
                 }
                 Scheme::Ecc => {
                     if !op.is_write && prot == LineState::Invalid {
-                        cost += c.ecc_read_invalid;
+                        cost.add(CpiCategory::Handler, c.ecc_read_invalid);
                         result.faults += 1;
                         acted = needs_action;
                     } else if op.is_write
@@ -290,7 +334,7 @@ pub fn simulate_faulty_full(
                         // Page-grain write protection: even writes to a
                         // READWRITE block trap if the page holds READONLY
                         // data (the Blizzard-E artifact).
-                        cost += c.ecc_write_readonly_page;
+                        cost.add(CpiCategory::Handler, c.ecc_write_readonly_page);
                         result.faults += 1;
                         acted = needs_action;
                     }
@@ -300,10 +344,10 @@ pub fn simulate_faulty_full(
                     // a block held without write permission is a write miss.
                     let informs = l1_miss || (op.is_write && prot != LineState::ReadWrite);
                     if informs {
-                        cost += c.informing_lookup;
+                        cost.add(CpiCategory::Handler, c.informing_lookup);
                         result.lookups += 1;
                         if needs_action {
-                            cost += c.state_change;
+                            cost.add(CpiCategory::CoherenceWait, c.state_change);
                             acted = true;
                         }
                     }
@@ -319,6 +363,11 @@ pub fn simulate_faulty_full(
                 // on loss, under the per-request retry cap and the
                 // machine-wide forward-progress watchdog.
                 let mut attempts: u32 = 0;
+                imo_obs::record(
+                    &mut obs,
+                    t0 + cost.total(),
+                    EventKind::CohRequest { proc: p as u32, line },
+                );
                 loop {
                     events += 1;
                     if events > params.limits.event_budget {
@@ -331,7 +380,12 @@ pub fn simulate_faulty_full(
                             // its timeout, backs off, and re-sends.
                             result.dropped_msgs += 1;
                             result.timeouts += 1;
-                            cost += params.limits.request_timeout;
+                            cost.add(CpiCategory::CoherenceWait, params.limits.request_timeout);
+                            imo_obs::record(
+                                &mut obs,
+                                t0 + cost.total(),
+                                EventKind::CohDrop { proc: p as u32, line },
+                            );
                             consecutive_failures += 1;
                             if consecutive_failures >= params.limits.watchdog_failures {
                                 let snapshot = ProgressSnapshot {
@@ -342,7 +396,7 @@ pub fn simulate_faulty_full(
                                     ownership: dir.describe(line),
                                 };
                                 return Err(SimError::Deadlock {
-                                    cycle: nodes[p].time + cost,
+                                    cycle: nodes[p].time + cost.total(),
                                     snapshot,
                                 });
                             }
@@ -362,19 +416,32 @@ pub fn simulate_faulty_full(
                                 });
                             }
                             result.retries += 1;
-                            cost += params.backoff.delay(attempts - 1);
+                            let backoff = params.backoff.delay(attempts - 1);
+                            cost.add(CpiCategory::CoherenceWait, backoff);
+                            if let Some(rec) = obs.as_deref_mut() {
+                                rec.metrics.observe("coh.retry_backoff", backoff);
+                                rec.record(
+                                    t0 + cost.total(),
+                                    EventKind::CohRetry { proc: p as u32, line, backoff },
+                                );
+                            }
                         }
                         Some(InterconnectFault::Duplicate) => {
                             // Both copies arrive; the home services the first
                             // and NACKs the duplicate. No extra latency on
                             // the critical path.
                             result.nacks += 1;
+                            imo_obs::record(
+                                &mut obs,
+                                t0 + cost.total(),
+                                EventKind::CohNack { proc: p as u32, line },
+                            );
                             consecutive_failures = 0;
                             break;
                         }
                         Some(InterconnectFault::Delay(d)) => {
                             // Late but delivered.
-                            cost += d;
+                            cost.add(CpiCategory::CoherenceWait, d);
                             consecutive_failures = 0;
                             break;
                         }
@@ -387,7 +454,7 @@ pub fn simulate_faulty_full(
 
                 let out = dir.act(p, line, op.is_write);
                 result.actions += 1;
-                cost += out.hops * params.msg_latency;
+                cost.add(CpiCategory::CoherenceWait, out.hops * params.msg_latency);
                 for q in out.invalidated.iter().collect::<Vec<_>>() {
                     events += 1;
                     nodes[q].l1.invalidate(line);
@@ -398,21 +465,37 @@ pub fn simulate_faulty_full(
                         Ok(removed) => {
                             if fault == Some(EccEvent::SingleBit) && removed.is_some() {
                                 result.ecc_corrected += 1;
+                                imo_obs::record(
+                                    &mut obs,
+                                    t0 + cost.total(),
+                                    EventKind::EccCorrected { line },
+                                );
                             }
                         }
                         Err(_lost) => {
                             // Uncorrectable: the recalled copy is useless, so
                             // the requester's fill is served from memory.
                             result.ecc_uncorrectable += 1;
-                            cost += params.l2_miss_penalty;
+                            cost.add(CpiCategory::CoherenceWait, params.l2_miss_penalty);
+                            imo_obs::record(
+                                &mut obs,
+                                t0 + cost.total(),
+                                EventKind::EccUncorrectable { line },
+                            );
                         }
                     }
                     result.invalidations += 1;
+                    imo_obs::record(
+                        &mut obs,
+                        t0 + cost.total(),
+                        EventKind::CohInvalidate { proc: q as u32, line },
+                    );
                 }
             }
         }
 
-        nodes[p].time += cost;
+        nodes[p].time += cost.total();
+        proc_cpi[p].merge(&cost);
         result.proc_cycles[p] = nodes[p].time;
         if nodes[p].cursor < trace.per_proc[p].len() {
             queue.push(Reverse((nodes[p].time, p)));
@@ -420,6 +503,30 @@ pub fn simulate_faulty_full(
     }
 
     result.total_cycles = result.proc_cycles.iter().copied().max().unwrap_or(0);
+    if let Some(rec) = obs {
+        // The run's completion time is the slowest processor's clock, so its
+        // stack is the one whose total equals `total_cycles`.
+        if let Some(i) = result.proc_cycles.iter().position(|&t| t == result.total_cycles) {
+            debug_assert_eq!(proc_cpi[i].total(), result.total_cycles);
+            rec.cpi.merge(&proc_cpi[i]);
+        }
+        rec.metrics.set("coh.procs", procs as u64);
+        rec.metrics.set("coh.total_cycles", result.total_cycles);
+        rec.metrics.set("coh.ops", result.ops);
+        rec.metrics.set("coh.lookups", result.lookups);
+        rec.metrics.set("coh.faults", result.faults);
+        rec.metrics.set("coh.actions", result.actions);
+        rec.metrics.set("coh.l1_misses", result.l1_misses);
+        rec.metrics.set("coh.l2_misses", result.l2_misses);
+        rec.metrics.set("coh.invalidations", result.invalidations);
+        rec.metrics.set("coh.retries", result.retries);
+        rec.metrics.set("coh.timeouts", result.timeouts);
+        rec.metrics.set("coh.nacks", result.nacks);
+        rec.metrics.set("coh.dropped_msgs", result.dropped_msgs);
+        rec.metrics.set("coh.ecc_corrected", result.ecc_corrected);
+        rec.metrics.set("coh.ecc_uncorrectable", result.ecc_uncorrectable);
+        plan.config().record_metrics(&mut rec.metrics);
+    }
     Ok((result, dir))
 }
 

@@ -3,6 +3,7 @@
 use imo_cpu::{inorder, ooo, InOrderConfig, OooConfig, RunLimits, RunResult, SimError};
 use imo_isa::exec::ArchState;
 use imo_isa::Program;
+use imo_obs::Recorder;
 
 /// One of the paper's two simulated machines, with its configuration.
 ///
@@ -83,6 +84,31 @@ impl Machine {
         match self {
             Machine::OutOfOrder(cfg) => ooo::simulate_full(program, cfg, RunLimits::default()),
             Machine::InOrder(cfg) => inorder::simulate_full(program, cfg, RunLimits::default()),
+        }
+    }
+
+    /// Simulates `program` under the observability recorder: typed events
+    /// stream into `rec` (gated by its category mask), named counters and
+    /// latency histograms accumulate into `rec.metrics`, and every cycle is
+    /// attributed into `rec.cpi` (whose total equals `RunResult::cycles`
+    /// exactly). The recorder is strictly passive — the timing result is
+    /// bit-identical to [`Machine::run`]'s.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] from the underlying model.
+    pub fn run_observed(
+        &self,
+        program: &Program,
+        rec: &mut Recorder,
+    ) -> Result<(RunResult, ArchState), SimError> {
+        match self {
+            Machine::OutOfOrder(cfg) => {
+                ooo::simulate_observed(program, cfg, RunLimits::default(), rec)
+            }
+            Machine::InOrder(cfg) => {
+                inorder::simulate_observed(program, cfg, RunLimits::default(), rec)
+            }
         }
     }
 }

@@ -50,6 +50,17 @@ impl MissProfile {
     pub fn total_misses(&self) -> u64 {
         self.sites.iter().map(|s| s.misses).sum()
     }
+
+    /// Exports the profile into an observability metrics registry:
+    /// `profile.sites`, `profile.total_misses`, and per-site
+    /// `profile.site.<old_pc>` counters.
+    pub fn record_metrics(&self, m: &mut imo_obs::MetricsRegistry) {
+        m.set("profile.sites", self.sites.len() as u64);
+        m.set("profile.total_misses", self.total_misses());
+        for s in &self.sites {
+            m.set(&format!("profile.site.{:#x}", s.old_pc), s.misses);
+        }
+    }
 }
 
 /// Profiles `program` on `machine` with exact per-reference counters.

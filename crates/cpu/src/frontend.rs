@@ -15,6 +15,7 @@ use imo_faults::HandlerFaults;
 use imo_isa::exec::{ControlFlow, ExecError, Executor, MissDepth, MissOracle};
 use imo_isa::{Instr, Program};
 use imo_mem::{HitLevel, MemoryHierarchy, ProbeResult};
+use imo_obs::{EventKind, Recorder};
 
 use crate::config::TrapModel;
 use crate::predictor::TwoBitPredictor;
@@ -92,6 +93,9 @@ pub struct FrontEnd<'p> {
     resume_at: u64,
     /// Sequence number whose resolution fetch is blocked on.
     blocked_on: Option<u64>,
+    /// The current block is an informing-trap redirect (handler dispatch),
+    /// not a branch mispredict — drives CPI handler-cycle attribution.
+    blocked_trap: bool,
     halted: bool,
     next_seq: u64,
     /// Line currently in the fetch buffer (avoids re-probing the I-cache).
@@ -127,6 +131,7 @@ impl<'p> FrontEnd<'p> {
             trap_model,
             resume_at: 0,
             blocked_on: None,
+            blocked_trap: false,
             halted: false,
             next_seq: 0,
             cur_line: None,
@@ -193,6 +198,12 @@ impl<'p> FrontEnd<'p> {
         self.blocked_on
     }
 
+    /// Whether fetch is blocked on an informing-trap resolution (handler
+    /// dispatch in flight) rather than a branch mispredict.
+    pub fn blocked_on_trap(&self) -> bool {
+        self.blocked_on.is_some() && self.blocked_trap
+    }
+
     /// Earliest cycle at which fetch can proceed (meaningful when not
     /// blocked on a sequence number).
     pub fn resume_at(&self) -> u64 {
@@ -204,6 +215,7 @@ impl<'p> FrontEnd<'p> {
     pub fn resolve(&mut self, seq: u64, cycle: u64, redirect_penalty: u64) {
         if self.blocked_on == Some(seq) {
             self.blocked_on = None;
+            self.blocked_trap = false;
             // An injected handler fault on this dispatch stretches the
             // redirect by its penalty (overrun bubbles / MHAR reload stall).
             let extra = match self.pending_penalty.take() {
@@ -219,6 +231,10 @@ impl<'p> FrontEnd<'p> {
 
     /// Fetches up to `width` instructions at `cycle`, appending to `out`.
     ///
+    /// Pass an event recorder through `obs` to stream fetch, cache-outcome,
+    /// trap-entry and handler-fault events; `None` records nothing and is
+    /// bit-identical to an unobserved run.
+    ///
     /// # Errors
     ///
     /// Propagates [`ExecError`] if the architectural path leaves the text
@@ -229,6 +245,7 @@ impl<'p> FrontEnd<'p> {
         width: u32,
         hier: &mut MemoryHierarchy,
         out: &mut Vec<Fetched>,
+        mut obs: Option<&mut Recorder>,
     ) -> Result<(), ExecError> {
         if self.halted || self.blocked_on.is_some() || cycle < self.resume_at {
             return Ok(());
@@ -246,6 +263,7 @@ impl<'p> FrontEnd<'p> {
                 hier.prefetch_inst(line + self.line_bytes);
                 self.cur_line = Some(line);
                 if lvl != HitLevel::L1 {
+                    imo_obs::record(&mut obs, cycle, EventKind::InstMiss { pc });
                     let ready = hier.schedule_inst(lvl, cycle);
                     if ready > cycle {
                         self.resume_at = ready;
@@ -276,6 +294,18 @@ impl<'p> FrontEnd<'p> {
             }
             if info.instr.is_data_ref() {
                 self.last_mem_seq = Some(seq);
+            }
+            imo_obs::record(&mut obs, cycle, EventKind::Fetch { seq, pc });
+            if let Some(p) = probe {
+                imo_obs::record(
+                    &mut obs,
+                    cycle,
+                    EventKind::DataAccess {
+                        served: p.served_by(),
+                        line: p.line,
+                        store: p.is_store,
+                    },
+                );
             }
 
             match info.control {
@@ -326,8 +356,10 @@ impl<'p> FrontEnd<'p> {
                         // "normal branch mispredict penalty only applies to
                         // the cache miss case").
                         self.informing_traps += 1;
+                        imo_obs::record(&mut obs, cycle, EventKind::TrapEnter { seq, pc });
                         f.resolve = Resolve::AtExecute;
                         self.blocked_on = Some(seq);
+                        self.blocked_trap = true;
                         out.push(f);
                         break;
                     }
@@ -342,12 +374,21 @@ impl<'p> FrontEnd<'p> {
                 ControlFlow::InformingTrap { .. } => {
                     self.informing_traps += 1;
                     f.informing_trap = true;
+                    imo_obs::record(&mut obs, cycle, EventKind::TrapEnter { seq, pc });
                     if let Some(stream) = self.handler_faults.as_mut() {
                         match stream.draw() {
                             Some(fault) => {
                                 self.handler_fault_count += 1;
                                 self.consecutive_faults += 1;
                                 self.pending_penalty = Some((seq, fault.penalty_cycles()));
+                                imo_obs::record(
+                                    &mut obs,
+                                    cycle,
+                                    EventKind::HandlerFault {
+                                        seq,
+                                        penalty: fault.penalty_cycles(),
+                                    },
+                                );
                                 if self.degrade_after != 0
                                     && self.consecutive_faults >= self.degrade_after
                                     && !self.degraded
@@ -371,6 +412,7 @@ impl<'p> FrontEnd<'p> {
                         Resolve::AtGraduate
                     };
                     self.blocked_on = Some(seq);
+                    self.blocked_trap = true;
                     out.push(f);
                     break;
                 }
@@ -410,14 +452,14 @@ mod tests {
         let mut h = hier();
         let mut out = Vec::new();
         // Cycle 0: the first line misses in the I-cache -> nothing fetched.
-        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        f.fetch(0, 4, &mut h, &mut out, None).unwrap();
         assert!(out.is_empty(), "cold I-miss blocks fetch");
         let resume = f.resume_at();
         assert!(resume > 0);
-        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume, 4, &mut h, &mut out, None).unwrap();
         assert_eq!(out.len(), 4, "full width once the line arrives");
         out.clear();
-        f.fetch(resume + 1, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume + 1, 4, &mut h, &mut out, None).unwrap();
         assert_eq!(out.len(), 3, "remaining nops + halt");
         assert!(f.halted());
     }
@@ -439,7 +481,7 @@ mod tests {
         let mut stall_events = 0;
         while !f.halted() && cycle < 10_000 {
             let before = out.len();
-            f.fetch(cycle, 4, &mut h, &mut out).unwrap();
+            f.fetch(cycle, 4, &mut h, &mut out, None).unwrap();
             if out.len() == before && f.blocked_on().is_none() {
                 stall_events += 1;
                 cycle = f.resume_at().max(cycle + 1);
@@ -464,12 +506,12 @@ mod tests {
         let mut f = fe(&p);
         let mut h = hier();
         let mut out = Vec::new();
-        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        f.fetch(0, 4, &mut h, &mut out, None).unwrap();
         let resume = f.resume_at();
-        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume, 4, &mut h, &mut out, None).unwrap();
         assert_eq!(out.len(), 1, "jump ends its fetch group");
         out.clear();
-        f.fetch(resume + 1, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume + 1, 4, &mut h, &mut out, None).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].instr, Instr::Halt);
     }
@@ -489,9 +531,9 @@ mod tests {
         let mut f = fe(&p);
         let mut h = hier();
         let mut out = Vec::new();
-        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        f.fetch(0, 4, &mut h, &mut out, None).unwrap();
         let resume = f.resume_at();
-        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume, 4, &mut h, &mut out, None).unwrap();
         assert_eq!(out.len(), 2, "li + branch; blocked after mispredict");
         let bseq = out[1].seq;
         assert_eq!(out[1].resolve, Resolve::AtExecute);
@@ -500,14 +542,14 @@ mod tests {
 
         // Nothing fetched while blocked.
         out.clear();
-        f.fetch(resume + 5, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume + 5, 4, &mut h, &mut out, None).unwrap();
         assert!(out.is_empty());
 
         // Resolve at resume+20 with 1-cycle redirect: fetch resumes 2 later.
         f.resolve(bseq, resume + 20, 1);
-        f.fetch(resume + 21, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume + 21, 4, &mut h, &mut out, None).unwrap();
         assert!(out.is_empty());
-        f.fetch(resume + 22, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume + 22, 4, &mut h, &mut out, None).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].instr, Instr::Halt);
     }
@@ -527,9 +569,9 @@ mod tests {
         let mut f = fe(&p);
         let mut h = hier();
         let mut out = Vec::new();
-        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        f.fetch(0, 4, &mut h, &mut out, None).unwrap();
         let resume = f.resume_at();
-        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume, 4, &mut h, &mut out, None).unwrap();
         let trap = out.iter().find(|x| x.informing_trap).expect("trap fetched");
         assert_eq!(trap.resolve, Resolve::AtExecute, "branch trap model");
         assert_eq!(f.informing_traps(), 1);
@@ -537,7 +579,7 @@ mod tests {
 
         f.resolve(tseq, resume + 30, 1);
         out.clear();
-        f.fetch(resume + 32, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume + 32, 4, &mut h, &mut out, None).unwrap();
         // Handler instructions are the correct path after the trap.
         assert!(matches!(out[0].instr, Instr::Addi { .. }), "handler fetched: {:?}", out[0].instr);
     }
@@ -556,9 +598,9 @@ mod tests {
         let mut f = FrontEnd::new(&p, 256, TrapModel::Exception, 32);
         let mut h = hier();
         let mut out = Vec::new();
-        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        f.fetch(0, 4, &mut h, &mut out, None).unwrap();
         let resume = f.resume_at();
-        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume, 4, &mut h, &mut out, None).unwrap();
         let trap = out.iter().find(|x| x.informing_trap).expect("trap fetched");
         assert_eq!(trap.resolve, Resolve::AtGraduate);
     }
@@ -577,9 +619,9 @@ mod tests {
         let mut f = fe(&p);
         let mut h = hier();
         let mut out = Vec::new();
-        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        f.fetch(0, 4, &mut h, &mut out, None).unwrap();
         let resume = f.resume_at();
-        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume, 4, &mut h, &mut out, None).unwrap();
         let bm = out
             .iter()
             .find(|x| matches!(x.instr, Instr::BranchOnMiss { .. }))
@@ -601,9 +643,9 @@ mod tests {
         let mut f = fe(&p);
         let mut h = hier();
         let mut out = Vec::new();
-        f.fetch(0, 4, &mut h, &mut out).unwrap();
+        f.fetch(0, 4, &mut h, &mut out, None).unwrap();
         let resume = f.resume_at();
-        f.fetch(resume, 4, &mut h, &mut out).unwrap();
+        f.fetch(resume, 4, &mut h, &mut out, None).unwrap();
         let ld = out.iter().find(|x| x.instr.is_data_ref()).unwrap();
         let probe = ld.probe.expect("probe recorded");
         assert!(probe.level.is_l1_miss());

@@ -22,7 +22,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use imo_isa::{FuClass, Instr, Program};
-use imo_mem::MemoryHierarchy;
+use imo_mem::{HitLevel, MemoryHierarchy};
+use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder};
 
 use crate::config::InOrderConfig;
 use crate::config::TrapModel;
@@ -41,6 +42,25 @@ struct RegState {
     /// The producer was a load that missed in the primary data cache and the
     /// data has not yet arrived (used for stall attribution).
     miss_pending: bool,
+    /// The pending miss goes all the way to main memory (CPI-stack depth).
+    miss_to_mem: bool,
+}
+
+/// Classifies a zero-issue cycle for the CPI stack. The trap check precedes
+/// the miss check so handler-redirect bubbles land in `Handler` even when a
+/// missed load is also blocking issue.
+fn stall_category(on_trap: bool, on_miss: bool, miss_to_mem: bool) -> CpiCategory {
+    if on_trap {
+        CpiCategory::Handler
+    } else if on_miss {
+        if miss_to_mem {
+            CpiCategory::L2Miss
+        } else {
+            CpiCategory::L1Miss
+        }
+    } else {
+        CpiCategory::IssueStall
+    }
 }
 
 /// Simulates `program` to completion on the in-order model.
@@ -83,7 +103,28 @@ pub fn simulate_full(
     cfg: &InOrderConfig,
     limits: RunLimits,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
-    run(program, cfg, limits, None)
+    run(program, cfg, limits, None, None)
+}
+
+/// Like [`simulate_full`], but streams typed events into `rec` (gated by its
+/// category mask), accumulates the run's named counters and latency
+/// histograms into `rec.metrics`, and attributes every cycle into
+/// `rec.cpi` — whose total is guaranteed to equal `RunResult::cycles`
+/// exactly.
+///
+/// The recorder is strictly passive: the returned `RunResult` is
+/// bit-identical to [`simulate`]'s, whatever the mask.
+///
+/// # Errors
+///
+/// As for [`simulate`].
+pub fn simulate_observed(
+    program: &Program,
+    cfg: &InOrderConfig,
+    limits: RunLimits,
+    rec: &mut Recorder,
+) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
+    run(program, cfg, limits, None, Some(rec))
 }
 
 /// Like [`simulate`], but drives the run under a [`imo_faults::FaultPlan`]:
@@ -103,7 +144,7 @@ pub fn simulate_faulty(
     limits: RunLimits,
     plan: &imo_faults::FaultPlan,
 ) -> Result<RunResult, SimError> {
-    run(program, cfg, limits, Some(plan)).map(|(r, _)| r)
+    run(program, cfg, limits, Some(plan), None).map(|(r, _)| r)
 }
 
 fn run(
@@ -111,6 +152,7 @@ fn run(
     cfg: &InOrderConfig,
     limits: RunLimits,
     faults: Option<&imo_faults::FaultPlan>,
+    mut obs: Option<&mut Recorder>,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
     let mut hier = MemoryHierarchy::new(cfg.hier);
     // The in-order machine's informing traps always redirect at miss
@@ -136,6 +178,7 @@ fn run(
     let mut now: u64 = 0;
     let mut issued_total: u64 = 0;
     let mut slots = SlotBreakdown::default();
+    let mut cpi = CpiStack::default();
     let mut done = false;
 
     while !done {
@@ -158,6 +201,7 @@ fn run(
         let mut issued: u64 = 0;
         // Why issue stopped, for slot attribution.
         let mut blocked_on_miss = false;
+        let mut blocked_miss_to_mem = false;
         let mut next_wakeup: u64 = u64::MAX;
 
         while issued < width {
@@ -183,6 +227,7 @@ fn run(
                 ready_at = ready_at.max(r.ready).max(r.replay_floor);
                 if r.ready > now && r.miss_pending {
                     blocked_on_miss = true;
+                    blocked_miss_to_mem = r.miss_to_mem;
                 }
             }
             if matches!(f.instr, Instr::BranchOnMiss { .. }) {
@@ -193,8 +238,13 @@ fn run(
                 break;
             }
             blocked_on_miss = false; // it issued after all
+            blocked_miss_to_mem = false;
 
             let f = queue.pop_front().expect("front exists");
+            imo_obs::record(&mut obs, now, EventKind::Issue { seq: f.seq });
+            if matches!(f.instr, Instr::JumpMhrr) {
+                imo_obs::record(&mut obs, now, EventKind::TrapReturn { seq: f.seq });
+            }
             match f.instr.fu_class() {
                 FuClass::Int | FuClass::Mem => int_used += 1,
                 FuClass::Fp => fp_used += 1,
@@ -209,6 +259,9 @@ fn run(
                     let t = hier.schedule_data(probe, now);
                     outcome_cycle = t.start + cfg.hier.l1_latency;
                     last_mem_outcome = outcome_cycle;
+                    if let Some(rec) = obs.as_deref_mut() {
+                        rec.metrics.observe("cpu.load_to_use", t.complete.saturating_sub(now));
+                    }
                     if let Some(dst) = f.instr.dest() {
                         let miss = probe.level.is_l1_miss();
                         regs[dst.logical()] = RegState {
@@ -219,6 +272,7 @@ fn run(
                                 0
                             },
                             miss_pending: miss,
+                            miss_to_mem: miss && probe.level == HitLevel::Memory,
                         };
                     }
                 }
@@ -239,8 +293,12 @@ fn run(
                 ref other => {
                     let lat = cfg.latency(other);
                     if let Some(dst) = f.instr.dest() {
-                        regs[dst.logical()] =
-                            RegState { ready: now + lat, replay_floor: 0, miss_pending: false };
+                        regs[dst.logical()] = RegState {
+                            ready: now + lat,
+                            replay_floor: 0,
+                            miss_pending: false,
+                            miss_to_mem: false,
+                        };
                     }
                 }
             }
@@ -251,6 +309,14 @@ fn run(
                 Resolve::None => {}
                 Resolve::AtExecute | Resolve::AtGraduate => {
                     let due = if f.instr.is_data_ref() { outcome_cycle } else { now };
+                    if f.informing_trap {
+                        if let Some(rec) = obs.as_deref_mut() {
+                            rec.metrics.observe(
+                                "cpu.trap_redirect",
+                                due.max(now).saturating_sub(f.fetch_cycle),
+                            );
+                        }
+                    }
                     if due <= now {
                         fe.resolve(f.seq, now, cfg.redirect_penalty);
                     } else {
@@ -283,6 +349,19 @@ fn run(
                 slots.other_stall += lost;
             }
         }
+        // Exactly one CPI-stack cycle per loop iteration: this point runs
+        // before every `break`, and the fast-forward path below attributes
+        // the cycles it skips, so the stack total always equals `cycles`.
+        if obs.is_some() {
+            if issued > 0 {
+                cpi.add(CpiCategory::Base, 1);
+            } else {
+                cpi.add(
+                    stall_category(fe.blocked_on_trap(), blocked_on_miss, blocked_miss_to_mem),
+                    1,
+                );
+            }
+        }
         if done {
             break;
         }
@@ -291,7 +370,7 @@ fn run(
         if queue.len() < 2 * cfg.issue_width as usize {
             let before = queue.len();
             let mut buf = Vec::new();
-            fe.fetch(now, cfg.issue_width, &mut hier, &mut buf)?;
+            fe.fetch(now, cfg.issue_width, &mut hier, &mut buf, obs.as_deref_mut())?;
             queue.extend(buf);
             if queue.len() > before {
                 progress = true;
@@ -334,6 +413,14 @@ fn run(
                 } else {
                     slots.other_stall += lost;
                 }
+                if obs.is_some() {
+                    // The skipped cycles would each have issued nothing with
+                    // this exact (frozen) machine state.
+                    cpi.add(
+                        stall_category(fe.blocked_on_trap(), blocked_on_miss, blocked_miss_to_mem),
+                        skipped,
+                    );
+                }
             }
             now = next;
         }
@@ -362,6 +449,18 @@ fn run(
             inst_misses: hier.stats().inst_misses,
         },
     };
+    if let Some(rec) = obs {
+        rec.cpi.merge(&cpi);
+        rec.metrics.set("cpu.cycles", result.cycles);
+        rec.metrics.set("cpu.instructions", result.instructions);
+        rec.metrics.set("cpu.informing_traps", result.informing_traps);
+        rec.metrics.set("cpu.mispredictions", result.mispredictions);
+        rec.metrics.set("cpu.handler_faults", result.handler_faults);
+        hier.stats().record_metrics(&mut rec.metrics);
+        if let Some(plan) = faults {
+            plan.config().record_metrics(&mut rec.metrics);
+        }
+    }
     Ok((result, fe.into_state()))
 }
 

@@ -25,7 +25,8 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use imo_isa::{FuClass, Instr, MemKind, Program};
-use imo_mem::{MemoryHierarchy, MshrFile, MshrId};
+use imo_mem::{HitLevel, MemoryHierarchy, MshrFile, MshrId};
+use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder};
 
 use crate::config::{OooConfig, TrapModel};
 use crate::frontend::{Fetched, FrontEnd, Resolve};
@@ -103,7 +104,28 @@ pub fn simulate_full(
     cfg: &OooConfig,
     limits: RunLimits,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
-    run(program, cfg, limits, None, None)
+    run(program, cfg, limits, None, None, None)
+}
+
+/// Like [`simulate_full`], but streams typed events into `rec` (gated by its
+/// category mask), accumulates the run's named counters and latency
+/// histograms into `rec.metrics`, and attributes every cycle into
+/// `rec.cpi` — whose total is guaranteed to equal `RunResult::cycles`
+/// exactly.
+///
+/// The recorder is strictly passive: the returned `RunResult` is
+/// bit-identical to [`simulate`]'s, whatever the mask.
+///
+/// # Errors
+///
+/// As for [`simulate`].
+pub fn simulate_observed(
+    program: &Program,
+    cfg: &OooConfig,
+    limits: RunLimits,
+    rec: &mut Recorder,
+) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
+    run(program, cfg, limits, None, None, Some(rec))
 }
 
 /// Like [`simulate`], but drives the run under a [`imo_faults::FaultPlan`]:
@@ -123,7 +145,7 @@ pub fn simulate_faulty(
     limits: RunLimits,
     plan: &imo_faults::FaultPlan,
 ) -> Result<RunResult, SimError> {
-    run(program, cfg, limits, None, Some(plan)).map(|(r, _)| r)
+    run(program, cfg, limits, None, Some(plan), None).map(|(r, _)| r)
 }
 
 /// Like [`simulate`], but records a per-instruction pipeline trace
@@ -139,7 +161,7 @@ pub fn simulate_traced(
     limits: RunLimits,
 ) -> Result<(RunResult, Vec<InstrTrace>), SimError> {
     let mut traces = Vec::new();
-    let (result, _) = run(program, cfg, limits, Some(&mut traces), None)?;
+    let (result, _) = run(program, cfg, limits, Some(&mut traces), None, None)?;
     Ok((result, traces))
 }
 
@@ -149,6 +171,7 @@ fn run(
     limits: RunLimits,
     mut trace: Option<&mut Vec<InstrTrace>>,
     faults: Option<&imo_faults::FaultPlan>,
+    mut obs: Option<&mut Recorder>,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
     let mut hier = MemoryHierarchy::new(cfg.hier);
     let mut fe =
@@ -177,6 +200,7 @@ fn run(
     let mut now: u64 = 0;
     let mut graduated_total: u64 = 0;
     let mut slots = SlotBreakdown::default();
+    let mut cpi = CpiStack::default();
     let mut done = false;
 
     let fu_cap = |c: FuClass| -> u32 {
@@ -207,6 +231,28 @@ fn run(
                 }
             }
         }
+    };
+
+    // CPI-stack classification for a cycle that graduates nothing. The trap
+    // check precedes the memory checks so the handler-redirect bubbles land
+    // in `Handler` (the paper's informing overhead) even when the trapping
+    // load is also the miss-blocked ROB head.
+    let classify = |rob: &VecDeque<Entry>, fe: &FrontEnd| -> CpiCategory {
+        if fe.blocked_on_trap() {
+            return CpiCategory::Handler;
+        }
+        if let Some(h) = rob.front() {
+            if h.state != EState::Complete && h.f.instr.is_data_ref() {
+                if let Some(p) = h.f.probe {
+                    match p.level {
+                        HitLevel::L2 => return CpiCategory::L1Miss,
+                        HitLevel::Memory => return CpiCategory::L2Miss,
+                        HitLevel::L1 => {}
+                    }
+                }
+            }
+        }
+        CpiCategory::IssueStall
     };
 
     while !done {
@@ -257,6 +303,22 @@ fn run(
             if let Some(id) = e.mshr {
                 mshrs.graduate(id);
             }
+            if let Some(rec) = obs.as_deref_mut() {
+                rec.record(now, EventKind::Graduate { seq: e.f.seq });
+                if matches!(e.f.instr, Instr::JumpMhrr) {
+                    rec.record(now, EventKind::TrapReturn { seq: e.f.seq });
+                }
+                if matches!(e.f.instr, Instr::Load { .. }) && e.issue_cycle != u64::MAX {
+                    rec.metrics
+                        .observe("cpu.load_to_use", e.complete_cycle.saturating_sub(e.issue_cycle));
+                }
+                if e.f.informing_trap {
+                    let resolved =
+                        if e.f.resolve == Resolve::AtGraduate { now } else { e.outcome_cycle };
+                    rec.metrics
+                        .observe("cpu.trap_redirect", resolved.saturating_sub(e.f.fetch_cycle));
+                }
+            }
             if e.f.resolve == Resolve::AtGraduate {
                 fe.resolve(e.f.seq, now, cfg.redirect_penalty);
             }
@@ -282,6 +344,16 @@ fn run(
                 slots.cache_stall += lost;
             } else {
                 slots.other_stall += lost;
+            }
+        }
+        // Exactly one CPI-stack cycle per loop iteration: this point runs
+        // before every `break`, and the fast-forward path below attributes
+        // the cycles it skips, so the stack total always equals `cycles`.
+        if obs.is_some() {
+            if g > 0 {
+                cpi.add(CpiCategory::Base, 1);
+            } else {
+                cpi.add(classify(&rob, &fe), 1);
             }
         }
 
@@ -379,12 +451,16 @@ fn run(
             e.issue_cycle = now;
             e.complete_cycle = complete;
             e.outcome_cycle = outcome;
+            imo_obs::record(&mut obs, now, EventKind::Issue { seq: e.f.seq });
             if let Some((line, fill)) = alloc_mshr {
                 let fresh = mshrs.find(line).is_none();
                 if let Some(id) = mshrs.allocate(line) {
                     e.mshr = Some(id);
                     if fresh {
                         fills.push((fill, id));
+                        imo_obs::record(&mut obs, now, EventKind::MshrAllocate { line });
+                    } else {
+                        imo_obs::record(&mut obs, now, EventKind::MshrMerge { line });
                     }
                 }
             }
@@ -445,7 +521,7 @@ fn run(
         if fetch_q.len() < 2 * cfg.issue_width as usize {
             let before = fetch_q.len();
             let mut buf = Vec::new();
-            fe.fetch(now, cfg.issue_width, &mut hier, &mut buf)?;
+            fe.fetch(now, cfg.issue_width, &mut hier, &mut buf, obs.as_deref_mut())?;
             fetch_q.extend(buf);
             if fetch_q.len() > before {
                 progress = true;
@@ -522,6 +598,11 @@ fn run(
                 } else {
                     slots.other_stall += lost;
                 }
+                if obs.is_some() {
+                    // The skipped cycles would each have graduated nothing
+                    // with this exact (frozen) machine state.
+                    cpi.add(classify(&rob, &fe), skipped);
+                }
             }
             now = next;
         }
@@ -550,6 +631,18 @@ fn run(
             inst_misses: hier.stats().inst_misses,
         },
     };
+    if let Some(rec) = obs {
+        rec.cpi.merge(&cpi);
+        rec.metrics.set("cpu.cycles", result.cycles);
+        rec.metrics.set("cpu.instructions", result.instructions);
+        rec.metrics.set("cpu.informing_traps", result.informing_traps);
+        rec.metrics.set("cpu.mispredictions", result.mispredictions);
+        rec.metrics.set("cpu.handler_faults", result.handler_faults);
+        hier.stats().record_metrics(&mut rec.metrics);
+        if let Some(plan) = faults {
+            plan.config().record_metrics(&mut rec.metrics);
+        }
+    }
     Ok((result, fe.into_state()))
 }
 

@@ -32,6 +32,16 @@ impl MemCounters {
             self.l1d_misses as f64 / self.l1d_accesses as f64
         }
     }
+
+    /// Fraction of primary misses that also missed in the secondary cache
+    /// (`0.0` when there were no primary misses — never `NaN`).
+    pub fn l2_miss_rate(&self) -> f64 {
+        if self.l1d_misses == 0 {
+            0.0
+        } else {
+            self.l2_misses as f64 / self.l1d_misses as f64
+        }
+    }
 }
 
 /// The outcome of simulating a program to completion.
@@ -90,6 +100,7 @@ impl Summarize for RunResult {
             .push("l1d_misses", self.mem.l1d_misses)
             .push("l1d_miss_rate", self.mem.l1d_miss_rate())
             .push("l2_misses", self.mem.l2_misses)
+            .push("l2_miss_rate", self.mem.l2_miss_rate())
             .push("inst_misses", self.mem.inst_misses);
         r
     }
@@ -177,6 +188,31 @@ mod tests {
     fn miss_rate() {
         let m = MemCounters { l1d_accesses: 200, l1d_misses: 20, l2_misses: 2, inst_misses: 0 };
         assert_eq!(m.l1d_miss_rate(), 0.1);
+        assert_eq!(m.l2_miss_rate(), 0.1);
+    }
+
+    #[test]
+    fn rates_of_an_empty_run_are_zero_not_nan() {
+        let r = RunResult {
+            cycles: 0,
+            instructions: 0,
+            slots: SlotBreakdown::default(),
+            informing_traps: 0,
+            mispredictions: 0,
+            branch_accuracy: 1.0,
+            handler_faults: 0,
+            degraded: false,
+            mem: MemCounters::default(),
+        };
+        for v in [r.ipc(), r.mem.l1d_miss_rate(), r.mem.l2_miss_rate()] {
+            assert_eq!(v, 0.0);
+            assert!(!v.is_nan());
+        }
+        // The report must also carry finite values for every rate.
+        let rep = r.report();
+        assert_eq!(rep.get("ipc"), Some(&imo_util::stats::Metric::F64(0.0)));
+        assert_eq!(rep.get("l1d_miss_rate"), Some(&imo_util::stats::Metric::F64(0.0)));
+        assert_eq!(rep.get("l2_miss_rate"), Some(&imo_util::stats::Metric::F64(0.0)));
     }
 
     #[test]

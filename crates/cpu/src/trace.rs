@@ -7,9 +7,8 @@
 //! load's miss latency went, how far the informing trap redirect pushed the
 //! handler, which instructions overlapped it).
 
-use std::fmt::Write as _;
-
 use imo_isa::Instr;
+use imo_util::table::Table;
 
 /// One graduated instruction's trip through the pipeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,29 +36,51 @@ impl InstrTrace {
     pub fn latency(&self) -> u64 {
         self.graduate.saturating_sub(self.fetch)
     }
+
+    /// Cycles spent waiting between dispatch and issue (operand/FU wait).
+    pub fn issue_wait(&self) -> u64 {
+        self.issue.saturating_sub(self.dispatch)
+    }
+
+    /// Cycles from issue to result availability (execution latency).
+    pub fn exec_latency(&self) -> u64 {
+        self.complete.saturating_sub(self.issue)
+    }
 }
 
-/// Renders traces as a text pipeline diagram:
+/// Mean fetch-to-graduate latency over `traces`; `0.0` for an empty slice
+/// (never `NaN`).
+pub fn mean_latency(traces: &[InstrTrace]) -> f64 {
+    if traces.is_empty() {
+        0.0
+    } else {
+        traces.iter().map(InstrTrace::latency).sum::<u64>() as f64 / traces.len() as f64
+    }
+}
+
+/// Renders traces as a text pipeline diagram (via the shared
+/// [`imo_util::table::Table`] renderer):
 ///
 /// ```text
-/// seq pc       F        D        I        C        G        instr
-///   0 0x10000  0        0        3        4        5        li r1, 7
+/// seq  pc        F  D  I  C  G  instr
+/// -------------------------------------
+/// 0    0x10000   0  0  3  4  5  li r1, 7
 /// ```
 pub fn render(traces: &[InstrTrace]) -> String {
-    let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "{:>5} {:<10} {:>8} {:>8} {:>8} {:>8} {:>8}  instr",
-        "seq", "pc", "F", "D", "I", "C", "G"
-    );
-    for t in traces {
-        let _ = writeln!(
-            out,
-            "{:>5} {:<#10x} {:>8} {:>8} {:>8} {:>8} {:>8}  {}",
-            t.seq, t.pc, t.fetch, t.dispatch, t.issue, t.complete, t.graduate, t.instr
-        );
+    let mut t = Table::new(["seq", "pc", "F", "D", "I", "C", "G", "instr"]);
+    for tr in traces {
+        t.row([
+            tr.seq.to_string(),
+            format!("{:#x}", tr.pc),
+            tr.fetch.to_string(),
+            tr.dispatch.to_string(),
+            tr.issue.to_string(),
+            tr.complete.to_string(),
+            tr.graduate.to_string(),
+            tr.instr.to_string(),
+        ]);
     }
-    out
+    t.render()
 }
 
 /// Checks the stage-ordering invariants every trace must satisfy; returns
@@ -145,8 +166,33 @@ mod tests {
         let p = a.assemble().unwrap();
         let (_, traces) = simulate_traced(&p, &OooConfig::paper(), RunLimits::default()).unwrap();
         let s = render(&traces);
-        assert_eq!(s.lines().count(), traces.len() + 1, "{s}");
+        // Header + dashed rule + one row per trace.
+        assert_eq!(s.lines().count(), traces.len() + 2, "{s}");
         assert!(s.contains("li r1, 1"));
+    }
+
+    #[test]
+    fn mean_latency_of_no_traces_is_zero_not_nan() {
+        let m = mean_latency(&[]);
+        assert_eq!(m, 0.0);
+        assert!(!m.is_nan());
+    }
+
+    #[test]
+    fn stage_durations_saturate_never_underflow() {
+        let t = InstrTrace {
+            seq: 0,
+            pc: 0x1_0000,
+            instr: Instr::Nop,
+            fetch: 10,
+            dispatch: 5, // malformed on purpose: earlier than fetch
+            issue: 3,
+            complete: 2,
+            graduate: 1,
+        };
+        assert_eq!(t.latency(), 0);
+        assert_eq!(t.issue_wait(), 0);
+        assert_eq!(t.exec_latency(), 0);
     }
 
     #[test]

@@ -191,6 +191,24 @@ impl FaultConfig {
     pub fn is_none(&self) -> bool {
         !self.has_interconnect() && !self.has_ecc() && !self.has_handler()
     }
+
+    /// Dumps the plan's knobs into a shared metrics registry under the
+    /// `faults.` prefix, so every observed run's export records exactly what
+    /// fault pressure it ran under. Rates (probabilities) are recorded in
+    /// parts per million to keep the registry integer-valued.
+    pub fn record_metrics(&self, m: &mut imo_obs::MetricsRegistry) {
+        let ppm = |rate: f64| (rate * 1e6).round() as u64;
+        m.set("faults.seed", self.seed);
+        m.set("faults.drop_rate_ppm", ppm(self.drop_rate));
+        m.set("faults.dup_rate_ppm", ppm(self.dup_rate));
+        m.set("faults.delay_rate_ppm", ppm(self.delay_rate));
+        m.set("faults.delay_cycles", self.delay_cycles);
+        m.set("faults.ecc_single_rate_ppm", ppm(self.ecc_single_rate));
+        m.set("faults.ecc_double_rate_ppm", ppm(self.ecc_double_rate));
+        m.set("faults.handler_overrun_rate_ppm", ppm(self.handler_overrun_rate));
+        m.set("faults.stale_mhar_rate_ppm", ppm(self.stale_mhar_rate));
+        m.set("faults.degrade_after", u64::from(self.degrade_after));
+    }
 }
 
 impl Default for FaultConfig {
@@ -483,6 +501,17 @@ mod tests {
             9,
             "penalty accessor"
         );
+    }
+
+    #[test]
+    fn record_metrics_exports_rates_in_ppm() {
+        let mut m = imo_obs::MetricsRegistry::new();
+        let mut c = FaultConfig::none(9);
+        c.drop_rate = 0.25;
+        c.record_metrics(&mut m);
+        assert_eq!(m.counter("faults.seed"), Some(9));
+        assert_eq!(m.counter("faults.drop_rate_ppm"), Some(250_000));
+        assert_eq!(m.counter("faults.degrade_after"), Some(4));
     }
 
     #[test]

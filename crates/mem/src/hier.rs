@@ -32,6 +32,18 @@ pub struct ProbeResult {
     pub is_store: bool,
 }
 
+impl ProbeResult {
+    /// The observability-layer view of which level served this reference.
+    #[must_use]
+    pub fn served_by(&self) -> imo_obs::ServedBy {
+        match self.level {
+            HitLevel::L1 => imo_obs::ServedBy::L1,
+            HitLevel::L2 => imo_obs::ServedBy::L2,
+            HitLevel::Memory => imo_obs::ServedBy::Memory,
+        }
+    }
+}
+
 /// Completion information for a scheduled access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct AccessTiming {
@@ -58,6 +70,19 @@ pub struct HierStats {
     pub writebacks_to_mem: u64,
     /// Prefetches issued.
     pub prefetches: u64,
+}
+
+impl HierStats {
+    /// Dumps the hierarchy counters into a shared metrics registry under the
+    /// `mem.` prefix — the schema every observed run exports.
+    pub fn record_metrics(&self, m: &mut imo_obs::MetricsRegistry) {
+        m.set("mem.data_refs", self.data_refs);
+        m.set("mem.l1d_misses_to_l2", self.l1d_misses_to_l2);
+        m.set("mem.l1d_misses_to_mem", self.l1d_misses_to_mem);
+        m.set("mem.inst_misses", self.inst_misses);
+        m.set("mem.writebacks_to_mem", self.writebacks_to_mem);
+        m.set("mem.prefetches", self.prefetches);
+    }
 }
 
 /// A two-level cache hierarchy with banked, lockup-free timing.

@@ -1,0 +1,290 @@
+//! Named counters and fixed-bucket latency histograms.
+//!
+//! Every simulation layer dumps its counters into one [`MetricsRegistry`]
+//! under a layer prefix (`cpu.`, `mem.`, `coh.`, `faults.`), giving tools a
+//! single schema instead of four ad-hoc result structs. Registration order
+//! is preserved so exports diff cleanly between runs.
+
+use imo_util::json::Json;
+
+/// Bucket upper bounds (inclusive) shared by every latency histogram.
+///
+/// Powers of two up to 4096 cycles plus a catch-all overflow bucket. Fixed
+/// bounds keep exports byte-stable across runs and make histograms from
+/// different layers directly comparable.
+pub const BUCKET_BOUNDS: [u64; 13] = [1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096];
+
+/// A fixed-bucket latency histogram over [`BUCKET_BOUNDS`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// `counts[i]` holds samples `<= BUCKET_BOUNDS[i]` (and greater than the
+    /// previous bound); the final slot is the overflow bucket.
+    counts: [u64; BUCKET_BOUNDS.len() + 1],
+    samples: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { counts: [0; BUCKET_BOUNDS.len() + 1], samples: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Histogram {
+    /// Records one latency sample, in cycles.
+    pub fn observe(&mut self, cycles: u64) {
+        let idx = BUCKET_BOUNDS.iter().position(|&b| cycles <= b).unwrap_or(BUCKET_BOUNDS.len());
+        self.counts[idx] += 1;
+        self.samples += 1;
+        self.sum += cycles;
+        self.max = self.max.max(cycles);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Sum of all samples, in cycles.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample, or 0 when empty.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean latency, or 0.0 when empty (never NaN).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.samples as f64
+        }
+    }
+
+    /// Per-bucket counts, overflow bucket last.
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// The histogram as JSON: bounds, counts, and summary moments.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("bounds", Json::arr(BUCKET_BOUNDS.iter().map(|&b| Json::from(b)))),
+            ("counts", Json::arr(self.counts.iter().map(|&c| Json::from(c)))),
+            ("samples", Json::from(self.samples)),
+            ("sum", Json::from(self.sum)),
+            ("max", Json::from(self.max)),
+            ("mean", Json::from(self.mean())),
+        ])
+    }
+
+    /// One-line text rendering: `samples=.. mean=.. max=..` plus the
+    /// non-empty buckets as `<=bound:count` pairs.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut s = format!("samples={} mean={:.1} max={}", self.samples, self.mean(), self.max);
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            match BUCKET_BOUNDS.get(i) {
+                Some(b) => s.push_str(&format!(" <={b}:{c}")),
+                None => s.push_str(&format!(" >4096:{c}")),
+            }
+        }
+        s
+    }
+}
+
+/// An insertion-ordered registry of named counters and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsRegistry {
+    counters: Vec<(String, u64)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Adds `delta` to the counter `name`, creating it at 0 if absent.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        match self.counters.iter_mut().find(|(k, _)| k == name) {
+            Some(slot) => slot.1 += delta,
+            None => self.counters.push((name.to_string(), delta)),
+        }
+    }
+
+    /// Sets the counter `name` to `value`, creating it if absent.
+    pub fn set(&mut self, name: &str, value: u64) {
+        match self.counters.iter_mut().find(|(k, _)| k == name) {
+            Some(slot) => slot.1 = value,
+            None => self.counters.push((name.to_string(), value)),
+        }
+    }
+
+    /// The current value of counter `name`, or `None` if never touched.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.iter().find(|(k, _)| k == name).map(|&(_, v)| v)
+    }
+
+    /// Records a latency sample into histogram `name`, creating it if
+    /// absent.
+    pub fn observe(&mut self, name: &str, cycles: u64) {
+        if let Some(slot) = self.histograms.iter_mut().find(|(k, _)| k == name) {
+            slot.1.observe(cycles);
+            return;
+        }
+        let mut h = Histogram::default();
+        h.observe(cycles);
+        self.histograms.push((name.to_string(), h));
+    }
+
+    /// Looks up a histogram by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(k, _)| k == name).map(|(_, h)| h)
+    }
+
+    /// All counters, in registration order.
+    #[must_use]
+    pub fn counters(&self) -> &[(String, u64)] {
+        &self.counters
+    }
+
+    /// All histograms, in registration order.
+    #[must_use]
+    pub fn histograms(&self) -> &[(String, Histogram)] {
+        &self.histograms
+    }
+
+    /// Merges another registry into this one: counters add, histogram
+    /// buckets add. Used to combine per-layer registries into one export.
+    pub fn merge(&mut self, other: &MetricsRegistry) {
+        for (k, v) in &other.counters {
+            self.count(k, *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.iter_mut().find(|(n, _)| n == k) {
+                Some(slot) => {
+                    for (i, c) in h.counts.iter().enumerate() {
+                        slot.1.counts[i] += c;
+                    }
+                    slot.1.samples += h.samples;
+                    slot.1.sum += h.sum;
+                    slot.1.max = slot.1.max.max(h.max);
+                }
+                None => self.histograms.push((k.clone(), h.clone())),
+            }
+        }
+    }
+
+    /// The registry as JSON: `{"counters": {...}, "histograms": {...}}`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            (
+                "counters",
+                Json::Obj(self.counters.iter().map(|(k, v)| (k.clone(), Json::from(*v))).collect()),
+            ),
+            (
+                "histograms",
+                Json::Obj(self.histograms.iter().map(|(k, h)| (k.clone(), h.to_json())).collect()),
+            ),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 100, 5000] {
+            h.observe(v);
+        }
+        assert_eq!(h.samples(), 6);
+        assert_eq!(h.sum(), 5106);
+        assert_eq!(h.max(), 5000);
+        assert_eq!(h.counts()[0], 2); // 0 and 1 land in <=1
+        assert_eq!(h.counts()[1], 1); // 2
+        assert_eq!(h.counts()[2], 1); // 3 lands in <=4
+        assert_eq!(h.counts()[BUCKET_BOUNDS.len()], 1); // overflow
+        assert!((h.mean() - 851.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero_not_nan() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.max(), 0);
+    }
+
+    #[test]
+    fn registry_counts_and_sets() {
+        let mut m = MetricsRegistry::new();
+        m.count("cpu.loads", 3);
+        m.count("cpu.loads", 2);
+        m.set("cpu.cycles", 99);
+        m.set("cpu.cycles", 100);
+        assert_eq!(m.counter("cpu.loads"), Some(5));
+        assert_eq!(m.counter("cpu.cycles"), Some(100));
+        assert_eq!(m.counter("missing"), None);
+    }
+
+    #[test]
+    fn registry_merge_adds() {
+        let mut a = MetricsRegistry::new();
+        a.count("x", 1);
+        a.observe("lat", 4);
+        let mut b = MetricsRegistry::new();
+        b.count("x", 2);
+        b.count("y", 7);
+        b.observe("lat", 8);
+        b.observe("other", 1);
+        a.merge(&b);
+        assert_eq!(a.counter("x"), Some(3));
+        assert_eq!(a.counter("y"), Some(7));
+        let lat = a.histogram("lat").unwrap();
+        assert_eq!(lat.samples(), 2);
+        assert_eq!(lat.sum(), 12);
+        assert_eq!(a.histogram("other").unwrap().samples(), 1);
+    }
+
+    #[test]
+    fn registry_json_reparses() {
+        let mut m = MetricsRegistry::new();
+        m.count("a", 1);
+        m.observe("h", 3);
+        let j = m.to_json();
+        let back = imo_util::json::parse(&j.pretty()).unwrap();
+        assert_eq!(back, j);
+        assert_eq!(back.get("counters").unwrap().get("a").unwrap().as_f64(), Some(1.0));
+    }
+
+    #[test]
+    fn histogram_render_lists_nonempty_buckets() {
+        let mut h = Histogram::default();
+        h.observe(3);
+        h.observe(9999);
+        let r = h.render();
+        assert!(r.contains("<=4:1"));
+        assert!(r.contains(">4096:1"));
+    }
+}

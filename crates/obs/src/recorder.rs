@@ -1,0 +1,186 @@
+//! The bounded ring-buffer event recorder.
+//!
+//! A [`Recorder`] is handed to a simulator as `Option<&mut Recorder>`; the
+//! `None` path costs one branch per would-be event and the recorder never
+//! feeds back into simulation state, so instrumented runs are bit-identical
+//! to plain ones. With a recorder present, each event pays one mask AND
+//! before any allocation — disabling a category suppresses its stream
+//! entirely.
+
+use crate::cpi::CpiStack;
+use crate::event::{CategoryMask, Event, EventKind};
+use crate::metrics::MetricsRegistry;
+
+/// Default ring capacity: enough for the tier-1 workloads' full event
+/// streams while bounding memory on long runs.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Records typed [`Event`]s into a bounded ring buffer, owns the run's
+/// [`MetricsRegistry`], and accumulates the CPI stack.
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    mask: CategoryMask,
+    capacity: usize,
+    /// Ring storage; once full, `start` marks the oldest retained event.
+    ring: Vec<Event>,
+    start: usize,
+    dropped: u64,
+    total: u64,
+    /// Shared named counters and latency histograms.
+    pub metrics: MetricsRegistry,
+    /// Cycle attribution accumulated by the simulator.
+    pub cpi: CpiStack,
+}
+
+impl Recorder {
+    /// A recorder with the given enable mask and [`DEFAULT_CAPACITY`].
+    #[must_use]
+    pub fn new(mask: CategoryMask) -> Recorder {
+        Recorder::with_capacity(mask, DEFAULT_CAPACITY)
+    }
+
+    /// A recorder retaining at most `capacity` events (oldest evicted
+    /// first). A capacity of 0 keeps metrics and CPI attribution but
+    /// retains no events.
+    #[must_use]
+    pub fn with_capacity(mask: CategoryMask, capacity: usize) -> Recorder {
+        Recorder {
+            mask,
+            capacity,
+            ring: Vec::new(),
+            start: 0,
+            dropped: 0,
+            total: 0,
+            metrics: MetricsRegistry::new(),
+            cpi: CpiStack::default(),
+        }
+    }
+
+    /// A recorder with every category enabled.
+    #[must_use]
+    pub fn all() -> Recorder {
+        Recorder::new(CategoryMask::ALL)
+    }
+
+    /// A recorder with no event categories enabled — metrics and CPI
+    /// attribution still accumulate.
+    #[must_use]
+    pub fn disabled() -> Recorder {
+        Recorder::new(CategoryMask::NONE)
+    }
+
+    /// The enable mask.
+    #[must_use]
+    pub fn mask(&self) -> CategoryMask {
+        self.mask
+    }
+
+    /// Records an event if its category is enabled. One mask test on the
+    /// fast path; eviction replaces the oldest event once the ring fills.
+    #[inline]
+    pub fn record(&mut self, cycle: u64, kind: EventKind) {
+        if !self.mask.contains(kind.category()) {
+            return;
+        }
+        self.total += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        let ev = Event { cycle, kind };
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.start] = ev;
+            self.start = (self.start + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.ring.len());
+        out.extend_from_slice(&self.ring[self.start..]);
+        out.extend_from_slice(&self.ring[..self.start]);
+        out
+    }
+
+    /// Number of retained events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether no events are retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Events that matched the mask but were evicted (or not retained
+    /// because capacity is 0).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events that matched the mask, retained or not.
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+
+    fn ev(seq: u64) -> EventKind {
+        EventKind::Issue { seq }
+    }
+
+    #[test]
+    fn mask_filters_categories() {
+        let mut r = Recorder::new(CategoryMask::of(&[Category::Trap]));
+        r.record(1, ev(0)); // pipeline: filtered
+        r.record(2, EventKind::TrapEnter { seq: 1, pc: 0x40 });
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.total_recorded(), 1);
+        assert_eq!(r.events()[0].cycle, 2);
+    }
+
+    #[test]
+    fn disabled_recorder_retains_nothing() {
+        let mut r = Recorder::disabled();
+        r.record(1, ev(0));
+        r.record(2, EventKind::EccCorrected { line: 0 });
+        assert!(r.is_empty());
+        assert_eq!(r.total_recorded(), 0);
+        assert_eq!(r.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let mut r = Recorder::with_capacity(CategoryMask::ALL, 3);
+        for i in 0..5 {
+            r.record(i, ev(i));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.total_recorded(), 5);
+        let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_keeps_metrics_only() {
+        let mut r = Recorder::with_capacity(CategoryMask::ALL, 0);
+        r.record(1, ev(0));
+        r.metrics.count("x", 1);
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 1);
+        assert_eq!(r.metrics.counter("x"), Some(1));
+    }
+}

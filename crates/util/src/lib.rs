@@ -16,6 +16,8 @@
 //!   simulator result renders to.
 //! * [`json`] — a minimal ordered JSON value/serializer/parser for the
 //!   `BENCH_*.json` baselines.
+//! * [`table`] — the aligned text-table renderer shared by the pipeline
+//!   trace dump, the bench reports and the coherence example.
 //!
 //! Policy: this crate depends on `std` only, and every other crate's
 //! external-registry dependency list stays empty. See `DESIGN.md` §6.
@@ -28,9 +30,11 @@ pub mod check;
 pub mod json;
 pub mod rng;
 pub mod stats;
+pub mod table;
 
 pub use bench::Bench;
 pub use check::{CheckResult, Checker, Gen};
 pub use json::Json;
 pub use rng::SmallRng;
 pub use stats::{Report, SlotBreakdown, Summarize};
+pub use table::Table;

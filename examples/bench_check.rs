@@ -30,6 +30,13 @@ fn main() -> Result<(), Box<dyn Error>> {
         let text = fs::read_to_string(&path)?;
         match json::parse(&text) {
             Ok(doc) if doc.get("bench").is_some() => {
+                if name == "BENCH_obs_overhead.json" {
+                    if let Err(e) = check_obs_overhead(&doc) {
+                        eprintln!("BAD  {name}: {e}");
+                        bad += 1;
+                        continue;
+                    }
+                }
                 println!("ok   {name}");
             }
             Ok(_) => {
@@ -46,5 +53,30 @@ fn main() -> Result<(), Box<dyn Error>> {
         return Err(format!("{bad} of {} baselines are corrupt", names.len()).into());
     }
     println!("{} baselines parse and carry the bench envelope", names.len());
+    Ok(())
+}
+
+/// The observability baseline carries proof obligations, not just timings:
+/// the recorder must have been bit-identical to the unobserved runs.
+fn check_obs_overhead(doc: &json::Json) -> Result<(), String> {
+    let data = doc.get("data").ok_or("missing `data` payload")?;
+    for flag in ["disabled_identical", "full_identical", "coherence_identical"] {
+        match data.get(flag) {
+            Some(json::Json::Bool(true)) => {}
+            Some(json::Json::Bool(false)) => {
+                return Err(format!("`{flag}` is false: the recorder perturbed a run"));
+            }
+            _ => return Err(format!("missing boolean `{flag}`")),
+        }
+    }
+    let overheads = match data.get("overheads") {
+        Some(json::Json::Arr(items)) if !items.is_empty() => items,
+        _ => return Err("missing non-empty `overheads` array".to_string()),
+    };
+    for o in overheads {
+        if o.get("machine").is_none() || o.get("disabled_over_plain").is_none() {
+            return Err("overhead entry lacks machine/ratio fields".to_string());
+        }
+    }
     Ok(())
 }

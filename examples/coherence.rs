@@ -7,6 +7,7 @@
 //! ```
 
 use informing_memops::coherence::{simulate, MachineParams, Scheme};
+use informing_memops::util::table::Table;
 use informing_memops::workloads::parallel::{all_apps, TraceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -31,23 +32,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut results = Vec::new();
     for scheme in Scheme::all() {
-        let r = simulate(&app, scheme, &params)?;
-        println!("[{}]", scheme.name());
-        println!(
-            "  completion    : {:>10} cycles ({:.1} per reference)",
-            r.total_cycles,
-            r.cycles_per_op()
-        );
-        println!("  lookups       : {:>10}", r.lookups);
-        println!("  faults        : {:>10}", r.faults);
-        println!("  protocol acts : {:>10}", r.actions);
-        println!("  invalidations : {:>10}\n", r.invalidations);
-        results.push(r);
+        results.push(simulate(&app, scheme, &params)?);
     }
     let base = results[2].total_cycles as f64; // informing
-    println!("normalized (informing = 1.000):");
+
+    let mut t = Table::new([
+        "scheme", "cycles", "per ref", "lookups", "faults", "actions", "invals", "norm",
+    ]);
     for r in &results {
-        println!("  {:10} {:.3}", r.scheme.name(), r.total_cycles as f64 / base);
+        t.row([
+            r.scheme.name().to_string(),
+            r.total_cycles.to_string(),
+            format!("{:.1}", r.cycles_per_op()),
+            r.lookups.to_string(),
+            r.faults.to_string(),
+            r.actions.to_string(),
+            r.invalidations.to_string(),
+            format!("{:.3}", r.total_cycles as f64 / base),
+        ]);
     }
+    print!("{}", t.render());
+    println!("\nnormalized to the informing scheme (= 1.000)");
     Ok(())
 }

@@ -1,0 +1,49 @@
+//! Observability CLI: run one workload under the event recorder and emit
+//! the CPI stack, counters, latency histograms, and a Perfetto-loadable
+//! Chrome trace.
+//!
+//! ```sh
+//! cargo run --release --example observe [workload] [machine] [mask]
+//! #   workload : any kernel name from the registry (default: compress)
+//! #   machine  : ooo | in-order                     (default: ooo)
+//! #   mask     : all | none | comma list, e.g. cache,trap (default: all)
+//! ```
+//!
+//! The trace is written to `target/observe_<workload>_<machine>.json`;
+//! load it at <https://ui.perfetto.dev> (or chrome://tracing) to see the
+//! per-category event lanes.
+
+use informing_memops::core::Machine;
+use informing_memops::obs::{chrome_trace, flame_summary, CategoryMask, Recorder};
+use informing_memops::workloads::spec::{self, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
+    let machine_name = std::env::args().nth(2).unwrap_or_else(|| "ooo".to_string());
+    let mask_arg = std::env::args().nth(3).unwrap_or_else(|| "all".to_string());
+
+    let spec = spec::by_name(&workload).ok_or_else(|| {
+        let names: Vec<&str> = spec::all().iter().map(|s| s.name).collect();
+        format!("unknown workload `{workload}` (try one of: {})", names.join(", "))
+    })?;
+    let machine = match machine_name.as_str() {
+        "ooo" => Machine::default_ooo(),
+        "in-order" | "inorder" => Machine::default_in_order(),
+        other => return Err(format!("unknown machine `{other}` (ooo | in-order)").into()),
+    };
+    let mask = CategoryMask::parse(&mask_arg)
+        .ok_or_else(|| format!("bad mask `{mask_arg}` (all | none | comma list)"))?;
+
+    let program = (spec.build)(Scale::Test);
+    let mut rec = Recorder::new(mask);
+    let (res, _) = machine.run_observed(&program, &mut rec)?;
+
+    print!("{}", flame_summary(&rec, &format!("{} on {}", spec.name, machine.name())));
+    assert_eq!(rec.cpi.total(), res.cycles, "CPI stack must reconcile exactly with total cycles");
+
+    let path = format!("target/observe_{}_{}.json", spec.name, machine.name());
+    std::fs::write(&path, chrome_trace(&rec).pretty())?;
+    println!("\nwrote {path} ({} events, {} dropped)", rec.len(), rec.dropped());
+    println!("load it at https://ui.perfetto.dev");
+    Ok(())
+}

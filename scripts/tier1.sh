@@ -21,10 +21,12 @@ echo "== cargo clippy --workspace -D warnings =="
 cargo clippy --workspace --all-targets --offline -- -D warnings
 
 echo "== example smoke tests =="
-for ex in quickstart profiler prefetcher multithreading adaptive coherence; do
+for ex in quickstart profiler prefetcher multithreading adaptive coherence observe; do
     echo "-- example: $ex"
     cargo run -q --release --offline --example "$ex" > /dev/null
 done
+echo "-- example: observe (in-order, cache+trap mask)"
+cargo run -q --release --offline --example observe -- compress in-order cache,trap > /dev/null
 
 echo "== BENCH_*.json baseline schema check =="
 cargo run -q --release --offline --example bench_check

@@ -25,6 +25,10 @@
 //!   directory protocol (retry/backoff, timeouts, forward-progress watchdog).
 //! * [`faults`] — deterministic, seed-driven fault injection: reproducible
 //!   fault schedules for the interconnect, cache lines and miss handlers.
+//! * [`obs`] — the deterministic observability layer: typed event tracing
+//!   into a bounded ring buffer, a shared metrics registry with latency
+//!   histograms, exact CPI-stack cycle attribution, and Chrome-trace /
+//!   flamegraph exporters (see `examples/observe.rs`).
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` / `EXPERIMENTS.md` for
 //! the system inventory and the per-figure reproduction notes.
@@ -37,5 +41,6 @@ pub use imo_cpu as cpu;
 pub use imo_faults as faults;
 pub use imo_isa as isa;
 pub use imo_mem as mem;
+pub use imo_obs as obs;
 pub use imo_util as util;
 pub use imo_workloads as workloads;
