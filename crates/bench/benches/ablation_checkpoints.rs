@@ -1,51 +1,5 @@
-//! Regenerates the **§3.2 shadow-state ablation**: under the
-//! mispredicted-branch treatment, every informing memory operation holds a
-//! rename checkpoint while its cache outcome is unresolved. The R10000
-//! provides 3; the paper estimates informing-as-branch needs ~3× as much
-//! shadow state. This bench sweeps the checkpoint budget on a dense
-//! informing workload.
-
-use imo_bench::{emit, Table};
-use imo_core::instrument::{instrument, HandlerBody, HandlerKind, Scheme};
-use imo_cpu::{ooo, OooConfig, RunLimits};
-use imo_util::json::Json;
-use imo_workloads::{by_name, Scale};
+//! Thin entry point; the real harness lives in `imo_bench::targets::ablation_checkpoints`.
 
 fn main() {
-    println!("§3.2 ablation: rename-checkpoint budget under informing-as-branch.\n");
-    let spec = by_name("alvinn").expect("alvinn exists"); // dense, mostly-hitting loads
-    let program = (spec.build)(Scale::Small);
-    let scheme =
-        Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::Generic { len: 1 } };
-    let inst = instrument(&program, &scheme).expect("instruments");
-
-    let cycles: Vec<(u32, u64)> = [1u32, 2, 3, 6, 12]
-        .iter()
-        .map(|&c| {
-            let mut cfg = OooConfig::paper();
-            cfg.max_checkpoints = c;
-            let r = ooo::simulate(&inst.program, &cfg, RunLimits::default()).expect("runs");
-            (c, r.cycles)
-        })
-        .collect();
-    let base12 = cycles.last().unwrap().1 as f64;
-    let mut t = Table::new(["checkpoints", "cycles", "slowdown vs 12"]);
-    for (c, cy) in &cycles {
-        t.row([c.to_string(), cy.to_string(), format!("{:.3}x", *cy as f64 / base12)]);
-    }
-    print!("{}", t.render());
-    println!(
-        "\nexpected: the R10000's 3 checkpoints throttle dispatch when every reference\n\
-         is a potential branch; ~3x the budget recovers the performance (§3.2)."
-    );
-    emit(
-        "ablation_checkpoints",
-        Json::arr(cycles.iter().map(|(c, cy)| {
-            Json::obj([
-                ("checkpoints", Json::from(u64::from(*c))),
-                ("cycles", Json::from(*cy)),
-                ("slowdown_vs_12", Json::from(*cy as f64 / base12)),
-            ])
-        })),
-    );
+    imo_bench::targets::ablation_checkpoints::run();
 }

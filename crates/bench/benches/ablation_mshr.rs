@@ -1,92 +1,5 @@
-//! Regenerates the **§3.3 ablation**: MSHR lifetime extension. A squashed
-//! speculative informing load must not silently install primary-cache state
-//! (it would let a coherence access check be bypassed); the extended-MSHR
-//! mechanism invalidates the line on squash, and the data usually remains in
-//! L2 — an effective L2 prefetch.
-//!
-//! This drives the MSHR machinery directly with a synthetic speculation
-//! trace (the cycle-level models fetch along the correct path, so wrong-path
-//! loads are exercised here, at the component level).
-
-use imo_bench::{emit, Table};
-use imo_mem::{Cache, CacheConfig, HierarchyConfig, MemoryHierarchy, MshrFile, MshrMode};
-use imo_util::json::Json;
-
-struct Outcome {
-    silent_installs: u64,
-    invalidations: u64,
-    l2_prefetches: u64,
-}
-
-/// Replays N speculative informing loads, of which every third is squashed,
-/// under the given MSHR mode.
-fn replay(mode: MshrMode, n: u64) -> Outcome {
-    let mut l1 = Cache::new(CacheConfig::new(32 * 1024, 2, 32));
-    let mut hier = MemoryHierarchy::new(HierarchyConfig::out_of_order());
-    let mut mshrs = MshrFile::new(8, mode);
-    let mut out = Outcome { silent_installs: 0, invalidations: 0, l2_prefetches: 0 };
-
-    for i in 0..n {
-        let addr = 0x10_0000 + i * 4096; // every load cold-misses
-        let _ = hier.probe_data(addr, false); // fills L1+L2 state
-        l1.access(addr, false);
-        let id = mshrs.allocate(hier.config().l1d.line_of(addr)).expect("mshr free");
-        mshrs.note_fill(id);
-        let squashed = i % 3 == 2;
-        if squashed {
-            if mshrs.squash(id, &mut l1).is_some() {
-                out.invalidations += 1;
-                hier.invalidate_l1d(addr);
-            }
-            if l1.contains(addr) {
-                out.silent_installs += 1;
-            }
-            if hier.l2_contains(addr) {
-                out.l2_prefetches += 1;
-            }
-        } else {
-            mshrs.graduate(id);
-        }
-        mshrs.reap();
-    }
-    out
-}
+//! Thin entry point; the real harness lives in `imo_bench::targets::ablation_mshr`.
 
 fn main() {
-    println!("§3.3 ablation: MSHR lifetime extension for squashed speculative informing loads.\n");
-    let n = 3000;
-    let mut t = Table::new([
-        "MSHR mode",
-        "squashed loads",
-        "silent L1 installs",
-        "squash invalidations",
-        "lines left in L2 (prefetch effect)",
-    ]);
-    let mut json_rows = Vec::new();
-    for (name, mode) in
-        [("standard", MshrMode::Standard), ("extended lifetime", MshrMode::ExtendedLifetime)]
-    {
-        let o = replay(mode, n);
-        t.row([
-            name.to_string(),
-            (n / 3).to_string(),
-            o.silent_installs.to_string(),
-            o.invalidations.to_string(),
-            o.l2_prefetches.to_string(),
-        ]);
-        json_rows.push(Json::obj([
-            ("mode", Json::from(name)),
-            ("squashed_loads", Json::from(n / 3)),
-            ("silent_l1_installs", Json::from(o.silent_installs)),
-            ("squash_invalidations", Json::from(o.invalidations)),
-            ("l2_prefetches", Json::from(o.l2_prefetches)),
-        ]));
-    }
-    print!("{}", t.render());
-    println!(
-        "\nexpected: the standard mode leaves every squashed load's line in L1 (unsafe for\n\
-         access control); the extended mode invalidates all of them while the data stays\n\
-         in L2, so the squashed load acted as an L2 prefetch."
-    );
-    emit("ablation_mshr", Json::arr(json_rows));
+    imo_bench::targets::ablation_mshr::run();
 }

@@ -1,69 +1,5 @@
-//! Regenerates the **§4.2.2 branch-vs-exception** comparison: on the
-//! out-of-order machine the informing trap can be taken as soon as the miss
-//! is detected (mispredicted-branch treatment) or postponed until the
-//! operation reaches the head of the reorder buffer (exception treatment).
-//! The paper measured the exception treatment 9 % / 7 % slower on `compress`
-//! with 1- / 10-instruction handlers.
-
-use imo_bench::emit;
-use imo_core::experiment::{run_experiment, Variant};
-use imo_core::instrument::{HandlerBody, HandlerKind, Scheme};
-use imo_core::Machine;
-use imo_cpu::{OooConfig, RunLimits, TrapModel};
-use imo_util::json::Json;
-use imo_workloads::{by_name, Scale};
+//! Thin entry point; the real harness lives in `imo_bench::targets::branch_vs_exception`.
 
 fn main() {
-    println!(
-        "§4.2.2: informing trap handled as mispredicted branch vs exception (compress, ooo).\n"
-    );
-    let spec = by_name("compress").expect("compress exists");
-    let program = (spec.build)(Scale::Small);
-    let mut json_rows = Vec::new();
-
-    for len in [1u32, 10] {
-        let variants = [
-            Variant { label: "N", scheme: Scheme::None },
-            Variant {
-                label: "S",
-                scheme: Scheme::Trap {
-                    handlers: HandlerKind::Single,
-                    body: HandlerBody::Generic { len },
-                },
-            },
-        ];
-        let mut cycles = Vec::new();
-        for trap_model in [TrapModel::Branch, TrapModel::Exception] {
-            let mut cfg = OooConfig::paper();
-            cfg.trap_model = trap_model;
-            let res = run_experiment(
-                "compress",
-                &program,
-                &Machine::OutOfOrder(cfg),
-                &variants,
-                RunLimits::default(),
-            )
-            .expect("experiment runs");
-            let s = res.raw.iter().find(|(l, _)| *l == "S").expect("S ran").1;
-            let norm = res.bars.iter().find(|b| b.label == "S").unwrap().total;
-            println!(
-                "{len:>3}-instr handler, {trap_model:?}: {} cycles (norm {:.3})",
-                s.cycles, norm
-            );
-            json_rows.push(Json::obj([
-                ("handler_len", Json::from(u64::from(len))),
-                ("trap_model", Json::Str(format!("{trap_model:?}"))),
-                ("cycles", Json::from(s.cycles)),
-                ("norm_time", Json::from(norm)),
-            ]));
-            cycles.push(s.cycles);
-        }
-        let slowdown = cycles[1] as f64 / cycles[0] as f64 - 1.0;
-        println!(
-            "  exception vs branch: +{:.1}% (paper: +{}%)\n",
-            slowdown * 100.0,
-            if len == 1 { 9 } else { 7 }
-        );
-    }
-    emit("branch_vs_exception", Json::arr(json_rows));
+    imo_bench::targets::branch_vs_exception::run();
 }

@@ -1,104 +1,5 @@
-//! Fault-resilience sweep: the §4.3 coherence protocol on an *unreliable*
-//! interconnect, across message-loss rates and retry/backoff policies.
-//!
-//! Two things are measured:
-//!
-//! 1. **Zero-fault identity** — a run driven by an all-zero `FaultPlan` must
-//!    be bit-identical to the fault-free baseline for every scheme (the fault
-//!    hooks may cost nothing when no fault fires). The bench aborts if not.
-//! 2. **Recovery cost** — completion-time slowdown vs the fault-free run as
-//!    the drop rate rises, under three backoff policies (aggressive /
-//!    default / conservative), plus the retry and timeout counters.
-
-use imo_bench::{emit, Table};
-use imo_coherence::{simulate_baseline, simulate_faulty, BackoffPolicy, MachineParams, Scheme};
-use imo_faults::{FaultConfig, FaultPlan};
-use imo_util::json::Json;
-use imo_workloads::parallel::{all_apps, migratory, TraceConfig};
-
-const DROP_RATES: [f64; 5] = [0.0, 0.02, 0.05, 0.10, 0.20];
-const FAULT_SEED: u64 = 0x1996;
-
-fn policies() -> [(&'static str, BackoffPolicy); 3] {
-    let default = MachineParams::table2().backoff;
-    let aggressive = BackoffPolicy { base: 100, multiplier: 2, cap: 1_000, max_retries: 32 };
-    let conservative = BackoffPolicy { base: 1_000, multiplier: 4, cap: 32_000, max_retries: 16 };
-    [("aggressive", aggressive), ("default", default), ("conservative", conservative)]
-}
+//! Thin entry point; the real harness lives in `imo_bench::targets::fault_resilience`.
 
 fn main() {
-    println!("FAULT RESILIENCE. Coherence protocol recovery on a lossy interconnect.");
-    println!("(migratory app, Table 2 machine; slowdown vs the fault-free run)\n");
-
-    let cfg = TraceConfig { procs: 8, ops_per_proc: 8_000, seed: 0x1996 };
-    let params = MachineParams::table2();
-
-    // 1. Zero-fault identity across every app and scheme.
-    let mut identical = true;
-    for app in all_apps(&cfg) {
-        for scheme in Scheme::all() {
-            let base = simulate_baseline(&app, scheme, &params);
-            let faulty = simulate_faulty(&app, scheme, &params, &FaultPlan::none())
-                .expect("zero-fault run completes");
-            if base != faulty {
-                identical = false;
-                eprintln!(
-                    "MISMATCH: {}/{} differs under the zero-fault plan",
-                    app.name,
-                    scheme.name()
-                );
-            }
-        }
-    }
-    assert!(identical, "zero-fault runs must be bit-identical to the baseline");
-    println!("zero-fault identity: all apps x schemes bit-identical to baseline\n");
-
-    // 2. Drop-rate x backoff-policy sweep.
-    let trace = migratory(&cfg);
-    let base = simulate_baseline(&trace, Scheme::Informing, &params);
-    let mut t =
-        Table::new(["policy", "drop rate", "slowdown", "retries", "timeouts", "backoff cycles"]);
-    let mut rows = Vec::new();
-    for (name, backoff) in policies() {
-        let mut p = params;
-        p.backoff = backoff;
-        for rate in DROP_RATES {
-            let mut fc = FaultConfig::none(FAULT_SEED);
-            fc.drop_rate = rate;
-            let r = simulate_faulty(&trace, Scheme::Informing, &p, &FaultPlan::new(fc))
-                .expect("sweep rates recover via retry");
-            let slowdown = r.total_cycles as f64 / base.total_cycles as f64;
-            t.row([
-                name.to_string(),
-                format!("{rate:.2}"),
-                format!("{slowdown:.3}"),
-                r.retries.to_string(),
-                r.timeouts.to_string(),
-                format!("{}..{}", backoff.delay(0), backoff.cap),
-            ]);
-            rows.push(Json::obj([
-                ("policy", Json::from(name)),
-                ("base", Json::from(backoff.base)),
-                ("multiplier", Json::from(backoff.multiplier)),
-                ("cap", Json::from(backoff.cap)),
-                ("drop_rate", Json::from(rate)),
-                ("total_cycles", Json::from(r.total_cycles)),
-                ("slowdown", Json::from(slowdown)),
-                ("retries", Json::from(r.retries)),
-                ("timeouts", Json::from(r.timeouts)),
-                ("dropped_msgs", Json::from(r.dropped_msgs)),
-                ("nacks", Json::from(r.nacks)),
-            ]));
-        }
-    }
-    print!("{}", t.render());
-
-    emit(
-        "fault_resilience",
-        Json::obj([
-            ("zero_fault_identical", Json::Bool(identical)),
-            ("baseline_cycles", Json::from(base.total_cycles)),
-            ("sweep", Json::Arr(rows)),
-        ]),
-    );
+    imo_bench::targets::fault_resilience::run();
 }

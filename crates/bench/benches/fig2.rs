@@ -1,53 +1,5 @@
-//! Regenerates **Figure 2**: normalized execution time with generic miss
-//! handlers of 1 and 10 instructions, for thirteen SPEC92-like benchmarks
-//! (`su2cor` is Figure 3) on both processor models.
-//!
-//! Bars per benchmark: N (no handler), 1S/10S (single handler — zero hit
-//! overhead), 1U/10U (unique handler per static reference — one `setmhar`
-//! per reference). Heights are normalized to N and split into busy /
-//! cache-stall / other-stall graduation slots, as in the paper.
-
-use imo_bench::{emit, experiments_to_json, fig2_for, fmt_bars};
-use imo_core::experiment::figure2_variants;
-use imo_workloads::{all, Scale};
+//! Thin entry point; the real harness lives in `imo_bench::targets::fig2`.
 
 fn main() {
-    let variants = figure2_variants();
-    let mut worst: (f64, String) = (0.0, String::new());
-    let mut over_40 = Vec::new();
-    let mut collected = Vec::new();
-
-    println!("FIGURE 2. Performance of generic miss handlers (1 and 10 instructions).\n");
-    for spec in all() {
-        if spec.name == "su2cor" {
-            continue; // Figure 3
-        }
-        for res in fig2_for(spec.name, Scale::Small, &variants) {
-            println!("{}", fmt_bars(&res));
-            for b in &res.bars {
-                if b.total > worst.0 {
-                    worst = (b.total, format!("{} {} {}", res.workload, res.machine, b.label));
-                }
-                if b.total > 1.40 && b.label != "N" {
-                    over_40.push(format!(
-                        "{} [{}] {}: {:.3}",
-                        res.workload, res.machine, b.label, b.total
-                    ));
-                }
-            }
-            collected.push(res);
-        }
-    }
-
-    println!("== summary ==");
-    println!("worst normalized time: {:.3} ({})", worst.0, worst.1);
-    if over_40.is_empty() {
-        println!("all configurations within 40% overhead (paper: 12 of 13 benchmarks).");
-    } else {
-        println!("configurations above 40% overhead (paper: tomcatv 10-instr in-order):");
-        for s in over_40 {
-            println!("  {s}");
-        }
-    }
-    emit("fig2", experiments_to_json(&collected));
+    imo_bench::targets::fig2::run();
 }

@@ -1,49 +1,5 @@
-//! Regenerates **Figure 3**: the `su2cor` benchmark with 1- and
-//! 10-instruction generic handlers. `su2cor` conflicts severely in the
-//! in-order model's 8 KB direct-mapped primary cache, so the handlers run on
-//! nearly every reference: the paper reports the 10-instruction handler
-//! quintupling the instruction count and tripling execution time there,
-//! while the out-of-order model (32 KB 2-way) suffers far less. The paper
-//! also observed unique handlers sometimes *beating* the single handler,
-//! because distinct handlers are not data-dependent on each other.
-
-use imo_bench::{emit, experiments_to_json, fig2_for, fmt_bars};
-use imo_core::experiment::figure2_variants;
-use imo_workloads::Scale;
+//! Thin entry point; the real harness lives in `imo_bench::targets::fig3`.
 
 fn main() {
-    println!("FIGURE 3. SU2COR with generic miss handlers (1 and 10 instructions).\n");
-    let results = fig2_for("su2cor", Scale::Small, &figure2_variants());
-    for res in &results {
-        println!("{}", fmt_bars(res));
-    }
-
-    println!("== summary ==");
-    let get = |machine: &str, label: &str| {
-        results
-            .iter()
-            .find(|r| r.machine == machine)
-            .and_then(|r| r.bars.iter().find(|b| b.label == label))
-            .copied()
-            .expect("bar exists")
-    };
-    let ino = get("in-order", "10S");
-    let ooo = get("ooo", "10S");
-    println!(
-        "in-order 10S: {:.2}x time, {:.2}x instructions (paper: ~3x time, ~5x instructions)",
-        ino.total, ino.instr_ratio
-    );
-    println!("out-of-order 10S: {:.2}x time (paper: far smaller than in-order)", ooo.total);
-    let (s, u) = (get("in-order", "10S").total, get("in-order", "10U").total);
-    println!(
-        "in-order 10U vs 10S: {:.3} vs {:.3}{}",
-        u,
-        s,
-        if u + 5e-3 < s {
-            "  <- unique handlers win (the paper's surprising artifact)"
-        } else {
-            ""
-        }
-    );
-    emit("fig3", experiments_to_json(&results));
+    imo_bench::targets::fig3::run();
 }

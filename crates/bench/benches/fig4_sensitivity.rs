@@ -1,60 +1,5 @@
-//! Regenerates the **§4.3.2 sensitivity** observations: "either smaller
-//! network latencies or larger primary cache sizes tend to improve the
-//! relative performance of the informing memory implementation."
-
-use imo_bench::{emit, fig4_rows, Table};
-use imo_coherence::MachineParams;
-use imo_util::json::Json;
-use imo_workloads::parallel::TraceConfig;
-
-fn advantage(cfg: &TraceConfig, params: &MachineParams) -> (f64, f64) {
-    let rows = fig4_rows(cfg, params);
-    let n = rows.len() as f64;
-    let rc: f64 = rows.iter().map(|r| r.normalized[0]).sum::<f64>() / n;
-    let ecc: f64 = rows.iter().map(|r| r.normalized[1]).sum::<f64>() / n;
-    (rc, ecc)
-}
+//! Thin entry point; the real harness lives in `imo_bench::targets::fig4_sensitivity`.
 
 fn main() {
-    println!("§4.3.2 sensitivity: informing's average advantage vs network latency and L1 size.\n");
-    let cfg = TraceConfig::default();
-
-    let mut lat_rows = Vec::new();
-    let mut t = Table::new(["1-way msg latency", "ref-check / informing", "ecc / informing"]);
-    for latency in [300u64, 900, 1800] {
-        let mut p = MachineParams::table2();
-        p.msg_latency = latency;
-        let (rc, ecc) = advantage(&cfg, &p);
-        t.row([format!("{latency} cycles"), format!("{rc:.3}"), format!("{ecc:.3}")]);
-        lat_rows.push(Json::obj([
-            ("msg_latency", Json::from(latency)),
-            ("refcheck_over_informing", Json::from(rc)),
-            ("ecc_over_informing", Json::from(ecc)),
-        ]));
-    }
-    print!("{}", t.render());
-    println!("(expected: advantage grows as the network gets faster)\n");
-
-    let mut l1_rows = Vec::new();
-    let mut t = Table::new(["L1 size", "ref-check / informing", "ecc / informing"]);
-    for l1 in [8u64, 16, 64] {
-        let mut p = MachineParams::table2();
-        p.l1_bytes = l1 * 1024;
-        let (rc, ecc) = advantage(&cfg, &p);
-        t.row([format!("{l1} KB"), format!("{rc:.3}"), format!("{ecc:.3}")]);
-        l1_rows.push(Json::obj([
-            ("l1_kb", Json::from(l1)),
-            ("refcheck_over_informing", Json::from(rc)),
-            ("ecc_over_informing", Json::from(ecc)),
-        ]));
-    }
-    print!("{}", t.render());
-    println!("(expected: advantage grows with the primary cache — fewer capacity misses inform)");
-    emit(
-        "fig4_sensitivity",
-        Json::obj([
-            ("msg_latency_sweep", Json::arr(lat_rows)),
-            ("l1_size_sweep", Json::arr(l1_rows)),
-        ]),
-    );
+    imo_bench::targets::fig4_sensitivity::run();
 }

@@ -1,42 +1,5 @@
-//! Regenerates the **§4.2.2 100-instruction-handler** experiment: with very
-//! expensive handlers, miss-heavy applications slow down dramatically
-//! (paper: compress ~6×, su2cor ~7×) while low-miss applications barely
-//! notice (paper: ora ~2 %). The paper's suggested mitigation — sampling —
-//! is measured alongside: the 100-instruction body runs on every 16th miss
-//! only.
-
-use imo_bench::{emit, experiments_to_json, fig2_for, fmt_bars};
-use imo_core::experiment::{handler100_variants, Variant};
-use imo_core::instrument::{HandlerBody, HandlerKind, Scheme};
-use imo_workloads::Scale;
+//! Thin entry point; the real harness lives in `imo_bench::targets::handler100`.
 
 fn main() {
-    println!("§4.2.2: generic miss handlers of 100 data-dependent instructions.\n");
-    let mut variants = handler100_variants();
-    variants.push(Variant {
-        label: "100/16",
-        scheme: Scheme::Trap {
-            handlers: HandlerKind::Single,
-            body: HandlerBody::SampledGeneric { len: 100, period: 16 },
-        },
-    });
-    let mut summary = Vec::new();
-    let mut collected = Vec::new();
-    for name in ["compress", "su2cor", "ora"] {
-        for res in fig2_for(name, Scale::Small, &variants) {
-            println!("{}", fmt_bars(&res));
-            let full = res.bars.iter().find(|b| b.label == "100S").expect("100S bar");
-            let sampled = res.bars.iter().find(|b| b.label == "100/16").expect("sampled bar");
-            summary.push(format!(
-                "{name} [{}]: {:.2}x full, {:.2}x sampled 1/16",
-                res.machine, full.total, sampled.total
-            ));
-            collected.push(res);
-        }
-    }
-    println!("== summary (paper: compress ~6x, su2cor ~7x, ora ~1.02x; sampling mitigates) ==");
-    for s in summary {
-        println!("  {s}");
-    }
-    emit("handler100", experiments_to_json(&collected));
+    imo_bench::targets::handler100::run();
 }

@@ -1,148 +1,5 @@
-//! Observability-overhead bench: proves the recorder is free when disabled
-//! and measures what it costs when enabled.
-//!
-//! Two things are measured:
-//!
-//! 1. **Disabled-path identity** — for every tier-1 workload on both
-//!    machines (and the coherence simulator on every scheme), a run under a
-//!    disabled recorder must return results *bit-identical* to the
-//!    unobserved run; a fully-enabled recorder must too (it is passive by
-//!    construction). The bench aborts if not.
-//! 2. **Wall-clock overhead** — host time for the plain, disabled-recorder
-//!    and full-recorder runs of a representative kernel on each machine;
-//!    the ratios land in `BENCH_obs_overhead.json`.
-
-use imo_bench::report::emit;
-use imo_bench::Table;
-use imo_coherence::{simulate_baseline, simulate_observed, MachineParams, Scheme};
-use imo_cpu::{inorder, ooo, InOrderConfig, OooConfig, RunLimits};
-use imo_faults::FaultPlan;
-use imo_obs::Recorder;
-use imo_util::json::Json;
-use imo_util::Bench;
-use imo_workloads::parallel::{migratory, TraceConfig};
-use imo_workloads::{spec, Scale};
+//! Thin entry point; the real harness lives in `imo_bench::targets::obs_overhead`.
 
 fn main() {
-    println!("OBSERVABILITY OVERHEAD. Recorder identity + host-time cost.\n");
-
-    // 1. Identity: disabled and fully-enabled recorders must not perturb
-    //    any tier-1 workload on either machine.
-    let mut identical = true;
-    for s in spec::all() {
-        let p = (s.build)(Scale::Test);
-        let plain_ooo = ooo::simulate(&p, &OooConfig::paper(), RunLimits::default()).expect("runs");
-        let plain_ino =
-            inorder::simulate(&p, &InOrderConfig::paper(), RunLimits::default()).expect("runs");
-        for (label, mut rec) in [("disabled", Recorder::disabled()), ("full", Recorder::all())] {
-            let (o, _) =
-                ooo::simulate_observed(&p, &OooConfig::paper(), RunLimits::default(), &mut rec)
-                    .expect("runs");
-            if o != plain_ooo {
-                identical = false;
-                eprintln!("MISMATCH: {}/ooo differs under the {label} recorder", s.name);
-            }
-        }
-        for (label, mut rec) in [("disabled", Recorder::disabled()), ("full", Recorder::all())] {
-            let (o, _) = inorder::simulate_observed(
-                &p,
-                &InOrderConfig::paper(),
-                RunLimits::default(),
-                &mut rec,
-            )
-            .expect("runs");
-            if o != plain_ino {
-                identical = false;
-                eprintln!("MISMATCH: {}/in-order differs under the {label} recorder", s.name);
-            }
-        }
-    }
-    let mut coh_identical = true;
-    let cfg = TraceConfig { procs: 8, ops_per_proc: 4_000, seed: 0x1996 };
-    let trace = migratory(&cfg);
-    let params = MachineParams::table2();
-    for scheme in Scheme::all() {
-        let base = simulate_baseline(&trace, scheme, &params);
-        let mut rec = Recorder::all();
-        let (o, _) = simulate_observed(&trace, scheme, &params, &FaultPlan::none(), &mut rec)
-            .expect("zero-fault run completes");
-        if o != base {
-            coh_identical = false;
-            eprintln!("MISMATCH: coherence/{} differs under the recorder", scheme.name());
-        }
-    }
-    assert!(identical, "observed CPU runs must be bit-identical to plain runs");
-    assert!(coh_identical, "observed coherence runs must be bit-identical to baseline");
-    println!("identity: all workloads x machines bit-identical under the recorder\n");
-
-    // 2. Host-time overhead on a representative kernel per machine.
-    let mut b = Bench::new("obs_overhead");
-    let p = (spec::by_name("compress").expect("compress exists").build)(Scale::Test);
-    b.bench_sampled("ooo/plain", 5, || {
-        ooo::simulate(&p, &OooConfig::paper(), RunLimits::default()).expect("runs")
-    });
-    b.bench_sampled("ooo/disabled_recorder", 5, || {
-        let mut rec = Recorder::disabled();
-        ooo::simulate_observed(&p, &OooConfig::paper(), RunLimits::default(), &mut rec)
-            .expect("runs")
-            .0
-    });
-    b.bench_sampled("ooo/full_recorder", 5, || {
-        let mut rec = Recorder::all();
-        ooo::simulate_observed(&p, &OooConfig::paper(), RunLimits::default(), &mut rec)
-            .expect("runs")
-            .0
-    });
-    b.bench_sampled("inorder/plain", 5, || {
-        inorder::simulate(&p, &InOrderConfig::paper(), RunLimits::default()).expect("runs")
-    });
-    b.bench_sampled("inorder/disabled_recorder", 5, || {
-        let mut rec = Recorder::disabled();
-        inorder::simulate_observed(&p, &InOrderConfig::paper(), RunLimits::default(), &mut rec)
-            .expect("runs")
-            .0
-    });
-    b.bench_sampled("inorder/full_recorder", 5, || {
-        let mut rec = Recorder::all();
-        inorder::simulate_observed(&p, &InOrderConfig::paper(), RunLimits::default(), &mut rec)
-            .expect("runs")
-            .0
-    });
-    print!("{}", b.render());
-
-    let median =
-        |id: &str| -> f64 { b.results().iter().find(|r| r.id == id).map_or(0.0, |r| r.median_ns) };
-    let ratio = |num: &str, den: &str| -> f64 {
-        let d = median(den);
-        if d == 0.0 {
-            0.0
-        } else {
-            median(num) / d
-        }
-    };
-    let mut t = Table::new(["machine", "disabled / plain", "full / plain"]);
-    let mut overheads = Vec::new();
-    for m in ["ooo", "inorder"] {
-        let disabled = ratio(&format!("{m}/disabled_recorder"), &format!("{m}/plain"));
-        let full = ratio(&format!("{m}/full_recorder"), &format!("{m}/plain"));
-        t.row([m.to_string(), format!("{disabled:.3}x"), format!("{full:.3}x")]);
-        overheads.push(Json::obj([
-            ("machine", Json::from(m)),
-            ("disabled_over_plain", Json::from(disabled)),
-            ("full_over_plain", Json::from(full)),
-        ]));
-    }
-    println!();
-    print!("{}", t.render());
-
-    emit(
-        "obs_overhead",
-        Json::obj([
-            ("disabled_identical", Json::Bool(identical)),
-            ("full_identical", Json::Bool(identical)),
-            ("coherence_identical", Json::Bool(coh_identical)),
-            ("overheads", Json::Arr(overheads)),
-            ("timings", b.to_json()),
-        ]),
-    );
+    imo_bench::targets::obs_overhead::run();
 }

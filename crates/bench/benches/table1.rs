@@ -1,79 +1,5 @@
-//! Regenerates **Table 1**: simulation parameters for the two superscalar
-//! processor models, straight from the configuration structs the simulators
-//! actually run with — so the printed table cannot drift from the code.
-//! Also prints the Figure 1 pipeline notes for the in-order model.
-
-use imo_bench::{emit, Table};
-use imo_cpu::{InOrderConfig, OooConfig};
-use imo_isa::{Instr, Reg};
-use imo_util::json::Json;
+//! Thin entry point; the real harness lives in `imo_bench::targets::table1`.
 
 fn main() {
-    let o = OooConfig::paper();
-    let i = InOrderConfig::paper();
-
-    println!("TABLE 1. Simulation parameters for superscalar processors.\n");
-    let mut t = Table::new(["Pipeline Parameters", "Out-Of-Order", "In-Order"]);
-    t.row(["Issue Width", &o.issue_width.to_string(), &i.issue_width.to_string()]);
-    t.row([
-        "Functional Units",
-        &format!(
-            "{} INT, {} FP, {} Branch, {} Memory",
-            o.int_units, o.fp_units, o.branch_units, o.mem_units
-        ),
-        &format!("{} INT, {} FP, {} Branch", i.int_units, i.fp_units, i.branch_units),
-    ]);
-    t.row(["Reorder Buffer Size", &o.rob_entries.to_string(), "N/A"]);
-    let r = Reg::int(1);
-    let f = Reg::fp(1);
-    let lat = |ins: &Instr| (o.latency(ins), i.latency(ins));
-    let rows: [(&str, Instr); 5] = [
-        ("Integer Multiply", Instr::Mul { rd: r, rs: r, rt: r }),
-        ("Integer Divide", Instr::Div { rd: r, rs: r, rt: r }),
-        ("FP Divide", Instr::Fdiv { fd: f, fs: f, ft: f }),
-        ("FP Square Root", Instr::Fsqrt { fd: f, fs: f }),
-        ("All Other FP", Instr::Fadd { fd: f, fs: f, ft: f }),
-    ];
-    for (name, ins) in rows {
-        let (a, b) = lat(&ins);
-        t.row([name, &format!("{a} cycles"), &format!("{b} cycles")]);
-    }
-    t.row(["Branch Prediction Scheme", "2-bit Counters", "2-bit Counters"]);
-    print!("{}", t.render());
-
-    println!();
-    let mut m = Table::new(["Memory Parameters", "Out-Of-Order", "In-Order"]);
-    m.row(["Primary I and D Caches".to_string(), o.hier.l1d.to_string(), i.hier.l1d.to_string()]);
-    m.row(["Unified Secondary Cache".to_string(), o.hier.l2.to_string(), i.hier.l2.to_string()]);
-    m.row([
-        "Primary-to-Secondary Miss Latency".to_string(),
-        format!("{} cycles", o.hier.l2_latency),
-        format!("{} cycles", i.hier.l2_latency),
-    ]);
-    m.row([
-        "Primary-to-Memory Miss Latency".to_string(),
-        format!("{} cycles", o.hier.mem_latency),
-        format!("{} cycles", i.hier.mem_latency),
-    ]);
-    m.row(["MSHRs".to_string(), o.hier.mshrs.to_string(), i.hier.mshrs.to_string()]);
-    m.row(["Data Cache Banks".to_string(), o.hier.banks.to_string(), i.hier.banks.to_string()]);
-    m.row([
-        "Data Cache Fill Time".to_string(),
-        format!("{} cycles", o.hier.fill_cycles),
-        format!("{} cycles", i.hier.fill_cycles),
-    ]);
-    m.row([
-        "Main Memory Bandwidth".to_string(),
-        format!("1 access per {} cycles", o.hier.mem_cycles_per_access),
-        format!("1 access per {} cycles", i.hier.mem_cycles_per_access),
-    ]);
-    print!("{}", m.render());
-
-    println!(
-        "\nFIGURE 1 (notes): the in-order model follows the Alpha 21164 discipline —\n\
-         presence-bit issue, no post-issue stalls, replay trap on hit-speculated\n\
-         consumers of missing loads (penalty {} cycles), {}-deep front end.\n",
-        i.replay_trap_penalty, i.frontend_depth
-    );
-    emit("table1", Json::obj([("pipeline", t.to_json()), ("memory", m.to_json())]));
+    imo_bench::targets::table1::run();
 }

@@ -1,0 +1,170 @@
+//! `ci_gate` — the bench regression gate.
+//!
+//! Re-runs the deterministic bench matrix through the same target modules
+//! the `cargo bench` entry points use, then compares every regenerated
+//! payload against the committed `BENCH_*.json` baselines:
+//!
+//! * **simulated counters** (cycles, misses, retries, normalized times, …)
+//!   must match *exactly* — the sweep engine is deterministic, so any
+//!   difference is a real behaviour change someone must either fix or
+//!   re-baseline deliberately;
+//! * **wall-clock fields** (`median_ns`, sample arrays, overhead ratios)
+//!   are host-dependent and only checked against a wide tolerance band
+//!   (`IMO_GATE_WALL_TOL`, default ×10 000).
+//!
+//! Also validates both the committed and regenerated documents against the
+//! declarative schemas in [`imo_bench::gate`] — the same table
+//! `examples/bench_check.rs` runs.
+//!
+//! Usage: `cargo run --release -p imo-bench --bin ci_gate [--skip-wall]`.
+//! `--skip-wall` skips the two wall-clock-only targets (`substrate`,
+//! `obs_overhead`) entirely; by default they run with fast sampling knobs
+//! (3 samples × 2 ms) unless the caller already set `IMO_BENCH_SAMPLES` /
+//! `IMO_BENCH_SAMPLE_MS`. Exits nonzero on any drift, schema violation, or
+//! missing baseline.
+
+use std::process::ExitCode;
+
+use imo_bench::gate::{self, Drift};
+use imo_bench::report::repo_root;
+use imo_bench::targets;
+use imo_bench::Table;
+use imo_util::json::{parse, Json};
+
+/// Outcome of gating one bench target.
+struct TargetReport {
+    name: &'static str,
+    problems: Vec<String>,
+    drifts: Vec<Drift>,
+    skipped: bool,
+}
+
+impl TargetReport {
+    fn ok(&self) -> bool {
+        self.problems.is_empty() && self.drifts.is_empty()
+    }
+}
+
+fn gate_target(t: &targets::Target, skip_wall: bool, wall_tol: f64) -> TargetReport {
+    let mut rep =
+        TargetReport { name: t.name, problems: Vec::new(), drifts: Vec::new(), skipped: false };
+    if skip_wall && t.wall_clock {
+        rep.skipped = true;
+        return rep;
+    }
+
+    let schema = gate::schema_for(t.name).expect("every registered target has a schema");
+    let path = repo_root().join(format!("BENCH_{}.json", t.name));
+    let baseline = match std::fs::read_to_string(&path) {
+        Ok(text) => match parse(&text) {
+            Ok(doc) => doc,
+            Err(e) => {
+                rep.problems.push(format!("baseline is corrupt JSON: {e}"));
+                return rep;
+            }
+        },
+        Err(e) => {
+            rep.problems.push(format!("baseline {} unreadable: {e}", path.display()));
+            return rep;
+        }
+    };
+    for e in gate::validate(&baseline, schema) {
+        rep.problems.push(format!("committed baseline: {e}"));
+    }
+
+    // Regenerate through the same payload builder the bench target uses,
+    // wrapped in the same envelope `write_bench_json` applies.
+    let current = envelope(t.name, (t.payload)());
+    for e in gate::validate(&current, schema) {
+        rep.problems.push(format!("regenerated payload: {e}"));
+    }
+
+    rep.drifts = gate::diff(&baseline, &current, wall_tol);
+    rep
+}
+
+/// The `write_bench_json` envelope, without touching the filesystem.
+fn envelope(name: &str, payload: Json) -> Json {
+    match payload {
+        obj @ Json::Obj(_) if obj.get("bench").is_some() => obj,
+        other => Json::obj([("bench", Json::from(name)), ("data", other)]),
+    }
+}
+
+fn main() -> ExitCode {
+    let skip_wall = std::env::args().any(|a| a == "--skip-wall");
+    if !skip_wall {
+        // Fast sampling for the wall-clock targets: the gate only sanity-
+        // checks those numbers, so don't spend CI minutes refining medians.
+        if std::env::var_os("IMO_BENCH_SAMPLES").is_none() {
+            std::env::set_var("IMO_BENCH_SAMPLES", "3");
+        }
+        if std::env::var_os("IMO_BENCH_SAMPLE_MS").is_none() {
+            std::env::set_var("IMO_BENCH_SAMPLE_MS", "2");
+        }
+    }
+    let wall_tol = gate::wall_tolerance();
+
+    println!(
+        "ci_gate: regenerating the bench matrix ({} targets{}) and diffing against baselines",
+        targets::registry().len(),
+        if skip_wall { ", wall-clock targets skipped" } else { "" },
+    );
+    println!(
+        "policy: simulated counters exact; wall-clock fields banded at x{wall_tol} \
+         (IMO_GATE_WALL_TOL)\n"
+    );
+
+    let mut reports = Vec::new();
+    for t in targets::registry() {
+        let rep = gate_target(&t, skip_wall, wall_tol);
+        let verdict = if rep.skipped {
+            "skipped (wall-clock)"
+        } else if rep.ok() {
+            "clean"
+        } else {
+            "DRIFT"
+        };
+        println!("  {:<22} {verdict}", rep.name);
+        reports.push(rep);
+    }
+
+    let bad: Vec<&TargetReport> = reports.iter().filter(|r| !r.ok()).collect();
+    if bad.is_empty() {
+        println!("\nci_gate: clean — every regenerated payload matches its committed baseline");
+        return ExitCode::SUCCESS;
+    }
+
+    let mut t = Table::new(["bench", "path", "baseline", "current", "why"]);
+    for rep in &bad {
+        for p in &rep.problems {
+            t.row([rep.name.to_string(), "-".into(), "-".into(), "-".into(), p.clone()]);
+        }
+        for d in &rep.drifts {
+            t.row([
+                rep.name.to_string(),
+                d.path.clone(),
+                clip(&d.baseline),
+                clip(&d.current),
+                d.why.clone(),
+            ]);
+        }
+    }
+    println!("\nci_gate: DRIFT in {} target(s)\n", bad.len());
+    print!("{}", t.render());
+    println!(
+        "\nIf the change is intentional, regenerate baselines with scripts/tier2.sh \
+         (or `cargo bench -p imo-bench`) and commit the updated BENCH_*.json."
+    );
+    ExitCode::FAILURE
+}
+
+fn clip(s: &str) -> String {
+    const MAX: usize = 40;
+    if s.chars().count() <= MAX {
+        s.to_string()
+    } else {
+        let head: String = s.chars().take(MAX - 1).collect();
+        format!("{head}…")
+    }
+}

@@ -1,29 +1,22 @@
-//! Shared experiment runners used by the bench targets.
+//! Shared experiment runners used by the bench targets, built on the
+//! deterministic parallel sweep engine in [`crate::sweep`].
 
 use imo_coherence::{simulate_baseline, MachineParams, Scheme, SimResult};
-use imo_core::experiment::{run_experiment, ExperimentResult, Variant};
-use imo_core::Machine;
-use imo_cpu::RunLimits;
+use imo_core::experiment::{ExperimentResult, Variant};
 use imo_workloads::parallel::{all_apps, TraceConfig};
-use imo_workloads::{by_name, Scale};
+use imo_workloads::Scale;
 
-/// Runs the Figure 2/3 variant set for one workload on both machines.
+use crate::sweep::{cpu_cells, cross2, run_cpu_cells, SweepSpec};
+
+/// Runs the Figure 2/3 variant set for one workload on both machines
+/// (a 1 × 2 sweep; the full-figure targets fan out all workloads at once).
 ///
 /// # Panics
 ///
 /// Panics if the workload name is unknown or a simulation fails — the bench
 /// harness has no useful recovery.
-pub fn fig2_for(name: &str, scale: Scale, variants: &[Variant]) -> Vec<ExperimentResult> {
-    let spec = by_name(name).unwrap_or_else(|| panic!("unknown workload `{name}`"));
-    let program = (spec.build)(scale);
-    let limits = RunLimits::default();
-    [Machine::default_ooo(), Machine::default_in_order()]
-        .iter()
-        .map(|m| {
-            run_experiment(name, &program, m, variants, limits)
-                .unwrap_or_else(|e| panic!("{name} on {}: {e}", m.name()))
-        })
-        .collect()
+pub fn fig2_for(name: &'static str, scale: Scale, variants: &[Variant]) -> Vec<ExperimentResult> {
+    run_cpu_cells("fig2_for", cpu_cells(&[name], scale, variants))
 }
 
 /// One row of Figure 4: an application's normalized execution time under the
@@ -38,16 +31,17 @@ pub struct Fig4Row {
     pub normalized: [f64; 3],
 }
 
-/// Runs Figure 4: every application under every scheme.
+/// Runs Figure 4: every application under every scheme, as an app-major
+/// app × scheme sweep across the pool.
 pub fn fig4_rows(trace_cfg: &TraceConfig, params: &MachineParams) -> Vec<Fig4Row> {
-    all_apps(trace_cfg)
-        .into_iter()
-        .map(|app| {
-            let results = [
-                simulate_baseline(&app, Scheme::RefCheck, params),
-                simulate_baseline(&app, Scheme::Ecc, params),
-                simulate_baseline(&app, Scheme::Informing, params),
-            ];
+    let apps = all_apps(trace_cfg);
+    let cells = cross2(&apps, &Scheme::all());
+    let results = SweepSpec::new("fig4", cells)
+        .run(|_, (app, scheme)| simulate_baseline(&app, scheme, params));
+    results
+        .chunks_exact(Scheme::all().len())
+        .map(|chunk| {
+            let results: [SimResult; 3] = [chunk[0].clone(), chunk[1].clone(), chunk[2].clone()];
             let base = results[2].total_cycles.max(1) as f64;
             let normalized = [
                 results[0].total_cycles as f64 / base,

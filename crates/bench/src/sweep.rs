@@ -1,0 +1,203 @@
+//! The deterministic parallel sweep engine behind every bench target.
+//!
+//! A bench is a *matrix*: a cross product of axes (workload, machine,
+//! variant set, scheme, seed, …) whose cells are independent simulations.
+//! Instead of hand-rolled nested loops, each target declares its cells with
+//! [`Matrix`] / [`cross2`] / [`cross3`] and fans them out with
+//! [`SweepSpec::run`], which executes the cells on the
+//! [`imo_util::pool`] work-stealing pool and returns results **in cell
+//! order** — so the rendered tables and `BENCH_*.json` baselines are
+//! byte-identical for any thread count (`IMO_THREADS=1` reproduces the
+//! serial run exactly).
+//!
+//! The module also provides the two canonical cell shapes of this paper's
+//! experiment matrix: [`CpuCell`] (one workload × machine × variant-set
+//! point of the Figure 2/3-style sweeps) and the parallel
+//! [`crate::runners::fig4_rows`] app × scheme sweep built on it.
+
+use imo_core::experiment::{run_experiment, ExperimentResult, Variant};
+use imo_core::Machine;
+use imo_cpu::RunLimits;
+use imo_util::pool::Pool;
+use imo_workloads::{by_name, Scale};
+
+/// A flat list of experiment cells (usually a cross product of axes).
+#[derive(Debug, Clone)]
+pub struct Matrix<C> {
+    /// The cells, in declaration order — the order results come back in.
+    pub cells: Vec<C>,
+}
+
+impl<C> Matrix<C> {
+    /// Wraps an explicit cell list.
+    pub fn new(cells: Vec<C>) -> Matrix<C> {
+        Matrix { cells }
+    }
+
+    /// Number of cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the matrix has no cells.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// The cross product of two axes, first axis major.
+pub fn cross2<A: Clone, B: Clone>(a: &[A], b: &[B]) -> Vec<(A, B)> {
+    a.iter().flat_map(|x| b.iter().map(move |y| (x.clone(), y.clone()))).collect()
+}
+
+/// The cross product of three axes, leftmost axis major.
+pub fn cross3<A: Clone, B: Clone, C: Clone>(a: &[A], b: &[B], c: &[C]) -> Vec<(A, B, C)> {
+    a.iter()
+        .flat_map(|x| {
+            b.iter().flat_map(move |y| {
+                let x = x.clone();
+                c.iter().map(move |z| (x.clone(), y.clone(), z.clone()))
+            })
+        })
+        .collect()
+}
+
+/// A named sweep over a [`Matrix`]: the declarative core of one bench
+/// target.
+#[derive(Debug, Clone)]
+pub struct SweepSpec<C> {
+    /// Bench-target name (diagnostics only; the baseline file is named by
+    /// [`crate::report::emit`]).
+    pub name: &'static str,
+    /// The cell matrix.
+    pub matrix: Matrix<C>,
+}
+
+impl<C: Send> SweepSpec<C> {
+    /// A sweep over an explicit cell list.
+    pub fn new(name: &'static str, cells: Vec<C>) -> SweepSpec<C> {
+        SweepSpec { name, matrix: Matrix::new(cells) }
+    }
+
+    /// Runs every cell on the auto-sized pool (`IMO_THREADS` override) and
+    /// returns results in cell order.
+    ///
+    /// # Panics
+    ///
+    /// Propagates panics from `f` — a bench cell has no useful recovery.
+    pub fn run<R, F>(self, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, C) -> R + Sync,
+    {
+        self.run_on(&Pool::auto(), f)
+    }
+
+    /// [`SweepSpec::run`] on an explicit pool (tests pin thread counts).
+    pub fn run_on<R, F>(self, pool: &Pool, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize, C) -> R + Sync,
+    {
+        pool.map_indexed(self.matrix.cells, f)
+    }
+}
+
+/// One cell of a Figure 2/3-style sweep: a workload at a scale, on a
+/// machine, under a variant set.
+#[derive(Debug, Clone)]
+pub struct CpuCell {
+    /// Workload name (must exist in the registry).
+    pub workload: &'static str,
+    /// Problem scale.
+    pub scale: Scale,
+    /// Machine model and configuration.
+    pub machine: Machine,
+    /// The instrumentation variants to run, first is the N baseline.
+    pub variants: Vec<Variant>,
+}
+
+impl CpuCell {
+    /// Runs this cell to its [`ExperimentResult`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workload name is unknown or a simulation fails — the
+    /// bench harness has no useful recovery.
+    #[must_use]
+    pub fn run(&self) -> ExperimentResult {
+        let spec = by_name(self.workload)
+            .unwrap_or_else(|| panic!("unknown workload `{}`", self.workload));
+        let program = (spec.build)(self.scale);
+        run_experiment(self.workload, &program, &self.machine, &self.variants, RunLimits::default())
+            .unwrap_or_else(|e| panic!("{} on {}: {e}", self.workload, self.machine.name()))
+    }
+}
+
+/// The standard machine axis, in the paper's presentation order.
+#[must_use]
+pub fn both_machines() -> [Machine; 2] {
+    [Machine::default_ooo(), Machine::default_in_order()]
+}
+
+/// Builds the workload-major × machine cell list of a Figure 2/3-style
+/// sweep: for each name, one cell per machine (ooo then in-order).
+pub fn cpu_cells(names: &[&'static str], scale: Scale, variants: &[Variant]) -> Vec<CpuCell> {
+    cross2(names, &both_machines())
+        .into_iter()
+        .map(|(workload, machine)| CpuCell {
+            workload,
+            scale,
+            machine,
+            variants: variants.to_vec(),
+        })
+        .collect()
+}
+
+/// Fans a [`CpuCell`] list out across the pool, returning results in cell
+/// order.
+pub fn run_cpu_cells(name: &'static str, cells: Vec<CpuCell>) -> Vec<ExperimentResult> {
+    SweepSpec::new(name, cells).run(|_, cell| cell.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_core::experiment::figure2_variants;
+
+    #[test]
+    fn cross_products_are_major_order() {
+        assert_eq!(cross2(&[1, 2], &['a', 'b']), vec![(1, 'a'), (1, 'b'), (2, 'a'), (2, 'b')]);
+        let c3 = cross3(&[1, 2], &['a'], &[true, false]);
+        assert_eq!(c3, vec![(1, 'a', true), (1, 'a', false), (2, 'a', true), (2, 'a', false)]);
+    }
+
+    #[test]
+    fn cpu_cells_enumerate_machines_per_workload() {
+        let cells = cpu_cells(&["ora", "compress"], Scale::Test, &figure2_variants());
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].workload, "ora");
+        assert_eq!(cells[0].machine.name(), "ooo");
+        assert_eq!(cells[1].machine.name(), "in-order");
+        assert_eq!(cells[2].workload, "compress");
+    }
+
+    #[test]
+    fn sweep_results_are_thread_count_invariant() {
+        let cells = cpu_cells(&["ora"], Scale::Test, &figure2_variants());
+        let serial =
+            SweepSpec::new("t", cells.clone()).run_on(&Pool::new(1), |_, c: CpuCell| c.run());
+        let par = SweepSpec::new("t", cells).run_on(&Pool::new(4), |_, c: CpuCell| c.run());
+        assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn matrix_reports_size() {
+        let m = Matrix::new(vec![1, 2, 3]);
+        assert_eq!(m.len(), 3);
+        assert!(!m.is_empty());
+        assert!(Matrix::<u8>::new(vec![]).is_empty());
+    }
+}

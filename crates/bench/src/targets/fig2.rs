@@ -1,0 +1,68 @@
+//! **Figure 2**: normalized execution time with generic miss handlers of 1
+//! and 10 instructions, for thirteen SPEC92-like benchmarks (`su2cor` is
+//! Figure 3) on both processor models — a workload × machine sweep.
+
+use imo_core::experiment::{figure2_variants, ExperimentResult};
+use imo_workloads::{all, Scale};
+
+use crate::report::{emit, experiments_to_json, fmt_bars};
+use crate::sweep::{cpu_cells, run_cpu_cells};
+use imo_util::json::Json;
+
+/// The collected workload × machine experiment results, in cell order.
+pub struct Output {
+    /// One result per (workload, machine) cell, workload-major.
+    pub results: Vec<ExperimentResult>,
+}
+
+/// Runs the 13-workload × 2-machine × 5-variant sweep across the pool.
+#[must_use]
+pub fn compute() -> Output {
+    let names: Vec<&'static str> =
+        all().into_iter().map(|s| s.name).filter(|n| *n != "su2cor").collect();
+    Output { results: run_cpu_cells("fig2", cpu_cells(&names, Scale::Small, &figure2_variants())) }
+}
+
+/// The baseline payload (all per-variant reports plus normalized bars).
+#[must_use]
+pub fn payload(out: &Output) -> Json {
+    experiments_to_json(&out.results)
+}
+
+/// Prints every bar table plus the worst-case / over-40 % summary.
+pub fn print(out: &Output) {
+    println!("FIGURE 2. Performance of generic miss handlers (1 and 10 instructions).\n");
+    let mut worst: (f64, String) = (0.0, String::new());
+    let mut over_40 = Vec::new();
+    for res in &out.results {
+        println!("{}", fmt_bars(res));
+        for b in &res.bars {
+            if b.total > worst.0 {
+                worst = (b.total, format!("{} {} {}", res.workload, res.machine, b.label));
+            }
+            if b.total > 1.40 && b.label != "N" {
+                over_40.push(format!(
+                    "{} [{}] {}: {:.3}",
+                    res.workload, res.machine, b.label, b.total
+                ));
+            }
+        }
+    }
+    println!("== summary ==");
+    println!("worst normalized time: {:.3} ({})", worst.0, worst.1);
+    if over_40.is_empty() {
+        println!("all configurations within 40% overhead (paper: 12 of 13 benchmarks).");
+    } else {
+        println!("configurations above 40% overhead (paper: tomcatv 10-instr in-order):");
+        for s in over_40 {
+            println!("  {s}");
+        }
+    }
+}
+
+/// The whole bench target: compute, print, write the baseline.
+pub fn run() {
+    let out = compute();
+    print(&out);
+    emit("fig2", payload(&out));
+}

@@ -1,0 +1,119 @@
+//! **§4.3.2 sensitivity**: "either smaller network latencies or larger
+//! primary cache sizes tend to improve the relative performance of the
+//! informing memory implementation." Two parameter sweeps, each point a
+//! full app × scheme matrix fanned out across the pool.
+
+use imo_coherence::MachineParams;
+use imo_util::json::Json;
+use imo_workloads::parallel::TraceConfig;
+
+use crate::report::{emit, Table};
+use crate::runners::fig4_rows;
+
+const MSG_LATENCIES: [u64; 3] = [300, 900, 1800];
+const L1_KBS: [u64; 3] = [8, 16, 64];
+
+/// One sweep point: the parameter value and the two average advantages.
+pub struct Point {
+    /// The swept parameter value (cycles or KB).
+    pub value: u64,
+    /// Average ref-check time over informing time.
+    pub refcheck_over_informing: f64,
+    /// Average ECC time over informing time.
+    pub ecc_over_informing: f64,
+}
+
+/// Both parameter sweeps.
+pub struct Output {
+    /// Network-latency sweep points.
+    pub latency: Vec<Point>,
+    /// L1-size sweep points.
+    pub l1: Vec<Point>,
+}
+
+fn advantage(cfg: &TraceConfig, params: &MachineParams) -> (f64, f64) {
+    let rows = fig4_rows(cfg, params);
+    let n = rows.len() as f64;
+    let rc: f64 = rows.iter().map(|r| r.normalized[0]).sum::<f64>() / n;
+    let ecc: f64 = rows.iter().map(|r| r.normalized[1]).sum::<f64>() / n;
+    (rc, ecc)
+}
+
+/// Runs both sweeps.
+#[must_use]
+pub fn compute() -> Output {
+    let cfg = TraceConfig::default();
+    let latency = MSG_LATENCIES
+        .iter()
+        .map(|&latency| {
+            let mut p = MachineParams::table2();
+            p.msg_latency = latency;
+            let (rc, ecc) = advantage(&cfg, &p);
+            Point { value: latency, refcheck_over_informing: rc, ecc_over_informing: ecc }
+        })
+        .collect();
+    let l1 = L1_KBS
+        .iter()
+        .map(|&l1| {
+            let mut p = MachineParams::table2();
+            p.l1_bytes = l1 * 1024;
+            let (rc, ecc) = advantage(&cfg, &p);
+            Point { value: l1, refcheck_over_informing: rc, ecc_over_informing: ecc }
+        })
+        .collect();
+    Output { latency, l1 }
+}
+
+/// The baseline payload: both sweeps.
+#[must_use]
+pub fn payload(out: &Output) -> Json {
+    let lat_rows = out.latency.iter().map(|p| {
+        Json::obj([
+            ("msg_latency", Json::from(p.value)),
+            ("refcheck_over_informing", Json::from(p.refcheck_over_informing)),
+            ("ecc_over_informing", Json::from(p.ecc_over_informing)),
+        ])
+    });
+    let l1_rows = out.l1.iter().map(|p| {
+        Json::obj([
+            ("l1_kb", Json::from(p.value)),
+            ("refcheck_over_informing", Json::from(p.refcheck_over_informing)),
+            ("ecc_over_informing", Json::from(p.ecc_over_informing)),
+        ])
+    });
+    Json::obj([("msg_latency_sweep", Json::arr(lat_rows)), ("l1_size_sweep", Json::arr(l1_rows))])
+}
+
+/// Prints both sweep tables with the expected trends.
+pub fn print(out: &Output) {
+    println!("§4.3.2 sensitivity: informing's average advantage vs network latency and L1 size.\n");
+
+    let mut t = Table::new(["1-way msg latency", "ref-check / informing", "ecc / informing"]);
+    for p in &out.latency {
+        t.row([
+            format!("{} cycles", p.value),
+            format!("{:.3}", p.refcheck_over_informing),
+            format!("{:.3}", p.ecc_over_informing),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(expected: advantage grows as the network gets faster)\n");
+
+    let mut t = Table::new(["L1 size", "ref-check / informing", "ecc / informing"]);
+    for p in &out.l1 {
+        t.row([
+            format!("{} KB", p.value),
+            format!("{:.3}", p.refcheck_over_informing),
+            format!("{:.3}", p.ecc_over_informing),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(expected: advantage grows with the primary cache — fewer capacity misses inform)");
+}
+
+/// The whole bench target: compute, print, write the baseline.
+pub fn run() {
+    let out = compute();
+    print(&out);
+    emit("fig4_sensitivity", payload(&out));
+}

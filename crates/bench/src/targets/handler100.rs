@@ -1,0 +1,75 @@
+//! **§4.2.2, 100-instruction handlers**: with very expensive handlers,
+//! miss-heavy applications slow down dramatically (paper: compress ~6×,
+//! su2cor ~7×) while low-miss applications barely notice (paper: ora ~2 %).
+//! The paper's suggested mitigation — sampling — is measured alongside:
+//! the 100-instruction body runs on every 16th miss only.
+
+use imo_core::experiment::{handler100_variants, ExperimentResult, Variant};
+use imo_core::instrument::{HandlerBody, HandlerKind, Scheme};
+use imo_workloads::Scale;
+
+use crate::report::{emit, experiments_to_json, fmt_bars};
+use crate::sweep::{cpu_cells, run_cpu_cells};
+use imo_util::json::Json;
+
+const WORKLOADS: [&str; 3] = ["compress", "su2cor", "ora"];
+
+/// The 3-workload × 2-machine sweep results, workload-major.
+pub struct Output {
+    /// One result per (workload, machine) cell.
+    pub results: Vec<ExperimentResult>,
+}
+
+/// The N / 100S / sampled-1-in-16 variant set.
+#[must_use]
+pub fn variants() -> Vec<Variant> {
+    let mut variants = handler100_variants();
+    variants.push(Variant {
+        label: "100/16",
+        scheme: Scheme::Trap {
+            handlers: HandlerKind::Single,
+            body: HandlerBody::SampledGeneric { len: 100, period: 16 },
+        },
+    });
+    variants
+}
+
+/// Runs the sweep across the pool.
+#[must_use]
+pub fn compute() -> Output {
+    Output {
+        results: run_cpu_cells("handler100", cpu_cells(&WORKLOADS, Scale::Small, &variants())),
+    }
+}
+
+/// The baseline payload.
+#[must_use]
+pub fn payload(out: &Output) -> Json {
+    experiments_to_json(&out.results)
+}
+
+/// Prints the bar tables and the full-vs-sampled summary.
+pub fn print(out: &Output) {
+    println!("§4.2.2: generic miss handlers of 100 data-dependent instructions.\n");
+    let mut summary = Vec::new();
+    for res in &out.results {
+        println!("{}", fmt_bars(res));
+        let full = res.bars.iter().find(|b| b.label == "100S").expect("100S bar");
+        let sampled = res.bars.iter().find(|b| b.label == "100/16").expect("sampled bar");
+        summary.push(format!(
+            "{} [{}]: {:.2}x full, {:.2}x sampled 1/16",
+            res.workload, res.machine, full.total, sampled.total
+        ));
+    }
+    println!("== summary (paper: compress ~6x, su2cor ~7x, ora ~1.02x; sampling mitigates) ==");
+    for s in summary {
+        println!("  {s}");
+    }
+}
+
+/// The whole bench target: compute, print, write the baseline.
+pub fn run() {
+    let out = compute();
+    print(&out);
+    emit("handler100", payload(&out));
+}

@@ -1,0 +1,202 @@
+//! Observability-overhead bench: proves the recorder is free when disabled
+//! and measures what it costs when enabled.
+//!
+//! 1. **Identity** — a workload × machine sweep (fanned out across the
+//!    pool): runs under a disabled and a fully-enabled recorder must return
+//!    results *bit-identical* to the unobserved run, and likewise for the
+//!    coherence simulator on every scheme.
+//! 2. **Wall-clock overhead** — host time for the plain, disabled-recorder
+//!    and full-recorder runs of a representative kernel on each machine;
+//!    serial, for timing fidelity.
+
+use imo_coherence::{simulate_baseline, simulate_observed, MachineParams, Scheme};
+use imo_cpu::{inorder, ooo, InOrderConfig, OooConfig, RunLimits};
+use imo_faults::FaultPlan;
+use imo_obs::Recorder;
+use imo_util::json::Json;
+use imo_util::Bench;
+use imo_workloads::parallel::{migratory, TraceConfig};
+use imo_workloads::{spec, Scale};
+
+use crate::report::{emit, Table};
+use crate::sweep::SweepSpec;
+
+/// The identity proofs and host timings.
+pub struct Output {
+    /// Per-workload CPU identity failures (`workload/machine recorder`).
+    pub cpu_mismatches: Vec<String>,
+    /// Per-scheme coherence identity failures.
+    pub coh_mismatches: Vec<String>,
+    /// The host-time bench runner.
+    pub bench: Bench,
+}
+
+/// Checks one workload on both machines under both recorder modes,
+/// returning mismatch descriptions (empty = bit-identical).
+fn cpu_identity(name: &'static str) -> Vec<String> {
+    let s = spec::by_name(name).expect("workload exists");
+    let p = (s.build)(Scale::Test);
+    let mut mismatches = Vec::new();
+    let plain_ooo = ooo::simulate(&p, &OooConfig::paper(), RunLimits::default()).expect("runs");
+    let plain_ino =
+        inorder::simulate(&p, &InOrderConfig::paper(), RunLimits::default()).expect("runs");
+    for (label, mut rec) in [("disabled", Recorder::disabled()), ("full", Recorder::all())] {
+        let (o, _) =
+            ooo::simulate_observed(&p, &OooConfig::paper(), RunLimits::default(), &mut rec)
+                .expect("runs");
+        if o != plain_ooo {
+            mismatches.push(format!("{name}/ooo differs under the {label} recorder"));
+        }
+    }
+    for (label, mut rec) in [("disabled", Recorder::disabled()), ("full", Recorder::all())] {
+        let (o, _) =
+            inorder::simulate_observed(&p, &InOrderConfig::paper(), RunLimits::default(), &mut rec)
+                .expect("runs");
+        if o != plain_ino {
+            mismatches.push(format!("{name}/in-order differs under the {label} recorder"));
+        }
+    }
+    mismatches
+}
+
+/// Runs the identity sweeps and the serial wall-clock section.
+#[must_use]
+pub fn compute() -> Output {
+    // 1. Identity: one sweep cell per workload (each checks both machines
+    //    and both recorder modes).
+    let names: Vec<&'static str> = spec::all().into_iter().map(|s| s.name).collect();
+    let cpu_mismatches = SweepSpec::new("obs_identity", names)
+        .run(|_, name| cpu_identity(name))
+        .into_iter()
+        .flatten()
+        .collect();
+
+    let cfg = TraceConfig { procs: 8, ops_per_proc: 4_000, seed: 0x1996 };
+    let trace = migratory(&cfg);
+    let params = MachineParams::table2();
+    let coh_mismatches = SweepSpec::new("obs_identity_coh", Scheme::all().to_vec())
+        .run(|_, scheme| {
+            let base = simulate_baseline(&trace, scheme, &params);
+            let mut rec = Recorder::all();
+            let (o, _) = simulate_observed(&trace, scheme, &params, &FaultPlan::none(), &mut rec)
+                .expect("zero-fault run completes");
+            (o != base).then(|| format!("coherence/{} differs under the recorder", scheme.name()))
+        })
+        .into_iter()
+        .flatten()
+        .collect();
+
+    // 2. Host-time overhead on a representative kernel per machine (serial).
+    let mut b = Bench::new("obs_overhead");
+    let p = (spec::by_name("compress").expect("compress exists").build)(Scale::Test);
+    b.bench_sampled("ooo/plain", 5, || {
+        ooo::simulate(&p, &OooConfig::paper(), RunLimits::default()).expect("runs")
+    });
+    b.bench_sampled("ooo/disabled_recorder", 5, || {
+        let mut rec = Recorder::disabled();
+        ooo::simulate_observed(&p, &OooConfig::paper(), RunLimits::default(), &mut rec)
+            .expect("runs")
+            .0
+    });
+    b.bench_sampled("ooo/full_recorder", 5, || {
+        let mut rec = Recorder::all();
+        ooo::simulate_observed(&p, &OooConfig::paper(), RunLimits::default(), &mut rec)
+            .expect("runs")
+            .0
+    });
+    b.bench_sampled("inorder/plain", 5, || {
+        inorder::simulate(&p, &InOrderConfig::paper(), RunLimits::default()).expect("runs")
+    });
+    b.bench_sampled("inorder/disabled_recorder", 5, || {
+        let mut rec = Recorder::disabled();
+        inorder::simulate_observed(&p, &InOrderConfig::paper(), RunLimits::default(), &mut rec)
+            .expect("runs")
+            .0
+    });
+    b.bench_sampled("inorder/full_recorder", 5, || {
+        let mut rec = Recorder::all();
+        inorder::simulate_observed(&p, &InOrderConfig::paper(), RunLimits::default(), &mut rec)
+            .expect("runs")
+            .0
+    });
+
+    Output { cpu_mismatches, coh_mismatches, bench: b }
+}
+
+fn overheads(out: &Output) -> Vec<(String, f64, f64)> {
+    let median = |id: &str| -> f64 {
+        out.bench.results().iter().find(|r| r.id == id).map_or(0.0, |r| r.median_ns)
+    };
+    let ratio = |num: &str, den: &str| -> f64 {
+        let d = median(den);
+        if d == 0.0 {
+            0.0
+        } else {
+            median(num) / d
+        }
+    };
+    ["ooo", "inorder"]
+        .iter()
+        .map(|m| {
+            (
+                (*m).to_string(),
+                ratio(&format!("{m}/disabled_recorder"), &format!("{m}/plain")),
+                ratio(&format!("{m}/full_recorder"), &format!("{m}/plain")),
+            )
+        })
+        .collect()
+}
+
+/// The baseline payload, including the identity proof obligations.
+#[must_use]
+pub fn payload(out: &Output) -> Json {
+    let identical = out.cpu_mismatches.is_empty();
+    let coh_identical = out.coh_mismatches.is_empty();
+    let rows = overheads(out).into_iter().map(|(m, disabled, full)| {
+        Json::obj([
+            ("machine", Json::from(m)),
+            ("disabled_over_plain", Json::from(disabled)),
+            ("full_over_plain", Json::from(full)),
+        ])
+    });
+    Json::obj([
+        ("disabled_identical", Json::Bool(identical)),
+        ("full_identical", Json::Bool(identical)),
+        ("coherence_identical", Json::Bool(coh_identical)),
+        ("overheads", Json::arr(rows)),
+        ("timings", out.bench.to_json()),
+    ])
+}
+
+/// Prints the identity verdicts and the timing/overhead tables.
+///
+/// # Panics
+///
+/// Panics if any observed run differed from its unobserved twin.
+pub fn print(out: &Output) {
+    println!("OBSERVABILITY OVERHEAD. Recorder identity + host-time cost.\n");
+    for m in out.cpu_mismatches.iter().chain(&out.coh_mismatches) {
+        eprintln!("MISMATCH: {m}");
+    }
+    assert!(out.cpu_mismatches.is_empty(), "observed CPU runs must be bit-identical to plain runs");
+    assert!(
+        out.coh_mismatches.is_empty(),
+        "observed coherence runs must be bit-identical to baseline"
+    );
+    println!("identity: all workloads x machines bit-identical under the recorder\n");
+
+    print!("{}", out.bench.render());
+    let mut t = Table::new(["machine", "disabled / plain", "full / plain"]);
+    for (m, disabled, full) in overheads(out) {
+        t.row([m, format!("{disabled:.3}x"), format!("{full:.3}x")]);
+    }
+    println!();
+    print!("{}", t.render());
+}
+
+/// The whole bench target: compute, print, write the baseline.
+pub fn run() {
+    let out = compute();
+    print(&out);
+    emit("obs_overhead", payload(&out));
+}

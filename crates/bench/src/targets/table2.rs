@@ -1,0 +1,81 @@
+//! **Table 2**: machine and experiment parameters for the three
+//! access-control methods, printed from the structs the coherence simulator
+//! actually uses.
+
+use imo_coherence::MachineParams;
+use imo_util::json::Json;
+
+use crate::report::{emit, Table};
+
+/// The two rendered parameter tables.
+pub struct Output {
+    /// Machine-parameter table.
+    pub machine: Table,
+    /// Per-approach cost table.
+    pub approaches: Table,
+}
+
+/// Builds both tables from the Table 2 machine.
+#[must_use]
+pub fn compute() -> Output {
+    let p = MachineParams::table2();
+
+    let mut t = Table::new(["Machine Parameters", "Value"]);
+    t.row(["Processors".to_string(), p.procs.to_string()]);
+    t.row([
+        "L1 cache / proc".to_string(),
+        format!("{} KB ({}-cycle miss penalty)", p.l1_bytes / 1024, p.l1_miss_penalty),
+    ]);
+    t.row([
+        "L2 cache / proc".to_string(),
+        format!("{} KB ({}-cycle miss penalty)", p.l2_bytes / 1024, p.l2_miss_penalty),
+    ]);
+    t.row(["Coherence unit".to_string(), format!("{} bytes", p.line_bytes)]);
+    t.row(["1-way message latency".to_string(), format!("{} cycles", p.msg_latency)]);
+
+    let mut s = Table::new(["Approach", "Costs"]);
+    s.row([
+        "Reference checking".to_string(),
+        format!(
+            "{}-cycle lookup per shared reference; {}-cycle state change",
+            p.costs.refcheck_lookup, p.costs.state_change
+        ),
+    ]);
+    s.row([
+        "ECC-based".to_string(),
+        format!(
+            "{} cycles per read to an invalid block; {} cycles per write on a page with READONLY data",
+            p.costs.ecc_read_invalid, p.costs.ecc_write_readonly_page
+        ),
+    ]);
+    s.row([
+        "Informing memory".to_string(),
+        format!(
+            "{}-cycle lookup on a primary miss (6-cycle pipeline delay + 9 handler cycles); {}-cycle state change",
+            p.costs.informing_lookup, p.costs.state_change
+        ),
+    ]);
+
+    Output { machine: t, approaches: s }
+}
+
+/// The baseline payload: both tables as JSON.
+#[must_use]
+pub fn payload(out: &Output) -> Json {
+    Json::obj([("machine", out.machine.to_json()), ("approaches", out.approaches.to_json())])
+}
+
+/// Prints both tables.
+pub fn print(out: &Output) {
+    println!("TABLE 2. Machine and experiment parameters for access control methods.\n");
+    print!("{}", out.machine.render());
+    println!();
+    print!("{}", out.approaches.render());
+}
+
+/// The whole bench target: compute, print, write the baseline.
+pub fn run() {
+    let out = compute();
+    print(&out);
+    emit("table2", payload(&out));
+}

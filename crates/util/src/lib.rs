@@ -16,6 +16,9 @@
 //!   simulator result renders to.
 //! * [`json`] — a minimal ordered JSON value/serializer/parser for the
 //!   `BENCH_*.json` baselines.
+//! * [`pool`] — a scoped `std::thread` work-stealing pool whose
+//!   `map_indexed` returns results in input order, so parallel sweeps are
+//!   byte-identical to serial ones.
 //! * [`table`] — the aligned text-table renderer shared by the pipeline
 //!   trace dump, the bench reports and the coherence example.
 //!
@@ -28,6 +31,7 @@
 pub mod bench;
 pub mod check;
 pub mod json;
+pub mod pool;
 pub mod rng;
 pub mod stats;
 pub mod table;
@@ -35,6 +39,7 @@ pub mod table;
 pub use bench::Bench;
 pub use check::{CheckResult, Checker, Gen};
 pub use json::Json;
+pub use pool::Pool;
 pub use rng::SmallRng;
 pub use stats::{Report, SlotBreakdown, Summarize};
 pub use table::Table;

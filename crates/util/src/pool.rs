@@ -1,0 +1,227 @@
+//! A scoped, work-stealing thread pool with an order-preserving map.
+//!
+//! The bench layer walks workload × machine × variant × scheme matrices
+//! whose cells are independent, pure functions of their inputs — ideal
+//! fan-out work. [`Pool::map_indexed`] runs one closure per cell across a
+//! fixed number of `std::thread::scope` workers and collects results **in
+//! input order**, so the output is byte-identical regardless of thread
+//! count or scheduling:
+//!
+//! * every cell is identified by its input index, and each worker tags its
+//!   result with that index before sending it back;
+//! * the caller reassembles results into a vector indexed by cell, so the
+//!   interleaving of workers never reaches the output;
+//! * the closure receives only the index and the (owned) cell — as long as
+//!   it is a pure function of those (our cells carry explicit seeds), a
+//!   1-thread and a 64-thread run produce the same vector.
+//!
+//! Scheduling is work-stealing: cells are dealt to per-worker deques in
+//! contiguous chunks; a worker pops from the front of its own deque and,
+//! when empty, steals from the back of a sibling's. A panicking worker
+//! propagates its panic to the caller when the scope joins.
+//!
+//! Thread count defaults to [`default_threads`] (`IMO_THREADS` override,
+//! else `std::thread::available_parallelism`).
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Mutex, PoisonError};
+use std::thread;
+
+/// Upper bound on worker threads; a safety clamp for absurd `IMO_THREADS`.
+const MAX_THREADS: usize = 256;
+
+/// The default worker count: the `IMO_THREADS` environment variable if set
+/// to a positive integer, otherwise the host's available parallelism.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::env::var("IMO_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get))
+        .min(MAX_THREADS)
+}
+
+/// A fixed-width scoped thread pool. Cheap to construct; threads are
+/// spawned per [`Pool::map_indexed`] call and joined before it returns, so
+/// borrowed data may flow into the closure freely.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Pool {
+    /// A pool of exactly `threads` workers (clamped to `1..=256`).
+    #[must_use]
+    pub fn new(threads: usize) -> Pool {
+        Pool { threads: threads.clamp(1, MAX_THREADS) }
+    }
+
+    /// A pool sized by [`default_threads`].
+    #[must_use]
+    pub fn auto() -> Pool {
+        Pool::new(default_threads())
+    }
+
+    /// The worker count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Applies `f` to every `(index, item)` pair and returns the results in
+    /// input order. Execution order is unspecified (work-stealing), but the
+    /// returned vector is identical for any thread count whenever `f` is a
+    /// pure function of its arguments.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised inside `f` on any worker.
+    pub fn map_indexed<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        if self.threads == 1 || n <= 1 {
+            return items.into_iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        }
+
+        let workers = self.threads.min(n);
+        // Deal cells to per-worker deques in contiguous chunks so each
+        // worker starts on a distinct region of the matrix.
+        let chunk = n.div_ceil(workers);
+        let mut queues: Vec<Mutex<VecDeque<(usize, T)>>> = Vec::with_capacity(workers);
+        let mut it = items.into_iter().enumerate();
+        for _ in 0..workers {
+            queues.push(Mutex::new(it.by_ref().take(chunk).collect()));
+        }
+
+        let (tx, rx) = mpsc::channel::<(usize, R)>();
+        thread::scope(|s| {
+            for w in 0..workers {
+                let tx = tx.clone();
+                let queues = &queues;
+                let f = &f;
+                s.spawn(move || {
+                    while let Some((i, item)) = next_job(queues, w) {
+                        let r = f(i, item);
+                        if tx.send((i, r)).is_err() {
+                            return; // receiver gone: the sweep is aborting
+                        }
+                    }
+                });
+            }
+        });
+        drop(tx);
+
+        let mut out: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        for (i, r) in rx {
+            out[i] = Some(r);
+        }
+        out.into_iter()
+            .map(|r| r.expect("every cell produced a result (no worker panicked)"))
+            .collect()
+    }
+}
+
+/// Pops the next job for worker `own`: front of its own deque first, then
+/// the back of each sibling's (classic work-stealing).
+fn next_job<T>(queues: &[Mutex<VecDeque<T>>], own: usize) -> Option<T> {
+    // A panicking worker may poison a queue lock; the job data inside is
+    // still valid, so recover it rather than cascading the panic.
+    let lock = |i: usize| queues[i].lock().unwrap_or_else(PoisonError::into_inner);
+    if let Some(job) = lock(own).pop_front() {
+        return Some(job);
+    }
+    for off in 1..queues.len() {
+        if let Some(job) = lock((own + off) % queues.len()).pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+/// [`Pool::map_indexed`] on an auto-sized pool.
+pub fn map_indexed<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    Pool::auto().map_indexed(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SmallRng;
+
+    fn cell_value(seed: u64, i: usize) -> u64 {
+        // A small deterministic computation per cell, like a bench cell.
+        let mut rng = SmallRng::seed_from_u64(seed ^ i as u64);
+        (0..100).map(|_| rng.next_u64() & 0xffff).sum()
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let items: Vec<usize> = (0..97).collect();
+        let serial = Pool::new(1).map_indexed(items.clone(), |i, x| cell_value(7, i) + x as u64);
+        for threads in [2, 3, 4, 8, 16] {
+            let par =
+                Pool::new(threads).map_indexed(items.clone(), |i, x| cell_value(7, i) + x as u64);
+            assert_eq!(par, serial, "thread count {threads} changed the result");
+        }
+    }
+
+    #[test]
+    fn preserves_input_order() {
+        let out = Pool::new(4).map_indexed((0..1000).collect::<Vec<usize>>(), |i, x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out = Pool::new(8).map_indexed(Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item_runs_inline() {
+        assert_eq!(Pool::new(8).map_indexed(vec![41u32], |_, x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let out = Pool::new(16).map_indexed(vec![1u32, 2, 3], |_, x| x * 10);
+        assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn worker_panic_propagates() {
+        let res = std::panic::catch_unwind(|| {
+            Pool::new(4).map_indexed((0..64).collect::<Vec<usize>>(), |i, _| {
+                assert!(i != 17, "boom at 17");
+                i
+            })
+        });
+        assert!(res.is_err(), "a worker panic must reach the caller");
+    }
+
+    #[test]
+    fn borrows_locals_through_the_scope() {
+        let base = [100u64, 200, 300];
+        let out = Pool::new(2).map_indexed(vec![0usize, 1, 2], |_, i| base[i] + 1);
+        assert_eq!(out, vec![101, 201, 301]);
+    }
+
+    #[test]
+    fn clamps_thread_count() {
+        assert_eq!(Pool::new(0).threads(), 1);
+        assert_eq!(Pool::new(100_000).threads(), MAX_THREADS);
+    }
+}

@@ -1,7 +1,8 @@
 //! Baseline-schema check: every `BENCH_*.json` at the repository root must
-//! parse with the in-tree JSON parser and carry the bench envelope (a
-//! `bench` name plus a payload). Corrupt or truncated baselines fail loudly
-//! here rather than silently during a later comparison.
+//! parse with the in-tree JSON parser and satisfy its declarative schema
+//! from [`imo_bench::gate::SCHEMAS`] — the same rule table `ci_gate` runs
+//! before diffing. Corrupt, truncated, or shape-drifted baselines fail
+//! loudly here rather than silently during a later comparison.
 //!
 //! ```sh
 //! cargo run --release --example bench_check
@@ -10,6 +11,7 @@
 use std::error::Error;
 use std::fs;
 
+use imo_bench::gate;
 use informing_memops::util::json;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -25,58 +27,44 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     let mut bad = 0;
+    let mut seen = 0;
     for name in &names {
-        let path = format!("{root}/{name}");
-        let text = fs::read_to_string(&path)?;
-        match json::parse(&text) {
-            Ok(doc) if doc.get("bench").is_some() => {
-                if name == "BENCH_obs_overhead.json" {
-                    if let Err(e) = check_obs_overhead(&doc) {
-                        eprintln!("BAD  {name}: {e}");
-                        bad += 1;
-                        continue;
-                    }
-                }
-                println!("ok   {name}");
-            }
-            Ok(_) => {
-                eprintln!("BAD  {name}: parses but lacks the `bench` envelope");
-                bad += 1;
-            }
+        let bench = name.trim_start_matches("BENCH_").trim_end_matches(".json");
+        let text = fs::read_to_string(format!("{root}/{name}"))?;
+        let doc = match json::parse(&text) {
+            Ok(doc) => doc,
             Err(e) => {
                 eprintln!("BAD  {name}: {e}");
                 bad += 1;
+                continue;
             }
+        };
+        let Some(schema) = gate::schema_for(bench) else {
+            eprintln!("BAD  {name}: no schema registered — add one to imo_bench::gate::SCHEMAS");
+            bad += 1;
+            continue;
+        };
+        seen += 1;
+        let errs = gate::validate(&doc, schema);
+        if errs.is_empty() {
+            println!("ok   {name} ({} rules)", schema.rules.len());
+        } else {
+            for e in &errs {
+                eprintln!("BAD  {name}: {e}");
+            }
+            bad += 1;
         }
     }
     if bad > 0 {
-        return Err(format!("{bad} of {} baselines are corrupt", names.len()).into());
+        return Err(format!("{bad} of {} baselines are corrupt or off-schema", names.len()).into());
     }
-    println!("{} baselines parse and carry the bench envelope", names.len());
-    Ok(())
-}
-
-/// The observability baseline carries proof obligations, not just timings:
-/// the recorder must have been bit-identical to the unobserved runs.
-fn check_obs_overhead(doc: &json::Json) -> Result<(), String> {
-    let data = doc.get("data").ok_or("missing `data` payload")?;
-    for flag in ["disabled_identical", "full_identical", "coherence_identical"] {
-        match data.get(flag) {
-            Some(json::Json::Bool(true)) => {}
-            Some(json::Json::Bool(false)) => {
-                return Err(format!("`{flag}` is false: the recorder perturbed a run"));
-            }
-            _ => return Err(format!("missing boolean `{flag}`")),
-        }
+    if seen < gate::SCHEMAS.len() {
+        return Err(format!(
+            "only {seen} of {} schema'd baselines exist; run `cargo bench -p imo-bench`",
+            gate::SCHEMAS.len()
+        )
+        .into());
     }
-    let overheads = match data.get("overheads") {
-        Some(json::Json::Arr(items)) if !items.is_empty() => items,
-        _ => return Err("missing non-empty `overheads` array".to_string()),
-    };
-    for o in overheads {
-        if o.get("machine").is_none() || o.get("disabled_over_plain").is_none() {
-            return Err("overhead entry lacks machine/ratio fields".to_string());
-        }
-    }
+    println!("{} baselines parse and satisfy their declarative schemas", names.len());
     Ok(())
 }

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Tier-2 verification: regenerate the full bench matrix (all 13 targets,
+# which rewrites every BENCH_*.json at the repo root) and then run the
+# regression gate against the refreshed tree. Each step reports its
+# wall-clock time.
+#
+# The deterministic targets fan out across the worker pool
+# (IMO_THREADS overrides the thread count; output is byte-identical at
+# any setting). The two wall-clock targets (substrate, obs_overhead)
+# honour IMO_BENCH_SAMPLES / IMO_BENCH_SAMPLE_MS for faster sampling.
+#
+# Use this to (re)baseline after an intentional behaviour change:
+#   scripts/tier2.sh && git add BENCH_*.json
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHES=(table1 fig2 fig3 handler100 branch_vs_exception table2 fig4 \
+         fig4_sensitivity ablation_mshr ablation_checkpoints \
+         fault_resilience substrate obs_overhead)
+
+total_start=$(date +%s%N)
+step() { # step <label> <cmd...>
+    local label=$1; shift
+    local t0 t1
+    t0=$(date +%s%N)
+    "$@" > /dev/null
+    t1=$(date +%s%N)
+    printf '%-28s %6d ms\n' "$label" $(( (t1 - t0) / 1000000 ))
+}
+
+echo "== build bench harnesses =="
+step "build" cargo build --release --offline -p imo-bench --benches --bins
+
+echo "== bench matrix (${#BENCHES[@]} targets) =="
+for b in "${BENCHES[@]}"; do
+    step "bench: $b" cargo bench -q --offline -p imo-bench --bench "$b"
+done
+
+echo "== ci_gate against the regenerated tree =="
+step "ci_gate" cargo run -q --release --offline -p imo-bench --bin ci_gate
+
+total_end=$(date +%s%N)
+printf 'tier2: all steps passed in %d ms\n' $(( (total_end - total_start) / 1000000 ))

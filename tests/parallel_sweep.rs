@@ -1,0 +1,95 @@
+//! Integration proof for the deterministic parallel sweep engine: the same
+//! seeded matrix must produce *identical* results (and identical baseline
+//! JSON) at every thread count, worker panics must propagate, and the edge
+//! cases (empty matrix, single cell) must hold.
+
+use imo_bench::sweep::{cross2, SweepSpec};
+use informing_memops::util::pool::Pool;
+use informing_memops::util::rng::SmallRng;
+
+/// A deterministic, seeded "simulation": enough mixing that any ordering
+/// or indexing bug in the pool scrambles the output.
+fn simulate_cell(seed: u64, steps: u64) -> u64 {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut acc = seed;
+    for _ in 0..steps {
+        acc = acc.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(17) ^ rng.next_u64();
+    }
+    acc
+}
+
+fn seeded_matrix() -> Vec<(u64, u64)> {
+    let seeds: Vec<u64> = (0..13).map(|i| 0x1996 + i * 7).collect();
+    let steps: Vec<u64> = vec![100, 1_000, 10_000];
+    cross2(&seeds, &steps)
+}
+
+#[test]
+fn sweep_results_identical_for_1_2_4_8_threads() {
+    let reference: Vec<u64> = seeded_matrix().iter().map(|&(s, n)| simulate_cell(s, n)).collect();
+    for threads in [1, 2, 4, 8] {
+        let pool = Pool::new(threads);
+        let got = SweepSpec::new("identity", seeded_matrix())
+            .run_on(&pool, |_, (seed, steps)| simulate_cell(seed, steps));
+        assert_eq!(got, reference, "results diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn sweep_json_payload_is_byte_identical_across_thread_counts() {
+    use informing_memops::util::json::Json;
+
+    let render = |threads: usize| -> String {
+        let rows = SweepSpec::new("payload", seeded_matrix()).run_on(
+            &Pool::new(threads),
+            |i, (seed, steps)| {
+                Json::obj([
+                    ("cell", Json::from(i as u64)),
+                    ("seed", Json::from(seed)),
+                    ("value", Json::from(simulate_cell(seed, steps))),
+                ])
+            },
+        );
+        Json::arr(rows).pretty()
+    };
+    let serial = render(1);
+    for threads in [2, 4, 8] {
+        assert_eq!(render(threads), serial, "JSON diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn worker_panic_propagates_to_the_caller() {
+    let result = std::panic::catch_unwind(|| {
+        SweepSpec::new("panicky", (0..64).collect::<Vec<u32>>()).run_on(&Pool::new(4), |_, x| {
+            assert!(x != 23, "injected failure in cell 23");
+            x
+        })
+    });
+    assert!(result.is_err(), "a cell panic must fail the whole sweep");
+}
+
+#[test]
+fn empty_matrix_yields_empty_results() {
+    let spec = SweepSpec::new("empty", Vec::<u64>::new());
+    assert!(spec.matrix.is_empty());
+    let out = spec.run_on(&Pool::new(4), |_, x| x);
+    assert!(out.is_empty());
+}
+
+#[test]
+fn single_cell_matrix_runs_and_preserves_the_cell() {
+    let out = SweepSpec::new("single", vec![0x1996u64])
+        .run_on(&Pool::new(8), |i, seed| (i, simulate_cell(seed, 100)));
+    assert_eq!(out.len(), 1);
+    assert_eq!(out[0], (0, simulate_cell(0x1996, 100)));
+}
+
+#[test]
+fn thread_count_does_not_leak_into_results_via_indices() {
+    // Indices passed to the cell function must be matrix positions, not
+    // worker-local counters.
+    let idx: Vec<usize> =
+        SweepSpec::new("indices", (0..97u32).collect::<Vec<_>>()).run_on(&Pool::new(8), |i, _| i);
+    assert_eq!(idx, (0..97).collect::<Vec<_>>());
+}
