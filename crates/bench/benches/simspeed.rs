@@ -1,0 +1,5 @@
+//! Thin entry point; the real harness lives in `imo_bench::targets::simspeed`.
+
+fn main() {
+    imo_bench::targets::simspeed::run();
+}

@@ -17,8 +17,9 @@
 //! `examples/bench_check.rs` runs.
 //!
 //! Usage: `cargo run --release -p imo-bench --bin ci_gate [--skip-wall]`.
-//! `--skip-wall` skips the two wall-clock-only targets (`substrate`,
-//! `obs_overhead`) entirely; by default they run with fast sampling knobs
+//! `--skip-wall` skips the three wall-clock targets (`substrate`,
+//! `obs_overhead`, `simspeed`) entirely; by default they run with fast
+//! sampling knobs
 //! (3 samples × 2 ms) unless the caller already set `IMO_BENCH_SAMPLES` /
 //! `IMO_BENCH_SAMPLE_MS`. Exits nonzero on any drift, schema violation, or
 //! missing baseline.
@@ -128,6 +129,15 @@ fn main() -> ExitCode {
         println!("  {:<22} {verdict}", rep.name);
         reports.push(rep);
     }
+
+    let memo = imo_bench::sweep::memo_stats();
+    println!(
+        "\nmemo: {} cells requested, {} simulated, {} served from cache ({:.0}% hit rate)",
+        memo.requested,
+        memo.simulated,
+        memo.deduped(),
+        memo.hit_rate() * 100.0
+    );
 
     let bad: Vec<&TargetReport> = reports.iter().filter(|r| !r.ok()).collect();
     if bad.is_empty() {

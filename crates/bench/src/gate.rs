@@ -61,7 +61,7 @@ const fn r(path: &'static str, expect: Expect) -> Rule {
     Rule { path, expect }
 }
 
-/// The declarative schema table for all 13 baselines.
+/// The declarative schema table for all 14 baselines.
 pub const SCHEMAS: &[BenchSchema] = &[
     BenchSchema {
         name: "table1",
@@ -200,6 +200,26 @@ pub const SCHEMAS: &[BenchSchema] = &[
             r("data.timings.results[*].median_ns", Expect::NumPos),
         ],
     },
+    BenchSchema {
+        name: "simspeed",
+        rules: &[
+            r("data.workload", Expect::Str),
+            r("data.rows", Expect::ArrLen(6)), // 2 machines x 3 schemes
+            r("data.rows[*].machine", Expect::Str),
+            r("data.rows[*].scheme", Expect::Str),
+            r("data.rows[*].sim_cycles", Expect::NumPos),
+            r("data.rows[*].instructions", Expect::NumPos),
+            r("data.rows[*].identical_to_tick_accurate", Expect::True),
+            r("data.rows[*].wall_ns", Expect::NumPos),
+            r("data.rows[*].tick_wall_ns", Expect::NumPos),
+            r("data.rows[*].cycles_per_sec", Expect::NumPos),
+            r("data.rows[*].speedup_vs_tick", Expect::NumPos),
+            r("data.dedup.requested", Expect::NumPos),
+            r("data.dedup.simulated", Expect::NumPos),
+            r("data.dedup.deduped", Expect::NumPos),
+            r("data.dedup.hit_rate", Expect::NumPos),
+        ],
+    },
 ];
 
 /// Looks a schema up by bench name.
@@ -300,6 +320,10 @@ pub const WALL_KEYS: &[&str] = &[
     "iters_per_sample",
     "disabled_over_plain",
     "full_over_plain",
+    "wall_ns",
+    "tick_wall_ns",
+    "cycles_per_sec",
+    "speedup_vs_tick",
 ];
 
 /// The wall-clock tolerance factor: `IMO_GATE_WALL_TOL` or a wide default.
@@ -459,12 +483,12 @@ mod tests {
     }
 
     #[test]
-    fn schema_table_covers_all_13_targets() {
-        assert_eq!(SCHEMAS.len(), 13);
+    fn schema_table_covers_all_14_targets() {
+        assert_eq!(SCHEMAS.len(), 14);
         let mut names: Vec<_> = SCHEMAS.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 13);
+        assert_eq!(names.len(), 14);
     }
 
     #[test]

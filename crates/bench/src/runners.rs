@@ -3,10 +3,11 @@
 
 use imo_coherence::{simulate_baseline, MachineParams, Scheme, SimResult};
 use imo_core::experiment::{ExperimentResult, Variant};
-use imo_workloads::parallel::{all_apps, TraceConfig};
+use imo_util::hash::debug_hash;
+use imo_workloads::parallel::{all_apps, ParallelTrace, TraceConfig};
 use imo_workloads::Scale;
 
-use crate::sweep::{cpu_cells, cross2, run_cpu_cells, SweepSpec};
+use crate::sweep::{cpu_cells, cross2, memoized, run_cpu_cells, SweepSpec};
 
 /// Runs the Figure 2/3 variant set for one workload on both machines
 /// (a 1 × 2 sweep; the full-figure targets fan out all workloads at once).
@@ -31,13 +32,23 @@ pub struct Fig4Row {
     pub normalized: [f64; 3],
 }
 
+/// [`simulate_baseline`] through the process-wide memo cache
+/// ([`crate::sweep::memoized`]). The trace — tens of thousands of generated
+/// ops — enters the key as a structural `Debug` hash rather than verbatim;
+/// every other counter-relevant input (`scheme`, full machine params) is in
+/// the key directly.
+pub fn memoized_baseline(app: &ParallelTrace, scheme: Scheme, params: &MachineParams) -> SimResult {
+    let key = format!("coh-baseline/{}/{:016x}/{scheme:?}/{params:?}", app.name, debug_hash(app));
+    memoized(&key, || simulate_baseline(app, scheme, params))
+}
+
 /// Runs Figure 4: every application under every scheme, as an app-major
 /// app × scheme sweep across the pool.
 pub fn fig4_rows(trace_cfg: &TraceConfig, params: &MachineParams) -> Vec<Fig4Row> {
     let apps = all_apps(trace_cfg);
     let cells = cross2(&apps, &Scheme::all());
     let results = SweepSpec::new("fig4", cells)
-        .run(|_, (app, scheme)| simulate_baseline(&app, scheme, params));
+        .run(|_, (app, scheme)| memoized_baseline(&app, scheme, params));
     results
         .chunks_exact(Scheme::all().len())
         .map(|chunk| {

@@ -14,12 +14,100 @@
 //! experiment matrix: [`CpuCell`] (one workload × machine × variant-set
 //! point of the Figure 2/3-style sweeps) and the parallel
 //! [`crate::runners::fig4_rows`] app × scheme sweep built on it.
+//!
+//! ## Result memoization
+//!
+//! The 13 bench targets overlap: `handler100` re-runs `fig2`/`fig3`'s
+//! uninstrumented N cells, `fig4_sensitivity`'s centre sweep points are
+//! exactly `fig4`'s matrix, `fault_resilience`'s migratory baseline is one
+//! of its own identity cells. [`memoized`] is a process-wide cache keyed by
+//! a *structural* key string — every input that can change the simulated
+//! counters (workload spec, machine params, scheme, fault plan, seed,
+//! limits) rendered via `Debug`, with oversized components (generated
+//! traces) folded to an [`imo_util::hash::debug_hash`] — so one `registry()`
+//! pass (`ci_gate`, `tier2.sh`) simulates each distinct cell once.
+//! Simulations are deterministic, which is what makes serving a cached
+//! `RunResult` sound: a cache hit is bit-identical to a re-run, and
+//! [`memo_stats`] proves the dedup coverage without affecting any payload.
 
-use imo_core::experiment::{run_experiment, ExperimentResult, Variant};
+use std::any::Any;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use imo_core::experiment::{normalize_experiment, ExperimentResult, Variant};
+use imo_core::instrument::instrument;
 use imo_core::Machine;
 use imo_cpu::RunLimits;
 use imo_util::pool::Pool;
 use imo_workloads::{by_name, Scale};
+
+/// Process-wide memo cache: structural key → boxed result.
+static MEMO: OnceLock<Mutex<HashMap<String, Box<dyn Any + Send + Sync>>>> = OnceLock::new();
+/// Total [`memoized`] calls (cache hits included).
+static MEMO_REQUESTED: AtomicU64 = AtomicU64::new(0);
+
+/// Runs `compute` at most once per distinct `key`, serving repeats from the
+/// process-wide cache.
+///
+/// The value is computed *outside* the cache lock (cells are long
+/// simulations; holding the lock would serialize the pool), so two workers
+/// racing on the same key may both compute — determinism makes their values
+/// identical, and the first to finish populates the cache. The stats
+/// reported by [`memo_stats`] count *unique keys*, which is
+/// interleaving-invariant.
+pub fn memoized<T, F>(key: &str, compute: F) -> T
+where
+    T: Clone + Send + Sync + 'static,
+    F: FnOnce() -> T,
+{
+    MEMO_REQUESTED.fetch_add(1, Ordering::Relaxed);
+    let map = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = map.lock().expect("memo lock").get(key) {
+        return hit.downcast_ref::<T>().expect("memo key reused at a different type").clone();
+    }
+    let value = compute();
+    map.lock()
+        .expect("memo lock")
+        .entry(key.to_string())
+        .or_insert_with(|| Box::new(value.clone()));
+    value
+}
+
+/// Memo-cache coverage counters; see [`memo_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemoStats {
+    /// Cell results requested through [`memoized`].
+    pub requested: u64,
+    /// Distinct cells actually simulated (unique cache keys).
+    pub simulated: u64,
+}
+
+impl MemoStats {
+    /// Requests served from the cache instead of re-simulating.
+    #[must_use]
+    pub fn deduped(&self) -> u64 {
+        self.requested.saturating_sub(self.simulated)
+    }
+
+    /// Fraction of requests served from the cache (`0.0` when idle).
+    #[must_use]
+    pub fn hit_rate(&self) -> f64 {
+        if self.requested == 0 {
+            0.0
+        } else {
+            self.deduped() as f64 / self.requested as f64
+        }
+    }
+}
+
+/// Snapshot of the process-wide memo coverage: how many cell results were
+/// requested and how many distinct cells were actually simulated.
+#[must_use]
+pub fn memo_stats() -> MemoStats {
+    let simulated = MEMO.get().map_or(0, |m| m.lock().expect("memo lock").len() as u64);
+    MemoStats { requested: MEMO_REQUESTED.load(Ordering::Relaxed), simulated }
+}
 
 /// A flat list of experiment cells (usually a cross product of axes).
 #[derive(Debug, Clone)]
@@ -122,6 +210,12 @@ pub struct CpuCell {
 impl CpuCell {
     /// Runs this cell to its [`ExperimentResult`].
     ///
+    /// Each variant's raw `RunResult` goes through [`memoized`]
+    /// individually, so a variant shared between targets (every target's N
+    /// baseline, say) simulates once per process even when the surrounding
+    /// variant sets differ. The program is only built if some variant
+    /// actually misses the cache.
+    ///
     /// # Panics
     ///
     /// Panics if the workload name is unknown or a simulation fails — the
@@ -130,9 +224,26 @@ impl CpuCell {
     pub fn run(&self) -> ExperimentResult {
         let spec = by_name(self.workload)
             .unwrap_or_else(|| panic!("unknown workload `{}`", self.workload));
-        let program = (spec.build)(self.scale);
-        run_experiment(self.workload, &program, &self.machine, &self.variants, RunLimits::default())
-            .unwrap_or_else(|e| panic!("{} on {}: {e}", self.workload, self.machine.name()))
+        let limits = RunLimits::default();
+        let mut program = None;
+        let mut raw = Vec::with_capacity(self.variants.len());
+        for v in &self.variants {
+            let key = format!(
+                "cpu-run/{}/{:?}/{:?}/{:?}/{:?}",
+                self.workload, self.scale, self.machine, v.scheme, limits
+            );
+            let result = memoized(&key, || {
+                let program = program.get_or_insert_with(|| (spec.build)(self.scale));
+                let inst = instrument(program, &v.scheme).unwrap_or_else(|e| {
+                    panic!("instrumenting {} as {:?}: {e}", self.workload, v.scheme)
+                });
+                self.machine
+                    .run_limited(&inst.program, limits)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", self.workload, self.machine.name()))
+            });
+            raw.push((v.label, result));
+        }
+        normalize_experiment(self.workload, self.machine.name(), raw)
     }
 }
 
@@ -191,6 +302,39 @@ mod tests {
             SweepSpec::new("t", cells.clone()).run_on(&Pool::new(1), |_, c: CpuCell| c.run());
         let par = SweepSpec::new("t", cells).run_on(&Pool::new(4), |_, c: CpuCell| c.run());
         assert_eq!(serial, par);
+    }
+
+    #[test]
+    fn memoized_computes_each_key_once() {
+        use std::sync::atomic::{AtomicU32, Ordering};
+        let calls = AtomicU32::new(0);
+        let before = memo_stats();
+        let a = memoized("test/memo/unique-key-1", || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            42u64
+        });
+        let b = memoized("test/memo/unique-key-1", || {
+            calls.fetch_add(1, Ordering::SeqCst);
+            99u64
+        });
+        assert_eq!(a, 42);
+        assert_eq!(b, 42, "second call served from cache");
+        assert_eq!(calls.load(Ordering::SeqCst), 1);
+        // Other tests share the process-wide cache, so only lower bounds on
+        // the deltas are safe to assert.
+        let after = memo_stats();
+        assert!(after.requested >= before.requested + 2);
+        assert!(after.simulated > before.simulated);
+    }
+
+    #[test]
+    fn memo_stats_math() {
+        let s = MemoStats { requested: 10, simulated: 4 };
+        assert_eq!(s.deduped(), 6);
+        assert!((s.hit_rate() - 0.6).abs() < 1e-12);
+        let idle = MemoStats { requested: 0, simulated: 0 };
+        assert_eq!(idle.deduped(), 0);
+        assert_eq!(idle.hit_rate(), 0.0);
     }
 
     #[test]

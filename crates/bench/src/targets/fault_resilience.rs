@@ -8,12 +8,13 @@
 //! 2. **Recovery cost** — a policy × drop-rate sweep of completion-time
 //!    slowdown vs the fault-free run, plus retry and timeout counters.
 
-use imo_coherence::{simulate_baseline, simulate_faulty, BackoffPolicy, MachineParams, Scheme};
+use imo_coherence::{simulate_faulty, BackoffPolicy, MachineParams, Scheme};
 use imo_faults::{FaultConfig, FaultPlan};
 use imo_util::json::Json;
 use imo_workloads::parallel::{all_apps, migratory, TraceConfig};
 
 use crate::report::{emit, Table};
+use crate::runners::memoized_baseline;
 use crate::sweep::{cross2, SweepSpec};
 
 const DROP_RATES: [f64; 5] = [0.0, 0.02, 0.05, 0.10, 0.20];
@@ -66,15 +67,16 @@ pub fn compute() -> Output {
     // 1. Zero-fault identity across every app and scheme.
     let id_cells = cross2(&all_apps(&cfg), &Scheme::all());
     let identity = SweepSpec::new("fault_identity", id_cells).run(|_, (app, scheme)| {
-        let base = simulate_baseline(&app, scheme, &params);
+        let base = memoized_baseline(&app, scheme, &params);
         let faulty = simulate_faulty(&app, scheme, &params, &FaultPlan::none())
             .expect("zero-fault run completes");
         (app.name, scheme.name(), base == faulty)
     });
 
     // 2. Drop-rate x backoff-policy sweep on the migratory app.
+    // Dedups against the identity sweep's migratory/informing cell above.
     let trace = migratory(&cfg);
-    let base = simulate_baseline(&trace, Scheme::Informing, &params);
+    let base = memoized_baseline(&trace, Scheme::Informing, &params);
     let cells = cross2(&policies(), &DROP_RATES);
     let sweep = SweepSpec::new("fault_resilience", cells).run(|_, ((name, backoff), rate)| {
         let mut p = params;

@@ -5,7 +5,7 @@
 //!
 //! Every module follows the same shape:
 //!
-//! * `compute()` — the deterministic (or, for the two wall-clock targets,
+//! * `compute()` — the deterministic (or, for the wall-clock targets,
 //!   host-timed) sweep, declared as [`crate::sweep`] cells and fanned out
 //!   across the pool;
 //! * `payload(&Output)` — the JSON baseline payload, exactly what the bench
@@ -27,6 +27,7 @@ pub mod fig4;
 pub mod fig4_sensitivity;
 pub mod handler100;
 pub mod obs_overhead;
+pub mod simspeed;
 pub mod substrate;
 pub mod table1;
 pub mod table2;
@@ -66,6 +67,7 @@ pub fn registry() -> Vec<Target> {
         t("fault_resilience", false, || fault_resilience::payload(&fault_resilience::compute())),
         t("substrate", true, || substrate::payload(&substrate::compute())),
         t("obs_overhead", true, || obs_overhead::payload(&obs_overhead::compute())),
+        t("simspeed", true, || simspeed::payload(&simspeed::compute())),
     ]
 }
 
@@ -76,11 +78,11 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_complete() {
         let targets = registry();
-        assert_eq!(targets.len(), 13);
+        assert_eq!(targets.len(), 14);
         let mut names: Vec<_> = targets.iter().map(|t| t.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 13, "duplicate target names");
-        assert_eq!(targets.iter().filter(|t| t.wall_clock).count(), 2);
+        assert_eq!(names.len(), 14, "duplicate target names");
+        assert_eq!(targets.iter().filter(|t| t.wall_clock).count(), 3);
     }
 }

@@ -154,6 +154,25 @@ pub fn run_experiment(
         let result = machine.run_limited(&inst.program, limits)?;
         raw.push((v.label, result));
     }
+    Ok(normalize_experiment(workload, machine.name(), raw))
+}
+
+/// Normalizes raw per-variant results to the first variant (conventionally N)
+/// and assembles the [`ExperimentResult`].
+///
+/// Split out of [`run_experiment`] so callers that obtain the raw runs some
+/// other way — e.g. the bench sweep's memoization layer, which may serve a
+/// variant's `RunResult` from cache — produce bit-identical results.
+///
+/// # Panics
+///
+/// Panics if `raw` is empty (there is no baseline to normalize to).
+#[must_use]
+pub fn normalize_experiment(
+    workload: &str,
+    machine: &'static str,
+    raw: Vec<(&'static str, RunResult)>,
+) -> ExperimentResult {
     let base = &raw[0].1;
     let base_cycles = base.cycles.max(1) as f64;
     let base_instr = base.instructions.max(1) as f64;
@@ -172,7 +191,7 @@ pub fn run_experiment(
             }
         })
         .collect();
-    Ok(ExperimentResult { workload: workload.to_string(), machine: machine.name(), raw, bars })
+    ExperimentResult { workload: workload.to_string(), machine, raw, bars }
 }
 
 #[cfg(test)]

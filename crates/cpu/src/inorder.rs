@@ -18,8 +18,7 @@
 //! strictly in order: the window stalls at the first instruction that cannot
 //! issue.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use imo_isa::{FuClass, Instr, Program};
 use imo_mem::{HitLevel, MemoryHierarchy};
@@ -29,6 +28,7 @@ use crate::config::InOrderConfig;
 use crate::config::TrapModel;
 use crate::frontend::{Fetched, FrontEnd, Resolve};
 use crate::result::{MemCounters, RunLimits, RunResult, SimError, SlotBreakdown};
+use crate::sched::{Horizon, WakeupQueue};
 
 /// Per-logical-register scoreboard state.
 #[derive(Debug, Clone, Copy, Default)]
@@ -167,8 +167,9 @@ fn run(
     }
 
     let mut regs = [RegState::default(); 64];
-    let mut queue: VecDeque<Fetched> = VecDeque::new();
-    let mut resolve_q: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new();
+    let mut queue: VecDeque<Fetched> = VecDeque::with_capacity(2 * cfg.issue_width as usize);
+    let mut fetch_buf: Vec<Fetched> = Vec::with_capacity(cfg.issue_width as usize);
+    let mut resolve_q: WakeupQueue<u64> = WakeupQueue::new(); // seq due at cycle
 
     // Outcome (hit/miss known) cycle of the most recent issued data
     // reference, consumed by `bmiss`.
@@ -185,11 +186,7 @@ fn run(
         let mut progress = false;
 
         // ---- Front-end resolutions due ----
-        while let Some(&Reverse((t, seq))) = resolve_q.peek() {
-            if t > now {
-                break;
-            }
-            resolve_q.pop();
+        while let Some((t, seq)) = resolve_q.pop_due(now) {
             fe.resolve(seq, t, cfg.redirect_penalty);
             progress = true;
         }
@@ -320,7 +317,7 @@ fn run(
                     if due <= now {
                         fe.resolve(f.seq, now, cfg.redirect_penalty);
                     } else {
-                        resolve_q.push(Reverse((due, f.seq)));
+                        resolve_q.push_keyed(due, f.seq, f.seq);
                     }
                 }
             }
@@ -369,9 +366,9 @@ fn run(
         // ---- Fetch ----
         if queue.len() < 2 * cfg.issue_width as usize {
             let before = queue.len();
-            let mut buf = Vec::new();
-            fe.fetch(now, cfg.issue_width, &mut hier, &mut buf, obs.as_deref_mut())?;
-            queue.extend(buf);
+            fetch_buf.clear();
+            fe.fetch(now, cfg.issue_width, &mut hier, &mut fetch_buf, obs.as_deref_mut())?;
+            queue.extend(fetch_buf.drain(..));
             if queue.len() > before {
                 progress = true;
             }
@@ -385,25 +382,26 @@ fn run(
             return Err(SimError::CycleLimit(limits.max_cycles));
         }
 
-        // ---- Advance time ----
+        // ---- Advance time (with fast-forward over quiet cycles) ----
         if progress {
             now += 1;
         } else {
-            let mut next = u64::MAX;
-            let mut consider = |t: u64| {
-                if t > now && t < next {
-                    next = t;
-                }
-            };
-            consider(next_wakeup);
-            if let Some(&Reverse((t, _))) = resolve_q.peek() {
-                consider(t);
+            let mut h = Horizon::new(now);
+            if next_wakeup != u64::MAX {
+                h.consider(next_wakeup);
             }
+            h.consider_opt(resolve_q.next_due());
             if !fe.halted() && fe.blocked_on().is_none() {
-                consider(fe.resume_at());
+                h.consider(fe.resume_at());
             }
-            if next == u64::MAX {
+            let Some(next) = h.earliest() else {
                 return Err(SimError::Deadlock { cycle: now });
+            };
+            if limits.force_tick_accurate {
+                // Reference mode: the horizon was still computed (so deadlock
+                // detection is identical), but time advances one cycle.
+                now += 1;
+                continue;
             }
             let skipped = next - now - 1;
             if skipped > 0 {

@@ -59,6 +59,7 @@ pub mod inorder;
 pub mod ooo;
 pub mod predictor;
 pub mod result;
+pub mod sched;
 pub mod trace;
 
 pub use config::{InOrderConfig, OooConfig, TrapModel};

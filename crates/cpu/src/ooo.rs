@@ -21,8 +21,7 @@
 //!   [`TrapModel::Exception`] fetch waits until the informing operation
 //!   reaches the head of the reorder buffer.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use imo_isa::{FuClass, Instr, MemKind, Program};
 use imo_mem::{HitLevel, MemoryHierarchy, MshrFile, MshrId};
@@ -31,6 +30,7 @@ use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder};
 use crate::config::{OooConfig, TrapModel};
 use crate::frontend::{Fetched, FrontEnd, Resolve};
 use crate::result::{MemCounters, RunLimits, RunResult, SimError, SlotBreakdown};
+use crate::sched::{Horizon, ReleasePool, WakeupQueue};
 use crate::trace::InstrTrace;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -185,16 +185,25 @@ fn run(
 
     let mut rob: VecDeque<Entry> = VecDeque::with_capacity(cfg.rob_entries as usize);
     let mut rob_base: u64 = 0; // seq of rob.front()
-    let mut fetch_q: VecDeque<Fetched> = VecDeque::new();
+    let mut fetch_q: VecDeque<Fetched> = VecDeque::with_capacity(2 * cfg.issue_width as usize);
+    let mut fetch_buf: Vec<Fetched> = Vec::with_capacity(cfg.issue_width as usize);
     let mut last_writer: [Option<u64>; 64] = [None; 64];
 
-    // Future-event queues (min-heaps on cycle).
-    let mut resolve_q: BinaryHeap<Reverse<(u64, u64)>> = BinaryHeap::new(); // (cycle, seq)
-    let mut ckpt_release_q: BinaryHeap<Reverse<u64>> = BinaryHeap::new();
-    let mut fills: Vec<(u64, MshrId)> = Vec::new(); // (fill-complete cycle, entry)
+    // Future-event queues (deterministic min-heaps; see `crate::sched`).
+    let mut resolve_q: WakeupQueue<u64> = WakeupQueue::new(); // seq due at cycle
+    let mut ckpt_release_q: WakeupQueue<()> = WakeupQueue::new();
+    let mut fills: WakeupQueue<MshrId> = WakeupQueue::new();
 
     let mut checkpoints_in_use: u32 = 0;
-    let mut wb_release: Vec<u64> = vec![0; cfg.write_buffer as usize];
+    let mut wb_release = ReleasePool::new(cfg.write_buffer as usize);
+
+    // Programs without condition-code branches never create `Dep::Outcome`
+    // edges, so their wakeup horizon can skip the per-entry outcome-cycle
+    // candidates (the common case on the figure 2/3 trap schemes).
+    let has_cc_consumers = program
+        .instrs()
+        .iter()
+        .any(|i| matches!(i, Instr::BranchOnMiss { .. } | Instr::BranchOnMemMiss { .. }));
 
     let width = cfg.issue_width as u64;
     let mut now: u64 = 0;
@@ -259,13 +268,10 @@ fn run(
         let mut progress = false;
 
         // ---- 1. MSHR fills due this cycle ----
-        if fills.iter().any(|&(t, _)| t <= now) {
-            for &(t, id) in fills.iter() {
-                if t <= now {
-                    mshrs.note_fill(id);
-                }
+        if fills.next_due().is_some_and(|t| t <= now) {
+            while let Some((_, id)) = fills.pop_due(now) {
+                mshrs.note_fill(id);
             }
-            fills.retain(|&(t, _)| t > now);
             mshrs.reap();
             progress = true;
         }
@@ -277,14 +283,16 @@ fn run(
             if head.state != EState::Complete {
                 break;
             }
-            // Stores drain through the write buffer at graduation.
+            // Stores drain through the write buffer at graduation. Any free
+            // slot is as good as any other, so the pool hands out the
+            // earliest-released one (see `ReleasePool`).
             if matches!(head.f.instr, Instr::Store { .. }) {
-                let Some(slot) = wb_release.iter().position(|&r| r <= now) else {
+                if !wb_release.has_free(now) {
                     break; // write buffer full: stall graduation
-                };
+                }
                 let probe = head.f.probe.expect("stores probe the cache");
                 let t = hier.schedule_data(probe, now);
-                wb_release[slot] = t.complete;
+                wb_release.acquire_until(now, t.complete);
             }
             let e = rob.pop_front().expect("front exists");
             rob_base = e.f.seq + 1;
@@ -370,21 +378,13 @@ fn run(
         }
 
         // ---- 4. Checkpoint releases ----
-        while let Some(&Reverse(t)) = ckpt_release_q.peek() {
-            if t > now {
-                break;
-            }
-            ckpt_release_q.pop();
+        while ckpt_release_q.pop_due(now).is_some() {
             checkpoints_in_use = checkpoints_in_use.saturating_sub(1);
             progress = true;
         }
 
         // ---- 5. Front-end resolutions due ----
-        while let Some(&Reverse((t, seq))) = resolve_q.peek() {
-            if t > now {
-                break;
-            }
-            resolve_q.pop();
+        while let Some((t, seq)) = resolve_q.pop_due(now) {
             fe.resolve(seq, t, cfg.redirect_penalty);
             progress = true;
         }
@@ -457,7 +457,7 @@ fn run(
                 if let Some(id) = mshrs.allocate(line) {
                     e.mshr = Some(id);
                     if fresh {
-                        fills.push((fill, id));
+                        fills.push(fill, id);
                         imo_obs::record(&mut obs, now, EventKind::MshrAllocate { line });
                     } else {
                         imo_obs::record(&mut obs, now, EventKind::MshrMerge { line });
@@ -465,10 +465,10 @@ fn run(
                 }
             }
             if e.uses_checkpoint {
-                ckpt_release_q.push(Reverse(e.outcome_cycle));
+                ckpt_release_q.push(e.outcome_cycle, ());
             }
             if e.f.resolve == Resolve::AtExecute {
-                resolve_q.push(Reverse((e.outcome_cycle, e.f.seq)));
+                resolve_q.push_keyed(e.outcome_cycle, e.f.seq, e.f.seq);
             }
         }
 
@@ -520,9 +520,9 @@ fn run(
         // ---- 8. Fetch ----
         if fetch_q.len() < 2 * cfg.issue_width as usize {
             let before = fetch_q.len();
-            let mut buf = Vec::new();
-            fe.fetch(now, cfg.issue_width, &mut hier, &mut buf, obs.as_deref_mut())?;
-            fetch_q.extend(buf);
+            fetch_buf.clear();
+            fe.fetch(now, cfg.issue_width, &mut hier, &mut fetch_buf, obs.as_deref_mut())?;
+            fetch_q.extend(fetch_buf.drain(..));
             if fetch_q.len() > before {
                 progress = true;
             }
@@ -545,53 +545,62 @@ fn run(
         if progress {
             now += 1;
         } else {
-            // Find the earliest *future* event; anything at or before `now`
-            // is not a wake-up source (it already had its chance this cycle).
-            let mut next = u64::MAX;
-            let mut consider = |t: u64| {
-                if t > now {
-                    next = next.min(t);
-                }
-            };
+            // Fold every wakeup source into the earliest *future* event;
+            // anything at or before `now` is not a wake-up source (it
+            // already had its chance this cycle).
+            let mut h = Horizon::new(now);
             for e in rob.iter() {
                 match e.state {
-                    EState::Issued => consider(e.complete_cycle),
-                    EState::Waiting => consider(e.f.fetch_cycle + cfg.frontend_depth),
-                    EState::Complete => {}
+                    // `outcome_cycle` can precede completion (a miss's early
+                    // tag probe) or follow it (a store's tag probe after its
+                    // 1-cycle address generation); either way it readies
+                    // `Dep::Outcome` consumers, so when the program has
+                    // condition-code branches it is a wake-up source of its
+                    // own.
+                    EState::Issued => {
+                        h.consider(e.complete_cycle);
+                        if has_cc_consumers {
+                            h.consider(e.outcome_cycle);
+                        }
+                    }
+                    EState::Waiting => h.consider(e.f.fetch_cycle + cfg.frontend_depth),
+                    EState::Complete => {
+                        if has_cc_consumers {
+                            h.consider(e.outcome_cycle);
+                        }
+                    }
                 }
             }
-            if let Some(&Reverse((t, _))) = resolve_q.peek() {
-                consider(t);
-            }
-            if let Some(&Reverse(t)) = ckpt_release_q.peek() {
-                consider(t);
-            }
-            for &(t, _) in fills.iter() {
-                consider(t);
-            }
+            h.consider_opt(resolve_q.next_due());
+            h.consider_opt(ckpt_release_q.next_due());
+            h.consider_opt(fills.next_due());
             if !fe.halted() && fe.blocked_on().is_none() {
-                consider(fe.resume_at());
+                h.consider(fe.resume_at());
             }
-            if rob.front().is_some_and(|h| {
-                h.state == EState::Complete && matches!(h.f.instr, Instr::Store { .. })
+            if rob.front().is_some_and(|hd| {
+                hd.state == EState::Complete && matches!(hd.f.instr, Instr::Store { .. })
             }) {
                 // Graduation blocked on the write buffer.
-                if let Some(&r) = wb_release.iter().min() {
-                    consider(r);
-                }
+                h.consider_opt(wb_release.next_release());
             }
-            if next == u64::MAX {
+            let Some(next) = h.earliest() else {
                 return Err(SimError::Deadlock { cycle: now });
+            };
+            if limits.force_tick_accurate {
+                // Reference mode: the horizon was still computed (so deadlock
+                // detection is identical), but time advances one cycle.
+                now += 1;
+                continue;
             }
             let skipped = next - now - 1;
             if skipped > 0 {
                 // Attribute the skipped slots exactly as the per-cycle
                 // accounting would have.
                 let lost = skipped * width;
-                let head_is_miss_stall = rob.front().is_some_and(|h| {
-                    h.state != EState::Complete
-                        && h.f.instr.is_data_ref()
-                        && h.f.probe.is_some_and(|p| p.level.is_l1_miss())
+                let head_is_miss_stall = rob.front().is_some_and(|hd| {
+                    hd.state != EState::Complete
+                        && hd.f.instr.is_data_ref()
+                        && hd.f.probe.is_some_and(|p| p.level.is_l1_miss())
                 });
                 if head_is_miss_stall {
                     slots.cache_stall += lost;
@@ -907,7 +916,7 @@ mod tests {
         let err = simulate(
             &p,
             &OooConfig::paper(),
-            RunLimits { max_instructions: u64::MAX, max_cycles: 1000 },
+            RunLimits { max_instructions: u64::MAX, max_cycles: 1000, ..RunLimits::default() },
         )
         .unwrap_err();
         assert!(matches!(err, SimError::CycleLimit(1000)));

@@ -113,11 +113,27 @@ pub struct RunLimits {
     pub max_instructions: u64,
     /// Maximum cycles to simulate before giving up.
     pub max_cycles: u64,
+    /// Disable no-progress fast-forwarding: tick `now += 1` through idle
+    /// windows instead of jumping to the next pending event. Slow; exists as
+    /// the bit-identity reference for `tests/fastforward_identity.rs`.
+    pub force_tick_accurate: bool,
+}
+
+impl RunLimits {
+    /// Default limits with fast-forwarding disabled.
+    #[must_use]
+    pub fn tick_accurate() -> RunLimits {
+        RunLimits { force_tick_accurate: true, ..RunLimits::default() }
+    }
 }
 
 impl Default for RunLimits {
     fn default() -> RunLimits {
-        RunLimits { max_instructions: 50_000_000, max_cycles: 500_000_000 }
+        RunLimits {
+            max_instructions: 50_000_000,
+            max_cycles: 500_000_000,
+            force_tick_accurate: false,
+        }
     }
 }
 

@@ -1,0 +1,290 @@
+//! Unified event-driven scheduling primitives shared by both timing cores.
+//!
+//! Before this module the cores tracked future work with ad-hoc containers —
+//! a `Vec<(cycle, mshr)>` scanned with `iter().any` + `retain` every cycle
+//! for cache fills, a `Vec<u64>` scanned with `iter().position` for
+//! write-buffer slots — each an O(n) walk per simulated cycle even when the
+//! earliest event was far in the future. The three types here replace those
+//! scans with O(log n) heap operations and give the no-progress fast-forward
+//! a single place to ask "when is the next event?":
+//!
+//! * [`WakeupQueue`] — a deterministic min-heap of `(due, key, item)` events.
+//!   Ties on `due` break on `key` (insertion order by default, or an explicit
+//!   key such as the instruction sequence number), never on the payload, so
+//!   pop order is a pure function of push history.
+//! * [`ReleasePool`] — `k` interchangeable resource slots (write-buffer
+//!   entries) as a min-heap of release times. Acquiring takes the *earliest*
+//!   released slot; since every slot with `release <= now` is equivalently
+//!   free and `now` is monotonic, this is observationally identical to the
+//!   old first-by-index scan.
+//! * [`Horizon`] — the fold over "earliest pending event" candidates that
+//!   decides how far a no-progress iteration may fast-forward `now`.
+//!
+//! The fast-forward invariant these support: a core may jump `now` from `t`
+//! to `t' > t` only if no event is due in `(t, t')` — i.e. `t'` is the
+//! minimum over every wakeup source. Skipped cycles are attributed to the
+//! CPI stack in bulk under the stall classification frozen at `t`, which is
+//! sound precisely because nothing changes state in the skipped window.
+//! `RunLimits::force_tick_accurate` disables the jump (the horizon is still
+//! computed for deadlock detection), giving the bit-identity reference used
+//! by `tests/fastforward_identity.rs`.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// One scheduled event: a payload due at `due`, ordered by `(due, key)`.
+struct Ev<T> {
+    due: u64,
+    key: u64,
+    item: T,
+}
+
+impl<T> PartialEq for Ev<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.key == other.key
+    }
+}
+impl<T> Eq for Ev<T> {}
+
+impl<T> PartialOrd for Ev<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T> Ord for Ev<T> {
+    /// Reversed so `BinaryHeap` (a max-heap) pops the smallest `(due, key)`.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.due, other.key).cmp(&(self.due, self.key))
+    }
+}
+
+/// A deterministic min-heap wakeup queue.
+///
+/// Events pop in `(due, key)` order. [`WakeupQueue::push`] assigns keys from
+/// an internal counter (FIFO among same-cycle events); [`WakeupQueue::push_keyed`]
+/// takes an explicit key when the core needs a semantic tie-break (e.g.
+/// branch resolutions in instruction-sequence order).
+pub struct WakeupQueue<T> {
+    heap: BinaryHeap<Ev<T>>,
+    next_key: u64,
+}
+
+impl<T> WakeupQueue<T> {
+    /// An empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { heap: BinaryHeap::new(), next_key: 0 }
+    }
+
+    /// Schedules `item` at `due`, tie-breaking by insertion order.
+    pub fn push(&mut self, due: u64, item: T) {
+        let key = self.next_key;
+        self.next_key += 1;
+        self.heap.push(Ev { due, key, item });
+    }
+
+    /// Schedules `item` at `due` with an explicit tie-break key.
+    pub fn push_keyed(&mut self, due: u64, key: u64, item: T) {
+        self.heap.push(Ev { due, key, item });
+    }
+
+    /// The earliest due time, if any event is pending.
+    #[must_use]
+    pub fn next_due(&self) -> Option<u64> {
+        self.heap.peek().map(|e| e.due)
+    }
+
+    /// Pops the earliest event if it is due at or before `now`.
+    pub fn pop_due(&mut self, now: u64) -> Option<(u64, T)> {
+        if self.heap.peek().is_some_and(|e| e.due <= now) {
+            self.heap.pop().map(|e| (e.due, e.item))
+        } else {
+            None
+        }
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<T> Default for WakeupQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `k` interchangeable resource slots tracked as a min-heap of release times.
+///
+/// Models the write buffer: a slot is free at `now` iff its release time is
+/// `<= now`. All free slots are indistinguishable, so acquiring always takes
+/// the heap minimum; with monotonic `now` this yields the same availability
+/// answers as any other choice among free slots.
+pub struct ReleasePool {
+    heap: BinaryHeap<std::cmp::Reverse<u64>>,
+}
+
+impl ReleasePool {
+    /// A pool of `slots` entries, all free at cycle 0.
+    #[must_use]
+    pub fn new(slots: usize) -> Self {
+        Self { heap: (0..slots).map(|_| std::cmp::Reverse(0)).collect() }
+    }
+
+    /// Whether at least one slot is free at `now`.
+    #[must_use]
+    pub fn has_free(&self, now: u64) -> bool {
+        self.heap.peek().is_some_and(|r| r.0 <= now)
+    }
+
+    /// Takes a slot free at `now` and rebooks it until `release`.
+    ///
+    /// Returns `false` (no state change) if nothing is free.
+    pub fn acquire_until(&mut self, now: u64, release: u64) -> bool {
+        if self.has_free(now) {
+            self.heap.pop();
+            self.heap.push(std::cmp::Reverse(release));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest release time, if the pool has any slots.
+    #[must_use]
+    pub fn next_release(&self) -> Option<u64> {
+        self.heap.peek().map(|r| r.0)
+    }
+}
+
+/// Folds wakeup-source candidates into the earliest pending event time.
+pub struct Horizon {
+    now: u64,
+    earliest: u64,
+}
+
+impl Horizon {
+    /// A horizon with no candidates yet, anchored at `now`.
+    #[must_use]
+    pub fn new(now: u64) -> Self {
+        Self { now, earliest: u64::MAX }
+    }
+
+    /// Offers a candidate wakeup time. Candidates at or before `now` are
+    /// ignored: they were already actionable this iteration, and the fact
+    /// that the iteration made no progress proves they are not what the
+    /// machine is waiting for (e.g. a dispatch-ready instruction blocked on
+    /// a dependence whose producer contributes its own, later, candidate).
+    pub fn consider(&mut self, t: u64) {
+        if t > self.now {
+            self.earliest = self.earliest.min(t);
+        }
+    }
+
+    /// [`Horizon::consider`] for optional sources.
+    pub fn consider_opt(&mut self, t: Option<u64>) {
+        if let Some(t) = t {
+            self.consider(t);
+        }
+    }
+
+    /// The earliest *future* candidate, or `None` if no source offered one
+    /// (the machine is deadlocked: no progress and no pending event).
+    #[must_use]
+    pub fn earliest(&self) -> Option<u64> {
+        (self.earliest != u64::MAX).then_some(self.earliest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakeup_pops_in_due_then_insertion_order() {
+        let mut q = WakeupQueue::new();
+        q.push(5, "a");
+        q.push(3, "b");
+        q.push(5, "c");
+        q.push(3, "d");
+        assert_eq!(q.next_due(), Some(3));
+        assert_eq!(q.pop_due(10), Some((3, "b")));
+        assert_eq!(q.pop_due(10), Some((3, "d")));
+        assert_eq!(q.pop_due(10), Some((5, "a")));
+        assert_eq!(q.pop_due(10), Some((5, "c")));
+        assert_eq!(q.pop_due(10), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wakeup_respects_now() {
+        let mut q = WakeupQueue::new();
+        q.push(7, 1u64);
+        assert_eq!(q.pop_due(6), None);
+        assert_eq!(q.len(), 1);
+        assert_eq!(q.pop_due(7), Some((7, 1)));
+    }
+
+    #[test]
+    fn wakeup_explicit_keys_break_ties() {
+        let mut q = WakeupQueue::new();
+        q.push_keyed(4, 20, "late");
+        q.push_keyed(4, 10, "early");
+        assert_eq!(q.pop_due(4), Some((4, "early")));
+        assert_eq!(q.pop_due(4), Some((4, "late")));
+    }
+
+    #[test]
+    fn release_pool_counts_free_slots() {
+        let mut p = ReleasePool::new(2);
+        assert!(p.has_free(0));
+        assert!(p.acquire_until(0, 10));
+        assert!(p.acquire_until(0, 5));
+        assert!(!p.has_free(4));
+        assert!(!p.acquire_until(4, 99));
+        assert_eq!(p.next_release(), Some(5));
+        assert!(p.has_free(5));
+        assert!(p.acquire_until(5, 20));
+        assert_eq!(p.next_release(), Some(10));
+    }
+
+    #[test]
+    fn release_pool_zero_slots_never_free() {
+        let mut p = ReleasePool::new(0);
+        assert!(!p.has_free(u64::MAX));
+        assert!(!p.acquire_until(0, 0));
+        assert_eq!(p.next_release(), None);
+    }
+
+    #[test]
+    fn horizon_takes_min_of_future_candidates() {
+        let mut h = Horizon::new(10);
+        assert_eq!(h.earliest(), None);
+        h.consider(25);
+        h.consider(15);
+        h.consider_opt(None);
+        h.consider_opt(Some(40));
+        assert_eq!(h.earliest(), Some(15));
+        // Candidates at/before now are not wakeup sources.
+        h.consider(3);
+        h.consider(10);
+        assert_eq!(h.earliest(), Some(15));
+    }
+
+    #[test]
+    fn horizon_with_only_stale_candidates_is_deadlock() {
+        let mut h = Horizon::new(10);
+        h.consider(10);
+        h.consider(0);
+        assert_eq!(h.earliest(), None);
+    }
+}

@@ -96,7 +96,11 @@ impl MissOracle for HierOracle {
 fn models_are_functionally_transparent() {
     Checker::new("models_are_functionally_transparent").cases(64).run(|g| {
         let p = arb_program(g);
-        let limits = RunLimits { max_instructions: 1_000_000, max_cycles: 10_000_000 };
+        let limits = RunLimits {
+            max_instructions: 1_000_000,
+            max_cycles: 10_000_000,
+            ..RunLimits::default()
+        };
         let (ro, so) = ooo::simulate_full(&p, &OooConfig::paper(), limits).expect("ooo runs");
         let (ri, si) =
             inorder::simulate_full(&p, &InOrderConfig::paper(), limits).expect("inorder runs");

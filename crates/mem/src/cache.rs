@@ -106,12 +106,14 @@ impl Cache {
         self.stats = CacheStats::default();
     }
 
+    #[inline]
     fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
         let set = self.config.set_of(addr) as usize;
         let a = self.config.assoc as usize;
         set * a..(set + 1) * a
     }
 
+    #[inline]
     fn tag_of(&self, addr: u64) -> u64 {
         addr / self.config.line_bytes / self.config.num_sets()
     }
@@ -119,15 +121,18 @@ impl Cache {
     /// Probes the cache for `addr`, installing the line on a miss
     /// (write-allocate) and updating LRU state. `is_write` marks the line
     /// dirty.
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> Probe {
         self.clock += 1;
         self.stats.accesses += 1;
         let tag = self.tag_of(addr);
-        let range = self.set_range(addr);
+        let start = self.set_range(addr).start;
+        let assoc = self.config.assoc as usize;
         let clock = self.clock;
 
         // Hit?
-        for w in &mut self.sets[range.clone()] {
+        let set = &mut self.sets[start..start + assoc];
+        for w in set.iter_mut() {
             if w.valid && w.tag == tag {
                 w.lru = clock;
                 if is_write {
@@ -139,18 +144,15 @@ impl Cache {
 
         // Miss: choose invalid way, else LRU way.
         self.stats.misses += 1;
-        let victim_idx = {
-            let set = &self.sets[range.clone()];
-            match set.iter().position(|w| !w.valid) {
-                Some(i) => range.start + i,
-                None => {
-                    let (i, _) = set
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, w)| w.lru)
-                        .expect("associativity is positive");
-                    range.start + i
-                }
+        let victim_idx = match set.iter().position(|w| !w.valid) {
+            Some(i) => start + i,
+            None => {
+                let (i, _) = set
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, w)| w.lru)
+                    .expect("associativity is positive");
+                start + i
             }
         };
         let line_bytes = self.config.line_bytes;
@@ -176,6 +178,7 @@ impl Cache {
 
     /// Whether the line containing `addr` is currently present (does not
     /// perturb LRU state or statistics).
+    #[inline]
     pub fn contains(&self, addr: u64) -> bool {
         let tag = self.tag_of(addr);
         self.sets[self.set_range(addr)].iter().any(|w| w.valid && w.tag == tag)

@@ -1,0 +1,120 @@
+//! Streaming FNV-1a 64-bit hashing for structural memo keys.
+//!
+//! The sweep memoization layer (`imo-bench::sweep`) keys completed cells by
+//! a structural hash of their inputs. Most inputs render to short `Debug`
+//! strings that go into the key verbatim, but generated parallel traces are
+//! tens of thousands of operations — far too large to embed. [`debug_hash`]
+//! streams a value's `Debug` output through the hasher without ever
+//! materialising the string, so arbitrarily large inputs cost O(1) memory.
+//!
+//! FNV-1a is not cryptographic; collisions are tolerable because the memo
+//! map is keyed by the *full* key string (the hash is just a compact stand-in
+//! for one oversized component), and the keyspace per run is tiny.
+
+use std::fmt::{self, Debug, Write};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a 64-bit hash of a byte slice.
+#[must_use]
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// A [`fmt::Write`] sink that folds everything written into an FNV-1a state.
+pub struct FnvWriter {
+    state: u64,
+}
+
+impl FnvWriter {
+    /// A fresh hasher at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Self { state: FNV_OFFSET }
+    }
+
+    /// The current hash value.
+    #[must_use]
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for FnvWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Write for FnvWriter {
+    fn write_str(&mut self, s: &str) -> fmt::Result {
+        for &b in s.as_bytes() {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        Ok(())
+    }
+}
+
+/// Hashes a value's `Debug` rendering without allocating the string.
+///
+/// Two values hash equal iff their `Debug` output is byte-identical, which
+/// for the derive-`Debug` config types used as memo-key components means
+/// structural equality.
+#[must_use]
+pub fn debug_hash<T: Debug + ?Sized>(value: &T) -> u64 {
+    let mut w = FnvWriter::new();
+    write!(w, "{value:?}").expect("FnvWriter never fails");
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+
+    #[test]
+    fn writer_matches_slice_hash() {
+        let mut w = FnvWriter::new();
+        w.write_str("foo").unwrap();
+        w.write_str("bar").unwrap();
+        assert_eq!(w.finish(), fnv1a_64(b"foobar"));
+    }
+
+    #[test]
+    fn debug_hash_is_structural() {
+        #[derive(Debug)]
+        #[allow(dead_code)] // fields are only read through Debug
+        struct P {
+            x: u64,
+            y: bool,
+        }
+        let a = debug_hash(&P { x: 3, y: true });
+        let b = debug_hash(&P { x: 3, y: true });
+        let c = debug_hash(&P { x: 4, y: true });
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn debug_hash_streams_large_values() {
+        let big: Vec<u64> = (0..100_000).collect();
+        let h1 = debug_hash(&big);
+        let h2 = debug_hash(&big);
+        assert_eq!(h1, h2);
+        assert_ne!(h1, debug_hash(&(0..99_999).collect::<Vec<u64>>()));
+    }
+}

@@ -16,6 +16,8 @@
 //!   simulator result renders to.
 //! * [`json`] — a minimal ordered JSON value/serializer/parser for the
 //!   `BENCH_*.json` baselines.
+//! * [`hash`] — streaming FNV-1a 64 hashing (`Debug`-structural) for the
+//!   sweep memoization keys.
 //! * [`pool`] — a scoped `std::thread` work-stealing pool whose
 //!   `map_indexed` returns results in input order, so parallel sweeps are
 //!   byte-identical to serial ones.
@@ -30,6 +32,7 @@
 
 pub mod bench;
 pub mod check;
+pub mod hash;
 pub mod json;
 pub mod pool;
 pub mod rng;
@@ -38,6 +41,7 @@ pub mod table;
 
 pub use bench::Bench;
 pub use check::{CheckResult, Checker, Gen};
+pub use hash::{debug_hash, fnv1a_64};
 pub use json::Json;
 pub use pool::Pool;
 pub use rng::SmallRng;

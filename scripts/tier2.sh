@@ -1,13 +1,14 @@
 #!/usr/bin/env bash
-# Tier-2 verification: regenerate the full bench matrix (all 13 targets,
+# Tier-2 verification: regenerate the full bench matrix (all 14 targets,
 # which rewrites every BENCH_*.json at the repo root) and then run the
 # regression gate against the refreshed tree. Each step reports its
 # wall-clock time.
 #
 # The deterministic targets fan out across the worker pool
 # (IMO_THREADS overrides the thread count; output is byte-identical at
-# any setting). The two wall-clock targets (substrate, obs_overhead)
-# honour IMO_BENCH_SAMPLES / IMO_BENCH_SAMPLE_MS for faster sampling.
+# any setting). The wall-clock targets (substrate, obs_overhead,
+# simspeed) honour IMO_BENCH_SAMPLES / IMO_BENCH_SAMPLE_MS for faster
+# sampling.
 #
 # Use this to (re)baseline after an intentional behaviour change:
 #   scripts/tier2.sh && git add BENCH_*.json
@@ -16,7 +17,7 @@ cd "$(dirname "$0")/.."
 
 BENCHES=(table1 fig2 fig3 handler100 branch_vs_exception table2 fig4 \
          fig4_sensitivity ablation_mshr ablation_checkpoints \
-         fault_resilience substrate obs_overhead)
+         fault_resilience substrate obs_overhead simspeed)
 
 total_start=$(date +%s%N)
 step() { # step <label> <cmd...>
@@ -37,7 +38,27 @@ for b in "${BENCHES[@]}"; do
 done
 
 echo "== ci_gate against the regenerated tree =="
-step "ci_gate" cargo run -q --release --offline -p imo-bench --bin ci_gate
+t0=$(date +%s%N)
+gate_out=$(cargo run -q --release --offline -p imo-bench --bin ci_gate)
+t1=$(date +%s%N)
+printf '%-28s %6d ms\n' "ci_gate" $(( (t1 - t0) / 1000000 ))
+
+# Surface the simulator-performance and memo-dedup numbers the gate and
+# the simspeed baseline measured: total cells simulated vs served from
+# the memo cache, and sim-cycles/sec of the event-driven cores.
+echo "== simulator performance =="
+grep '^memo:' <<< "$gate_out" || true
+python3 - <<'PY' 2>/dev/null || true
+import json
+doc = json.load(open("BENCH_simspeed.json"))
+for r in doc["data"]["rows"]:
+    print(f'simspeed: {r["machine"]:9s} {r["scheme"]:9s} '
+          f'{r["cycles_per_sec"] / 1e6:7.1f} Mcycles/s  '
+          f'{r["speedup_vs_tick"]:.2f}x vs tick-accurate')
+d = doc["data"]["dedup"]
+print(f'simspeed dedup proof: {d["requested"]} requested, '
+      f'{d["simulated"]} simulated, {d["deduped"]} served from cache')
+PY
 
 total_end=$(date +%s%N)
 printf 'tier2: all steps passed in %d ms\n' $(( (total_end - total_start) / 1000000 ))

@@ -1,0 +1,129 @@
+//! Fast-forward identity: the event-driven cores' no-progress cycle
+//! skipping is a pure wall-clock optimization.
+//!
+//! `RunLimits::tick_accurate()` sets `force_tick_accurate`, which keeps the
+//! wakeup-horizon computation (so deadlock detection is unchanged) but
+//! advances time one cycle at a time instead of jumping to the next event.
+//! Every run here must produce a bit-identical `RunResult` either way —
+//! counters, slot accounting, trap and misprediction totals, all of it.
+
+use imo_faults::FaultConfig;
+use imo_faults::FaultPlan;
+use imo_util::check::Checker;
+use imo_util::ensure_eq;
+use informing_memops::core::instrument::{instrument, HandlerBody, HandlerKind, Scheme};
+use informing_memops::core::Machine;
+use informing_memops::cpu::{inorder, ooo, InOrderConfig, OooConfig, RunLimits};
+use informing_memops::workloads::{all, by_name, Scale};
+
+fn schemes() -> [(&'static str, Scheme); 3] {
+    let body = HandlerBody::Generic { len: 10 };
+    [
+        ("none", Scheme::None),
+        ("trap-10S", Scheme::Trap { handlers: HandlerKind::Single, body }),
+        ("cc-10S", Scheme::ConditionCode { handlers: HandlerKind::Single, body }),
+    ]
+}
+
+/// All 14 workloads x both machines x 3 schemes: event-driven equals
+/// tick-accurate bit-for-bit.
+#[test]
+fn all_workloads_machines_schemes_are_tick_identical() {
+    for spec in all() {
+        let p = (spec.build)(Scale::Test);
+        for (label, scheme) in &schemes() {
+            let inst = instrument(&p, scheme).expect("instruments");
+            for machine in [Machine::default_ooo(), Machine::default_in_order()] {
+                let event = machine
+                    .run_limited(&inst.program, RunLimits::default())
+                    .unwrap_or_else(|e| panic!("{}/{label}: {e}", spec.name));
+                let tick = machine
+                    .run_limited(&inst.program, RunLimits::tick_accurate())
+                    .unwrap_or_else(|e| panic!("{}/{label} (tick): {e}", spec.name));
+                assert_eq!(
+                    event,
+                    tick,
+                    "{}/{}/{label}: fast-forward must not change the simulation",
+                    spec.name,
+                    machine.name()
+                );
+            }
+        }
+    }
+}
+
+/// Handler-fault injection goes through the same timing loops; three seeded
+/// plans must also be tick-identical on both cores.
+#[test]
+fn seeded_faulty_runs_are_tick_identical() {
+    let p = (by_name("compress").expect("workload exists").build)(Scale::Test);
+    let scheme =
+        Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::Generic { len: 10 } };
+    let inst = instrument(&p, &scheme).expect("instruments");
+    for seed in [1u64, 2, 3] {
+        let mut fc = FaultConfig::none(seed);
+        fc.handler_overrun_rate = 0.2;
+        fc.handler_overrun_cycles = 40;
+        fc.stale_mhar_rate = 0.1;
+        fc.stale_mhar_cycles = 25;
+        let plan = FaultPlan::new(fc);
+
+        let ev =
+            ooo::simulate_faulty(&inst.program, &OooConfig::paper(), RunLimits::default(), &plan)
+                .expect("faulty ooo run");
+        let tk = ooo::simulate_faulty(
+            &inst.program,
+            &OooConfig::paper(),
+            RunLimits::tick_accurate(),
+            &plan,
+        )
+        .expect("faulty ooo tick run");
+        assert_eq!(ev, tk, "ooo faulty seed {seed}");
+        assert!(ev.handler_faults > 0, "seed {seed} must actually inject faults");
+
+        let ev = inorder::simulate_faulty(
+            &inst.program,
+            &InOrderConfig::paper(),
+            RunLimits::default(),
+            &plan,
+        )
+        .expect("faulty inorder run");
+        let tk = inorder::simulate_faulty(
+            &inst.program,
+            &InOrderConfig::paper(),
+            RunLimits::tick_accurate(),
+            &plan,
+        )
+        .expect("faulty inorder tick run");
+        assert_eq!(ev, tk, "inorder faulty seed {seed}");
+    }
+}
+
+/// 32 random (workload, scheme, machine) triples — including the 1- and
+/// 100-instruction handler bodies and per-reference handlers the fixed
+/// matrix above does not cover.
+#[test]
+fn random_configurations_are_tick_identical() {
+    let names: Vec<&'static str> = all().iter().map(|s| s.name).collect();
+    Checker::new("fastforward_identity_random").cases(32).run(|g| {
+        let name = *g.pick(&names);
+        let p = (by_name(name).expect("workload exists").build)(Scale::Test);
+        let handlers = *g.pick(&[HandlerKind::Single, HandlerKind::PerReference]);
+        let body = HandlerBody::Generic { len: *g.pick(&[1u32, 10, 100]) };
+        let scheme = *g.pick(&[
+            Scheme::None,
+            Scheme::Trap { handlers, body },
+            Scheme::ConditionCode { handlers, body },
+        ]);
+        let inst = instrument(&p, &scheme).map_err(|e| format!("{name}: {e}"))?;
+        let machine = if g.bool() { Machine::default_ooo() } else { Machine::default_in_order() };
+        let event = machine
+            .run_limited(&inst.program, RunLimits::default())
+            .map_err(|e| format!("{name} on {}: {e}", machine.name()))?;
+        let tick = machine
+            .run_limited(&inst.program, RunLimits::tick_accurate())
+            .map_err(|e| format!("{name} on {} (tick): {e}", machine.name()))?;
+        ensure_eq!(event, tick, "{name} on {} under {scheme:?}", machine.name());
+        Ok(())
+    });
+}
