@@ -16,15 +16,23 @@
 //! declarative schemas in [`imo_bench::gate`] — the same table
 //! `examples/bench_check.rs` runs.
 //!
-//! Usage: `cargo run --release -p imo-bench --bin ci_gate [--skip-wall]`.
-//! `--skip-wall` skips the three wall-clock targets (`substrate`,
-//! `obs_overhead`, `simspeed`) entirely; by default they run with fast
-//! sampling knobs
+//! Usage: `cargo run --release -p imo-bench --bin ci_gate [--skip-wall]
+//! [--serve]`. `--skip-wall` skips the three wall-clock targets
+//! (`substrate`, `obs_overhead`, `simspeed`) entirely; by default they run
+//! with fast sampling knobs
 //! (3 samples × 2 ms) unless the caller already set `IMO_BENCH_SAMPLES` /
 //! `IMO_BENCH_SAMPLE_MS`. Exits nonzero on any drift, schema violation, or
 //! missing baseline.
+//!
+//! `--serve` starts an `imo-serve` job server on loopback (the binary must
+//! sit next to `ci_gate` in the target directory) and routes every
+//! `run_cpu_cells` sweep through it via `IMO_SERVE_ADDR` — the gate then
+//! asserts the server path reproduces the committed baselines
+//! byte-identically, cell results streaming back over TCP from worker
+//! subprocesses.
 
-use std::process::ExitCode;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, ExitCode, Stdio};
 
 use imo_bench::gate::{self, Drift};
 use imo_bench::report::repo_root;
@@ -92,8 +100,52 @@ fn envelope(name: &str, payload: Json) -> Json {
     }
 }
 
+/// A spawned `imo-serve` child, killed when the gate exits.
+struct ServeGuard {
+    child: Child,
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Starts `imo-serve` (built into the same target directory as `ci_gate`)
+/// on an ephemeral loopback port and points `IMO_SERVE_ADDR` at it, so every
+/// `run_cpu_cells` sweep below routes through the job server.
+fn start_server() -> ServeGuard {
+    let exe = std::env::current_exe().expect("current_exe");
+    let serve = exe.with_file_name("imo-serve");
+    let mut child = Command::new(&serve)
+        .args(["--addr", "127.0.0.1:0"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .unwrap_or_else(|e| {
+            panic!(
+                "ci_gate --serve: spawning {}: {e}\n(build it first: \
+                 cargo build --release -p imo-serve)",
+                serve.display()
+            )
+        });
+    let stdout = child.stdout.take().expect("imo-serve stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("imo-serve banner");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected imo-serve banner: {line:?}"))
+        .to_string();
+    println!("ci_gate: routing cpu sweeps through job server at {addr}");
+    std::env::set_var("IMO_SERVE_ADDR", addr);
+    ServeGuard { child }
+}
+
 fn main() -> ExitCode {
     let skip_wall = std::env::args().any(|a| a == "--skip-wall");
+    let via_server = std::env::args().any(|a| a == "--serve");
+    let _serve_guard = via_server.then(start_server);
     if !skip_wall {
         // Fast sampling for the wall-clock targets: the gate only sanity-
         // checks those numbers, so don't spend CI minutes refining medians.

@@ -38,6 +38,7 @@
 pub mod gate;
 pub mod report;
 pub mod runners;
+pub mod serve;
 pub mod sweep;
 pub mod targets;
 

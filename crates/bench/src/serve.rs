@@ -1,0 +1,665 @@
+//! Wire codecs and the client side of the sweep job server (`imo-serve`).
+//!
+//! The job server shards a [`CpuCell`] matrix across worker processes, so
+//! every cell input and every [`ExperimentResult`] must cross a process
+//! boundary. This module defines that wire — line-delimited JSON frames
+//! under the [`imo_util::snapshot`] discipline (versioned envelopes, u64
+//! counters as fixed-width hex, f64 as bit patterns) so a decoded result is
+//! bit-identical to the in-process one — plus:
+//!
+//! * [`run_cells_via_server`] — the client [`crate::sweep::run_cpu_cells`]
+//!   routes through when `IMO_SERVE_ADDR` is set; and
+//! * [`run_cell`] — the worker-side cell runner, with optional
+//!   checkpoint-based preemption: `preempt_every` makes every simulation
+//!   pause at cycle-boundary slices and resume from a JSON-serialized
+//!   [`Checkpoint`], exactly as a preempted worker handing the cell to
+//!   another process would. Determinism makes the sliced result
+//!   bit-identical to the uninterrupted one.
+//!
+//! ## Frames
+//!
+//! Every frame is one line of compact JSON ([`imo_util::json::Json::compact`]):
+//!
+//! * client → server: one [`SweepRequest`] (`serve.sweep`);
+//! * server → client: one [`CellDone`] (`serve.done`) per cell **in
+//!   input-index order**, or a [`ServeError`] (`serve.error`);
+//! * server → worker: one [`CellJob`] (`serve.job`) per dispatched cell;
+//! * worker → server: [`CellDone`] frames, in the worker's completion order
+//!   (the server's reorder buffer restores input order).
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::TcpStream;
+use std::sync::Mutex;
+
+use imo_core::experiment::{normalize_experiment, ExperimentResult, Variant};
+use imo_core::instrument::{instrument, HandlerBody, HandlerKind, Scheme};
+use imo_core::Machine;
+use imo_cpu::{Checkpoint, Outcome, RunLimits, RunResult, SimSession};
+use imo_isa::Program;
+use imo_util::json::{parse, Json};
+use imo_util::snapshot::{self, Snapshot, SnapshotError};
+use imo_util::{debug_hash, SlotBreakdown};
+use imo_workloads::{by_name, Scale};
+
+use crate::sweep::{memoized, CpuCell};
+
+/// Leak-once intern table for decoded `&'static str` labels. The label
+/// vocabulary is tiny and fixed ("N", "1S", "ooo", …), so the leak is
+/// bounded: each distinct string leaks at most once per process.
+static LABELS: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+
+/// Interns a decoded label as `&'static str`.
+fn intern(s: &str) -> &'static str {
+    let mut table = LABELS.lock().expect("label intern lock");
+    if let Some(hit) = table.iter().find(|l| **l == s) {
+        return hit;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.push(leaked);
+    leaked
+}
+
+fn scale_json(s: Scale) -> Json {
+    snapshot::u64_json(match s {
+        Scale::Test => 0,
+        Scale::Small => 1,
+        Scale::Reference => 2,
+    })
+}
+
+fn decode_scale(j: &Json, key: &'static str) -> Result<Scale, SnapshotError> {
+    match snapshot::get_u64(j, key)? {
+        0 => Ok(Scale::Test),
+        1 => Ok(Scale::Small),
+        2 => Ok(Scale::Reference),
+        _ => Err(SnapshotError::Bad(key)),
+    }
+}
+
+fn body_json(b: HandlerBody) -> Json {
+    let (kind, a, b2) = match b {
+        HandlerBody::Generic { len } => (0, u64::from(len), 0),
+        HandlerBody::CountInRegister => (1, 0, 0),
+        HandlerBody::CountPerReference { table_base } => (2, table_base, 0),
+        HandlerBody::PcHash { table_base, buckets } => (3, table_base, buckets),
+        HandlerBody::NextLinePrefetch { lines } => (4, u64::from(lines), 0),
+        HandlerBody::SampledGeneric { len, period } => (5, u64::from(len), u64::from(period)),
+    };
+    Json::obj([
+        ("kind", snapshot::u64_json(kind)),
+        ("a", snapshot::u64_json(a)),
+        ("b", snapshot::u64_json(b2)),
+    ])
+}
+
+fn u32_field(v: u64, key: &'static str) -> Result<u32, SnapshotError> {
+    u32::try_from(v).map_err(|_| SnapshotError::Bad(key))
+}
+
+fn decode_body(j: &Json) -> Result<HandlerBody, SnapshotError> {
+    let a = snapshot::get_u64(j, "a")?;
+    let b = snapshot::get_u64(j, "b")?;
+    Ok(match snapshot::get_u64(j, "kind")? {
+        0 => HandlerBody::Generic { len: u32_field(a, "a")? },
+        1 => HandlerBody::CountInRegister,
+        2 => HandlerBody::CountPerReference { table_base: a },
+        3 => HandlerBody::PcHash { table_base: a, buckets: b },
+        4 => HandlerBody::NextLinePrefetch { lines: u32_field(a, "a")? },
+        5 => HandlerBody::SampledGeneric { len: u32_field(a, "a")?, period: u32_field(b, "b")? },
+        _ => return Err(SnapshotError::Bad("body")),
+    })
+}
+
+fn scheme_json(s: Scheme) -> Json {
+    let (kind, handlers, body) = match s {
+        Scheme::None => (0, None, None),
+        Scheme::Trap { handlers, body } => (1, Some(handlers), Some(body)),
+        Scheme::ConditionCode { handlers, body } => (2, Some(handlers), Some(body)),
+    };
+    let handlers = handlers.map(|h| match h {
+        HandlerKind::Single => 0,
+        HandlerKind::PerReference => 1,
+    });
+    Json::obj([
+        ("kind", snapshot::u64_json(kind)),
+        ("handlers", snapshot::opt_u64_json(handlers)),
+        ("body", body.map_or(Json::Null, body_json)),
+    ])
+}
+
+fn decode_scheme(j: &Json) -> Result<Scheme, SnapshotError> {
+    let kind = snapshot::get_u64(j, "kind")?;
+    if kind == 0 {
+        return Ok(Scheme::None);
+    }
+    let handlers = match snapshot::get_opt_u64(j, "handlers")? {
+        Some(0) => HandlerKind::Single,
+        Some(1) => HandlerKind::PerReference,
+        _ => return Err(SnapshotError::Bad("handlers")),
+    };
+    let body = decode_body(snapshot::field(j, "body")?)?;
+    match kind {
+        1 => Ok(Scheme::Trap { handlers, body }),
+        2 => Ok(Scheme::ConditionCode { handlers, body }),
+        _ => Err(SnapshotError::Bad("scheme")),
+    }
+}
+
+fn variant_json(v: &Variant) -> Json {
+    Json::obj([("label", Json::from(v.label)), ("scheme", scheme_json(v.scheme))])
+}
+
+fn decode_variant(j: &Json) -> Result<Variant, SnapshotError> {
+    Ok(Variant {
+        label: intern(snapshot::get_str(j, "label")?),
+        scheme: decode_scheme(snapshot::field(j, "scheme")?)?,
+    })
+}
+
+/// Encodes a machine as its name plus a `Debug`-hash of its full
+/// configuration. The decoder rebuilds the *default* machine of that name
+/// and verifies the hash, so a cell carrying a non-default configuration is
+/// rejected loudly instead of silently simulated under the wrong parameters.
+fn machine_json(m: &Machine) -> Json {
+    Json::obj([("name", Json::from(m.name())), ("hash", snapshot::u64_json(debug_hash(m)))])
+}
+
+fn decode_machine(j: &Json) -> Result<Machine, SnapshotError> {
+    let machine = match snapshot::get_str(j, "name")? {
+        "ooo" => Machine::default_ooo(),
+        "in-order" => Machine::default_in_order(),
+        _ => return Err(SnapshotError::Bad("machine")),
+    };
+    if snapshot::get_u64(j, "hash")? != debug_hash(&machine) {
+        return Err(SnapshotError::Bad("machine"));
+    }
+    Ok(machine)
+}
+
+/// Encodes one sweep cell.
+pub fn cell_json(cell: &CpuCell) -> Json {
+    Json::obj([
+        ("workload", Json::from(cell.workload)),
+        ("scale", scale_json(cell.scale)),
+        ("machine", machine_json(&cell.machine)),
+        ("variants", Json::arr(cell.variants.iter().map(variant_json))),
+    ])
+}
+
+/// Decodes a [`cell_json`] cell; the workload must exist in the registry.
+pub fn decode_cell(j: &Json) -> Result<CpuCell, SnapshotError> {
+    let workload = intern(snapshot::get_str(j, "workload")?);
+    if by_name(workload).is_none() {
+        return Err(SnapshotError::Bad("workload"));
+    }
+    Ok(CpuCell {
+        workload,
+        scale: decode_scale(j, "scale")?,
+        machine: decode_machine(snapshot::field(j, "machine")?)?,
+        variants: snapshot::get_arr(j, "variants", decode_variant)?,
+    })
+}
+
+/// Encodes a raw simulation result, bit-exactly (u64 counters as hex, the
+/// branch-accuracy f64 as its bit pattern).
+pub fn result_json(r: &RunResult) -> Json {
+    Json::obj([
+        ("cycles", snapshot::u64_json(r.cycles)),
+        ("instructions", snapshot::u64_json(r.instructions)),
+        ("slots_busy", snapshot::u64_json(r.slots.busy)),
+        ("slots_cache", snapshot::u64_json(r.slots.cache_stall)),
+        ("slots_other", snapshot::u64_json(r.slots.other_stall)),
+        ("informing_traps", snapshot::u64_json(r.informing_traps)),
+        ("mispredictions", snapshot::u64_json(r.mispredictions)),
+        ("branch_accuracy", snapshot::f64_json(r.branch_accuracy)),
+        ("handler_faults", snapshot::u64_json(r.handler_faults)),
+        ("degraded", Json::Bool(r.degraded)),
+        ("l1d_accesses", snapshot::u64_json(r.mem.l1d_accesses)),
+        ("l1d_misses", snapshot::u64_json(r.mem.l1d_misses)),
+        ("l2_misses", snapshot::u64_json(r.mem.l2_misses)),
+        ("inst_misses", snapshot::u64_json(r.mem.inst_misses)),
+    ])
+}
+
+/// Decodes a [`result_json`] result.
+pub fn decode_result(j: &Json) -> Result<RunResult, SnapshotError> {
+    Ok(RunResult {
+        cycles: snapshot::get_u64(j, "cycles")?,
+        instructions: snapshot::get_u64(j, "instructions")?,
+        slots: SlotBreakdown {
+            busy: snapshot::get_u64(j, "slots_busy")?,
+            cache_stall: snapshot::get_u64(j, "slots_cache")?,
+            other_stall: snapshot::get_u64(j, "slots_other")?,
+        },
+        informing_traps: snapshot::get_u64(j, "informing_traps")?,
+        mispredictions: snapshot::get_u64(j, "mispredictions")?,
+        branch_accuracy: snapshot::get_f64(j, "branch_accuracy")?,
+        handler_faults: snapshot::get_u64(j, "handler_faults")?,
+        degraded: snapshot::get_bool(j, "degraded")?,
+        mem: imo_cpu::result::MemCounters {
+            l1d_accesses: snapshot::get_u64(j, "l1d_accesses")?,
+            l1d_misses: snapshot::get_u64(j, "l1d_misses")?,
+            l2_misses: snapshot::get_u64(j, "l2_misses")?,
+            inst_misses: snapshot::get_u64(j, "inst_misses")?,
+        },
+    })
+}
+
+/// Encodes an experiment result. Only the raw per-variant results cross the
+/// wire; the decoder recomputes the normalized bars with the same
+/// [`normalize_experiment`] the in-process path uses, so derived floats are
+/// bit-identical by construction.
+pub fn experiment_json(e: &ExperimentResult) -> Json {
+    Json::obj([
+        ("workload", Json::from(e.workload.as_str())),
+        ("machine", Json::from(e.machine)),
+        (
+            "raw",
+            Json::arr(e.raw.iter().map(|(label, r)| {
+                Json::obj([("label", Json::from(*label)), ("result", result_json(r))])
+            })),
+        ),
+    ])
+}
+
+/// Decodes an [`experiment_json`] result, rebuilding the normalized bars.
+pub fn decode_experiment(j: &Json) -> Result<ExperimentResult, SnapshotError> {
+    let workload = snapshot::get_str(j, "workload")?.to_string();
+    let machine = intern(snapshot::get_str(j, "machine")?);
+    let raw = snapshot::get_arr(j, "raw", |v| {
+        Ok((intern(snapshot::get_str(v, "label")?), decode_result(snapshot::field(v, "result")?)?))
+    })?;
+    if raw.is_empty() {
+        return Err(SnapshotError::Bad("raw"));
+    }
+    Ok(normalize_experiment(&workload, machine, raw))
+}
+
+/// A client's sweep submission: a named cell list, optionally preempted.
+#[derive(Debug, Clone)]
+pub struct SweepRequest {
+    /// Sweep name (diagnostics only).
+    pub name: String,
+    /// Preempt every simulation at this cycle stride (see [`run_cell`]).
+    pub preempt_every: Option<u64>,
+    /// The cells, in the order results must stream back.
+    pub cells: Vec<CpuCell>,
+}
+
+impl Snapshot for SweepRequest {
+    const KIND: &'static str = "serve.sweep";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("name", Json::from(self.name.as_str())),
+            ("preempt_every", snapshot::opt_u64_json(self.preempt_every)),
+            ("cells", Json::arr(self.cells.iter().map(cell_json))),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        Ok(SweepRequest {
+            name: snapshot::get_str(data, "name")?.to_string(),
+            preempt_every: snapshot::get_opt_u64(data, "preempt_every")?,
+            cells: snapshot::get_arr(data, "cells", decode_cell)?,
+        })
+    }
+}
+
+/// One cell dispatched to a worker.
+#[derive(Debug, Clone)]
+pub struct CellJob {
+    /// The cell's input index (echoed back in [`CellDone`]).
+    pub index: u64,
+    /// The cell to run.
+    pub cell: CpuCell,
+    /// Preemption stride, if any.
+    pub preempt_every: Option<u64>,
+}
+
+impl Snapshot for CellJob {
+    const KIND: &'static str = "serve.job";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("index", snapshot::u64_json(self.index)),
+            ("cell", cell_json(&self.cell)),
+            ("preempt_every", snapshot::opt_u64_json(self.preempt_every)),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        Ok(CellJob {
+            index: snapshot::get_u64(data, "index")?,
+            cell: decode_cell(snapshot::field(data, "cell")?)?,
+            preempt_every: snapshot::get_opt_u64(data, "preempt_every")?,
+        })
+    }
+}
+
+/// One completed cell.
+#[derive(Debug, Clone)]
+pub struct CellDone {
+    /// The cell's input index.
+    pub index: u64,
+    /// Its result.
+    pub result: ExperimentResult,
+}
+
+impl Snapshot for CellDone {
+    const KIND: &'static str = "serve.done";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("index", snapshot::u64_json(self.index)),
+            ("result", experiment_json(&self.result)),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        Ok(CellDone {
+            index: snapshot::get_u64(data, "index")?,
+            result: decode_experiment(snapshot::field(data, "result")?)?,
+        })
+    }
+}
+
+/// A fatal protocol or simulation error, streamed instead of results.
+#[derive(Debug, Clone)]
+pub struct ServeError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl Snapshot for ServeError {
+    const KIND: &'static str = "serve.error";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> Json {
+        Json::obj([("message", Json::from(self.message.as_str()))])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        Ok(ServeError { message: snapshot::get_str(data, "message")?.to_string() })
+    }
+}
+
+/// Runs a simulation, optionally sliced into `preempt_every`-cycle
+/// checkpoints: each slice pauses at a cycle boundary, serializes the
+/// [`Checkpoint`] through its JSON wire format, and resumes from the decoded
+/// copy — the full preemption path a worker handoff would take. Determinism
+/// makes the final result bit-identical to the uninterrupted run.
+fn run_sliced(
+    machine: &Machine,
+    program: &Program,
+    limits: RunLimits,
+    preempt_every: Option<u64>,
+    context: &str,
+) -> RunResult {
+    let Some(step) = preempt_every.filter(|s| *s > 0) else {
+        return machine.run_limited(program, limits).unwrap_or_else(|e| panic!("{context}: {e}"));
+    };
+    let mut limits = limits;
+    let mut ckpt: Option<Checkpoint> = None;
+    let mut stop = step;
+    loop {
+        limits.stop_at = Some(stop);
+        let session = SimSession::new(program, machine.core_config()).limits(limits);
+        let outcome = match &ckpt {
+            None => session.run(),
+            Some(c) => session.resume(c),
+        }
+        .unwrap_or_else(|e| panic!("{context} (slice at {stop}): {e}"));
+        match outcome {
+            Outcome::Complete { result, .. } => return result,
+            Outcome::Paused(c) => {
+                let line = c.to_wire().compact();
+                let parsed =
+                    parse(&line).unwrap_or_else(|e| panic!("{context}: checkpoint reparse: {e}"));
+                let back = Checkpoint::from_wire(&parsed)
+                    .unwrap_or_else(|e| panic!("{context}: checkpoint decode: {e}"));
+                stop = back.cycle().saturating_add(step);
+                ckpt = Some(back);
+            }
+        }
+    }
+}
+
+/// Runs one cell to its [`ExperimentResult`] — the worker-side counterpart
+/// of [`CpuCell::run`], sharing its per-variant memo keys (so a persistent
+/// worker dedups shared baselines) and adding checkpoint-based preemption.
+///
+/// # Panics
+///
+/// Panics if the workload is unknown or a simulation fails, like the rest of
+/// the bench harness.
+#[must_use]
+pub fn run_cell(cell: &CpuCell, preempt_every: Option<u64>) -> ExperimentResult {
+    let spec =
+        by_name(cell.workload).unwrap_or_else(|| panic!("unknown workload `{}`", cell.workload));
+    let limits = RunLimits::default();
+    let mut program = None;
+    let mut raw = Vec::with_capacity(cell.variants.len());
+    for v in &cell.variants {
+        let key = format!(
+            "cpu-run/{}/{:?}/{:?}/{:?}/{:?}",
+            cell.workload, cell.scale, cell.machine, v.scheme, limits
+        );
+        let result = memoized(&key, || {
+            let program = program.get_or_insert_with(|| (spec.build)(cell.scale));
+            let inst = instrument(program, &v.scheme).unwrap_or_else(|e| {
+                panic!("instrumenting {} as {:?}: {e}", cell.workload, v.scheme)
+            });
+            let context = format!("{} on {}", cell.workload, cell.machine.name());
+            run_sliced(&cell.machine, &inst.program, limits, preempt_every, &context)
+        });
+        raw.push((v.label, result));
+    }
+    normalize_experiment(cell.workload, cell.machine.name(), raw)
+}
+
+/// Submits `cells` to the job server at `addr` and streams the results back
+/// in input-index order. `IMO_SERVE_PREEMPT` (a cycle stride) turns on
+/// checkpoint-based preemption server-side.
+///
+/// # Panics
+///
+/// Panics on connection, protocol, or server-reported errors — a bench cell
+/// has no useful recovery, and a silent fallback to in-process execution
+/// would defeat the point of routing through the server.
+#[must_use]
+pub fn run_cells_via_server(addr: &str, name: &str, cells: Vec<CpuCell>) -> Vec<ExperimentResult> {
+    let preempt_every = std::env::var("IMO_SERVE_PREEMPT")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|s| *s > 0);
+    let expected = cells.len();
+    let request = SweepRequest { name: name.to_string(), preempt_every, cells };
+
+    let stream = TcpStream::connect(addr)
+        .unwrap_or_else(|e| panic!("sweep `{name}`: connecting to job server {addr}: {e}"));
+    let mut writer =
+        stream.try_clone().unwrap_or_else(|e| panic!("sweep `{name}`: cloning server stream: {e}"));
+    writeln!(writer, "{}", request.to_wire().compact())
+        .unwrap_or_else(|e| panic!("sweep `{name}`: submitting to {addr}: {e}"));
+    writer.flush().unwrap_or_else(|e| panic!("sweep `{name}`: flushing request: {e}"));
+
+    let mut results = Vec::with_capacity(expected);
+    let mut lines = BufReader::new(stream).lines();
+    for i in 0..expected {
+        let line = match lines.next() {
+            Some(Ok(line)) => line,
+            Some(Err(e)) => panic!("sweep `{name}`: reading cell {i}: {e}"),
+            None => panic!("sweep `{name}`: server closed after {i}/{expected} cells"),
+        };
+        let frame =
+            parse(&line).unwrap_or_else(|e| panic!("sweep `{name}`: corrupt frame {i}: {e}"));
+        if let Ok(err) = ServeError::from_wire(&frame) {
+            panic!("sweep `{name}`: server error: {}", err.message);
+        }
+        let done = CellDone::from_wire(&frame)
+            .unwrap_or_else(|e| panic!("sweep `{name}`: frame {i}: {e}"));
+        assert_eq!(done.index as usize, i, "sweep `{name}`: results must stream in input order");
+        results.push(done.result);
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imo_core::experiment::figure2_variants;
+    use imo_cpu::SimError;
+
+    #[test]
+    fn cell_codec_round_trips_every_body_kind() {
+        let bodies = [
+            HandlerBody::Generic { len: 10 },
+            HandlerBody::CountInRegister,
+            HandlerBody::CountPerReference { table_base: 0x7000_0000 },
+            HandlerBody::PcHash { table_base: 0x7000_0000, buckets: 64 },
+            HandlerBody::NextLinePrefetch { lines: 2 },
+            HandlerBody::SampledGeneric { len: 100, period: 16 },
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let scheme = if i % 2 == 0 {
+                Scheme::Trap { handlers: HandlerKind::Single, body }
+            } else {
+                Scheme::ConditionCode { handlers: HandlerKind::PerReference, body }
+            };
+            let cell = CpuCell {
+                workload: "compress",
+                scale: Scale::Test,
+                machine: Machine::default_ooo(),
+                variants: vec![
+                    Variant { label: "N", scheme: Scheme::None },
+                    Variant { label: "X", scheme },
+                ],
+            };
+            let line = cell_json(&cell).compact();
+            let back = decode_cell(&parse(&line).expect("parses")).expect("decodes");
+            assert_eq!(back.workload, cell.workload);
+            assert_eq!(back.scale, cell.scale);
+            assert_eq!(back.machine, cell.machine);
+            assert_eq!(back.variants, cell.variants);
+        }
+    }
+
+    #[test]
+    fn cell_decode_rejects_unknown_workload_and_tampered_machine() {
+        let cell = CpuCell {
+            workload: "compress",
+            scale: Scale::Test,
+            machine: Machine::default_ooo(),
+            variants: figure2_variants(),
+        };
+        let mut j = cell_json(&cell);
+        if let Json::Obj(pairs) = &mut j {
+            pairs[0].1 = Json::from("no-such-workload");
+        }
+        assert_eq!(decode_cell(&j).err(), Some(SnapshotError::Bad("workload")));
+
+        let mut j = cell_json(&cell);
+        if let Json::Obj(pairs) = &mut j {
+            pairs[2].1 = machine_json(&Machine::default_in_order());
+            if let Json::Obj(m) = &mut pairs[2].1 {
+                m[0].1 = Json::from("ooo"); // name says ooo, hash says in-order
+            }
+        }
+        assert_eq!(decode_cell(&j).err(), Some(SnapshotError::Bad("machine")));
+    }
+
+    #[test]
+    fn experiment_codec_is_bit_identical() {
+        let cell = CpuCell {
+            workload: "ora",
+            scale: Scale::Test,
+            machine: Machine::default_in_order(),
+            variants: figure2_variants(),
+        };
+        let direct = cell.run();
+        let line = experiment_json(&direct).compact();
+        let back = decode_experiment(&parse(&line).expect("parses")).expect("decodes");
+        assert_eq!(back, direct, "raw results and recomputed bars match bit-for-bit");
+    }
+
+    #[test]
+    fn preempted_cell_matches_uninterrupted_run() {
+        let cell = CpuCell {
+            workload: "ora",
+            scale: Scale::Test,
+            machine: Machine::default_ooo(),
+            variants: figure2_variants(),
+        };
+        let direct = cell.run();
+        // Every variant's run is sliced into ~20 checkpoint wire round
+        // trips. Bypass `memoized` (whose keys match `CpuCell::run`) by
+        // calling run_sliced directly — the memo would otherwise serve
+        // `direct`'s values and prove nothing.
+        let spec = by_name(cell.workload).expect("workload exists");
+        let program = (spec.build)(cell.scale);
+        let mut raw = Vec::new();
+        for v in &cell.variants {
+            let inst = instrument(&program, &v.scheme).expect("instruments");
+            let baseline = cell
+                .machine
+                .run_limited(&inst.program, RunLimits::default())
+                .expect("baseline runs");
+            let stride = (baseline.cycles / 20).max(1);
+            let r = run_sliced(
+                &cell.machine,
+                &inst.program,
+                RunLimits::default(),
+                Some(stride),
+                "preempt test",
+            );
+            raw.push((v.label, r));
+        }
+        let sliced = normalize_experiment(cell.workload, cell.machine.name(), raw);
+        assert_eq!(sliced, direct, "preemption slicing must be invisible");
+    }
+
+    #[test]
+    fn wire_structs_round_trip() {
+        let cell = CpuCell {
+            workload: "ora",
+            scale: Scale::Test,
+            machine: Machine::default_ooo(),
+            variants: figure2_variants(),
+        };
+        let req = SweepRequest {
+            name: "fig2".to_string(),
+            preempt_every: Some(1000),
+            cells: vec![cell.clone()],
+        };
+        let back = SweepRequest::from_wire(&parse(&req.to_wire().compact()).expect("parses"))
+            .expect("decodes");
+        assert_eq!(back.name, "fig2");
+        assert_eq!(back.preempt_every, Some(1000));
+        assert_eq!(back.cells.len(), 1);
+
+        let job = CellJob { index: 3, cell, preempt_every: None };
+        let back =
+            CellJob::from_wire(&parse(&job.to_wire().compact()).expect("parses")).expect("decodes");
+        assert_eq!(back.index, 3);
+        assert_eq!(back.preempt_every, None);
+
+        let err = ServeError { message: "boom".to_string() };
+        let back = ServeError::from_wire(&parse(&err.to_wire().compact()).expect("parses"))
+            .expect("decodes");
+        assert_eq!(back.message, "boom");
+    }
+
+    #[test]
+    fn client_panics_cleanly_when_no_server_listens() {
+        // A connection failure must not silently fall back to in-process.
+        let r = std::panic::catch_unwind(|| {
+            let _ = run_cells_via_server("127.0.0.1:9", "x", Vec::new());
+        });
+        assert!(r.is_err());
+        let _ = SimError::Paused { cycle: 0 }; // keep the import honest
+    }
+}

@@ -269,7 +269,17 @@ pub fn cpu_cells(names: &[&'static str], scale: Scale, variants: &[Variant]) -> 
 
 /// Fans a [`CpuCell`] list out across the pool, returning results in cell
 /// order.
+///
+/// When `IMO_SERVE_ADDR` names a running [`crate::serve`] job server, the
+/// cells are shipped there instead and the results stream back over TCP —
+/// byte-identical to the in-process path, which is exactly what
+/// `ci_gate --serve` asserts.
 pub fn run_cpu_cells(name: &'static str, cells: Vec<CpuCell>) -> Vec<ExperimentResult> {
+    if let Ok(addr) = std::env::var("IMO_SERVE_ADDR") {
+        if !addr.trim().is_empty() {
+            return crate::serve::run_cells_via_server(addr.trim(), name, cells);
+        }
+    }
     SweepSpec::new(name, cells).run(|_, cell| cell.run())
 }
 

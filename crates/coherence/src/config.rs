@@ -1,5 +1,8 @@
 //! Machine and scheme parameters (Table 2 of the paper).
 
+use imo_util::json::Json;
+use imo_util::snapshot::{self, Snapshot, SnapshotError};
+
 /// The three access-control implementations compared in Figure 4.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scheme {
@@ -189,6 +192,98 @@ impl Default for MachineParams {
     }
 }
 
+impl Snapshot for MachineParams {
+    const KIND: &'static str = "coherence.machine_params";
+    const VERSION: u32 = 1;
+
+    /// The coherence simulator is event-driven and replays deterministically
+    /// from its parameters plus a trace, so the machine checkpoint is the
+    /// full parameter block (machine geometry, Table 2 scheme costs,
+    /// termination budgets and retry backoff).
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("procs", snapshot::u64_json(self.procs as u64)),
+            ("l1_bytes", snapshot::u64_json(self.l1_bytes)),
+            ("l2_bytes", snapshot::u64_json(self.l2_bytes)),
+            ("line_bytes", snapshot::u64_json(self.line_bytes)),
+            ("l1_miss_penalty", snapshot::u64_json(self.l1_miss_penalty)),
+            ("l2_miss_penalty", snapshot::u64_json(self.l2_miss_penalty)),
+            ("msg_latency", snapshot::u64_json(self.msg_latency)),
+            ("page_bytes", snapshot::u64_json(self.page_bytes)),
+            (
+                "costs",
+                Json::obj([
+                    ("refcheck_lookup", snapshot::u64_json(self.costs.refcheck_lookup)),
+                    ("state_change", snapshot::u64_json(self.costs.state_change)),
+                    ("ecc_read_invalid", snapshot::u64_json(self.costs.ecc_read_invalid)),
+                    (
+                        "ecc_write_readonly_page",
+                        snapshot::u64_json(self.costs.ecc_write_readonly_page),
+                    ),
+                    ("informing_lookup", snapshot::u64_json(self.costs.informing_lookup)),
+                ]),
+            ),
+            (
+                "limits",
+                Json::obj([
+                    ("event_budget", snapshot::u64_json(self.limits.event_budget)),
+                    ("request_timeout", snapshot::u64_json(self.limits.request_timeout)),
+                    ("watchdog_failures", snapshot::u64_json(self.limits.watchdog_failures as u64)),
+                ]),
+            ),
+            (
+                "backoff",
+                Json::obj([
+                    ("base", snapshot::u64_json(self.backoff.base)),
+                    ("multiplier", snapshot::u64_json(self.backoff.multiplier)),
+                    ("cap", snapshot::u64_json(self.backoff.cap)),
+                    ("max_retries", snapshot::u64_json(self.backoff.max_retries as u64)),
+                ]),
+            ),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        let costs = snapshot::field(data, "costs")?;
+        let limits = snapshot::field(data, "limits")?;
+        let backoff = snapshot::field(data, "backoff")?;
+        let p = MachineParams {
+            procs: snapshot::get_usize(data, "procs")?,
+            l1_bytes: snapshot::get_u64(data, "l1_bytes")?,
+            l2_bytes: snapshot::get_u64(data, "l2_bytes")?,
+            line_bytes: snapshot::get_u64(data, "line_bytes")?,
+            l1_miss_penalty: snapshot::get_u64(data, "l1_miss_penalty")?,
+            l2_miss_penalty: snapshot::get_u64(data, "l2_miss_penalty")?,
+            msg_latency: snapshot::get_u64(data, "msg_latency")?,
+            page_bytes: snapshot::get_u64(data, "page_bytes")?,
+            costs: SchemeCosts {
+                refcheck_lookup: snapshot::get_u64(costs, "refcheck_lookup")?,
+                state_change: snapshot::get_u64(costs, "state_change")?,
+                ecc_read_invalid: snapshot::get_u64(costs, "ecc_read_invalid")?,
+                ecc_write_readonly_page: snapshot::get_u64(costs, "ecc_write_readonly_page")?,
+                informing_lookup: snapshot::get_u64(costs, "informing_lookup")?,
+            },
+            limits: SimLimits {
+                event_budget: snapshot::get_u64(limits, "event_budget")?,
+                request_timeout: snapshot::get_u64(limits, "request_timeout")?,
+                watchdog_failures: snapshot::get_u32(limits, "watchdog_failures")?,
+            },
+            backoff: BackoffPolicy {
+                base: snapshot::get_u64(backoff, "base")?,
+                multiplier: snapshot::get_u64(backoff, "multiplier")?,
+                cap: snapshot::get_u64(backoff, "cap")?,
+                max_retries: snapshot::get_u32(backoff, "max_retries")?,
+            },
+        };
+        // Geometry helpers assume power-of-two line/page sizes and a nonzero
+        // processor count; reject wire values that would break them.
+        if p.procs == 0 || !p.line_bytes.is_power_of_two() || !p.page_bytes.is_power_of_two() {
+            return Err(SnapshotError::Bad("geometry"));
+        }
+        Ok(p)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -233,6 +328,28 @@ mod tests {
         assert!(l.event_budget > 1 << 30);
         assert!(l.request_timeout >= MachineParams::table2().msg_latency * 2);
         assert!(l.watchdog_failures > BackoffPolicy::default().max_retries);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let mut p = MachineParams::table2();
+        p.backoff.max_retries = 5;
+        p.limits.event_budget = 123_456_789;
+        let wire = p.to_wire().pretty();
+        let back =
+            MachineParams::from_wire(&imo_util::json::parse(&wire).expect("parses")).expect("ok");
+        assert_eq!(back, p);
+        assert_eq!(back.to_wire(), p.to_wire(), "re-encoding is byte-stable");
+    }
+
+    #[test]
+    fn snapshot_rejects_zero_procs() {
+        let mut p = MachineParams::table2();
+        p.procs = 0;
+        assert!(matches!(
+            MachineParams::from_wire(&p.to_wire()),
+            Err(SnapshotError::Bad("geometry"))
+        ));
     }
 
     #[test]

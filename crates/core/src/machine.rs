@@ -52,6 +52,16 @@ impl Machine {
         }
     }
 
+    /// The machine's core configuration for checkpoint-capable
+    /// [`imo_cpu::SimSession`] runs (pause at a cycle boundary, resume —
+    /// possibly in another process — to a bit-identical result).
+    pub fn core_config(&self) -> imo_cpu::CoreConfig {
+        match self {
+            Machine::OutOfOrder(cfg) => imo_cpu::CoreConfig::Ooo(*cfg),
+            Machine::InOrder(cfg) => imo_cpu::CoreConfig::InOrder(*cfg),
+        }
+    }
+
     /// Simulates `program` to completion with default limits.
     ///
     /// # Errors

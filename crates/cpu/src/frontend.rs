@@ -12,10 +12,12 @@
 //! deterministic.
 
 use imo_faults::HandlerFaults;
-use imo_isa::exec::{ControlFlow, ExecError, Executor, MissDepth, MissOracle};
+use imo_isa::exec::{ArchState, ControlFlow, ExecError, Executor, MissDepth, MissOracle};
 use imo_isa::{Instr, Program};
 use imo_mem::{HitLevel, MemoryHierarchy, ProbeResult};
 use imo_obs::{EventKind, Recorder};
+use imo_util::json::Json;
+use imo_util::snapshot::{self, Snapshot, SnapshotError};
 
 use crate::config::TrapModel;
 use crate::predictor::TwoBitPredictor;
@@ -227,6 +229,110 @@ impl<'p> FrontEnd<'p> {
             };
             self.resume_at = self.resume_at.max(cycle + 1 + redirect_penalty + extra);
         }
+    }
+
+    /// Encodes the front end's entire mutable state (architectural state,
+    /// predictor table, fetch-blocking bookkeeping, fault-stream position) as
+    /// a checkpoint body fragment for [`FrontEnd::restore`].
+    pub(crate) fn encode(&self) -> Json {
+        let pred: String = self.pred.counters().iter().map(|&c| char::from(b'0' + c)).collect();
+        let (pending_seq, pending_extra) = match self.pending_penalty {
+            Some((s, e)) => (Some(s), Some(e)),
+            None => (None, None),
+        };
+        Json::obj([
+            ("arch", self.exec.state().encode()),
+            ("instret", snapshot::u64_json(self.exec.instret())),
+            ("pred", Json::Str(pred)),
+            ("pred_hits", snapshot::u64_json(self.pred.hits())),
+            ("pred_lookups", snapshot::u64_json(self.pred.lookups())),
+            ("resume_at", snapshot::u64_json(self.resume_at)),
+            ("blocked_on", snapshot::opt_u64_json(self.blocked_on)),
+            ("blocked_trap", Json::Bool(self.blocked_trap)),
+            ("halted", Json::Bool(self.halted)),
+            ("next_seq", snapshot::u64_json(self.next_seq)),
+            ("cur_line", snapshot::opt_u64_json(self.cur_line)),
+            ("last_mem_seq", snapshot::opt_u64_json(self.last_mem_seq)),
+            ("mispredictions", snapshot::u64_json(self.mispredictions)),
+            ("informing_traps", snapshot::u64_json(self.informing_traps)),
+            (
+                "faults_pos",
+                snapshot::opt_u64_json(self.handler_faults.as_ref().map(HandlerFaults::position)),
+            ),
+            ("consecutive_faults", snapshot::u64_json(u64::from(self.consecutive_faults))),
+            ("handler_fault_count", snapshot::u64_json(self.handler_fault_count)),
+            ("degraded", Json::Bool(self.degraded)),
+            ("pending_seq", snapshot::opt_u64_json(pending_seq)),
+            ("pending_extra", snapshot::opt_u64_json(pending_extra)),
+        ])
+    }
+
+    /// Rebuilds a front end from a [`FrontEnd::encode`] fragment. The
+    /// configuration-derived arguments (`predictor_entries`, `trap_model`,
+    /// `line_bytes`, the fault stream) must come from the same session
+    /// configuration the checkpoint was taken under; mismatches surface as
+    /// [`SnapshotError::Bad`].
+    pub(crate) fn restore(
+        program: &'p Program,
+        predictor_entries: usize,
+        trap_model: TrapModel,
+        line_bytes: u64,
+        faults: Option<(HandlerFaults, u32)>,
+        data: &Json,
+    ) -> Result<FrontEnd<'p>, SnapshotError> {
+        let state = ArchState::decode(snapshot::field(data, "arch")?)?;
+        let instret = snapshot::get_u64(data, "instret")?;
+        let pred_str = snapshot::get_str(data, "pred")?;
+        if pred_str.len() != predictor_entries || !pred_str.is_ascii() {
+            return Err(SnapshotError::Bad("pred"));
+        }
+        let counters: Vec<u8> = pred_str.bytes().map(|b| b.wrapping_sub(b'0')).collect();
+        let pred = TwoBitPredictor::restore(
+            counters,
+            snapshot::get_u64(data, "pred_hits")?,
+            snapshot::get_u64(data, "pred_lookups")?,
+        )
+        .ok_or(SnapshotError::Bad("pred"))?;
+        let faults_pos = snapshot::get_opt_u64(data, "faults_pos")?;
+        let (handler_faults, degrade_after) = match (faults, faults_pos) {
+            (Some((mut stream, degrade)), Some(pos)) => {
+                stream.seek(pos);
+                (Some(stream), degrade)
+            }
+            (None, None) => (None, 0),
+            // A checkpoint taken under fault injection cannot resume without
+            // the same fault plan (and vice versa).
+            _ => return Err(SnapshotError::Bad("faults_pos")),
+        };
+        let pending_penalty = match (
+            snapshot::get_opt_u64(data, "pending_seq")?,
+            snapshot::get_opt_u64(data, "pending_extra")?,
+        ) {
+            (Some(s), Some(e)) => Some((s, e)),
+            (None, None) => None,
+            _ => return Err(SnapshotError::Bad("pending_seq")),
+        };
+        Ok(FrontEnd {
+            exec: Executor::restore(program, state, instret),
+            pred,
+            trap_model,
+            resume_at: snapshot::get_u64(data, "resume_at")?,
+            blocked_on: snapshot::get_opt_u64(data, "blocked_on")?,
+            blocked_trap: snapshot::get_bool(data, "blocked_trap")?,
+            halted: snapshot::get_bool(data, "halted")?,
+            next_seq: snapshot::get_u64(data, "next_seq")?,
+            cur_line: snapshot::get_opt_u64(data, "cur_line")?,
+            last_mem_seq: snapshot::get_opt_u64(data, "last_mem_seq")?,
+            mispredictions: snapshot::get_u64(data, "mispredictions")?,
+            informing_traps: snapshot::get_u64(data, "informing_traps")?,
+            line_bytes,
+            handler_faults,
+            degrade_after,
+            consecutive_faults: snapshot::get_u32(data, "consecutive_faults")?,
+            handler_fault_count: snapshot::get_u64(data, "handler_fault_count")?,
+            degraded: snapshot::get_bool(data, "degraded")?,
+            pending_penalty,
+        })
     }
 
     /// Fetches up to `width` instructions at `cycle`, appending to `out`.
@@ -631,6 +737,70 @@ mod tests {
         // The load cold-missed, so the bmiss is taken -> trap counted, blocked.
         assert_eq!(f.informing_traps(), 1);
         assert_eq!(bm.resolve, Resolve::AtExecute);
+    }
+
+    #[test]
+    fn encode_restore_mid_block_continues_identically() {
+        // Checkpoint while fetch is blocked on a mispredicted branch, restore
+        // into a fresh front end, and drive both to completion in lockstep.
+        let mut a = Asm::new();
+        let t = a.label("t");
+        a.li(Reg::int(1), 1);
+        a.branch(Cond::Eq, Reg::int(1), Reg::int(1), t);
+        a.nop();
+        a.bind(t).unwrap();
+        a.li(Reg::int(2), 0x4000);
+        a.load(Reg::int(3), Reg::int(2), 0);
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut f = fe(&p);
+        let mut h = hier();
+        let mut out = Vec::new();
+        f.fetch(0, 4, &mut h, &mut out, None).unwrap();
+        let resume = f.resume_at();
+        f.fetch(resume, 4, &mut h, &mut out, None).unwrap();
+        let bseq = f.blocked_on().expect("blocked on mispredict");
+
+        let frag = f.encode();
+        let text = frag.pretty();
+        let parsed = imo_util::json::parse(&text).expect("parses");
+        let mut g =
+            FrontEnd::restore(&p, 256, TrapModel::Branch, 32, None, &parsed).expect("restores");
+        assert_eq!(g.blocked_on(), Some(bseq));
+        assert_eq!(g.mispredictions(), f.mispredictions());
+        assert_eq!(g.encode().pretty(), text, "re-encode is byte-stable");
+
+        let mut h2 = MemoryHierarchy::from_wire(&h.to_wire()).expect("hier restores");
+        let (mut out_f, mut out_g) = (Vec::new(), Vec::new());
+        f.resolve(bseq, resume + 10, 1);
+        g.resolve(bseq, resume + 10, 1);
+        for cycle in resume + 11..resume + 40 {
+            f.fetch(cycle, 4, &mut h, &mut out_f, None).unwrap();
+            g.fetch(cycle, 4, &mut h2, &mut out_g, None).unwrap();
+        }
+        assert!(f.halted() && g.halted());
+        assert_eq!(out_f.len(), out_g.len());
+        for (x, y) in out_f.iter().zip(&out_g) {
+            assert_eq!(
+                (x.seq, x.pc, x.fetch_cycle, x.resolve),
+                (y.seq, y.pc, y.fetch_cycle, y.resolve)
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_fault_plan_mismatch() {
+        let p = straight_line();
+        let f = fe(&p);
+        let frag = f.encode();
+        // Checkpoint taken without faults cannot resume with a fault stream.
+        let faults = imo_faults::FaultPlan::new(imo_faults::FaultConfig {
+            handler_overrun_rate: 0.5,
+            ..imo_faults::FaultConfig::default()
+        })
+        .handlers();
+        let r = FrontEnd::restore(&p, 256, TrapModel::Branch, 32, Some((faults, 0)), &frag);
+        assert_eq!(r.err(), Some(SnapshotError::Bad("faults_pos")));
     }
 
     #[test]

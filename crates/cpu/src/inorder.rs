@@ -23,11 +23,14 @@ use std::collections::VecDeque;
 use imo_isa::{FuClass, Instr, Program};
 use imo_mem::{HitLevel, MemoryHierarchy};
 use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder};
+use imo_util::json::Json;
+use imo_util::snapshot::{self, Snapshot as _, SnapshotError};
 
+use crate::ckpt;
 use crate::config::InOrderConfig;
 use crate::config::TrapModel;
 use crate::frontend::{Fetched, FrontEnd, Resolve};
-use crate::result::{MemCounters, RunLimits, RunResult, SimError, SlotBreakdown};
+use crate::result::{MemCounters, RunLimits, RunOutcome, RunResult, SimError, SlotBreakdown};
 use crate::sched::{Horizon, WakeupQueue};
 
 /// Per-logical-register scoreboard state.
@@ -103,7 +106,7 @@ pub fn simulate_full(
     cfg: &InOrderConfig,
     limits: RunLimits,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
-    run(program, cfg, limits, None, None)
+    run(program, cfg, limits, None, None, None)?.expect_done()
 }
 
 /// Like [`simulate_full`], but streams typed events into `rec` (gated by its
@@ -124,7 +127,7 @@ pub fn simulate_observed(
     limits: RunLimits,
     rec: &mut Recorder,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
-    run(program, cfg, limits, None, Some(rec))
+    run(program, cfg, limits, None, Some(rec), None)?.expect_done()
 }
 
 /// Like [`simulate`], but drives the run under a [`imo_faults::FaultPlan`]:
@@ -144,45 +147,168 @@ pub fn simulate_faulty(
     limits: RunLimits,
     plan: &imo_faults::FaultPlan,
 ) -> Result<RunResult, SimError> {
-    run(program, cfg, limits, Some(plan), None).map(|(r, _)| r)
+    run(program, cfg, limits, Some(plan), None, None)?.expect_done().map(|(r, _)| r)
 }
 
-fn run(
+/// Encodes every `run`-loop local at a cycle boundary (the checkpoint body).
+#[allow(clippy::too_many_arguments)]
+fn encode_loop(
+    hier: &MemoryHierarchy,
+    fe: &FrontEnd,
+    regs: &[RegState; 64],
+    queue: &VecDeque<Fetched>,
+    resolve_q: &WakeupQueue<u64>,
+    last_mem_outcome: u64,
+    now: u64,
+    issued_total: u64,
+    slots: SlotBreakdown,
+    cpi: &CpiStack,
+) -> Json {
+    let ready: Vec<u64> = regs.iter().map(|r| r.ready).collect();
+    let floor: Vec<u64> = regs.iter().map(|r| r.replay_floor).collect();
+    let mut pending: u64 = 0;
+    let mut to_mem: u64 = 0;
+    for (i, r) in regs.iter().enumerate() {
+        if r.miss_pending {
+            pending |= 1 << i;
+        }
+        if r.miss_to_mem {
+            to_mem |= 1 << i;
+        }
+    }
+    Json::obj([
+        ("hier", hier.to_wire()),
+        ("fe", fe.encode()),
+        ("reg_ready", snapshot::u64s_json(&ready)),
+        ("reg_floor", snapshot::u64s_json(&floor)),
+        ("reg_pending", snapshot::u64_json(pending)),
+        ("reg_to_mem", snapshot::u64_json(to_mem)),
+        ("queue", Json::arr(queue.iter().map(ckpt::fetched_json))),
+        ("resolve_q", ckpt::wakeup_json(resolve_q, |&s| s)),
+        ("last_mem_outcome", snapshot::u64_json(last_mem_outcome)),
+        ("now", snapshot::u64_json(now)),
+        ("issued_total", snapshot::u64_json(issued_total)),
+        ("slots", ckpt::slots_json(slots)),
+        ("cpi", ckpt::cpi_json(cpi)),
+    ])
+}
+
+fn decode_regs(body: &Json) -> Result<[RegState; 64], SnapshotError> {
+    let ready = snapshot::get_u64s(body, "reg_ready")?;
+    let floor = snapshot::get_u64s(body, "reg_floor")?;
+    if ready.len() != 64 || floor.len() != 64 {
+        return Err(SnapshotError::Bad("reg_ready"));
+    }
+    let pending = snapshot::get_u64(body, "reg_pending")?;
+    let to_mem = snapshot::get_u64(body, "reg_to_mem")?;
+    let mut regs = [RegState::default(); 64];
+    for (i, r) in regs.iter_mut().enumerate() {
+        *r = RegState {
+            ready: ready[i],
+            replay_floor: floor[i],
+            miss_pending: pending >> i & 1 == 1,
+            miss_to_mem: to_mem >> i & 1 == 1,
+        };
+    }
+    Ok(regs)
+}
+
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run(
     program: &Program,
     cfg: &InOrderConfig,
     limits: RunLimits,
     faults: Option<&imo_faults::FaultPlan>,
     mut obs: Option<&mut Recorder>,
-) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
-    let mut hier = MemoryHierarchy::new(cfg.hier);
+    resume: Option<&Json>,
+) -> Result<RunOutcome, SimError> {
     // The in-order machine's informing traps always redirect at miss
     // detection (replay-trap style); the trap model distinction is an
     // out-of-order concern, so fix `Branch` here.
-    let mut fe =
-        FrontEnd::new(program, cfg.predictor_entries, TrapModel::Branch, cfg.hier.l1i.line_bytes);
-    if let Some(plan) = faults {
-        if plan.config().has_handler() {
-            fe.set_handler_faults(plan.handlers(), plan.config().degrade_after);
+    let handler_stream = faults
+        .filter(|plan| plan.config().has_handler())
+        .map(|plan| (plan.handlers(), plan.config().degrade_after));
+
+    let mut hier;
+    let mut fe;
+    let mut regs;
+    let mut queue: VecDeque<Fetched>;
+    let mut resolve_q: WakeupQueue<u64>; // seq due at cycle
+                                         // Outcome (hit/miss known) cycle of the most recent issued data
+                                         // reference, consumed by `bmiss`.
+    let mut last_mem_outcome: u64;
+    let mut now: u64;
+    let mut issued_total: u64;
+    let mut slots;
+    let mut cpi;
+    if let Some(body) = resume {
+        hier = MemoryHierarchy::from_wire(snapshot::field(body, "hier")?)?;
+        fe = FrontEnd::restore(
+            program,
+            cfg.predictor_entries,
+            TrapModel::Branch,
+            cfg.hier.l1i.line_bytes,
+            handler_stream,
+            snapshot::field(body, "fe")?,
+        )?;
+        regs = decode_regs(body)?;
+        queue = snapshot::field(body, "queue")?
+            .as_arr()
+            .ok_or(SnapshotError::Bad("queue"))?
+            .iter()
+            .map(|j| ckpt::decode_fetched(program, j))
+            .collect::<Result<_, _>>()?;
+        resolve_q = ckpt::decode_wakeup(snapshot::field(body, "resolve_q")?, "resolve_q", Ok)?;
+        last_mem_outcome = snapshot::get_u64(body, "last_mem_outcome")?;
+        now = snapshot::get_u64(body, "now")?;
+        issued_total = snapshot::get_u64(body, "issued_total")?;
+        slots = ckpt::decode_slots(snapshot::field(body, "slots")?)?;
+        cpi = ckpt::decode_cpi(snapshot::field(body, "cpi")?)?;
+    } else {
+        hier = MemoryHierarchy::new(cfg.hier);
+        fe = FrontEnd::new(
+            program,
+            cfg.predictor_entries,
+            TrapModel::Branch,
+            cfg.hier.l1i.line_bytes,
+        );
+        if let Some((stream, degrade)) = handler_stream {
+            fe.set_handler_faults(stream, degrade);
         }
+        regs = [RegState::default(); 64];
+        queue = VecDeque::with_capacity(2 * cfg.issue_width as usize);
+        resolve_q = WakeupQueue::new();
+        last_mem_outcome = 0;
+        now = 0;
+        issued_total = 0;
+        slots = SlotBreakdown::default();
+        cpi = CpiStack::default();
     }
-
-    let mut regs = [RegState::default(); 64];
-    let mut queue: VecDeque<Fetched> = VecDeque::with_capacity(2 * cfg.issue_width as usize);
     let mut fetch_buf: Vec<Fetched> = Vec::with_capacity(cfg.issue_width as usize);
-    let mut resolve_q: WakeupQueue<u64> = WakeupQueue::new(); // seq due at cycle
-
-    // Outcome (hit/miss known) cycle of the most recent issued data
-    // reference, consumed by `bmiss`.
-    let mut last_mem_outcome: u64 = 0;
 
     let width = cfg.issue_width as u64;
-    let mut now: u64 = 0;
-    let mut issued_total: u64 = 0;
-    let mut slots = SlotBreakdown::default();
-    let mut cpi = CpiStack::default();
     let mut done = false;
 
     while !done {
+        // Checkpoint boundary: pause before this cycle mutates anything, so
+        // a resumed run re-enters the loop with bit-identical state.
+        if limits.stop_at.is_some_and(|stop| now >= stop) {
+            return Ok(RunOutcome::Paused {
+                cycle: now,
+                body: encode_loop(
+                    &hier,
+                    &fe,
+                    &regs,
+                    &queue,
+                    &resolve_q,
+                    last_mem_outcome,
+                    now,
+                    issued_total,
+                    slots,
+                    &cpi,
+                ),
+            });
+        }
         let mut progress = false;
 
         // ---- Front-end resolutions due ----
@@ -459,7 +585,7 @@ fn run(
             plan.config().record_metrics(&mut rec.metrics);
         }
     }
-    Ok((result, fe.into_state()))
+    Ok(RunOutcome::Done(result, fe.into_state()))
 }
 
 #[cfg(test)]

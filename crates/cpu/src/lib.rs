@@ -52,7 +52,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+mod ckpt;
 pub mod config;
 pub mod frontend;
 pub mod inorder;
@@ -60,7 +62,9 @@ pub mod ooo;
 pub mod predictor;
 pub mod result;
 pub mod sched;
+pub mod session;
 pub mod trace;
 
 pub use config::{InOrderConfig, OooConfig, TrapModel};
 pub use result::{RunLimits, RunResult, SimError, SlotBreakdown};
+pub use session::{Checkpoint, CoreConfig, Outcome, SimSession};

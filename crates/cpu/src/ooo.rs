@@ -26,10 +26,13 @@ use std::collections::VecDeque;
 use imo_isa::{FuClass, Instr, MemKind, Program};
 use imo_mem::{HitLevel, MemoryHierarchy, MshrFile, MshrId};
 use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder};
+use imo_util::json::Json;
+use imo_util::snapshot::{self, Snapshot as _, SnapshotError};
 
+use crate::ckpt;
 use crate::config::{OooConfig, TrapModel};
 use crate::frontend::{Fetched, FrontEnd, Resolve};
-use crate::result::{MemCounters, RunLimits, RunResult, SimError, SlotBreakdown};
+use crate::result::{MemCounters, RunLimits, RunOutcome, RunResult, SimError, SlotBreakdown};
 use crate::sched::{Horizon, ReleasePool, WakeupQueue};
 use crate::trace::InstrTrace;
 
@@ -73,6 +76,74 @@ fn uses_checkpoint(f: &Fetched, trap_model: TrapModel) -> bool {
     }
 }
 
+fn entry_json(e: &Entry) -> Json {
+    let deps = e.deps.iter().flatten().map(|d| {
+        let (kind, seq) = match *d {
+            Dep::Value(s) => (0, s),
+            Dep::Outcome(s) => (1, s),
+        };
+        Json::obj([("kind", snapshot::u64_json(kind)), ("seq", snapshot::u64_json(seq))])
+    });
+    Json::obj([
+        ("f", ckpt::fetched_json(&e.f)),
+        (
+            "state",
+            snapshot::u64_json(match e.state {
+                EState::Waiting => 0,
+                EState::Issued => 1,
+                EState::Complete => 2,
+            }),
+        ),
+        ("deps", Json::arr(deps)),
+        ("complete", snapshot::u64_json(e.complete_cycle)),
+        ("outcome", snapshot::u64_json(e.outcome_cycle)),
+        ("ckpt", Json::Bool(e.uses_checkpoint)),
+        ("mshr", snapshot::opt_u64_json(e.mshr.map(|id| id.raw() as u64))),
+        ("dispatch", snapshot::u64_json(e.dispatch_cycle)),
+        ("issue", snapshot::u64_json(e.issue_cycle)),
+    ])
+}
+
+fn decode_entry(program: &Program, cfg: &OooConfig, j: &Json) -> Result<Entry, SnapshotError> {
+    let deps_wire = snapshot::field(j, "deps")?.as_arr().ok_or(SnapshotError::Bad("deps"))?;
+    if deps_wire.len() > 3 {
+        return Err(SnapshotError::Bad("deps"));
+    }
+    let mut deps: [Option<Dep>; 3] = [None; 3];
+    for (slot, d) in deps.iter_mut().zip(deps_wire) {
+        let seq = snapshot::get_u64(d, "seq")?;
+        *slot = Some(match snapshot::get_u64(d, "kind")? {
+            0 => Dep::Value(seq),
+            1 => Dep::Outcome(seq),
+            _ => return Err(SnapshotError::Bad("deps")),
+        });
+    }
+    let mshr = match snapshot::get_opt_u64(j, "mshr")? {
+        Some(raw) if raw < u64::from(cfg.hier.mshrs) => Some(MshrId::from_raw(raw as usize)),
+        Some(_) => return Err(SnapshotError::Bad("mshr")),
+        None => None,
+    };
+    Ok(Entry {
+        f: ckpt::decode_fetched(program, snapshot::field(j, "f")?)?,
+        state: match snapshot::get_u64(j, "state")? {
+            0 => EState::Waiting,
+            1 => EState::Issued,
+            2 => EState::Complete,
+            _ => return Err(SnapshotError::Bad("state")),
+        },
+        deps,
+        complete_cycle: snapshot::get_u64(j, "complete")?,
+        outcome_cycle: snapshot::get_u64(j, "outcome")?,
+        uses_checkpoint: match snapshot::field(j, "ckpt")? {
+            Json::Bool(b) => *b,
+            _ => return Err(SnapshotError::Bad("ckpt")),
+        },
+        mshr,
+        dispatch_cycle: snapshot::get_u64(j, "dispatch")?,
+        issue_cycle: snapshot::get_u64(j, "issue")?,
+    })
+}
+
 /// Simulates `program` to completion on the out-of-order model.
 ///
 /// # Errors
@@ -104,7 +175,7 @@ pub fn simulate_full(
     cfg: &OooConfig,
     limits: RunLimits,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
-    run(program, cfg, limits, None, None, None)
+    run(program, cfg, limits, None, None, None, None)?.expect_done()
 }
 
 /// Like [`simulate_full`], but streams typed events into `rec` (gated by its
@@ -125,7 +196,7 @@ pub fn simulate_observed(
     limits: RunLimits,
     rec: &mut Recorder,
 ) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
-    run(program, cfg, limits, None, None, Some(rec))
+    run(program, cfg, limits, None, None, Some(rec), None)?.expect_done()
 }
 
 /// Like [`simulate`], but drives the run under a [`imo_faults::FaultPlan`]:
@@ -145,7 +216,7 @@ pub fn simulate_faulty(
     limits: RunLimits,
     plan: &imo_faults::FaultPlan,
 ) -> Result<RunResult, SimError> {
-    run(program, cfg, limits, None, Some(plan), None).map(|(r, _)| r)
+    run(program, cfg, limits, None, Some(plan), None, None)?.expect_done().map(|(r, _)| r)
 }
 
 /// Like [`simulate`], but records a per-instruction pipeline trace
@@ -161,41 +232,165 @@ pub fn simulate_traced(
     limits: RunLimits,
 ) -> Result<(RunResult, Vec<InstrTrace>), SimError> {
     let mut traces = Vec::new();
-    let (result, _) = run(program, cfg, limits, Some(&mut traces), None, None)?;
+    let (result, _) =
+        run(program, cfg, limits, Some(&mut traces), None, None, None)?.expect_done()?;
     Ok((result, traces))
 }
 
-fn run(
+/// Encodes every `run`-loop local at a cycle boundary (the checkpoint body).
+#[allow(clippy::too_many_arguments)]
+fn encode_loop(
+    hier: &MemoryHierarchy,
+    fe: &FrontEnd,
+    mshrs: &MshrFile,
+    rob: &VecDeque<Entry>,
+    rob_base: u64,
+    fetch_q: &VecDeque<Fetched>,
+    last_writer: &[Option<u64>; 64],
+    resolve_q: &WakeupQueue<u64>,
+    ckpt_release_q: &WakeupQueue<()>,
+    fills: &WakeupQueue<MshrId>,
+    checkpoints_in_use: u32,
+    wb_release: &ReleasePool,
+    now: u64,
+    graduated_total: u64,
+    slots: SlotBreakdown,
+    cpi: &CpiStack,
+) -> Json {
+    Json::obj([
+        ("hier", hier.to_wire()),
+        ("fe", fe.encode()),
+        ("mshrs", mshrs.to_wire()),
+        ("rob", Json::arr(rob.iter().map(entry_json))),
+        ("rob_base", snapshot::u64_json(rob_base)),
+        ("fetch_q", Json::arr(fetch_q.iter().map(ckpt::fetched_json))),
+        ("last_writer", Json::arr(last_writer.iter().map(|w| snapshot::opt_u64_json(*w)))),
+        ("resolve_q", ckpt::wakeup_json(resolve_q, |&s| s)),
+        ("ckpt_release_q", ckpt::wakeup_json(ckpt_release_q, |()| 0)),
+        ("fills", ckpt::wakeup_json(fills, |id| id.raw() as u64)),
+        ("checkpoints_in_use", snapshot::u64_json(u64::from(checkpoints_in_use))),
+        ("wb_release", snapshot::u64s_json(&wb_release.releases())),
+        ("now", snapshot::u64_json(now)),
+        ("graduated_total", snapshot::u64_json(graduated_total)),
+        ("slots", ckpt::slots_json(slots)),
+        ("cpi", ckpt::cpi_json(cpi)),
+    ])
+}
+
+#[allow(clippy::too_many_lines)]
+pub(crate) fn run(
     program: &Program,
     cfg: &OooConfig,
     limits: RunLimits,
     mut trace: Option<&mut Vec<InstrTrace>>,
     faults: Option<&imo_faults::FaultPlan>,
     mut obs: Option<&mut Recorder>,
-) -> Result<(RunResult, imo_isa::exec::ArchState), SimError> {
-    let mut hier = MemoryHierarchy::new(cfg.hier);
-    let mut fe =
-        FrontEnd::new(program, cfg.predictor_entries, cfg.trap_model, cfg.hier.l1i.line_bytes);
-    if let Some(plan) = faults {
-        if plan.config().has_handler() {
-            fe.set_handler_faults(plan.handlers(), plan.config().degrade_after);
-        }
-    }
-    let mut mshrs = MshrFile::new(cfg.hier.mshrs, cfg.mshr_mode);
+    resume: Option<&Json>,
+) -> Result<RunOutcome, SimError> {
+    let handler_stream = faults
+        .filter(|plan| plan.config().has_handler())
+        .map(|plan| (plan.handlers(), plan.config().degrade_after));
 
-    let mut rob: VecDeque<Entry> = VecDeque::with_capacity(cfg.rob_entries as usize);
-    let mut rob_base: u64 = 0; // seq of rob.front()
-    let mut fetch_q: VecDeque<Fetched> = VecDeque::with_capacity(2 * cfg.issue_width as usize);
-    let mut fetch_buf: Vec<Fetched> = Vec::with_capacity(cfg.issue_width as usize);
-    let mut last_writer: [Option<u64>; 64] = [None; 64];
-
+    let mut hier;
+    let mut fe;
+    let mut mshrs;
+    let mut rob: VecDeque<Entry>;
+    let mut rob_base: u64; // seq of rob.front()
+    let mut fetch_q: VecDeque<Fetched>;
+    let mut last_writer: [Option<u64>; 64];
     // Future-event queues (deterministic min-heaps; see `crate::sched`).
-    let mut resolve_q: WakeupQueue<u64> = WakeupQueue::new(); // seq due at cycle
-    let mut ckpt_release_q: WakeupQueue<()> = WakeupQueue::new();
-    let mut fills: WakeupQueue<MshrId> = WakeupQueue::new();
-
-    let mut checkpoints_in_use: u32 = 0;
-    let mut wb_release = ReleasePool::new(cfg.write_buffer as usize);
+    let mut resolve_q: WakeupQueue<u64>; // seq due at cycle
+    let mut ckpt_release_q: WakeupQueue<()>;
+    let mut fills: WakeupQueue<MshrId>;
+    let mut checkpoints_in_use: u32;
+    let mut wb_release;
+    let mut now: u64;
+    let mut graduated_total: u64;
+    let mut slots;
+    let mut cpi;
+    if let Some(body) = resume {
+        hier = MemoryHierarchy::from_wire(snapshot::field(body, "hier")?)?;
+        fe = FrontEnd::restore(
+            program,
+            cfg.predictor_entries,
+            cfg.trap_model,
+            cfg.hier.l1i.line_bytes,
+            handler_stream,
+            snapshot::field(body, "fe")?,
+        )?;
+        mshrs = MshrFile::from_wire(snapshot::field(body, "mshrs")?)?;
+        rob = snapshot::field(body, "rob")?
+            .as_arr()
+            .ok_or(SnapshotError::Bad("rob"))?
+            .iter()
+            .map(|j| decode_entry(program, cfg, j))
+            .collect::<Result<_, _>>()?;
+        rob_base = snapshot::get_u64(body, "rob_base")?;
+        fetch_q = snapshot::field(body, "fetch_q")?
+            .as_arr()
+            .ok_or(SnapshotError::Bad("fetch_q"))?
+            .iter()
+            .map(|j| ckpt::decode_fetched(program, j))
+            .collect::<Result<_, _>>()?;
+        let lw = snapshot::get_arr(body, "last_writer", |j| match j {
+            Json::Null => Ok(None),
+            Json::Str(s) => {
+                u64::from_str_radix(s, 16).map(Some).map_err(|_| SnapshotError::Bad("last_writer"))
+            }
+            _ => Err(SnapshotError::Bad("last_writer")),
+        })?;
+        if lw.len() != 64 {
+            return Err(SnapshotError::Bad("last_writer").into());
+        }
+        last_writer = [None; 64];
+        for (slot, w) in last_writer.iter_mut().zip(lw) {
+            *slot = w;
+        }
+        resolve_q = ckpt::decode_wakeup(snapshot::field(body, "resolve_q")?, "resolve_q", Ok)?;
+        ckpt_release_q = ckpt::decode_wakeup(
+            snapshot::field(body, "ckpt_release_q")?,
+            "ckpt_release_q",
+            |_| Ok(()),
+        )?;
+        fills = ckpt::decode_wakeup(snapshot::field(body, "fills")?, "fills", |raw| {
+            if raw < u64::from(cfg.hier.mshrs) {
+                Ok(MshrId::from_raw(raw as usize))
+            } else {
+                Err(SnapshotError::Bad("fills"))
+            }
+        })?;
+        checkpoints_in_use = snapshot::get_u32(body, "checkpoints_in_use")?;
+        let releases = snapshot::get_u64s(body, "wb_release")?;
+        if releases.len() != cfg.write_buffer as usize {
+            return Err(SnapshotError::Bad("wb_release").into());
+        }
+        wb_release = ReleasePool::restore(releases);
+        now = snapshot::get_u64(body, "now")?;
+        graduated_total = snapshot::get_u64(body, "graduated_total")?;
+        slots = ckpt::decode_slots(snapshot::field(body, "slots")?)?;
+        cpi = ckpt::decode_cpi(snapshot::field(body, "cpi")?)?;
+    } else {
+        hier = MemoryHierarchy::new(cfg.hier);
+        fe = FrontEnd::new(program, cfg.predictor_entries, cfg.trap_model, cfg.hier.l1i.line_bytes);
+        if let Some((stream, degrade)) = handler_stream {
+            fe.set_handler_faults(stream, degrade);
+        }
+        mshrs = MshrFile::new(cfg.hier.mshrs, cfg.mshr_mode);
+        rob = VecDeque::with_capacity(cfg.rob_entries as usize);
+        rob_base = 0;
+        fetch_q = VecDeque::with_capacity(2 * cfg.issue_width as usize);
+        last_writer = [None; 64];
+        resolve_q = WakeupQueue::new();
+        ckpt_release_q = WakeupQueue::new();
+        fills = WakeupQueue::new();
+        checkpoints_in_use = 0;
+        wb_release = ReleasePool::new(cfg.write_buffer as usize);
+        now = 0;
+        graduated_total = 0;
+        slots = SlotBreakdown::default();
+        cpi = CpiStack::default();
+    }
+    let mut fetch_buf: Vec<Fetched> = Vec::with_capacity(cfg.issue_width as usize);
 
     // Programs without condition-code branches never create `Dep::Outcome`
     // edges, so their wakeup horizon can skip the per-entry outcome-cycle
@@ -206,10 +401,6 @@ fn run(
         .any(|i| matches!(i, Instr::BranchOnMiss { .. } | Instr::BranchOnMemMiss { .. }));
 
     let width = cfg.issue_width as u64;
-    let mut now: u64 = 0;
-    let mut graduated_total: u64 = 0;
-    let mut slots = SlotBreakdown::default();
-    let mut cpi = CpiStack::default();
     let mut done = false;
 
     let fu_cap = |c: FuClass| -> u32 {
@@ -265,6 +456,32 @@ fn run(
     };
 
     while !done {
+        // Checkpoint boundary: pause before this cycle mutates anything, so
+        // a resumed run re-enters the loop with bit-identical state.
+        if limits.stop_at.is_some_and(|stop| now >= stop) {
+            return Ok(RunOutcome::Paused {
+                cycle: now,
+                body: encode_loop(
+                    &hier,
+                    &fe,
+                    &mshrs,
+                    &rob,
+                    rob_base,
+                    &fetch_q,
+                    &last_writer,
+                    &resolve_q,
+                    &ckpt_release_q,
+                    &fills,
+                    checkpoints_in_use,
+                    &wb_release,
+                    now,
+                    graduated_total,
+                    slots,
+                    &cpi,
+                ),
+            });
+        }
+
         let mut progress = false;
 
         // ---- 1. MSHR fills due this cycle ----
@@ -652,7 +869,7 @@ fn run(
             plan.config().record_metrics(&mut rec.metrics);
         }
     }
-    Ok((result, fe.into_state()))
+    Ok(RunOutcome::Done(result, fe.into_state()))
 }
 
 #[cfg(test)]

@@ -81,6 +81,26 @@ impl TwoBitPredictor {
     pub fn lookups(&self) -> u64 {
         self.lookups
     }
+
+    /// Correct predictions made so far (checkpoint encoding).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// The raw counter table (checkpoint encoding; each value is 0..=3).
+    pub fn counters(&self) -> &[u8] {
+        &self.counters
+    }
+
+    /// Rebuilds a predictor from [`TwoBitPredictor::counters`] and the
+    /// accuracy statistics. Returns `None` if the table size is not a
+    /// positive power of two or any counter exceeds 3.
+    pub fn restore(counters: Vec<u8>, hits: u64, lookups: u64) -> Option<TwoBitPredictor> {
+        if !counters.len().is_power_of_two() || counters.iter().any(|&c| c > 3) {
+            return None;
+        }
+        Some(TwoBitPredictor { counters, hits, lookups })
+    }
 }
 
 #[cfg(test)]
@@ -132,5 +152,28 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn rejects_non_power_of_two() {
         let _ = TwoBitPredictor::new(3);
+    }
+
+    #[test]
+    fn restore_round_trip_continues_identically() {
+        let mut p = TwoBitPredictor::new(16);
+        for i in 0..20 {
+            p.predict_and_update(i * 4, i % 3 != 0);
+        }
+        let mut q = TwoBitPredictor::restore(p.counters().to_vec(), p.hits(), p.lookups())
+            .expect("valid state");
+        assert_eq!(q.accuracy(), p.accuracy());
+        for i in 0..20 {
+            assert_eq!(
+                q.predict_and_update(i * 4, i % 2 == 0),
+                p.predict_and_update(i * 4, i % 2 == 0)
+            );
+        }
+    }
+
+    #[test]
+    fn restore_rejects_bad_state() {
+        assert!(TwoBitPredictor::restore(vec![1; 3], 0, 0).is_none(), "non power of two");
+        assert!(TwoBitPredictor::restore(vec![4; 4], 0, 0).is_none(), "counter out of range");
     }
 }

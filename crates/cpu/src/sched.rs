@@ -115,6 +115,37 @@ impl<T> WakeupQueue<T> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// The value the internal key counter would assign next (checkpoint
+    /// encoding; restored through [`WakeupQueue::restore`]).
+    #[must_use]
+    pub fn next_key(&self) -> u64 {
+        self.next_key
+    }
+
+    /// Every pending event as `(due, key, item)`, sorted by `(due, key)` —
+    /// the exact pop order, so a checkpoint encodes the queue's observable
+    /// state regardless of the heap's internal layout.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(u64, u64, T)>
+    where
+        T: Clone,
+    {
+        let mut v: Vec<(u64, u64, T)> =
+            self.heap.iter().map(|e| (e.due, e.key, e.item.clone())).collect();
+        v.sort_by_key(|&(due, key, _)| (due, key));
+        v
+    }
+
+    /// Rebuilds a queue from [`WakeupQueue::entries`] and
+    /// [`WakeupQueue::next_key`].
+    #[must_use]
+    pub fn restore(next_key: u64, entries: Vec<(u64, u64, T)>) -> Self {
+        Self {
+            heap: entries.into_iter().map(|(due, key, item)| Ev { due, key, item }).collect(),
+            next_key,
+        }
+    }
 }
 
 impl<T> Default for WakeupQueue<T> {
@@ -163,6 +194,22 @@ impl ReleasePool {
     #[must_use]
     pub fn next_release(&self) -> Option<u64> {
         self.heap.peek().map(|r| r.0)
+    }
+
+    /// Every slot's release time, sorted ascending. Slots are
+    /// interchangeable, so the sorted multiset is the pool's entire
+    /// observable state (checkpoint encoding; see [`ReleasePool::restore`]).
+    #[must_use]
+    pub fn releases(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.heap.iter().map(|r| r.0).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuilds a pool from [`ReleasePool::releases`].
+    #[must_use]
+    pub fn restore(releases: Vec<u64>) -> Self {
+        Self { heap: releases.into_iter().map(std::cmp::Reverse).collect() }
     }
 }
 
@@ -263,6 +310,37 @@ mod tests {
         assert!(!p.has_free(u64::MAX));
         assert!(!p.acquire_until(0, 0));
         assert_eq!(p.next_release(), None);
+    }
+
+    #[test]
+    fn wakeup_entries_round_trip_preserves_pop_order() {
+        let mut q = WakeupQueue::new();
+        q.push(5, "a");
+        q.push(3, "b");
+        q.push_keyed(3, 99, "z");
+        q.push(5, "c");
+        let entries = q.entries();
+        assert_eq!(entries, vec![(3, 1, "b"), (3, 99, "z"), (5, 0, "a"), (5, 2, "c")]);
+        let mut r = WakeupQueue::restore(q.next_key(), entries);
+        // Pop order matches the original exactly...
+        for _ in 0..4 {
+            assert_eq!(r.pop_due(10), q.pop_due(10));
+        }
+        // ...and pushes after restore continue the same key sequence.
+        r.push(3, "next");
+        assert_eq!(r.pop_due(10), Some((3, "next")));
+        assert_eq!(r.entries(), vec![]);
+    }
+
+    #[test]
+    fn release_pool_round_trip_preserves_availability() {
+        let mut p = ReleasePool::new(3);
+        assert!(p.acquire_until(0, 10));
+        assert!(p.acquire_until(0, 5));
+        let r = ReleasePool::restore(p.releases());
+        assert_eq!(r.releases(), vec![0, 5, 10]);
+        assert!(r.has_free(0));
+        assert_eq!(r.next_release(), Some(0));
     }
 
     #[test]

@@ -346,6 +346,22 @@ pub struct HandlerFaults {
 }
 
 impl HandlerFaults {
+    /// Number of draws consumed so far. Because draw `n` is a pure function
+    /// of `(stream seed, n)`, this single counter is the stream's entire
+    /// mutable state — a checkpoint records it and [`HandlerFaults::seek`]
+    /// restores it.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.n
+    }
+
+    /// Fast-forwards (or rewinds) the stream so the next draw is draw `n`,
+    /// as returned by [`HandlerFaults::position`] on the stream being
+    /// restored.
+    pub fn seek(&mut self, n: u64) {
+        self.n = n;
+    }
+
     /// The fault (if any) injected on the next informing trap.
     pub fn draw(&mut self) -> Option<HandlerFault> {
         if !self.cfg.has_handler() {
@@ -377,6 +393,24 @@ mod tests {
         c.handler_overrun_rate = 0.2;
         c.stale_mhar_rate = 0.1;
         c
+    }
+
+    #[test]
+    fn handler_stream_seek_replays_exactly() {
+        let plan = FaultPlan::new(faulty());
+        let mut a = plan.handlers();
+        let prefix: Vec<_> = (0..10).map(|_| a.draw()).collect();
+        assert!(prefix.iter().any(|f| f.is_some()), "rates high enough to fire");
+        // A fresh stream seeked to the recorded position continues the
+        // original sequence, and rewinding replays the prefix.
+        let mut b = plan.handlers();
+        b.seek(a.position());
+        let cont_a: Vec<_> = (0..10).map(|_| a.draw()).collect();
+        let cont_b: Vec<_> = (0..10).map(|_| b.draw()).collect();
+        assert_eq!(cont_a, cont_b);
+        b.seek(0);
+        let replay: Vec<_> = (0..10).map(|_| b.draw()).collect();
+        assert_eq!(replay, prefix);
     }
 
     #[test]

@@ -10,6 +10,9 @@
 use std::error::Error;
 use std::fmt;
 
+use imo_util::json::Json;
+use imo_util::snapshot::{self, Snapshot, SnapshotError};
+
 use crate::instr::{Instr, MemKind};
 use crate::memimg::DataMemory;
 use crate::program::Program;
@@ -285,6 +288,58 @@ impl ArchState {
     }
 }
 
+impl Snapshot for ArchState {
+    const KIND: &'static str = "isa.arch_state";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> Json {
+        let fp_bits: Vec<u64> = self.fp.iter().map(|v| v.to_bits()).collect();
+        Json::obj([
+            ("int", snapshot::u64s_json(&self.int)),
+            ("fp", snapshot::u64s_json(&fp_bits)),
+            ("pc", snapshot::u64_json(self.pc)),
+            ("mhar", snapshot::u64_json(self.mhar)),
+            ("mhrr", snapshot::u64_json(self.mhrr)),
+            ("mar", snapshot::u64_json(self.mar)),
+            ("last_depth", snapshot::u64_json(self.last_depth as u64)),
+            ("in_handler", Json::Bool(self.in_handler)),
+            ("informing_suppressed", Json::Bool(self.informing_suppressed)),
+            ("halted", Json::Bool(self.halted)),
+            ("mem", self.mem.encode()),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        let int_v = snapshot::get_u64s(data, "int")?;
+        let fp_v = snapshot::get_u64s(data, "fp")?;
+        let int: [u64; 32] = int_v.try_into().map_err(|_| SnapshotError::Bad("int"))?;
+        let fp_bits: [u64; 32] = fp_v.try_into().map_err(|_| SnapshotError::Bad("fp"))?;
+        let mut fp = [0.0f64; 32];
+        for (dst, bits) in fp.iter_mut().zip(fp_bits) {
+            *dst = f64::from_bits(bits);
+        }
+        let last_depth = match snapshot::get_u64(data, "last_depth")? {
+            0 => MissDepth::Hit,
+            1 => MissDepth::L1Miss,
+            2 => MissDepth::MemMiss,
+            _ => return Err(SnapshotError::Bad("last_depth")),
+        };
+        Ok(ArchState {
+            int,
+            fp,
+            mem: DataMemory::decode(snapshot::field(data, "mem")?)?,
+            pc: snapshot::get_u64(data, "pc")?,
+            mhar: snapshot::get_u64(data, "mhar")?,
+            mhrr: snapshot::get_u64(data, "mhrr")?,
+            mar: snapshot::get_u64(data, "mar")?,
+            last_depth,
+            in_handler: snapshot::get_bool(data, "in_handler")?,
+            informing_suppressed: snapshot::get_bool(data, "informing_suppressed")?,
+            halted: snapshot::get_bool(data, "halted")?,
+        })
+    }
+}
+
 /// Steps a [`Program`] through the ISA's architectural semantics.
 ///
 /// See the crate-level example.
@@ -304,6 +359,14 @@ impl<'p> Executor<'p> {
             state.mem.write(addr, value);
         }
         Executor { program, state, instret: 0 }
+    }
+
+    /// Re-attaches a previously snapshotted architectural state to its
+    /// program, restoring the retired-instruction count. Unlike
+    /// [`Executor::new`] this does **not** reload the program's initial data
+    /// image — `state.memory()` already holds the live contents.
+    pub fn restore(program: &'p Program, state: ArchState, instret: u64) -> Executor<'p> {
+        Executor { program, state, instret }
     }
 
     /// The architectural state.
@@ -821,6 +884,49 @@ mod tests {
         e.run(&mut AlwaysMiss, 100).unwrap();
         assert_eq!(e.state().int(r(9)), 0, "redirected return skipped the addi");
         assert!(e.state().halted());
+    }
+
+    #[test]
+    fn snapshot_mid_run_resumes_identically() {
+        // Run half of a trap-heavy program, snapshot, restore through the
+        // wire format, and finish both copies: final states must agree.
+        let mut a = Asm::new();
+        let handler = a.label("h");
+        a.set_mhar(handler);
+        a.li(r(1), 0x4000);
+        let top = a.here("top");
+        a.load_inf(r(2), r(1), 0);
+        a.addi(r(1), r(1), 64);
+        a.addi(r(4), r(4), 1);
+        a.branch(Cond::Lt, r(4), r(5), top);
+        a.halt();
+        a.bind(handler).unwrap();
+        a.addi(r(10), r(10), 1);
+        a.jump_mhrr();
+        let mut a2 = Asm::new();
+        a2.li(r(5), 6);
+        let p = a.assemble().unwrap();
+        drop(a2);
+
+        let mut reference = Executor::new(&p);
+        reference.state_mut().set_int(r(5), 6);
+        reference.run(&mut AlwaysMiss, 1000).unwrap();
+
+        let mut first = Executor::new(&p);
+        first.state_mut().set_int(r(5), 6);
+        for _ in 0..9 {
+            first.step(&mut AlwaysMiss).unwrap();
+        }
+        let wire = first.state().to_wire().pretty();
+        let instret = first.instret();
+        let restored =
+            ArchState::from_wire(&imo_util::json::parse(&wire).unwrap()).expect("decodes");
+        let mut second = Executor::restore(&p, restored, instret);
+        assert_eq!(second.instret(), instret);
+        second.run(&mut AlwaysMiss, 1000).unwrap();
+        assert_eq!(second.instret(), reference.instret());
+        let (a_st, b_st) = (reference.into_state(), second.into_state());
+        assert_eq!(a_st.encode(), b_st.encode(), "resumed state bit-identical");
     }
 
     #[test]

@@ -2,6 +2,9 @@
 
 use std::collections::HashMap;
 
+use imo_util::json::Json;
+use imo_util::snapshot::{self, Snapshot, SnapshotError};
+
 /// Size of one allocation page, in bytes.
 const PAGE_BYTES: u64 = 4096;
 /// Words per page.
@@ -73,6 +76,35 @@ impl DataMemory {
     }
 }
 
+impl Snapshot for DataMemory {
+    const KIND: &'static str = "isa.data_memory";
+    const VERSION: u32 = 1;
+
+    /// Pages are emitted in sorted page-index order so the same memory
+    /// contents always serialize byte-identically.
+    fn encode(&self) -> Json {
+        let mut indices: Vec<u64> = self.pages.keys().copied().collect();
+        indices.sort_unstable();
+        let pages = indices.into_iter().map(|at| {
+            let words = self.pages.get(&at).expect("page index came from the map");
+            Json::obj([("at", snapshot::u64_json(at)), ("words", snapshot::u64s_json(&words[..]))])
+        });
+        Json::obj([("pages", Json::arr(pages))])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        let mut mem = DataMemory::new();
+        for p in snapshot::field(data, "pages")?.as_arr().ok_or(SnapshotError::Bad("pages"))? {
+            let at = snapshot::get_u64(p, "at")?;
+            let words = snapshot::get_u64s(p, "words")?;
+            let arr: Box<[u64; PAGE_WORDS]> =
+                words.into_boxed_slice().try_into().map_err(|_| SnapshotError::Bad("words"))?;
+            mem.pages.insert(at, arr);
+        }
+        Ok(mem)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,6 +149,23 @@ mod tests {
         assert_eq!(m.read(4088), 1);
         assert_eq!(m.read(4096), 2);
         assert_eq!(m.touched_pages(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_exact() {
+        let mut m = DataMemory::new();
+        m.write(0, 1);
+        m.write(4096, u64::MAX);
+        m.write(1 << 40, 3);
+        m.write_f64(8, -0.0);
+        let wire = m.to_wire().pretty();
+        let back = DataMemory::from_wire(&imo_util::json::parse(&wire).unwrap()).expect("decodes");
+        assert_eq!(back.read(0), 1);
+        assert_eq!(back.read(4096), u64::MAX);
+        assert_eq!(back.read(1 << 40), 3);
+        assert_eq!(back.read_f64(8).to_bits(), (-0.0f64).to_bits());
+        assert_eq!(back.touched_pages(), m.touched_pages());
+        assert_eq!(back.to_wire(), m.to_wire(), "re-encoding is byte-stable");
     }
 
     #[test]

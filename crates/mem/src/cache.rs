@@ -2,6 +2,8 @@
 
 use crate::config::CacheConfig;
 use crate::ecc::{EccEvent, EccFailure};
+use imo_util::json::Json;
+use imo_util::snapshot::{self, Snapshot, SnapshotError};
 
 /// Outcome of a cache probe.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -248,6 +250,113 @@ impl Cache {
     }
 }
 
+/// Packs an iterator of booleans into `u64` words, bit `i % 64` of word
+/// `i / 64` (checkpoint encoding of per-way flag columns).
+pub(crate) fn pack_bits(bits: impl Iterator<Item = bool>) -> Vec<u64> {
+    let mut words = Vec::new();
+    for (i, b) in bits.enumerate() {
+        if i % 64 == 0 {
+            words.push(0u64);
+        }
+        if b {
+            *words.last_mut().expect("word was just pushed") |= 1u64 << (i % 64);
+        }
+    }
+    words
+}
+
+/// Reads bit `i` of a [`pack_bits`] word vector.
+pub(crate) fn bit_at(words: &[u64], i: usize) -> bool {
+    (words[i / 64] >> (i % 64)) & 1 == 1
+}
+
+fn stats_json(s: &CacheStats) -> Json {
+    Json::obj([
+        ("accesses", snapshot::u64_json(s.accesses)),
+        ("misses", snapshot::u64_json(s.misses)),
+        ("writebacks", snapshot::u64_json(s.writebacks)),
+        ("invalidations", snapshot::u64_json(s.invalidations)),
+        ("ecc_corrected", snapshot::u64_json(s.ecc_corrected)),
+        ("ecc_uncorrectable", snapshot::u64_json(s.ecc_uncorrectable)),
+    ])
+}
+
+fn decode_stats(data: &Json) -> Result<CacheStats, SnapshotError> {
+    Ok(CacheStats {
+        accesses: snapshot::get_u64(data, "accesses")?,
+        misses: snapshot::get_u64(data, "misses")?,
+        writebacks: snapshot::get_u64(data, "writebacks")?,
+        invalidations: snapshot::get_u64(data, "invalidations")?,
+        ecc_corrected: snapshot::get_u64(data, "ecc_corrected")?,
+        ecc_uncorrectable: snapshot::get_u64(data, "ecc_uncorrectable")?,
+    })
+}
+
+impl Snapshot for Cache {
+    const KIND: &'static str = "mem.cache";
+    const VERSION: u32 = 1;
+
+    /// Way state is emitted as four parallel columns (packed valid/dirty
+    /// bits, hex-concatenated tags and LRU stamps) so the encoding stays
+    /// compact for the 2 MB secondary cache.
+    fn encode(&self) -> Json {
+        let valid = pack_bits(self.sets.iter().map(|w| w.valid));
+        let dirty = pack_bits(self.sets.iter().map(|w| w.dirty));
+        let tags: Vec<u64> = self.sets.iter().map(|w| w.tag).collect();
+        let lru: Vec<u64> = self.sets.iter().map(|w| w.lru).collect();
+        Json::obj([
+            ("size_bytes", snapshot::u64_json(self.config.size_bytes)),
+            ("assoc", snapshot::u64_json(self.config.assoc as u64)),
+            ("line_bytes", snapshot::u64_json(self.config.line_bytes)),
+            ("clock", snapshot::u64_json(self.clock)),
+            ("valid", snapshot::u64s_json(&valid)),
+            ("dirty", snapshot::u64s_json(&dirty)),
+            ("tags", snapshot::u64s_json(&tags)),
+            ("lru", snapshot::u64s_json(&lru)),
+            ("stats", stats_json(&self.stats)),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        let size_bytes = snapshot::get_u64(data, "size_bytes")?;
+        let assoc = snapshot::get_u32(data, "assoc")?;
+        let line_bytes = snapshot::get_u64(data, "line_bytes")?;
+        // Re-validate the geometry before CacheConfig::new so a malformed
+        // checkpoint reports a typed error instead of panicking.
+        if !size_bytes.is_power_of_two()
+            || !line_bytes.is_power_of_two()
+            || assoc == 0
+            || size_bytes % (assoc as u64 * line_bytes) != 0
+        {
+            return Err(SnapshotError::Bad("geometry"));
+        }
+        let tags = snapshot::get_u64s(data, "tags")?;
+        // Bound the allocation by what the wire actually carries.
+        if tags.len() as u64 != size_bytes / line_bytes {
+            return Err(SnapshotError::Bad("tags"));
+        }
+        let lru = snapshot::get_u64s(data, "lru")?;
+        let valid = snapshot::get_u64s(data, "valid")?;
+        let dirty = snapshot::get_u64s(data, "dirty")?;
+        let words = tags.len().div_ceil(64);
+        if lru.len() != tags.len() || valid.len() != words || dirty.len() != words {
+            return Err(SnapshotError::Bad("way columns"));
+        }
+        let mut cache = Cache::new(CacheConfig::new(size_bytes, assoc, line_bytes));
+        for (i, w) in cache.sets.iter_mut().enumerate() {
+            *w = Way {
+                valid: bit_at(&valid, i),
+                tag: tags[i],
+                dirty: bit_at(&dirty, i),
+                lru: lru[i],
+            };
+        }
+        cache.clock = snapshot::get_u64(data, "clock")?;
+        cache.stats = decode_stats(snapshot::field(data, "stats")?)?;
+        Ok(cache)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -381,6 +490,45 @@ mod tests {
         // And the no-fault path matches plain invalidate.
         c.access(0, false);
         assert_eq!(c.invalidate_ecc(0, None), Ok(Some(false)));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_tags_lru_and_stats() {
+        let mut c = small();
+        c.access(0, true);
+        c.access(128, false);
+        c.access(0, false); // refresh A so B is LRU
+        c.invalidate(32);
+        let wire = c.to_wire().pretty();
+        let back = Cache::from_wire(&imo_util::json::parse(&wire).unwrap()).expect("decodes");
+        assert_eq!(back.to_wire(), c.to_wire(), "re-encoding is byte-stable");
+        assert_eq!(back.stats(), c.stats());
+        assert_eq!(back.valid_lines(), c.valid_lines());
+        // LRU state survives: the next conflict miss must still evict B.
+        let mut back = back;
+        match back.access(256, false) {
+            Probe::Miss { evicted: Some(e) } => assert_eq!(e.line, 128, "B is still LRU"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_rejects_malformed_geometry() {
+        let mut wire = small().to_wire();
+        if let imo_util::json::Json::Obj(fields) = &mut wire {
+            for (k, v) in fields.iter_mut() {
+                if k == "data" {
+                    if let imo_util::json::Json::Obj(inner) = v {
+                        for (ik, iv) in inner.iter_mut() {
+                            if ik == "assoc" {
+                                *iv = imo_util::json::Json::from("0");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert!(matches!(Cache::from_wire(&wire), Err(SnapshotError::Bad("geometry"))));
     }
 
     #[test]

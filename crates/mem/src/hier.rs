@@ -20,6 +20,8 @@ use std::collections::HashMap;
 
 use crate::cache::{Cache, Probe};
 use crate::config::{HierarchyConfig, HitLevel};
+use imo_util::json::Json;
+use imo_util::snapshot::{self, Snapshot, SnapshotError};
 
 /// Result of a program-order probe: which level serves the reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -339,6 +341,99 @@ impl MemoryHierarchy {
     }
 }
 
+impl Snapshot for MemoryHierarchy {
+    const KIND: &'static str = "mem.hierarchy";
+    const VERSION: u32 = 1;
+
+    /// The three cache geometries live inside the nested [`Cache`] snapshots;
+    /// bank and MSHR counts are carried by the lengths of their occupancy
+    /// vectors, so only the latency scalars are encoded here. The in-flight
+    /// fill map is emitted as two parallel columns sorted by line address.
+    fn encode(&self) -> Json {
+        let mut inflight: Vec<(u64, u64)> = self.inflight.iter().map(|(&k, &v)| (k, v)).collect();
+        inflight.sort_unstable();
+        let (lines, fills): (Vec<u64>, Vec<u64>) = inflight.into_iter().unzip();
+        Json::obj([
+            ("l1d", self.l1d.encode()),
+            ("l1i", self.l1i.encode()),
+            ("l2", self.l2.encode()),
+            ("l1_latency", snapshot::u64_json(self.cfg.l1_latency)),
+            ("l2_latency", snapshot::u64_json(self.cfg.l2_latency)),
+            ("mem_latency", snapshot::u64_json(self.cfg.mem_latency)),
+            ("fill_cycles", snapshot::u64_json(self.cfg.fill_cycles)),
+            ("mem_cycles_per_access", snapshot::u64_json(self.cfg.mem_cycles_per_access)),
+            ("bank_free", snapshot::u64s_json(&self.bank_free)),
+            ("mshr_release", snapshot::u64s_json(&self.mshr_release)),
+            ("mem_next_free", snapshot::u64_json(self.mem_next_free)),
+            ("inflight_lines", snapshot::u64s_json(&lines)),
+            ("inflight_fills", snapshot::u64s_json(&fills)),
+            ("pending_writebacks", snapshot::u64_json(self.pending_writebacks)),
+            (
+                "stats",
+                Json::obj([
+                    ("data_refs", snapshot::u64_json(self.stats.data_refs)),
+                    ("l1d_misses_to_l2", snapshot::u64_json(self.stats.l1d_misses_to_l2)),
+                    ("l1d_misses_to_mem", snapshot::u64_json(self.stats.l1d_misses_to_mem)),
+                    ("inst_misses", snapshot::u64_json(self.stats.inst_misses)),
+                    ("writebacks_to_mem", snapshot::u64_json(self.stats.writebacks_to_mem)),
+                    ("prefetches", snapshot::u64_json(self.stats.prefetches)),
+                ]),
+            ),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        let l1d = Cache::decode(snapshot::field(data, "l1d")?)?;
+        let l1i = Cache::decode(snapshot::field(data, "l1i")?)?;
+        let l2 = Cache::decode(snapshot::field(data, "l2")?)?;
+        let bank_free = snapshot::get_u64s(data, "bank_free")?;
+        let mshr_release = snapshot::get_u64s(data, "mshr_release")?;
+        if bank_free.is_empty() || bank_free.len() > u32::MAX as usize {
+            return Err(SnapshotError::Bad("bank_free"));
+        }
+        if mshr_release.is_empty() || mshr_release.len() > u32::MAX as usize {
+            return Err(SnapshotError::Bad("mshr_release"));
+        }
+        let cfg = HierarchyConfig {
+            l1d: *l1d.config(),
+            l1i: *l1i.config(),
+            l2: *l2.config(),
+            l1_latency: snapshot::get_u64(data, "l1_latency")?,
+            l2_latency: snapshot::get_u64(data, "l2_latency")?,
+            mem_latency: snapshot::get_u64(data, "mem_latency")?,
+            mshrs: mshr_release.len() as u32,
+            banks: bank_free.len() as u32,
+            fill_cycles: snapshot::get_u64(data, "fill_cycles")?,
+            mem_cycles_per_access: snapshot::get_u64(data, "mem_cycles_per_access")?,
+        };
+        let lines = snapshot::get_u64s(data, "inflight_lines")?;
+        let fills = snapshot::get_u64s(data, "inflight_fills")?;
+        if lines.len() != fills.len() {
+            return Err(SnapshotError::Bad("inflight"));
+        }
+        let stats = snapshot::field(data, "stats")?;
+        Ok(MemoryHierarchy {
+            cfg,
+            l1d,
+            l1i,
+            l2,
+            bank_free,
+            mshr_release,
+            mem_next_free: snapshot::get_u64(data, "mem_next_free")?,
+            inflight: lines.into_iter().zip(fills).collect(),
+            pending_writebacks: snapshot::get_u64(data, "pending_writebacks")?,
+            stats: HierStats {
+                data_refs: snapshot::get_u64(stats, "data_refs")?,
+                l1d_misses_to_l2: snapshot::get_u64(stats, "l1d_misses_to_l2")?,
+                l1d_misses_to_mem: snapshot::get_u64(stats, "l1d_misses_to_mem")?,
+                inst_misses: snapshot::get_u64(stats, "inst_misses")?,
+                writebacks_to_mem: snapshot::get_u64(stats, "writebacks_to_mem")?,
+                prefetches: snapshot::get_u64(stats, "prefetches")?,
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -506,6 +601,32 @@ mod tests {
         m.prefetch_inst(0x2_0000);
         assert_eq!(m.stats().inst_misses, 0, "prefetches are not demand misses");
         assert_eq!(m.probe_inst(0x2_0000), HitLevel::L1, "line was installed");
+    }
+
+    #[test]
+    fn snapshot_round_trip_resumes_identical_timing() {
+        // Drive two hierarchies into a mid-miss state (MSHRs occupied,
+        // in-flight fills, pending bandwidth), snapshot one through the wire,
+        // and check that identical subsequent traffic times identically.
+        let mut a = h();
+        let p1 = a.probe_data(0x1000, false);
+        let p2 = a.probe_data(0x8000_1000, false);
+        a.schedule_data(p1, 0);
+        a.schedule_data(p2, 3);
+        let wire = a.to_wire().pretty();
+        let mut b =
+            MemoryHierarchy::from_wire(&imo_util::json::parse(&wire).unwrap()).expect("decodes");
+        assert_eq!(b.to_wire(), a.to_wire(), "re-encoding is byte-stable");
+        assert_eq!(b.config(), a.config());
+        assert_eq!(b.stats(), a.stats());
+        // Same-line miss merges with the restored in-flight fill...
+        let pa = a.probe_data(0x1008, false);
+        let pb = b.probe_data(0x1008, false);
+        assert_eq!(a.schedule_data(pa, 5), b.schedule_data(pb, 5));
+        // ...and a fresh memory miss sees the same bandwidth/MSHR backlog.
+        let qa = a.probe_data(0x4000_0000, false);
+        let qb = b.probe_data(0x4000_0000, false);
+        assert_eq!(a.schedule_data(qa, 6), b.schedule_data(qb, 6));
     }
 
     #[test]

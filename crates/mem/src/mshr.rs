@@ -11,10 +11,26 @@
 //! acted as an L2 prefetch.
 
 use crate::cache::Cache;
+use imo_util::json::Json;
+use imo_util::snapshot::{self, Snapshot, SnapshotError};
 
 /// Identifies an allocated MSHR entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct MshrId(usize);
+
+impl MshrId {
+    /// The raw register index (for checkpoint encoding).
+    pub fn raw(self) -> usize {
+        self.0
+    }
+
+    /// Rebuilds an id from [`MshrId::raw`] (checkpoint decoding). The caller
+    /// is responsible for the index referring to the same [`MshrFile`] the
+    /// raw value was taken from.
+    pub fn from_raw(index: usize) -> MshrId {
+        MshrId(index)
+    }
+}
 
 /// MSHR deallocation policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -245,6 +261,91 @@ impl MshrFile {
     }
 }
 
+impl Snapshot for MshrFile {
+    const KIND: &'static str = "mem.mshr_file";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> Json {
+        let states: Vec<u64> = self
+            .entries
+            .iter()
+            .map(|e| match e.state {
+                EntryState::Free => 0,
+                EntryState::Pending => 1,
+                EntryState::Filled => 2,
+            })
+            .collect();
+        let lines: Vec<u64> = self.entries.iter().map(|e| e.line).collect();
+        let refs: Vec<u64> = self.entries.iter().map(|e| e.refs as u64).collect();
+        let graduated: Vec<u64> = self.entries.iter().map(|e| e.any_graduated as u64).collect();
+        Json::obj([
+            (
+                "mode",
+                snapshot::u64_json(match self.mode {
+                    MshrMode::Standard => 0,
+                    MshrMode::ExtendedLifetime => 1,
+                }),
+            ),
+            ("states", snapshot::u64s_json(&states)),
+            ("lines", snapshot::u64s_json(&lines)),
+            ("refs", snapshot::u64s_json(&refs)),
+            ("graduated", snapshot::u64s_json(&graduated)),
+            (
+                "stats",
+                Json::obj([
+                    ("allocations", snapshot::u64_json(self.stats.allocations)),
+                    ("merges", snapshot::u64_json(self.stats.merges)),
+                    ("full_rejections", snapshot::u64_json(self.stats.full_rejections)),
+                    ("squash_invalidations", snapshot::u64_json(self.stats.squash_invalidations)),
+                    ("peak_in_use", snapshot::u64_json(self.stats.peak_in_use as u64)),
+                ]),
+            ),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        let mode = match snapshot::get_u64(data, "mode")? {
+            0 => MshrMode::Standard,
+            1 => MshrMode::ExtendedLifetime,
+            _ => return Err(SnapshotError::Bad("mode")),
+        };
+        let states = snapshot::get_u64s(data, "states")?;
+        let lines = snapshot::get_u64s(data, "lines")?;
+        let refs = snapshot::get_u64s(data, "refs")?;
+        let graduated = snapshot::get_u64s(data, "graduated")?;
+        let n = states.len();
+        if n == 0 || lines.len() != n || refs.len() != n || graduated.len() != n {
+            return Err(SnapshotError::Bad("entry columns"));
+        }
+        let mut entries = Vec::with_capacity(n);
+        for i in 0..n {
+            entries.push(Entry {
+                state: match states[i] {
+                    0 => EntryState::Free,
+                    1 => EntryState::Pending,
+                    2 => EntryState::Filled,
+                    _ => return Err(SnapshotError::Bad("states")),
+                },
+                line: lines[i],
+                refs: u32::try_from(refs[i]).map_err(|_| SnapshotError::Bad("refs"))?,
+                any_graduated: graduated[i] != 0,
+            });
+        }
+        let stats = snapshot::field(data, "stats")?;
+        Ok(MshrFile {
+            entries,
+            mode,
+            stats: MshrStats {
+                allocations: snapshot::get_u64(stats, "allocations")?,
+                merges: snapshot::get_u64(stats, "merges")?,
+                full_rejections: snapshot::get_u64(stats, "full_rejections")?,
+                squash_invalidations: snapshot::get_u64(stats, "squash_invalidations")?,
+                peak_in_use: snapshot::get_u32(stats, "peak_in_use")?,
+            },
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -352,6 +453,40 @@ mod tests {
         }
         assert_eq!(m.in_use(), 0);
         assert_eq!(m.stats().peak_in_use, 3);
+    }
+
+    #[test]
+    fn snapshot_round_trip_mid_miss() {
+        // One filled entry with a merged reference, one pending entry.
+        let mut m = MshrFile::new(4, MshrMode::ExtendedLifetime);
+        let a = m.allocate(0x40).unwrap();
+        let _ = m.allocate(0x40).unwrap();
+        let b = m.allocate(0x80).unwrap();
+        m.note_fill(a);
+        m.graduate(a);
+        let wire = m.to_wire().pretty();
+        let mut back =
+            MshrFile::from_wire(&imo_util::json::parse(&wire).unwrap()).expect("decodes");
+        assert_eq!(back.to_wire(), m.to_wire(), "re-encoding is byte-stable");
+        assert_eq!(back.mode(), m.mode());
+        assert_eq!(back.stats(), m.stats());
+        assert_eq!(back.in_use(), m.in_use());
+        assert_eq!(back.find(0x40), Some(a));
+        assert_eq!(back.find(0x80), Some(b));
+        // The restored file finishes the protocol exactly like the original.
+        let mut c = l1();
+        c.access(0x40, false);
+        assert_eq!(back.squash(a, &mut c), None, "graduated ref protects the line");
+        back.note_fill(b);
+        back.graduate(b);
+        assert_eq!(back.in_use(), 0);
+    }
+
+    #[test]
+    fn mshr_id_raw_round_trip() {
+        let mut m = MshrFile::new(2, MshrMode::ExtendedLifetime);
+        let id = m.allocate(0x100).unwrap();
+        assert_eq!(MshrId::from_raw(id.raw()), id);
     }
 
     #[test]

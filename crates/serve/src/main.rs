@@ -1,0 +1,411 @@
+//! `imo-serve` — the sweep job server.
+//!
+//! A long-running binary that turns the bench harness's
+//! [`imo_bench::sweep::CpuCell`] sweeps into a service: clients connect over loopback TCP, submit a
+//! `serve.sweep` frame (one line of compact JSON), and receive one
+//! `serve.done` frame per cell **in input-index order**. Cells are sharded
+//! across a pool of worker subprocesses (`imo-serve --worker`), each running
+//! the same deterministic simulation the in-process path runs — results are
+//! bit-identical, which `ci_gate --serve` asserts against the committed
+//! `BENCH_*.json` files.
+//!
+//! Modes:
+//!
+//! * *(default)* server: `imo-serve [--addr 127.0.0.1:0] [--workers N]` —
+//!   binds, prints `listening on ADDR` to stdout, serves forever. All
+//!   logging goes to stderr; stdout carries only the address line.
+//! * `--worker`: internal; reads `serve.job` frames from stdin, writes
+//!   `serve.done` frames to stdout. Spawned by the server, never by hand.
+//! * `--smoke`: self-test; starts a server subprocess, pushes two small
+//!   shards through it (one with checkpoint-based preemption), compares
+//!   against in-process results bit-for-bit, and hits `/status`.
+//!
+//! A `GET /status` HTTP request on the same port returns the server's
+//! [`MetricsRegistry`] as JSON (sweeps accepted, cells dispatched and
+//! completed, worker failures).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
+
+use std::collections::BTreeMap;
+use std::env;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{mpsc, Mutex};
+use std::thread;
+
+use imo_bench::serve::{
+    run_cell, run_cells_via_server, CellDone, CellJob, ServeError, SweepRequest,
+};
+use imo_bench::sweep::cpu_cells;
+use imo_core::experiment::{figure2_variants, ExperimentResult};
+use imo_obs::MetricsRegistry;
+use imo_util::json::{parse, Json};
+use imo_util::snapshot::Snapshot;
+use imo_workloads::Scale;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:0".to_string();
+    let mut workers = default_workers();
+    let mut mode = "server";
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--worker" => mode = "worker",
+            "--smoke" => mode = "smoke",
+            "--addr" => addr = it.next().expect("--addr needs a value").clone(),
+            "--workers" => {
+                workers = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|n| *n > 0)
+                    .expect("--workers needs a positive number");
+            }
+            other => {
+                eprintln!("imo-serve: unknown argument `{other}`");
+                eprintln!("usage: imo-serve [--addr HOST:PORT] [--workers N] [--worker|--smoke]");
+                std::process::exit(2);
+            }
+        }
+    }
+    match mode {
+        "worker" => worker_main(),
+        "smoke" => smoke(workers),
+        _ => server_main(&addr, workers),
+    }
+}
+
+/// Default worker-pool size: leave a core for the server itself.
+fn default_workers() -> usize {
+    thread::available_parallelism().map_or(2, |n| n.get().saturating_sub(1).clamp(1, 8))
+}
+
+// ---------------------------------------------------------------------------
+// Worker mode: line-JSON jobs on stdin, line-JSON results on stdout.
+// ---------------------------------------------------------------------------
+
+/// Runs `serve.job` frames from stdin until EOF. A malformed frame produces
+/// a `serve.error` frame; a simulation failure panics (the server turns the
+/// resulting EOF into a client-visible error).
+fn worker_main() {
+    let stdin = io::stdin();
+    let mut out = io::stdout().lock();
+    for line in stdin.lock().lines() {
+        let line = line.expect("worker stdin");
+        if line.trim().is_empty() {
+            continue;
+        }
+        let frame = match parse(&line)
+            .map_err(|e| e.to_string())
+            .and_then(|j| CellJob::from_wire(&j).map_err(|e| format!("{e:?}")))
+        {
+            Ok(job) => {
+                let result = run_cell(&job.cell, job.preempt_every);
+                CellDone { index: job.index, result }.to_wire()
+            }
+            Err(msg) => ServeError { message: format!("bad job frame: {msg}") }.to_wire(),
+        };
+        writeln!(out, "{}", frame.compact()).expect("worker stdout");
+        out.flush().expect("worker stdout flush");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Server mode.
+// ---------------------------------------------------------------------------
+
+/// One worker subprocess with its job/result pipes.
+struct Worker {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl Worker {
+    fn spawn() -> io::Result<Worker> {
+        let exe = env::current_exe()?;
+        let mut child = Command::new(exe)
+            .arg("--worker")
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()?;
+        let grab = |side: &str| io::Error::other(format!("worker {side}"));
+        let stdin = child.stdin.take().ok_or_else(|| grab("stdin"))?;
+        let stdout = child.stdout.take().ok_or_else(|| grab("stdout"))?;
+        Ok(Worker { child, stdin, stdout: BufReader::new(stdout) })
+    }
+
+    /// Sends one pre-encoded job line and reads the one result line.
+    fn run_job(&mut self, job_line: &str) -> Result<String, String> {
+        writeln!(self.stdin, "{job_line}").map_err(|e| format!("writing job: {e}"))?;
+        self.stdin.flush().map_err(|e| format!("flushing job: {e}"))?;
+        let mut resp = String::new();
+        match self.stdout.read_line(&mut resp) {
+            Ok(0) => Err("worker exited mid-job".to_string()),
+            Ok(_) => Ok(resp.trim_end().to_string()),
+            Err(e) => Err(format!("reading result: {e}")),
+        }
+    }
+
+    fn alive(&mut self) -> bool {
+        matches!(self.child.try_wait(), Ok(None))
+    }
+}
+
+/// Shared server state: the worker pool (held for the duration of a sweep,
+/// so sweeps serialize) and the metrics behind `/status`.
+struct Server {
+    worker_count: usize,
+    workers: Mutex<Vec<Worker>>,
+    metrics: Mutex<MetricsRegistry>,
+}
+
+impl Server {
+    fn count(&self, name: &str, delta: u64) {
+        self.metrics.lock().expect("metrics lock").count(name, delta);
+    }
+}
+
+fn server_main(addr: &str, worker_count: usize) {
+    let listener =
+        TcpListener::bind(addr).unwrap_or_else(|e| panic!("imo-serve: binding {addr}: {e}"));
+    let local = listener.local_addr().expect("local addr");
+    let workers: Vec<Worker> = (0..worker_count)
+        .map(|i| Worker::spawn().unwrap_or_else(|e| panic!("spawning worker {i}: {e}")))
+        .collect();
+    eprintln!("imo-serve: {worker_count} workers, listening on {local}");
+    // The contract with clients (ci_gate --serve, the smoke test): stdout's
+    // first and only line announces the bound address.
+    println!("listening on {local}");
+    io::stdout().flush().expect("stdout flush");
+
+    let server = Server {
+        worker_count,
+        workers: Mutex::new(workers),
+        metrics: Mutex::new(MetricsRegistry::new()),
+    };
+    thread::scope(|s| {
+        for conn in listener.incoming() {
+            match conn {
+                Ok(stream) => {
+                    let server = &server;
+                    s.spawn(move || {
+                        if let Err(e) = handle_conn(server, stream) {
+                            eprintln!("imo-serve: connection error: {e}");
+                        }
+                    });
+                }
+                Err(e) => eprintln!("imo-serve: accept error: {e}"),
+            }
+        }
+    });
+}
+
+fn handle_conn(server: &Server, stream: TcpStream) -> io::Result<()> {
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut first = String::new();
+    if reader.read_line(&mut first)? == 0 {
+        return Ok(());
+    }
+    if first.starts_with("GET ") {
+        serve_status(server, stream, reader)
+    } else {
+        handle_sweep(server, stream, first.trim_end())
+    }
+}
+
+/// Answers `GET /status`: the metrics registry as an HTTP/JSON snapshot.
+/// Reads only the metrics lock, so status stays responsive mid-sweep.
+fn serve_status(
+    server: &Server,
+    mut stream: TcpStream,
+    mut reader: BufReader<TcpStream>,
+) -> io::Result<()> {
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 || line.trim().is_empty() {
+            break;
+        }
+    }
+    let metrics = server.metrics.lock().expect("metrics lock").to_json();
+    let body = Json::obj([("workers", Json::from(server.worker_count)), ("metrics", metrics)])
+        .pretty()
+        + "\n";
+    server.count("status_requests", 1);
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Runs one sweep: shards the cells across the worker pool (each worker
+/// pulls the next undispatched cell — dynamic load balancing), reorders
+/// completions through a [`BTreeMap`] buffer, and streams `serve.done`
+/// frames to the client strictly in input-index order.
+fn handle_sweep(server: &Server, mut stream: TcpStream, first: &str) -> io::Result<()> {
+    let req = match parse(first)
+        .map_err(|e| e.to_string())
+        .and_then(|j| SweepRequest::from_wire(&j).map_err(|e| format!("{e:?}")))
+    {
+        Ok(req) => req,
+        Err(msg) => {
+            let frame = ServeError { message: format!("bad sweep frame: {msg}") }.to_wire();
+            writeln!(stream, "{}", frame.compact())?;
+            return stream.flush();
+        }
+    };
+    let n = req.cells.len();
+    eprintln!("imo-serve: sweep `{}`: {n} cells (preempt {:?})", req.name, req.preempt_every);
+    server.count("sweeps", 1);
+    if n == 0 {
+        return stream.flush();
+    }
+
+    let jobs: Vec<String> = req
+        .cells
+        .iter()
+        .enumerate()
+        .map(|(i, cell)| {
+            CellJob { index: i as u64, cell: cell.clone(), preempt_every: req.preempt_every }
+                .to_wire()
+                .compact()
+        })
+        .collect();
+
+    // Taking the pool for the whole sweep serializes sweeps; `/status` only
+    // needs the metrics lock and stays live.
+    let mut pool = server.workers.lock().expect("worker pool lock");
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Result<String, String>)>();
+    let mut result: io::Result<()> = Ok(());
+    thread::scope(|s| {
+        for w in pool.iter_mut() {
+            let tx = tx.clone();
+            let (jobs, next, server) = (&jobs, &next, &server);
+            s.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::SeqCst);
+                if i >= jobs.len() {
+                    break;
+                }
+                server.count("cells_dispatched", 1);
+                let res = w.run_job(&jobs[i]);
+                let failed = res.is_err();
+                if tx.send((i, res)).is_err() || failed {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+
+        let mut buffer: BTreeMap<usize, String> = BTreeMap::new();
+        let mut next_emit = 0usize;
+        while next_emit < n {
+            let frame_err = match rx.recv() {
+                Ok((_, Ok(line))) if line.is_empty() => Some("worker sent empty frame".to_string()),
+                Ok((i, Ok(line))) => {
+                    buffer.insert(i, line);
+                    server.count("cells_completed", 1);
+                    while let Some(line) = buffer.remove(&next_emit) {
+                        if let Err(e) = writeln!(stream, "{line}") {
+                            result = Err(e);
+                            return;
+                        }
+                        next_emit += 1;
+                    }
+                    None
+                }
+                Ok((i, Err(msg))) => {
+                    server.count("worker_failures", 1);
+                    Some(format!("cell {i}: {msg}"))
+                }
+                Err(_) => Some("all workers exited".to_string()),
+            };
+            if let Some(msg) = frame_err {
+                eprintln!("imo-serve: sweep `{}`: {msg}", req.name);
+                let frame = ServeError { message: msg }.to_wire();
+                result = writeln!(stream, "{}", frame.compact()).and_then(|()| stream.flush());
+                return;
+            }
+        }
+        result = stream.flush();
+    });
+
+    // Replace any worker that died mid-sweep so the pool stays full.
+    for w in pool.iter_mut() {
+        if !w.alive() {
+            eprintln!("imo-serve: respawning dead worker");
+            match Worker::spawn() {
+                Ok(fresh) => *w = fresh,
+                Err(e) => eprintln!("imo-serve: respawn failed: {e}"),
+            }
+        }
+    }
+    result
+}
+
+// ---------------------------------------------------------------------------
+// Smoke mode: end-to-end self-test against the in-process path.
+// ---------------------------------------------------------------------------
+
+/// Starts a server subprocess, runs two shards through it (the second with
+/// checkpoint-based preemption), asserts bit-identity with the in-process
+/// path, and checks `/status`. Prints `serve smoke ok` on success.
+fn smoke(workers: usize) {
+    let exe = env::current_exe().expect("current_exe");
+    let mut child = Command::new(&exe)
+        .args(["--addr", "127.0.0.1:0", "--workers", &workers.to_string()])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawning smoke server");
+    let mut stdout = BufReader::new(child.stdout.take().expect("server stdout"));
+    let mut line = String::new();
+    stdout.read_line(&mut line).expect("reading listening line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected server banner: {line:?}"))
+        .to_string();
+
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| smoke_body(&addr)));
+    let _ = child.kill();
+    let _ = child.wait();
+    match outcome {
+        Ok(()) => println!("serve smoke ok"),
+        Err(e) => std::panic::resume_unwind(e),
+    }
+}
+
+fn smoke_body(addr: &str) {
+    // Shard 1: ora + compress on both machines, no preemption. The direct
+    // results are the in-process ground truth the server must reproduce.
+    let cells = cpu_cells(&["ora", "compress"], Scale::Test, &figure2_variants());
+    let direct: Vec<ExperimentResult> = cells.iter().map(|c| run_cell(c, None)).collect();
+    let served = run_cells_via_server(addr, "smoke", cells);
+    assert_eq!(served, direct, "served shard must be bit-identical to in-process");
+    eprintln!("smoke: plain shard ok ({} cells)", served.len());
+
+    // Shard 2: ora on both machines with preemption — every worker-side run
+    // is sliced through checkpoint wire round trips and must still match.
+    env::set_var("IMO_SERVE_PREEMPT", "5000");
+    let cells = cpu_cells(&["ora"], Scale::Test, &figure2_variants());
+    let served = run_cells_via_server(addr, "smoke-preempt", cells);
+    env::remove_var("IMO_SERVE_PREEMPT");
+    assert_eq!(served, direct[..2], "preempted shard must be bit-identical");
+    eprintln!("smoke: preempted shard ok ({} cells)", served.len());
+
+    let mut stream = TcpStream::connect(addr).expect("status connect");
+    write!(stream, "GET /status HTTP/1.0\r\n\r\n").expect("status request");
+    stream.flush().expect("status flush");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("status response");
+    assert!(response.starts_with("HTTP/1.1 200 OK"), "status must answer 200: {response}");
+    assert!(response.contains("cells_completed"), "status must expose metrics: {response}");
+    eprintln!("smoke: /status ok");
+}

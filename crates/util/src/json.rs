@@ -84,6 +84,44 @@ impl Json {
         out
     }
 
+    /// Renders on a single line with no indentation — one frame of a
+    /// line-delimited JSON protocol. Strings escape embedded control
+    /// characters, so the output never contains a raw newline.
+    #[must_use]
+    pub fn compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Num(_) | Json::Str(_) => self.write(out, 0),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_str(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -428,6 +466,20 @@ mod tests {
             ("empty_obj", Json::Obj(vec![])),
         ]);
         assert_eq!(parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn compact_is_single_line_and_reparses() {
+        let v = Json::obj([
+            ("s", Json::from("a\nb")),
+            ("rows", Json::arr([Json::from(1u64), Json::Null, Json::Bool(true)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let line = v.compact();
+        assert!(!line.contains('\n'), "one protocol frame per line: {line}");
+        assert_eq!(line, r#"{"s":"a\nb","rows":[1,null,true],"empty_arr":[],"empty_obj":{}}"#);
+        assert_eq!(parse(&line).unwrap(), v);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`pool`] — a scoped `std::thread` work-stealing pool whose
 //!   `map_indexed` returns results in input order, so parallel sweeps are
 //!   byte-identical to serial ones.
+//! * [`snapshot`] — the versioned checkpoint wire format: a [`Snapshot`]
+//!   trait over the in-tree JSON with exact `u64`/`f64` encodings, so live
+//!   simulation state can pause and resume bit-deterministically.
 //! * [`table`] — the aligned text-table renderer shared by the pipeline
 //!   trace dump, the bench reports and the coherence example.
 //!
@@ -36,6 +39,7 @@ pub mod hash;
 pub mod json;
 pub mod pool;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod table;
 
@@ -45,5 +49,6 @@ pub use hash::{debug_hash, fnv1a_64};
 pub use json::Json;
 pub use pool::Pool;
 pub use rng::SmallRng;
+pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{Report, SlotBreakdown, Summarize};
 pub use table::Table;

@@ -1,0 +1,371 @@
+//! Versioned snapshot (checkpoint) encoding on top of the in-tree JSON.
+//!
+//! Every piece of live simulation state that can be paused and resumed —
+//! architectural registers, cache arrays, MSHR files, scheduler queues, the
+//! pipeline structures of both CPU models — implements [`Snapshot`]: a typed
+//! encode/decode pair over [`Json`] plus a versioned wire envelope
+//! (`{"snapshot": KIND, "version": N, "data": …}`) that is checked on load,
+//! so a checkpoint written by one build is either restored exactly or
+//! rejected with a typed [`SnapshotError`], never silently misread.
+//!
+//! ## Encoding conventions
+//!
+//! JSON numbers are `f64`, so integers above 2^53 and exact float bit
+//! patterns cannot ride on [`Json::Num`]. The helpers here fix one wire
+//! discipline for all implementors:
+//!
+//! * `u64` → lowercase hex **string** (`"1a2b"`), exact for all 64 bits;
+//! * `f64` → 16-hex-digit **bit pattern** string, exact for NaN payloads
+//!   and signed zeros alike;
+//! * bulk `u64` arrays (register files, cache tag arrays, memory pages) →
+//!   one string of concatenated fixed-width 16-hex-digit groups;
+//! * maps are encoded in sorted key order so the same state always renders
+//!   byte-identical wire text.
+
+use std::fmt;
+
+use crate::json::Json;
+
+/// Why a snapshot failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// The wire envelope names a different state kind.
+    Kind {
+        /// The kind the decoder expected.
+        expected: &'static str,
+        /// The kind found in the envelope.
+        found: String,
+    },
+    /// The wire envelope carries an incompatible format version.
+    Version {
+        /// The snapshot kind being decoded.
+        kind: &'static str,
+        /// The version the decoder implements.
+        expected: u32,
+        /// The version found in the envelope.
+        found: u64,
+    },
+    /// A required field is absent.
+    Missing(&'static str),
+    /// A field is present but malformed (wrong JSON type, bad hex, value
+    /// out of range, …).
+    Bad(&'static str),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Kind { expected, found } => {
+                write!(f, "snapshot kind mismatch: expected `{expected}`, found `{found}`")
+            }
+            SnapshotError::Version { kind, expected, found } => {
+                write!(f, "snapshot `{kind}` version mismatch: expected {expected}, found {found}")
+            }
+            SnapshotError::Missing(k) => write!(f, "snapshot field `{k}` missing"),
+            SnapshotError::Bad(k) => write!(f, "snapshot field `{k}` malformed"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// State that can be serialized to a versioned JSON wire format and
+/// restored bit-exactly.
+///
+/// Implementors provide [`Snapshot::encode`]/[`Snapshot::decode`] over the
+/// *body*; the provided [`Snapshot::to_wire`]/[`Snapshot::from_wire`] wrap
+/// the body in the `{"snapshot", "version", "data"}` envelope and check
+/// kind and version on load.
+pub trait Snapshot: Sized {
+    /// Stable name of this state kind on the wire.
+    const KIND: &'static str;
+    /// Wire-format version; bump on any incompatible encoding change.
+    const VERSION: u32;
+
+    /// Encodes the state body (without the envelope).
+    fn encode(&self) -> Json;
+
+    /// Decodes a state body produced by [`Snapshot::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] if a field is missing or malformed.
+    fn decode(data: &Json) -> Result<Self, SnapshotError>;
+
+    /// The state wrapped in the versioned wire envelope.
+    fn to_wire(&self) -> Json {
+        Json::obj([
+            ("snapshot", Json::from(Self::KIND)),
+            ("version", Json::from(u64::from(Self::VERSION))),
+            ("data", self.encode()),
+        ])
+    }
+
+    /// Unwraps and checks the envelope, then decodes the body.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SnapshotError`] on a kind or version mismatch, or if the
+    /// body fails to decode.
+    fn from_wire(wire: &Json) -> Result<Self, SnapshotError> {
+        let kind = wire
+            .get("snapshot")
+            .and_then(Json::as_str)
+            .ok_or(SnapshotError::Missing("snapshot"))?;
+        if kind != Self::KIND {
+            return Err(SnapshotError::Kind { expected: Self::KIND, found: kind.to_string() });
+        }
+        let version =
+            wire.get("version").and_then(Json::as_f64).ok_or(SnapshotError::Missing("version"))?;
+        if version != f64::from(Self::VERSION) {
+            return Err(SnapshotError::Version {
+                kind: Self::KIND,
+                expected: Self::VERSION,
+                found: version as u64,
+            });
+        }
+        Self::decode(wire.get("data").ok_or(SnapshotError::Missing("data"))?)
+    }
+}
+
+/// A `u64` as its exact hex-string encoding.
+#[must_use]
+pub fn u64_json(v: u64) -> Json {
+    Json::Str(format!("{v:x}"))
+}
+
+/// An `f64` as its exact 16-hex-digit bit pattern.
+#[must_use]
+pub fn f64_json(v: f64) -> Json {
+    Json::Str(format!("{:016x}", v.to_bits()))
+}
+
+/// A `u64` slice as one string of fixed-width 16-hex-digit groups.
+#[must_use]
+pub fn u64s_json(vs: &[u64]) -> Json {
+    let mut s = String::with_capacity(vs.len() * 16);
+    for v in vs {
+        use fmt::Write as _;
+        let _ = write!(s, "{v:016x}");
+    }
+    Json::Str(s)
+}
+
+/// Looks up a required field of an object body.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError::Missing`] if the key is absent.
+pub fn field<'a>(data: &'a Json, key: &'static str) -> Result<&'a Json, SnapshotError> {
+    data.get(key).ok_or(SnapshotError::Missing(key))
+}
+
+/// Decodes a required hex-string `u64` field.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] if the field is absent or not valid hex.
+pub fn get_u64(data: &Json, key: &'static str) -> Result<u64, SnapshotError> {
+    let s = field(data, key)?.as_str().ok_or(SnapshotError::Bad(key))?;
+    u64::from_str_radix(s, 16).map_err(|_| SnapshotError::Bad(key))
+}
+
+/// Decodes a required hex-string `u32` field.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] if the field is absent, not valid hex, or out
+/// of range.
+pub fn get_u32(data: &Json, key: &'static str) -> Result<u32, SnapshotError> {
+    u32::try_from(get_u64(data, key)?).map_err(|_| SnapshotError::Bad(key))
+}
+
+/// Decodes a required hex-string `usize` field.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] if the field is absent, not valid hex, or out
+/// of range.
+pub fn get_usize(data: &Json, key: &'static str) -> Result<usize, SnapshotError> {
+    usize::try_from(get_u64(data, key)?).map_err(|_| SnapshotError::Bad(key))
+}
+
+/// Decodes a required bit-pattern `f64` field written by [`f64_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] if the field is absent or not a 64-bit hex
+/// pattern.
+pub fn get_f64(data: &Json, key: &'static str) -> Result<f64, SnapshotError> {
+    Ok(f64::from_bits(get_u64(data, key)?))
+}
+
+/// Decodes a required boolean field.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] if the field is absent or not a JSON boolean.
+pub fn get_bool(data: &Json, key: &'static str) -> Result<bool, SnapshotError> {
+    match field(data, key)? {
+        Json::Bool(b) => Ok(*b),
+        _ => Err(SnapshotError::Bad(key)),
+    }
+}
+
+/// Decodes a required string field.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] if the field is absent or not a string.
+pub fn get_str<'a>(data: &'a Json, key: &'static str) -> Result<&'a str, SnapshotError> {
+    field(data, key)?.as_str().ok_or(SnapshotError::Bad(key))
+}
+
+/// Decodes an optional hex-string `u64` field (`null` ⇒ `None`).
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] if the field is absent or malformed.
+pub fn get_opt_u64(data: &Json, key: &'static str) -> Result<Option<u64>, SnapshotError> {
+    match field(data, key)? {
+        Json::Null => Ok(None),
+        Json::Str(s) => u64::from_str_radix(s, 16).map(Some).map_err(|_| SnapshotError::Bad(key)),
+        _ => Err(SnapshotError::Bad(key)),
+    }
+}
+
+/// An optional `u64` as `null` or its hex string.
+#[must_use]
+pub fn opt_u64_json(v: Option<u64>) -> Json {
+    v.map_or(Json::Null, u64_json)
+}
+
+/// Decodes a fixed-width hex-group string written by [`u64s_json`].
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] if the field is absent, its length is not a
+/// multiple of 16, or any group is not valid hex.
+pub fn get_u64s(data: &Json, key: &'static str) -> Result<Vec<u64>, SnapshotError> {
+    let s = field(data, key)?.as_str().ok_or(SnapshotError::Bad(key))?;
+    if s.len() % 16 != 0 || !s.is_ascii() {
+        return Err(SnapshotError::Bad(key));
+    }
+    s.as_bytes()
+        .chunks(16)
+        .map(|c| {
+            std::str::from_utf8(c)
+                .ok()
+                .and_then(|t| u64::from_str_radix(t, 16).ok())
+                .ok_or(SnapshotError::Bad(key))
+        })
+        .collect()
+}
+
+/// Decodes a required array field, mapping each element.
+///
+/// # Errors
+///
+/// Returns [`SnapshotError`] if the field is absent, not an array, or any
+/// element fails to decode.
+pub fn get_arr<T>(
+    data: &Json,
+    key: &'static str,
+    f: impl Fn(&Json) -> Result<T, SnapshotError>,
+) -> Result<Vec<T>, SnapshotError> {
+    field(data, key)?.as_arr().ok_or(SnapshotError::Bad(key))?.iter().map(f).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Demo {
+        a: u64,
+        b: f64,
+        c: Vec<u64>,
+        d: Option<u64>,
+    }
+
+    impl Snapshot for Demo {
+        const KIND: &'static str = "demo";
+        const VERSION: u32 = 3;
+
+        fn encode(&self) -> Json {
+            Json::obj([
+                ("a", u64_json(self.a)),
+                ("b", f64_json(self.b)),
+                ("c", u64s_json(&self.c)),
+                ("d", opt_u64_json(self.d)),
+            ])
+        }
+
+        fn decode(data: &Json) -> Result<Self, SnapshotError> {
+            Ok(Demo {
+                a: get_u64(data, "a")?,
+                b: get_f64(data, "b")?,
+                c: get_u64s(data, "c")?,
+                d: get_opt_u64(data, "d")?,
+            })
+        }
+    }
+
+    #[test]
+    fn wire_round_trip_is_exact() {
+        let d = Demo { a: u64::MAX, b: -0.0, c: vec![0, 1, u64::MAX, 0xdead_beef], d: Some(7) };
+        let text = d.to_wire().pretty();
+        let back = Demo::from_wire(&crate::json::parse(&text).expect("parses")).expect("decodes");
+        assert_eq!(back, d);
+        assert_eq!(back.b.to_bits(), (-0.0f64).to_bits(), "signed zero preserved");
+    }
+
+    #[test]
+    fn nan_payload_round_trips() {
+        let d = Demo { a: 0, b: f64::from_bits(0x7ff8_0000_0000_1234), c: vec![], d: None };
+        let back = Demo::from_wire(&d.to_wire()).expect("decodes");
+        assert_eq!(back.b.to_bits(), 0x7ff8_0000_0000_1234);
+        assert_eq!(back.d, None);
+    }
+
+    #[test]
+    fn envelope_checks_kind_and_version() {
+        let d = Demo { a: 1, b: 2.0, c: vec![3], d: None };
+        let mut wire = d.to_wire();
+        if let Json::Obj(pairs) = &mut wire {
+            pairs[0].1 = Json::from("other");
+        }
+        assert!(matches!(Demo::from_wire(&wire), Err(SnapshotError::Kind { .. })));
+
+        let mut wire = d.to_wire();
+        if let Json::Obj(pairs) = &mut wire {
+            pairs[1].1 = Json::from(99u64);
+        }
+        assert!(matches!(
+            Demo::from_wire(&wire),
+            Err(SnapshotError::Version { expected: 3, found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn missing_and_malformed_fields_are_typed() {
+        let empty = Json::Obj(vec![]);
+        assert_eq!(Demo::decode(&empty), Err(SnapshotError::Missing("a")));
+        let bad = Json::obj([("a", Json::from("zz"))]);
+        assert_eq!(get_u64(&bad, "a"), Err(SnapshotError::Bad("a")));
+        let bad_len = Json::obj([("c", Json::from("abc"))]);
+        assert_eq!(get_u64s(&bad_len, "c"), Err(SnapshotError::Bad("c")));
+    }
+
+    #[test]
+    fn helper_shapes() {
+        assert_eq!(u64_json(255), Json::Str("ff".to_string()));
+        assert_eq!(u64s_json(&[1, 2]).as_str().map(str::len), Some(32));
+        assert_eq!(opt_u64_json(None), Json::Null);
+        let obj = Json::obj([("x", Json::Bool(true)), ("s", Json::from("hi"))]);
+        assert_eq!(get_bool(&obj, "x"), Ok(true));
+        assert_eq!(get_str(&obj, "s"), Ok("hi"));
+        let arr = Json::obj([("v", Json::arr([u64_json(4), u64_json(5)]))]);
+        assert_eq!(get_arr(&arr, "v", |j| Ok(j.clone())).map(|v| v.len()), Ok(2));
+    }
+}

@@ -31,4 +31,10 @@ done
 echo "-- example: observe (in-order, cache+trap mask)"
 cargo run -q --release --offline --example observe -- compress in-order cache,trap > /dev/null
 
+echo "== sweep job server smoke =="
+# Self-test: starts imo-serve on loopback, pushes a 4-cell shard (plus a
+# checkpoint-preempted shard) through TCP workers, diffs against the
+# in-process results bit-for-bit, and hits /status.
+cargo run -q --release --offline -p imo-serve -- --smoke --workers 2
+
 echo "tier1: all checks passed"

@@ -12,6 +12,11 @@
 #
 # Use this to (re)baseline after an intentional behaviour change:
 #   scripts/tier2.sh && git add BENCH_*.json
+#
+# IMO_SERVE=1 routes the ci_gate step through the sweep job server
+# (ci_gate --serve): cells are sharded across imo-serve worker
+# subprocesses over loopback TCP and must still reproduce the baselines
+# byte-identically.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -30,7 +35,7 @@ step() { # step <label> <cmd...>
 }
 
 echo "== build bench harnesses =="
-step "build" cargo build --release --offline -p imo-bench --benches --bins
+step "build" cargo build --release --offline -p imo-bench -p imo-serve --benches --bins
 
 echo "== bench matrix (${#BENCHES[@]} targets) =="
 for b in "${BENCHES[@]}"; do
@@ -39,7 +44,11 @@ done
 
 echo "== ci_gate against the regenerated tree =="
 t0=$(date +%s%N)
-gate_out=$(cargo run -q --release --offline -p imo-bench --bin ci_gate)
+if [[ "${IMO_SERVE:-}" == "1" ]]; then
+    gate_out=$(cargo run -q --release --offline -p imo-bench --bin ci_gate -- --serve)
+else
+    gate_out=$(cargo run -q --release --offline -p imo-bench --bin ci_gate)
+fi
 t1=$(date +%s%N)
 printf '%-28s %6d ms\n' "ci_gate" $(( (t1 - t0) / 1000000 ))
 

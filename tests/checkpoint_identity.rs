@@ -1,0 +1,238 @@
+//! Checkpoint identity: pausing a run at a cycle boundary and resuming it —
+//! in-process or from the JSON wire — is invisible to the simulation.
+//!
+//! `RunLimits::stop_at(c)` makes a `SimSession` run halt at the first cycle
+//! boundary at or after `c` and emit a [`Checkpoint`] instead of a result.
+//! Every test here demands that resuming the checkpoint produces a
+//! `RunResult` bit-identical to the uninterrupted run: counters, slot
+//! accounting, trap and misprediction totals, branch accuracy, all of it.
+//! The observed variants additionally demand that the CPI stack of a resumed
+//! run reconciles exactly with the uninterrupted one (and therefore with
+//! `RunResult::cycles`).
+
+use imo_faults::{FaultConfig, FaultPlan};
+use imo_util::check::Checker;
+use imo_util::ensure_eq;
+use imo_util::snapshot::Snapshot;
+use informing_memops::core::instrument::{instrument, HandlerBody, HandlerKind, Scheme};
+use informing_memops::core::Machine;
+use informing_memops::cpu::{Checkpoint, Outcome, RunLimits, RunResult, SimSession};
+use informing_memops::obs::Recorder;
+use informing_memops::util::json::{parse, Json};
+use informing_memops::workloads::{all, by_name, Scale};
+
+fn schemes() -> [(&'static str, Scheme); 3] {
+    let body = HandlerBody::Generic { len: 10 };
+    [
+        ("none", Scheme::None),
+        ("trap-10S", Scheme::Trap { handlers: HandlerKind::Single, body }),
+        ("cc-10S", Scheme::ConditionCode { handlers: HandlerKind::Single, body }),
+    ]
+}
+
+/// Serializes a checkpoint to pretty JSON text and decodes it back, as a
+/// worker process handing work to another would.
+fn wire_trip(ckpt: &Checkpoint) -> (Checkpoint, Json) {
+    let text = ckpt.to_wire().pretty();
+    let json = parse(&text).expect("checkpoint wire text parses");
+    let back = Checkpoint::from_wire(&json).expect("checkpoint wire decodes");
+    assert_eq!(back.to_wire().pretty(), text, "re-encoding is byte-stable");
+    (back, json)
+}
+
+/// True if the checkpoint was taken mid-miss: the out-of-order core's MSHR
+/// file has at least one non-free entry on the wire.
+fn mshrs_in_flight(wire: &Json) -> bool {
+    let states = wire
+        .get("data")
+        .and_then(|d| d.get("body"))
+        .and_then(|b| b.get("mshrs"))
+        .and_then(|m| m.get("data"))
+        .and_then(|d| d.get("states"))
+        .and_then(Json::as_str);
+    states.is_some_and(|s| s.bytes().any(|b| b != b'0'))
+}
+
+/// All 14 workloads x both machines x 3 schemes: pause at mid-run, cross the
+/// JSON wire, resume, and land on the uninterrupted result bit-for-bit. The
+/// matrix must include checkpoints taken with MSHRs in flight.
+#[test]
+fn all_workloads_machines_schemes_resume_bit_identically() {
+    let mut paused_cells = 0u32;
+    let mut mid_miss_cells = 0u32;
+    for spec in all() {
+        let p = (spec.build)(Scale::Test);
+        for (label, scheme) in &schemes() {
+            let inst = instrument(&p, scheme).expect("instruments");
+            for machine in [Machine::default_ooo(), Machine::default_in_order()] {
+                let baseline = machine
+                    .run_limited(&inst.program, RunLimits::default())
+                    .unwrap_or_else(|e| panic!("{}/{label}: {e}", spec.name));
+                let outcome = SimSession::new(&inst.program, machine.core_config())
+                    .limits(RunLimits::stop_at(baseline.cycles / 2))
+                    .run()
+                    .unwrap_or_else(|e| panic!("{}/{label} (stop): {e}", spec.name));
+                let resumed = match outcome {
+                    Outcome::Paused(ckpt) => {
+                        paused_cells += 1;
+                        let (back, wire) = wire_trip(&ckpt);
+                        if machine == Machine::default_ooo() && mshrs_in_flight(&wire) {
+                            mid_miss_cells += 1;
+                        }
+                        complete(
+                            SimSession::new(&inst.program, machine.core_config())
+                                .resume(&back)
+                                .unwrap_or_else(|e| panic!("{}/{label} (resume): {e}", spec.name)),
+                        )
+                    }
+                    // Tiny runs can finish before the midpoint boundary.
+                    Outcome::Complete { result, .. } => result,
+                };
+                assert_eq!(
+                    resumed,
+                    baseline,
+                    "{}/{}/{label}: checkpoint/resume must not change the simulation",
+                    spec.name,
+                    machine.name()
+                );
+            }
+        }
+    }
+    assert!(paused_cells > 50, "the matrix must actually exercise pauses ({paused_cells})");
+    assert!(
+        mid_miss_cells > 0,
+        "at least one checkpoint must be taken mid-miss with MSHRs in flight"
+    );
+}
+
+fn complete(outcome: Outcome) -> RunResult {
+    match outcome {
+        Outcome::Complete { result, .. } => result,
+        Outcome::Paused(c) => panic!("unexpected second pause at cycle {}", c.cycle()),
+    }
+}
+
+/// Observed runs: a resumed run's CPI stack must equal the uninterrupted
+/// run's exactly, and both must total `RunResult::cycles`.
+#[test]
+fn observed_resume_reconciles_cpi_exactly() {
+    let p = (by_name("compress").expect("workload exists").build)(Scale::Test);
+    let scheme =
+        Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::Generic { len: 10 } };
+    let inst = instrument(&p, &scheme).expect("instruments");
+    for machine in [Machine::default_ooo(), Machine::default_in_order()] {
+        let mut base_rec = Recorder::all();
+        let (baseline, _) =
+            machine.run_observed(&inst.program, &mut base_rec).expect("observed baseline");
+        assert_eq!(base_rec.cpi.total(), baseline.cycles, "baseline CPI covers every cycle");
+
+        let mut first_rec = Recorder::all();
+        let outcome = SimSession::new(&inst.program, machine.core_config())
+            .limits(RunLimits::stop_at(baseline.cycles / 2))
+            .recorder(&mut first_rec)
+            .run()
+            .expect("observed run pauses");
+        let Outcome::Paused(ckpt) = outcome else { panic!("must pause at midpoint") };
+
+        let mut resume_rec = Recorder::all();
+        let resumed = complete(
+            SimSession::new(&inst.program, machine.core_config())
+                .recorder(&mut resume_rec)
+                .resume(&ckpt)
+                .expect("observed resume completes"),
+        );
+        assert_eq!(resumed, baseline, "{}: observed resume result", machine.name());
+        // The CPI accumulator rides inside the checkpoint, so the recorder
+        // that witnesses completion reconciles the *whole* run, not just the
+        // tail: stack equality is exact, category by category.
+        assert_eq!(resume_rec.cpi, base_rec.cpi, "{}: CPI stacks reconcile", machine.name());
+        assert_eq!(resume_rec.cpi.total(), resumed.cycles, "{}: CPI total", machine.name());
+    }
+}
+
+/// Fault injection rides the same loops: three seeded plans pause mid-run
+/// (mid-fault-stream) on both cores, cross the wire, and resume identically.
+#[test]
+fn seeded_faulty_checkpoints_resume_identically() {
+    let p = (by_name("compress").expect("workload exists").build)(Scale::Test);
+    let scheme =
+        Scheme::Trap { handlers: HandlerKind::Single, body: HandlerBody::Generic { len: 10 } };
+    let inst = instrument(&p, &scheme).expect("instruments");
+    for seed in [1u64, 2, 3] {
+        let mut fc = FaultConfig::none(seed);
+        fc.handler_overrun_rate = 0.2;
+        fc.handler_overrun_cycles = 40;
+        fc.stale_mhar_rate = 0.1;
+        fc.stale_mhar_cycles = 25;
+        let plan = FaultPlan::new(fc);
+        for machine in [Machine::default_ooo(), Machine::default_in_order()] {
+            let baseline = complete(
+                SimSession::new(&inst.program, machine.core_config())
+                    .faults(plan)
+                    .run()
+                    .expect("faulty baseline"),
+            );
+            assert!(baseline.handler_faults > 0, "seed {seed} must actually inject faults");
+            let outcome = SimSession::new(&inst.program, machine.core_config())
+                .faults(plan)
+                .limits(RunLimits::stop_at(baseline.cycles / 2))
+                .run()
+                .expect("faulty run pauses");
+            let Outcome::Paused(ckpt) = outcome else { panic!("must pause at midpoint") };
+            let (back, _) = wire_trip(&ckpt);
+            let resumed = complete(
+                SimSession::new(&inst.program, machine.core_config())
+                    .faults(plan)
+                    .resume(&back)
+                    .expect("faulty resume completes"),
+            );
+            assert_eq!(resumed, baseline, "seed {seed} on {}", machine.name());
+        }
+    }
+}
+
+/// 32 random (workload, scheme, machine, stop-cycle) draws: arbitrary cycle
+/// boundaries, not just the midpoint, resume bit-identically.
+#[test]
+fn random_stop_cycles_resume_identically() {
+    let names: Vec<&'static str> = all().iter().map(|s| s.name).collect();
+    Checker::new("checkpoint_identity_random").cases(32).run(|g| {
+        let name = *g.pick(&names);
+        let p = (by_name(name).expect("workload exists").build)(Scale::Test);
+        let handlers = *g.pick(&[HandlerKind::Single, HandlerKind::PerReference]);
+        let body = HandlerBody::Generic { len: *g.pick(&[1u32, 10, 100]) };
+        let scheme = *g.pick(&[
+            Scheme::None,
+            Scheme::Trap { handlers, body },
+            Scheme::ConditionCode { handlers, body },
+        ]);
+        let inst = instrument(&p, &scheme).map_err(|e| format!("{name}: {e}"))?;
+        let machine = if g.bool() { Machine::default_ooo() } else { Machine::default_in_order() };
+        let baseline = machine
+            .run_limited(&inst.program, RunLimits::default())
+            .map_err(|e| format!("{name} on {}: {e}", machine.name()))?;
+        let stop = g.int(1..baseline.cycles.max(2));
+        let outcome = SimSession::new(&inst.program, machine.core_config())
+            .limits(RunLimits::stop_at(stop))
+            .run()
+            .map_err(|e| format!("{name} stop {stop}: {e}"))?;
+        let resumed = match outcome {
+            Outcome::Paused(ckpt) => {
+                ensure_eq!(ckpt.cycle() >= stop, true, "{name}: pause respects the boundary");
+                let (back, _) = wire_trip(&ckpt);
+                match SimSession::new(&inst.program, machine.core_config())
+                    .resume(&back)
+                    .map_err(|e| format!("{name} resume: {e}"))?
+                {
+                    Outcome::Complete { result, .. } => result,
+                    Outcome::Paused(c) => {
+                        return Err(format!("{name}: second pause at {}", c.cycle()))
+                    }
+                }
+            }
+            Outcome::Complete { result, .. } => result,
+        };
+        ensure_eq!(resumed, baseline, "{name} on {} stopped at {stop}", machine.name());
+        Ok(())
+    });
+}
