@@ -1,0 +1,5 @@
+//! Thin entry point; the real harness lives in `imo_bench::targets::chaos_soak`.
+
+fn main() {
+    imo_bench::targets::chaos_soak::run();
+}

@@ -1,20 +1,26 @@
 //! Wire codecs and the client side of the sweep job server (`imo-serve`).
 //!
-//! The job server shards a [`CpuCell`] matrix across worker processes, so
-//! every cell input and every [`ExperimentResult`] must cross a process
-//! boundary. This module defines that wire — line-delimited JSON frames
-//! under the [`imo_util::snapshot`] discipline (versioned envelopes, u64
-//! counters as fixed-width hex, f64 as bit patterns) so a decoded result is
+//! The job server shards a cell matrix across worker processes, so every
+//! cell input and every result must cross a process boundary. This module
+//! defines that wire — line-delimited JSON frames under the
+//! [`imo_util::snapshot`] discipline (versioned envelopes, u64 counters as
+//! fixed-width hex, f64 as bit patterns) so a decoded result is
 //! bit-identical to the in-process one — plus:
 //!
 //! * [`run_cells_via_server`] — the client [`crate::sweep::run_cpu_cells`]
-//!   routes through when `IMO_SERVE_ADDR` is set; and
-//! * [`run_cell`] — the worker-side cell runner, with optional
+//!   routes through when `IMO_SERVE_ADDR` is set, and its typed-error,
+//!   timeout-bounded core [`try_run_cells_via_server`];
+//! * [`run_cell`] — the worker-side CPU cell runner, with optional
 //!   checkpoint-based preemption: `preempt_every` makes every simulation
 //!   pause at cycle-boundary slices and resume from a JSON-serialized
 //!   [`Checkpoint`], exactly as a preempted worker handing the cell to
 //!   another process would. Determinism makes the sliced result
-//!   bit-identical to the uninterrupted one.
+//!   bit-identical to the uninterrupted one; and
+//! * [`run_any_cell`] — the resumable runner behind the chaos-hardened
+//!   server: any [`AnyCell`] kind (CPU sweep cell, coherence trace,
+//!   synthetic hash chain) runs slice by slice, reporting an encoded
+//!   cell-state JSON at every preemption boundary so a killed worker's
+//!   replacement can resume from the last reported state.
 //!
 //! ## Frames
 //!
@@ -23,22 +29,40 @@
 //! * client → server: one [`SweepRequest`] (`serve.sweep`);
 //! * server → client: one [`CellDone`] (`serve.done`) per cell **in
 //!   input-index order**, or a [`ServeError`] (`serve.error`);
-//! * server → worker: one [`CellJob`] (`serve.job`) per dispatched cell;
-//! * worker → server: [`CellDone`] frames, in the worker's completion order
-//!   (the server's reorder buffer restores input order).
+//! * server → worker: one [`CellJob`] (`serve.job`) per dispatched cell,
+//!   carrying an optional resume state;
+//! * worker → server: [`WorkerCkpt`] (`serve.ckpt`) heartbeats at each
+//!   preemption boundary while chaos is armed, then one [`WorkerDone`]
+//!   (`serve.wdone`) per cell in the worker's completion order (the
+//!   server's reorder buffer restores input order), and a [`WorkerBye`]
+//!   (`serve.bye`) before a chaos-scheduled graceful retirement.
+//!
+//! ## Progress units
+//!
+//! `progress` in worker frames is cumulative work in cell-kind units: CPU
+//! cells count simulated cycles (summed across the cell's variants),
+//! coherence cells count references retired, synthetic cells count
+//! iterations. `worked` is the part of `progress` this attempt simulated
+//! itself — the server's useful/recovered/wasted-cycle accounting needs
+//! both.
 
 use std::io::{BufRead, BufReader, Write as _};
-use std::net::TcpStream;
+use std::net::{TcpStream, ToSocketAddrs};
 use std::sync::Mutex;
+use std::time::Duration;
 
+use imo_coherence::{CohCheckpoint, CohOutcome, CohSession, MachineParams, SimResult};
 use imo_core::experiment::{normalize_experiment, ExperimentResult, Variant};
 use imo_core::instrument::{instrument, HandlerBody, HandlerKind, Scheme};
 use imo_core::Machine;
 use imo_cpu::{Checkpoint, Outcome, RunLimits, RunResult, SimSession};
+use imo_faults::ChaosConfig;
 use imo_isa::Program;
 use imo_util::json::{parse, Json};
+use imo_util::rng::mix64;
 use imo_util::snapshot::{self, Snapshot, SnapshotError};
 use imo_util::{debug_hash, SlotBreakdown};
+use imo_workloads::parallel::{self, ParallelTrace, TraceConfig};
 use imo_workloads::{by_name, Scale};
 
 use crate::sweep::{memoized, CpuCell};
@@ -275,34 +299,335 @@ pub fn decode_experiment(j: &Json) -> Result<ExperimentResult, SnapshotError> {
     Ok(normalize_experiment(&workload, machine, raw))
 }
 
-/// A client's sweep submission: a named cell list, optionally preempted.
+/// A coherence simulation cell: one Table-2 parallel application trace under
+/// one access-control scheme, run on the default [`MachineParams::table2`]
+/// machine with no interconnect faults (service-level chaos is injected
+/// around the cell, not inside it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CohCell {
+    /// Parallel application name (a [`imo_workloads::parallel`] generator:
+    /// `stencil`, `migratory`, `producer_consumer`, `reduction`,
+    /// `readmostly`).
+    pub app: &'static str,
+    /// Processors in the trace.
+    pub procs: usize,
+    /// References per processor.
+    pub ops_per_proc: usize,
+    /// Trace-generation seed.
+    pub seed: u64,
+    /// Access-control scheme to simulate.
+    pub scheme: imo_coherence::Scheme,
+}
+
+impl CohCell {
+    /// Regenerates this cell's trace (deterministic per seed).
+    #[must_use]
+    pub fn trace(&self) -> ParallelTrace {
+        let cfg =
+            TraceConfig { procs: self.procs, ops_per_proc: self.ops_per_proc, seed: self.seed };
+        parallel_trace_by_name(self.app, &cfg)
+            .unwrap_or_else(|| panic!("unknown parallel app `{}`", self.app))
+    }
+}
+
+/// Looks a parallel-trace generator up by app name.
+#[must_use]
+pub fn parallel_trace_by_name(app: &str, cfg: &TraceConfig) -> Option<ParallelTrace> {
+    match app {
+        "stencil" => Some(parallel::stencil(cfg)),
+        "migratory" => Some(parallel::migratory(cfg)),
+        "producer_consumer" => Some(parallel::producer_consumer(cfg)),
+        "reduction" => Some(parallel::reduction(cfg)),
+        "readmostly" => Some(parallel::readmostly(cfg)),
+        _ => None,
+    }
+}
+
+/// A synthetic chaos-soak cell: `iters` rounds of a [`mix64`] hash chain.
+/// Cheap enough to run 10^5 of them under churn, yet order-sensitive —
+/// any dropped, duplicated or resumed-from-the-wrong-place iteration
+/// changes the final hash, so byte-comparing the result vector against a
+/// clean serial run proves end-to-end exactly-once delivery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynthCell {
+    /// Chain seed (the initial hash value).
+    pub seed: u64,
+    /// Chain length.
+    pub iters: u64,
+}
+
+fn coh_scheme_json(s: imo_coherence::Scheme) -> Json {
+    snapshot::u64_json(match s {
+        imo_coherence::Scheme::RefCheck => 0,
+        imo_coherence::Scheme::Ecc => 1,
+        imo_coherence::Scheme::Informing => 2,
+    })
+}
+
+fn decode_coh_scheme(j: &Json, key: &'static str) -> Result<imo_coherence::Scheme, SnapshotError> {
+    match snapshot::get_u64(j, key)? {
+        0 => Ok(imo_coherence::Scheme::RefCheck),
+        1 => Ok(imo_coherence::Scheme::Ecc),
+        2 => Ok(imo_coherence::Scheme::Informing),
+        _ => Err(SnapshotError::Bad(key)),
+    }
+}
+
+fn coh_cell_json(c: &CohCell) -> Json {
+    Json::obj([
+        ("app", Json::from(c.app)),
+        ("procs", snapshot::u64_json(c.procs as u64)),
+        ("ops_per_proc", snapshot::u64_json(c.ops_per_proc as u64)),
+        ("seed", snapshot::u64_json(c.seed)),
+        ("scheme", coh_scheme_json(c.scheme)),
+    ])
+}
+
+fn decode_coh_cell(j: &Json) -> Result<CohCell, SnapshotError> {
+    let app = intern(snapshot::get_str(j, "app")?);
+    let probe = TraceConfig { procs: 1, ops_per_proc: 0, seed: 0 };
+    if parallel_trace_by_name(app, &probe).is_none() {
+        return Err(SnapshotError::Bad("app"));
+    }
+    Ok(CohCell {
+        app,
+        procs: snapshot::get_usize(j, "procs")?,
+        ops_per_proc: snapshot::get_usize(j, "ops_per_proc")?,
+        seed: snapshot::get_u64(j, "seed")?,
+        scheme: decode_coh_scheme(j, "scheme")?,
+    })
+}
+
+/// Encodes a coherence [`SimResult`], bit-exactly.
+pub fn sim_result_json(r: &SimResult) -> Json {
+    Json::obj([
+        ("app", Json::from(r.app)),
+        ("scheme", coh_scheme_json(r.scheme)),
+        ("total_cycles", snapshot::u64_json(r.total_cycles)),
+        ("proc_cycles", snapshot::u64s_json(&r.proc_cycles)),
+        ("ops", snapshot::u64_json(r.ops)),
+        ("lookups", snapshot::u64_json(r.lookups)),
+        ("faults", snapshot::u64_json(r.faults)),
+        ("actions", snapshot::u64_json(r.actions)),
+        ("l1_misses", snapshot::u64_json(r.l1_misses)),
+        ("l2_misses", snapshot::u64_json(r.l2_misses)),
+        ("invalidations", snapshot::u64_json(r.invalidations)),
+        ("retries", snapshot::u64_json(r.retries)),
+        ("timeouts", snapshot::u64_json(r.timeouts)),
+        ("nacks", snapshot::u64_json(r.nacks)),
+        ("dropped_msgs", snapshot::u64_json(r.dropped_msgs)),
+        ("ecc_corrected", snapshot::u64_json(r.ecc_corrected)),
+        ("ecc_uncorrectable", snapshot::u64_json(r.ecc_uncorrectable)),
+    ])
+}
+
+/// Decodes a [`sim_result_json`] result.
+pub fn decode_sim_result(j: &Json) -> Result<SimResult, SnapshotError> {
+    Ok(SimResult {
+        app: intern(snapshot::get_str(j, "app")?),
+        scheme: decode_coh_scheme(j, "scheme")?,
+        total_cycles: snapshot::get_u64(j, "total_cycles")?,
+        proc_cycles: snapshot::get_u64s(j, "proc_cycles")?,
+        ops: snapshot::get_u64(j, "ops")?,
+        lookups: snapshot::get_u64(j, "lookups")?,
+        faults: snapshot::get_u64(j, "faults")?,
+        actions: snapshot::get_u64(j, "actions")?,
+        l1_misses: snapshot::get_u64(j, "l1_misses")?,
+        l2_misses: snapshot::get_u64(j, "l2_misses")?,
+        invalidations: snapshot::get_u64(j, "invalidations")?,
+        retries: snapshot::get_u64(j, "retries")?,
+        timeouts: snapshot::get_u64(j, "timeouts")?,
+        nacks: snapshot::get_u64(j, "nacks")?,
+        dropped_msgs: snapshot::get_u64(j, "dropped_msgs")?,
+        ecc_corrected: snapshot::get_u64(j, "ecc_corrected")?,
+        ecc_uncorrectable: snapshot::get_u64(j, "ecc_uncorrectable")?,
+    })
+}
+
+/// Any cell kind the job server can shard.
+#[derive(Debug, Clone)]
+pub enum AnyCell {
+    /// A Figure 2/3-style CPU sweep cell.
+    Cpu(CpuCell),
+    /// A coherence trace under one scheme.
+    Coh(CohCell),
+    /// A synthetic hash-chain cell for chaos soaks.
+    Synth(SynthCell),
+}
+
+/// Encodes an [`AnyCell`] with a kind tag.
+pub fn any_cell_json(c: &AnyCell) -> Json {
+    let (k, cell) = match c {
+        AnyCell::Cpu(c) => ("cpu", cell_json(c)),
+        AnyCell::Coh(c) => ("coh", coh_cell_json(c)),
+        AnyCell::Synth(c) => (
+            "synth",
+            Json::obj([
+                ("seed", snapshot::u64_json(c.seed)),
+                ("iters", snapshot::u64_json(c.iters)),
+            ]),
+        ),
+    };
+    Json::obj([("k", Json::from(k)), ("cell", cell)])
+}
+
+/// Decodes an [`any_cell_json`] cell.
+pub fn decode_any_cell(j: &Json) -> Result<AnyCell, SnapshotError> {
+    let cell = snapshot::field(j, "cell")?;
+    match snapshot::get_str(j, "k")? {
+        "cpu" => Ok(AnyCell::Cpu(decode_cell(cell)?)),
+        "coh" => Ok(AnyCell::Coh(decode_coh_cell(cell)?)),
+        "synth" => Ok(AnyCell::Synth(SynthCell {
+            seed: snapshot::get_u64(cell, "seed")?,
+            iters: snapshot::get_u64(cell, "iters")?,
+        })),
+        _ => Err(SnapshotError::Bad("k")),
+    }
+}
+
+/// A completed cell's result, tagged by cell kind.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellResult {
+    /// CPU cell: the normalized experiment.
+    Cpu(ExperimentResult),
+    /// Coherence cell: the simulation counters.
+    Coh(SimResult),
+    /// Synthetic cell: the final chain hash.
+    Synth(u64),
+}
+
+/// Encodes a [`CellResult`] with a kind tag.
+pub fn cell_result_json(r: &CellResult) -> Json {
+    let (k, result) = match r {
+        CellResult::Cpu(r) => ("cpu", experiment_json(r)),
+        CellResult::Coh(r) => ("coh", sim_result_json(r)),
+        CellResult::Synth(h) => ("synth", snapshot::u64_json(*h)),
+    };
+    Json::obj([("k", Json::from(k)), ("result", result)])
+}
+
+/// Decodes a [`cell_result_json`] result.
+pub fn decode_cell_result(j: &Json) -> Result<CellResult, SnapshotError> {
+    let result = snapshot::field(j, "result")?;
+    match snapshot::get_str(j, "k")? {
+        "cpu" => Ok(CellResult::Cpu(decode_experiment(result)?)),
+        "coh" => Ok(CellResult::Coh(decode_sim_result(result)?)),
+        "synth" => Ok(CellResult::Synth(snapshot::get_u64(j, "result")?)),
+        _ => Err(SnapshotError::Bad("k")),
+    }
+}
+
+/// Content-addressed hash of a [`CellResult`]: the [`debug_hash`] of its
+/// compact wire text. Workers stamp it on [`WorkerDone`] frames; the server
+/// recomputes it from the decoded result, so a frame corrupted in flight
+/// (but still parseable) is caught and the attempt re-dispatched.
+#[must_use]
+pub fn cell_result_hash(r: &CellResult) -> u64 {
+    debug_hash(&cell_result_json(r).compact())
+}
+
+/// Failure-handling knobs for one sweep; the server falls back to
+/// [`SweepPolicy::default`] when a request carries none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepPolicy {
+    /// Per-dispatch deadline: a worker that neither completes its cell nor
+    /// heartbeats a checkpoint within this window is declared dead.
+    pub deadline_ms: u64,
+    /// Attempts per cell before it is quarantined and the sweep aborts
+    /// with a typed [`ServeError`].
+    pub max_attempts: u32,
+    /// Base re-dispatch backoff (doubles per attempt).
+    pub backoff_base_ms: u64,
+    /// Re-dispatch backoff cap.
+    pub backoff_cap_ms: u64,
+}
+
+impl Default for SweepPolicy {
+    fn default() -> Self {
+        SweepPolicy {
+            deadline_ms: 600_000,
+            max_attempts: 4,
+            backoff_base_ms: 100,
+            backoff_cap_ms: 2000,
+        }
+    }
+}
+
+fn policy_json(p: &SweepPolicy) -> Json {
+    Json::obj([
+        ("deadline_ms", snapshot::u64_json(p.deadline_ms)),
+        ("max_attempts", snapshot::u64_json(u64::from(p.max_attempts))),
+        ("backoff_base_ms", snapshot::u64_json(p.backoff_base_ms)),
+        ("backoff_cap_ms", snapshot::u64_json(p.backoff_cap_ms)),
+    ])
+}
+
+fn decode_policy(j: &Json) -> Result<SweepPolicy, SnapshotError> {
+    Ok(SweepPolicy {
+        deadline_ms: snapshot::get_u64(j, "deadline_ms")?,
+        max_attempts: snapshot::get_u32(j, "max_attempts")?,
+        backoff_base_ms: snapshot::get_u64(j, "backoff_base_ms")?,
+        backoff_cap_ms: snapshot::get_u64(j, "backoff_cap_ms")?,
+    })
+}
+
+fn opt_wire<T: Snapshot>(v: Option<&T>) -> Json {
+    v.map_or(Json::Null, Snapshot::to_wire)
+}
+
+fn decode_opt_wire<T: Snapshot>(
+    data: &Json,
+    key: &'static str,
+) -> Result<Option<T>, SnapshotError> {
+    match snapshot::field(data, key)? {
+        Json::Null => Ok(None),
+        j => Ok(Some(T::from_wire(j)?)),
+    }
+}
+
+/// A client's sweep submission: a named cell list, optionally preempted,
+/// optionally under a deterministic chaos schedule and a failure policy.
 #[derive(Debug, Clone)]
 pub struct SweepRequest {
     /// Sweep name (diagnostics only).
     pub name: String,
-    /// Preempt every simulation at this cycle stride (see [`run_cell`]).
+    /// Preempt every simulation at this work-unit stride (see
+    /// [`run_any_cell`]); also the checkpoint-heartbeat stride under chaos.
     pub preempt_every: Option<u64>,
+    /// Deterministic failure-injection schedule, forwarded to every worker.
+    /// `None` (the production path) draws no randomness anywhere.
+    pub chaos: Option<ChaosConfig>,
+    /// Failure-handling knobs; `None` means [`SweepPolicy::default`].
+    pub policy: Option<SweepPolicy>,
     /// The cells, in the order results must stream back.
-    pub cells: Vec<CpuCell>,
+    pub cells: Vec<AnyCell>,
 }
 
 impl Snapshot for SweepRequest {
     const KIND: &'static str = "serve.sweep";
-    const VERSION: u32 = 1;
+    const VERSION: u32 = 2;
 
     fn encode(&self) -> Json {
         Json::obj([
             ("name", Json::from(self.name.as_str())),
             ("preempt_every", snapshot::opt_u64_json(self.preempt_every)),
-            ("cells", Json::arr(self.cells.iter().map(cell_json))),
+            ("chaos", opt_wire(self.chaos.as_ref())),
+            ("policy", self.policy.as_ref().map_or(Json::Null, policy_json)),
+            ("cells", Json::arr(self.cells.iter().map(any_cell_json))),
         ])
     }
 
     fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        let policy = match snapshot::field(data, "policy")? {
+            Json::Null => None,
+            j => Some(decode_policy(j)?),
+        };
         Ok(SweepRequest {
             name: snapshot::get_str(data, "name")?.to_string(),
             preempt_every: snapshot::get_opt_u64(data, "preempt_every")?,
-            cells: snapshot::get_arr(data, "cells", decode_cell)?,
+            chaos: decode_opt_wire(data, "chaos")?,
+            policy,
+            cells: snapshot::get_arr(data, "cells", decode_any_cell)?,
         })
     }
 }
@@ -310,60 +635,190 @@ impl Snapshot for SweepRequest {
 /// One cell dispatched to a worker.
 #[derive(Debug, Clone)]
 pub struct CellJob {
-    /// The cell's input index (echoed back in [`CellDone`]).
+    /// The cell's input index (echoed back in worker frames).
     pub index: u64,
+    /// Dispatch attempt, 0-based. Rerolls the cell's chaos schedule, so a
+    /// re-dispatched cell does not deterministically die the same death.
+    pub attempt: u64,
     /// The cell to run.
-    pub cell: CpuCell,
+    pub cell: AnyCell,
     /// Preemption stride, if any.
     pub preempt_every: Option<u64>,
+    /// The sweep's chaos schedule (workers consult it per `(index, attempt)`).
+    pub chaos: Option<ChaosConfig>,
+    /// Cell state from a previous attempt's last [`WorkerCkpt`]; the worker
+    /// resumes from it instead of starting over.
+    pub resume: Option<Json>,
 }
 
 impl Snapshot for CellJob {
     const KIND: &'static str = "serve.job";
-    const VERSION: u32 = 1;
+    const VERSION: u32 = 2;
 
     fn encode(&self) -> Json {
         Json::obj([
             ("index", snapshot::u64_json(self.index)),
-            ("cell", cell_json(&self.cell)),
+            ("attempt", snapshot::u64_json(self.attempt)),
+            ("cell", any_cell_json(&self.cell)),
             ("preempt_every", snapshot::opt_u64_json(self.preempt_every)),
+            ("chaos", opt_wire(self.chaos.as_ref())),
+            ("resume", self.resume.clone().unwrap_or(Json::Null)),
         ])
     }
 
     fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        let resume = match snapshot::field(data, "resume")? {
+            Json::Null => None,
+            j => Some(j.clone()),
+        };
         Ok(CellJob {
             index: snapshot::get_u64(data, "index")?,
-            cell: decode_cell(snapshot::field(data, "cell")?)?,
+            attempt: snapshot::get_u64(data, "attempt")?,
+            cell: decode_any_cell(snapshot::field(data, "cell")?)?,
             preempt_every: snapshot::get_opt_u64(data, "preempt_every")?,
+            chaos: decode_opt_wire(data, "chaos")?,
+            resume,
         })
     }
 }
 
-/// One completed cell.
+/// One completed cell, server → client.
 #[derive(Debug, Clone)]
 pub struct CellDone {
     /// The cell's input index.
     pub index: u64,
     /// Its result.
-    pub result: ExperimentResult,
+    pub result: CellResult,
 }
 
 impl Snapshot for CellDone {
     const KIND: &'static str = "serve.done";
-    const VERSION: u32 = 1;
+    const VERSION: u32 = 2;
 
     fn encode(&self) -> Json {
         Json::obj([
             ("index", snapshot::u64_json(self.index)),
-            ("result", experiment_json(&self.result)),
+            ("result", cell_result_json(&self.result)),
         ])
     }
 
     fn decode(data: &Json) -> Result<Self, SnapshotError> {
         Ok(CellDone {
             index: snapshot::get_u64(data, "index")?,
-            result: decode_experiment(snapshot::field(data, "result")?)?,
+            result: decode_cell_result(snapshot::field(data, "result")?)?,
         })
+    }
+}
+
+/// One completed cell, worker → server, with enough provenance for the
+/// server's dedup, verification and accounting.
+#[derive(Debug, Clone)]
+pub struct WorkerDone {
+    /// The cell's input index.
+    pub index: u64,
+    /// The dispatch attempt that produced this result.
+    pub attempt: u64,
+    /// Final cumulative progress, in cell-kind units.
+    pub progress: u64,
+    /// Work units this attempt simulated itself (`progress` minus the
+    /// resume state's progress).
+    pub worked: u64,
+    /// [`cell_result_hash`] of `result`, recomputed and verified server-side.
+    pub hash: u64,
+    /// Duplicate `serve.wdone` frames following this one (chaos `DupDone`
+    /// injection); the server reads and discards exactly this many.
+    pub extra: u64,
+    /// The result.
+    pub result: CellResult,
+}
+
+impl Snapshot for WorkerDone {
+    const KIND: &'static str = "serve.wdone";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("index", snapshot::u64_json(self.index)),
+            ("attempt", snapshot::u64_json(self.attempt)),
+            ("progress", snapshot::u64_json(self.progress)),
+            ("worked", snapshot::u64_json(self.worked)),
+            ("hash", snapshot::u64_json(self.hash)),
+            ("extra", snapshot::u64_json(self.extra)),
+            ("result", cell_result_json(&self.result)),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        Ok(WorkerDone {
+            index: snapshot::get_u64(data, "index")?,
+            attempt: snapshot::get_u64(data, "attempt")?,
+            progress: snapshot::get_u64(data, "progress")?,
+            worked: snapshot::get_u64(data, "worked")?,
+            hash: snapshot::get_u64(data, "hash")?,
+            extra: snapshot::get_u64(data, "extra")?,
+            result: decode_cell_result(snapshot::field(data, "result")?)?,
+        })
+    }
+}
+
+/// A worker's checkpoint heartbeat at a preemption boundary: proof of
+/// liveness for the deadline supervisor, and the resume state a replacement
+/// worker starts from if this one dies.
+#[derive(Debug, Clone)]
+pub struct WorkerCkpt {
+    /// The cell's input index.
+    pub index: u64,
+    /// The dispatch attempt reporting.
+    pub attempt: u64,
+    /// Cumulative progress at this boundary, in cell-kind units.
+    pub progress: u64,
+    /// Work units this attempt simulated itself so far.
+    pub worked: u64,
+    /// Encoded cell state ([`run_any_cell`]'s `on_slice` payload).
+    pub state: Json,
+}
+
+impl Snapshot for WorkerCkpt {
+    const KIND: &'static str = "serve.ckpt";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("index", snapshot::u64_json(self.index)),
+            ("attempt", snapshot::u64_json(self.attempt)),
+            ("progress", snapshot::u64_json(self.progress)),
+            ("worked", snapshot::u64_json(self.worked)),
+            ("state", self.state.clone()),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        Ok(WorkerCkpt {
+            index: snapshot::get_u64(data, "index")?,
+            attempt: snapshot::get_u64(data, "attempt")?,
+            progress: snapshot::get_u64(data, "progress")?,
+            worked: snapshot::get_u64(data, "worked")?,
+            state: snapshot::field(data, "state")?.clone(),
+        })
+    }
+}
+
+/// A worker announcing a chaos-scheduled graceful retirement: it finishes
+/// and reports its current cell, then exits cleanly. The supervisor
+/// respawns without charging a failure.
+#[derive(Debug, Clone)]
+pub struct WorkerBye {}
+
+impl Snapshot for WorkerBye {
+    const KIND: &'static str = "serve.bye";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> Json {
+        Json::obj::<&str>([])
+    }
+
+    fn decode(_data: &Json) -> Result<Self, SnapshotError> {
+        Ok(WorkerBye {})
     }
 }
 
@@ -399,12 +854,37 @@ fn run_sliced(
     preempt_every: Option<u64>,
     context: &str,
 ) -> RunResult {
+    run_sliced_with(machine, program, limits, preempt_every, context, None, &mut |_| {})
+}
+
+/// [`run_sliced`] with a resume point and a per-slice observer: `start`
+/// seeds the first slice from an existing [`Checkpoint`], and `on_pause`
+/// sees every checkpoint after its wire round trip — the hook the
+/// chaos-hardened worker uses to heartbeat resumable state to the server.
+fn run_sliced_with(
+    machine: &Machine,
+    program: &Program,
+    limits: RunLimits,
+    preempt_every: Option<u64>,
+    context: &str,
+    start: Option<Checkpoint>,
+    on_pause: &mut dyn FnMut(&Checkpoint),
+) -> RunResult {
+    let mut ckpt: Option<Checkpoint> = start;
     let Some(step) = preempt_every.filter(|s| *s > 0) else {
-        return machine.run_limited(program, limits).unwrap_or_else(|e| panic!("{context}: {e}"));
+        let session = SimSession::new(program, machine.core_config()).limits(limits);
+        let outcome = match &ckpt {
+            None => session.run(),
+            Some(c) => session.resume(c),
+        }
+        .unwrap_or_else(|e| panic!("{context}: {e}"));
+        match outcome {
+            Outcome::Complete { result, .. } => return result,
+            Outcome::Paused(_) => unreachable!("{context}: paused without a stop_at"),
+        }
     };
     let mut limits = limits;
-    let mut ckpt: Option<Checkpoint> = None;
-    let mut stop = step;
+    let mut stop = ckpt.as_ref().map_or(step, |c| c.cycle().saturating_add(step));
     loop {
         limits.stop_at = Some(stop);
         let session = SimSession::new(program, machine.core_config()).limits(limits);
@@ -421,6 +901,7 @@ fn run_sliced(
                     parse(&line).unwrap_or_else(|e| panic!("{context}: checkpoint reparse: {e}"));
                 let back = Checkpoint::from_wire(&parsed)
                     .unwrap_or_else(|e| panic!("{context}: checkpoint decode: {e}"));
+                on_pause(&back);
                 stop = back.cycle().saturating_add(step);
                 ckpt = Some(back);
             }
@@ -461,6 +942,376 @@ pub fn run_cell(cell: &CpuCell, preempt_every: Option<u64>) -> ExperimentResult 
     normalize_experiment(cell.workload, cell.machine.name(), raw)
 }
 
+/// Progress recorded in an encoded cell state, in cell-kind units.
+pub fn cell_state_progress(state: &Json) -> Result<u64, SnapshotError> {
+    match snapshot::get_str(state, "k")? {
+        "cpu" => snapshot::get_u64(state, "prog"),
+        "coh" => Ok(CohCheckpoint::from_wire(snapshot::field(state, "ckpt")?)?.ops()),
+        "synth" => snapshot::get_u64(state, "i"),
+        _ => Err(SnapshotError::Bad("k")),
+    }
+}
+
+fn cpu_state_json(
+    vi: usize,
+    done: &[(&'static str, RunResult)],
+    ckpt: &Checkpoint,
+    prog: u64,
+) -> Json {
+    Json::obj([
+        ("k", Json::from("cpu")),
+        ("vi", snapshot::u64_json(vi as u64)),
+        (
+            "done",
+            Json::arr(done.iter().map(|(label, r)| {
+                Json::obj([("label", Json::from(*label)), ("result", result_json(r))])
+            })),
+        ),
+        ("ckpt", ckpt.to_wire()),
+        ("prog", snapshot::u64_json(prog)),
+    ])
+}
+
+fn run_cpu_resumable(
+    cell: &CpuCell,
+    preempt_every: Option<u64>,
+    resume: Option<&Json>,
+    on_slice: &mut dyn FnMut(u64, &Json),
+) -> (CellResult, u64) {
+    let spec =
+        by_name(cell.workload).unwrap_or_else(|| panic!("unknown workload `{}`", cell.workload));
+    let limits = RunLimits::default();
+    let (vi0, mut done, mut start) = match resume {
+        None => (0usize, Vec::new(), None),
+        Some(state) => {
+            let bad = |e: SnapshotError| -> ! { panic!("cpu resume state: {e}") };
+            let vi = snapshot::get_usize(state, "vi").unwrap_or_else(|e| bad(e));
+            let done = snapshot::get_arr(state, "done", |v| {
+                Ok((
+                    intern(snapshot::get_str(v, "label")?),
+                    decode_result(snapshot::field(v, "result")?)?,
+                ))
+            })
+            .unwrap_or_else(|e| bad(e));
+            let ckpt = match snapshot::field(state, "ckpt").unwrap_or_else(|e| bad(e)) {
+                Json::Null => None,
+                j => Some(Checkpoint::from_wire(j).unwrap_or_else(|e| bad(e))),
+            };
+            (vi, done, ckpt)
+        }
+    };
+    let mut program: Option<Program> = None;
+    for (vi, v) in cell.variants.iter().enumerate().skip(vi0) {
+        let program = program.get_or_insert_with(|| (spec.build)(cell.scale));
+        let inst = instrument(program, &v.scheme)
+            .unwrap_or_else(|e| panic!("instrumenting {} as {:?}: {e}", cell.workload, v.scheme));
+        let context = format!("{} on {}", cell.workload, cell.machine.name());
+        let base: u64 = done.iter().map(|(_, r)| r.cycles).sum();
+        let this_start = if vi == vi0 { start.take() } else { None };
+        let mut cb = |c: &Checkpoint| {
+            let prog = base.saturating_add(c.cycle());
+            let state = cpu_state_json(vi, &done, c, prog);
+            on_slice(prog, &state);
+        };
+        let r = run_sliced_with(
+            &cell.machine,
+            &inst.program,
+            limits,
+            preempt_every,
+            &context,
+            this_start,
+            &mut cb,
+        );
+        done.push((v.label, r));
+    }
+    let progress = done.iter().map(|(_, r)| r.cycles).sum();
+    (CellResult::Cpu(normalize_experiment(cell.workload, cell.machine.name(), done)), progress)
+}
+
+fn coh_state_json(c: &CohCheckpoint) -> Json {
+    Json::obj([("k", Json::from("coh")), ("ckpt", c.to_wire())])
+}
+
+fn run_coh_resumable(
+    cell: &CohCell,
+    preempt_every: Option<u64>,
+    resume: Option<&Json>,
+    on_slice: &mut dyn FnMut(u64, &Json),
+) -> (CellResult, u64) {
+    let context = || format!("coh cell {}/{:?}", cell.app, cell.scheme);
+    let trace = cell.trace();
+    let sess = CohSession::new(&trace, cell.scheme, MachineParams::table2());
+    let step = preempt_every.filter(|s| *s > 0);
+    let next_stop = |at: u64| step.map_or(u64::MAX, |s| at.saturating_add(s));
+    let mut outcome = match resume {
+        None => sess.stop_at(next_stop(0)).run(),
+        Some(state) => {
+            let bad = |e: SnapshotError| -> ! { panic!("coh resume state: {e}") };
+            let ckpt = snapshot::field(state, "ckpt")
+                .and_then(CohCheckpoint::from_wire)
+                .unwrap_or_else(|e| bad(e));
+            sess.stop_at(next_stop(ckpt.ops())).resume(&ckpt)
+        }
+    }
+    .unwrap_or_else(|e| panic!("{}: {e}", context()));
+    loop {
+        match outcome {
+            CohOutcome::Complete(r) => {
+                let progress = r.ops;
+                return (CellResult::Coh(r), progress);
+            }
+            CohOutcome::Paused(c) => {
+                // Wire round trip, mirroring the CPU path: the state the
+                // worker resumes from is the state a replacement would get.
+                let line = c.to_wire().compact();
+                let parsed = parse(&line)
+                    .unwrap_or_else(|e| panic!("{}: checkpoint reparse: {e}", context()));
+                let back = CohCheckpoint::from_wire(&parsed)
+                    .unwrap_or_else(|e| panic!("{}: checkpoint decode: {e}", context()));
+                on_slice(back.ops(), &coh_state_json(&back));
+                outcome = sess
+                    .stop_at(next_stop(back.ops()))
+                    .resume(&back)
+                    .unwrap_or_else(|e| panic!("{} (slice at {}): {e}", context(), back.ops()));
+            }
+        }
+    }
+}
+
+fn synth_state_json(i: u64, h: u64) -> Json {
+    Json::obj([
+        ("k", Json::from("synth")),
+        ("i", snapshot::u64_json(i)),
+        ("h", snapshot::u64_json(h)),
+    ])
+}
+
+fn run_synth_resumable(
+    cell: SynthCell,
+    preempt_every: Option<u64>,
+    resume: Option<&Json>,
+    on_slice: &mut dyn FnMut(u64, &Json),
+) -> (CellResult, u64) {
+    let (mut i, mut h) = match resume {
+        None => (0u64, cell.seed),
+        Some(state) => {
+            let bad = |e: SnapshotError| -> ! { panic!("synth resume state: {e}") };
+            (
+                snapshot::get_u64(state, "i").unwrap_or_else(|e| bad(e)),
+                snapshot::get_u64(state, "h").unwrap_or_else(|e| bad(e)),
+            )
+        }
+    };
+    let step = preempt_every.filter(|s| *s > 0);
+    while i < cell.iters {
+        h = mix64(h, i);
+        i += 1;
+        if let Some(s) = step {
+            // Slice boundaries are absolute (i % s == 0), so the schedule —
+            // and the final hash — is identical however often the cell is
+            // preempted and resumed.
+            if i % s == 0 && i < cell.iters {
+                on_slice(i, &synth_state_json(i, h));
+            }
+        }
+    }
+    (CellResult::Synth(h), cell.iters)
+}
+
+/// Runs any cell kind slice by slice, resumable: `resume` is an encoded
+/// cell state from a previous attempt's last checkpoint (the
+/// [`WorkerCkpt`] `state` payload), and `on_slice` sees
+/// `(cumulative progress, encoded state)` at every preemption boundary.
+/// Returns the result and the final cumulative progress.
+///
+/// Determinism contract: for a given cell the result is bit-identical
+/// whether the cell runs straight through, slices without interruption, or
+/// is killed and resumed from any reported state.
+///
+/// # Panics
+///
+/// Panics on unknown workloads, simulation errors, or a corrupt/mismatched
+/// `resume` state — in the worker process that turns into a worker death
+/// the supervisor re-dispatches around.
+pub fn run_any_cell(
+    cell: &AnyCell,
+    preempt_every: Option<u64>,
+    resume: Option<&Json>,
+    on_slice: &mut dyn FnMut(u64, &Json),
+) -> (CellResult, u64) {
+    match cell {
+        AnyCell::Cpu(c) => run_cpu_resumable(c, preempt_every, resume, on_slice),
+        AnyCell::Coh(c) => run_coh_resumable(c, preempt_every, resume, on_slice),
+        AnyCell::Synth(c) => run_synth_resumable(*c, preempt_every, resume, on_slice),
+    }
+}
+
+/// Runs any cell kind from scratch with no state reporting — the clean
+/// path. CPU cells go through the memoized [`run_cell`] (bit-identical to
+/// the pre-chaos worker path); the others run [`run_any_cell`] with no
+/// observer.
+#[must_use]
+pub fn run_any_cell_plain(cell: &AnyCell, preempt_every: Option<u64>) -> CellResult {
+    match cell {
+        AnyCell::Cpu(c) => CellResult::Cpu(run_cell(c, preempt_every)),
+        _ => run_any_cell(cell, preempt_every, None, &mut |_, _| {}).0,
+    }
+}
+
+/// A typed client-side failure from [`try_run_cells_via_server`]. Every
+/// variant is terminal for the sweep — the client never hangs (connects and
+/// reads are timeout-bounded) and never silently falls back to in-process
+/// execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClientError {
+    /// Could not establish a connection within the retry budget.
+    Connect {
+        /// The address dialed.
+        addr: String,
+        /// The last attempt's error.
+        detail: String,
+    },
+    /// An established connection failed mid-sweep (includes read timeouts).
+    Io {
+        /// What the client was doing.
+        context: String,
+        /// The I/O error.
+        detail: String,
+    },
+    /// The server sent something the protocol does not allow.
+    Protocol {
+        /// What was wrong with the frame.
+        context: String,
+    },
+    /// The server reported a [`ServeError`] (e.g. a quarantined cell).
+    Server {
+        /// The server's message.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Connect { addr, detail } => {
+                write!(f, "connecting to job server {addr}: {detail}")
+            }
+            ClientError::Io { context, detail } => write!(f, "{context}: {detail}"),
+            ClientError::Protocol { context } => write!(f, "protocol violation: {context}"),
+            ClientError::Server { message } => write!(f, "server error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Connect-retry schedule: per-attempt timeout and inter-attempt sleeps.
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(5);
+const CONNECT_RETRY_SLEEPS_MS: [u64; 2] = [100, 300];
+
+/// Default per-frame read timeout; `IMO_SERVE_CLIENT_TIMEOUT_MS` overrides.
+/// Generous because one frame can take as long as the slowest cell, but
+/// finite so a dead server is an error, not a hang.
+const DEFAULT_READ_TIMEOUT_MS: u64 = 600_000;
+
+fn read_timeout() -> Duration {
+    let ms = std::env::var("IMO_SERVE_CLIENT_TIMEOUT_MS")
+        .ok()
+        .and_then(|v| v.trim().parse::<u64>().ok())
+        .filter(|ms| *ms > 0)
+        .unwrap_or(DEFAULT_READ_TIMEOUT_MS);
+    Duration::from_millis(ms)
+}
+
+/// Dials `addr` with a bounded per-attempt timeout and a short capped retry
+/// schedule (transient refusals during server startup are common in CI).
+fn connect_with_retry(addr: &str) -> Result<TcpStream, ClientError> {
+    let fail = |detail: String| ClientError::Connect { addr: addr.to_string(), detail };
+    let mut last = String::from("no addresses resolved");
+    for (attempt, sleep_ms) in
+        CONNECT_RETRY_SLEEPS_MS.iter().copied().map(Some).chain([None]).enumerate()
+    {
+        let resolved = addr.to_socket_addrs().map_err(|e| fail(format!("resolving: {e}")))?;
+        for sock in resolved {
+            match TcpStream::connect_timeout(&sock, CONNECT_TIMEOUT) {
+                Ok(stream) => return Ok(stream),
+                Err(e) => last = format!("attempt {}: {e}", attempt + 1),
+            }
+        }
+        match sleep_ms {
+            Some(ms) => std::thread::sleep(Duration::from_millis(ms)),
+            None => break,
+        }
+    }
+    Err(fail(last))
+}
+
+/// Submits a full [`SweepRequest`] to the job server at `addr` and streams
+/// the results back in input-index order. Connects with a capped retry
+/// schedule and bounds every read with a timeout
+/// (`IMO_SERVE_CLIENT_TIMEOUT_MS`, default 600 s), so every failure mode is
+/// a typed [`ClientError`], never a hang.
+pub fn try_run_cells_via_server(
+    addr: &str,
+    request: &SweepRequest,
+) -> Result<Vec<CellResult>, ClientError> {
+    let name = request.name.as_str();
+    let expected = request.cells.len();
+    let io_err = |context: String, e: &std::io::Error| {
+        let detail =
+            if matches!(e.kind(), std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut) {
+                format!("timed out after {:?}: {e}", read_timeout())
+            } else {
+                e.to_string()
+            };
+        ClientError::Io { context, detail }
+    };
+
+    let stream = connect_with_retry(addr)?;
+    stream
+        .set_read_timeout(Some(read_timeout()))
+        .map_err(|e| io_err(format!("sweep `{name}`: arming read timeout"), &e))?;
+    let mut writer = stream
+        .try_clone()
+        .map_err(|e| io_err(format!("sweep `{name}`: cloning server stream"), &e))?;
+    writeln!(writer, "{}", request.to_wire().compact())
+        .and_then(|()| writer.flush())
+        .map_err(|e| io_err(format!("sweep `{name}`: submitting to {addr}"), &e))?;
+
+    let mut results = Vec::with_capacity(expected);
+    let mut lines = BufReader::new(stream).lines();
+    for i in 0..expected {
+        let line = match lines.next() {
+            Some(Ok(line)) => line,
+            Some(Err(e)) => return Err(io_err(format!("sweep `{name}`: reading cell {i}"), &e)),
+            None => {
+                return Err(ClientError::Protocol {
+                    context: format!("sweep `{name}`: server closed after {i}/{expected} cells"),
+                })
+            }
+        };
+        let frame = parse(&line).map_err(|e| ClientError::Protocol {
+            context: format!("sweep `{name}`: corrupt frame {i}: {e}"),
+        })?;
+        if let Ok(err) = ServeError::from_wire(&frame) {
+            return Err(ClientError::Server { message: err.message });
+        }
+        let done = CellDone::from_wire(&frame).map_err(|e| ClientError::Protocol {
+            context: format!("sweep `{name}`: frame {i}: {e}"),
+        })?;
+        if done.index as usize != i {
+            return Err(ClientError::Protocol {
+                context: format!(
+                    "sweep `{name}`: frame {i} carries index {} — results must stream in input order",
+                    done.index
+                ),
+            });
+        }
+        results.push(done.result);
+    }
+    Ok(results)
+}
+
 /// Submits `cells` to the job server at `addr` and streams the results back
 /// in input-index order. `IMO_SERVE_PREEMPT` (a cycle stride) turns on
 /// checkpoint-based preemption server-side.
@@ -469,43 +1320,31 @@ pub fn run_cell(cell: &CpuCell, preempt_every: Option<u64>) -> ExperimentResult 
 ///
 /// Panics on connection, protocol, or server-reported errors — a bench cell
 /// has no useful recovery, and a silent fallback to in-process execution
-/// would defeat the point of routing through the server.
+/// would defeat the point of routing through the server. (The panic is now
+/// guaranteed to arrive: [`try_run_cells_via_server`] bounds every connect
+/// and read with a timeout.)
 #[must_use]
 pub fn run_cells_via_server(addr: &str, name: &str, cells: Vec<CpuCell>) -> Vec<ExperimentResult> {
     let preempt_every = std::env::var("IMO_SERVE_PREEMPT")
         .ok()
         .and_then(|v| v.trim().parse::<u64>().ok())
         .filter(|s| *s > 0);
-    let expected = cells.len();
-    let request = SweepRequest { name: name.to_string(), preempt_every, cells };
-
-    let stream = TcpStream::connect(addr)
-        .unwrap_or_else(|e| panic!("sweep `{name}`: connecting to job server {addr}: {e}"));
-    let mut writer =
-        stream.try_clone().unwrap_or_else(|e| panic!("sweep `{name}`: cloning server stream: {e}"));
-    writeln!(writer, "{}", request.to_wire().compact())
-        .unwrap_or_else(|e| panic!("sweep `{name}`: submitting to {addr}: {e}"));
-    writer.flush().unwrap_or_else(|e| panic!("sweep `{name}`: flushing request: {e}"));
-
-    let mut results = Vec::with_capacity(expected);
-    let mut lines = BufReader::new(stream).lines();
-    for i in 0..expected {
-        let line = match lines.next() {
-            Some(Ok(line)) => line,
-            Some(Err(e)) => panic!("sweep `{name}`: reading cell {i}: {e}"),
-            None => panic!("sweep `{name}`: server closed after {i}/{expected} cells"),
-        };
-        let frame =
-            parse(&line).unwrap_or_else(|e| panic!("sweep `{name}`: corrupt frame {i}: {e}"));
-        if let Ok(err) = ServeError::from_wire(&frame) {
-            panic!("sweep `{name}`: server error: {}", err.message);
-        }
-        let done = CellDone::from_wire(&frame)
-            .unwrap_or_else(|e| panic!("sweep `{name}`: frame {i}: {e}"));
-        assert_eq!(done.index as usize, i, "sweep `{name}`: results must stream in input order");
-        results.push(done.result);
-    }
+    let request = SweepRequest {
+        name: name.to_string(),
+        preempt_every,
+        chaos: None,
+        policy: None,
+        cells: cells.into_iter().map(AnyCell::Cpu).collect(),
+    };
+    let results =
+        try_run_cells_via_server(addr, &request).unwrap_or_else(|e| panic!("sweep `{name}`: {e}"));
     results
+        .into_iter()
+        .map(|r| match r {
+            CellResult::Cpu(r) => r,
+            other => panic!("sweep `{name}`: CPU sweep got a non-CPU result: {other:?}"),
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -630,27 +1469,177 @@ mod tests {
             machine: Machine::default_ooo(),
             variants: figure2_variants(),
         };
+        let mut chaos = ChaosConfig::none(9);
+        chaos.kill_rate = 0.01;
         let req = SweepRequest {
             name: "fig2".to_string(),
             preempt_every: Some(1000),
-            cells: vec![cell.clone()],
+            chaos: Some(chaos),
+            policy: Some(SweepPolicy { deadline_ms: 5000, ..SweepPolicy::default() }),
+            cells: vec![AnyCell::Cpu(cell.clone())],
         };
         let back = SweepRequest::from_wire(&parse(&req.to_wire().compact()).expect("parses"))
             .expect("decodes");
         assert_eq!(back.name, "fig2");
         assert_eq!(back.preempt_every, Some(1000));
+        assert_eq!(back.chaos, Some(chaos));
+        assert_eq!(back.policy.expect("policy").deadline_ms, 5000);
         assert_eq!(back.cells.len(), 1);
 
-        let job = CellJob { index: 3, cell, preempt_every: None };
+        let job = CellJob {
+            index: 3,
+            attempt: 2,
+            cell: AnyCell::Cpu(cell),
+            preempt_every: None,
+            chaos: Some(chaos),
+            resume: Some(synth_state_json(7, 0x1234)),
+        };
         let back =
             CellJob::from_wire(&parse(&job.to_wire().compact()).expect("parses")).expect("decodes");
         assert_eq!(back.index, 3);
+        assert_eq!(back.attempt, 2);
         assert_eq!(back.preempt_every, None);
+        assert_eq!(back.chaos, Some(chaos));
+        assert_eq!(cell_state_progress(back.resume.as_ref().expect("resume")), Ok(7));
 
         let err = ServeError { message: "boom".to_string() };
         let back = ServeError::from_wire(&parse(&err.to_wire().compact()).expect("parses"))
             .expect("decodes");
         assert_eq!(back.message, "boom");
+
+        let done = WorkerDone {
+            index: 5,
+            attempt: 1,
+            progress: 600,
+            worked: 400,
+            hash: cell_result_hash(&CellResult::Synth(42)),
+            extra: 1,
+            result: CellResult::Synth(42),
+        };
+        let back = WorkerDone::from_wire(&parse(&done.to_wire().compact()).expect("parses"))
+            .expect("decodes");
+        assert_eq!(back.index, 5);
+        assert_eq!(back.worked, 400);
+        assert_eq!(back.extra, 1);
+        assert_eq!(back.hash, cell_result_hash(&back.result));
+        assert_eq!(back.result, CellResult::Synth(42));
+
+        let ckpt = WorkerCkpt {
+            index: 5,
+            attempt: 0,
+            progress: 200,
+            worked: 200,
+            state: synth_state_json(200, 9),
+        };
+        let back = WorkerCkpt::from_wire(&parse(&ckpt.to_wire().compact()).expect("parses"))
+            .expect("decodes");
+        assert_eq!(back.progress, 200);
+        assert_eq!(cell_state_progress(&back.state), Ok(200));
+
+        let bye = WorkerBye {};
+        WorkerBye::from_wire(&parse(&bye.to_wire().compact()).expect("parses")).expect("decodes");
+    }
+
+    #[test]
+    fn any_cell_and_result_codecs_round_trip() {
+        let coh = CohCell {
+            app: "migratory",
+            procs: 4,
+            ops_per_proc: 300,
+            seed: 11,
+            scheme: imo_coherence::Scheme::Informing,
+        };
+        let synth = SynthCell { seed: 0xFEED, iters: 1000 };
+        for cell in [AnyCell::Coh(coh.clone()), AnyCell::Synth(synth)] {
+            let line = any_cell_json(&cell).compact();
+            let back = decode_any_cell(&parse(&line).expect("parses")).expect("decodes");
+            match (&cell, &back) {
+                (AnyCell::Coh(a), AnyCell::Coh(b)) => assert_eq!(a, b),
+                (AnyCell::Synth(a), AnyCell::Synth(b)) => assert_eq!(a, b),
+                other => panic!("kind changed in flight: {other:?}"),
+            }
+        }
+        // Unknown app names are rejected at decode time.
+        let mut j = any_cell_json(&AnyCell::Coh(coh.clone()));
+        if let Json::Obj(pairs) = &mut j {
+            if let Json::Obj(cell) = &mut pairs[1].1 {
+                cell[0].1 = Json::from("no-such-app");
+            }
+        }
+        assert_eq!(decode_any_cell(&j).err(), Some(SnapshotError::Bad("app")));
+
+        // A coherence result round-trips bit-exactly, hash included.
+        let direct = run_any_cell_plain(&AnyCell::Coh(coh), None);
+        let line = cell_result_json(&direct).compact();
+        let back = decode_cell_result(&parse(&line).expect("parses")).expect("decodes");
+        assert_eq!(back, direct);
+        assert_eq!(cell_result_hash(&back), cell_result_hash(&direct));
+    }
+
+    #[test]
+    fn resumable_runs_match_plain_runs_for_every_kind() {
+        // Each cell kind: run plain, then run sliced with a mid-run
+        // kill/resume from the last reported state. Results must be
+        // bit-identical.
+        let cells = [
+            AnyCell::Synth(SynthCell { seed: 77, iters: 1003 }),
+            AnyCell::Coh(CohCell {
+                app: "producer_consumer",
+                procs: 4,
+                ops_per_proc: 400,
+                seed: 3,
+                scheme: imo_coherence::Scheme::Ecc,
+            }),
+            AnyCell::Cpu(CpuCell {
+                workload: "ora",
+                scale: Scale::Test,
+                machine: Machine::default_ooo(),
+                variants: figure2_variants(),
+            }),
+        ];
+        for cell in &cells {
+            let (plain, plain_prog) = run_any_cell(cell, None, None, &mut |_, _| {});
+            let stride = (plain_prog / 7).max(1);
+
+            // Straight sliced run.
+            let mut slices = 0u64;
+            let (sliced, sliced_prog) =
+                run_any_cell(cell, Some(stride), None, &mut |_, _| slices += 1);
+            assert_eq!(sliced, plain, "slicing must be invisible");
+            assert_eq!(sliced_prog, plain_prog);
+            assert!(slices >= 2, "stride {stride} produced only {slices} slices");
+
+            // Kill after the second slice, resume from its state.
+            let mut kept: Option<(u64, Json)> = None;
+            let mut seen = 0u64;
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_any_cell(cell, Some(stride), None, &mut |prog, state| {
+                    seen += 1;
+                    if seen == 2 {
+                        kept = Some((prog, state.clone()));
+                        panic!("chaos kill");
+                    }
+                })
+            }));
+            assert!(caught.is_err(), "worker was killed mid-cell");
+            let (prog, state) = kept.expect("two slices reported before the kill");
+            assert_eq!(cell_state_progress(&state), Ok(prog));
+            let (resumed, resumed_prog) =
+                run_any_cell(cell, Some(stride), Some(&state), &mut |_, _| {});
+            assert_eq!(resumed, plain, "resume from checkpoint must be invisible");
+            assert_eq!(resumed_prog, plain_prog);
+        }
+    }
+
+    #[test]
+    fn synth_chain_is_order_sensitive() {
+        let a = run_any_cell_plain(&AnyCell::Synth(SynthCell { seed: 1, iters: 100 }), None);
+        let b = run_any_cell_plain(&AnyCell::Synth(SynthCell { seed: 1, iters: 101 }), None);
+        let c = run_any_cell_plain(&AnyCell::Synth(SynthCell { seed: 2, iters: 100 }), None);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // And deterministic.
+        assert_eq!(a, run_any_cell_plain(&AnyCell::Synth(SynthCell { seed: 1, iters: 100 }), None));
     }
 
     #[test]
@@ -661,5 +1650,20 @@ mod tests {
         });
         assert!(r.is_err());
         let _ = SimError::Paused { cycle: 0 }; // keep the import honest
+    }
+
+    #[test]
+    fn typed_client_reports_connect_failure() {
+        let req = SweepRequest {
+            name: "x".to_string(),
+            preempt_every: None,
+            chaos: None,
+            policy: None,
+            cells: Vec::new(),
+        };
+        match try_run_cells_via_server("127.0.0.1:9", &req) {
+            Err(ClientError::Connect { addr, .. }) => assert_eq!(addr, "127.0.0.1:9"),
+            other => panic!("expected a Connect error, got {other:?}"),
+        }
     }
 }

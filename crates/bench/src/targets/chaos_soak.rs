@@ -1,0 +1,412 @@
+//! **Chaos soak**: the sweep service's exactly-once guarantee under
+//! deterministic failure injection, at scale.
+//!
+//! Spawns a private `imo-serve` (4 workers on an ephemeral loopback port)
+//! and pushes four sweeps through it:
+//!
+//! 1. `synth` — [`SynthCell`] hash chains (10^4 by default,
+//!    `IMO_CHAOS_CELLS` scales to 10^5 for the tier-2 soak) under the full
+//!    chaos menu: worker kills after a checkpoint slice, stalls, dropped
+//!    connections, torn and corrupted done frames, duplicated frames, and
+//!    graceful retirements.
+//! 2. `coh` — checkpointable coherence cells (5 parallel apps × 2 schemes)
+//!    under a kill-heavy schedule, proving a worker killed mid-simulation
+//!    resumes from its last `CohCheckpoint` (`recovered_ckpt_coh > 0`).
+//! 3. `cpu` — preempted CPU experiment cells under kills and retirements.
+//! 4. `clean` — a zero-chaos control sweep over the same synth cells.
+//!
+//! Every sweep's streamed results are byte-compared (compact-JSON string
+//! equality) against a clean, serial, in-process run of the same cells —
+//! chaos may cost re-dispatches and wasted cycles, never bytes. Because
+//! the chaos schedule is content-addressed by `(cell index, attempt)`
+//! (see [`imo_faults::ChaosPlan`]), every recovery counter the server
+//! reports is deterministic regardless of worker scheduling, so the
+//! whole `counters` block is compared exactly by the gate; only the
+//! `wall_ms` fields are host wall-clock.
+//!
+//! `IMO_CHAOS_CHECK=1` turns the recorded proof bits into hard panics —
+//! the tier-2 `IMO_CHAOS=1` soak runs with it set.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+use imo_core::experiment::figure2_variants;
+use imo_faults::ChaosConfig;
+use imo_util::json::{self, Json};
+use imo_util::rng::mix64;
+use imo_workloads::Scale;
+
+use crate::report::{emit, Table};
+use crate::serve::{
+    cell_result_json, run_any_cell_plain, try_run_cells_via_server, AnyCell, CohCell, SweepPolicy,
+    SweepRequest, SynthCell,
+};
+use crate::sweep::cpu_cells;
+
+/// Counters exported into the baseline, in fixed order (the server only
+/// materializes a counter on first touch, so reading a fixed list keeps
+/// the payload shape stable). All are deterministic — chaos fates are
+/// content-addressed per `(index, attempt)`, independent of worker
+/// scheduling.
+const COUNTERS: &[&str] = &[
+    "sweeps",
+    "cells_dispatched",
+    "cells_completed",
+    "redispatches",
+    "quarantined_cells",
+    "worker_failures",
+    "worker_exits",
+    "workers_respawned",
+    "deadline_timeouts",
+    "heartbeats",
+    "recovered_from_checkpoint",
+    "recovered_ckpt_cpu",
+    "recovered_ckpt_coh",
+    "recovered_ckpt_synth",
+    "recovered_cycles",
+    "useful_cycles",
+    "wasted_cycles",
+    "dup_frames",
+    "stale_frames",
+    "corrupt_frames",
+];
+
+/// One sweep's scorecard.
+pub struct SweepStat {
+    /// Sweep name (`synth` / `coh` / `cpu` / `clean`).
+    pub name: &'static str,
+    /// Cells pushed through the server.
+    pub cells: usize,
+    /// Streamed results byte-identical to the clean serial run.
+    pub byte_identical: bool,
+    /// Sweep wall time (host-dependent; gate-banded).
+    pub wall_ms: u64,
+}
+
+/// Everything the soak measured.
+pub struct Output {
+    /// Total cells across all four sweeps.
+    pub cells: usize,
+    /// Per-sweep scorecards.
+    pub sweeps: Vec<SweepStat>,
+    /// The zero-chaos control sweep matched the serial run.
+    pub clean_identical: bool,
+    /// At least one coherence cell resumed from a `CohCheckpoint`.
+    pub coh_recovered: bool,
+    /// No cell exhausted its attempt budget.
+    pub no_quarantine: bool,
+    /// The server's `/status` counters after all sweeps, in
+    /// [`COUNTERS`] order.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Total wall time (host-dependent; gate-banded).
+    pub wall_ms: u64,
+}
+
+fn synth_count() -> usize {
+    std::env::var("IMO_CHAOS_CELLS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .filter(|n| *n > 0)
+        .unwrap_or(10_000)
+}
+
+fn hard_check() -> bool {
+    std::env::var("IMO_CHAOS_CHECK").map(|v| v == "1").unwrap_or(false)
+}
+
+/// The spawned server, killed when the soak exits.
+struct ServeGuard {
+    child: Child,
+}
+
+impl Drop for ServeGuard {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// Finds the `imo-serve` binary next to the current executable. Bench
+/// binaries live one level down (`target/release/deps/`), so the parent
+/// directory is tried too.
+fn server_binary() -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let sibling = exe.with_file_name("imo-serve");
+    if sibling.is_file() {
+        return sibling;
+    }
+    if let Some(updir) = exe.parent().and_then(|d| d.parent()) {
+        let above = updir.join("imo-serve");
+        if above.is_file() {
+            return above;
+        }
+    }
+    panic!(
+        "chaos_soak: imo-serve not found near {} (build it first: \
+         cargo build --release -p imo-serve)",
+        exe.display()
+    );
+}
+
+/// Starts `imo-serve --workers 4` on an ephemeral port; the fixed worker
+/// count keeps dispatch capacity (not results — those are invariant)
+/// reproducible across hosts.
+fn start_server() -> (ServeGuard, String) {
+    let mut child = Command::new(server_binary())
+        .args(["--addr", "127.0.0.1:0", "--workers", "4"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("chaos_soak: spawning imo-serve");
+    let stdout = child.stdout.take().expect("imo-serve stdout");
+    let mut line = String::new();
+    BufReader::new(stdout).read_line(&mut line).expect("imo-serve banner");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected imo-serve banner: {line:?}"))
+        .to_string();
+    (ServeGuard { child }, addr)
+}
+
+/// Fetches `GET /status` and returns the parsed body.
+fn fetch_status(addr: &str) -> Json {
+    let mut stream = TcpStream::connect(addr).expect("status connect");
+    write!(stream, "GET /status HTTP/1.0\r\n\r\n").expect("status request");
+    stream.flush().expect("status flush");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("status response");
+    let body = response
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("status response has no body: {response:?}"))
+        .1;
+    json::parse(body).unwrap_or_else(|e| panic!("status body is not JSON ({e}): {body:?}"))
+}
+
+fn counter(status: &Json, name: &str) -> u64 {
+    status
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .and_then(|c| c.get(name))
+        .and_then(Json::as_f64)
+        .map_or(0, |v| v as u64)
+}
+
+/// The synth sweep's chaos menu: every event class enabled, rates tuned
+/// so a 10^4-cell sweep sees hundreds of failures but stays inside the
+/// default attempt budget.
+fn synth_chaos() -> ChaosConfig {
+    let mut c = ChaosConfig::none(0x50AC_0001);
+    c.kill_rate = 0.015;
+    c.kill_slices = 2;
+    c.stall_rate = 0.0003;
+    c.drop_conn_rate = 0.003;
+    c.torn_rate = 0.003;
+    c.corrupt_rate = 0.003;
+    c.dup_done_rate = 0.008;
+    c.exit_rate = 0.01;
+    c
+}
+
+/// The coherence sweep's schedule is kill-heavy: with 10 cells at a 45%
+/// kill rate the (deterministic, seed-checked) schedule kills several
+/// workers after a checkpoint slice, forcing resume-from-`CohCheckpoint`.
+fn coh_chaos() -> ChaosConfig {
+    let mut c = ChaosConfig::none(0x50AC_0002);
+    c.kill_rate = 0.45;
+    c.kill_slices = 2;
+    c.dup_done_rate = 0.10;
+    c.exit_rate = 0.10;
+    c
+}
+
+fn cpu_chaos() -> ChaosConfig {
+    let mut c = ChaosConfig::none(0x50AC_0003);
+    c.kill_rate = 0.5;
+    c.kill_slices = 1;
+    c.exit_rate = 0.25;
+    c
+}
+
+/// Every killed attempt still advances at least one checkpoint slice, so
+/// a cell of `W` work units under a `preempt_every` of `P` completes
+/// within `W/P + 1` attempts even if *every* dispatch is killed —
+/// `max_attempts` must sit above that structural worst case, not just
+/// above the expected failure chain.
+fn policy(deadline_ms: u64, max_attempts: u32) -> SweepPolicy {
+    SweepPolicy { deadline_ms, max_attempts, backoff_base_ms: 2, backoff_cap_ms: 20 }
+}
+
+fn synth_cells(n: usize) -> Vec<AnyCell> {
+    (0..n)
+        .map(|i| AnyCell::Synth(SynthCell { seed: mix64(0xC0FF_EE00, i as u64), iters: 600 }))
+        .collect()
+}
+
+fn coh_cells() -> Vec<AnyCell> {
+    let apps = ["stencil", "migratory", "producer_consumer", "reduction", "readmostly"];
+    let schemes = [imo_coherence::Scheme::Ecc, imo_coherence::Scheme::Informing];
+    let mut cells = Vec::new();
+    for (i, app) in apps.iter().enumerate() {
+        for scheme in schemes {
+            cells.push(AnyCell::Coh(CohCell {
+                app,
+                procs: 4,
+                ops_per_proc: 1500,
+                seed: 40 + i as u64,
+                scheme,
+            }));
+        }
+    }
+    cells
+}
+
+fn chaos_cpu_cells() -> Vec<AnyCell> {
+    cpu_cells(&["ora"], Scale::Test, &figure2_variants()).into_iter().map(AnyCell::Cpu).collect()
+}
+
+/// Pushes one sweep through the server and byte-compares the streamed
+/// results against a clean serial in-process run of the same cells.
+fn run_sweep(
+    addr: &str,
+    name: &'static str,
+    cells: Vec<AnyCell>,
+    preempt_every: Option<u64>,
+    chaos: Option<ChaosConfig>,
+    pol: Option<SweepPolicy>,
+) -> SweepStat {
+    let expected: Vec<String> =
+        cells.iter().map(|c| cell_result_json(&run_any_cell_plain(c, None)).compact()).collect();
+    let n = cells.len();
+    let request = SweepRequest { name: name.to_string(), preempt_every, chaos, policy: pol, cells };
+    let t0 = Instant::now();
+    let got = try_run_cells_via_server(addr, &request)
+        .unwrap_or_else(|e| panic!("chaos_soak: sweep `{name}` failed: {e}"));
+    let wall_ms = (t0.elapsed().as_millis() as u64).max(1);
+    let byte_identical = got.len() == n
+        && got.iter().zip(&expected).all(|(r, e)| cell_result_json(r).compact() == *e);
+    if hard_check() {
+        assert!(byte_identical, "chaos_soak: sweep `{name}` is not byte-identical");
+    }
+    SweepStat { name, cells: n, byte_identical, wall_ms }
+}
+
+/// Runs the full soak against a private server.
+///
+/// # Panics
+///
+/// Panics if the server cannot be spawned or a sweep aborts; with
+/// `IMO_CHAOS_CHECK=1` also panics on any failed proof bit.
+#[must_use]
+pub fn compute() -> Output {
+    let t0 = Instant::now();
+    let (_guard, addr) = start_server();
+    let n = synth_count();
+
+    let sweeps = vec![
+        run_sweep(
+            &addr,
+            "synth",
+            synth_cells(n),
+            Some(200),
+            Some(synth_chaos()),
+            Some(policy(3000, 6)),
+        ),
+        run_sweep(&addr, "coh", coh_cells(), Some(500), Some(coh_chaos()), Some(policy(8000, 16))),
+        run_sweep(
+            &addr,
+            "cpu",
+            chaos_cpu_cells(),
+            Some(5000),
+            Some(cpu_chaos()),
+            Some(policy(30_000, 16)),
+        ),
+        run_sweep(&addr, "clean", synth_cells(n.min(200)), None, None, None),
+    ];
+
+    let status = fetch_status(&addr);
+    let counters: Vec<(&'static str, u64)> =
+        COUNTERS.iter().map(|name| (*name, counter(&status, name))).collect();
+    let coh_recovered = counter(&status, "recovered_ckpt_coh") > 0;
+    let no_quarantine = counter(&status, "quarantined_cells") == 0;
+    if hard_check() {
+        assert!(coh_recovered, "chaos_soak: no coherence cell resumed from a checkpoint");
+        assert!(no_quarantine, "chaos_soak: a cell was quarantined");
+    }
+
+    Output {
+        cells: sweeps.iter().map(|s| s.cells).sum(),
+        clean_identical: sweeps
+            .iter()
+            .find(|s| s.name == "clean")
+            .is_some_and(|s| s.byte_identical),
+        coh_recovered,
+        no_quarantine,
+        counters,
+        sweeps,
+        wall_ms: (t0.elapsed().as_millis() as u64).max(1),
+    }
+}
+
+/// The baseline payload: proof bits and exact recovery counters, with
+/// `wall_ms` fields gate-banded.
+#[must_use]
+pub fn payload(out: &Output) -> Json {
+    Json::obj([
+        ("cells", Json::from(out.cells)),
+        (
+            "sweeps",
+            Json::arr(out.sweeps.iter().map(|s| {
+                Json::obj([
+                    ("name", Json::from(s.name)),
+                    ("cells", Json::from(s.cells)),
+                    ("byte_identical", Json::Bool(s.byte_identical)),
+                    ("wall_ms", Json::from(s.wall_ms)),
+                ])
+            })),
+        ),
+        ("clean_identical", Json::Bool(out.clean_identical)),
+        ("coh_recovered", Json::Bool(out.coh_recovered)),
+        ("no_quarantine", Json::Bool(out.no_quarantine)),
+        (
+            "counters",
+            Json::Obj(
+                out.counters.iter().map(|(k, v)| ((*k).to_string(), Json::from(*v))).collect(),
+            ),
+        ),
+        ("wall_ms", Json::from(out.wall_ms)),
+    ])
+}
+
+/// Console report.
+pub fn print(out: &Output) {
+    println!("Chaos soak: {} cells through imo-serve under failure injection\n", out.cells);
+    let mut t = Table::new(["sweep", "cells", "byte-identical", "wall ms"]);
+    for s in &out.sweeps {
+        t.row([
+            s.name.to_string(),
+            s.cells.to_string(),
+            if s.byte_identical { "yes".into() } else { "NO".into() },
+            s.wall_ms.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("recovery counters:");
+    for (k, v) in &out.counters {
+        println!("  {k:<26} {v}");
+    }
+    println!(
+        "\ncoh_recovered={} no_quarantine={} clean_identical={}",
+        out.coh_recovered, out.no_quarantine, out.clean_identical
+    );
+}
+
+/// Bench entry point: compute, print, write `BENCH_chaos_soak.json`.
+pub fn run() {
+    let out = compute();
+    print(&out);
+    emit("chaos_soak", payload(&out));
+}

@@ -67,6 +67,9 @@ pub enum SimError {
         /// Protocol state when the request gave up.
         snapshot: ProgressSnapshot,
     },
+    /// A checkpoint failed to decode, or was taken from a different
+    /// configuration than the one it is being resumed into.
+    Checkpoint(imo_util::snapshot::SnapshotError),
 }
 
 impl fmt::Display for SimError {
@@ -87,6 +90,7 @@ impl fmt::Display for SimError {
                     "proc {proc} exhausted {attempts} delivery attempts for {line:#x}: {snapshot}"
                 )
             }
+            SimError::Checkpoint(e) => write!(f, "coherence checkpoint rejected: {e}"),
         }
     }
 }

@@ -73,6 +73,7 @@ pub mod config;
 pub mod error;
 pub mod protocol;
 pub mod sim;
+pub mod snap;
 
 pub use config::{BackoffPolicy, MachineParams, Scheme, SchemeCosts, SimLimits};
 pub use error::{ProgressSnapshot, SimError};
@@ -81,3 +82,4 @@ pub use sim::{
     simulate, simulate_baseline, simulate_faulty, simulate_faulty_full, simulate_observed,
     SimResult,
 };
+pub use snap::{CohCheckpoint, CohOutcome, CohSession};

@@ -9,6 +9,9 @@
 
 use std::collections::HashMap;
 
+use imo_util::json::Json;
+use imo_util::snapshot::{self, SnapshotError};
+
 use crate::config::MachineParams;
 
 /// Per-node protection state of one line (§4.3.1).
@@ -220,6 +223,138 @@ impl Directory {
         // plus one more hop if a third party had to be reached.
         let hops = if p == home { 0 } else { 2 } + if third_party { 1 } else { 0 };
         ActionOutcome { hops, invalidated, downgraded }
+    }
+
+    /// Encodes the directory, every node's protection table and the per-page
+    /// READONLY counts as parallel hex arrays (entries sorted by line, zero
+    /// counts dropped), so the same protocol state always renders
+    /// byte-identical wire text. Part of the coherence run checkpoint
+    /// (`coh.checkpoint`); the envelope lives there, not here.
+    pub(crate) fn snap_body(&self) -> Json {
+        let mut lines: Vec<u64> = self.entries.keys().copied().collect();
+        lines.sort_unstable();
+        let mut dstates = Vec::with_capacity(lines.len());
+        let mut owners = Vec::with_capacity(lines.len());
+        let mut sharers = Vec::with_capacity(lines.len());
+        for &line in &lines {
+            let e = &self.entries[&line];
+            let (s, o) = match e.state {
+                DirState::Uncached => (0, 0),
+                DirState::Shared => (1, 0),
+                DirState::Exclusive(q) => (2, q as u64),
+            };
+            dstates.push(s);
+            owners.push(o);
+            sharers.push(e.sharers.bits);
+        }
+        let prot = self
+            .protection
+            .iter()
+            .map(|m| {
+                let mut ls: Vec<u64> = m.keys().copied().collect();
+                ls.sort_unstable();
+                let states: Vec<u64> = ls
+                    .iter()
+                    .map(|l| match m[l] {
+                        LineState::Invalid => 0,
+                        LineState::ReadOnly => 1,
+                        LineState::ReadWrite => 2,
+                    })
+                    .collect();
+                Json::obj([
+                    ("lines", snapshot::u64s_json(&ls)),
+                    ("states", snapshot::u64s_json(&states)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        let ro = self
+            .readonly_per_page
+            .iter()
+            .map(|m| {
+                let mut pages: Vec<u64> =
+                    m.iter().filter(|&(_, &c)| c > 0).map(|(&p, _)| p).collect();
+                pages.sort_unstable();
+                let counts: Vec<u64> = pages.iter().map(|p| u64::from(m[p])).collect();
+                Json::obj([
+                    ("pages", snapshot::u64s_json(&pages)),
+                    ("counts", snapshot::u64s_json(&counts)),
+                ])
+            })
+            .collect::<Vec<_>>();
+        Json::obj([
+            ("lines", snapshot::u64s_json(&lines)),
+            ("dstates", snapshot::u64s_json(&dstates)),
+            ("owners", snapshot::u64s_json(&owners)),
+            ("sharers", snapshot::u64s_json(&sharers)),
+            ("prot", Json::Arr(prot)),
+            ("ro_pages", Json::Arr(ro)),
+        ])
+    }
+
+    /// Restores a directory encoded by [`Directory::snap_body`] for
+    /// `params.procs` nodes.
+    pub(crate) fn snap_restore(
+        params: MachineParams,
+        data: &Json,
+    ) -> Result<Directory, SnapshotError> {
+        let lines = snapshot::get_u64s(data, "lines")?;
+        let dstates = snapshot::get_u64s(data, "dstates")?;
+        let owners = snapshot::get_u64s(data, "owners")?;
+        let sharers = snapshot::get_u64s(data, "sharers")?;
+        if dstates.len() != lines.len()
+            || owners.len() != lines.len()
+            || sharers.len() != lines.len()
+        {
+            return Err(SnapshotError::Bad("dstates"));
+        }
+        let mut dir = Directory::new(params);
+        for i in 0..lines.len() {
+            let state = match dstates[i] {
+                0 => DirState::Uncached,
+                1 => DirState::Shared,
+                2 => DirState::Exclusive(
+                    usize::try_from(owners[i]).map_err(|_| SnapshotError::Bad("owners"))?,
+                ),
+                _ => return Err(SnapshotError::Bad("dstates")),
+            };
+            dir.entries.insert(lines[i], DirEntry { state, sharers: Vec16 { bits: sharers[i] } });
+        }
+        let prot = snapshot::field(data, "prot")?.as_arr().ok_or(SnapshotError::Bad("prot"))?;
+        let ro =
+            snapshot::field(data, "ro_pages")?.as_arr().ok_or(SnapshotError::Bad("ro_pages"))?;
+        if prot.len() != params.procs || ro.len() != params.procs {
+            return Err(SnapshotError::Bad("prot"));
+        }
+        for (p, j) in prot.iter().enumerate() {
+            let ls = snapshot::get_u64s(j, "lines")?;
+            let states = snapshot::get_u64s(j, "states")?;
+            if states.len() != ls.len() {
+                return Err(SnapshotError::Bad("states"));
+            }
+            for (l, s) in ls.iter().zip(&states) {
+                let st = match s {
+                    1 => LineState::ReadOnly,
+                    2 => LineState::ReadWrite,
+                    _ => return Err(SnapshotError::Bad("states")),
+                };
+                dir.protection[p].insert(*l, st);
+            }
+        }
+        for (p, j) in ro.iter().enumerate() {
+            let pages = snapshot::get_u64s(j, "pages")?;
+            let counts = snapshot::get_u64s(j, "counts")?;
+            if counts.len() != pages.len() {
+                return Err(SnapshotError::Bad("counts"));
+            }
+            for (pg, c) in pages.iter().zip(&counts) {
+                let c = u32::try_from(*c).map_err(|_| SnapshotError::Bad("counts"))?;
+                if c == 0 {
+                    return Err(SnapshotError::Bad("counts"));
+                }
+                dir.readonly_per_page[p].insert(*pg, c);
+            }
+        }
+        Ok(dir)
     }
 
     /// A one-line human-readable description of `line`'s directory state and

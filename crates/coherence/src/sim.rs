@@ -3,7 +3,7 @@
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
-use imo_faults::{EccFault, FaultPlan, InterconnectFault};
+use imo_faults::{EccFault, EccFaults, FaultPlan, InterconnectFault, InterconnectFaults};
 use imo_mem::{Cache, CacheConfig, EccEvent, Probe};
 use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder};
 use imo_util::stats::{Report, Summarize};
@@ -84,11 +84,28 @@ impl Summarize for SimResult {
     }
 }
 
-struct Node {
-    l1: Cache,
-    l2: Cache,
-    time: u64,
-    cursor: usize,
+pub(crate) struct Node {
+    pub(crate) l1: Cache,
+    pub(crate) l2: Cache,
+    pub(crate) time: u64,
+    pub(crate) cursor: usize,
+}
+
+/// The complete mutable state of an in-flight coherence run: everything the
+/// event loop touches between two references. The ready queue is *not* part
+/// of it — at any op boundary the queue is exactly
+/// `{(time[p], p) : cursor[p] < len[p]}`, a pure function of the node
+/// clocks and cursors, so [`drive`] rebuilds it on entry and the checkpoint
+/// codec (`crate::snap`) never has to encode heap internals.
+pub(crate) struct RunState {
+    pub(crate) dir: Directory,
+    pub(crate) nodes: Vec<Node>,
+    pub(crate) result: SimResult,
+    pub(crate) net: InterconnectFaults,
+    pub(crate) ecc: EccFaults,
+    pub(crate) events: u64,
+    pub(crate) consecutive_failures: u32,
+    pub(crate) proc_cpi: Vec<CpiStack>,
 }
 
 fn insufficient(prot: LineState, is_write: bool) -> bool {
@@ -222,16 +239,54 @@ fn run(
     plan: &FaultPlan,
     mut obs: Option<&mut Recorder>,
 ) -> Result<(SimResult, Directory), SimError> {
+    let mut state = init_state(trace, scheme, params, plan)?;
+    let done = drive(&mut state, trace, scheme, params, &mut obs, None)?;
+    debug_assert!(done, "an unbounded drive always runs the trace to completion");
+    let (result, dir, proc_cpi) = finish(state);
+    if let Some(rec) = obs {
+        // The run's completion time is the slowest processor's clock, so its
+        // stack is the one whose total equals `total_cycles`.
+        if let Some(i) = result.proc_cycles.iter().position(|&t| t == result.total_cycles) {
+            debug_assert_eq!(proc_cpi[i].total(), result.total_cycles);
+            rec.cpi.merge(&proc_cpi[i]);
+        }
+        rec.metrics.set("coh.procs", trace.per_proc.len() as u64);
+        rec.metrics.set("coh.total_cycles", result.total_cycles);
+        rec.metrics.set("coh.ops", result.ops);
+        rec.metrics.set("coh.lookups", result.lookups);
+        rec.metrics.set("coh.faults", result.faults);
+        rec.metrics.set("coh.actions", result.actions);
+        rec.metrics.set("coh.l1_misses", result.l1_misses);
+        rec.metrics.set("coh.l2_misses", result.l2_misses);
+        rec.metrics.set("coh.invalidations", result.invalidations);
+        rec.metrics.set("coh.retries", result.retries);
+        rec.metrics.set("coh.timeouts", result.timeouts);
+        rec.metrics.set("coh.nacks", result.nacks);
+        rec.metrics.set("coh.dropped_msgs", result.dropped_msgs);
+        rec.metrics.set("coh.ecc_corrected", result.ecc_corrected);
+        rec.metrics.set("coh.ecc_uncorrectable", result.ecc_uncorrectable);
+        plan.config().record_metrics(&mut rec.metrics);
+    }
+    Ok((result, dir))
+}
+
+/// Builds the op-0 [`RunState`] for a run of `trace` under `scheme`.
+pub(crate) fn init_state(
+    trace: &ParallelTrace,
+    scheme: Scheme,
+    params: &MachineParams,
+    plan: &FaultPlan,
+) -> Result<RunState, SimError> {
     let procs = trace.per_proc.len();
     if procs > 64 {
         return Err(SimError::TooManyProcs { procs });
     }
-    let mut dir = {
+    let dir = {
         let mut p = *params;
         p.procs = procs;
         Directory::new(p)
     };
-    let mut nodes: Vec<Node> = (0..procs)
+    let nodes: Vec<Node> = (0..procs)
         .map(|_| Node {
             l1: Cache::new(CacheConfig::new(params.l1_bytes, 1, params.line_bytes)),
             l2: Cache::new(CacheConfig::new(params.l2_bytes, 4, params.line_bytes)),
@@ -240,7 +295,7 @@ fn run(
         })
         .collect();
 
-    let mut result = SimResult {
+    let result = SimResult {
         app: trace.name,
         scheme,
         total_cycles: 0,
@@ -260,32 +315,58 @@ fn run(
         ecc_uncorrectable: 0,
     };
 
-    let mut queue: BinaryHeap<Reverse<(u64, usize)>> = BinaryHeap::new();
-    for (p, ops) in trace.per_proc.iter().enumerate() {
-        if !ops.is_empty() {
-            queue.push(Reverse((0, p)));
-        }
-    }
+    Ok(RunState {
+        dir,
+        nodes,
+        result,
+        // Independent per-site fault streams; all-zero rates never draw,
+        // which keeps the zero-fault configuration bit-identical to the
+        // baseline.
+        net: plan.interconnect(),
+        ecc: plan.cache_lines(),
+        events: 0,
+        // Machine-wide consecutive delivery failures (reset on any
+        // success): the forward-progress watchdog.
+        consecutive_failures: 0,
+        // Per-processor CPI stacks: every cycle a processor spends is the
+        // total of its per-op cost stacks, so per-category attribution
+        // reconciles with `proc_cycles` exactly (and the slowest
+        // processor's stack with `total_cycles`).
+        proc_cpi: vec![CpiStack::default(); procs],
+    })
+}
 
-    // Independent per-site fault streams; all-zero rates never draw, which
-    // keeps the zero-fault configuration bit-identical to the baseline.
-    let mut net = plan.interconnect();
-    let mut ecc = plan.cache_lines();
-    let mut events: u64 = 0;
-    // Machine-wide consecutive delivery failures (reset on any success):
-    // the forward-progress watchdog.
-    let mut consecutive_failures: u32 = 0;
-
-    // Per-processor CPI stacks: every cycle a processor spends is the total
-    // of its per-op cost stacks, so per-category attribution reconciles with
-    // `proc_cycles` exactly (and the slowest processor's stack with
-    // `total_cycles`).
-    let mut proc_cpi: Vec<CpiStack> = vec![CpiStack::default(); procs];
+/// Advances `state` until the trace completes (returns `Ok(true)`) or, when
+/// `stop_at` is given, until at least `stop_at` total references have been
+/// simulated (returns `Ok(false)` — paused at an op boundary, resumable by
+/// calling `drive` again). `trace`, `scheme` and `params` must be the same
+/// values the state was initialised with.
+pub(crate) fn drive(
+    state: &mut RunState,
+    trace: &ParallelTrace,
+    scheme: Scheme,
+    params: &MachineParams,
+    obs: &mut Option<&mut Recorder>,
+    stop_at: Option<u64>,
+) -> Result<bool, SimError> {
+    let RunState { dir, nodes, result, net, ecc, events, consecutive_failures, proc_cpi } = state;
+    let mut queue: BinaryHeap<Reverse<(u64, usize)>> = nodes
+        .iter()
+        .enumerate()
+        .filter(|&(p, n)| n.cursor < trace.per_proc[p].len())
+        .map(|(p, n)| Reverse((n.time, p)))
+        .collect();
 
     let c = params.costs;
-    while let Some(Reverse((_, p))) = queue.pop() {
-        events += 1;
-        if events > params.limits.event_budget {
+    loop {
+        if let Some(stop) = stop_at {
+            if result.ops >= stop && !queue.is_empty() {
+                return Ok(false);
+            }
+        }
+        let Some(Reverse((_, p))) = queue.pop() else { break };
+        *events += 1;
+        if *events > params.limits.event_budget {
             return Err(SimError::EventBudget { budget: params.limits.event_budget });
         }
         let op = trace.per_proc[p][nodes[p].cursor];
@@ -364,13 +445,13 @@ fn run(
                 // machine-wide forward-progress watchdog.
                 let mut attempts: u32 = 0;
                 imo_obs::record(
-                    &mut obs,
+                    obs,
                     t0 + cost.total(),
                     EventKind::CohRequest { proc: p as u32, line },
                 );
                 loop {
-                    events += 1;
-                    if events > params.limits.event_budget {
+                    *events += 1;
+                    if *events > params.limits.event_budget {
                         return Err(SimError::EventBudget { budget: params.limits.event_budget });
                     }
                     attempts += 1;
@@ -382,12 +463,12 @@ fn run(
                             result.timeouts += 1;
                             cost.add(CpiCategory::CoherenceWait, params.limits.request_timeout);
                             imo_obs::record(
-                                &mut obs,
+                                obs,
                                 t0 + cost.total(),
                                 EventKind::CohDrop { proc: p as u32, line },
                             );
-                            consecutive_failures += 1;
-                            if consecutive_failures >= params.limits.watchdog_failures {
+                            *consecutive_failures += 1;
+                            if *consecutive_failures >= params.limits.watchdog_failures {
                                 let snapshot = ProgressSnapshot {
                                     proc: p,
                                     line,
@@ -432,21 +513,21 @@ fn run(
                             // the critical path.
                             result.nacks += 1;
                             imo_obs::record(
-                                &mut obs,
+                                obs,
                                 t0 + cost.total(),
                                 EventKind::CohNack { proc: p as u32, line },
                             );
-                            consecutive_failures = 0;
+                            *consecutive_failures = 0;
                             break;
                         }
                         Some(InterconnectFault::Delay(d)) => {
                             // Late but delivered.
                             cost.add(CpiCategory::CoherenceWait, d);
-                            consecutive_failures = 0;
+                            *consecutive_failures = 0;
                             break;
                         }
                         None => {
-                            consecutive_failures = 0;
+                            *consecutive_failures = 0;
                             break;
                         }
                     }
@@ -456,7 +537,7 @@ fn run(
                 result.actions += 1;
                 cost.add(CpiCategory::CoherenceWait, out.hops * params.msg_latency);
                 for q in out.invalidated.iter().collect::<Vec<_>>() {
-                    events += 1;
+                    *events += 1;
                     nodes[q].l1.invalidate(line);
                     // The recalled L2 copy passes through the ECC machinery:
                     // the fault plan may flip bits on it.
@@ -466,7 +547,7 @@ fn run(
                             if fault == Some(EccEvent::SingleBit) && removed.is_some() {
                                 result.ecc_corrected += 1;
                                 imo_obs::record(
-                                    &mut obs,
+                                    obs,
                                     t0 + cost.total(),
                                     EventKind::EccCorrected { line },
                                 );
@@ -478,7 +559,7 @@ fn run(
                             result.ecc_uncorrectable += 1;
                             cost.add(CpiCategory::CoherenceWait, params.l2_miss_penalty);
                             imo_obs::record(
-                                &mut obs,
+                                obs,
                                 t0 + cost.total(),
                                 EventKind::EccUncorrectable { line },
                             );
@@ -486,7 +567,7 @@ fn run(
                     }
                     result.invalidations += 1;
                     imo_obs::record(
-                        &mut obs,
+                        obs,
                         t0 + cost.total(),
                         EventKind::CohInvalidate { proc: q as u32, line },
                     );
@@ -501,33 +582,14 @@ fn run(
             queue.push(Reverse((nodes[p].time, p)));
         }
     }
+    Ok(true)
+}
 
-    result.total_cycles = result.proc_cycles.iter().copied().max().unwrap_or(0);
-    if let Some(rec) = obs {
-        // The run's completion time is the slowest processor's clock, so its
-        // stack is the one whose total equals `total_cycles`.
-        if let Some(i) = result.proc_cycles.iter().position(|&t| t == result.total_cycles) {
-            debug_assert_eq!(proc_cpi[i].total(), result.total_cycles);
-            rec.cpi.merge(&proc_cpi[i]);
-        }
-        rec.metrics.set("coh.procs", procs as u64);
-        rec.metrics.set("coh.total_cycles", result.total_cycles);
-        rec.metrics.set("coh.ops", result.ops);
-        rec.metrics.set("coh.lookups", result.lookups);
-        rec.metrics.set("coh.faults", result.faults);
-        rec.metrics.set("coh.actions", result.actions);
-        rec.metrics.set("coh.l1_misses", result.l1_misses);
-        rec.metrics.set("coh.l2_misses", result.l2_misses);
-        rec.metrics.set("coh.invalidations", result.invalidations);
-        rec.metrics.set("coh.retries", result.retries);
-        rec.metrics.set("coh.timeouts", result.timeouts);
-        rec.metrics.set("coh.nacks", result.nacks);
-        rec.metrics.set("coh.dropped_msgs", result.dropped_msgs);
-        rec.metrics.set("coh.ecc_corrected", result.ecc_corrected);
-        rec.metrics.set("coh.ecc_uncorrectable", result.ecc_uncorrectable);
-        plan.config().record_metrics(&mut rec.metrics);
-    }
-    Ok((result, dir))
+/// Consumes a completed run state: seals `total_cycles` and hands back the
+/// result, the final directory and the per-processor CPI stacks.
+pub(crate) fn finish(mut state: RunState) -> (SimResult, Directory, Vec<CpiStack>) {
+    state.result.total_cycles = state.result.proc_cycles.iter().copied().max().unwrap_or(0);
+    (state.result, state.dir, state.proc_cpi)
 }
 
 #[cfg(test)]

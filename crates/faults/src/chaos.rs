@@ -1,0 +1,415 @@
+//! # Deterministic chaos engineering for the sweep service
+//!
+//! The fault plans in the crate root poison the *simulated* substrate; this
+//! module poisons the *measurement infrastructure itself* — the `imo-serve`
+//! worker pool and its TCP framing — while keeping the schedule every bit as
+//! reproducible. A [`ChaosPlan`] decides, purely from the plan seed and the
+//! identity of the work being attempted, whether a worker crashes mid-cell,
+//! stalls forever, tears a frame in half, corrupts a result byte, duplicates
+//! a done frame, drops its connection, or retires gracefully.
+//!
+//! Two properties make chaos runs debuggable and CI-safe:
+//!
+//! * **Content addressing.** Every draw is keyed by `(cell index, attempt)`
+//!   — *not* by which worker got the job or when. The same sweep under the
+//!   same plan produces the same failure schedule regardless of worker
+//!   count, scheduling jitter or host load, so a chaos soak can assert
+//!   byte-identical output against a clean serial run.
+//! * **Zero perturbation when disabled.** A plan with all rates zero (the
+//!   [`ChaosConfig::none`] construction) never consumes randomness and
+//!   injects nothing, so zero-chaos server runs stay bit-identical to a
+//!   server without chaos hooks.
+//!
+//! Like [`FaultPlan`](crate::FaultPlan), each site draws from its own stream
+//! split off the plan seed: the *worker* site (kill/stall/drop-conn — the
+//! worker process misbehaves before or while running the cell), the *wire*
+//! site (torn/corrupt/duplicate frames — the result is damaged on its way
+//! back), and the *exit* site (graceful retirement after a completed cell).
+//! Within a site the kinds partition a single uniform draw, so at most one
+//! event fires per site per attempt; a worker-site event preempts a
+//! wire-site event for the same attempt (a killed worker never gets to
+//! mangle its reply).
+
+use imo_util::json::Json;
+use imo_util::rng::mix64;
+use imo_util::snapshot::{f64_json, get_f64, get_u64, u64_json, Snapshot, SnapshotError};
+
+use crate::draw;
+
+// Site tags, disjoint from the simulation-fault sites in the crate root.
+// Fixed for all time — changing them invalidates recorded chaos schedules.
+const SITE_CHAOS_WORKER: u64 = 0x1996_0011;
+const SITE_CHAOS_WIRE: u64 = 0x1996_0012;
+const SITE_CHAOS_EXIT: u64 = 0x1996_0013;
+
+/// A chaos event injected on one `(cell index, attempt)` dispatch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosEvent {
+    /// The worker drops its connection (exits) before touching the cell.
+    DropConn,
+    /// The worker accepts the job and never replies; only the server's
+    /// dispatch deadline can recover it.
+    Stall,
+    /// The worker dies right after emitting its `after_slices`-th
+    /// preemption checkpoint, leaving a resumable in-flight cell behind.
+    Kill {
+        /// How many checkpoint slices complete before the crash
+        /// (uniform in `1..=kill_slices`).
+        after_slices: u64,
+    },
+    /// The worker completes the cell but writes only a prefix of the done
+    /// frame before dying (a torn/short write).
+    TornWrite,
+    /// The worker completes the cell but a byte of the result payload is
+    /// flipped in flight; the frame parses or hash-checks wrong.
+    CorruptFrame,
+    /// The done frame arrives twice; the server must deduplicate.
+    DupDone,
+}
+
+/// Per-site chaos rates and the plan seed.
+///
+/// Rates are probabilities in `[0, 1]` applied independently per
+/// `(cell index, attempt)`; within each site the kinds partition a single
+/// uniform draw. All-zero rates (the [`ChaosConfig::none`] construction)
+/// are guaranteed to never consume randomness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosConfig {
+    /// Seed every site stream is split from.
+    pub seed: u64,
+    /// Probability a dispatch's worker is killed mid-cell (after a
+    /// checkpoint slice).
+    pub kill_rate: f64,
+    /// Maximum checkpoint slices a killed worker survives (uniform in
+    /// `1..=kill_slices`).
+    pub kill_slices: u64,
+    /// Probability a dispatch's worker stalls forever.
+    pub stall_rate: f64,
+    /// Probability a dispatch's worker drops the connection immediately.
+    pub drop_conn_rate: f64,
+    /// Probability the done frame is torn (short write, then death).
+    pub torn_rate: f64,
+    /// Probability the done frame's payload is corrupted in flight.
+    pub corrupt_rate: f64,
+    /// Probability the done frame is duplicated.
+    pub dup_done_rate: f64,
+    /// Probability a worker retires gracefully after completing a cell
+    /// (announced with a `serve.bye` frame, so the server respawns it
+    /// without charging a failure).
+    pub exit_rate: f64,
+}
+
+impl ChaosConfig {
+    /// A plan that injects nothing (all rates zero).
+    #[must_use]
+    pub fn none(seed: u64) -> ChaosConfig {
+        ChaosConfig {
+            seed,
+            kill_rate: 0.0,
+            kill_slices: 2,
+            stall_rate: 0.0,
+            drop_conn_rate: 0.0,
+            torn_rate: 0.0,
+            corrupt_rate: 0.0,
+            dup_done_rate: 0.0,
+            exit_rate: 0.0,
+        }
+    }
+
+    /// Whether any worker-site event (kill/stall/drop-conn) can fire.
+    #[must_use]
+    pub fn has_worker(&self) -> bool {
+        self.kill_rate > 0.0 || self.stall_rate > 0.0 || self.drop_conn_rate > 0.0
+    }
+
+    /// Whether any wire-site event (torn/corrupt/duplicate) can fire.
+    #[must_use]
+    pub fn has_wire(&self) -> bool {
+        self.torn_rate > 0.0 || self.corrupt_rate > 0.0 || self.dup_done_rate > 0.0
+    }
+
+    /// Whether graceful retirement can fire.
+    #[must_use]
+    pub fn has_exit(&self) -> bool {
+        self.exit_rate > 0.0
+    }
+
+    /// Whether the plan can inject anything at all.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        !self.has_worker() && !self.has_wire() && !self.has_exit()
+    }
+
+    /// Dumps the plan's knobs into a shared metrics registry under the
+    /// `chaos.` prefix (rates in parts per million, as in
+    /// [`FaultConfig::record_metrics`](crate::FaultConfig::record_metrics)).
+    pub fn record_metrics(&self, m: &mut imo_obs::MetricsRegistry) {
+        let ppm = |rate: f64| (rate * 1e6).round() as u64;
+        m.set("chaos.seed", self.seed);
+        m.set("chaos.kill_rate_ppm", ppm(self.kill_rate));
+        m.set("chaos.kill_slices", self.kill_slices);
+        m.set("chaos.stall_rate_ppm", ppm(self.stall_rate));
+        m.set("chaos.drop_conn_rate_ppm", ppm(self.drop_conn_rate));
+        m.set("chaos.torn_rate_ppm", ppm(self.torn_rate));
+        m.set("chaos.corrupt_rate_ppm", ppm(self.corrupt_rate));
+        m.set("chaos.dup_done_rate_ppm", ppm(self.dup_done_rate));
+        m.set("chaos.exit_rate_ppm", ppm(self.exit_rate));
+    }
+}
+
+impl Default for ChaosConfig {
+    fn default() -> ChaosConfig {
+        ChaosConfig::none(0)
+    }
+}
+
+impl Snapshot for ChaosConfig {
+    const KIND: &'static str = "chaos.config";
+    const VERSION: u32 = 1;
+
+    fn encode(&self) -> Json {
+        Json::obj([
+            ("seed", u64_json(self.seed)),
+            ("kill_rate", f64_json(self.kill_rate)),
+            ("kill_slices", u64_json(self.kill_slices)),
+            ("stall_rate", f64_json(self.stall_rate)),
+            ("drop_conn_rate", f64_json(self.drop_conn_rate)),
+            ("torn_rate", f64_json(self.torn_rate)),
+            ("corrupt_rate", f64_json(self.corrupt_rate)),
+            ("dup_done_rate", f64_json(self.dup_done_rate)),
+            ("exit_rate", f64_json(self.exit_rate)),
+        ])
+    }
+
+    fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        Ok(ChaosConfig {
+            seed: get_u64(data, "seed")?,
+            kill_rate: get_f64(data, "kill_rate")?,
+            kill_slices: get_u64(data, "kill_slices")?,
+            stall_rate: get_f64(data, "stall_rate")?,
+            drop_conn_rate: get_f64(data, "drop_conn_rate")?,
+            torn_rate: get_f64(data, "torn_rate")?,
+            corrupt_rate: get_f64(data, "corrupt_rate")?,
+            dup_done_rate: get_f64(data, "dup_done_rate")?,
+            exit_rate: get_f64(data, "exit_rate")?,
+        })
+    }
+}
+
+/// A deterministic chaos schedule over `(cell index, attempt)` pairs.
+///
+/// Unlike the simulation-fault streams, the plan keeps no draw cursor:
+/// every event is a pure function of the plan seed and the dispatch
+/// identity, so any process — a worker deciding how to misbehave, the soak
+/// harness predicting what should have happened — computes the same answer
+/// with no state to carry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChaosPlan {
+    cfg: ChaosConfig,
+}
+
+impl ChaosPlan {
+    /// A plan over the given configuration.
+    #[must_use]
+    pub fn new(cfg: ChaosConfig) -> ChaosPlan {
+        ChaosPlan { cfg }
+    }
+
+    /// The plan that injects nothing.
+    #[must_use]
+    pub fn none() -> ChaosPlan {
+        ChaosPlan { cfg: ChaosConfig::none(0) }
+    }
+
+    /// The configuration this plan was built from.
+    #[must_use]
+    pub fn config(&self) -> &ChaosConfig {
+        &self.cfg
+    }
+
+    /// The chaos event (if any) injected on attempt `attempt` of cell
+    /// `index`. A worker-site event preempts a wire-site event for the
+    /// same attempt.
+    #[must_use]
+    pub fn dispatch(&self, index: u64, attempt: u64) -> Option<ChaosEvent> {
+        let n = mix64(index, attempt);
+        if self.cfg.has_worker() {
+            let (u, mut rng) = draw(mix64(self.cfg.seed, SITE_CHAOS_WORKER), n);
+            if u < self.cfg.drop_conn_rate {
+                return Some(ChaosEvent::DropConn);
+            } else if u < self.cfg.drop_conn_rate + self.cfg.stall_rate {
+                return Some(ChaosEvent::Stall);
+            } else if u < self.cfg.drop_conn_rate + self.cfg.stall_rate + self.cfg.kill_rate {
+                let after_slices = rng.gen_range(1..self.cfg.kill_slices.max(1) + 1);
+                return Some(ChaosEvent::Kill { after_slices });
+            }
+        }
+        if self.cfg.has_wire() {
+            let (u, _) = draw(mix64(self.cfg.seed, SITE_CHAOS_WIRE), n);
+            if u < self.cfg.torn_rate {
+                return Some(ChaosEvent::TornWrite);
+            } else if u < self.cfg.torn_rate + self.cfg.corrupt_rate {
+                return Some(ChaosEvent::CorruptFrame);
+            } else if u < self.cfg.torn_rate + self.cfg.corrupt_rate + self.cfg.dup_done_rate {
+                return Some(ChaosEvent::DupDone);
+            }
+        }
+        None
+    }
+
+    /// Whether the worker that just completed attempt `attempt` of cell
+    /// `index` retires gracefully (sends `serve.bye` and exits clean).
+    #[must_use]
+    pub fn exit_after(&self, index: u64, attempt: u64) -> bool {
+        if !self.cfg.has_exit() {
+            return false;
+        }
+        let (u, _) = draw(mix64(self.cfg.seed, SITE_CHAOS_EXIT), mix64(index, attempt));
+        u < self.cfg.exit_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stormy() -> ChaosConfig {
+        let mut c = ChaosConfig::none(13);
+        c.kill_rate = 0.15;
+        c.kill_slices = 3;
+        c.stall_rate = 0.05;
+        c.drop_conn_rate = 0.1;
+        c.torn_rate = 0.1;
+        c.corrupt_rate = 0.1;
+        c.dup_done_rate = 0.1;
+        c.exit_rate = 0.1;
+        c
+    }
+
+    #[test]
+    fn schedule_is_a_pure_function_of_identity() {
+        let plan = ChaosPlan::new(stormy());
+        let again = ChaosPlan::new(stormy());
+        for index in 0..512 {
+            for attempt in 0..3 {
+                assert_eq!(plan.dispatch(index, attempt), again.dispatch(index, attempt));
+                assert_eq!(plan.exit_after(index, attempt), again.exit_after(index, attempt));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut other = stormy();
+        other.seed = 14;
+        let a: Vec<_> = (0..512).map(|i| ChaosPlan::new(stormy()).dispatch(i, 0)).collect();
+        let b: Vec<_> = (0..512).map(|i| ChaosPlan::new(other).dispatch(i, 0)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn attempts_reroll_the_schedule() {
+        // A cell that was killed on attempt 0 must not be doomed to the same
+        // fate forever: the attempt number feeds the draw index.
+        let plan = ChaosPlan::new(stormy());
+        let first: Vec<_> = (0..512).map(|i| plan.dispatch(i, 0)).collect();
+        let second: Vec<_> = (0..512).map(|i| plan.dispatch(i, 1)).collect();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn zero_rates_never_inject() {
+        let plan = ChaosPlan::none();
+        assert!(plan.config().is_none());
+        for index in 0..1000 {
+            assert_eq!(plan.dispatch(index, 0), None);
+            assert!(!plan.exit_after(index, 0));
+        }
+    }
+
+    #[test]
+    fn kinds_partition_and_kill_slices_bounded() {
+        // Rates sum to 1.0 at the worker site: every dispatch fires exactly
+        // one worker event, and wire events are always preempted.
+        let mut c = ChaosConfig::none(21);
+        c.drop_conn_rate = 0.3;
+        c.stall_rate = 0.3;
+        c.kill_rate = 0.4;
+        c.kill_slices = 4;
+        c.torn_rate = 1.0; // would fire on every dispatch if not preempted
+        let plan = ChaosPlan::new(c);
+        let mut seen = [0u32; 3];
+        for index in 0..2000 {
+            match plan.dispatch(index, 0) {
+                Some(ChaosEvent::DropConn) => seen[0] += 1,
+                Some(ChaosEvent::Stall) => seen[1] += 1,
+                Some(ChaosEvent::Kill { after_slices }) => {
+                    assert!((1..=4).contains(&after_slices), "slices {after_slices}");
+                    seen[2] += 1;
+                }
+                other => panic!("worker site saturated; got {other:?}"),
+            }
+        }
+        assert!(seen.iter().all(|&k| k > 300), "all kinds appear: {seen:?}");
+    }
+
+    #[test]
+    fn wire_rates_are_roughly_honoured() {
+        let mut c = ChaosConfig::none(34);
+        c.dup_done_rate = 0.25;
+        let plan = ChaosPlan::new(c);
+        let dups = (0..8000).filter(|&i| plan.dispatch(i, 0) == Some(ChaosEvent::DupDone)).count();
+        assert!((1700..2300).contains(&dups), "dups {dups} out of expectation for p=0.25");
+    }
+
+    #[test]
+    fn exit_site_is_independent_of_dispatch_site() {
+        // The same (index, attempt) keys both sites, but through different
+        // site tags: saturating the worker site must not change who retires.
+        let calm = {
+            let mut c = ChaosConfig::none(55);
+            c.exit_rate = 0.2;
+            ChaosPlan::new(c)
+        };
+        let storm = {
+            let mut c = ChaosConfig::none(55);
+            c.exit_rate = 0.2;
+            c.kill_rate = 1.0;
+            ChaosPlan::new(c)
+        };
+        for index in 0..512 {
+            assert_eq!(calm.exit_after(index, 0), storm.exit_after(index, 0));
+        }
+    }
+
+    #[test]
+    fn config_snapshot_round_trips() {
+        let cfg = stormy();
+        let wire = cfg.to_wire();
+        let back = ChaosConfig::from_wire(&wire).expect("decodes");
+        assert_eq!(back, cfg);
+        // Exact bit patterns survive, so a forwarded config draws the same
+        // schedule in the worker process as in the server.
+        assert_eq!(ChaosPlan::new(back).dispatch(17, 2), ChaosPlan::new(cfg).dispatch(17, 2));
+    }
+
+    #[test]
+    fn config_snapshot_rejects_tampering() {
+        let mut wire = stormy().to_wire();
+        if let imo_util::json::Json::Obj(pairs) = &mut wire {
+            pairs[0].1 = imo_util::json::Json::from("not-chaos");
+        }
+        assert!(matches!(ChaosConfig::from_wire(&wire), Err(SnapshotError::Kind { .. })));
+    }
+
+    #[test]
+    fn record_metrics_exports_rates_in_ppm() {
+        let mut m = imo_obs::MetricsRegistry::new();
+        let mut c = ChaosConfig::none(9);
+        c.kill_rate = 0.25;
+        c.record_metrics(&mut m);
+        assert_eq!(m.counter("chaos.seed"), Some(9));
+        assert_eq!(m.counter("chaos.kill_rate_ppm"), Some(250_000));
+        assert_eq!(m.counter("chaos.kill_slices"), Some(2));
+    }
+}

@@ -46,6 +46,10 @@
 
 use imo_util::rng::{mix64, SmallRng};
 
+pub mod chaos;
+
+pub use chaos::{ChaosConfig, ChaosEvent, ChaosPlan};
+
 /// A fault injected on one directory protocol message.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InterconnectFault {
@@ -276,7 +280,7 @@ impl FaultPlan {
 /// One uniform sample in `[0, 1)` from a per-draw split RNG. Splitting per
 /// draw (rather than advancing one generator) makes draw `n` a pure function
 /// of `(stream seed, n)`.
-fn draw(seed: u64, n: u64) -> (f64, SmallRng) {
+pub(crate) fn draw(seed: u64, n: u64) -> (f64, SmallRng) {
     let mut rng = SmallRng::seed_from_u64(mix64(seed, n));
     let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
     (u, rng)
@@ -291,6 +295,22 @@ pub struct InterconnectFaults {
 }
 
 impl InterconnectFaults {
+    /// Number of draws consumed so far. Because draw `n` is a pure function
+    /// of `(stream seed, n)`, this single counter is the stream's entire
+    /// mutable state — a checkpoint records it and
+    /// [`InterconnectFaults::seek`] restores it.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.n
+    }
+
+    /// Fast-forwards (or rewinds) the stream so the next draw is draw `n`,
+    /// as returned by [`InterconnectFaults::position`] on the stream being
+    /// restored.
+    pub fn seek(&mut self, n: u64) {
+        self.n = n;
+    }
+
     /// The fault (if any) injected on the next protocol message.
     pub fn draw(&mut self) -> Option<InterconnectFault> {
         if !self.cfg.has_interconnect() {
@@ -320,6 +340,21 @@ pub struct EccFaults {
 }
 
 impl EccFaults {
+    /// Number of draws consumed so far. Because draw `n` is a pure function
+    /// of `(stream seed, n)`, this single counter is the stream's entire
+    /// mutable state — a checkpoint records it and [`EccFaults::seek`]
+    /// restores it.
+    #[must_use]
+    pub fn position(&self) -> u64 {
+        self.n
+    }
+
+    /// Fast-forwards (or rewinds) the stream so the next draw is draw `n`,
+    /// as returned by [`EccFaults::position`] on the stream being restored.
+    pub fn seek(&mut self, n: u64) {
+        self.n = n;
+    }
+
     /// The ECC event (if any) injected on the next line invalidation.
     pub fn draw(&mut self) -> Option<EccFault> {
         if !self.cfg.has_ecc() {

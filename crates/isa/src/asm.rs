@@ -1,6 +1,5 @@
 //! A small assembler DSL for building [`Program`]s.
 
-use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
 
@@ -383,7 +382,7 @@ impl Asm {
             .labels
             .into_iter()
             .filter_map(|l| l.addr.map(|a| (l.name, a)))
-            .collect::<HashMap<_, _>>();
+            .collect::<std::collections::BTreeMap<_, _>>();
         Ok(Program::new(self.instrs, labels, self.data, entry))
     }
 }

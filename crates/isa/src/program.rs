@@ -1,6 +1,6 @@
 //! Assembled programs.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
 
 use crate::instr::Instr;
@@ -11,13 +11,19 @@ pub const TEXT_BASE: u64 = 0x1_0000;
 /// An assembled program: instructions, resolved labels, initial data image
 /// and the entry point.
 ///
+/// The label table is a `BTreeMap` so the derived `Debug` rendering is
+/// deterministic across processes — checkpoints bind to a session via a
+/// `Debug`-based configuration hash, and a resume in a freshly spawned
+/// worker must compute the same hash as the process that wrote the
+/// checkpoint.
+///
 /// Produced by [`crate::Asm::assemble`]. A `Program` is immutable; the
 /// functional executor and the processor models read instructions by address
 /// via [`Program::fetch`].
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Program {
     instrs: Vec<Instr>,
-    labels: HashMap<String, u64>,
+    labels: BTreeMap<String, u64>,
     data: Vec<(u64, u64)>,
     entry: u64,
 }
@@ -25,7 +31,7 @@ pub struct Program {
 impl Program {
     pub(crate) fn new(
         instrs: Vec<Instr>,
-        labels: HashMap<String, u64>,
+        labels: BTreeMap<String, u64>,
         data: Vec<(u64, u64)>,
         entry: u64,
     ) -> Program {

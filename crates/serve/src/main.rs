@@ -1,7 +1,7 @@
-//! `imo-serve` — the sweep job server.
+//! `imo-serve` — the chaos-hardened sweep job server.
 //!
-//! A long-running binary that turns the bench harness's
-//! [`imo_bench::sweep::CpuCell`] sweeps into a service: clients connect over loopback TCP, submit a
+//! A long-running binary that turns the bench harness's cell sweeps into a
+//! supervised service: clients connect over loopback TCP, submit a
 //! `serve.sweep` frame (one line of compact JSON), and receive one
 //! `serve.done` frame per cell **in input-index order**. Cells are sharded
 //! across a pool of worker subprocesses (`imo-serve --worker`), each running
@@ -9,39 +9,66 @@
 //! bit-identical, which `ci_gate --serve` asserts against the committed
 //! `BENCH_*.json` files.
 //!
+//! ## Supervision
+//!
+//! Each worker is driven by a dispatcher thread that enforces a
+//! per-dispatch deadline: a worker that neither completes its cell nor
+//! heartbeats a `serve.ckpt` checkpoint within the window is declared dead,
+//! killed and respawned, and the cell is re-dispatched under a capped
+//! exponential backoff — resuming from the worker's last reported
+//! checkpoint, not from scratch. Completed results are verified against
+//! their content hash (a corrupted-but-parseable frame is re-dispatched),
+//! deduplicated by input index, and a cell that keeps failing is
+//! quarantined: the sweep aborts with a typed `serve.error` naming it.
+//! Worker lifecycle (`idle`/`busy`/`suspect`/`dead`/`respawning`) and all
+//! failure/recovery counters are visible at `/status`.
+//!
+//! When a sweep carries a deterministic chaos schedule
+//! ([`imo_faults::ChaosPlan`]), workers look up their own faults per
+//! `(cell index, attempt)` and die, stall, tear frames, lie about hashes,
+//! duplicate completions or retire gracefully on cue — the supervisor must
+//! make all of it invisible: the streamed results stay byte-identical to a
+//! clean serial run. Without a chaos schedule no randomness is drawn
+//! anywhere and the fast path is byte-identical to the pre-chaos server.
+//!
 //! Modes:
 //!
 //! * *(default)* server: `imo-serve [--addr 127.0.0.1:0] [--workers N]` —
 //!   binds, prints `listening on ADDR` to stdout, serves forever. All
 //!   logging goes to stderr; stdout carries only the address line.
 //! * `--worker`: internal; reads `serve.job` frames from stdin, writes
-//!   `serve.done` frames to stdout. Spawned by the server, never by hand.
-//! * `--smoke`: self-test; starts a server subprocess, pushes two small
-//!   shards through it (one with checkpoint-based preemption), compares
-//!   against in-process results bit-for-bit, and hits `/status`.
+//!   `serve.ckpt`/`serve.wdone` frames to stdout. Spawned by the server,
+//!   never by hand.
+//! * `--smoke`: self-test; starts a server subprocess, pushes three small
+//!   shards through it (plain, checkpoint-preempted, and chaos-injected),
+//!   compares against in-process results bit-for-bit, and hits `/status`.
 //!
 //! A `GET /status` HTTP request on the same port returns the server's
-//! [`MetricsRegistry`] as JSON (sweeps accepted, cells dispatched and
-//! completed, worker failures).
+//! [`MetricsRegistry`] as JSON plus the worker state machine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::env;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Mutex};
 use std::thread;
+use std::time::Duration;
 
 use imo_bench::serve::{
-    run_cell, run_cells_via_server, CellDone, CellJob, ServeError, SweepRequest,
+    cell_result_hash, cell_state_progress, run_any_cell, run_any_cell_plain, run_cells_via_server,
+    try_run_cells_via_server, AnyCell, CellDone, CellJob, CellResult, CohCell, ServeError,
+    SweepPolicy, SweepRequest, SynthCell, WorkerBye, WorkerCkpt, WorkerDone,
 };
 use imo_bench::sweep::cpu_cells;
+use imo_coherence::BackoffPolicy;
 use imo_core::experiment::{figure2_variants, ExperimentResult};
+use imo_faults::{ChaosConfig, ChaosEvent, ChaosPlan};
 use imo_obs::MetricsRegistry;
 use imo_util::json::{parse, Json};
 use imo_util::snapshot::Snapshot;
@@ -85,12 +112,30 @@ fn default_workers() -> usize {
 }
 
 // ---------------------------------------------------------------------------
-// Worker mode: line-JSON jobs on stdin, line-JSON results on stdout.
+// Worker mode: line-JSON jobs on stdin, line-JSON frames on stdout.
 // ---------------------------------------------------------------------------
 
+/// Progress units a finished result represents (cycles / ops / iters).
+fn result_progress(result: &CellResult, cell: &AnyCell) -> u64 {
+    match (result, cell) {
+        (CellResult::Cpu(e), _) => e.raw.iter().map(|(_, r)| r.cycles).sum(),
+        (CellResult::Coh(s), _) => s.ops,
+        (CellResult::Synth(_), AnyCell::Synth(c)) => c.iters,
+        (CellResult::Synth(_), _) => 0,
+    }
+}
+
 /// Runs `serve.job` frames from stdin until EOF. A malformed frame produces
-/// a `serve.error` frame; a simulation failure panics (the server turns the
-/// resulting EOF into a client-visible error).
+/// a `serve.error` frame; a simulation failure panics (the supervisor turns
+/// the resulting EOF into a re-dispatch).
+///
+/// When the job carries a chaos schedule, the worker consults it for its
+/// own `(index, attempt)` faults and obeys: exiting before work, stalling,
+/// dying after N checkpoint slices, tearing its completion frame mid-write,
+/// stamping a wrong hash, duplicating its completion, or announcing
+/// `serve.bye` and retiring after the cell. Chaos also arms checkpoint
+/// heartbeats: at every preemption boundary the worker streams its
+/// resumable state so a replacement can pick up where it died.
 fn worker_main() {
     let stdin = io::stdin();
     let mut out = io::stdout().lock();
@@ -99,30 +144,124 @@ fn worker_main() {
         if line.trim().is_empty() {
             continue;
         }
-        let frame = match parse(&line)
+        let job = match parse(&line)
             .map_err(|e| e.to_string())
             .and_then(|j| CellJob::from_wire(&j).map_err(|e| format!("{e:?}")))
         {
-            Ok(job) => {
-                let result = run_cell(&job.cell, job.preempt_every);
-                CellDone { index: job.index, result }.to_wire()
+            Ok(job) => job,
+            Err(msg) => {
+                let frame = ServeError { message: format!("bad job frame: {msg}") }.to_wire();
+                writeln!(out, "{}", frame.compact()).expect("worker stdout");
+                out.flush().expect("worker stdout flush");
+                continue;
             }
-            Err(msg) => ServeError { message: format!("bad job frame: {msg}") }.to_wire(),
         };
-        writeln!(out, "{}", frame.compact()).expect("worker stdout");
-        out.flush().expect("worker stdout flush");
+        let retire = run_worker_job(&job, &mut out);
+        if retire {
+            std::process::exit(0);
+        }
     }
+}
+
+/// Runs one job, obeying its chaos schedule. Returns whether the worker
+/// should retire gracefully afterwards.
+fn run_worker_job(job: &CellJob, out: &mut impl Write) -> bool {
+    let plan = job.chaos.map(ChaosPlan::new);
+    let event = plan.as_ref().and_then(|p| p.dispatch(job.index, job.attempt));
+    match event {
+        // Vanish before doing any work: the supervisor sees a clean EOF.
+        Some(ChaosEvent::DropConn) => std::process::exit(3),
+        // Stop responding entirely: only the deadline can catch this.
+        Some(ChaosEvent::Stall) => loop {
+            thread::sleep(Duration::from_secs(3600));
+        },
+        _ => {}
+    }
+    let kill_after = match event {
+        Some(ChaosEvent::Kill { after_slices }) => Some(after_slices),
+        _ => None,
+    };
+
+    let start_progress = job
+        .resume
+        .as_ref()
+        .map(|s| cell_state_progress(s).expect("supervisor-provided resume state"))
+        .unwrap_or(0);
+    let (result, progress) = if job.chaos.is_some() || job.resume.is_some() {
+        // Chaos (or a resumed cell) arms checkpoint heartbeats — and the
+        // chaos kill, which strikes after the N-th reported slice.
+        let mut slices = 0u64;
+        let mut on_slice = |prog: u64, state: &Json| {
+            slices += 1;
+            let ckpt = WorkerCkpt {
+                index: job.index,
+                attempt: job.attempt,
+                progress: prog,
+                worked: prog.saturating_sub(start_progress),
+                state: state.clone(),
+            };
+            writeln!(out, "{}", ckpt.to_wire().compact()).expect("worker stdout");
+            out.flush().expect("worker stdout flush");
+            if kill_after == Some(slices) {
+                std::process::exit(9);
+            }
+        };
+        run_any_cell(&job.cell, job.preempt_every, job.resume.as_ref(), &mut on_slice)
+    } else {
+        // The clean path: no heartbeat frames, no RNG, memoized CPU runs —
+        // byte-identical to the pre-chaos worker.
+        let result = run_any_cell_plain(&job.cell, job.preempt_every);
+        let progress = result_progress(&result, &job.cell);
+        (result, progress)
+    };
+
+    let mut hash = cell_result_hash(&result);
+    let mut extra = 0u64;
+    match event {
+        // Lie about the hash: the frame parses but fails verification.
+        Some(ChaosEvent::CorruptFrame) => hash ^= 1,
+        Some(ChaosEvent::DupDone) => extra = 1,
+        _ => {}
+    }
+    let retire = plan.as_ref().is_some_and(|p| p.exit_after(job.index, job.attempt));
+    if retire {
+        writeln!(out, "{}", WorkerBye {}.to_wire().compact()).expect("worker stdout");
+    }
+    let done = WorkerDone {
+        index: job.index,
+        attempt: job.attempt,
+        progress,
+        worked: progress.saturating_sub(start_progress),
+        hash,
+        extra,
+        result,
+    };
+    let frame = done.to_wire().compact();
+    if matches!(event, Some(ChaosEvent::TornWrite)) {
+        // Die mid-write: half a frame, no newline, then gone.
+        let half = frame.len() / 2;
+        out.write_all(&frame.as_bytes()[..half]).expect("worker stdout");
+        out.flush().expect("worker stdout flush");
+        std::process::exit(7);
+    }
+    for _ in 0..=extra {
+        writeln!(out, "{frame}").expect("worker stdout");
+    }
+    out.flush().expect("worker stdout flush");
+    retire
 }
 
 // ---------------------------------------------------------------------------
 // Server mode.
 // ---------------------------------------------------------------------------
 
-/// One worker subprocess with its job/result pipes.
+/// One worker subprocess: its job pipe plus a detached reader thread that
+/// forwards stdout lines over a channel, so the dispatcher can enforce
+/// deadlines with `recv_timeout` instead of blocking on a dead pipe.
 struct Worker {
     child: Child,
     stdin: ChildStdin,
-    stdout: BufReader<ChildStdout>,
+    rx: mpsc::Receiver<io::Result<String>>,
 }
 
 impl Worker {
@@ -136,37 +275,55 @@ impl Worker {
         let grab = |side: &str| io::Error::other(format!("worker {side}"));
         let stdin = child.stdin.take().ok_or_else(|| grab("stdin"))?;
         let stdout = child.stdout.take().ok_or_else(|| grab("stdout"))?;
-        Ok(Worker { child, stdin, stdout: BufReader::new(stdout) })
+        let (tx, rx) = mpsc::channel();
+        // Reader threads die with their pipe: EOF (worker exit or kill)
+        // ends the loop, and an orphaned channel send ends it too.
+        thread::spawn(move || {
+            let mut reader = BufReader::new(stdout);
+            loop {
+                let mut line = String::new();
+                match reader.read_line(&mut line) {
+                    Ok(0) => break,
+                    Ok(_) => {
+                        if tx.send(Ok(line.trim_end().to_string())).is_err() {
+                            break;
+                        }
+                    }
+                    Err(e) => {
+                        let _ = tx.send(Err(e));
+                        break;
+                    }
+                }
+            }
+        });
+        Ok(Worker { child, stdin, rx })
     }
+}
 
-    /// Sends one pre-encoded job line and reads the one result line.
-    fn run_job(&mut self, job_line: &str) -> Result<String, String> {
-        writeln!(self.stdin, "{job_line}").map_err(|e| format!("writing job: {e}"))?;
-        self.stdin.flush().map_err(|e| format!("flushing job: {e}"))?;
-        let mut resp = String::new();
-        match self.stdout.read_line(&mut resp) {
-            Ok(0) => Err("worker exited mid-job".to_string()),
-            Ok(_) => Ok(resp.trim_end().to_string()),
-            Err(e) => Err(format!("reading result: {e}")),
-        }
-    }
-
-    fn alive(&mut self) -> bool {
-        matches!(self.child.try_wait(), Ok(None))
+impl Drop for Worker {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
     }
 }
 
 /// Shared server state: the worker pool (held for the duration of a sweep,
-/// so sweeps serialize) and the metrics behind `/status`.
+/// so sweeps serialize), the per-worker state machine, and the metrics
+/// behind `/status`.
 struct Server {
     worker_count: usize,
     workers: Mutex<Vec<Worker>>,
+    states: Mutex<Vec<&'static str>>,
     metrics: Mutex<MetricsRegistry>,
 }
 
 impl Server {
     fn count(&self, name: &str, delta: u64) {
         self.metrics.lock().expect("metrics lock").count(name, delta);
+    }
+
+    fn set_state(&self, id: usize, state: &'static str) {
+        self.states.lock().expect("states lock")[id] = state;
     }
 }
 
@@ -186,6 +343,7 @@ fn server_main(addr: &str, worker_count: usize) {
     let server = Server {
         worker_count,
         workers: Mutex::new(workers),
+        states: Mutex::new(vec!["idle"; worker_count]),
         metrics: Mutex::new(MetricsRegistry::new()),
     };
     thread::scope(|s| {
@@ -218,8 +376,9 @@ fn handle_conn(server: &Server, stream: TcpStream) -> io::Result<()> {
     }
 }
 
-/// Answers `GET /status`: the metrics registry as an HTTP/JSON snapshot.
-/// Reads only the metrics lock, so status stays responsive mid-sweep.
+/// Answers `GET /status`: the metrics registry plus the worker state
+/// machine as an HTTP/JSON snapshot. Reads only the metrics and state
+/// locks, so status stays responsive mid-sweep.
 fn serve_status(
     server: &Server,
     mut stream: TcpStream,
@@ -233,8 +392,13 @@ fn serve_status(
         }
     }
     let metrics = server.metrics.lock().expect("metrics lock").to_json();
-    let body = Json::obj([("workers", Json::from(server.worker_count)), ("metrics", metrics)])
-        .pretty()
+    let states = server.states.lock().expect("states lock").clone();
+    let body = Json::obj([
+        ("workers", Json::from(server.worker_count)),
+        ("worker_states", Json::arr(states.into_iter().map(Json::from))),
+        ("metrics", metrics),
+    ])
+    .pretty()
         + "\n";
     server.count("status_requests", 1);
     write!(
@@ -245,10 +409,39 @@ fn serve_status(
     stream.flush()
 }
 
-/// Runs one sweep: shards the cells across the worker pool (each worker
-/// pulls the next undispatched cell — dynamic load balancing), reorders
-/// completions through a [`BTreeMap`] buffer, and streams `serve.done`
-/// frames to the client strictly in input-index order.
+/// Per-sweep shared state between the dispatcher threads and the emitter.
+struct SweepRun {
+    cells: Vec<AnyCell>,
+    preempt_every: Option<u64>,
+    chaos: Option<ChaosConfig>,
+    policy: SweepPolicy,
+    backoff: BackoffPolicy,
+    /// Undispatched work: `(cell index, attempt)`.
+    queue: Mutex<VecDeque<(usize, u64)>>,
+    /// Best checkpoint per cell (highest progress wins): the resume state
+    /// a re-dispatch starts from.
+    ckpts: Mutex<HashMap<usize, (u64, Json)>>,
+    /// Verified completion hash per cell, for idempotent dedup.
+    done_hashes: Mutex<HashMap<usize, u64>>,
+    /// Cells not yet completed.
+    pending: AtomicUsize,
+    /// Set on quarantine or client death; dispatchers drain and stop.
+    abort: AtomicBool,
+}
+
+/// How one dispatch ended, supervisor-side.
+enum DispatchEnd {
+    /// Verified completion (and whether the worker announced retirement).
+    Done(Box<WorkerDone>, bool),
+    /// The attempt failed; the worker must be presumed dead.
+    Failed(String),
+}
+
+/// Runs one sweep under supervision: dispatcher threads (one per worker)
+/// pull cells off the shared queue, enforce deadlines, collect checkpoint
+/// heartbeats, verify and deduplicate completions, and re-dispatch failures
+/// with backoff; the emitter reorders completions through a [`BTreeMap`]
+/// buffer and streams `serve.done` frames strictly in input-index order.
 fn handle_sweep(server: &Server, mut stream: TcpStream, first: &str) -> io::Result<()> {
     let req = match parse(first)
         .map_err(|e| e.to_string())
@@ -262,58 +455,57 @@ fn handle_sweep(server: &Server, mut stream: TcpStream, first: &str) -> io::Resu
         }
     };
     let n = req.cells.len();
-    eprintln!("imo-serve: sweep `{}`: {n} cells (preempt {:?})", req.name, req.preempt_every);
+    eprintln!(
+        "imo-serve: sweep `{}`: {n} cells (preempt {:?}, chaos {})",
+        req.name,
+        req.preempt_every,
+        if req.chaos.is_some() { "on" } else { "off" }
+    );
     server.count("sweeps", 1);
     if n == 0 {
         return stream.flush();
     }
-
-    let jobs: Vec<String> = req
-        .cells
-        .iter()
-        .enumerate()
-        .map(|(i, cell)| {
-            CellJob { index: i as u64, cell: cell.clone(), preempt_every: req.preempt_every }
-                .to_wire()
-                .compact()
-        })
-        .collect();
+    let policy = req.policy.unwrap_or_default();
+    let run = SweepRun {
+        cells: req.cells,
+        preempt_every: req.preempt_every,
+        chaos: req.chaos,
+        policy,
+        backoff: BackoffPolicy {
+            base: policy.backoff_base_ms,
+            multiplier: 2,
+            cap: policy.backoff_cap_ms,
+            max_retries: policy.max_attempts.saturating_sub(1),
+        },
+        queue: Mutex::new((0..n).map(|i| (i, 0u64)).collect()),
+        ckpts: Mutex::new(HashMap::new()),
+        done_hashes: Mutex::new(HashMap::new()),
+        pending: AtomicUsize::new(n),
+        abort: AtomicBool::new(false),
+    };
 
     // Taking the pool for the whole sweep serializes sweeps; `/status` only
-    // needs the metrics lock and stays live.
+    // needs the metrics and state locks and stays live.
     let mut pool = server.workers.lock().expect("worker pool lock");
-    let next = AtomicUsize::new(0);
-    let (tx, rx) = mpsc::channel::<(usize, Result<String, String>)>();
+    let (tx, rx) = mpsc::channel::<Result<(usize, String), String>>();
     let mut result: io::Result<()> = Ok(());
     thread::scope(|s| {
-        for w in pool.iter_mut() {
+        for (id, w) in pool.iter_mut().enumerate() {
             let tx = tx.clone();
-            let (jobs, next, server) = (&jobs, &next, &server);
-            s.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::SeqCst);
-                if i >= jobs.len() {
-                    break;
-                }
-                server.count("cells_dispatched", 1);
-                let res = w.run_job(&jobs[i]);
-                let failed = res.is_err();
-                if tx.send((i, res)).is_err() || failed {
-                    break;
-                }
-            });
+            let run = &run;
+            s.spawn(move || dispatcher(server, id, w, run, &tx));
         }
         drop(tx);
 
         let mut buffer: BTreeMap<usize, String> = BTreeMap::new();
         let mut next_emit = 0usize;
         while next_emit < n {
-            let frame_err = match rx.recv() {
-                Ok((_, Ok(line))) if line.is_empty() => Some("worker sent empty frame".to_string()),
-                Ok((i, Ok(line))) => {
-                    buffer.insert(i, line);
-                    server.count("cells_completed", 1);
-                    while let Some(line) = buffer.remove(&next_emit) {
-                        if let Err(e) = writeln!(stream, "{line}") {
+            let abort_msg = match rx.recv() {
+                Ok(Ok((i, frame))) => {
+                    buffer.insert(i, frame);
+                    while let Some(frame) = buffer.remove(&next_emit) {
+                        if let Err(e) = writeln!(stream, "{frame}") {
+                            run.abort.store(true, Ordering::SeqCst);
                             result = Err(e);
                             return;
                         }
@@ -321,14 +513,12 @@ fn handle_sweep(server: &Server, mut stream: TcpStream, first: &str) -> io::Resu
                     }
                     None
                 }
-                Ok((i, Err(msg))) => {
-                    server.count("worker_failures", 1);
-                    Some(format!("cell {i}: {msg}"))
-                }
+                Ok(Err(msg)) => Some(msg),
                 Err(_) => Some("all workers exited".to_string()),
             };
-            if let Some(msg) = frame_err {
-                eprintln!("imo-serve: sweep `{}`: {msg}", req.name);
+            if let Some(msg) = abort_msg {
+                run.abort.store(true, Ordering::SeqCst);
+                eprintln!("imo-serve: sweep aborted: {msg}");
                 let frame = ServeError { message: msg }.to_wire();
                 result = writeln!(stream, "{}", frame.compact()).and_then(|()| stream.flush());
                 return;
@@ -336,27 +526,252 @@ fn handle_sweep(server: &Server, mut stream: TcpStream, first: &str) -> io::Resu
         }
         result = stream.flush();
     });
+    result
+}
 
-    // Replace any worker that died mid-sweep so the pool stays full.
-    for w in pool.iter_mut() {
-        if !w.alive() {
-            eprintln!("imo-serve: respawning dead worker");
-            match Worker::spawn() {
-                Ok(fresh) => *w = fresh,
-                Err(e) => eprintln!("imo-serve: respawn failed: {e}"),
+/// One worker's dispatch loop: pull a cell, supervise the attempt, account
+/// for the outcome, re-dispatch or quarantine on failure, respawn the
+/// worker whenever it is presumed (or known) dead.
+fn dispatcher(
+    server: &Server,
+    id: usize,
+    w: &mut Worker,
+    run: &SweepRun,
+    tx: &mpsc::Sender<Result<(usize, String), String>>,
+) {
+    loop {
+        if run.abort.load(Ordering::SeqCst) {
+            break;
+        }
+        let job = run.queue.lock().expect("queue lock").pop_front();
+        let Some((index, attempt)) = job else {
+            if run.pending.load(Ordering::SeqCst) == 0 {
+                break;
+            }
+            // Another worker may yet fail its cell and requeue it.
+            thread::sleep(Duration::from_millis(2));
+            continue;
+        };
+        match run_one(server, id, w, run, index, attempt) {
+            DispatchEnd::Done(done, retiring) => {
+                let fresh = {
+                    let mut hashes = run.done_hashes.lock().expect("hash lock");
+                    hashes.insert(index, done.hash).is_none()
+                };
+                if fresh {
+                    server.count("cells_completed", 1);
+                    server.count("useful_cycles", done.worked);
+                    let frame =
+                        CellDone { index: done.index, result: done.result }.to_wire().compact();
+                    run.pending.fetch_sub(1, Ordering::SeqCst);
+                    if tx.send(Ok((index, frame))).is_err() {
+                        break; // client is gone
+                    }
+                } else {
+                    server.count("dup_frames", 1);
+                }
+                if retiring {
+                    // A chaos-scheduled graceful exit: not a failure.
+                    server.count("worker_exits", 1);
+                    if !respawn(server, id, w) {
+                        break;
+                    }
+                } else {
+                    server.set_state(id, "idle");
+                }
+            }
+            DispatchEnd::Failed(msg) => {
+                server.count("worker_failures", 1);
+                eprintln!("imo-serve: worker {id}, cell {index} attempt {attempt}: {msg}");
+                if !respawn(server, id, w) {
+                    run.queue.lock().expect("queue lock").push_back((index, attempt));
+                    break;
+                }
+                let next_attempt = attempt + 1;
+                if next_attempt >= u64::from(run.policy.max_attempts) {
+                    server.count("quarantined_cells", 1);
+                    run.abort.store(true, Ordering::SeqCst);
+                    let _ = tx.send(Err(format!(
+                        "cell {index} quarantined after {next_attempt} failed attempts: {msg}"
+                    )));
+                    break;
+                }
+                server.count("redispatches", 1);
+                run.queue.lock().expect("queue lock").push_back((index, next_attempt));
+                #[allow(clippy::cast_possible_truncation)]
+                let delay = run.backoff.delay(attempt.min(u64::from(u32::MAX)) as u32);
+                thread::sleep(Duration::from_millis(delay));
             }
         }
     }
-    result
+    server.set_state(id, "idle");
+}
+
+/// Replaces a dead (or retired) worker. Returns false if the respawn
+/// itself failed — the dispatcher then retires.
+fn respawn(server: &Server, id: usize, w: &mut Worker) -> bool {
+    server.set_state(id, "respawning");
+    match Worker::spawn() {
+        Ok(fresh) => {
+            *w = fresh; // Drop kills and reaps the old child.
+            server.count("workers_respawned", 1);
+            server.set_state(id, "idle");
+            true
+        }
+        Err(e) => {
+            eprintln!("imo-serve: worker {id} respawn failed: {e}");
+            server.set_state(id, "dead");
+            false
+        }
+    }
+}
+
+/// Receives one frame line within the deadline. Halfway through the window
+/// the worker is marked `suspect`; at expiry it is declared dead.
+fn recv_frame(server: &Server, id: usize, w: &Worker, deadline_ms: u64) -> Result<String, String> {
+    let half = Duration::from_millis((deadline_ms / 2).max(1));
+    let got = match w.rx.recv_timeout(half) {
+        Ok(got) => got,
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            server.set_state(id, "suspect");
+            match w.rx.recv_timeout(half) {
+                Ok(got) => {
+                    server.set_state(id, "busy");
+                    got
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    server.count("deadline_timeouts", 1);
+                    server.set_state(id, "dead");
+                    return Err(format!("no progress within the {deadline_ms} ms deadline"));
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    server.set_state(id, "dead");
+                    return Err("worker exited mid-job".to_string());
+                }
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => {
+            server.set_state(id, "dead");
+            return Err("worker exited mid-job".to_string());
+        }
+    };
+    got.map_err(|e| {
+        server.set_state(id, "dead");
+        format!("reading from worker: {e}")
+    })
+}
+
+/// Supervises a single dispatch: sends the job (resuming from the cell's
+/// best checkpoint if one exists), then consumes heartbeats until a
+/// verified completion or a declared death.
+fn run_one(
+    server: &Server,
+    id: usize,
+    w: &mut Worker,
+    run: &SweepRun,
+    index: usize,
+    attempt: u64,
+) -> DispatchEnd {
+    let fail = DispatchEnd::Failed;
+    let resume = {
+        let ckpts = run.ckpts.lock().expect("ckpt lock");
+        ckpts.get(&index).map(|(p, s)| (*p, s.clone()))
+    };
+    if let Some((progress, _)) = &resume {
+        server.count("recovered_from_checkpoint", 1);
+        server.count("recovered_cycles", *progress);
+        let kind = match &run.cells[index] {
+            AnyCell::Cpu(_) => "recovered_ckpt_cpu",
+            AnyCell::Coh(_) => "recovered_ckpt_coh",
+            AnyCell::Synth(_) => "recovered_ckpt_synth",
+        };
+        server.count(kind, 1);
+    }
+    let job = CellJob {
+        index: index as u64,
+        attempt,
+        cell: run.cells[index].clone(),
+        preempt_every: run.preempt_every,
+        chaos: run.chaos,
+        resume: resume.map(|(_, s)| s),
+    };
+    server.count("cells_dispatched", 1);
+    server.set_state(id, "busy");
+    let line = job.to_wire().compact();
+    if let Err(e) = writeln!(w.stdin, "{line}").and_then(|()| w.stdin.flush()) {
+        return fail(format!("writing job: {e}"));
+    }
+
+    let mut retiring = false;
+    loop {
+        let line = match recv_frame(server, id, w, run.policy.deadline_ms) {
+            Ok(line) => line,
+            Err(msg) => return fail(msg),
+        };
+        let Ok(frame) = parse(&line) else {
+            // A torn write arrives as a truncated, unparseable line.
+            server.count("corrupt_frames", 1);
+            return fail("unparseable frame (torn write?)".to_string());
+        };
+        if WorkerBye::from_wire(&frame).is_ok() {
+            retiring = true;
+            continue;
+        }
+        if let Ok(ckpt) = WorkerCkpt::from_wire(&frame) {
+            if ckpt.index != index as u64 || ckpt.attempt != attempt {
+                server.count("stale_frames", 1);
+                continue;
+            }
+            server.count("heartbeats", 1);
+            let mut ckpts = run.ckpts.lock().expect("ckpt lock");
+            let best = ckpts.entry(index).or_insert((0, Json::Null));
+            if ckpt.progress >= best.0 {
+                *best = (ckpt.progress, ckpt.state);
+            }
+            continue;
+        }
+        if let Ok(done) = WorkerDone::from_wire(&frame) {
+            if done.index != index as u64 || done.attempt != attempt {
+                // A duplicate of an already-completed cell, or junk.
+                let known =
+                    run.done_hashes.lock().expect("hash lock").get(&(done.index as usize)).copied();
+                server
+                    .count(if known == Some(done.hash) { "dup_frames" } else { "stale_frames" }, 1);
+                continue;
+            }
+            if cell_result_hash(&done.result) != done.hash {
+                server.count("corrupt_frames", 1);
+                // Everything past the last checkpoint must be redone.
+                let kept = run.ckpts.lock().expect("ckpt lock").get(&index).map_or(0, |(p, _)| *p);
+                server.count("wasted_cycles", done.progress.saturating_sub(kept));
+                return fail(format!("cell {index}: result hash mismatch"));
+            }
+            // Drain announced duplicate completions so they never alias the
+            // next job's frames.
+            for _ in 0..done.extra {
+                match w.rx.recv_timeout(Duration::from_millis(2000)) {
+                    Ok(Ok(_)) => server.count("dup_frames", 1),
+                    _ => break,
+                }
+            }
+            return DispatchEnd::Done(Box::new(done), retiring);
+        }
+        if let Ok(err) = ServeError::from_wire(&frame) {
+            return fail(format!("worker error: {}", err.message));
+        }
+        server.count("corrupt_frames", 1);
+        return fail("unrecognized frame".to_string());
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Smoke mode: end-to-end self-test against the in-process path.
 // ---------------------------------------------------------------------------
 
-/// Starts a server subprocess, runs two shards through it (the second with
-/// checkpoint-based preemption), asserts bit-identity with the in-process
-/// path, and checks `/status`. Prints `serve smoke ok` on success.
+/// Starts a server subprocess, runs three shards through it (plain,
+/// checkpoint-preempted, chaos-injected), asserts bit-identity with the
+/// in-process path, and checks `/status`. Prints `serve smoke ok` on
+/// success.
 fn smoke(workers: usize) {
     let exe = env::current_exe().expect("current_exe");
     let mut child = Command::new(&exe)
@@ -386,7 +801,8 @@ fn smoke_body(addr: &str) {
     // Shard 1: ora + compress on both machines, no preemption. The direct
     // results are the in-process ground truth the server must reproduce.
     let cells = cpu_cells(&["ora", "compress"], Scale::Test, &figure2_variants());
-    let direct: Vec<ExperimentResult> = cells.iter().map(|c| run_cell(c, None)).collect();
+    let direct: Vec<ExperimentResult> =
+        cells.iter().map(|c| imo_bench::serve::run_cell(c, None)).collect();
     let served = run_cells_via_server(addr, "smoke", cells);
     assert_eq!(served, direct, "served shard must be bit-identical to in-process");
     eprintln!("smoke: plain shard ok ({} cells)", served.len());
@@ -400,6 +816,45 @@ fn smoke_body(addr: &str) {
     assert_eq!(served, direct[..2], "preempted shard must be bit-identical");
     eprintln!("smoke: preempted shard ok ({} cells)", served.len());
 
+    // Shard 3: chaos. Synthetic hash chains plus a coherence cell under a
+    // saturated failure schedule — kills, torn writes, corrupt frames,
+    // duplicate completions, graceful retirements. The streamed results
+    // must still be byte-identical to a clean serial run.
+    let mut cells: Vec<AnyCell> = (0..40)
+        .map(|i| AnyCell::Synth(SynthCell { seed: 0xC0FFEE ^ (i as u64) << 8, iters: 500 }))
+        .collect();
+    cells.push(AnyCell::Coh(CohCell {
+        app: "migratory",
+        procs: 4,
+        ops_per_proc: 800,
+        seed: 5,
+        scheme: imo_coherence::Scheme::Informing,
+    }));
+    let expected: Vec<CellResult> = cells.iter().map(|c| run_any_cell_plain(c, None)).collect();
+    let mut chaos = ChaosConfig::none(0xC4A0);
+    chaos.kill_rate = 0.15;
+    chaos.kill_slices = 2;
+    chaos.drop_conn_rate = 0.05;
+    chaos.torn_rate = 0.05;
+    chaos.corrupt_rate = 0.05;
+    chaos.dup_done_rate = 0.10;
+    chaos.exit_rate = 0.10;
+    let req = SweepRequest {
+        name: "smoke-chaos".to_string(),
+        preempt_every: Some(100),
+        chaos: Some(chaos),
+        policy: Some(SweepPolicy {
+            deadline_ms: 3000,
+            max_attempts: 6,
+            backoff_base_ms: 2,
+            backoff_cap_ms: 20,
+        }),
+        cells,
+    };
+    let served = try_run_cells_via_server(addr, &req).expect("chaos sweep must complete");
+    assert_eq!(served, expected, "chaos must be invisible in the streamed results");
+    eprintln!("smoke: chaos shard ok ({} cells)", served.len());
+
     let mut stream = TcpStream::connect(addr).expect("status connect");
     write!(stream, "GET /status HTTP/1.0\r\n\r\n").expect("status request");
     stream.flush().expect("status flush");
@@ -407,5 +862,7 @@ fn smoke_body(addr: &str) {
     stream.read_to_string(&mut response).expect("status response");
     assert!(response.starts_with("HTTP/1.1 200 OK"), "status must answer 200: {response}");
     assert!(response.contains("cells_completed"), "status must expose metrics: {response}");
+    assert!(response.contains("worker_states"), "status must expose worker states: {response}");
+    assert!(response.contains("redispatches"), "chaos must have exercised recovery: {response}");
     eprintln!("smoke: /status ok");
 }

@@ -52,7 +52,7 @@ pub fn program(scale: Scale) -> Program {
     let cold = a.label("cold_probe");
     a.branch(Cond::Eq, tmp, Reg::ZERO, cold);
     a.andi(hash, hash, 2047);
-    a.bind(cold).unwrap();
+    a.bind(cold).expect("label is bound exactly once");
     a.sll(hash, hash, 3);
     a.add(hash, hash, tbase);
     // Probe.
@@ -63,9 +63,9 @@ pub fn program(scale: Scale) -> Program {
     // Miss in the dictionary: install the new code.
     a.store(prefix, hash, 0);
     a.jump(cont);
-    a.bind(found).unwrap();
+    a.bind(found).expect("label is bound exactly once");
     a.add(outsum, outsum, val);
-    a.bind(cont).unwrap();
+    a.bind(cont).expect("label is bound exactly once");
     a.or(prefix, ch, Reg::ZERO);
     a.addi(ctr, ctr, 1);
     a.branch(Cond::Lt, ctr, limit, top);

@@ -58,7 +58,7 @@ pub fn program(scale: Scale) -> Program {
         a.andi(tmp, seed, 0x7);
         a.branch(Cond::Eq, tmp, Reg::ZERO, absorb);
         a.fmul(path, path, e);
-        a.bind(absorb).unwrap();
+        a.bind(absorb).expect("label is bound exactly once");
         a.fadd(acc, acc, path);
     });
     a.halt();

@@ -50,7 +50,7 @@ pub fn program(scale: Scale) -> Program {
             a.store(y, addr, 0);
             a.store(x, addr, 8);
             a.addi(swaps, swaps, 1);
-            a.bind(ordered).unwrap();
+            a.bind(ordered).expect("label is bound exactly once");
         });
     });
     a.halt();

@@ -50,7 +50,7 @@ pub fn program(scale: Scale) -> Program {
         a.or(z, x, y);
         a.xor(z, z, seed);
         a.store(z, idx, 0);
-        a.bind(disjoint).unwrap();
+        a.bind(disjoint).expect("label is bound exactly once");
         // Distance metric (population-count flavoured).
         a.srl(tmp, x, 32);
         a.xor(tmp, tmp, x);

@@ -37,7 +37,7 @@ pub fn program(scale: Scale) -> Program {
         let skip = a.label(&format!("rowok_{}", a.len()));
         a.branch(imo_isa::Cond::Ne, rowreg, imo_isa::Reg::ZERO, skip);
         a.li(rowreg, 1);
-        a.bind(skip).unwrap();
+        a.bind(skip).expect("label is bound exactly once");
         // saddr = SRC + row*rowbytes + 8 (column 1)
         a.li(saddr, row_bytes);
         a.mul(saddr, saddr, rowreg);

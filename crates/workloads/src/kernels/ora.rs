@@ -64,7 +64,7 @@ pub fn program(scale: Scale) -> Program {
         let miss = a.label(&format!("tir_{}", a.len()));
         a.branch(Cond::Eq, tmp, Reg::ZERO, miss);
         a.fadd(acc, acc, z);
-        a.bind(miss).unwrap();
+        a.bind(miss).expect("label is bound exactly once");
     });
     a.halt();
     a.assemble().expect("ora kernel assembles")

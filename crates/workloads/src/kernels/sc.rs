@@ -57,7 +57,7 @@ pub fn program(scale: Scale) -> Program {
                 a.branch(Cond::Le, v, colsum, small);
                 a.addi(v, v, -1);
                 a.store(v, addr, 0);
-                a.bind(small).unwrap();
+                a.bind(small).expect("label is bound exactly once");
                 a.add(addr, addr, colstride);
             });
             a.add(total, total, colsum);

@@ -55,7 +55,7 @@ pub fn program(scale: Scale) -> Program {
             a.branch(imo_isa::Cond::Ne, t, imo_isa::Reg::ZERO, skip_y);
             a.add(t, yb, off);
             a.load(yv, t, 0);
-            a.bind(skip_y).unwrap();
+            a.bind(skip_y).expect("label is bound exactly once");
             a.add(t, rxb, off);
             a.load(rxv, t, 0);
             a.add(t, ryb, off);

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-2 verification: regenerate the full bench matrix (all 14 targets,
+# Tier-2 verification: regenerate the full bench matrix (all 15 targets,
 # which rewrites every BENCH_*.json at the repo root) and then run the
 # regression gate against the refreshed tree. Each step reports its
 # wall-clock time.
@@ -17,12 +17,20 @@
 # (ci_gate --serve): cells are sharded across imo-serve worker
 # subprocesses over loopback TCP and must still reproduce the baselines
 # byte-identically.
+#
+# IMO_CHAOS=1 additionally runs a 10x-size chaos soak (10^5 synthetic
+# cells plus coherence and CPU sweeps under a saturated failure
+# schedule, IMO_CHAOS_CHECK=1 hard assertions) before the normal
+# matrix. The soak's proof bits — byte-identity with the clean serial
+# run, coherence recovery from a checkpoint, zero quarantines — panic
+# on violation. The default-size chaos_soak rerun in the matrix loop
+# below then restores the committed-size baseline for the gate.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHES=(table1 fig2 fig3 handler100 branch_vs_exception table2 fig4 \
          fig4_sensitivity ablation_mshr ablation_checkpoints \
-         fault_resilience substrate obs_overhead simspeed)
+         fault_resilience substrate obs_overhead simspeed chaos_soak)
 
 total_start=$(date +%s%N)
 step() { # step <label> <cmd...>
@@ -36,6 +44,12 @@ step() { # step <label> <cmd...>
 
 echo "== build bench harnesses =="
 step "build" cargo build --release --offline -p imo-bench -p imo-serve --benches --bins
+
+if [[ "${IMO_CHAOS:-}" == "1" ]]; then
+    echo "== chaos soak (10^5 cells, hard checks) =="
+    step "chaos soak" env IMO_CHAOS_CELLS=100000 IMO_CHAOS_CHECK=1 \
+        cargo bench -q --offline -p imo-bench --bench chaos_soak
+fi
 
 echo "== bench matrix (${#BENCHES[@]} targets) =="
 for b in "${BENCHES[@]}"; do
