@@ -1,0 +1,5 @@
+//! Miss-attribution bench binary: `cargo bench --bench attrib`.
+
+fn main() {
+    imo_bench::targets::attrib::run();
+}

@@ -61,7 +61,7 @@ const fn r(path: &'static str, expect: Expect) -> Rule {
     Rule { path, expect }
 }
 
-/// The declarative schema table for all 15 baselines.
+/// The declarative schema table for all 16 baselines.
 pub const SCHEMAS: &[BenchSchema] = &[
     BenchSchema {
         name: "table1",
@@ -177,6 +177,28 @@ pub const SCHEMAS: &[BenchSchema] = &[
         ],
     },
     BenchSchema {
+        name: "attrib",
+        rules: &[
+            r("data.cpu", Expect::ArrLen(28)), // 14 workloads x 2 machines
+            r("data.cpu[*].workload", Expect::Str),
+            r("data.cpu[*].machine", Expect::Str),
+            r("data.cpu[*].demand_refs", Expect::NumPos),
+            r("data.cpu[*].demand_misses", Expect::Num),
+            r("data.cpu[*].compulsory", Expect::Num),
+            r("data.cpu[*].coherence", Expect::Num),
+            r("data.cpu[*].capacity", Expect::Num),
+            r("data.cpu[*].conflict", Expect::Num),
+            r("data.cpu[*].reconciled", Expect::True),
+            r("data.cpu[*].passive", Expect::True),
+            r("data.cpu[*].hot_pattern", Expect::Str),
+            r("data.coherence", Expect::ArrLen(3)), // 3 schemes
+            r("data.coherence[*].scheme", Expect::Str),
+            r("data.coherence[*].classified", Expect::NumPos),
+            r("data.coherence[*].coherence", Expect::NumPos),
+            r("data.coherence[*].reconciled", Expect::True),
+        ],
+    },
+    BenchSchema {
         name: "substrate",
         rules: &[
             r("unit", Expect::Str),
@@ -191,12 +213,16 @@ pub const SCHEMAS: &[BenchSchema] = &[
         rules: &[
             r("data.disabled_identical", Expect::True),
             r("data.full_identical", Expect::True),
+            r("data.attrib_identical", Expect::True),
             r("data.coherence_identical", Expect::True),
+            r("data.attrib_within_ceiling", Expect::True),
+            r("data.attrib_ceiling", Expect::NumPos),
             r("data.overheads", Expect::ArrLen(2)), // ooo, inorder
             r("data.overheads[*].machine", Expect::Str),
             r("data.overheads[*].disabled_over_plain", Expect::NumPos),
             r("data.overheads[*].full_over_plain", Expect::NumPos),
-            r("data.timings.results", Expect::ArrLen(6)),
+            r("data.overheads[*].attrib_over_plain", Expect::NumPos),
+            r("data.timings.results", Expect::ArrLen(8)),
             r("data.timings.results[*].median_ns", Expect::NumPos),
         ],
     },
@@ -341,6 +367,7 @@ pub const WALL_KEYS: &[&str] = &[
     "iters_per_sample",
     "disabled_over_plain",
     "full_over_plain",
+    "attrib_over_plain",
     "wall_ns",
     "tick_wall_ns",
     "cycles_per_sec",
@@ -505,12 +532,12 @@ mod tests {
     }
 
     #[test]
-    fn schema_table_covers_all_15_targets() {
-        assert_eq!(SCHEMAS.len(), 15);
+    fn schema_table_covers_all_16_targets() {
+        assert_eq!(SCHEMAS.len(), 16);
         let mut names: Vec<_> = SCHEMAS.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 15);
+        assert_eq!(names.len(), 16);
     }
 
     #[test]

@@ -599,13 +599,17 @@ pub struct SweepRequest {
     pub chaos: Option<ChaosConfig>,
     /// Failure-handling knobs; `None` means [`SweepPolicy::default`].
     pub policy: Option<SweepPolicy>,
+    /// Opt-in miss attribution: every worker additionally profiles its cell
+    /// under the streaming analyzer and stamps an [`attrib_digest`] on the
+    /// completion frame. Off (the default) costs nothing.
+    pub attrib: bool,
     /// The cells, in the order results must stream back.
     pub cells: Vec<AnyCell>,
 }
 
 impl Snapshot for SweepRequest {
     const KIND: &'static str = "serve.sweep";
-    const VERSION: u32 = 2;
+    const VERSION: u32 = 3;
 
     fn encode(&self) -> Json {
         Json::obj([
@@ -613,6 +617,7 @@ impl Snapshot for SweepRequest {
             ("preempt_every", snapshot::opt_u64_json(self.preempt_every)),
             ("chaos", opt_wire(self.chaos.as_ref())),
             ("policy", self.policy.as_ref().map_or(Json::Null, policy_json)),
+            ("attrib", snapshot::u64_json(u64::from(self.attrib))),
             ("cells", Json::arr(self.cells.iter().map(any_cell_json))),
         ])
     }
@@ -627,6 +632,7 @@ impl Snapshot for SweepRequest {
             preempt_every: snapshot::get_opt_u64(data, "preempt_every")?,
             chaos: decode_opt_wire(data, "chaos")?,
             policy,
+            attrib: snapshot::get_u64(data, "attrib")? != 0,
             cells: snapshot::get_arr(data, "cells", decode_any_cell)?,
         })
     }
@@ -649,11 +655,13 @@ pub struct CellJob {
     /// Cell state from a previous attempt's last [`WorkerCkpt`]; the worker
     /// resumes from it instead of starting over.
     pub resume: Option<Json>,
+    /// Whether to stamp an [`attrib_digest`] on the completion frame.
+    pub attrib: bool,
 }
 
 impl Snapshot for CellJob {
     const KIND: &'static str = "serve.job";
-    const VERSION: u32 = 2;
+    const VERSION: u32 = 3;
 
     fn encode(&self) -> Json {
         Json::obj([
@@ -663,6 +671,7 @@ impl Snapshot for CellJob {
             ("preempt_every", snapshot::opt_u64_json(self.preempt_every)),
             ("chaos", opt_wire(self.chaos.as_ref())),
             ("resume", self.resume.clone().unwrap_or(Json::Null)),
+            ("attrib", snapshot::u64_json(u64::from(self.attrib))),
         ])
     }
 
@@ -678,6 +687,7 @@ impl Snapshot for CellJob {
             preempt_every: snapshot::get_opt_u64(data, "preempt_every")?,
             chaos: decode_opt_wire(data, "chaos")?,
             resume,
+            attrib: snapshot::get_u64(data, "attrib")? != 0,
         })
     }
 }
@@ -728,13 +738,17 @@ pub struct WorkerDone {
     /// Duplicate `serve.wdone` frames following this one (chaos `DupDone`
     /// injection); the server reads and discards exactly this many.
     pub extra: u64,
+    /// Miss-attribution digest ([`attrib_digest`]) when the job asked for
+    /// one. Rides outside `hash` — the content hash covers the result only,
+    /// so the digest can never fail verification of a correct result.
+    pub attrib: Option<Json>,
     /// The result.
     pub result: CellResult,
 }
 
 impl Snapshot for WorkerDone {
     const KIND: &'static str = "serve.wdone";
-    const VERSION: u32 = 1;
+    const VERSION: u32 = 2;
 
     fn encode(&self) -> Json {
         Json::obj([
@@ -744,11 +758,16 @@ impl Snapshot for WorkerDone {
             ("worked", snapshot::u64_json(self.worked)),
             ("hash", snapshot::u64_json(self.hash)),
             ("extra", snapshot::u64_json(self.extra)),
+            ("attrib", self.attrib.clone().unwrap_or(Json::Null)),
             ("result", cell_result_json(&self.result)),
         ])
     }
 
     fn decode(data: &Json) -> Result<Self, SnapshotError> {
+        let attrib = match snapshot::field(data, "attrib")? {
+            Json::Null => None,
+            j => Some(j.clone()),
+        };
         Ok(WorkerDone {
             index: snapshot::get_u64(data, "index")?,
             attempt: snapshot::get_u64(data, "attempt")?,
@@ -756,6 +775,7 @@ impl Snapshot for WorkerDone {
             worked: snapshot::get_u64(data, "worked")?,
             hash: snapshot::get_u64(data, "hash")?,
             extra: snapshot::get_u64(data, "extra")?,
+            attrib,
             result: decode_cell_result(snapshot::field(data, "result")?)?,
         })
     }
@@ -1158,6 +1178,82 @@ pub fn run_any_cell_plain(cell: &AnyCell, preempt_every: Option<u64>) -> CellRes
     }
 }
 
+/// Profiles a cell under the miss-attribution analyzer and returns a small
+/// JSON digest for the server to aggregate into its `/status` metrics:
+/// demand refs/misses, the four class totals, the exact-reconciliation
+/// bit, the recorder's ring-buffer drop accounting, and the hottest miss
+/// PC with its detected access pattern. CPU cells profile the bare
+/// (uninstrumented) workload; coherence cells profile the traced run;
+/// synthetic cells have no memory system and return `None`.
+///
+/// This is a side-channel: the digest rides next to the [`CellResult`] on
+/// the wire and never feeds into it, so the sweep's results stay
+/// bit-identical whether attribution is on or off.
+#[must_use]
+pub fn attrib_digest(cell: &AnyCell) -> Option<Json> {
+    let digest = |label: String, rec: &imo_obs::Recorder, reconciled: bool| -> Json {
+        let a = rec.attribution().expect("attribution enabled");
+        let profile = a.profile(&label);
+        let classes = profile.classes;
+        let hot = profile.pcs.first();
+        Json::obj([
+            ("label", Json::from(label)),
+            ("demand_refs", Json::from(profile.demand_refs)),
+            ("demand_misses", Json::from(profile.demand_misses)),
+            ("compulsory", Json::from(classes[0])),
+            ("coherence", Json::from(classes[1])),
+            ("capacity", Json::from(classes[2])),
+            ("conflict", Json::from(classes[3])),
+            ("coh_classified", Json::from(a.coh_classified_total())),
+            ("reconciled", Json::Bool(reconciled)),
+            ("events_seen", Json::from(rec.total_recorded())),
+            ("events_dropped", Json::from(rec.dropped())),
+            ("hot_pc", Json::from(hot.map_or_else(String::new, |p| format!("{:#x}", p.pc)))),
+            ("hot_pattern", Json::from(hot.map_or_else(String::new, |p| p.pattern.to_string()))),
+        ])
+    };
+    match cell {
+        AnyCell::Cpu(c) => {
+            let spec =
+                by_name(c.workload).unwrap_or_else(|| panic!("unknown workload `{}`", c.workload));
+            let program = (spec.build)(c.scale);
+            let mut rec = imo_obs::Recorder::all();
+            rec.enable_attribution(c.machine.attrib_config());
+            let (res, _) = c
+                .machine
+                .run_observed(&program, &mut rec)
+                .unwrap_or_else(|e| panic!("profiling {}: {e:?}", c.workload));
+            let label = format!("{}/{}", c.workload, c.machine.name());
+            let a = rec.attribution().expect("attribution enabled");
+            let reconciled = a.reconciles_cpu(res.mem.l1d_misses, res.mem.l2_misses);
+            Some(digest(label, &rec, reconciled))
+        }
+        AnyCell::Coh(c) => {
+            let trace = c.trace();
+            let params = MachineParams::table2();
+            let mut rec = imo_obs::Recorder::all();
+            rec.enable_attribution(imo_obs::AttribConfig::for_l1(
+                params.l1_bytes,
+                1,
+                params.line_bytes,
+            ));
+            let (res, _) = imo_coherence::simulate_observed(
+                &trace,
+                c.scheme,
+                &params,
+                &imo_faults::FaultPlan::none(),
+                &mut rec,
+            )
+            .unwrap_or_else(|e| panic!("profiling coherence cell: {e:?}"));
+            let label = format!("coh/{}/{}", c.app, c.scheme.name());
+            let a = rec.attribution().expect("attribution enabled");
+            let reconciled = a.reconciles_coh(res.l1_misses, res.l2_misses);
+            Some(digest(label, &rec, reconciled))
+        }
+        AnyCell::Synth(_) => None,
+    }
+}
+
 /// A typed client-side failure from [`try_run_cells_via_server`]. Every
 /// variant is terminal for the sweep — the client never hangs (connects and
 /// reads are timeout-bounded) and never silently falls back to in-process
@@ -1334,6 +1430,7 @@ pub fn run_cells_via_server(addr: &str, name: &str, cells: Vec<CpuCell>) -> Vec<
         preempt_every,
         chaos: None,
         policy: None,
+        attrib: false,
         cells: cells.into_iter().map(AnyCell::Cpu).collect(),
     };
     let results =
@@ -1476,6 +1573,7 @@ mod tests {
             preempt_every: Some(1000),
             chaos: Some(chaos),
             policy: Some(SweepPolicy { deadline_ms: 5000, ..SweepPolicy::default() }),
+            attrib: true,
             cells: vec![AnyCell::Cpu(cell.clone())],
         };
         let back = SweepRequest::from_wire(&parse(&req.to_wire().compact()).expect("parses"))
@@ -1484,6 +1582,7 @@ mod tests {
         assert_eq!(back.preempt_every, Some(1000));
         assert_eq!(back.chaos, Some(chaos));
         assert_eq!(back.policy.expect("policy").deadline_ms, 5000);
+        assert!(back.attrib);
         assert_eq!(back.cells.len(), 1);
 
         let job = CellJob {
@@ -1493,6 +1592,7 @@ mod tests {
             preempt_every: None,
             chaos: Some(chaos),
             resume: Some(synth_state_json(7, 0x1234)),
+            attrib: false,
         };
         let back =
             CellJob::from_wire(&parse(&job.to_wire().compact()).expect("parses")).expect("decodes");
@@ -1514,6 +1614,7 @@ mod tests {
             worked: 400,
             hash: cell_result_hash(&CellResult::Synth(42)),
             extra: 1,
+            attrib: Some(Json::obj([("demand_refs", Json::from(7u64))])),
             result: CellResult::Synth(42),
         };
         let back = WorkerDone::from_wire(&parse(&done.to_wire().compact()).expect("parses"))
@@ -1521,6 +1622,7 @@ mod tests {
         assert_eq!(back.index, 5);
         assert_eq!(back.worked, 400);
         assert_eq!(back.extra, 1);
+        assert!(back.attrib.is_some());
         assert_eq!(back.hash, cell_result_hash(&back.result));
         assert_eq!(back.result, CellResult::Synth(42));
 
@@ -1659,6 +1761,7 @@ mod tests {
             preempt_every: None,
             chaos: None,
             policy: None,
+            attrib: false,
             cells: Vec::new(),
         };
         match try_run_cells_via_server("127.0.0.1:9", &req) {

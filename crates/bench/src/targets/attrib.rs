@@ -1,0 +1,238 @@
+//! Miss-attribution bench: profiles every workload on both machines under
+//! the streaming "why did this miss" analyzer and gates its core invariant
+//! **exactly** — every demand miss is classified into exactly one of
+//! compulsory / coherence / capacity / conflict, so the class totals
+//! reconcile with the cache's own miss counters. Coherence rows do the
+//! same for the parallel simulator under all three access-control schemes.
+//!
+//! Fully deterministic: no wall-clock fields, every counter diffs exactly.
+
+use imo_coherence::{simulate_observed, MachineParams, Scheme};
+use imo_core::Machine;
+use imo_faults::FaultPlan;
+use imo_obs::{AttribConfig, Pattern, Recorder};
+use imo_util::json::Json;
+use imo_workloads::parallel::{migratory, TraceConfig};
+use imo_workloads::{spec, Scale};
+
+use crate::report::{emit, Table};
+use crate::sweep::SweepSpec;
+
+/// One workload × machine classification row.
+pub struct CpuRow {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Machine name ("ooo" / "in-order").
+    pub machine: &'static str,
+    /// Demand references the analyzer saw.
+    pub demand_refs: u64,
+    /// Demand misses (== sum of `classes`).
+    pub demand_misses: u64,
+    /// Per-class totals: compulsory, coherence, capacity, conflict.
+    pub classes: [u64; 4],
+    /// Classes sum exactly to the cache's `l1d_misses`, and memory-served
+    /// references to `l2_misses`.
+    pub reconciled: bool,
+    /// Attribution-on result is bit-identical to the plain run.
+    pub passive: bool,
+    /// Hottest missing PC (`0` if the run never missed).
+    pub hot_pc: u64,
+    /// Access pattern of the hottest PC.
+    pub hot_pattern: String,
+    /// Hot-PC taxonomy counts: fixed-stride, pointer-chase, irregular.
+    pub patterns: [u64; 3],
+}
+
+/// One coherence-scheme classification row.
+pub struct CohRow {
+    /// Scheme name.
+    pub scheme: &'static str,
+    /// L1 misses classified (== simulator's `l1_misses`).
+    pub classified: u64,
+    /// Per-class totals: compulsory, coherence, capacity, conflict.
+    pub classes: [u64; 4],
+    /// Classes reconcile exactly with `SimResult` miss counters.
+    pub reconciled: bool,
+}
+
+/// The full classification matrix.
+pub struct Output {
+    /// All workloads × both machines.
+    pub cpu: Vec<CpuRow>,
+    /// The migratory trace under all three schemes.
+    pub coherence: Vec<CohRow>,
+}
+
+fn cpu_cell(name: &'static str) -> Vec<CpuRow> {
+    let s = spec::by_name(name).expect("workload exists");
+    let p = (s.build)(Scale::Test);
+    let mut rows = Vec::new();
+    for m in [Machine::default_ooo(), Machine::default_in_order()] {
+        let plain = m.run(&p).expect("plain run");
+        let mut rec = Recorder::disabled();
+        rec.enable_attribution(m.attrib_config());
+        let (res, _) = m.run_observed(&p, &mut rec).expect("observed run");
+        let a = rec.attribution().expect("attribution enabled");
+        let profile = a.profile(name);
+        let mut patterns = [0u64; 3];
+        for pc in &profile.pcs {
+            patterns[match pc.pattern {
+                Pattern::FixedStride(_) => 0,
+                Pattern::PointerChase => 1,
+                Pattern::Irregular => 2,
+            }] += 1;
+        }
+        let hot = profile.pcs.first();
+        rows.push(CpuRow {
+            workload: name,
+            machine: m.name(),
+            demand_refs: a.cpu_demand_refs(),
+            demand_misses: a.cpu_classified_total(),
+            classes: a.cpu_classes(),
+            reconciled: a.reconciles_cpu(res.mem.l1d_misses, res.mem.l2_misses),
+            passive: res == plain,
+            hot_pc: hot.map_or(0, |pc| pc.pc),
+            hot_pattern: hot.map_or_else(|| "-".to_string(), |pc| pc.pattern.to_string()),
+            patterns,
+        });
+    }
+    rows
+}
+
+/// Runs the whole matrix: one pool cell per workload, plus the serial
+/// three-scheme coherence section.
+#[must_use]
+pub fn compute() -> Output {
+    let names: Vec<&'static str> = spec::all().into_iter().map(|s| s.name).collect();
+    let cpu = SweepSpec::new("attrib", names)
+        .run(|_, name| cpu_cell(name))
+        .into_iter()
+        .flatten()
+        .collect();
+
+    let cfg = TraceConfig { procs: 8, ops_per_proc: 4_000, seed: 0x1996 };
+    let trace = migratory(&cfg);
+    let params = MachineParams::table2();
+    let coherence = Scheme::all()
+        .iter()
+        .map(|&scheme| {
+            let mut rec = Recorder::disabled();
+            rec.enable_attribution(AttribConfig::for_l1(params.l1_bytes, 1, params.line_bytes));
+            let (res, _) = simulate_observed(&trace, scheme, &params, &FaultPlan::none(), &mut rec)
+                .expect("zero-fault coherence run");
+            let a = rec.attribution().expect("attribution enabled");
+            CohRow {
+                scheme: scheme.name(),
+                classified: a.coh_classified_total(),
+                classes: a.coh_classes(),
+                reconciled: a.reconciles_coh(res.l1_misses, res.l2_misses),
+            }
+        })
+        .collect();
+
+    Output { cpu, coherence }
+}
+
+fn classes_json(classes: &[u64; 4]) -> [(&'static str, Json); 4] {
+    let n = |v: u64| Json::Num(v as f64);
+    [
+        ("compulsory", n(classes[0])),
+        ("coherence", n(classes[1])),
+        ("capacity", n(classes[2])),
+        ("conflict", n(classes[3])),
+    ]
+}
+
+/// The baseline payload, with `reconciled` / `passive` proof bits on every
+/// row.
+#[must_use]
+pub fn payload(out: &Output) -> Json {
+    let n = |v: u64| Json::Num(v as f64);
+    let cpu = out.cpu.iter().map(|row| {
+        let mut fields = vec![
+            ("workload", Json::from(row.workload)),
+            ("machine", Json::from(row.machine)),
+            ("demand_refs", n(row.demand_refs)),
+            ("demand_misses", n(row.demand_misses)),
+        ];
+        fields.extend(classes_json(&row.classes));
+        fields.extend([
+            ("reconciled", Json::Bool(row.reconciled)),
+            ("passive", Json::Bool(row.passive)),
+            ("hot_pc", Json::from(format!("{:#x}", row.hot_pc))),
+            ("hot_pattern", Json::from(row.hot_pattern.clone())),
+            ("stride_pcs", n(row.patterns[0])),
+            ("chase_pcs", n(row.patterns[1])),
+            ("irregular_pcs", n(row.patterns[2])),
+        ]);
+        Json::obj(fields)
+    });
+    let coh = out.coherence.iter().map(|row| {
+        let mut fields =
+            vec![("scheme", Json::from(row.scheme)), ("classified", n(row.classified))];
+        fields.extend(classes_json(&row.classes));
+        fields.push(("reconciled", Json::Bool(row.reconciled)));
+        Json::obj(fields)
+    });
+    Json::obj([("cpu", Json::arr(cpu)), ("coherence", Json::arr(coh))])
+}
+
+/// Prints the classification matrix.
+///
+/// # Panics
+///
+/// Panics if any row failed reconciliation or passivity.
+pub fn print(out: &Output) {
+    println!("MISS ATTRIBUTION. Exact per-class reconciliation on every workload.\n");
+    let mut t = Table::new([
+        "workload",
+        "machine",
+        "refs",
+        "misses",
+        "compulsory",
+        "coherence",
+        "capacity",
+        "conflict",
+        "hot pattern",
+    ]);
+    for row in &out.cpu {
+        assert!(row.reconciled, "{}/{}: classes must reconcile exactly", row.workload, row.machine);
+        assert!(row.passive, "{}/{}: attribution must be passive", row.workload, row.machine);
+        t.row([
+            row.workload.to_string(),
+            row.machine.to_string(),
+            row.demand_refs.to_string(),
+            row.demand_misses.to_string(),
+            row.classes[0].to_string(),
+            row.classes[1].to_string(),
+            row.classes[2].to_string(),
+            row.classes[3].to_string(),
+            row.hot_pattern.clone(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    println!();
+    let mut t =
+        Table::new(["scheme", "classified", "compulsory", "coherence", "capacity", "conflict"]);
+    for row in &out.coherence {
+        assert!(row.reconciled, "{}: coherence classes must reconcile exactly", row.scheme);
+        t.row([
+            row.scheme.to_string(),
+            row.classified.to_string(),
+            row.classes[0].to_string(),
+            row.classes[1].to_string(),
+            row.classes[2].to_string(),
+            row.classes[3].to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("\nall rows reconciled exactly; attribution bit-passive on every run");
+}
+
+/// The whole bench target: compute, print, write the baseline.
+pub fn run() {
+    let out = compute();
+    print(&out);
+    emit("attrib", payload(&out));
+}

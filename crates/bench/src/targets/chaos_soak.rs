@@ -281,7 +281,14 @@ fn run_sweep(
     let expected: Vec<String> =
         cells.iter().map(|c| cell_result_json(&run_any_cell_plain(c, None)).compact()).collect();
     let n = cells.len();
-    let request = SweepRequest { name: name.to_string(), preempt_every, chaos, policy: pol, cells };
+    let request = SweepRequest {
+        name: name.to_string(),
+        preempt_every,
+        chaos,
+        policy: pol,
+        attrib: false,
+        cells,
+    };
     let t0 = Instant::now();
     let got = try_run_cells_via_server(addr, &request)
         .unwrap_or_else(|e| panic!("chaos_soak: sweep `{name}` failed: {e}"));

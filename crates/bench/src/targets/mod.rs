@@ -19,6 +19,7 @@ use imo_util::json::Json;
 
 pub mod ablation_checkpoints;
 pub mod ablation_mshr;
+pub mod attrib;
 pub mod branch_vs_exception;
 pub mod chaos_soak;
 pub mod fault_resilience;
@@ -66,6 +67,7 @@ pub fn registry() -> Vec<Target> {
             ablation_checkpoints::payload(&ablation_checkpoints::compute())
         }),
         t("fault_resilience", false, || fault_resilience::payload(&fault_resilience::compute())),
+        t("attrib", false, || attrib::payload(&attrib::compute())),
         t("substrate", true, || substrate::payload(&substrate::compute())),
         t("obs_overhead", true, || obs_overhead::payload(&obs_overhead::compute())),
         t("simspeed", true, || simspeed::payload(&simspeed::compute())),
@@ -80,11 +82,11 @@ mod tests {
     #[test]
     fn registry_names_are_unique_and_complete() {
         let targets = registry();
-        assert_eq!(targets.len(), 15);
+        assert_eq!(targets.len(), 16);
         let mut names: Vec<_> = targets.iter().map(|t| t.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 15, "duplicate target names");
+        assert_eq!(names.len(), 16, "duplicate target names");
         assert_eq!(targets.iter().filter(|t| t.wall_clock).count(), 4);
     }
 }

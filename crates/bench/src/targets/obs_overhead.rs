@@ -5,11 +5,13 @@
 //!    pool): runs under a disabled and a fully-enabled recorder must return
 //!    results *bit-identical* to the unobserved run, and likewise for the
 //!    coherence simulator on every scheme.
-//! 2. **Wall-clock overhead** — host time for the plain, disabled-recorder
-//!    and full-recorder runs of a representative kernel on each machine;
-//!    serial, for timing fidelity.
+//! 2. **Wall-clock overhead** — host time for the plain, disabled-recorder,
+//!    full-recorder and attribution-on runs of a representative kernel on
+//!    each machine; serial, for timing fidelity. The attribution column is
+//!    additionally bounded by a hard ceiling ([`ATTRIB_CEILING`]).
 
 use imo_coherence::{simulate_baseline, simulate_observed, MachineParams, Scheme};
+use imo_core::Machine;
 use imo_cpu::{inorder, ooo, InOrderConfig, OooConfig, RunLimits};
 use imo_faults::FaultPlan;
 use imo_obs::Recorder;
@@ -20,6 +22,19 @@ use imo_workloads::{spec, Scale};
 
 use crate::report::{emit, Table};
 use crate::sweep::SweepSpec;
+
+/// Hard ceiling on the attribution-on / plain wall-clock ratio. The
+/// streaming analyzer is O(log window) per access, so anything past this
+/// is a real regression, not host noise.
+pub const ATTRIB_CEILING: f64 = 10.0;
+
+/// A disabled recorder with the miss-attribution analyzer attached —
+/// the `why_miss` configuration.
+fn attrib_recorder(m: &Machine) -> Recorder {
+    let mut rec = Recorder::disabled();
+    rec.enable_attribution(m.attrib_config());
+    rec
+}
 
 /// The identity proofs and host timings.
 pub struct Output {
@@ -37,23 +52,18 @@ fn cpu_identity(name: &'static str) -> Vec<String> {
     let s = spec::by_name(name).expect("workload exists");
     let p = (s.build)(Scale::Test);
     let mut mismatches = Vec::new();
-    let plain_ooo = ooo::simulate(&p, &OooConfig::paper(), RunLimits::default()).expect("runs");
-    let plain_ino =
-        inorder::simulate(&p, &InOrderConfig::paper(), RunLimits::default()).expect("runs");
-    for (label, mut rec) in [("disabled", Recorder::disabled()), ("full", Recorder::all())] {
-        let (o, _) =
-            ooo::simulate_observed(&p, &OooConfig::paper(), RunLimits::default(), &mut rec)
-                .expect("runs");
-        if o != plain_ooo {
-            mismatches.push(format!("{name}/ooo differs under the {label} recorder"));
-        }
-    }
-    for (label, mut rec) in [("disabled", Recorder::disabled()), ("full", Recorder::all())] {
-        let (o, _) =
-            inorder::simulate_observed(&p, &InOrderConfig::paper(), RunLimits::default(), &mut rec)
-                .expect("runs");
-        if o != plain_ino {
-            mismatches.push(format!("{name}/in-order differs under the {label} recorder"));
+    for m in [Machine::default_ooo(), Machine::default_in_order()] {
+        let plain = m.run(&p).expect("runs");
+        let modes = [
+            ("disabled", Recorder::disabled()),
+            ("full", Recorder::all()),
+            ("attrib", attrib_recorder(&m)),
+        ];
+        for (label, mut rec) in modes {
+            let (o, _) = m.run_observed(&p, &mut rec).expect("runs");
+            if o != plain {
+                mismatches.push(format!("{name}/{} differs under the {label} recorder", m.name()));
+            }
         }
     }
     mismatches
@@ -104,6 +114,12 @@ pub fn compute() -> Output {
             .expect("runs")
             .0
     });
+    b.bench_sampled("ooo/attrib_recorder", 5, || {
+        let mut rec = attrib_recorder(&Machine::default_ooo());
+        ooo::simulate_observed(&p, &OooConfig::paper(), RunLimits::default(), &mut rec)
+            .expect("runs")
+            .0
+    });
     b.bench_sampled("inorder/plain", 5, || {
         inorder::simulate(&p, &InOrderConfig::paper(), RunLimits::default()).expect("runs")
     });
@@ -119,11 +135,17 @@ pub fn compute() -> Output {
             .expect("runs")
             .0
     });
+    b.bench_sampled("inorder/attrib_recorder", 5, || {
+        let mut rec = attrib_recorder(&Machine::default_in_order());
+        inorder::simulate_observed(&p, &InOrderConfig::paper(), RunLimits::default(), &mut rec)
+            .expect("runs")
+            .0
+    });
 
     Output { cpu_mismatches, coh_mismatches, bench: b }
 }
 
-fn overheads(out: &Output) -> Vec<(String, f64, f64)> {
+fn overheads(out: &Output) -> Vec<(String, f64, f64, f64)> {
     let median = |id: &str| -> f64 {
         out.bench.results().iter().find(|r| r.id == id).map_or(0.0, |r| r.median_ns)
     };
@@ -142,6 +164,7 @@ fn overheads(out: &Output) -> Vec<(String, f64, f64)> {
                 (*m).to_string(),
                 ratio(&format!("{m}/disabled_recorder"), &format!("{m}/plain")),
                 ratio(&format!("{m}/full_recorder"), &format!("{m}/plain")),
+                ratio(&format!("{m}/attrib_recorder"), &format!("{m}/plain")),
             )
         })
         .collect()
@@ -152,17 +175,23 @@ fn overheads(out: &Output) -> Vec<(String, f64, f64)> {
 pub fn payload(out: &Output) -> Json {
     let identical = out.cpu_mismatches.is_empty();
     let coh_identical = out.coh_mismatches.is_empty();
-    let rows = overheads(out).into_iter().map(|(m, disabled, full)| {
+    let within_ceiling =
+        overheads(out).iter().all(|&(_, _, _, attrib)| attrib > 0.0 && attrib <= ATTRIB_CEILING);
+    let rows = overheads(out).into_iter().map(|(m, disabled, full, attrib)| {
         Json::obj([
             ("machine", Json::from(m)),
             ("disabled_over_plain", Json::from(disabled)),
             ("full_over_plain", Json::from(full)),
+            ("attrib_over_plain", Json::from(attrib)),
         ])
     });
     Json::obj([
         ("disabled_identical", Json::Bool(identical)),
         ("full_identical", Json::Bool(identical)),
+        ("attrib_identical", Json::Bool(identical)),
         ("coherence_identical", Json::Bool(coh_identical)),
+        ("attrib_within_ceiling", Json::Bool(within_ceiling)),
+        ("attrib_ceiling", Json::from(ATTRIB_CEILING)),
         ("overheads", Json::arr(rows)),
         ("timings", out.bench.to_json()),
     ])
@@ -186,12 +215,17 @@ pub fn print(out: &Output) {
     println!("identity: all workloads x machines bit-identical under the recorder\n");
 
     print!("{}", out.bench.render());
-    let mut t = Table::new(["machine", "disabled / plain", "full / plain"]);
-    for (m, disabled, full) in overheads(out) {
-        t.row([m, format!("{disabled:.3}x"), format!("{full:.3}x")]);
+    let mut t = Table::new(["machine", "disabled / plain", "full / plain", "attrib / plain"]);
+    for (m, disabled, full, attrib) in overheads(out) {
+        assert!(
+            attrib > 0.0 && attrib <= ATTRIB_CEILING,
+            "{m}: attribution overhead {attrib:.3}x exceeds the {ATTRIB_CEILING}x ceiling"
+        );
+        t.row([m, format!("{disabled:.3}x"), format!("{full:.3}x"), format!("{attrib:.3}x")]);
     }
     println!();
     print!("{}", t.render());
+    println!("\nattribution overhead within the hard {ATTRIB_CEILING}x ceiling on both machines");
 }
 
 /// The whole bench target: compute, print, write the baseline.

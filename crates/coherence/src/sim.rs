@@ -5,7 +5,7 @@ use std::collections::BinaryHeap;
 
 use imo_faults::{EccFault, EccFaults, FaultPlan, InterconnectFault, InterconnectFaults};
 use imo_mem::{Cache, CacheConfig, EccEvent, Probe};
-use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder};
+use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder, ServedBy};
 use imo_util::stats::{Report, Summarize};
 use imo_workloads::parallel::ParallelTrace;
 
@@ -265,6 +265,9 @@ fn run(
         rec.metrics.set("coh.dropped_msgs", result.dropped_msgs);
         rec.metrics.set("coh.ecc_corrected", result.ecc_corrected);
         rec.metrics.set("coh.ecc_uncorrectable", result.ecc_uncorrectable);
+        let (seen, dropped) = (rec.total_recorded(), rec.dropped());
+        rec.metrics.set("obs.events_seen", seen);
+        rec.metrics.set("obs.events_dropped", dropped);
         plan.config().record_metrics(&mut rec.metrics);
     }
     Ok((result, dir))
@@ -382,14 +385,28 @@ pub(crate) fn drive(
 
         // ---- cache probe (all schemes fetch through the caches) ----
         let l1_miss = matches!(nodes[p].l1.access(op.addr, op.is_write), Probe::Miss { .. });
+        let mut served = ServedBy::L1;
         if l1_miss {
+            served = ServedBy::L2;
             result.l1_misses += 1;
             cost.add(CpiCategory::L1Miss, params.l1_miss_penalty);
             if matches!(nodes[p].l2.access(op.addr, op.is_write), Probe::Miss { .. }) {
+                served = ServedBy::Memory;
                 result.l2_misses += 1;
                 cost.add(CpiCategory::L2Miss, params.l2_miss_penalty);
             }
         }
+        imo_obs::record(
+            obs,
+            t0,
+            EventKind::CohAccess {
+                proc: p as u32,
+                addr: op.addr,
+                line,
+                store: op.is_write,
+                served,
+            },
+        );
 
         if op.shared {
             let needs_action = insufficient(prot, op.is_write);

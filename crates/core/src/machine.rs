@@ -3,7 +3,7 @@
 use imo_cpu::{inorder, ooo, InOrderConfig, OooConfig, RunLimits, RunResult, SimError};
 use imo_isa::exec::ArchState;
 use imo_isa::Program;
-use imo_obs::Recorder;
+use imo_obs::{AttribConfig, Recorder};
 
 /// One of the paper's two simulated machines, with its configuration.
 ///
@@ -60,6 +60,16 @@ impl Machine {
             Machine::OutOfOrder(cfg) => imo_cpu::CoreConfig::Ooo(*cfg),
             Machine::InOrder(cfg) => imo_cpu::CoreConfig::InOrder(*cfg),
         }
+    }
+
+    /// The miss-attribution geometry matching this machine's L1 D-cache,
+    /// ready for [`Recorder::enable_attribution`].
+    pub fn attrib_config(&self) -> AttribConfig {
+        let l1d = match self {
+            Machine::OutOfOrder(cfg) => cfg.hier.l1d,
+            Machine::InOrder(cfg) => cfg.hier.l1d,
+        };
+        AttribConfig::for_l1(l1d.size_bytes, u64::from(l1d.assoc), l1d.line_bytes)
     }
 
     /// Simulates `program` to completion with default limits.

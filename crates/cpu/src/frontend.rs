@@ -63,15 +63,21 @@ pub struct Fetched {
 }
 
 /// Adapter presenting the timing hierarchy as the executor's miss oracle.
+/// Alongside the probe outcome it captures the effective address and
+/// whether the probe was a software prefetch, for the attribution events.
 struct HierOracle<'a> {
     hier: &'a mut MemoryHierarchy,
     last: Option<ProbeResult>,
+    last_addr: u64,
+    last_prefetch: bool,
 }
 
 impl MissOracle for HierOracle<'_> {
     fn probe(&mut self, addr: u64, is_store: bool) -> MissDepth {
         let r = self.hier.probe_data(addr, is_store);
         self.last = Some(r);
+        self.last_addr = addr;
+        self.last_prefetch = false;
         match r.level {
             HitLevel::L1 => MissDepth::Hit,
             HitLevel::L2 => MissDepth::L1Miss,
@@ -82,7 +88,14 @@ impl MissOracle for HierOracle<'_> {
     fn prefetch(&mut self, addr: u64) {
         let r = self.hier.probe_prefetch(addr);
         self.last = Some(r);
+        self.last_addr = addr;
+        self.last_prefetch = true;
     }
+}
+
+/// The provenance bit tracked for a register in the pointer-chase mask.
+fn reg_bit(r: imo_isa::Reg) -> u64 {
+    1u64 << r.logical()
 }
 
 /// The shared fetch engine.
@@ -117,6 +130,10 @@ pub struct FrontEnd<'p> {
     /// Extra redirect penalty charged when the given sequence number
     /// resolves (the timing cost of the most recent handler fault).
     pending_penalty: Option<(u64, u64)>,
+    /// Pointer-chase provenance: bit `Reg::logical()` is set while the
+    /// register's most recent writer was a load. Purely observational —
+    /// only feeds `ptr_base` on recorded data-access events.
+    reg_from_load: u64,
 }
 
 impl<'p> FrontEnd<'p> {
@@ -147,6 +164,7 @@ impl<'p> FrontEnd<'p> {
             handler_fault_count: 0,
             degraded: false,
             pending_penalty: None,
+            reg_from_load: 0,
         }
     }
 
@@ -264,6 +282,7 @@ impl<'p> FrontEnd<'p> {
             ("degraded", Json::Bool(self.degraded)),
             ("pending_seq", snapshot::opt_u64_json(pending_seq)),
             ("pending_extra", snapshot::opt_u64_json(pending_extra)),
+            ("reg_from_load", snapshot::u64_json(self.reg_from_load)),
         ])
     }
 
@@ -332,6 +351,7 @@ impl<'p> FrontEnd<'p> {
             handler_fault_count: snapshot::get_u64(data, "handler_fault_count")?,
             degraded: snapshot::get_bool(data, "degraded")?,
             pending_penalty,
+            reg_from_load: snapshot::get_u64(data, "reg_from_load")?,
         })
     }
 
@@ -378,9 +398,29 @@ impl<'p> FrontEnd<'p> {
                 }
             }
 
-            let mut oracle = HierOracle { hier, last: None };
+            let mut oracle = HierOracle { hier, last: None, last_addr: 0, last_prefetch: false };
             let info = self.exec.step(&mut oracle)?;
             let probe = oracle.last;
+            let (probe_addr, probe_prefetch) = (oracle.last_addr, oracle.last_prefetch);
+
+            // Pointer-chase provenance: a data reference whose base register
+            // was last written by a load is chasing a pointer. Loads taint
+            // their destination; any other writer cleans it.
+            let ptr_base = match info.instr {
+                Instr::Load { base, .. }
+                | Instr::Store { base, .. }
+                | Instr::Prefetch { base, .. } => self.reg_from_load & reg_bit(base) != 0,
+                _ => false,
+            };
+            if let Some(rd) = info.instr.dest() {
+                if !rd.is_zero() {
+                    if matches!(info.instr, Instr::Load { .. }) {
+                        self.reg_from_load |= reg_bit(rd);
+                    } else {
+                        self.reg_from_load &= !reg_bit(rd);
+                    }
+                }
+            }
 
             let seq = self.next_seq;
             self.next_seq += 1;
@@ -408,8 +448,12 @@ impl<'p> FrontEnd<'p> {
                     cycle,
                     EventKind::DataAccess {
                         served: p.served_by(),
+                        pc,
+                        addr: probe_addr,
                         line: p.line,
                         store: p.is_store,
+                        prefetch: probe_prefetch,
+                        ptr_base,
                     },
                 );
             }

@@ -864,6 +864,9 @@ pub(crate) fn run(
         rec.metrics.set("cpu.informing_traps", result.informing_traps);
         rec.metrics.set("cpu.mispredictions", result.mispredictions);
         rec.metrics.set("cpu.handler_faults", result.handler_faults);
+        let (seen, dropped) = (rec.total_recorded(), rec.dropped());
+        rec.metrics.set("obs.events_seen", seen);
+        rec.metrics.set("obs.events_dropped", dropped);
         hier.stats().record_metrics(&mut rec.metrics);
         if let Some(plan) = faults {
             plan.config().record_metrics(&mut rec.metrics);

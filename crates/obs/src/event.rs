@@ -179,10 +179,20 @@ pub enum EventKind {
     DataAccess {
         /// Level that served it.
         served: ServedBy,
+        /// Address of the memory instruction that issued the reference.
+        pc: u64,
+        /// Effective (byte) address of the reference.
+        addr: u64,
         /// Line-aligned address.
         line: u64,
         /// Whether the reference was a store.
         store: bool,
+        /// Whether this was a software-prefetch probe (not a demand
+        /// reference; excluded from demand-miss reconciliation).
+        prefetch: bool,
+        /// Whether the base register of the address was itself produced by
+        /// a load (pointer-chase provenance).
+        ptr_base: bool,
     },
     /// An instruction-fetch line missed the primary I-cache.
     InstMiss {
@@ -250,6 +260,20 @@ pub enum EventKind {
         /// Line the request was for.
         line: u64,
     },
+    /// A per-processor data reference probed a private cache in the
+    /// coherence simulator (local time; one event per driven op).
+    CohAccess {
+        /// Referencing processor.
+        proc: u32,
+        /// Effective (byte) address of the reference.
+        addr: u64,
+        /// Line-aligned address.
+        line: u64,
+        /// Whether the reference was a write.
+        store: bool,
+        /// Level of the private hierarchy that served it.
+        served: ServedBy,
+    },
     /// A line invalidation was delivered to a remote cache.
     CohInvalidate {
         /// Processor whose cached copy was recalled.
@@ -284,6 +308,7 @@ impl EventKind {
             | EventKind::CohDrop { .. }
             | EventKind::CohRetry { .. }
             | EventKind::CohNack { .. }
+            | EventKind::CohAccess { .. }
             | EventKind::CohInvalidate { .. } => Category::Coherence,
             EventKind::HandlerFault { .. }
             | EventKind::EccCorrected { .. }
@@ -309,6 +334,7 @@ impl EventKind {
             EventKind::CohDrop { .. } => "coh_drop",
             EventKind::CohRetry { .. } => "coh_retry",
             EventKind::CohNack { .. } => "coh_nack",
+            EventKind::CohAccess { .. } => "coh_access",
             EventKind::CohInvalidate { .. } => "coh_invalidate",
             EventKind::EccCorrected { .. } => "ecc_corrected",
             EventKind::EccUncorrectable { .. } => "ecc_uncorrectable",
@@ -326,6 +352,7 @@ impl EventKind {
             | EventKind::CohDrop { proc, .. }
             | EventKind::CohRetry { proc, .. }
             | EventKind::CohNack { proc, .. }
+            | EventKind::CohAccess { proc, .. }
             | EventKind::CohInvalidate { proc, .. } => PROC_LANE_BASE + proc,
             other => other.category() as u32,
         }
@@ -369,8 +396,22 @@ mod tests {
     fn kinds_map_to_their_categories() {
         assert_eq!(EventKind::Fetch { seq: 0, pc: 0 }.category(), Category::Pipeline);
         assert_eq!(
-            EventKind::DataAccess { served: ServedBy::L2, line: 0, store: false }.category(),
+            EventKind::DataAccess {
+                served: ServedBy::L2,
+                pc: 0,
+                addr: 0,
+                line: 0,
+                store: false,
+                prefetch: false,
+                ptr_base: false,
+            }
+            .category(),
             Category::Cache
+        );
+        assert_eq!(
+            EventKind::CohAccess { proc: 1, addr: 0, line: 0, store: true, served: ServedBy::L1 }
+                .category(),
+            Category::Coherence
         );
         assert_eq!(EventKind::MshrMerge { line: 0 }.category(), Category::Mshr);
         assert_eq!(EventKind::TrapEnter { seq: 0, pc: 0 }.category(), Category::Trap);

@@ -86,9 +86,13 @@ fn args(kind: EventKind) -> Json {
         EventKind::Issue { seq } | EventKind::Graduate { seq } | EventKind::TrapReturn { seq } => {
             Json::obj([("seq", Json::from(seq))])
         }
-        EventKind::DataAccess { line, store, .. } => {
-            Json::obj([("line", Json::from(format!("{line:#x}"))), ("store", Json::Bool(store))])
-        }
+        EventKind::DataAccess { pc, line, store, prefetch, ptr_base, .. } => Json::obj([
+            ("pc", Json::from(format!("{pc:#x}"))),
+            ("line", Json::from(format!("{line:#x}"))),
+            ("store", Json::Bool(store)),
+            ("prefetch", Json::Bool(prefetch)),
+            ("ptr_base", Json::Bool(ptr_base)),
+        ]),
         EventKind::InstMiss { pc } => Json::obj([("pc", Json::from(format!("{pc:#x}")))]),
         EventKind::MshrAllocate { line } | EventKind::MshrMerge { line } => {
             Json::obj([("line", Json::from(format!("{line:#x}")))])
@@ -105,6 +109,12 @@ fn args(kind: EventKind) -> Json {
         | EventKind::CohInvalidate { proc, line } => Json::obj([
             ("proc", Json::from(u64::from(proc))),
             ("line", Json::from(format!("{line:#x}"))),
+        ]),
+        EventKind::CohAccess { proc, line, store, served, .. } => Json::obj([
+            ("proc", Json::from(u64::from(proc))),
+            ("line", Json::from(format!("{line:#x}"))),
+            ("store", Json::Bool(store)),
+            ("served", Json::from(served.label())),
         ]),
         EventKind::CohRetry { proc, line, backoff } => Json::obj([
             ("proc", Json::from(u64::from(proc))),
@@ -188,7 +198,18 @@ mod tests {
     fn sample_recorder() -> Recorder {
         let mut r = Recorder::all();
         r.record(0, EventKind::Fetch { seq: 0, pc: 0x100 });
-        r.record(2, EventKind::DataAccess { served: ServedBy::L2, line: 0x40, store: false });
+        r.record(
+            2,
+            EventKind::DataAccess {
+                served: ServedBy::L2,
+                pc: 0x104,
+                addr: 0x44,
+                line: 0x40,
+                store: false,
+                prefetch: false,
+                ptr_base: false,
+            },
+        );
         r.record(3, EventKind::TrapEnter { seq: 0, pc: 0x100 });
         r.record(9, EventKind::CohRetry { proc: 1, line: 0x80, backoff: 4 });
         r.cpi.add(crate::cpi::CpiCategory::Base, 5);

@@ -20,6 +20,13 @@
 //!   / handler / coherence-wait, and the sum reconciles *exactly* with the
 //!   run's cycle count — the trace-grounded reproduction of the paper's
 //!   Figure 2/4 decomposition.
+//! - **Miss attribution** ([`Attribution`]/[`MissProfile`], [`pattern`]):
+//!   a streaming "why did this miss" analyzer folding the event stream
+//!   into per-PC hot-miss tables, an exactly-reconciling compulsory /
+//!   coherence / capacity / conflict classification via an online
+//!   reuse-distance sketch, and a per-PC access-pattern taxonomy
+//!   (fixed-stride / pointer-chase / irregular) — exported as text table,
+//!   versioned JSON and a Perfetto-track twin.
 //! - **Exporters** ([`chrome_trace`], [`flame_summary`]): Chrome
 //!   trace-event JSON loadable in Perfetto / `chrome://tracing`, and a
 //!   terminal flamegraph summary. Same recorder contents ⇒ byte-identical
@@ -29,16 +36,20 @@
 #![warn(missing_docs)]
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
+pub mod attrib;
 pub mod cpi;
 pub mod event;
 pub mod export;
 pub mod metrics;
+pub mod pattern;
 pub mod recorder;
 
+pub use attrib::{AttribConfig, Attribution, MissClass, MissProfile, PROFILE_VERSION};
 pub use cpi::{CpiCategory, CpiStack};
 pub use event::{Category, CategoryMask, Event, EventKind, ServedBy};
 pub use export::{chrome_trace, compare_stacks, flame_summary};
 pub use metrics::{Histogram, MetricsRegistry, BUCKET_BOUNDS};
+pub use pattern::{Pattern, PatternDetector};
 pub use recorder::{Recorder, DEFAULT_CAPACITY};
 
 /// Records into an optional recorder — the idiom every simulator uses so

@@ -1,0 +1,219 @@
+//! Per-PC access-pattern taxonomy: fixed-stride, pointer-chase, irregular.
+//!
+//! A [`PatternDetector`] folds the effective-address stream of one static
+//! memory instruction into a bounded sketch (a capped delta table plus a
+//! pointer-provenance counter) and classifies the stream into a
+//! [`Pattern`]. The classifier is deliberately simple and fully
+//! deterministic: pointer-chase provenance (the base register was produced
+//! by a load) dominates, then a dominant address delta wins, otherwise the
+//! stream is irregular. The BSC access-pattern tooling cited in PAPERS.md
+//! motivates exactly this three-way split.
+
+use std::fmt;
+
+/// How many distinct address deltas a detector tracks before lumping the
+/// rest into an "other" bucket. Real strided code has one or two deltas
+/// (the stride and the loop-carried wrap); sixteen is generous.
+pub const MAX_DELTAS: usize = 16;
+
+/// Fraction (numerator/denominator) of references whose base register came
+/// from a load for the stream to classify as pointer-chasing.
+pub const PTR_CHASE_NUM: u64 = 1;
+/// See [`PTR_CHASE_NUM`].
+pub const PTR_CHASE_DEN: u64 = 2;
+
+/// Fraction of deltas that must agree for a stream to classify as
+/// fixed-stride (3/5 = 60%).
+pub const STRIDE_NUM: u64 = 3;
+/// See [`STRIDE_NUM`].
+pub const STRIDE_DEN: u64 = 5;
+
+/// Minimum observed deltas before a stride classification is trusted.
+pub const MIN_DELTAS: u64 = 3;
+
+/// The classified access pattern of one static memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// A dominant constant address delta (bytes; may be negative).
+    FixedStride(i64),
+    /// Addresses whose base registers are load results: linked-list /
+    /// graph traversal.
+    PointerChase,
+    /// No dominant delta and no load-provenance signal.
+    Irregular,
+}
+
+impl Pattern {
+    /// Stable lower-case tag used in JSON profiles.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Pattern::FixedStride(_) => "fixed_stride",
+            Pattern::PointerChase => "pointer_chase",
+            Pattern::Irregular => "irregular",
+        }
+    }
+
+    /// The detected stride, when the pattern is [`Pattern::FixedStride`].
+    #[must_use]
+    pub fn stride(self) -> Option<i64> {
+        match self {
+            Pattern::FixedStride(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::FixedStride(s) => write!(f, "stride {s:+}"),
+            Pattern::PointerChase => f.write_str("pointer-chase"),
+            Pattern::Irregular => f.write_str("irregular"),
+        }
+    }
+}
+
+/// Streaming classifier for one PC's effective-address sequence.
+#[derive(Debug, Clone, Default)]
+pub struct PatternDetector {
+    last_addr: Option<u64>,
+    /// `(delta, count)` pairs, insertion-ordered, capped at [`MAX_DELTAS`].
+    deltas: Vec<(i64, u64)>,
+    /// Deltas that no longer fit the table.
+    other: u64,
+    /// References whose base register held a load result.
+    ptr_refs: u64,
+    /// Total references observed.
+    refs: u64,
+}
+
+impl PatternDetector {
+    /// A fresh detector.
+    #[must_use]
+    pub fn new() -> PatternDetector {
+        PatternDetector::default()
+    }
+
+    /// Feeds one reference: its effective address and whether the base
+    /// register was produced by a load.
+    pub fn observe(&mut self, addr: u64, ptr_base: bool) {
+        self.refs += 1;
+        if ptr_base {
+            self.ptr_refs += 1;
+        }
+        if let Some(prev) = self.last_addr {
+            let delta = addr.wrapping_sub(prev) as i64;
+            if let Some(slot) = self.deltas.iter_mut().find(|(d, _)| *d == delta) {
+                slot.1 += 1;
+            } else if self.deltas.len() < MAX_DELTAS {
+                self.deltas.push((delta, 1));
+            } else {
+                self.other += 1;
+            }
+        }
+        self.last_addr = Some(addr);
+    }
+
+    /// Total references observed.
+    #[must_use]
+    pub fn refs(&self) -> u64 {
+        self.refs
+    }
+
+    /// The most frequent delta and its count, if any delta was observed.
+    #[must_use]
+    pub fn dominant_delta(&self) -> Option<(i64, u64)> {
+        // max_by_key keeps the *last* maximum; iterate manually so ties
+        // resolve to the first-seen delta, independent of insertion churn.
+        let mut best: Option<(i64, u64)> = None;
+        for &(d, n) in &self.deltas {
+            if best.is_none_or(|(_, bn)| n > bn) {
+                best = Some((d, n));
+            }
+        }
+        best
+    }
+
+    /// Classifies the stream observed so far.
+    #[must_use]
+    pub fn classify(&self) -> Pattern {
+        if self.refs > 0 && self.ptr_refs * PTR_CHASE_DEN >= self.refs * PTR_CHASE_NUM {
+            return Pattern::PointerChase;
+        }
+        let total_deltas: u64 = self.deltas.iter().map(|(_, n)| n).sum::<u64>() + self.other;
+        if total_deltas >= MIN_DELTAS {
+            if let Some((delta, count)) = self.dominant_delta() {
+                if count * STRIDE_DEN >= total_deltas * STRIDE_NUM {
+                    return Pattern::FixedStride(delta);
+                }
+            }
+        }
+        Pattern::Irregular
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_stride_detected_with_exact_stride() {
+        let mut d = PatternDetector::new();
+        for i in 0..64u64 {
+            d.observe(0x1000 + i * 8, false);
+        }
+        assert_eq!(d.classify(), Pattern::FixedStride(8));
+        assert_eq!(d.classify().stride(), Some(8));
+    }
+
+    #[test]
+    fn negative_stride_detected() {
+        let mut d = PatternDetector::new();
+        for i in (0..64u64).rev() {
+            d.observe(0x8000 + i * 16, false);
+        }
+        assert_eq!(d.classify(), Pattern::FixedStride(-16));
+    }
+
+    #[test]
+    fn pointer_provenance_dominates_stride() {
+        let mut d = PatternDetector::new();
+        for i in 0..32u64 {
+            d.observe(0x2000 + i * 8, true);
+        }
+        assert_eq!(d.classify(), Pattern::PointerChase);
+    }
+
+    #[test]
+    fn scattered_addresses_are_irregular() {
+        let mut d = PatternDetector::new();
+        let mut a = 0x9e3779b97f4a7c15u64;
+        for _ in 0..64 {
+            a = a.wrapping_mul(0x2545f4914f6cdd1d).wrapping_add(0x1234567);
+            d.observe(a, false);
+        }
+        assert_eq!(d.classify(), Pattern::Irregular);
+    }
+
+    #[test]
+    fn too_few_samples_stay_irregular() {
+        let mut d = PatternDetector::new();
+        d.observe(0x10, false);
+        d.observe(0x18, false);
+        assert_eq!(d.classify(), Pattern::Irregular);
+    }
+
+    #[test]
+    fn delta_table_cap_lumps_overflow() {
+        let mut d = PatternDetector::new();
+        let mut addr = 0u64;
+        // MAX_DELTAS+4 distinct deltas; table must not grow past the cap.
+        for i in 0..(MAX_DELTAS as u64 + 4) {
+            addr += 1000 + i * 7;
+            d.observe(addr, false);
+        }
+        assert!(d.deltas.len() <= MAX_DELTAS);
+        assert_eq!(d.classify(), Pattern::Irregular);
+    }
+}

@@ -7,6 +7,7 @@
 //! before any allocation — disabling a category suppresses its stream
 //! entirely.
 
+use crate::attrib::{AttribConfig, Attribution};
 use crate::cpi::CpiStack;
 use crate::event::{CategoryMask, Event, EventKind};
 use crate::metrics::MetricsRegistry;
@@ -26,6 +27,10 @@ pub struct Recorder {
     start: usize,
     dropped: u64,
     total: u64,
+    /// Optional streaming miss-attribution analyzer. Fed every event
+    /// *before* the category mask and ring buffer, so masking and
+    /// eviction can never skew attribution.
+    attrib: Option<Box<Attribution>>,
     /// Shared named counters and latency histograms.
     pub metrics: MetricsRegistry,
     /// Cycle attribution accumulated by the simulator.
@@ -51,6 +56,7 @@ impl Recorder {
             start: 0,
             dropped: 0,
             total: 0,
+            attrib: None,
             metrics: MetricsRegistry::new(),
             cpi: CpiStack::default(),
         }
@@ -75,10 +81,30 @@ impl Recorder {
         self.mask
     }
 
+    /// Enables miss attribution for the given cache geometry. Replaces any
+    /// prior analyzer state.
+    pub fn enable_attribution(&mut self, cfg: AttribConfig) {
+        self.attrib = Some(Box::new(Attribution::new(cfg)));
+    }
+
+    /// The attribution analyzer, when enabled.
+    #[must_use]
+    pub fn attribution(&self) -> Option<&Attribution> {
+        self.attrib.as_deref()
+    }
+
+    /// Detaches and returns the attribution analyzer.
+    pub fn take_attribution(&mut self) -> Option<Box<Attribution>> {
+        self.attrib.take()
+    }
+
     /// Records an event if its category is enabled. One mask test on the
     /// fast path; eviction replaces the oldest event once the ring fills.
     #[inline]
     pub fn record(&mut self, cycle: u64, kind: EventKind) {
+        if let Some(attrib) = self.attrib.as_deref_mut() {
+            attrib.on_event(&kind);
+        }
         if !self.mask.contains(kind.category()) {
             return;
         }
@@ -172,6 +198,33 @@ mod tests {
         assert_eq!(r.total_recorded(), 5);
         let cycles: Vec<u64> = r.events().iter().map(|e| e.cycle).collect();
         assert_eq!(cycles, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn attribution_sees_masked_and_evicted_events() {
+        use crate::event::ServedBy;
+        // Mask excludes Cache entirely AND capacity is 1: the analyzer
+        // must still see every access.
+        let mut r = Recorder::with_capacity(CategoryMask::of(&[Category::Trap]), 1);
+        r.enable_attribution(AttribConfig::default());
+        for i in 0..4u64 {
+            r.record(
+                i,
+                EventKind::DataAccess {
+                    served: ServedBy::Memory,
+                    pc: 0x10,
+                    addr: 0x1000 + i * 64,
+                    line: 0x1000 + i * 64,
+                    store: false,
+                    prefetch: false,
+                    ptr_base: false,
+                },
+            );
+        }
+        assert_eq!(r.total_recorded(), 0, "mask still filters the ring");
+        let a = r.attribution().expect("enabled");
+        assert_eq!(a.cpu_demand_misses(), 4);
+        assert_eq!(a.cpu_classified_total(), 4);
     }
 
     #[test]

@@ -61,9 +61,9 @@ use std::thread;
 use std::time::Duration;
 
 use imo_bench::serve::{
-    cell_result_hash, cell_state_progress, run_any_cell, run_any_cell_plain, run_cells_via_server,
-    try_run_cells_via_server, AnyCell, CellDone, CellJob, CellResult, CohCell, ServeError,
-    SweepPolicy, SweepRequest, SynthCell, WorkerBye, WorkerCkpt, WorkerDone,
+    attrib_digest, cell_result_hash, cell_state_progress, run_any_cell, run_any_cell_plain,
+    run_cells_via_server, try_run_cells_via_server, AnyCell, CellDone, CellJob, CellResult,
+    CohCell, ServeError, SweepPolicy, SweepRequest, SynthCell, WorkerBye, WorkerCkpt, WorkerDone,
 };
 use imo_bench::sweep::cpu_cells;
 use imo_coherence::BackoffPolicy;
@@ -227,6 +227,9 @@ fn run_worker_job(job: &CellJob, out: &mut impl Write) -> bool {
     if retire {
         writeln!(out, "{}", WorkerBye {}.to_wire().compact()).expect("worker stdout");
     }
+    // Opt-in miss attribution: a strictly passive side-channel digest; the
+    // result (and its hash) are untouched.
+    let attrib = if job.attrib { attrib_digest(&job.cell) } else { None };
     let done = WorkerDone {
         index: job.index,
         attempt: job.attempt,
@@ -234,6 +237,7 @@ fn run_worker_job(job: &CellJob, out: &mut impl Write) -> bool {
         worked: progress.saturating_sub(start_progress),
         hash,
         extra,
+        attrib,
         result,
     };
     let frame = done.to_wire().compact();
@@ -315,7 +319,13 @@ struct Server {
     workers: Mutex<Vec<Worker>>,
     states: Mutex<Vec<&'static str>>,
     metrics: Mutex<MetricsRegistry>,
+    /// Most recent miss-attribution digests from attrib-enabled sweeps,
+    /// surfaced verbatim in `/status`.
+    profiles: Mutex<VecDeque<Json>>,
 }
+
+/// How many recent attribution digests `/status` retains.
+const PROFILE_KEEP: usize = 8;
 
 impl Server {
     fn count(&self, name: &str, delta: u64) {
@@ -324,6 +334,28 @@ impl Server {
 
     fn set_state(&self, id: usize, state: &'static str) {
         self.states.lock().expect("states lock")[id] = state;
+    }
+
+    /// Folds a worker's attribution digest into the aggregate `attrib.*`
+    /// counters and the recent-profile ring behind `/status`.
+    fn fold_attrib(&self, digest: &Json) {
+        let field = |k: &str| digest.get(k).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+        self.count("attrib.cells_profiled", 1);
+        self.count("attrib.demand_refs", field("demand_refs"));
+        self.count("attrib.demand_misses", field("demand_misses"));
+        self.count("attrib.compulsory", field("compulsory"));
+        self.count("attrib.coherence", field("coherence"));
+        self.count("attrib.capacity", field("capacity"));
+        self.count("attrib.conflict", field("conflict"));
+        self.count("attrib.recorder_events_seen", field("events_seen"));
+        self.count("attrib.recorder_dropped", field("events_dropped"));
+        let reconciled = digest.get("reconciled").is_some_and(|j| matches!(j, Json::Bool(true)));
+        self.count(if reconciled { "attrib.reconciled" } else { "attrib.unreconciled" }, 1);
+        let mut profiles = self.profiles.lock().expect("profiles lock");
+        if profiles.len() == PROFILE_KEEP {
+            profiles.pop_front();
+        }
+        profiles.push_back(digest.clone());
     }
 }
 
@@ -345,6 +377,7 @@ fn server_main(addr: &str, worker_count: usize) {
         workers: Mutex::new(workers),
         states: Mutex::new(vec!["idle"; worker_count]),
         metrics: Mutex::new(MetricsRegistry::new()),
+        profiles: Mutex::new(VecDeque::new()),
     };
     thread::scope(|s| {
         for conn in listener.incoming() {
@@ -393,9 +426,12 @@ fn serve_status(
     }
     let metrics = server.metrics.lock().expect("metrics lock").to_json();
     let states = server.states.lock().expect("states lock").clone();
+    let profiles: Vec<Json> =
+        server.profiles.lock().expect("profiles lock").iter().cloned().collect();
     let body = Json::obj([
         ("workers", Json::from(server.worker_count)),
         ("worker_states", Json::arr(states.into_iter().map(Json::from))),
+        ("attrib_profiles", Json::arr(profiles)),
         ("metrics", metrics),
     ])
     .pretty()
@@ -415,6 +451,7 @@ struct SweepRun {
     preempt_every: Option<u64>,
     chaos: Option<ChaosConfig>,
     policy: SweepPolicy,
+    attrib: bool,
     backoff: BackoffPolicy,
     /// Undispatched work: `(cell index, attempt)`.
     queue: Mutex<VecDeque<(usize, u64)>>,
@@ -471,6 +508,7 @@ fn handle_sweep(server: &Server, mut stream: TcpStream, first: &str) -> io::Resu
         preempt_every: req.preempt_every,
         chaos: req.chaos,
         policy,
+        attrib: req.attrib,
         backoff: BackoffPolicy {
             base: policy.backoff_base_ms,
             multiplier: 2,
@@ -561,6 +599,9 @@ fn dispatcher(
                 if fresh {
                     server.count("cells_completed", 1);
                     server.count("useful_cycles", done.worked);
+                    if let Some(digest) = &done.attrib {
+                        server.fold_attrib(digest);
+                    }
                     let frame =
                         CellDone { index: done.index, result: done.result }.to_wire().compact();
                     run.pending.fetch_sub(1, Ordering::SeqCst);
@@ -694,6 +735,7 @@ fn run_one(
         preempt_every: run.preempt_every,
         chaos: run.chaos,
         resume: resume.map(|(_, s)| s),
+        attrib: run.attrib,
     };
     server.count("cells_dispatched", 1);
     server.set_state(id, "busy");
@@ -849,11 +891,39 @@ fn smoke_body(addr: &str) {
             backoff_base_ms: 2,
             backoff_cap_ms: 20,
         }),
+        attrib: false,
         cells,
     };
     let served = try_run_cells_via_server(addr, &req).expect("chaos sweep must complete");
     assert_eq!(served, expected, "chaos must be invisible in the streamed results");
     eprintln!("smoke: chaos shard ok ({} cells)", served.len());
+
+    // Shard 4: miss attribution. One CPU cell and one coherence cell with
+    // the opt-in attrib flag — the results must stay bit-identical to the
+    // plain path (the digest is a side-channel) and the server must fold
+    // the per-cell digests into its `attrib.*` metrics.
+    let cells: Vec<AnyCell> = vec![
+        AnyCell::Cpu(cpu_cells(&["ora"], Scale::Test, &figure2_variants()).remove(0)),
+        AnyCell::Coh(CohCell {
+            app: "migratory",
+            procs: 4,
+            ops_per_proc: 800,
+            seed: 5,
+            scheme: imo_coherence::Scheme::Informing,
+        }),
+    ];
+    let expected: Vec<CellResult> = cells.iter().map(|c| run_any_cell_plain(c, None)).collect();
+    let req = SweepRequest {
+        name: "smoke-attrib".to_string(),
+        preempt_every: None,
+        chaos: None,
+        policy: None,
+        attrib: true,
+        cells,
+    };
+    let served = try_run_cells_via_server(addr, &req).expect("attrib sweep must complete");
+    assert_eq!(served, expected, "attribution must be invisible in the streamed results");
+    eprintln!("smoke: attrib shard ok ({} cells)", served.len());
 
     let mut stream = TcpStream::connect(addr).expect("status connect");
     write!(stream, "GET /status HTTP/1.0\r\n\r\n").expect("status request");
@@ -864,5 +934,17 @@ fn smoke_body(addr: &str) {
     assert!(response.contains("cells_completed"), "status must expose metrics: {response}");
     assert!(response.contains("worker_states"), "status must expose worker states: {response}");
     assert!(response.contains("redispatches"), "chaos must have exercised recovery: {response}");
+    assert!(
+        response.contains("attrib.cells_profiled"),
+        "status must expose attribution counters: {response}"
+    );
+    assert!(
+        response.contains("attrib.reconciled"),
+        "profiled cells must have reconciled exactly: {response}"
+    );
+    assert!(
+        response.contains("attrib_profiles"),
+        "status must surface recent miss profiles: {response}"
+    );
     eprintln!("smoke: /status ok");
 }

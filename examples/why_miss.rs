@@ -1,0 +1,60 @@
+//! "Why did this miss?" — run one workload under the miss-attribution
+//! analyzer and print the per-PC hot-miss table: miss classes
+//! (compulsory / coherence / capacity / conflict), reuse-distance
+//! histograms, and the detected access pattern per PC.
+//!
+//! ```sh
+//! cargo run --release --example why_miss [workload] [machine]
+//! #   workload : any kernel name from the registry (default: compress)
+//! #   machine  : ooo | in-order                    (default: ooo)
+//! ```
+//!
+//! A Perfetto-track twin of the profile is written to
+//! `target/why_miss_<workload>_<machine>.json`; the versioned JSON
+//! profile goes to `target/why_miss_<workload>_<machine>.profile.json`.
+
+use informing_memops::core::Machine;
+use informing_memops::obs::Recorder;
+use informing_memops::workloads::spec::{self, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let workload = std::env::args().nth(1).unwrap_or_else(|| "compress".to_string());
+    let machine_name = std::env::args().nth(2).unwrap_or_else(|| "ooo".to_string());
+
+    let spec = spec::by_name(&workload).ok_or_else(|| {
+        let names: Vec<&str> = spec::all().iter().map(|s| s.name).collect();
+        format!("unknown workload `{workload}` (try one of: {})", names.join(", "))
+    })?;
+    let machine = match machine_name.as_str() {
+        "ooo" => Machine::default_ooo(),
+        "in-order" | "inorder" => Machine::default_in_order(),
+        other => return Err(format!("unknown machine `{other}` (ooo | in-order)").into()),
+    };
+
+    // The analyzer taps the event stream before the category mask, so a
+    // disabled recorder still attributes every demand miss with no ring
+    // buffer cost.
+    let mut rec = Recorder::disabled();
+    rec.enable_attribution(machine.attrib_config());
+    let (res, _) = machine.run_observed(&(spec.build)(Scale::Test), &mut rec)?;
+
+    let attrib = rec.attribution().expect("attribution was enabled");
+    assert!(
+        attrib.reconciles_cpu(res.mem.l1d_misses, res.mem.l2_misses),
+        "classified misses must reconcile exactly with the cache counters"
+    );
+    let profile = attrib.profile(&format!("{} on {}", spec.name, machine.name()));
+    print!("{}", profile.table().render());
+    println!(
+        "\n{} demand refs, {} misses reconciled exactly against the cache counters",
+        attrib.cpu_demand_refs(),
+        attrib.cpu_classified_total(),
+    );
+
+    let base = format!("target/why_miss_{}_{}", spec.name, machine.name());
+    std::fs::write(format!("{base}.profile.json"), profile.to_json().pretty())?;
+    std::fs::write(format!("{base}.json"), profile.chrome_trace())?;
+    println!("wrote {base}.profile.json (versioned profile, v{})", profile.version);
+    println!("wrote {base}.json — load at https://ui.perfetto.dev");
+    Ok(())
+}

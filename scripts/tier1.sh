@@ -30,6 +30,8 @@ for src in examples/*.rs; do
 done
 echo "-- example: observe (in-order, cache+trap mask)"
 cargo run -q --release --offline --example observe -- compress in-order cache,trap > /dev/null
+echo "-- example: why_miss (xlisp pointer-chase attribution, in-order)"
+cargo run -q --release --offline --example why_miss -- xlisp in-order > /dev/null
 
 echo "== sweep job server smoke =="
 # Self-test: starts imo-serve on loopback, pushes a 4-cell shard (plus a

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Tier-2 verification: regenerate the full bench matrix (all 15 targets,
+# Tier-2 verification: regenerate the full bench matrix (all 16 targets,
 # which rewrites every BENCH_*.json at the repo root) and then run the
 # regression gate against the refreshed tree. Each step reports its
 # wall-clock time.
@@ -30,7 +30,7 @@ cd "$(dirname "$0")/.."
 
 BENCHES=(table1 fig2 fig3 handler100 branch_vs_exception table2 fig4 \
          fig4_sensitivity ablation_mshr ablation_checkpoints \
-         fault_resilience substrate obs_overhead simspeed chaos_soak)
+         fault_resilience attrib substrate obs_overhead simspeed chaos_soak)
 
 total_start=$(date +%s%N)
 step() { # step <label> <cmd...>

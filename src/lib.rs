@@ -34,6 +34,7 @@
 //! the system inventory and the per-figure reproduction notes.
 
 #![forbid(unsafe_code)]
+#![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub use imo_coherence as coherence;
 pub use imo_core as core;

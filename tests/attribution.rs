@@ -1,0 +1,253 @@
+//! Guards the miss-attribution layer's core contracts:
+//!
+//! 1. **Exact reconciliation** — every demand miss is classified into
+//!    exactly one of compulsory / coherence / capacity / conflict, so the
+//!    class totals sum *exactly* to the cache's own miss counters, for all
+//!    14 workloads × both machines and for the coherence simulator under
+//!    all three access-control schemes.
+//! 2. **Passivity** — enabling attribution never feeds back into timing:
+//!    results are bit-identical to plain runs.
+//! 3. **Pattern taxonomy** — the stride / pointer-chase classifier is
+//!    correct on seeded synthetic traces and on real programs via the
+//!    front end's register-provenance tracking.
+
+use informing_memops::coherence::{
+    simulate_baseline, simulate_observed as coh_observed, MachineParams, Scheme,
+};
+use informing_memops::core::Machine;
+use informing_memops::faults::FaultPlan;
+use informing_memops::isa::{Asm, Cond, Reg};
+use informing_memops::obs::{AttribConfig, EventKind, Pattern, Recorder, ServedBy};
+use informing_memops::util::SmallRng;
+use informing_memops::workloads::parallel::{migratory, TraceConfig};
+use informing_memops::workloads::{spec, Scale};
+
+fn attrib_recorder(m: &Machine) -> Recorder {
+    // Mask NONE on purpose: the analyzer is fed before the category mask,
+    // so attribution must be exact even with every event stream disabled.
+    let mut rec = Recorder::disabled();
+    rec.enable_attribution(m.attrib_config());
+    rec
+}
+
+#[test]
+fn classified_misses_reconcile_exactly_on_every_workload_and_machine() {
+    for s in spec::all() {
+        let p = (s.build)(Scale::Test);
+        for m in [Machine::default_ooo(), Machine::default_in_order()] {
+            let mut rec = attrib_recorder(&m);
+            let (res, _) = m.run_observed(&p, &mut rec).expect("simulates");
+            let a = rec.attribution().expect("attribution enabled");
+            assert_eq!(
+                a.cpu_demand_refs(),
+                res.mem.l1d_accesses,
+                "{}/{}: analyzer must see every demand reference",
+                s.name,
+                m.name()
+            );
+            assert!(
+                a.reconciles_cpu(res.mem.l1d_misses, res.mem.l2_misses),
+                "{}/{}: classes {:?} (sum {}) must reconcile with l1d_misses={} l2_misses={}",
+                s.name,
+                m.name(),
+                a.cpu_classes(),
+                a.cpu_classified_total(),
+                res.mem.l1d_misses,
+                res.mem.l2_misses
+            );
+        }
+    }
+}
+
+#[test]
+fn attribution_is_passive_bit_for_bit() {
+    for s in spec::all() {
+        let p = (s.build)(Scale::Test);
+        for m in [Machine::default_ooo(), Machine::default_in_order()] {
+            let plain = m.run(&p).expect("plain run");
+            let mut rec = attrib_recorder(&m);
+            let (observed, _) = m.run_observed(&p, &mut rec).expect("observed run");
+            assert_eq!(
+                observed,
+                plain,
+                "{}/{}: attribution-on run must be bit-identical",
+                s.name,
+                m.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn coherence_misses_reconcile_under_all_three_schemes() {
+    let cfg = TraceConfig { procs: 8, ops_per_proc: 4_000, seed: 0x1996 };
+    let trace = migratory(&cfg);
+    let params = MachineParams::table2();
+    for scheme in Scheme::all() {
+        let plain = simulate_baseline(&trace, scheme, &params);
+        let mut rec = Recorder::disabled();
+        rec.enable_attribution(AttribConfig::for_l1(params.l1_bytes, 1, params.line_bytes));
+        let (res, _) = coh_observed(&trace, scheme, &params, &FaultPlan::none(), &mut rec)
+            .expect("observed coherence run");
+        assert_eq!(res.total_cycles, plain.total_cycles, "{scheme:?}: attribution is passive");
+        assert_eq!(res.l1_misses, plain.l1_misses, "{scheme:?}: counters unchanged");
+        let a = rec.attribution().expect("attribution enabled");
+        assert!(
+            a.reconciles_coh(res.l1_misses, res.l2_misses),
+            "{scheme:?}: classes {:?} (sum {}) must reconcile with l1={} l2={}",
+            a.coh_classes(),
+            a.coh_classified_total(),
+            res.l1_misses,
+            res.l2_misses
+        );
+        // The protocol invalidates lines under every scheme here, so some
+        // misses must classify as coherence.
+        assert!(a.coh_classes()[1] > 0, "{scheme:?}: no coherence-classified misses");
+    }
+}
+
+/// Drives raw synthetic event streams through an analyzer, as a property
+/// sweep over seeds.
+fn synth_profile(events: &[(u64, u64, bool)]) -> Pattern {
+    let mut a = informing_memops::obs::Attribution::new(AttribConfig::default());
+    for &(pc, addr, ptr_base) in events {
+        a.on_event(&EventKind::DataAccess {
+            served: ServedBy::L2,
+            pc,
+            addr,
+            line: addr & !31,
+            store: false,
+            prefetch: false,
+            ptr_base,
+        });
+    }
+    let profile = a.profile("synthetic");
+    assert_eq!(profile.pcs[0].pc, events[0].0);
+    profile.pcs[0].pattern
+}
+
+#[test]
+fn seeded_stride_sweep_recovers_the_exact_stride() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0xA11B + case);
+        // Strides in ±[8, 1024), 8-byte aligned, never zero.
+        let magnitude = 8 + (rng.next_u64() % 127) * 8;
+        let stride =
+            if rng.next_u64().is_multiple_of(2) { magnitude as i64 } else { -(magnitude as i64) };
+        let base = 0x10_0000u64.wrapping_add((rng.next_u64() % 1024) * 8);
+        let events: Vec<(u64, u64, bool)> = (0..64u64)
+            .map(|i| (0x500, base.wrapping_add((stride * i as i64) as u64), false))
+            .collect();
+        assert_eq!(
+            synth_profile(&events),
+            Pattern::FixedStride(stride),
+            "case {case}: stride {stride} not recovered"
+        );
+    }
+}
+
+#[test]
+fn seeded_pointer_chase_sweep_classifies_chases() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0xC4A5E + case);
+        // A shuffled chain: addresses in random order, all flagged as
+        // load-provenance (the front end would tag a real chase this way).
+        let events: Vec<(u64, u64, bool)> =
+            (0..64u64).map(|_| (0x600, (rng.next_u64() % (1 << 20)) & !7, true)).collect();
+        assert_eq!(synth_profile(&events), Pattern::PointerChase, "case {case}");
+    }
+}
+
+#[test]
+fn seeded_random_sweep_stays_irregular() {
+    for case in 0..32u64 {
+        let mut rng = SmallRng::seed_from_u64(0x1AA2 + case);
+        let events: Vec<(u64, u64, bool)> =
+            (0..64u64).map(|_| (0x700, rng.next_u64() & !7, false)).collect();
+        assert_eq!(synth_profile(&events), Pattern::Irregular, "case {case}");
+    }
+}
+
+#[test]
+fn strided_program_profiles_as_fixed_stride() {
+    let (r1, r2, r3) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    let mut a = Asm::new();
+    a.li(r1, 0x8000);
+    a.li(r3, 256);
+    let l = a.here("loop");
+    a.load(r2, r1, 0);
+    a.addi(r1, r1, 64);
+    a.addi(r3, r3, -1);
+    a.branch(Cond::Ne, r3, Reg::ZERO, l);
+    a.halt();
+    let p = a.assemble().expect("assembles");
+
+    for m in [Machine::default_ooo(), Machine::default_in_order()] {
+        let mut rec = attrib_recorder(&m);
+        let (res, _) = m.run_observed(&p, &mut rec).expect("runs");
+        let a = rec.attribution().expect("enabled");
+        assert!(a.reconciles_cpu(res.mem.l1d_misses, res.mem.l2_misses));
+        let profile = a.profile("stride");
+        let hot = &profile.pcs[0];
+        assert_eq!(hot.pattern, Pattern::FixedStride(64), "{}: {:?}", m.name(), hot);
+        // A 64-byte stride over 32-byte lines with a cold cache misses on
+        // every access; all compulsory.
+        assert_eq!(hot.classes[0], hot.misses, "{}: all cold misses", m.name());
+    }
+}
+
+#[test]
+fn pointer_chase_program_profiles_via_register_provenance() {
+    const NODES: u64 = 128;
+    const BASE: u64 = 0x2_0000;
+    // A seeded shuffled chain laid out in data memory: node[i] holds the
+    // address of its successor in a random permutation.
+    let mut order: Vec<u64> = (0..NODES).collect();
+    let mut rng = SmallRng::seed_from_u64(0xC8A1);
+    for i in (1..order.len()).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+    let mut a = Asm::new();
+    for w in order.windows(2) {
+        a.word(BASE + w[0] * 64, BASE + w[1] * 64);
+    }
+    let (r1, r3) = (Reg::int(1), Reg::int(3));
+    a.li(r1, (BASE + order[0] * 64) as i64);
+    a.li(r3, (NODES - 1) as i64);
+    let l = a.here("chase");
+    a.load(r1, r1, 0);
+    a.addi(r3, r3, -1);
+    a.branch(Cond::Ne, r3, Reg::ZERO, l);
+    a.halt();
+    let p = a.assemble().expect("assembles");
+
+    for m in [Machine::default_ooo(), Machine::default_in_order()] {
+        let mut rec = attrib_recorder(&m);
+        let (res, _) = m.run_observed(&p, &mut rec).expect("runs");
+        let a = rec.attribution().expect("enabled");
+        assert!(a.reconciles_cpu(res.mem.l1d_misses, res.mem.l2_misses));
+        let profile = a.profile("chase");
+        let hot = &profile.pcs[0];
+        assert_eq!(hot.pattern, Pattern::PointerChase, "{}: {:?}", m.name(), hot);
+    }
+}
+
+#[test]
+fn profile_exports_are_deterministic() {
+    let s = spec::by_name("compress").expect("compress exists");
+    let p = (s.build)(Scale::Test);
+    let m = Machine::default_in_order();
+    let render = || {
+        let mut rec = attrib_recorder(&m);
+        m.run_observed(&p, &mut rec).expect("runs");
+        let profile = rec.attribution().expect("enabled").profile("compress/in-order");
+        (profile.to_json().pretty(), profile.table().render(), profile.chrome_trace())
+    };
+    let (j1, t1, c1) = render();
+    let (j2, t2, c2) = render();
+    assert_eq!(j1, j2);
+    assert_eq!(t1, t2);
+    assert_eq!(c1, c2);
+    assert!(informing_memops::util::json::parse(&c1).is_ok(), "trace twin is valid JSON");
+}
