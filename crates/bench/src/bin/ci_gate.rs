@@ -17,9 +17,10 @@
 //! `examples/bench_check.rs` runs.
 //!
 //! Usage: `cargo run --release -p imo-bench --bin ci_gate [--skip-wall]
-//! [--serve]`. `--skip-wall` skips the three wall-clock targets
-//! (`substrate`, `obs_overhead`, `simspeed`) entirely; by default they run
-//! with fast sampling knobs
+//! [--serve] [--store-dir DIR] [--stats-json PATH] [--assert-warm PCT]
+//! [--code-hash]`. `--skip-wall` skips the wall-clock targets
+//! (`substrate`, `obs_overhead`, `simspeed`, `chaos_soak`) entirely; by
+//! default they run with fast sampling knobs
 //! (3 samples × 2 ms) unless the caller already set `IMO_BENCH_SAMPLES` /
 //! `IMO_BENCH_SAMPLE_MS`. Exits nonzero on any drift, schema violation, or
 //! missing baseline.
@@ -30,12 +31,29 @@
 //! asserts the server path reproduces the committed baselines
 //! byte-identically, cell results streaming back over TCP from worker
 //! subprocesses.
+//!
+//! Sweep-store flags (the cross-run incremental path, DESIGN.md §14):
+//!
+//! * `--code-hash` — print the code fingerprint addressing the on-disk
+//!   store (the CI cache key) and exit;
+//! * `--store-dir DIR` — use `DIR` instead of `<repo>/.imo-cache`
+//!   (equivalent to `IMO_STORE_DIR`; `IMO_STORE=off|ro|rw` picks the mode);
+//! * `--stats-json PATH` — write a machine-readable per-target stats
+//!   document (wall ms, cells simulated / served from memory / served from
+//!   disk) for CI artifacts and `scripts/tier2.sh`;
+//! * `--assert-warm PCT` — fail unless at least `PCT`% of the distinct
+//!   cells this run needed were served from the on-disk store: CI's warm
+//!   job runs the gate twice and pins the second run ≥ 90%. Don't combine
+//!   with `--serve`: the client ships cells to worker subprocesses, whose
+//!   disk hits this process cannot count.
 
 use std::io::{BufRead, BufReader};
 use std::process::{Child, Command, ExitCode, Stdio};
+use std::time::Instant;
 
 use imo_bench::gate::{self, Drift};
 use imo_bench::report::repo_root;
+use imo_bench::sweep::{self, MemoStats};
 use imo_bench::targets;
 use imo_bench::Table;
 use imo_util::json::{parse, Json};
@@ -142,10 +160,128 @@ fn start_server() -> ServeGuard {
     ServeGuard { child }
 }
 
+/// Parsed command line; see the module docs for flag meanings.
+struct Args {
+    skip_wall: bool,
+    via_server: bool,
+    code_hash: bool,
+    stats_json: Option<String>,
+    assert_warm: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        skip_wall: false,
+        via_server: false,
+        code_hash: false,
+        stats_json: None,
+        assert_warm: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--skip-wall" => args.skip_wall = true,
+            "--serve" => args.via_server = true,
+            "--code-hash" => args.code_hash = true,
+            "--store-dir" => {
+                let dir = it.next().ok_or("--store-dir needs a directory")?;
+                // Equivalent to the env knob; set before the store's first
+                // use so the lazily opened global picks it up.
+                std::env::set_var("IMO_STORE_DIR", dir);
+            }
+            "--stats-json" => {
+                args.stats_json = Some(it.next().ok_or("--stats-json needs a path")?);
+            }
+            "--assert-warm" => {
+                let pct = it.next().ok_or("--assert-warm needs a percentage")?;
+                args.assert_warm =
+                    Some(pct.parse().map_err(|_| format!("--assert-warm {pct}: not a number"))?);
+            }
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(args)
+}
+
+/// Per-target gate accounting for `--stats-json`.
+struct TargetStats {
+    name: &'static str,
+    wall_ms: u64,
+    skipped: bool,
+    /// Memo-counter deltas attributed to this target's regeneration.
+    memo: MemoStats,
+}
+
+/// The effective store mode as a stats/summary token.
+fn store_mode_str() -> &'static str {
+    match sweep::store() {
+        None => "off",
+        Some(s) if s.mode() == imo_util::store::StoreMode::ReadOnly => "ro",
+        Some(_) => "rw",
+    }
+}
+
+fn memo_delta(before: MemoStats, after: MemoStats) -> MemoStats {
+    MemoStats {
+        requested: after.requested - before.requested,
+        simulated: after.simulated - before.simulated,
+        served_disk: after.served_disk - before.served_disk,
+        disk_writes: after.disk_writes - before.disk_writes,
+        disk_rejected: after.disk_rejected - before.disk_rejected,
+    }
+}
+
+fn memo_json(m: &MemoStats) -> Vec<(&'static str, Json)> {
+    vec![
+        ("requested", Json::from(m.requested)),
+        ("simulated", Json::from(m.simulated)),
+        ("served_memory", Json::from(m.served_memory())),
+        ("served_disk", Json::from(m.served_disk)),
+    ]
+}
+
+/// The `--stats-json` document: per-target wall ms and cell provenance,
+/// plus process totals and the store configuration.
+fn stats_json(stats: &[TargetStats], totals: MemoStats, total_ms: u64) -> Json {
+    let targets = stats.iter().map(|s| {
+        let mut fields = vec![
+            ("name", Json::from(s.name)),
+            ("skipped", Json::Bool(s.skipped)),
+            ("wall_ms", Json::from(s.wall_ms)),
+        ];
+        fields.extend(memo_json(&s.memo));
+        Json::obj(fields)
+    });
+    let mut total_fields = vec![
+        ("wall_ms", Json::from(total_ms)),
+        ("disk_writes", Json::from(totals.disk_writes)),
+        ("disk_rejected", Json::from(totals.disk_rejected)),
+        ("disk_coverage_pct", Json::from(totals.disk_coverage_pct())),
+    ];
+    total_fields.extend(memo_json(&totals));
+    Json::obj([
+        ("ci_gate_stats", Json::from(1u64)),
+        ("code_fingerprint", Json::Str(format!("{:016x}", sweep::code_fingerprint()))),
+        ("store_mode", Json::from(store_mode_str())),
+        ("targets", Json::arr(targets)),
+        ("totals", Json::obj(total_fields)),
+    ])
+}
+
 fn main() -> ExitCode {
-    let skip_wall = std::env::args().any(|a| a == "--skip-wall");
-    let via_server = std::env::args().any(|a| a == "--serve");
-    let _serve_guard = via_server.then(start_server);
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("ci_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if args.code_hash {
+        println!("{:016x}", sweep::code_fingerprint());
+        return ExitCode::SUCCESS;
+    }
+    let skip_wall = args.skip_wall;
+    let _serve_guard = args.via_server.then(start_server);
     if !skip_wall {
         // Fast sampling for the wall-clock targets: the gate only sanity-
         // checks those numbers, so don't spend CI minutes refining medians.
@@ -168,9 +304,15 @@ fn main() -> ExitCode {
          (IMO_GATE_WALL_TOL)\n"
     );
 
+    let gate_start = Instant::now();
     let mut reports = Vec::new();
+    let mut stats = Vec::new();
     for t in targets::registry() {
+        let before = sweep::memo_stats();
+        let t0 = Instant::now();
         let rep = gate_target(&t, skip_wall, wall_tol);
+        let wall_ms = t0.elapsed().as_millis() as u64;
+        let delta = memo_delta(before, sweep::memo_stats());
         let verdict = if rep.skipped {
             "skipped (wall-clock)"
         } else if rep.ok() {
@@ -179,20 +321,59 @@ fn main() -> ExitCode {
             "DRIFT"
         };
         println!("  {:<22} {verdict}", rep.name);
+        stats.push(TargetStats { name: rep.name, wall_ms, skipped: rep.skipped, memo: delta });
         reports.push(rep);
     }
+    let total_ms = gate_start.elapsed().as_millis() as u64;
 
-    let memo = imo_bench::sweep::memo_stats();
+    let memo = sweep::memo_stats();
     println!(
-        "\nmemo: {} cells requested, {} simulated, {} served from cache ({:.0}% hit rate)",
+        "\nmemo: {} cells requested, {} simulated, {} served from memory, {} from disk \
+         ({:.0}% hit rate; store {}, {} written, {} rejected)",
         memo.requested,
         memo.simulated,
-        memo.deduped(),
-        memo.hit_rate() * 100.0
+        memo.served_memory(),
+        memo.served_disk,
+        memo.hit_rate() * 100.0,
+        store_mode_str(),
+        memo.disk_writes,
+        memo.disk_rejected,
     );
+
+    if let Some(path) = &args.stats_json {
+        let doc = stats_json(&stats, memo, total_ms);
+        if let Err(e) = std::fs::write(path, doc.pretty()) {
+            eprintln!("ci_gate: writing --stats-json {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("ci_gate: wrote per-target stats to {path}");
+    }
+
+    let mut warm_failed = false;
+    if let Some(floor) = args.assert_warm {
+        let cov = memo.disk_coverage_pct();
+        let distinct = memo.simulated + memo.served_disk;
+        if cov < floor {
+            eprintln!(
+                "ci_gate: --assert-warm {floor}: only {} of {distinct} distinct cells came \
+                 from the store ({cov:.1}% < {floor}%) — the warm path is not serving",
+                memo.served_disk,
+            );
+            warm_failed = true;
+        } else {
+            println!(
+                "warm store: {} of {distinct} distinct cells served from disk \
+                 ({cov:.1}% ≥ {floor}% floor)",
+                memo.served_disk,
+            );
+        }
+    }
 
     let bad: Vec<&TargetReport> = reports.iter().filter(|r| !r.ok()).collect();
     if bad.is_empty() {
+        if warm_failed {
+            return ExitCode::FAILURE;
+        }
         println!("\nci_gate: clean — every regenerated payload matches its committed baseline");
         return ExitCode::SUCCESS;
     }

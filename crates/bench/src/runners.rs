@@ -7,7 +7,7 @@ use imo_util::hash::debug_hash;
 use imo_workloads::parallel::{all_apps, ParallelTrace, TraceConfig};
 use imo_workloads::Scale;
 
-use crate::sweep::{cpu_cells, cross2, memoized, run_cpu_cells, SweepSpec};
+use crate::sweep::{cpu_cells, cross2, memoized_stored, run_cpu_cells, SweepSpec};
 
 /// Runs the Figure 2/3 variant set for one workload on both machines
 /// (a 1 × 2 sweep; the full-figure targets fan out all workloads at once).
@@ -32,14 +32,18 @@ pub struct Fig4Row {
     pub normalized: [f64; 3],
 }
 
-/// [`simulate_baseline`] through the process-wide memo cache
-/// ([`crate::sweep::memoized`]). The trace — tens of thousands of generated
-/// ops — enters the key as a structural `Debug` hash rather than verbatim;
-/// every other counter-relevant input (`scheme`, full machine params) is in
-/// the key directly.
+/// [`simulate_baseline`] through both memo tiers
+/// ([`crate::sweep::memoized_stored`]). The trace — tens of thousands of
+/// generated ops — enters the key as a structural `Debug` hash rather than
+/// verbatim; every other counter-relevant input (`scheme`, full machine
+/// params) is in the key directly. Values persist as serve-layer
+/// `SimResult` wire JSON, so warm runs serve the Figure 4 / fault-identity
+/// baselines from disk.
 pub fn memoized_baseline(app: &ParallelTrace, scheme: Scheme, params: &MachineParams) -> SimResult {
     let key = format!("coh-baseline/{}/{:016x}/{scheme:?}/{params:?}", app.name, debug_hash(app));
-    memoized(&key, || simulate_baseline(app, scheme, params))
+    memoized_stored(&key, crate::serve::sim_result_json, crate::serve::decode_sim_result, || {
+        simulate_baseline(app, scheme, params)
+    })
 }
 
 /// Runs Figure 4: every application under every scheme, as an app-major

@@ -65,7 +65,7 @@ use imo_util::{debug_hash, SlotBreakdown};
 use imo_workloads::parallel::{self, ParallelTrace, TraceConfig};
 use imo_workloads::{by_name, Scale};
 
-use crate::sweep::{memoized, CpuCell};
+use crate::sweep::{memoized_stored, CpuCell};
 
 /// Leak-once intern table for decoded `&'static str` labels. The label
 /// vocabulary is tiny and fixed ("N", "1S", "ooo", …), so the leak is
@@ -931,7 +931,9 @@ fn run_sliced_with(
 
 /// Runs one cell to its [`ExperimentResult`] — the worker-side counterpart
 /// of [`CpuCell::run`], sharing its per-variant memo keys (so a persistent
-/// worker dedups shared baselines) and adding checkpoint-based preemption.
+/// worker dedups shared baselines, and — workers inherit the sweep store
+/// read-only — serves warm cells from disk) and adding checkpoint-based
+/// preemption.
 ///
 /// # Panics
 ///
@@ -949,7 +951,7 @@ pub fn run_cell(cell: &CpuCell, preempt_every: Option<u64>) -> ExperimentResult 
             "cpu-run/{}/{:?}/{:?}/{:?}/{:?}",
             cell.workload, cell.scale, cell.machine, v.scheme, limits
         );
-        let result = memoized(&key, || {
+        let result = memoized_stored(&key, result_json, decode_result, || {
             let program = program.get_or_insert_with(|| (spec.build)(cell.scale));
             let inst = instrument(program, &v.scheme).unwrap_or_else(|e| {
                 panic!("instrumenting {} as {:?}: {e}", cell.workload, v.scheme)

@@ -29,9 +29,27 @@
 //! Simulations are deterministic, which is what makes serving a cached
 //! `RunResult` sound: a cache hit is bit-identical to a re-run, and
 //! [`memo_stats`] proves the dedup coverage without affecting any payload.
+//!
+//! ## The on-disk L2: the content-addressed sweep store
+//!
+//! The in-process map is the L1; [`memoized_stored`] adds the persistent
+//! L2 of [`imo_util::store`] under `.imo-cache/`, addressed by
+//! `(store schema version, code fingerprint, key)`. The fingerprint
+//! ([`code_fingerprint`]) is a build-time digest of every simulator
+//! crate's sources, so a simulator change invalidates the store wholesale
+//! while a bench-matrix edit invalidates only the touched cells (their
+//! inputs are the key). Disk values round-trip through the serve-layer
+//! wire codecs — the same bit-exact encodings `ci_gate --serve` proves —
+//! and any verification or decode failure silently falls back to
+//! recompute: a stale or corrupt store can cost time, never correctness.
+//!
+//! Configuration: `IMO_STORE=off|ro|rw` (default `rw`), `IMO_STORE_DIR`
+//! (default `<repo>/.imo-cache`).
 
 use std::any::Any;
+use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, OnceLock};
 
@@ -39,16 +57,106 @@ use imo_core::experiment::{normalize_experiment, ExperimentResult, Variant};
 use imo_core::instrument::instrument;
 use imo_core::Machine;
 use imo_cpu::RunLimits;
+use imo_util::json::Json;
 use imo_util::pool::Pool;
+use imo_util::snapshot::SnapshotError;
+use imo_util::store::{Store, StoreMode};
 use imo_workloads::{by_name, Scale};
 
 /// Process-wide memo cache: structural key → boxed result.
 static MEMO: OnceLock<Mutex<HashMap<String, Box<dyn Any + Send + Sync>>>> = OnceLock::new();
-/// Total [`memoized`] calls (cache hits included).
+/// Total [`memoized`]/[`memoized_stored`] calls (cache hits included).
 static MEMO_REQUESTED: AtomicU64 = AtomicU64::new(0);
+/// Distinct keys whose value came from running `compute`.
+static MEMO_SIMULATED: AtomicU64 = AtomicU64::new(0);
+/// Distinct keys whose value came from the on-disk store.
+static MEMO_SERVED_DISK: AtomicU64 = AtomicU64::new(0);
+/// The process-wide store handle (`None` when `IMO_STORE=off`).
+static STORE: OnceLock<Option<Store>> = OnceLock::new();
+
+/// The code fingerprint addressing the on-disk store: the build-time
+/// digest of every simulator crate's sources baked in by `build.rs`, or
+/// the `IMO_CODE_HASH` override (16 hex digits, else the string itself is
+/// hashed) for tests and tooling that need to pin or perturb it.
+#[must_use]
+pub fn code_fingerprint() -> u64 {
+    static FP: OnceLock<u64> = OnceLock::new();
+    *FP.get_or_init(|| {
+        if let Ok(over) = std::env::var("IMO_CODE_HASH") {
+            let t = over.trim().trim_start_matches("0x");
+            if !t.is_empty() {
+                return u64::from_str_radix(t, 16)
+                    .unwrap_or_else(|_| imo_util::hash::fnv1a_64(t.as_bytes()));
+            }
+        }
+        u64::from_str_radix(env!("IMO_CODE_FINGERPRINT"), 16).unwrap_or(0)
+    })
+}
+
+/// The process-wide on-disk sweep store, opened on first use from
+/// `IMO_STORE` / `IMO_STORE_DIR`; `None` when disabled.
+pub fn store() -> Option<&'static Store> {
+    STORE
+        .get_or_init(|| {
+            let mode = match std::env::var("IMO_STORE").as_deref() {
+                Ok("off") | Ok("0") => return None,
+                Ok("ro") => StoreMode::ReadOnly,
+                Ok("rw") | Ok("") | Err(_) => StoreMode::ReadWrite,
+                Ok(other) => {
+                    eprintln!("warning: unknown IMO_STORE={other:?}, store disabled");
+                    return None;
+                }
+            };
+            let dir = match std::env::var("IMO_STORE_DIR") {
+                Ok(d) if !d.trim().is_empty() => PathBuf::from(d.trim()),
+                _ => crate::report::repo_root().join(".imo-cache"),
+            };
+            Some(Store::open(&dir, mode, code_fingerprint()))
+        })
+        .as_ref()
+}
+
+/// The `IMO_STORE` value subprocess workers should run with: shared
+/// consumers get the store read-only (only the coordinating process
+/// writes), or `off` when this process has it off.
+#[must_use]
+pub fn worker_store_env() -> &'static str {
+    if store().is_some() {
+        "ro"
+    } else {
+        "off"
+    }
+}
+
+fn l1() -> &'static Mutex<HashMap<String, Box<dyn Any + Send + Sync>>> {
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn l1_get<T: Clone + Send + Sync + 'static>(key: &str) -> Option<T> {
+    l1().lock()
+        .expect("memo lock")
+        .get(key)
+        .map(|hit| hit.downcast_ref::<T>().expect("memo key reused at a different type").clone())
+}
+
+/// Inserts into the L1, counting the key once under `simulated` or
+/// `served_disk` depending on where its value came from. Racing inserts of
+/// the same key count once (first wins), so the stats are
+/// interleaving-invariant.
+fn l1_insert<T: Clone + Send + Sync + 'static>(key: &str, value: &T, from_disk: bool) {
+    match l1().lock().expect("memo lock").entry(key.to_string()) {
+        Entry::Occupied(_) => {}
+        Entry::Vacant(slot) => {
+            slot.insert(Box::new(value.clone()));
+            let counter = if from_disk { &MEMO_SERVED_DISK } else { &MEMO_SIMULATED };
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
 
 /// Runs `compute` at most once per distinct `key`, serving repeats from the
-/// process-wide cache.
+/// process-wide in-memory cache. Values never touch the disk store — use
+/// [`memoized_stored`] for results worth keeping across runs.
 ///
 /// The value is computed *outside* the cache lock (cells are long
 /// simulations; holding the lock would serialize the pool), so two workers
@@ -62,35 +170,83 @@ where
     F: FnOnce() -> T,
 {
     MEMO_REQUESTED.fetch_add(1, Ordering::Relaxed);
-    let map = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
-    if let Some(hit) = map.lock().expect("memo lock").get(key) {
-        return hit.downcast_ref::<T>().expect("memo key reused at a different type").clone();
+    if let Some(hit) = l1_get(key) {
+        return hit;
     }
     let value = compute();
-    map.lock()
-        .expect("memo lock")
-        .entry(key.to_string())
-        .or_insert_with(|| Box::new(value.clone()));
+    l1_insert(key, &value, false);
+    value
+}
+
+/// [`memoized`] with the on-disk store as the L2: an L1 miss probes the
+/// store before computing, and a computed value is persisted for future
+/// runs.
+///
+/// `encode`/`decode` are the value's wire codec (the serve-layer
+/// `result_json`/`decode_result` pair for `RunResult`, say). A store hit
+/// that fails `decode` is rejected — counted, deleted in read-write mode —
+/// and falls back to recompute, so a stale or corrupt entry can never
+/// change a result.
+pub fn memoized_stored<T, F, E, D>(key: &str, encode: E, decode: D, compute: F) -> T
+where
+    T: Clone + Send + Sync + 'static,
+    F: FnOnce() -> T,
+    E: Fn(&T) -> Json,
+    D: Fn(&Json) -> Result<T, SnapshotError>,
+{
+    MEMO_REQUESTED.fetch_add(1, Ordering::Relaxed);
+    if let Some(hit) = l1_get(key) {
+        return hit;
+    }
+    if let Some(store) = store() {
+        if let Some(payload) = store.get(key) {
+            match decode(&payload) {
+                Ok(value) => {
+                    l1_insert(key, &value, true);
+                    return value;
+                }
+                Err(_) => store.reject(key),
+            }
+        }
+    }
+    let value = compute();
+    if let Some(store) = store() {
+        store.put(key, &encode(&value));
+    }
+    l1_insert(key, &value, false);
     value
 }
 
 /// Memo-cache coverage counters; see [`memo_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MemoStats {
-    /// Cell results requested through [`memoized`].
+    /// Cell results requested through [`memoized`]/[`memoized_stored`].
     pub requested: u64,
-    /// Distinct cells actually simulated (unique cache keys).
+    /// Distinct cells actually simulated (computed in this process).
     pub simulated: u64,
+    /// Distinct cells served from the on-disk store instead of simulating.
+    pub served_disk: u64,
+    /// Values persisted to the on-disk store this process.
+    pub disk_writes: u64,
+    /// Store entries rejected (torn/corrupt/stale) and recomputed.
+    pub disk_rejected: u64,
 }
 
 impl MemoStats {
-    /// Requests served from the cache instead of re-simulating.
+    /// Requests served from either cache tier instead of re-simulating.
     #[must_use]
     pub fn deduped(&self) -> u64 {
         self.requested.saturating_sub(self.simulated)
     }
 
-    /// Fraction of requests served from the cache (`0.0` when idle).
+    /// Requests served from the in-process map (repeat keys).
+    #[must_use]
+    pub fn served_memory(&self) -> u64 {
+        self.deduped().saturating_sub(self.served_disk)
+    }
+
+    /// Fraction of requests served from either cache tier (`0.0` when
+    /// idle).
     #[must_use]
     pub fn hit_rate(&self) -> f64 {
         if self.requested == 0 {
@@ -99,14 +255,35 @@ impl MemoStats {
             self.deduped() as f64 / self.requested as f64
         }
     }
+
+    /// Of the distinct cells this process needed, the percentage served
+    /// from disk instead of simulated — the warm-store coverage `ci_gate
+    /// --assert-warm` gates on. `0.0` when nothing was needed.
+    #[must_use]
+    pub fn disk_coverage_pct(&self) -> f64 {
+        let distinct = self.simulated + self.served_disk;
+        if distinct == 0 {
+            0.0
+        } else {
+            self.served_disk as f64 * 100.0 / distinct as f64
+        }
+    }
 }
 
-/// Snapshot of the process-wide memo coverage: how many cell results were
-/// requested and how many distinct cells were actually simulated.
+/// Snapshot of the process-wide memo coverage across both tiers: how many
+/// cell results were requested, how many distinct cells were simulated vs
+/// served from the on-disk store, and the store's write/reject counters.
 #[must_use]
 pub fn memo_stats() -> MemoStats {
-    let simulated = MEMO.get().map_or(0, |m| m.lock().expect("memo lock").len() as u64);
-    MemoStats { requested: MEMO_REQUESTED.load(Ordering::Relaxed), simulated }
+    let (disk_writes, disk_rejected) =
+        store().map_or((0, 0), |s| (s.stats().writes, s.stats().rejected));
+    MemoStats {
+        requested: MEMO_REQUESTED.load(Ordering::Relaxed),
+        simulated: MEMO_SIMULATED.load(Ordering::Relaxed),
+        served_disk: MEMO_SERVED_DISK.load(Ordering::Relaxed),
+        disk_writes,
+        disk_rejected,
+    }
 }
 
 /// A flat list of experiment cells (usually a cross product of axes).
@@ -210,11 +387,13 @@ pub struct CpuCell {
 impl CpuCell {
     /// Runs this cell to its [`ExperimentResult`].
     ///
-    /// Each variant's raw `RunResult` goes through [`memoized`]
+    /// Each variant's raw `RunResult` goes through [`memoized_stored`]
     /// individually, so a variant shared between targets (every target's N
     /// baseline, say) simulates once per process even when the surrounding
-    /// variant sets differ. The program is only built if some variant
-    /// actually misses the cache.
+    /// variant sets differ — and persists to the on-disk store, so a later
+    /// run with the same code fingerprint serves it without simulating at
+    /// all. The program is only built if some variant actually misses both
+    /// cache tiers.
     ///
     /// # Panics
     ///
@@ -232,15 +411,20 @@ impl CpuCell {
                 "cpu-run/{}/{:?}/{:?}/{:?}/{:?}",
                 self.workload, self.scale, self.machine, v.scheme, limits
             );
-            let result = memoized(&key, || {
-                let program = program.get_or_insert_with(|| (spec.build)(self.scale));
-                let inst = instrument(program, &v.scheme).unwrap_or_else(|e| {
-                    panic!("instrumenting {} as {:?}: {e}", self.workload, v.scheme)
-                });
-                self.machine
-                    .run_limited(&inst.program, limits)
-                    .unwrap_or_else(|e| panic!("{} on {}: {e}", self.workload, self.machine.name()))
-            });
+            let result = memoized_stored(
+                &key,
+                crate::serve::result_json,
+                crate::serve::decode_result,
+                || {
+                    let program = program.get_or_insert_with(|| (spec.build)(self.scale));
+                    let inst = instrument(program, &v.scheme).unwrap_or_else(|e| {
+                        panic!("instrumenting {} as {:?}: {e}", self.workload, v.scheme)
+                    });
+                    self.machine.run_limited(&inst.program, limits).unwrap_or_else(|e| {
+                        panic!("{} on {}: {e}", self.workload, self.machine.name())
+                    })
+                },
+            );
             raw.push((v.label, result));
         }
         normalize_experiment(self.workload, self.machine.name(), raw)
@@ -339,12 +523,48 @@ mod tests {
 
     #[test]
     fn memo_stats_math() {
-        let s = MemoStats { requested: 10, simulated: 4 };
+        let s = MemoStats {
+            requested: 10,
+            simulated: 4,
+            served_disk: 2,
+            disk_writes: 4,
+            disk_rejected: 1,
+        };
         assert_eq!(s.deduped(), 6);
+        assert_eq!(s.served_memory(), 4);
         assert!((s.hit_rate() - 0.6).abs() < 1e-12);
-        let idle = MemoStats { requested: 0, simulated: 0 };
+        // 6 distinct cells were needed; 2 came from disk.
+        assert!((s.disk_coverage_pct() - 100.0 * 2.0 / 6.0).abs() < 1e-12);
+        let idle = MemoStats {
+            requested: 0,
+            simulated: 0,
+            served_disk: 0,
+            disk_writes: 0,
+            disk_rejected: 0,
+        };
         assert_eq!(idle.deduped(), 0);
         assert_eq!(idle.hit_rate(), 0.0);
+        assert_eq!(idle.disk_coverage_pct(), 0.0);
+    }
+
+    #[test]
+    fn memoized_stored_round_trips_through_the_disk_tier() {
+        use imo_util::snapshot;
+        let Some(store) = store() else {
+            return; // IMO_STORE=off in this environment: nothing to test
+        };
+        let encode = |v: &u64| Json::obj([("v", snapshot::u64_json(*v))]);
+        let decode = |j: &Json| snapshot::get_u64(j, "v");
+        // A key unique to this test but stable across runs, so the second
+        // `cargo test` in a workspace serves it from disk — either source
+        // must produce the same value.
+        let key = "test/memo/stored-round-trip";
+        let v = memoized_stored(key, encode, decode, || 0x1996_u64);
+        assert_eq!(v, 0x1996);
+        if store.mode() == imo_util::store::StoreMode::ReadWrite {
+            let payload = store.get(key).expect("entry persisted");
+            assert_eq!(decode(&payload).expect("decodes"), 0x1996);
+        }
     }
 
     #[test]

@@ -107,7 +107,10 @@ fn median_run_ns(samples: u32, mut f: impl FnMut() -> RunResult) -> u64 {
 /// The key namespace carries a per-invocation nonce, so pass 1 always misses
 /// (6 simulations) and pass 2 always hits (6 served from cache) — the
 /// returned deltas are exactly `requested: 12, simulated: 6` regardless of
-/// what else has used the process-wide cache.
+/// what else has used the process-wide cache. The cells deliberately go
+/// through the memory-only [`memoized`], never the on-disk store: the
+/// nonce restarts at 0 each process, so a persisted entry would turn pass
+/// 1's misses into disk hits across runs and break the exact counts.
 fn dedup_proof() -> MemoStats {
     static NONCE: AtomicU64 = AtomicU64::new(0);
     let nonce = NONCE.fetch_add(1, Ordering::Relaxed);
@@ -131,6 +134,9 @@ fn dedup_proof() -> MemoStats {
     MemoStats {
         requested: after.requested - before.requested,
         simulated: after.simulated - before.simulated,
+        served_disk: after.served_disk - before.served_disk,
+        disk_writes: after.disk_writes - before.disk_writes,
+        disk_rejected: after.disk_rejected - before.disk_rejected,
     }
 }
 
@@ -241,10 +247,11 @@ pub fn print(out: &Output) {
     );
     let s = memo_stats();
     println!(
-        "process-wide memo: {} requested, {} simulated, {} deduped",
+        "process-wide memo: {} requested, {} simulated, {} served from memory, {} from disk",
         s.requested,
         s.simulated,
-        s.deduped()
+        s.served_memory(),
+        s.served_disk
     );
 }
 

@@ -271,8 +271,13 @@ struct Worker {
 impl Worker {
     fn spawn() -> io::Result<Worker> {
         let exe = env::current_exe()?;
+        // Workers share the on-disk sweep store read-only: they serve warm
+        // cells from it, but only a coordinating process (the gate, tier2)
+        // writes, so a crashed or chaos-killed worker can never leave a
+        // half-written entry behind.
         let mut child = Command::new(exe)
             .arg("--worker")
+            .env("IMO_STORE", imo_bench::sweep::worker_store_env())
             .stdin(Stdio::piped())
             .stdout(Stdio::piped())
             .spawn()?;

@@ -24,6 +24,9 @@
 //! * [`snapshot`] — the versioned checkpoint wire format: a [`Snapshot`]
 //!   trait over the in-tree JSON with exact `u64`/`f64` encodings, so live
 //!   simulation state can pause and resume bit-deterministically.
+//! * [`store`] — a content-addressed on-disk key→value cache (atomic
+//!   writes, integrity-verified reads) behind the cross-run sweep memo
+//!   store.
 //! * [`table`] — the aligned text-table renderer shared by the pipeline
 //!   trace dump, the bench reports and the coherence example.
 //!
@@ -42,6 +45,7 @@ pub mod pool;
 pub mod rng;
 pub mod snapshot;
 pub mod stats;
+pub mod store;
 pub mod table;
 
 pub use bench::Bench;
@@ -52,4 +56,5 @@ pub use pool::Pool;
 pub use rng::SmallRng;
 pub use snapshot::{Snapshot, SnapshotError};
 pub use stats::{Report, SlotBreakdown, Summarize};
+pub use store::{Store, StoreMode, StoreStats};
 pub use table::Table;

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Garbage-collects the content-addressed sweep store (DESIGN.md §14).
+#
+# The store is addressed by (schema version, code fingerprint): every
+# simulator change moves live entries to a fresh
+# .imo-cache/v<schema>/<fingerprint>/ directory and strands the old one.
+# This script asks the current build for its fingerprint (ci_gate
+# --code-hash), deletes every directory addressed by any other fingerprint
+# or schema version, and reports the reclaimed bytes.
+#
+# Honours IMO_STORE_DIR (default .imo-cache at the repo root). Safe to run
+# any time: live entries are never touched, and a concurrent reader of a
+# dropped directory just falls back to recompute.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+shopt -s nullglob
+
+cache="${IMO_STORE_DIR:-.imo-cache}"
+if [[ ! -d "$cache" ]]; then
+    echo "store_gc: $cache does not exist, nothing to reclaim"
+    exit 0
+fi
+
+if [[ -x target/release/ci_gate ]]; then
+    fp=$(target/release/ci_gate --code-hash)
+else
+    fp=$(cargo run -q --release --offline -p imo-bench --bin ci_gate -- --code-hash)
+fi
+schema_dir="v1"
+
+bytes_used() { du -sk "$1" 2>/dev/null | awk '{print $1 * 1024}'; }
+before=$(bytes_used "$cache")
+
+dropped=0
+for d in "$cache"/*/; do
+    base=$(basename "$d")
+    if [[ "$base" != "$schema_dir" ]]; then
+        rm -rf "$d"
+        dropped=$((dropped + 1))
+    fi
+done
+for d in "$cache/$schema_dir"/*/; do
+    base=$(basename "$d")
+    if [[ "$base" != "$fp" ]]; then
+        rm -rf "$d"
+        dropped=$((dropped + 1))
+    fi
+done
+
+after=$(bytes_used "$cache")
+live=0
+if [[ -d "$cache/$schema_dir/$fp" ]]; then
+    live=$(find "$cache/$schema_dir/$fp" -name '*.json' | wc -l)
+fi
+echo "store_gc: fingerprint $fp, dropped $dropped stale dir(s)," \
+     "reclaimed $((before - after)) bytes, $live live entrie(s) in $cache"

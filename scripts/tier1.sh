@@ -39,4 +39,9 @@ echo "== sweep job server smoke =="
 # in-process results bit-for-bit, and hits /status.
 cargo run -q --release --offline -p imo-serve -- --smoke --workers 2
 
+echo "== sweep-store gc smoke =="
+# Drops .imo-cache entries whose code fingerprint no longer matches the
+# binaries built above; a no-op on a fresh checkout.
+scripts/store_gc.sh
+
 echo "tier1: all checks passed"

@@ -59,18 +59,36 @@ done
 echo "== ci_gate against the regenerated tree =="
 t0=$(date +%s%N)
 if [[ "${IMO_SERVE:-}" == "1" ]]; then
-    gate_out=$(cargo run -q --release --offline -p imo-bench --bin ci_gate -- --serve)
+    gate_out=$(cargo run -q --release --offline -p imo-bench --bin ci_gate -- \
+        --serve --stats-json ci_gate_stats.json)
 else
-    gate_out=$(cargo run -q --release --offline -p imo-bench --bin ci_gate)
+    gate_out=$(cargo run -q --release --offline -p imo-bench --bin ci_gate -- \
+        --stats-json ci_gate_stats.json)
 fi
 t1=$(date +%s%N)
 printf '%-28s %6d ms\n' "ci_gate" $(( (t1 - t0) / 1000000 ))
 
 # Surface the simulator-performance and memo-dedup numbers the gate and
 # the simspeed baseline measured: total cells simulated vs served from
-# the memo cache, and sim-cycles/sec of the event-driven cores.
+# the memo cache (in-process and on-disk), and sim-cycles/sec of the
+# event-driven cores. The per-target table comes from ci_gate
+# --stats-json — the same document CI uploads as an artifact.
 echo "== simulator performance =="
 grep '^memo:' <<< "$gate_out" || true
+python3 - <<'PY' 2>/dev/null || true
+import json
+doc = json.load(open("ci_gate_stats.json"))
+print(f'gate store: mode {doc["store_mode"]}, code fingerprint {doc["code_fingerprint"]}')
+for t in doc["targets"]:
+    note = "  (skipped)" if t["skipped"] else ""
+    print(f'gate: {t["name"]:22s} {t["wall_ms"]:6d} ms  '
+          f'sim {t["simulated"]:4d}  mem {t["served_memory"]:4d}  '
+          f'disk {t["served_disk"]:4d}{note}')
+tot = doc["totals"]
+print(f'gate totals: {tot["wall_ms"]} ms, {tot["simulated"]} simulated, '
+      f'{tot["served_memory"]} served from memory, {tot["served_disk"]} from disk '
+      f'({tot["disk_coverage_pct"]:.1f}% disk coverage)')
+PY
 python3 - <<'PY' 2>/dev/null || true
 import json
 doc = json.load(open("BENCH_simspeed.json"))
