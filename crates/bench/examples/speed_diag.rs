@@ -1,0 +1,41 @@
+//! Quick fast-path diagnostic: per-machine wall time and block-batch
+//! engagement on the simspeed workload. Not a published benchmark.
+
+use std::time::Instant;
+
+use imo_core::Machine;
+use imo_cpu::{speed, RunLimits};
+use imo_workloads::{by_name, Scale};
+
+fn main() {
+    let spec = by_name("mdljsp2").expect("workload exists");
+    let p = (spec.build)(Scale::Small);
+    for m in [Machine::default_in_order(), Machine::default_ooo()] {
+        let before = speed::speed_stats();
+        let t0 = Instant::now();
+        let ev = m.run_limited(&p, RunLimits::default()).expect("event");
+        let ev_wall = t0.elapsed();
+        let after = speed::speed_stats();
+        let t0 = Instant::now();
+        let tk = m.run_limited(&p, RunLimits::tick_accurate()).expect("tick");
+        let tk_wall = t0.elapsed();
+        assert_eq!(ev, tk, "bit identity");
+        let d = speed::SpeedStats {
+            groups: after.groups - before.groups,
+            block_groups: after.block_groups - before.block_groups,
+            plain_instrs: after.plain_instrs - before.plain_instrs,
+            instrs: after.instrs - before.instrs,
+        };
+        println!(
+            "{:9} cycles {:8} event {:>9.1?} tick {:>9.1?} speedup {:.2}x  groups {} block_hit {:.1}% batched {:.1}%",
+            m.name(),
+            ev.cycles,
+            ev_wall,
+            tk_wall,
+            tk_wall.as_secs_f64() / ev_wall.as_secs_f64(),
+            d.groups,
+            100.0 * d.block_hit_rate(),
+            d.batched_instr_pct(),
+        );
+    }
+}

@@ -240,6 +240,10 @@ pub const SCHEMAS: &[BenchSchema] = &[
             r("data.rows[*].tick_wall_ns", Expect::NumPos),
             r("data.rows[*].cycles_per_sec", Expect::NumPos),
             r("data.rows[*].speedup_vs_tick", Expect::NumPos),
+            // Exact fast-path coverage counters (compared bit-for-bit, not
+            // wall-banded): every row must actually engage the block cache.
+            r("data.rows[*].block_hit_rate", Expect::NumPos),
+            r("data.rows[*].batched_instr_pct", Expect::NumPos),
             r("data.dedup.requested", Expect::NumPos),
             r("data.dedup.simulated", Expect::NumPos),
             r("data.dedup.deduped", Expect::NumPos),

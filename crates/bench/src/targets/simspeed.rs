@@ -24,6 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use imo_core::instrument::{instrument, HandlerBody, HandlerKind, Scheme};
+use imo_cpu::speed::{speed_stats, SpeedStats};
 use imo_cpu::{RunLimits, RunResult};
 use imo_util::json::Json;
 use imo_workloads::{by_name, Scale};
@@ -56,6 +57,12 @@ pub struct Row {
     pub wall_ns: u64,
     /// Median wall time of one tick-accurate reference run.
     pub tick_ns: u64,
+    /// Fraction of the event run's fetch groups served from a single
+    /// pre-decoded basic block (exact counter, not wall clock).
+    pub block_hit_rate: f64,
+    /// Percentage of the event run's instructions retired through batched
+    /// plain-run execution (exact counter, not wall clock).
+    pub batched_instr_pct: f64,
 }
 
 impl Row {
@@ -157,7 +164,17 @@ pub fn compute() -> Output {
         for (label, scheme) in schemes() {
             let inst = instrument(&program, &scheme).expect("instruments");
             let p = &inst.program;
+            let before = speed_stats();
             let event = machine.run_limited(p, RunLimits::default()).expect("event run");
+            let after = speed_stats();
+            // Fast-path coverage counters for exactly this event run (the
+            // globals keep accumulating across the timed samples below).
+            let fast = SpeedStats {
+                groups: after.groups - before.groups,
+                block_groups: after.block_groups - before.block_groups,
+                plain_instrs: after.plain_instrs - before.plain_instrs,
+                instrs: after.instrs - before.instrs,
+            };
             let tick = machine.run_limited(p, RunLimits::tick_accurate()).expect("tick run");
             let identical = event == tick;
             assert!(
@@ -178,6 +195,8 @@ pub fn compute() -> Output {
                 identical,
                 wall_ns,
                 tick_ns,
+                block_hit_rate: fast.block_hit_rate(),
+                batched_instr_pct: fast.batched_instr_pct(),
             });
         }
     }
@@ -198,6 +217,8 @@ pub fn payload(out: &Output) -> Json {
             ("tick_wall_ns", Json::from(r.tick_ns)),
             ("cycles_per_sec", Json::from(r.cycles_per_sec())),
             ("speedup_vs_tick", Json::from(r.speedup_vs_tick())),
+            ("block_hit_rate", Json::from(r.block_hit_rate)),
+            ("batched_instr_pct", Json::from(r.batched_instr_pct)),
         ])
     });
     Json::obj([
@@ -225,6 +246,8 @@ pub fn print(out: &Output) {
         "sim cycles",
         "Mcycles/sec",
         "speedup vs tick",
+        "block hit",
+        "batched",
         "identical",
     ]);
     for r in &out.rows {
@@ -234,6 +257,8 @@ pub fn print(out: &Output) {
             r.result.cycles.to_string(),
             format!("{:.1}", r.cycles_per_sec() / 1e6),
             format!("{:.2}x", r.speedup_vs_tick()),
+            format!("{:.1}%", r.block_hit_rate * 100.0),
+            format!("{:.1}%", r.batched_instr_pct),
             if r.identical { "yes".to_string() } else { "NO".to_string() },
         ]);
     }

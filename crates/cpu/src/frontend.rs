@@ -11,9 +11,11 @@
 //! what keeps informing-memory outcomes (which are architecturally visible)
 //! deterministic.
 
+use std::collections::VecDeque;
+
 use imo_faults::HandlerFaults;
 use imo_isa::exec::{ArchState, ControlFlow, ExecError, Executor, MissDepth, MissOracle};
-use imo_isa::{Instr, Program};
+use imo_isa::{BlockCache, Instr, Program};
 use imo_mem::{HitLevel, MemoryHierarchy, ProbeResult};
 use imo_obs::{EventKind, Recorder};
 use imo_util::json::Json;
@@ -60,6 +62,62 @@ pub struct Fetched {
     pub cc_dep: Option<u64>,
     /// Whether this is a conditional branch that consumed a predictor slot.
     pub is_cond_branch: bool,
+}
+
+/// A batch of consecutive *plain* instructions (no memory access, no
+/// control transfer) fetched in one cycle: `len` instructions starting at
+/// sequence number `seq`, address `pc`, and block-cache index `idx`. Every
+/// [`Fetched`] field a plain instruction would carry is derivable from
+/// these five words (`probe: None`, `resolve: None`, no trap, no
+/// condition-code dependence), so hot consumers can keep runs compact and
+/// re-materialize full entries only at checkpoint boundaries.
+#[derive(Debug, Clone, Copy)]
+pub struct PlainRun {
+    /// Sequence number of the first instruction in the run.
+    pub seq: u64,
+    /// Address of the first instruction.
+    pub pc: u64,
+    /// Cycle the whole run was fetched.
+    pub fetch_cycle: u64,
+    /// Block-cache (= text) index of the first instruction.
+    pub idx: u32,
+    /// Number of instructions remaining in the run.
+    pub len: u32,
+}
+
+/// Destination of [`FrontEnd::fetch_fast`]: either a flat
+/// `VecDeque<Fetched>` (every instruction materialized, as the generic
+/// `fetch` produces) or a split structure that keeps plain runs compact.
+/// Monomorphized, so the flat impl compiles to exactly the previous code.
+pub trait FetchSink {
+    /// `k` plain instructions at `instrs[idx..idx + k]`, sequence numbers
+    /// `seq0..seq0 + k`, first address `pc`, all fetched at `cycle`.
+    fn push_plain(&mut self, instrs: &[Instr], idx: usize, pc: u64, seq0: u64, k: u32, cycle: u64);
+    /// One fully-materialized entry (memory op, control transfer, or any
+    /// other batch-breaking instruction).
+    fn push_full(&mut self, f: Fetched);
+}
+
+impl FetchSink for VecDeque<Fetched> {
+    fn push_plain(&mut self, instrs: &[Instr], idx: usize, pc: u64, seq0: u64, k: u32, cycle: u64) {
+        for i in 0..k as usize {
+            self.push_back(Fetched {
+                seq: seq0 + i as u64,
+                pc: pc + 4 * i as u64,
+                instr: instrs[idx + i],
+                fetch_cycle: cycle,
+                probe: None,
+                informing_trap: false,
+                resolve: Resolve::None,
+                cc_dep: None,
+                is_cond_branch: false,
+            });
+        }
+    }
+
+    fn push_full(&mut self, f: Fetched) {
+        self.push_back(f);
+    }
 }
 
 /// Adapter presenting the timing hierarchy as the executor's miss oracle.
@@ -134,6 +192,29 @@ pub struct FrontEnd<'p> {
     /// register's most recent writer was a load. Purely observational —
     /// only feeds `ptr_base` on recorded data-access events.
     reg_from_load: u64,
+    /// Pre-decoded block table for the fast fetch path (None = per-
+    /// instruction fetch only). Pure acceleration state — never
+    /// snapshotted.
+    blocks: Option<&'p BlockCache>,
+    /// Speed counters for the fast path (never snapshotted; flushed to the
+    /// process-global [`crate::speed`] counters at run end).
+    stats: FetchStats,
+}
+
+/// Fast-path fetch counters, accumulated per run and flushed to
+/// [`crate::speed`] by the cores. Excluded from checkpoints: they describe
+/// how the simulator ran, not what it simulated.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FetchStats {
+    /// Fetch-group formations through the fast path.
+    pub groups: u64,
+    /// Groups fully served from within a single cached basic block.
+    pub block_groups: u64,
+    /// Instructions streamed through the plain-run batch path
+    /// (`Executor::step_block`).
+    pub plain_instrs: u64,
+    /// Total instructions fetched through the fast path.
+    pub instrs: u64,
 }
 
 impl<'p> FrontEnd<'p> {
@@ -165,7 +246,22 @@ impl<'p> FrontEnd<'p> {
             degraded: false,
             pending_penalty: None,
             reg_from_load: 0,
+            blocks: None,
+            stats: FetchStats::default(),
         }
+    }
+
+    /// Attaches a pre-decoded block table, enabling [`FrontEnd::fetch_fast`]
+    /// to batch straight-line hit runs. The cache must have been built from
+    /// the same program this front end executes.
+    pub fn attach_blocks(&mut self, cache: &'p BlockCache) {
+        debug_assert_eq!(cache.len(), self.exec.program().len());
+        self.blocks = Some(cache);
+    }
+
+    /// Fast-path fetch counters accumulated so far this run.
+    pub fn stats(&self) -> FetchStats {
+        self.stats
     }
 
     /// Arms miss-handler fault injection: each informing-trap dispatch draws
@@ -188,6 +284,7 @@ impl<'p> FrontEnd<'p> {
     }
 
     /// Whether `halt` has been fetched (the pipeline may still be draining).
+    #[inline]
     pub fn halted(&self) -> bool {
         self.halted
     }
@@ -214,20 +311,31 @@ impl<'p> FrontEnd<'p> {
     }
 
     /// The sequence number fetch is currently blocked on, if any.
+    #[inline]
     pub fn blocked_on(&self) -> Option<u64> {
         self.blocked_on
     }
 
     /// Whether fetch is blocked on an informing-trap resolution (handler
     /// dispatch in flight) rather than a branch mispredict.
+    #[inline]
     pub fn blocked_on_trap(&self) -> bool {
         self.blocked_on.is_some() && self.blocked_trap
     }
 
     /// Earliest cycle at which fetch can proceed (meaningful when not
     /// blocked on a sequence number).
+    #[inline]
     pub fn resume_at(&self) -> u64 {
         self.resume_at
+    }
+
+    /// Whether a fetch call at `cycle` could deliver anything — the same
+    /// guard [`FrontEnd::fetch`] and [`FrontEnd::fetch_fast`] apply on
+    /// entry, exposed so hot core loops can skip the call entirely.
+    #[inline]
+    pub fn fetch_ready(&self, cycle: u64) -> bool {
+        !self.halted && self.blocked_on.is_none() && cycle >= self.resume_at
     }
 
     /// Unblocks fetch: the instruction `seq` resolved at `cycle`. Fetch
@@ -352,6 +460,8 @@ impl<'p> FrontEnd<'p> {
             degraded: snapshot::get_bool(data, "degraded")?,
             pending_penalty,
             reg_from_load: snapshot::get_u64(data, "reg_from_load")?,
+            blocks: None,
+            stats: FetchStats::default(),
         })
     }
 
@@ -567,6 +677,226 @@ impl<'p> FrontEnd<'p> {
                     break;
                 }
             }
+        }
+        Ok(())
+    }
+
+    /// The unobserved fast twin of [`FrontEnd::fetch`]: consumes the
+    /// pre-decoded block table to stream runs of *plain* instructions (no
+    /// memory access, no control transfer) through
+    /// [`Executor::step_block`] in one batch, falling back to the exact
+    /// per-instruction path at every batch-breaking instruction.
+    ///
+    /// Bit-identical to `fetch(cycle, width, hier, out, None)` by
+    /// construction: the batch path only covers instructions for which the
+    /// generic path performs no probe, no predictor access, no trap or
+    /// fault-plan interaction, and no fetch break — everything else takes
+    /// the same per-instruction arms as `fetch` (minus event recording,
+    /// which is the caller's signal to use `fetch` instead).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError`] if the architectural path leaves the text
+    /// segment (a malformed program).
+    pub fn fetch_fast<S: FetchSink>(
+        &mut self,
+        cycle: u64,
+        width: u32,
+        hier: &mut MemoryHierarchy,
+        out: &mut S,
+    ) -> Result<(), ExecError> {
+        let Some(cache) = self.blocks else {
+            // No block cache attached: take the generic path (cold).
+            let mut buf = Vec::with_capacity(width as usize);
+            self.fetch(cycle, width, hier, &mut buf, None)?;
+            for f in buf {
+                out.push_full(f);
+            }
+            return Ok(());
+        };
+        if self.halted || self.blocked_on.is_some() || cycle < self.resume_at {
+            return Ok(());
+        }
+        self.resume_at = cycle; // any older redirect target is now stale
+        self.stats.groups += 1;
+        let start_block = cache.index_of(self.exec.state().pc()).map(|i| cache.block_index(i));
+        let mut same_block = true;
+        let mut fetched = 0u32;
+        while fetched < width {
+            let pc = self.exec.state().pc();
+
+            // Instruction-cache line crossing — identical to `fetch`.
+            let line = pc & !(self.line_bytes - 1);
+            if self.cur_line != Some(line) {
+                let lvl = hier.probe_inst(pc);
+                hier.prefetch_inst(line + self.line_bytes);
+                self.cur_line = Some(line);
+                if lvl != HitLevel::L1 {
+                    let ready = hier.schedule_inst(lvl, cycle);
+                    if ready > cycle {
+                        self.resume_at = ready;
+                        break;
+                    }
+                }
+            }
+
+            let Some(idx) = cache.index_of(pc) else {
+                return Err(ExecError::InvalidPc(pc));
+            };
+            same_block &= Some(cache.block_index(idx)) == start_block;
+
+            let run_len = cache.plain_run_len(idx);
+            if run_len != 0 {
+                // Plain run: batch up to the group limit, the end of the
+                // I-cache line (the generic path re-probes at each line
+                // crossing), and the end of the plain run (pre-sized at
+                // block-cache build — no per-instruction meta scan).
+                let line_limit = ((line + self.line_bytes - pc) / 4) as u32;
+                let k = (width - fetched).min(line_limit).min(run_len);
+                // Plain instructions never consult the oracle, never touch
+                // control, and never miss — the batch runs to completion.
+                self.exec.step_plain_run(k)?;
+                // Plain writers are never loads: clean their pointer-chase
+                // taint bits in one or-fold over the pre-built dest table.
+                let mut written = 0u64;
+                for b in cache.dest_bits(idx, k as usize) {
+                    written |= b;
+                }
+                self.reg_from_load &= !written;
+                let seq0 = self.next_seq;
+                self.next_seq += u64::from(k);
+                out.push_plain(self.exec.program().instrs(), idx, pc, seq0, k, cycle);
+                same_block &= Some(cache.block_index(idx + k as usize - 1)) == start_block;
+                self.stats.plain_instrs += u64::from(k);
+                fetched += k;
+                continue;
+            }
+
+            // Batch-breaking instruction: take the generic path's arms,
+            // minus event recording.
+            let mut oracle = HierOracle { hier, last: None, last_addr: 0, last_prefetch: false };
+            let info = self.exec.step(&mut oracle)?;
+            let probe = oracle.last;
+
+            if let Some(rd) = info.instr.dest() {
+                if !rd.is_zero() {
+                    if matches!(info.instr, Instr::Load { .. }) {
+                        self.reg_from_load |= reg_bit(rd);
+                    } else {
+                        self.reg_from_load &= !reg_bit(rd);
+                    }
+                }
+            }
+
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            let mut f = Fetched {
+                seq,
+                pc,
+                instr: info.instr,
+                fetch_cycle: cycle,
+                probe,
+                informing_trap: false,
+                resolve: Resolve::None,
+                cc_dep: None,
+                is_cond_branch: matches!(info.instr, Instr::Branch { .. }),
+            };
+            if matches!(info.instr, Instr::BranchOnMiss { .. } | Instr::BranchOnMemMiss { .. }) {
+                f.cc_dep = self.last_mem_seq;
+            }
+            if info.instr.is_data_ref() {
+                self.last_mem_seq = Some(seq);
+            }
+            fetched += 1;
+
+            match info.control {
+                ControlFlow::Halt => {
+                    self.halted = true;
+                    out.push_full(f);
+                    break;
+                }
+                ControlFlow::Sequential => {
+                    out.push_full(f);
+                }
+                ControlFlow::NotTaken => {
+                    if f.is_cond_branch {
+                        let predicted = self.pred.predict_and_update(pc, false);
+                        if predicted {
+                            self.mispredictions += 1;
+                            f.resolve = Resolve::AtExecute;
+                            self.blocked_on = Some(seq);
+                            out.push_full(f);
+                            break;
+                        }
+                        out.push_full(f);
+                    } else {
+                        out.push_full(f);
+                    }
+                }
+                ControlFlow::Taken(_) => match info.instr {
+                    Instr::Branch { .. } => {
+                        let predicted = self.pred.predict_and_update(pc, true);
+                        if predicted {
+                            out.push_full(f);
+                            self.resume_at = cycle + 1;
+                            break;
+                        }
+                        self.mispredictions += 1;
+                        f.resolve = Resolve::AtExecute;
+                        self.blocked_on = Some(seq);
+                        out.push_full(f);
+                        break;
+                    }
+                    Instr::BranchOnMiss { .. } | Instr::BranchOnMemMiss { .. } => {
+                        self.informing_traps += 1;
+                        f.resolve = Resolve::AtExecute;
+                        self.blocked_on = Some(seq);
+                        self.blocked_trap = true;
+                        out.push_full(f);
+                        break;
+                    }
+                    _ => {
+                        out.push_full(f);
+                        self.resume_at = cycle + 1;
+                        break;
+                    }
+                },
+                ControlFlow::InformingTrap { .. } => {
+                    self.informing_traps += 1;
+                    f.informing_trap = true;
+                    if let Some(stream) = self.handler_faults.as_mut() {
+                        match stream.draw() {
+                            Some(fault) => {
+                                self.handler_fault_count += 1;
+                                self.consecutive_faults += 1;
+                                self.pending_penalty = Some((seq, fault.penalty_cycles()));
+                                if self.degrade_after != 0
+                                    && self.consecutive_faults >= self.degrade_after
+                                    && !self.degraded
+                                {
+                                    self.degraded = true;
+                                    self.exec.state_mut().set_informing_suppressed(true);
+                                }
+                            }
+                            None => self.consecutive_faults = 0,
+                        }
+                    }
+                    let is_store = matches!(info.instr, Instr::Store { .. });
+                    f.resolve = if self.trap_model == TrapModel::Branch && !is_store {
+                        Resolve::AtExecute
+                    } else {
+                        Resolve::AtGraduate
+                    };
+                    self.blocked_on = Some(seq);
+                    self.blocked_trap = true;
+                    out.push_full(f);
+                    break;
+                }
+            }
+        }
+        self.stats.instrs += u64::from(fetched);
+        if fetched > 0 && same_block {
+            self.stats.block_groups += 1;
         }
         Ok(())
     }

@@ -20,7 +20,7 @@
 
 use std::collections::VecDeque;
 
-use imo_isa::{FuClass, Instr, Program};
+use imo_isa::{BlockCache, FuClass, Instr, InstrMeta, Program, NO_REG};
 use imo_mem::{HitLevel, MemoryHierarchy};
 use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder};
 use imo_util::json::Json;
@@ -29,7 +29,7 @@ use imo_util::snapshot::{self, Snapshot as _, SnapshotError};
 use crate::ckpt;
 use crate::config::InOrderConfig;
 use crate::config::TrapModel;
-use crate::frontend::{Fetched, FrontEnd, Resolve};
+use crate::frontend::{FetchSink, Fetched, FrontEnd, PlainRun, Resolve};
 use crate::result::{MemCounters, RunLimits, RunOutcome, RunResult, SimError, SlotBreakdown};
 use crate::sched::{Horizon, WakeupQueue};
 
@@ -148,6 +148,77 @@ pub fn simulate_faulty(
     plan: &imo_faults::FaultPlan,
 ) -> Result<RunResult, SimError> {
     run(program, cfg, limits, Some(plan), None, None)?.expect_done().map(|(r, _)| r)
+}
+
+/// The fast path's split fetch queue: batch-fetched plain instructions stay
+/// as compact [`PlainRun`] descriptors while batch-breaking instructions
+/// (memory ops, control transfers, informing traps) are materialized in
+/// full. Both deques are individually sequence-ordered, so the true queue
+/// head is whichever front carries the lower sequence number. `total`
+/// tracks the summed pending-instruction count so the fetch gate sees the
+/// same queue depth as the generic path.
+struct FastQueue {
+    runs: VecDeque<PlainRun>,
+    full: VecDeque<Fetched>,
+    total: usize,
+}
+
+impl FastQueue {
+    fn from_restored(full: VecDeque<Fetched>) -> FastQueue {
+        let total = full.len();
+        FastQueue { runs: VecDeque::with_capacity(8), full, total }
+    }
+
+    /// Re-materializes the interleaved `VecDeque<Fetched>` the generic loop
+    /// would hold at this boundary, for checkpoint encoding. Plain entries
+    /// are fully derivable from their run descriptor plus the program text
+    /// (no probe, no resolve, no trap, no condition-code dependence).
+    fn materialize(&self, instrs: &[Instr]) -> VecDeque<Fetched> {
+        let mut out = VecDeque::with_capacity(self.total);
+        let mut runs = self.runs.iter().peekable();
+        let mut full = self.full.iter().peekable();
+        loop {
+            let take_run = match (runs.peek(), full.peek()) {
+                (Some(r), Some(f)) => r.seq < f.seq,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_run {
+                let r = runs.next().expect("peeked");
+                out.push_plain(instrs, r.idx as usize, r.pc, r.seq, r.len, r.fetch_cycle);
+            } else {
+                out.push_back(*full.next().expect("peeked"));
+            }
+        }
+        out
+    }
+}
+
+impl FetchSink for FastQueue {
+    fn push_plain(
+        &mut self,
+        _instrs: &[Instr],
+        idx: usize,
+        pc: u64,
+        seq0: u64,
+        k: u32,
+        cycle: u64,
+    ) {
+        self.runs.push_back(PlainRun {
+            seq: seq0,
+            pc,
+            fetch_cycle: cycle,
+            idx: idx as u32,
+            len: k,
+        });
+        self.total += k as usize;
+    }
+
+    fn push_full(&mut self, f: Fetched) {
+        self.full.push_back(f);
+        self.total += 1;
+    }
 }
 
 /// Encodes every `run`-loop local at a cycle boundary (the checkpoint body).
@@ -277,7 +348,8 @@ pub(crate) fn run(
         }
         regs = [RegState::default(); 64];
         queue = VecDeque::with_capacity(2 * cfg.issue_width as usize);
-        resolve_q = WakeupQueue::new();
+        // At most one pending redirect resolution per queued instruction.
+        resolve_q = WakeupQueue::with_capacity(2 * cfg.issue_width as usize);
         last_mem_outcome = 0;
         now = 0;
         issued_total = 0;
@@ -288,6 +360,442 @@ pub(crate) fn run(
 
     let width = cfg.issue_width as u64;
     let mut done = false;
+
+    // Fast path: unobserved, event-driven runs take a specialized loop body
+    // driven by the pre-decoded block cache — batched straight-line fetch,
+    // table-driven issue, and a pending-miss bitmask in place of the
+    // per-cycle register scan. Observed and tick-accurate runs keep the
+    // generic body below untouched as the bit-identity reference
+    // (`tests/fastforward_identity.rs` compares the two).
+    let fast = obs.is_none() && !limits.force_tick_accurate;
+    let cache = fast.then(|| BlockCache::build(program, |i| cfg.latency(i)));
+    if let Some(cache) = &cache {
+        fe.attach_blocks(cache);
+        // Invariant: bit i set ⇔ regs[i].miss_pending (rebuilt on resume).
+        let mut pending_mask: u64 = 0;
+        for (i, r) in regs.iter().enumerate() {
+            if r.miss_pending {
+                pending_mask |= 1 << i;
+            }
+        }
+        // Restored entries (if any) enter fully materialized; new fetches
+        // keep plain runs compact. The generic loop below never runs once
+        // the fast loop is engaged (its only normal exit sets `done`), so
+        // taking `queue` is safe.
+        let mut fq = FastQueue::from_restored(std::mem::take(&mut queue));
+        // Memoized head-entry metadata: the issue loop polls the same queue
+        // head ~2× on average before it issues (stall cycles re-poll it), so
+        // the pc→meta table lookup is cached keyed by sequence number.
+        let mut head_meta: (u64, InstrMeta) = (
+            u64::MAX,
+            InstrMeta {
+                src1: NO_REG,
+                src2: NO_REG,
+                dest: NO_REG,
+                fu: 0,
+                kind: 0,
+                flags: 0,
+                lat: 0,
+            },
+        );
+        // Parked head: `(seq, wake)` of the head whose last readiness poll
+        // failed, and the cycle its sources become ready. Sequence numbers
+        // never repeat, so a stale entry can never match a later head.
+        let mut pending_issue: (u64, u64) = (u64::MAX, 0);
+        let stop_gate = limits.stop_at.unwrap_or(u64::MAX);
+        // Resolutions popped by the preamble count as progress for the
+        // iteration that follows (carried across the preamble/body split).
+        let mut resolved = false;
+        while !done {
+            if now >= stop_gate {
+                crate::speed::flush(fe.stats());
+                let q = fq.materialize(program.instrs());
+                return Ok(RunOutcome::Paused {
+                    cycle: now,
+                    body: encode_loop(
+                        &hier,
+                        &fe,
+                        &regs,
+                        &q,
+                        &resolve_q,
+                        last_mem_outcome,
+                        now,
+                        issued_total,
+                        slots,
+                        &cpi,
+                    ),
+                });
+            }
+            // ---- Front-end resolutions due ----
+            while let Some((t, seq)) = resolve_q.pop_due(now) {
+                fe.resolve(seq, t, cfg.redirect_penalty);
+                resolved = true;
+            }
+
+            // Hot inner loop: an iteration that parks on a definite
+            // next-cycle wake-up with no resolution or pause boundary due
+            // re-enters here directly, skipping the preamble above.
+            'hot: loop {
+                let mut progress = resolved;
+                resolved = false;
+
+                // ---- In-order issue (meta-table-driven) ----
+                let mut int_used = 0u32;
+                let mut fp_used = 0u32;
+                let mut br_used = 0u32;
+                let mut issued: u64 = 0;
+                // blocked_miss_to_mem is not tracked here: it only feeds the CPI
+                // stack, and the fast path never runs observed.
+                let mut blocked_on_miss = false;
+                let mut next_wakeup: u64 = u64::MAX;
+                // Sources of the head entry whose failed readiness poll parked
+                // the issue loop; used to re-derive the stall classification as
+                // of `now + 1` when folding from a progress iteration.
+                let mut stall_srcs: [u8; 2] = [NO_REG, NO_REG];
+
+                while issued < width {
+                    // The true head is whichever queue front has the lower
+                    // sequence number (both deques are seq-ordered).
+                    let plain_head = match (fq.runs.front(), fq.full.front()) {
+                        (Some(r), Some(f)) if r.seq > f.seq => None,
+                        (Some(r), _) => Some(*r),
+                        (None, Some(_)) => None,
+                        (None, None) => break,
+                    };
+                    if let Some(r) = plain_head {
+                        // Plain head: never a memory op, branch, informing op
+                        // or halt — no probe, no resolve, no `bmiss` wait.
+                        //
+                        // If this head's previous poll parked the issue loop at
+                        // cycle `T` with wake-up `R` (recorded in
+                        // `pending_issue`), nothing can have changed while it
+                        // was parked: issue is strictly in order, so no
+                        // register was written and no memory op issued. A
+                        // first-slot re-poll at `now >= R` therefore passes the
+                        // depth, unit (all counters zero) and readiness checks
+                        // by construction and goes straight to the issue arm.
+                        let skip =
+                            issued == 0 && r.seq == pending_issue.0 && now >= pending_issue.1;
+                        if !skip && r.fetch_cycle + cfg.frontend_depth > now {
+                            next_wakeup = next_wakeup.min(r.fetch_cycle + cfg.frontend_depth);
+                            break;
+                        }
+                        let m = cache.meta_idx(r.idx as usize);
+                        debug_assert!(m.is_plain());
+                        if !skip {
+                            let fu_ok = match m.fu {
+                                0 | 3 => int_used < cfg.int_units,
+                                1 => fp_used < cfg.fp_units,
+                                _ => br_used < cfg.branch_units,
+                            };
+                            if !fu_ok {
+                                break;
+                            }
+                            let mut ready_at: u64 = 0;
+                            for s in [m.src1, m.src2] {
+                                if s == NO_REG {
+                                    continue;
+                                }
+                                let rs = &regs[s as usize];
+                                ready_at = ready_at.max(rs.ready).max(rs.replay_floor);
+                                if rs.ready > now && rs.miss_pending {
+                                    blocked_on_miss = true;
+                                }
+                            }
+                            if ready_at > now {
+                                next_wakeup = next_wakeup.min(ready_at);
+                                stall_srcs = [m.src1, m.src2];
+                                pending_issue = (r.seq, ready_at);
+                                break;
+                            }
+                            blocked_on_miss = false; // it issued after all
+                        }
+                        match m.fu {
+                            0 | 3 => int_used += 1,
+                            1 => fp_used += 1,
+                            _ => br_used += 1,
+                        }
+                        if m.dest != NO_REG {
+                            regs[m.dest as usize] = RegState {
+                                ready: now + u64::from(m.lat),
+                                replay_floor: 0,
+                                miss_pending: false,
+                                miss_to_mem: false,
+                            };
+                            pending_mask &= !(1 << m.dest);
+                        }
+                        // Advance the run in place; drop it once drained.
+                        let head = fq.runs.front_mut().expect("plain head exists");
+                        head.seq += 1;
+                        head.pc += 4;
+                        head.idx += 1;
+                        head.len -= 1;
+                        if head.len == 0 {
+                            fq.runs.pop_front();
+                        }
+                        fq.total -= 1;
+                        issued += 1;
+                        issued_total += 1;
+                        progress = true;
+                        continue;
+                    }
+                    let f = fq.full.front().expect("full head exists");
+                    // Same parked-head shortcut as the plain path above.
+                    let skip = issued == 0 && f.seq == pending_issue.0 && now >= pending_issue.1;
+                    if !skip && f.fetch_cycle + cfg.frontend_depth > now {
+                        next_wakeup = next_wakeup.min(f.fetch_cycle + cfg.frontend_depth);
+                        break;
+                    }
+                    let m = if head_meta.0 == f.seq {
+                        head_meta.1
+                    } else {
+                        let m = *cache.meta_at(f.pc).expect("queued pc is in text");
+                        head_meta = (f.seq, m);
+                        m
+                    };
+                    if !skip {
+                        let fu_ok = match m.fu {
+                            0 | 3 => int_used < cfg.int_units,
+                            1 => fp_used < cfg.fp_units,
+                            _ => br_used < cfg.branch_units,
+                        };
+                        if !fu_ok {
+                            break;
+                        }
+                        let mut ready_at: u64 = 0;
+                        for s in [m.src1, m.src2] {
+                            if s == NO_REG {
+                                continue;
+                            }
+                            let r = &regs[s as usize];
+                            ready_at = ready_at.max(r.ready).max(r.replay_floor);
+                            if r.ready > now && r.miss_pending {
+                                blocked_on_miss = true;
+                            }
+                        }
+                        if m.flags & InstrMeta::BMISS != 0 {
+                            ready_at = ready_at.max(last_mem_outcome);
+                        }
+                        if ready_at > now {
+                            next_wakeup = next_wakeup.min(ready_at);
+                            stall_srcs = [m.src1, m.src2];
+                            pending_issue = (f.seq, ready_at);
+                            break;
+                        }
+                        blocked_on_miss = false; // it issued after all
+                    }
+
+                    // Copy out the three fields the issue arms need, then drop
+                    // the entry in place — popping the full ~96-byte `Fetched`
+                    // by value would memcpy it for nothing.
+                    let (seq, probe, resolve) = (f.seq, f.probe, f.resolve);
+                    let _ = fq.full.pop_front();
+                    fq.total -= 1;
+                    match m.fu {
+                        0 | 3 => int_used += 1,
+                        1 => fp_used += 1,
+                        _ => br_used += 1,
+                    }
+
+                    let mut outcome_cycle = now + 1;
+                    match m.kind {
+                        InstrMeta::KIND_LOAD => {
+                            let probe = probe.expect("loads probe");
+                            let t = hier.schedule_data(probe, now);
+                            outcome_cycle = t.start + cfg.hier.l1_latency;
+                            last_mem_outcome = outcome_cycle;
+                            if m.dest != NO_REG {
+                                let miss = probe.level.is_l1_miss();
+                                regs[m.dest as usize] = RegState {
+                                    ready: t.complete,
+                                    replay_floor: if miss {
+                                        outcome_cycle + cfg.replay_trap_penalty
+                                    } else {
+                                        0
+                                    },
+                                    miss_pending: miss,
+                                    miss_to_mem: miss && probe.level == HitLevel::Memory,
+                                };
+                                if miss {
+                                    pending_mask |= 1 << m.dest;
+                                } else {
+                                    pending_mask &= !(1 << m.dest);
+                                }
+                            }
+                        }
+                        InstrMeta::KIND_STORE => {
+                            let probe = probe.expect("stores probe");
+                            let t = hier.schedule_data(probe, now);
+                            outcome_cycle = t.start + cfg.hier.l1_latency;
+                            last_mem_outcome = outcome_cycle;
+                        }
+                        InstrMeta::KIND_PREFETCH => {
+                            if let Some(probe) = probe {
+                                let _ = hier.schedule_data(probe, now);
+                            }
+                        }
+                        InstrMeta::KIND_HALT => {
+                            done = true;
+                        }
+                        _ => {
+                            if m.dest != NO_REG {
+                                regs[m.dest as usize] = RegState {
+                                    ready: now + u64::from(m.lat),
+                                    replay_floor: 0,
+                                    miss_pending: false,
+                                    miss_to_mem: false,
+                                };
+                                pending_mask &= !(1 << m.dest);
+                            }
+                        }
+                    }
+
+                    match resolve {
+                        Resolve::None => {}
+                        Resolve::AtExecute | Resolve::AtGraduate => {
+                            let due = if m.flags & InstrMeta::DATA_REF != 0 {
+                                outcome_cycle
+                            } else {
+                                now
+                            };
+                            if due <= now {
+                                fe.resolve(seq, now, cfg.redirect_penalty);
+                            } else {
+                                resolve_q.push_keyed(due, seq, seq);
+                            }
+                        }
+                    }
+
+                    issued += 1;
+                    issued_total += 1;
+                    progress = true;
+                    if done {
+                        break;
+                    }
+                }
+
+                // Clear stale miss_pending flags, visiting only set mask bits.
+                let mut mbits = pending_mask;
+                while mbits != 0 {
+                    let i = mbits.trailing_zeros() as usize;
+                    mbits &= mbits - 1;
+                    if regs[i].ready <= now {
+                        regs[i].miss_pending = false;
+                        pending_mask &= !(1u64 << i);
+                    }
+                }
+
+                slots.busy += issued;
+                if issued < width && !done {
+                    let lost = width - issued;
+                    if blocked_on_miss {
+                        slots.cache_stall += lost;
+                    } else {
+                        slots.other_stall += lost;
+                    }
+                }
+                if done {
+                    break;
+                }
+
+                // ---- Fetch (block-batched) ----
+                if fq.total < 2 * cfg.issue_width as usize && fe.fetch_ready(now) {
+                    let before = fq.total;
+                    fe.fetch_fast(now, cfg.issue_width, &mut hier, &mut fq)?;
+                    if fq.total > before {
+                        progress = true;
+                    }
+                }
+
+                // ---- Limits ----
+                if issued_total >= limits.max_instructions {
+                    return Err(SimError::InstructionLimit(limits.max_instructions));
+                }
+                if now >= limits.max_cycles {
+                    return Err(SimError::CycleLimit(limits.max_cycles));
+                }
+
+                // ---- Advance time (with fast-forward over quiet cycles) ----
+                if progress {
+                    if next_wakeup == now + 1 {
+                        // Parked exactly one cycle out (dependence chains in
+                        // dense code). The general fold below would pick
+                        // `next = now + 1` with zero skipped cycles, so only
+                        // the advance remains — and if no resolution or pause
+                        // boundary lands on that cycle, the next iteration's
+                        // preamble would be a no-op: skip it.
+                        now += 1;
+                        if now < stop_gate && resolve_q.next_due().is_none_or(|d| d > now) {
+                            continue 'hot;
+                        }
+                        break 'hot;
+                    }
+                    if next_wakeup != u64::MAX {
+                        // The issue loop parked on a definite head stall, so the
+                        // following cycle's iteration would poll, fail, and fold.
+                        // Fold now instead, reproducing that iteration exactly:
+                        // its wake-up candidates are the same (the head's
+                        // `ready_at` and the queues are unchanged by idle
+                        // cycles; the front end gets a floor of `now + 1`, the
+                        // earliest it could act again), and its stall
+                        // classification re-tests the parked head's sources
+                        // against `now + 1`.
+                        let mut h = Horizon::new(now);
+                        h.consider(next_wakeup);
+                        h.consider_opt(resolve_q.next_due());
+                        if !fe.halted() && fe.blocked_on().is_none() {
+                            h.consider(fe.resume_at().max(now + 1));
+                        }
+                        let next = h.earliest().expect("next_wakeup is a candidate");
+                        let skipped = next - now - 1;
+                        if skipped > 0 {
+                            let mut blocked_next = false;
+                            for s in stall_srcs {
+                                if s != NO_REG {
+                                    let r = &regs[s as usize];
+                                    if r.ready > now + 1 && r.miss_pending {
+                                        blocked_next = true;
+                                    }
+                                }
+                            }
+                            let lost = skipped * width;
+                            if blocked_next {
+                                slots.cache_stall += lost;
+                            } else {
+                                slots.other_stall += lost;
+                            }
+                        }
+                        now = next;
+                    } else {
+                        now += 1;
+                    }
+                } else {
+                    let mut h = Horizon::new(now);
+                    if next_wakeup != u64::MAX {
+                        h.consider(next_wakeup);
+                    }
+                    h.consider_opt(resolve_q.next_due());
+                    if !fe.halted() && fe.blocked_on().is_none() {
+                        h.consider(fe.resume_at());
+                    }
+                    let Some(next) = h.earliest() else {
+                        return Err(SimError::Deadlock { cycle: now });
+                    };
+                    let skipped = next - now - 1;
+                    if skipped > 0 {
+                        let lost = skipped * width;
+                        if blocked_on_miss {
+                            slots.cache_stall += lost;
+                        } else {
+                            slots.other_stall += lost;
+                        }
+                    }
+                    now = next;
+                }
+                break 'hot;
+            }
+        }
+    }
 
     while !done {
         // Checkpoint boundary: pause before this cycle mutates anything, so
@@ -556,6 +1064,7 @@ pub(crate) fn run(
     if total > accounted {
         slots.other_stall += total - accounted;
     }
+    crate::speed::flush(fe.stats());
 
     let result = RunResult {
         cycles,

@@ -63,6 +63,7 @@ pub mod predictor;
 pub mod result;
 pub mod sched;
 pub mod session;
+pub mod speed;
 pub mod trace;
 
 pub use config::{InOrderConfig, OooConfig, TrapModel};

@@ -23,7 +23,7 @@
 
 use std::collections::VecDeque;
 
-use imo_isa::{FuClass, Instr, MemKind, Program};
+use imo_isa::{BlockCache, FuClass, Instr, MemKind, Program};
 use imo_mem::{HitLevel, MemoryHierarchy, MshrFile, MshrId};
 use imo_obs::{CpiCategory, CpiStack, EventKind, Recorder};
 use imo_util::json::Json;
@@ -380,9 +380,11 @@ pub(crate) fn run(
         rob_base = 0;
         fetch_q = VecDeque::with_capacity(2 * cfg.issue_width as usize);
         last_writer = [None; 64];
-        resolve_q = WakeupQueue::new();
-        ckpt_release_q = WakeupQueue::new();
-        fills = WakeupQueue::new();
+        // Structural bounds: at most one pending resolution / shadow
+        // checkpoint per ROB entry, one fill per MSHR.
+        resolve_q = WakeupQueue::with_capacity(cfg.rob_entries as usize);
+        ckpt_release_q = WakeupQueue::with_capacity(cfg.rob_entries as usize);
+        fills = WakeupQueue::with_capacity(cfg.hier.mshrs as usize);
         checkpoints_in_use = 0;
         wb_release = ReleasePool::new(cfg.write_buffer as usize);
         now = 0;
@@ -403,6 +405,49 @@ pub(crate) fn run(
     let width = cfg.issue_width as u64;
     let mut done = false;
 
+    // Fast mode: unobserved, untraced, event-driven runs consume pre-decoded
+    // blocks in the front end and may use the dense-streak liveness shortcut
+    // in the advance phase. Observed, traced and tick-accurate runs are the
+    // unchanged bit-identity reference.
+    let fast = obs.is_none() && trace.is_none() && !limits.force_tick_accurate;
+    let cache = fast.then(|| BlockCache::build(program, |i| cfg.latency(i)));
+    if let Some(cache) = &cache {
+        fe.attach_blocks(cache);
+    }
+    // Dense-streak shortcut state: after `DENSE_STREAK` consecutive
+    // no-progress horizon folds that each landed on the very next cycle, the
+    // fold is provably wasted work while the machine stays dense — skip it
+    // and tick, re-validating with a full fold every `DENSE_WINDOW` ticks.
+    const DENSE_STREAK: u32 = 4;
+    const DENSE_WINDOW: u32 = 32;
+    let mut dense_streak: u32 = 0;
+    let mut dense_ticks: u32 = 0;
+
+    // ROB occupancy masks (fast mode, ROBs that fit a word): bit `i` of
+    // `waiting_mask`/`issued_mask` set ⇔ `rob[i]` is Waiting/Issued. The
+    // complete and issue stages then visit only the entries that can act,
+    // instead of scanning the whole ROB every cycle. Masks shift with
+    // `pop_front` and are rebuilt from the decoded ROB on resume.
+    let masks_on = fast && cfg.rob_entries as usize <= 64;
+    let mut waiting_mask: u64 = 0;
+    let mut issued_mask: u64 = 0;
+    if masks_on {
+        for (i, e) in rob.iter().enumerate() {
+            match e.state {
+                EState::Waiting => waiting_mask |= 1 << i,
+                EState::Issued => issued_mask |= 1 << i,
+                EState::Complete => {}
+            }
+        }
+    }
+    // Issue-stall hints (fast mode): slot `seq & 63` holds a provable lower
+    // bound on the cycle at which that entry could first pass the issue
+    // checks, so the issue stage skips its dependency walk until then. Seqs
+    // are contiguous and the ROB holds at most 64 entries, so live seqs never
+    // collide; dispatch resets the slot. All-zero (recheck immediately) is
+    // always safe, which is why the hints live outside the checkpoint.
+    let mut issue_hints = [0u64; 64];
+
     let fu_cap = |c: FuClass| -> u32 {
         match c {
             FuClass::Int => cfg.int_units,
@@ -412,24 +457,51 @@ pub(crate) fn run(
         }
     };
 
-    let dep_ready = |rob: &VecDeque<Entry>, rob_base: u64, dep: Dep, now: u64| -> bool {
+    // Earliest cycle at which `dep` can possibly become ready: 0 when it is
+    // ready now, a provable future lower bound otherwise. Readiness means the
+    // producer has graduated (left the ROB), or — for value deps — completed
+    // by `now`, or — for outcome deps — left `Waiting` with its
+    // `outcome_cycle` due. `bound <= now` is exactly that predicate, and a
+    // future bound is a pure filter for the issue stage: re-evaluating at or
+    // after it gives the truth, so skipping the dep walk before it is exact.
+    //
+    // * A `Waiting` producer cannot ready a consumer this cycle (issuing now
+    //   yields completion/outcome cycles strictly in the future, and
+    //   graduation requires completion first), hence `now + 1`.
+    // * An `Issued` producer's `complete_cycle`/`outcome_cycle` are fixed at
+    //   issue; during the issue stage they are strictly future (stage 3
+    //   already retired anything due). Graduation — which also readies
+    //   outcome consumers — cannot precede `complete_cycle + 1`.
+    // * A `Complete` producer may still leave the ROB next cycle, readying
+    //   an outcome consumer before `outcome_cycle`, so only `now + 1` is
+    //   provable there.
+    let dep_bound = |rob: &VecDeque<Entry>, rob_base: u64, dep: Dep, now: u64| -> u64 {
         let (seq, outcome) = match dep {
             Dep::Value(s) => (s, false),
             Dep::Outcome(s) => (s, true),
         };
         if seq < rob_base {
-            return true; // producer graduated
+            return 0;
         }
-        let idx = (seq - rob_base) as usize;
-        match rob.get(idx) {
-            None => true,
-            Some(p) => {
-                if outcome {
-                    p.state != EState::Waiting && p.outcome_cycle <= now
-                } else {
-                    p.state == EState::Complete && p.complete_cycle <= now
+        match rob.get((seq - rob_base) as usize) {
+            None => 0,
+            Some(p) => match p.state {
+                EState::Waiting => now + 1,
+                EState::Issued => {
+                    if outcome {
+                        p.outcome_cycle.min(p.complete_cycle + 1)
+                    } else {
+                        p.complete_cycle
+                    }
                 }
-            }
+                EState::Complete => {
+                    if outcome && p.outcome_cycle > now {
+                        p.outcome_cycle.min(now + 1)
+                    } else {
+                        0
+                    }
+                }
+            },
         }
     };
 
@@ -459,6 +531,7 @@ pub(crate) fn run(
         // Checkpoint boundary: pause before this cycle mutates anything, so
         // a resumed run re-enters the loop with bit-identical state.
         if limits.stop_at.is_some_and(|stop| now >= stop) {
+            crate::speed::flush(fe.stats());
             return Ok(RunOutcome::Paused {
                 cycle: now,
                 body: encode_loop(
@@ -513,6 +586,10 @@ pub(crate) fn run(
             }
             let e = rob.pop_front().expect("front exists");
             rob_base = e.f.seq + 1;
+            // A graduating head is Complete, so its mask bits are clear and
+            // the shift drops exactly its slot.
+            waiting_mask >>= 1;
+            issued_mask >>= 1;
             if let Some(tr) = trace.as_deref_mut() {
                 tr.push(InstrTrace {
                     seq: e.f.seq,
@@ -587,10 +664,24 @@ pub(crate) fn run(
         }
 
         // ---- 3. Complete ----
-        for e in rob.iter_mut() {
-            if e.state == EState::Issued && e.complete_cycle <= now {
-                e.state = EState::Complete;
-                progress = true;
+        if masks_on {
+            let mut m = issued_mask;
+            while m != 0 {
+                let i = m.trailing_zeros() as usize;
+                m &= m - 1;
+                let e = &mut rob[i];
+                if e.complete_cycle <= now {
+                    e.state = EState::Complete;
+                    issued_mask &= !(1u64 << i);
+                    progress = true;
+                }
+            }
+        } else {
+            for e in rob.iter_mut() {
+                if e.state == EState::Issued && e.complete_cycle <= now {
+                    e.state = EState::Complete;
+                    progress = true;
+                }
             }
         }
 
@@ -616,20 +707,61 @@ pub(crate) fn run(
                 FuClass::Mem => 3,
             }
         };
-        for i in 0..rob.len() {
-            let can = {
+        // With masks on, visit only Waiting entries (ascending index, same
+        // order as the full scan); otherwise walk the whole ROB.
+        let mut wscan = waiting_mask;
+        let mut iscan = 0usize;
+        loop {
+            let i = if masks_on {
+                if wscan == 0 {
+                    break;
+                }
+                let i = wscan.trailing_zeros() as usize;
+                wscan &= wscan - 1;
+                if issue_hints[((rob_base + i as u64) & 63) as usize] > now {
+                    continue; // provably cannot issue yet: skip the dep walk
+                }
+                i
+            } else {
+                if iscan >= rob.len() {
+                    break;
+                }
+                iscan += 1;
+                iscan - 1
+            };
+            // Evaluate the issue conditions; when a timing condition fails,
+            // record the provable lower bound so later cycles skip the walk.
+            let (can, stall_until) = {
                 let e = &rob[i];
-                e.state == EState::Waiting
-                    && e.f.fetch_cycle + cfg.frontend_depth <= now
-                    && fu_used[fu_idx(e.f.instr.fu_class())] < fu_cap(e.f.instr.fu_class())
-                    && e.deps.iter().flatten().all(|&d| dep_ready(&rob, rob_base, d, now))
+                if e.state != EState::Waiting {
+                    (false, 0)
+                } else {
+                    let mut bound = e.f.fetch_cycle + cfg.frontend_depth;
+                    for &d in e.deps.iter().flatten() {
+                        bound = bound.max(dep_bound(&rob, rob_base, d, now));
+                    }
+                    if bound > now {
+                        (false, bound)
+                    } else {
+                        let fu = e.f.instr.fu_class();
+                        // Structural hazards clear next cycle: no useful bound.
+                        (fu_used[fu_idx(fu)] < fu_cap(fu), 0)
+                    }
+                }
             };
             if !can {
+                if masks_on && stall_until > now {
+                    issue_hints[((rob_base + i as u64) & 63) as usize] = stall_until;
+                }
                 continue;
             }
             let fu = rob[i].f.instr.fu_class();
             fu_used[fu_idx(fu)] += 1;
             progress = true;
+            if masks_on {
+                waiting_mask &= !(1u64 << i);
+                issued_mask |= 1u64 << i;
+            }
 
             // Compute timing (separate scope to appease the borrow checker).
             let (complete, outcome, alloc_mshr) = {
@@ -719,6 +851,10 @@ pub(crate) fn run(
                 last_writer[dst.logical()] = Some(f.seq);
             }
             debug_assert_eq!(f.seq, rob_base + rob.len() as u64, "seq contiguity");
+            if masks_on {
+                waiting_mask |= 1u64 << rob.len();
+                issue_hints[(f.seq & 63) as usize] = 0;
+            }
             rob.push_back(Entry {
                 f,
                 state: EState::Waiting,
@@ -737,9 +873,15 @@ pub(crate) fn run(
         // ---- 8. Fetch ----
         if fetch_q.len() < 2 * cfg.issue_width as usize {
             let before = fetch_q.len();
-            fetch_buf.clear();
-            fe.fetch(now, cfg.issue_width, &mut hier, &mut fetch_buf, obs.as_deref_mut())?;
-            fetch_q.extend(fetch_buf.drain(..));
+            if fast {
+                if fe.fetch_ready(now) {
+                    fe.fetch_fast(now, cfg.issue_width, &mut hier, &mut fetch_q)?;
+                }
+            } else {
+                fetch_buf.clear();
+                fe.fetch(now, cfg.issue_width, &mut hier, &mut fetch_buf, obs.as_deref_mut())?;
+                fetch_q.extend(fetch_buf.drain(..));
+            }
             if fetch_q.len() > before {
                 progress = true;
             }
@@ -761,7 +903,34 @@ pub(crate) fn run(
         // ---- 10. Advance time (with fast-forward over quiet cycles) ----
         if progress {
             now += 1;
+            dense_streak = 0;
+            dense_ticks = 0;
         } else {
+            // Dense-streak shortcut (fast mode only): the horizon fold below
+            // is O(ROB), and in wakeup-dense regions it keeps answering
+            // "the very next cycle". Once `DENSE_STREAK` consecutive folds
+            // have done so, skip the fold and tick — bit-identical, because
+            // advancing one cycle is exactly what `now = next` would have
+            // done. Safe, because the O(1) liveness probe proves a future
+            // event exists: a set `issued_mask` bit is an entry stage 3 did
+            // not retire this iteration (its `complete_cycle` is strictly
+            // future), and each queue was fully drained of entries ≤ `now`,
+            // so any remaining head is strictly in the future. Hence the
+            // fold could not have reported a deadlock.
+            // A full fold re-validates the streak every `DENSE_WINDOW` ticks.
+            if fast
+                && dense_streak >= DENSE_STREAK
+                && dense_ticks < DENSE_WINDOW
+                && ((masks_on && issued_mask != 0)
+                    || fills.next_due().is_some()
+                    || resolve_q.next_due().is_some()
+                    || ckpt_release_q.next_due().is_some())
+            {
+                dense_ticks += 1;
+                now += 1;
+                continue;
+            }
+            dense_ticks = 0;
             // Fold every wakeup source into the earliest *future* event;
             // anything at or before `now` is not a wake-up source (it
             // already had its chance this cycle).
@@ -810,6 +979,11 @@ pub(crate) fn run(
                 continue;
             }
             let skipped = next - now - 1;
+            if skipped == 0 {
+                dense_streak += 1;
+            } else {
+                dense_streak = 0;
+            }
             if skipped > 0 {
                 // Attribute the skipped slots exactly as the per-cycle
                 // accounting would have.
@@ -840,6 +1014,7 @@ pub(crate) fn run(
     if total > accounted {
         slots.other_stall += total - accounted;
     }
+    crate::speed::flush(fe.stats());
 
     let result = RunResult {
         cycles,

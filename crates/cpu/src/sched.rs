@@ -77,6 +77,14 @@ impl<T> WakeupQueue<T> {
         Self { heap: BinaryHeap::new(), next_key: 0 }
     }
 
+    /// An empty queue with room for `cap` events before reallocating. The
+    /// cores size their queues to the structural bound (ROB depth, MSHR
+    /// count) so the steady state never grows the heap.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { heap: BinaryHeap::with_capacity(cap), next_key: 0 }
+    }
+
     /// Schedules `item` at `due`, tie-breaking by insertion order.
     pub fn push(&mut self, due: u64, item: T) {
         let key = self.next_key;
@@ -91,11 +99,13 @@ impl<T> WakeupQueue<T> {
 
     /// The earliest due time, if any event is pending.
     #[must_use]
+    #[inline]
     pub fn next_due(&self) -> Option<u64> {
         self.heap.peek().map(|e| e.due)
     }
 
     /// Pops the earliest event if it is due at or before `now`.
+    #[inline]
     pub fn pop_due(&mut self, now: u64) -> Option<(u64, T)> {
         if self.heap.peek().is_some_and(|e| e.due <= now) {
             self.heap.pop().map(|e| (e.due, e.item))
@@ -231,6 +241,7 @@ impl Horizon {
     /// that the iteration made no progress proves they are not what the
     /// machine is waiting for (e.g. a dispatch-ready instruction blocked on
     /// a dependence whose producer contributes its own, later, candidate).
+    #[inline]
     pub fn consider(&mut self, t: u64) {
         if t > self.now {
             self.earliest = self.earliest.min(t);
@@ -238,6 +249,7 @@ impl Horizon {
     }
 
     /// [`Horizon::consider`] for optional sources.
+    #[inline]
     pub fn consider_opt(&mut self, t: Option<u64>) {
         if let Some(t) = t {
             self.consider(t);
@@ -247,6 +259,7 @@ impl Horizon {
     /// The earliest *future* candidate, or `None` if no source offered one
     /// (the machine is deadlocked: no progress and no pending event).
     #[must_use]
+    #[inline]
     pub fn earliest(&self) -> Option<u64> {
         (self.earliest != u64::MAX).then_some(self.earliest)
     }

@@ -136,6 +136,33 @@ pub struct MemAccess {
     pub kind: MemKind,
 }
 
+/// Why [`Executor::step_block`] stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockExit {
+    /// All requested steps executed without a batch-breaking event.
+    Done,
+    /// The last executed instruction was a load/store that missed in the
+    /// primary data cache.
+    Miss,
+    /// The last executed instruction left non-sequential control flow
+    /// (taken or not-taken branch, jump).
+    Control,
+    /// The last executed instruction was an informing operation that missed
+    /// and dispatched its handler — the point where a fault plan may draw.
+    Trap,
+    /// The machine halted.
+    Halted,
+}
+
+/// Result of one [`Executor::step_block`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockRun {
+    /// Instructions actually executed (0 if already halted).
+    pub executed: u32,
+    /// Why the batch stopped.
+    pub exit: BlockExit,
+}
+
 /// Everything the timing models need to know about one executed instruction.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepInfo {
@@ -583,6 +610,137 @@ impl<'p> Executor<'p> {
         Ok(StepInfo { pc, instr, next_pc, mem, control })
     }
 
+    /// The program this executor steps.
+    #[inline]
+    pub fn program(&self) -> &'p Program {
+        self.program
+    }
+
+    /// Executes up to `max_steps` instructions in one call, stopping early
+    /// at the first batch-breaking event: a primary-cache miss, any control
+    /// transfer (including an informing trap, where a fault plan may need to
+    /// draw), or halt. `max_steps` is the caller's watch boundary — a
+    /// checkpoint `stop_at` or fetch-group limit lands there exactly.
+    ///
+    /// Semantics are single-sourced: each instruction goes through
+    /// [`Executor::step`], so a batch of `n` steps is bit-identical to `n`
+    /// individual steps against the same oracle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidPc`] if execution leaves the text
+    /// segment; instructions executed before the fault are retained.
+    pub fn step_block(
+        &mut self,
+        oracle: &mut dyn MissOracle,
+        max_steps: u32,
+    ) -> Result<BlockRun, ExecError> {
+        let mut executed = 0;
+        while executed < max_steps {
+            if self.state.halted {
+                return Ok(BlockRun { executed, exit: BlockExit::Halted });
+            }
+            let info = self.step(oracle)?;
+            executed += 1;
+            let exit = match info.control {
+                ControlFlow::Halt => Some(BlockExit::Halted),
+                ControlFlow::InformingTrap { .. } => Some(BlockExit::Trap),
+                ControlFlow::Taken(_) | ControlFlow::NotTaken => Some(BlockExit::Control),
+                ControlFlow::Sequential => info.mem.filter(|m| m.l1_miss).map(|_| BlockExit::Miss),
+            };
+            if let Some(exit) = exit {
+                return Ok(BlockRun { executed, exit });
+            }
+        }
+        Ok(BlockRun { executed, exit: BlockExit::Done })
+    }
+
+    /// Executes `n` consecutive instructions the caller knows to be *plain*
+    /// (no memory access, no control transfer, no trap, no halt — e.g.
+    /// checked against [`crate::BlockCache::plain_run_len`]). Equivalent to
+    /// `n` calls to [`Executor::step`] with [`NeverMiss`], but skips the
+    /// per-instruction fetch arithmetic, [`StepInfo`] materialization and
+    /// control dispatch that plain instructions never need.
+    ///
+    /// If an instruction in the range turns out not to be plain (a caller
+    /// invariant violation), the remainder of the batch is executed through
+    /// [`Executor::step_block`], preserving exact architectural semantics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::InvalidPc`] if the range leaves the text
+    /// segment.
+    pub fn step_plain_run(&mut self, n: u32) -> Result<(), ExecError> {
+        let pc = self.state.pc;
+        let off = pc.wrapping_sub(crate::program::TEXT_BASE);
+        let idx = (off >> 2) as usize;
+        let end = idx + n as usize;
+        if off & 3 != 0 || end > self.program.instrs().len() {
+            return Err(ExecError::InvalidPc(pc));
+        }
+        let program = self.program;
+        use Instr::*;
+        for (i, instr) in program.instrs()[idx..end].iter().enumerate() {
+            let s = &mut self.state;
+            match *instr {
+                Add { rd, rs, rt } => s.set_int(rd, s.int(rs).wrapping_add(s.int(rt))),
+                Sub { rd, rs, rt } => s.set_int(rd, s.int(rs).wrapping_sub(s.int(rt))),
+                And { rd, rs, rt } => s.set_int(rd, s.int(rs) & s.int(rt)),
+                Or { rd, rs, rt } => s.set_int(rd, s.int(rs) | s.int(rt)),
+                Xor { rd, rs, rt } => s.set_int(rd, s.int(rs) ^ s.int(rt)),
+                Sll { rd, rs, sh } => s.set_int(rd, s.int(rs) << (sh & 63)),
+                Srl { rd, rs, sh } => s.set_int(rd, s.int(rs) >> (sh & 63)),
+                Slt { rd, rs, rt } => {
+                    s.set_int(rd, ((s.int(rs) as i64) < (s.int(rt) as i64)) as u64);
+                }
+                Addi { rd, rs, imm } => s.set_int(rd, s.int(rs).wrapping_add(imm as u64)),
+                Andi { rd, rs, imm } => s.set_int(rd, s.int(rs) & imm),
+                Li { rd, imm } => s.set_int(rd, imm as u64),
+                Mul { rd, rs, rt } => {
+                    s.set_int(rd, (s.int(rs) as i64).wrapping_mul(s.int(rt) as i64) as u64);
+                }
+                Div { rd, rs, rt } => {
+                    let d = s.int(rt) as i64;
+                    let v = if d == 0 { 0 } else { (s.int(rs) as i64).wrapping_div(d) };
+                    s.set_int(rd, v as u64);
+                }
+                Fadd { fd, fs, ft } => s.set_fp(fd, s.fp(fs) + s.fp(ft)),
+                Fsub { fd, fs, ft } => s.set_fp(fd, s.fp(fs) - s.fp(ft)),
+                Fmul { fd, fs, ft } => s.set_fp(fd, s.fp(fs) * s.fp(ft)),
+                Fdiv { fd, fs, ft } => s.set_fp(fd, s.fp(fs) / s.fp(ft)),
+                Fsqrt { fd, fs } => s.set_fp(fd, s.fp(fs).sqrt()),
+                Fmov { fd, fs } => s.set_fp(fd, s.fp(fs)),
+                Fli { fd, imm } => s.set_fp(fd, imm),
+                Cvtif { fd, rs } => s.set_fp(fd, s.int(rs) as i64 as f64),
+                Cvtfi { rd, fs } => {
+                    let v = s.fp(fs);
+                    let v = if v.is_nan() { 0 } else { v as i64 };
+                    s.set_int(rd, v as u64);
+                }
+                Fcmplt { rd, fs, ft } => s.set_int(rd, (s.fp(fs) < s.fp(ft)) as u64),
+                SetMhar { target } => s.mhar = target,
+                SetMharReg { rs } => s.mhar = s.int(rs),
+                SetMhrrReg { rs } => s.mhrr = s.int(rs),
+                ReadMhrr { rd } => s.set_int(rd, s.mhrr),
+                ReadMar { rd } => s.set_int(rd, s.mar),
+                Nop => {}
+                _ => {
+                    // Not plain: the caller's run-length invariant is broken.
+                    // Commit the plain prefix, then take the single-sourced
+                    // generic path for the rest.
+                    debug_assert!(false, "step_plain_run hit a non-plain instruction");
+                    s.pc = pc + 4 * i as u64;
+                    self.instret += i as u64;
+                    self.step_block(&mut NeverMiss, n - i as u32)?;
+                    return Ok(());
+                }
+            }
+        }
+        self.state.pc = pc + 4 * u64::from(n);
+        self.instret += u64::from(n);
+        Ok(())
+    }
+
     /// Consumes the executor, yielding the final architectural state.
     pub fn into_state(self) -> ArchState {
         self.state
@@ -927,6 +1085,86 @@ mod tests {
         assert_eq!(second.instret(), reference.instret());
         let (a_st, b_st) = (reference.into_state(), second.into_state());
         assert_eq!(a_st.encode(), b_st.encode(), "resumed state bit-identical");
+    }
+
+    #[test]
+    fn step_block_matches_individual_steps() {
+        let mut a = Asm::new();
+        let (sum, i, n) = (r(1), r(2), r(3));
+        a.li(sum, 0);
+        a.li(i, 1);
+        a.li(n, 10);
+        let top = a.here("top");
+        a.add(sum, sum, i);
+        a.addi(i, i, 1);
+        a.branch(Cond::Le, i, n, top);
+        a.halt();
+        let p = a.assemble().unwrap();
+
+        let mut batched = Executor::new(&p);
+        while !batched.state().halted() {
+            batched.step_block(&mut NeverMiss, 4).unwrap();
+        }
+        let mut stepped = Executor::new(&p);
+        while !stepped.state().halted() {
+            stepped.step(&mut NeverMiss).unwrap();
+        }
+        assert_eq!(batched.instret(), stepped.instret());
+        assert_eq!(batched.into_state().encode(), stepped.into_state().encode());
+    }
+
+    #[test]
+    fn step_block_early_outs() {
+        let mut a = Asm::new();
+        let out = a.label("out");
+        a.li(r(1), 0x4000);
+        a.load(r(2), r(1), 0); // miss breaks the batch
+        a.nop();
+        a.nop();
+        a.jump(out); // control breaks it
+        a.bind(out).unwrap();
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut e = Executor::new(&p);
+        let run = e.step_block(&mut AlwaysMiss, 16).unwrap();
+        assert_eq!((run.executed, run.exit), (2, BlockExit::Miss));
+        let run = e.step_block(&mut AlwaysMiss, 16).unwrap();
+        assert_eq!((run.executed, run.exit), (3, BlockExit::Control));
+        let run = e.step_block(&mut AlwaysMiss, 16).unwrap();
+        assert_eq!((run.executed, run.exit), (1, BlockExit::Halted));
+        let run = e.step_block(&mut AlwaysMiss, 16).unwrap();
+        assert_eq!((run.executed, run.exit), (0, BlockExit::Halted), "halted machine");
+    }
+
+    #[test]
+    fn step_block_respects_the_watch_boundary() {
+        let mut a = Asm::new();
+        for _ in 0..10 {
+            a.nop();
+        }
+        a.halt();
+        let p = a.assemble().unwrap();
+        let mut e = Executor::new(&p);
+        let run = e.step_block(&mut NeverMiss, 3).unwrap();
+        assert_eq!((run.executed, run.exit), (3, BlockExit::Done));
+        assert_eq!(e.instret(), 3);
+    }
+
+    #[test]
+    fn step_block_stops_at_informing_trap() {
+        let mut a = Asm::new();
+        let handler = a.label("h");
+        a.set_mhar(handler);
+        a.li(r(1), 0x4000);
+        a.load_inf(r(2), r(1), 0);
+        a.halt();
+        a.bind(handler).unwrap();
+        a.jump_mhrr();
+        let p = a.assemble().unwrap();
+        let mut e = Executor::new(&p);
+        let run = e.step_block(&mut AlwaysMiss, 16).unwrap();
+        assert_eq!((run.executed, run.exit), (3, BlockExit::Trap));
+        assert!(e.state().in_handler());
     }
 
     #[test]

@@ -53,6 +53,7 @@
 #![cfg_attr(not(test), warn(clippy::unwrap_used))]
 
 pub mod asm;
+pub mod block;
 pub mod exec;
 pub mod instr;
 pub mod memimg;
@@ -60,6 +61,7 @@ pub mod program;
 pub mod reg;
 
 pub use asm::{Asm, AsmError, Label};
+pub use block::{Block, BlockCache, InstrMeta, NO_REG};
 pub use instr::{Cond, FuClass, Instr, MemKind};
 pub use memimg::DataMemory;
 pub use program::{Program, TEXT_BASE};

@@ -1,7 +1,6 @@
 //! Sparse 64-bit-word data memory.
 
-use std::collections::HashMap;
-
+use imo_util::hash::WordMap;
 use imo_util::json::Json;
 use imo_util::snapshot::{self, Snapshot, SnapshotError};
 
@@ -29,7 +28,7 @@ const PAGE_WORDS: usize = (PAGE_BYTES / 8) as usize;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct DataMemory {
-    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    pages: WordMap<u64, Box<[u64; PAGE_WORDS]>>,
 }
 
 impl DataMemory {

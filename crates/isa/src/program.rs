@@ -40,12 +40,17 @@ impl Program {
 
     /// The instruction at address `addr`, or `None` if `addr` is outside the
     /// text segment or unaligned.
+    ///
+    /// Hot path: an address below `TEXT_BASE` wraps to a huge offset that
+    /// either fails the alignment mask or the bounds check, so a single
+    /// shift + slice-bounds test covers all three rejection cases.
+    #[inline]
     pub fn fetch(&self, addr: u64) -> Option<Instr> {
-        if addr < TEXT_BASE || !(addr - TEXT_BASE).is_multiple_of(4) {
+        let off = addr.wrapping_sub(TEXT_BASE);
+        if off & 3 != 0 {
             return None;
         }
-        let idx = ((addr - TEXT_BASE) / 4) as usize;
-        self.instrs.get(idx).copied()
+        self.instrs.get((off >> 2) as usize).copied()
     }
 
     /// The address of instruction index `idx`.
@@ -64,6 +69,7 @@ impl Program {
     }
 
     /// All instructions in text order.
+    #[inline]
     pub fn instrs(&self) -> &[Instr] {
         &self.instrs
     }

@@ -81,6 +81,14 @@ struct Way {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
+    /// Cached geometry: `log2(line_bytes)`, `num_sets - 1`, and
+    /// `log2(line_bytes * num_sets)`. Tag/set extraction runs on every
+    /// simulated memory reference and instruction-line probe, so it must be
+    /// shifts and masks, not the three 64-bit divisions the naive
+    /// `addr / line_bytes / num_sets` form costs.
+    line_shift: u32,
+    set_mask: u64,
+    tag_shift: u32,
     sets: Vec<Way>,
     clock: u64,
     stats: CacheStats,
@@ -88,9 +96,28 @@ pub struct Cache {
 
 impl Cache {
     /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is not power-of-two (guaranteed for configs
+    /// built via [`CacheConfig::new`], which validates exactly that).
     pub fn new(config: CacheConfig) -> Cache {
-        let ways = (config.num_sets() * config.assoc as u64) as usize;
-        Cache { config, sets: vec![Way::default(); ways], clock: 0, stats: CacheStats::default() }
+        let num_sets = config.num_sets();
+        assert!(
+            config.line_bytes.is_power_of_two() && num_sets.is_power_of_two(),
+            "cache geometry must be power-of-two"
+        );
+        let line_shift = config.line_bytes.trailing_zeros();
+        let ways = (num_sets * config.assoc as u64) as usize;
+        Cache {
+            config,
+            line_shift,
+            set_mask: num_sets - 1,
+            tag_shift: line_shift + num_sets.trailing_zeros(),
+            sets: vec![Way::default(); ways],
+            clock: 0,
+            stats: CacheStats::default(),
+        }
     }
 
     /// The cache geometry.
@@ -110,14 +137,14 @@ impl Cache {
 
     #[inline]
     fn set_range(&self, addr: u64) -> std::ops::Range<usize> {
-        let set = self.config.set_of(addr) as usize;
+        let set = ((addr >> self.line_shift) & self.set_mask) as usize;
         let a = self.config.assoc as usize;
         set * a..(set + 1) * a
     }
 
     #[inline]
     fn tag_of(&self, addr: u64) -> u64 {
-        addr / self.config.line_bytes / self.config.num_sets()
+        addr >> self.tag_shift
     }
 
     /// Probes the cache for `addr`, installing the line on a miss
@@ -157,12 +184,10 @@ impl Cache {
                 start + i
             }
         };
-        let line_bytes = self.config.line_bytes;
-        let num_sets = self.config.num_sets();
-        let set_idx = self.config.set_of(addr);
+        let set_idx = (addr >> self.line_shift) & self.set_mask;
         let w = &mut self.sets[victim_idx];
         let evicted = if w.valid {
-            let victim_line = (w.tag * num_sets + set_idx) * line_bytes;
+            let victim_line = ((w.tag * (self.set_mask + 1)) + set_idx) << self.line_shift;
             let e = Eviction { line: victim_line, dirty: w.dirty };
             if w.dirty {
                 self.stats.writebacks += 1;

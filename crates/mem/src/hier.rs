@@ -16,7 +16,10 @@
 //!   conflicts, MSHR occupancy, miss merging and finite main-memory
 //!   bandwidth.
 
-use std::collections::HashMap;
+/// In-flight fill map keyed by line address. SipHash is a measurable cost
+/// on [`MemoryHierarchy::schedule_data`]'s lookup, which runs once per
+/// simulated memory operation; line addresses need no DoS resistance.
+type LineMap = imo_util::hash::WordMap<u64, u64>;
 
 use crate::cache::{Cache, Probe};
 use crate::config::{HierarchyConfig, HitLevel};
@@ -115,7 +118,7 @@ pub struct MemoryHierarchy {
     /// Main-memory bandwidth gate: next cycle a new access may start.
     mem_next_free: u64,
     /// Outstanding line fills: line address -> fill-complete cycle.
-    inflight: HashMap<u64, u64>,
+    inflight: LineMap,
     /// L2 writebacks discovered at probe time, charged at the next schedule.
     pending_writebacks: u64,
     stats: HierStats,
@@ -131,7 +134,7 @@ impl MemoryHierarchy {
             bank_free: vec![0; cfg.banks as usize],
             mshr_release: vec![0; cfg.mshrs as usize],
             mem_next_free: 0,
-            inflight: HashMap::new(),
+            inflight: LineMap::default(),
             pending_writebacks: 0,
             stats: HierStats::default(),
             cfg,
@@ -253,7 +256,13 @@ impl MemoryHierarchy {
     }
 
     fn bank_of(&self, line: u64) -> usize {
-        ((line / self.cfg.l1d.line_bytes) % self.cfg.banks as u64) as usize
+        let idx = line >> self.cfg.l1d.line_bytes.trailing_zeros();
+        let banks = self.cfg.banks as u64;
+        if banks.is_power_of_two() {
+            (idx & (banks - 1)) as usize
+        } else {
+            (idx % banks) as usize
+        }
     }
 
     fn drain_writebacks(&mut self, now: u64) {

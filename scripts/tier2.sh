@@ -95,7 +95,9 @@ doc = json.load(open("BENCH_simspeed.json"))
 for r in doc["data"]["rows"]:
     print(f'simspeed: {r["machine"]:9s} {r["scheme"]:9s} '
           f'{r["cycles_per_sec"] / 1e6:7.1f} Mcycles/s  '
-          f'{r["speedup_vs_tick"]:.2f}x vs tick-accurate')
+          f'{r["speedup_vs_tick"]:.2f}x vs tick-accurate  '
+          f'block hit {r["block_hit_rate"] * 100:.1f}%  '
+          f'batched {r["batched_instr_pct"]:.1f}%')
 d = doc["data"]["dedup"]
 print(f'simspeed dedup proof: {d["requested"]} requested, '
       f'{d["simulated"]} simulated, {d["deduped"]} served from cache')

@@ -191,6 +191,44 @@ fn seeded_faulty_checkpoints_resume_identically() {
     }
 }
 
+/// Pauses landing inside the fast path's split plain-run queue: the compact
+/// run descriptors must rematerialize into the exact fetch-queue entries the
+/// generic loop would hold, byte-stably across the wire, and resume onto the
+/// uninterrupted result — probed at a dense band of consecutive stop cycles
+/// so some checkpoints are guaranteed to catch partially drained runs
+/// mid-block.
+#[test]
+fn fast_path_pauses_with_plain_runs_pending_resume_identically() {
+    let p = (by_name("mdljsp2").expect("workload exists").build)(Scale::Test);
+    for machine in [Machine::default_in_order(), Machine::default_ooo()] {
+        let baseline = machine.run_limited(&p, RunLimits::default()).expect("uninterrupted run");
+        let mid = baseline.cycles / 2;
+        // A dense band of consecutive boundaries plus spread-out points:
+        // consecutive stops cannot all land on run boundaries.
+        let stops: Vec<u64> =
+            (mid..mid + 8).chain([baseline.cycles / 4, 3 * baseline.cycles / 4]).collect();
+        for stop in stops {
+            let outcome = SimSession::new(&p, machine.core_config())
+                .limits(RunLimits::stop_at(stop))
+                .run()
+                .expect("paused run");
+            let Outcome::Paused(ckpt) = outcome else {
+                panic!("{}: run must pause at {stop}", machine.name())
+            };
+            let (back, _) = wire_trip(&ckpt);
+            let resumed = complete(
+                SimSession::new(&p, machine.core_config()).resume(&back).expect("resume completes"),
+            );
+            assert_eq!(
+                resumed,
+                baseline,
+                "{}: pause at {stop} with plain runs pending",
+                machine.name()
+            );
+        }
+    }
+}
+
 /// 32 random (workload, scheme, machine, stop-cycle) draws: arbitrary cycle
 /// boundaries, not just the midpoint, resume bit-identically.
 #[test]

@@ -13,7 +13,10 @@ use imo_util::check::Checker;
 use imo_util::ensure_eq;
 use informing_memops::core::instrument::{instrument, HandlerBody, HandlerKind, Scheme};
 use informing_memops::core::Machine;
-use informing_memops::cpu::{inorder, ooo, InOrderConfig, OooConfig, RunLimits};
+use informing_memops::cpu::{
+    inorder, ooo, InOrderConfig, OooConfig, Outcome, RunLimits, SimSession,
+};
+use informing_memops::obs::Recorder;
 use informing_memops::workloads::{all, by_name, Scale};
 
 fn schemes() -> [(&'static str, Scheme); 3] {
@@ -96,6 +99,100 @@ fn seeded_faulty_runs_are_tick_identical() {
         )
         .expect("faulty inorder tick run");
         assert_eq!(ev, tk, "inorder faulty seed {seed}");
+    }
+}
+
+/// Block-batch property sweep: 32 seeded random configurations, each run in
+/// one of the four modes that interact with the block-batched fast paths —
+/// recorder on and attribution on (which must *disengage* the batch path,
+/// exactly), a seeded fault plan (which rides through it), and a `stop_at`
+/// landing mid-run (which forces the split plain-run queue to rematerialize
+/// into a checkpoint and resume). Every mode must end bit-identical to the
+/// tick-accurate reference.
+#[test]
+fn block_batch_modes_are_tick_identical() {
+    let names: Vec<&'static str> = all().iter().map(|s| s.name).collect();
+    Checker::new("fastforward_block_batch_modes").cases(32).run(|g| {
+        let name = *g.pick(&names);
+        let p = (by_name(name).expect("workload exists").build)(Scale::Test);
+        let handlers = *g.pick(&[HandlerKind::Single, HandlerKind::PerReference]);
+        let body = HandlerBody::Generic { len: *g.pick(&[1u32, 10, 100]) };
+        let scheme = *g.pick(&[
+            Scheme::None,
+            Scheme::Trap { handlers, body },
+            Scheme::ConditionCode { handlers, body },
+        ]);
+        let inst = instrument(&p, &scheme).map_err(|e| format!("{name}: {e}"))?;
+        let machine = if g.bool() { Machine::default_ooo() } else { Machine::default_in_order() };
+        let ctx = format!("{name} on {} under {scheme:?}", machine.name());
+        let tick = machine
+            .run_limited(&inst.program, RunLimits::tick_accurate())
+            .map_err(|e| format!("{ctx} (tick): {e}"))?;
+        match *g.pick(&["recorder", "attrib", "faulty", "stop_at"]) {
+            "recorder" => {
+                let mut rec = Recorder::all();
+                let (res, _) = machine
+                    .run_observed(&inst.program, &mut rec)
+                    .map_err(|e| format!("{ctx} (recorder): {e}"))?;
+                ensure_eq!(res, tick, "{ctx}: recorder on");
+                ensure_eq!(rec.cpi.total(), res.cycles, "{ctx}: CPI covers every cycle");
+            }
+            "attrib" => {
+                let mut rec = Recorder::disabled();
+                rec.enable_attribution(machine.attrib_config());
+                let (res, _) = machine
+                    .run_observed(&inst.program, &mut rec)
+                    .map_err(|e| format!("{ctx} (attrib): {e}"))?;
+                ensure_eq!(res, tick, "{ctx}: attribution on");
+            }
+            "faulty" => {
+                let mut fc = FaultConfig::none(g.int(1..u64::MAX));
+                fc.handler_overrun_rate = 0.2;
+                fc.handler_overrun_cycles = 40;
+                fc.stale_mhar_rate = 0.1;
+                fc.stale_mhar_cycles = 25;
+                let plan = FaultPlan::new(fc);
+                let ev = run_to_completion(
+                    SimSession::new(&inst.program, machine.core_config())
+                        .faults(plan)
+                        .run()
+                        .map_err(|e| format!("{ctx} (faulty): {e}"))?,
+                )?;
+                let tk = run_to_completion(
+                    SimSession::new(&inst.program, machine.core_config())
+                        .faults(plan)
+                        .limits(RunLimits::tick_accurate())
+                        .run()
+                        .map_err(|e| format!("{ctx} (faulty tick): {e}"))?,
+                )?;
+                ensure_eq!(ev, tk, "{ctx}: faulty plan");
+            }
+            mode => {
+                debug_assert_eq!(mode, "stop_at");
+                let stop = g.int(1..tick.cycles.max(2));
+                let outcome = SimSession::new(&inst.program, machine.core_config())
+                    .limits(RunLimits::stop_at(stop))
+                    .run()
+                    .map_err(|e| format!("{ctx} stop {stop}: {e}"))?;
+                let resumed = match outcome {
+                    Outcome::Paused(ckpt) => run_to_completion(
+                        SimSession::new(&inst.program, machine.core_config())
+                            .resume(&ckpt)
+                            .map_err(|e| format!("{ctx} resume: {e}"))?,
+                    )?,
+                    Outcome::Complete { result, .. } => result,
+                };
+                ensure_eq!(resumed, tick, "{ctx}: stop_at {stop} mid-run");
+            }
+        }
+        Ok(())
+    });
+}
+
+fn run_to_completion(outcome: Outcome) -> Result<informing_memops::cpu::RunResult, String> {
+    match outcome {
+        Outcome::Complete { result, .. } => Ok(result),
+        Outcome::Paused(c) => Err(format!("unexpected pause at cycle {}", c.cycle())),
     }
 }
 
